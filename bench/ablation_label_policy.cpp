@@ -1,0 +1,46 @@
+// Ablation: WL node-label policy. With labels that ignore the matched
+// peer, the two matchings of a symmetric message race are isomorphic
+// graphs and the kernel distance is blind to the race; including the peer
+// rank (the library default) makes matching-order differences visible.
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace anacin;
+
+int main(int argc, const char** argv) {
+  int ranks = 16;
+  int runs = 20;
+  ArgParser parser("Ablation: label policy vs measured non-determinism");
+  parser.add_int("ranks", "number of MPI processes", &ranks);
+  parser.add_int("runs", "executions per policy", &runs);
+  if (!parser.parse(argc, argv)) return 0;
+
+  ThreadPool pool;
+  bench::announce("Ablation: label policy",
+                  "message race on " + std::to_string(ranks) +
+                      " processes at 100% ND, " + std::to_string(runs) +
+                      " runs, WL depth 2");
+
+  for (const kernels::LabelPolicy policy :
+       {kernels::LabelPolicy::kTypeOnly, kernels::LabelPolicy::kTypePeer,
+        kernels::LabelPolicy::kTypePeerTag,
+        kernels::LabelPolicy::kTypeCallstack,
+        kernels::LabelPolicy::kTypePeerCallstack}) {
+    core::CampaignConfig config;
+    config.pattern = "message_race";
+    config.shape.num_ranks = ranks;
+    config.nd_fraction = 1.0;
+    config.num_runs = runs;
+    config.label_policy = policy;
+    const core::CampaignResult result = core::run_campaign(config, pool);
+    bench::print_summary_row(
+        std::string(kernels::label_policy_name(policy)),
+        result.distance_summary);
+  }
+  std::cout << "\ninterpretation: type_only measures ~0 despite the races "
+               "(isomorphic matchings);\npolicies that include the matched "
+               "peer expose them — hence the kTypePeer default.\n";
+  return 0;
+}

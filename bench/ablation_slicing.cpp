@@ -1,0 +1,148 @@
+// Ablation: slicing policy for root-cause localization. Event graphs can
+// be sliced by Lamport (logical) time or by virtual (wall-clock) time.
+// With a program whose first half is deterministic and second half races,
+// logical-time slices keep the deterministic prologue at exactly zero
+// divergence, while virtual-time slices smear the divergence everywhere —
+// jitter shifts identical events into different wall-clock windows.
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace anacin;
+
+namespace {
+
+/// Deterministic ring prologue + racing epilogue (the planted hotspot).
+void half_and_half(sim::Comm& comm) {
+  const int n = comm.size();
+  {
+    const auto frame = comm.scoped_frame("stable_phase");
+    for (int lap = 0; lap < 8; ++lap) {
+      sim::Request r = comm.irecv((comm.rank() + n - 1) % n, 1);
+      comm.send((comm.rank() + 1) % n, 1);
+      (void)comm.wait(r);
+    }
+  }
+  {
+    const auto frame = comm.scoped_frame("racy_phase");
+    if (comm.rank() == 0) {
+      for (int i = 0; i < n - 1; ++i) (void)comm.recv();
+    } else {
+      comm.send(0, 0);
+    }
+  }
+}
+
+std::vector<double> profile_for(
+    const std::vector<graph::EventGraph>& runs,
+    const std::vector<graph::SliceSet>& slices,
+    const kernels::GraphKernel& kernel) {
+  std::size_t num_slices = 0;
+  for (const auto& set : slices) {
+    num_slices = std::max(num_slices, set.num_slices);
+  }
+  std::vector<double> profile(num_slices, 0.0);
+  for (std::size_t s = 0; s < num_slices; ++s) {
+    std::vector<kernels::FeatureVector> features;
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      static const std::vector<graph::NodeId> kEmpty;
+      const auto& nodes = s < slices[r].num_slices
+                              ? slices[r].nodes_in_slice[s]
+                              : kEmpty;
+      features.push_back(kernel.features(kernels::build_labeled_subgraph(
+          runs[r], nodes, kernels::LabelPolicy::kTypePeer)));
+    }
+    double total = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      for (std::size_t j = i + 1; j < features.size(); ++j) {
+        total += kernels::kernel_distance(features[i], features[j]);
+        ++pairs;
+      }
+    }
+    profile[s] = pairs ? total / static_cast<double>(pairs) : 0.0;
+  }
+  return profile;
+}
+
+double early_half_mass(const std::vector<double>& profile) {
+  double early = 0.0;
+  double total = 0.0;
+  for (std::size_t s = 0; s < profile.size(); ++s) {
+    total += profile[s];
+    if (s < profile.size() / 2) early += profile[s];
+  }
+  return total > 0.0 ? early / total : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  int ranks = 8;
+  int runs = 6;
+  ArgParser parser("Ablation: Lamport vs virtual-time slicing");
+  parser.add_int("ranks", "number of MPI processes", &ranks);
+  parser.add_int("runs", "executions to compare", &runs);
+  if (!parser.parse(argc, argv)) return 0;
+
+  bench::announce("Ablation: slicing policy",
+                  "deterministic prologue + racing epilogue on " +
+                      std::to_string(ranks) + " processes");
+
+  std::vector<graph::EventGraph> graphs;
+  for (int i = 0; i < runs; ++i) {
+    sim::SimConfig config;
+    config.num_ranks = ranks;
+    config.seed = 100 + static_cast<std::uint64_t>(i);
+    config.network.nd_fraction = 1.0;
+    graphs.push_back(graph::EventGraph::from_trace(
+        sim::run_simulation(config, half_and_half).trace));
+  }
+
+  const auto kernel = kernels::make_kernel("wl:2");
+
+  std::vector<graph::SliceSet> lamport_slices;
+  std::vector<graph::SliceSet> virtual_slices;
+  double mean_makespan = 0.0;
+  for (const auto& run : graphs) {
+    lamport_slices.push_back(graph::slice_by_lamport_window(run, 4));
+    mean_makespan += run.node(static_cast<graph::NodeId>(run.num_nodes() - 1))
+                         .t_end /
+                     static_cast<double>(graphs.size());
+  }
+  for (const auto& run : graphs) {
+    virtual_slices.push_back(
+        graph::slice_by_virtual_time_window(run, mean_makespan / 10.0));
+  }
+
+  const std::vector<double> lamport_profile =
+      profile_for(graphs, lamport_slices, *kernel);
+  const std::vector<double> virtual_profile =
+      profile_for(graphs, virtual_slices, *kernel);
+
+  std::cout << "divergence profile, Lamport slicing (window 4):\n";
+  for (std::size_t s = 0; s < lamport_profile.size(); ++s) {
+    std::cout << "  slice " << pad_left(std::to_string(s), 2) << ": "
+              << format_fixed(lamport_profile[s], 3) << '\n';
+  }
+  std::cout << "divergence profile, virtual-time slicing (10 windows):\n";
+  for (std::size_t s = 0; s < virtual_profile.size(); ++s) {
+    std::cout << "  slice " << pad_left(std::to_string(s), 2) << ": "
+              << format_fixed(virtual_profile[s], 3) << '\n';
+  }
+
+  const double lamport_early = early_half_mass(lamport_profile);
+  const double virtual_early = early_half_mass(virtual_profile);
+  std::cout << "\ndivergence mass in the early (deterministic) half:\n";
+  std::cout << "  Lamport slicing:      "
+            << format_fixed(lamport_early * 100.0, 1) << "%\n";
+  std::cout << "  virtual-time slicing: "
+            << format_fixed(virtual_early * 100.0, 1) << "%\n";
+  std::cout << "expected shape (logical time localizes; wall-clock time "
+               "smears): "
+            << (lamport_early < virtual_early ? "REPRODUCED"
+                                              : "NOT reproduced")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,42 @@
+#pragma once
+
+/// Shared helpers for the figure/table reproduction binaries.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/anacin.hpp"
+#include "support/string_util.hpp"
+
+namespace anacin::bench {
+
+/// Print one summary row of a kernel-distance sample.
+inline void print_summary_row(const std::string& label,
+                              const analysis::Summary& summary) {
+  std::cout << pad_right(label, 26) << " n=" << pad_right(
+                   std::to_string(summary.count), 4)
+            << " median=" << pad_left(format_fixed(summary.median, 3), 10)
+            << " mean=" << pad_left(format_fixed(summary.mean, 3), 10)
+            << " q1=" << pad_left(format_fixed(summary.q1, 3), 10)
+            << " q3=" << pad_left(format_fixed(summary.q3, 3), 10)
+            << " max=" << pad_left(format_fixed(summary.max, 3), 10) << '\n';
+}
+
+/// Build a violin series entry from a distance sample.
+inline viz::ViolinSeries violin_series(const std::string& label,
+                                       const std::vector<double>& sample) {
+  return viz::ViolinSeries{label, analysis::gaussian_kde(sample)};
+}
+
+inline void announce(const std::string& figure, const std::string& caption) {
+  std::cout << "==============================================================\n"
+            << figure << ": " << caption << '\n'
+            << "==============================================================\n";
+}
+
+inline void note_artifact(const std::string& path) {
+  std::cout << "[artifact] " << path << '\n';
+}
+
+}  // namespace anacin::bench

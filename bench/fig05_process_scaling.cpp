@@ -1,0 +1,78 @@
+// Reproduces Fig 5: kernel distances for 20 executions of the Unstructured
+// Mesh mini-application on (a) 32 MPI processes vs (b) 16 MPI processes,
+// at 100% non-determinism. Expected shape: more processes => higher kernel
+// distance (more non-determinism).
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace anacin;
+
+int main(int argc, const char** argv) {
+  int many = 32;
+  int few = 16;
+  int runs = 20;
+  std::string out = core::results_dir() + "/fig05_process_scaling.svg";
+  ArgParser parser("Fig 5: kernel distance vs number of MPI processes "
+                   "(unstructured mesh, 100% ND)");
+  parser.add_int("many", "larger process count (a)", &many);
+  parser.add_int("few", "smaller process count (b)", &few);
+  parser.add_int("runs", "executions per setting", &runs);
+  parser.add_string("out", "output SVG path", &out);
+  if (!parser.parse(argc, argv)) return 0;
+
+  ThreadPool pool;
+  const auto campaign = [&](int ranks) {
+    core::CampaignConfig config;
+    config.pattern = "unstructured_mesh";
+    config.shape.num_ranks = ranks;
+    config.nd_fraction = 1.0;
+    config.num_runs = runs;
+    return core::run_campaign(config, pool);
+  };
+
+  bench::announce("Fig 5",
+                  "kernel distances, unstructured mesh, " +
+                      std::to_string(many) + " vs " + std::to_string(few) +
+                      " MPI processes, " + std::to_string(runs) + " runs");
+  const core::CampaignResult result_many = campaign(many);
+  const core::CampaignResult result_few = campaign(few);
+
+  bench::print_summary_row("(a) " + std::to_string(many) + " processes",
+                           result_many.distance_summary);
+  bench::print_summary_row("(b) " + std::to_string(few) + " processes",
+                           result_few.distance_summary);
+
+  const double p =
+      analysis::mann_whitney_u(result_many.measurement.distances,
+                               result_few.measurement.distances)
+          .p_value;
+  std::cout << "Mann-Whitney p-value (a vs b): " << p << '\n';
+  std::cout << "paper's expected shape ("
+            << many << "p median > " << few << "p median): "
+            << (result_many.distance_summary.median >
+                        result_few.distance_summary.median
+                    ? "REPRODUCED"
+                    : "NOT reproduced")
+            << '\n';
+
+  std::cout << "\ndistance sample (a), " << many << " processes:\n"
+            << viz::ascii_histogram(result_many.measurement.distances);
+  std::cout << "distance sample (b), " << few << " processes:\n"
+            << viz::ascii_histogram(result_few.measurement.distances);
+
+  viz::violin_plot(
+      {bench::violin_series(std::to_string(few) + " procs",
+                            result_few.measurement.distances),
+       bench::violin_series(std::to_string(many) + " procs",
+                            result_many.measurement.distances)},
+      {.width = 520,
+       .height = 380,
+       .title = "Fig 5: kernel distance vs number of MPI processes",
+       .x_label = "MPI processes",
+       .y_label = "kernel distance"})
+      .save(out);
+  bench::note_artifact(out);
+  return 0;
+}

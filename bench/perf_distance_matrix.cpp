@@ -1,0 +1,61 @@
+// Microbenchmark of the pairwise distance-matrix computation (the core of
+// every violin figure) including its thread-pool parallelisation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/campaign.hpp"
+#include "kernels/distance_matrix.hpp"
+
+using namespace anacin;
+
+namespace {
+
+std::vector<kernels::LabeledGraph> make_sample(int count, int ranks) {
+  std::vector<kernels::LabeledGraph> graphs;
+  for (int i = 0; i < count; ++i) {
+    patterns::PatternConfig shape;
+    shape.num_ranks = ranks;
+    sim::SimConfig config;
+    config.num_ranks = ranks;
+    config.seed = static_cast<std::uint64_t>(i) + 1;
+    config.network.nd_fraction = 1.0;
+    const sim::RunResult run =
+        core::run_pattern_once("unstructured_mesh", shape, config);
+    graphs.push_back(kernels::build_labeled_graph(
+        graph::EventGraph::from_trace(run.trace),
+        kernels::LabelPolicy::kTypePeer));
+  }
+  return graphs;
+}
+
+void BM_PairwiseDistances(benchmark::State& state) {
+  const auto graphs =
+      make_sample(static_cast<int>(state.range(0)), 16);
+  const kernels::WLSubtreeKernel kernel(2);
+  ThreadPool pool;
+  for (auto _ : state) {
+    const kernels::DistanceMatrix matrix =
+        kernels::pairwise_distances(kernel, graphs, pool);
+    benchmark::DoNotOptimize(matrix.values.data());
+  }
+  state.counters["pairs"] = static_cast<double>(
+      graphs.size() * (graphs.size() - 1) / 2);
+}
+
+void BM_DistancesToReference(benchmark::State& state) {
+  const auto graphs = make_sample(static_cast<int>(state.range(0)), 16);
+  const kernels::WLSubtreeKernel kernel(2);
+  ThreadPool pool;
+  for (auto _ : state) {
+    const auto distances =
+        kernels::distances_to_reference(kernel, graphs[0], graphs, pool);
+    benchmark::DoNotOptimize(distances.data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_PairwiseDistances)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistancesToReference)->Arg(20)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Microbenchmarks of the graph-kernel layer: WL feature extraction across
+// depths and kernel-distance evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/campaign.hpp"
+#include "kernels/kernel.hpp"
+
+using namespace anacin;
+
+namespace {
+
+kernels::LabeledGraph make_graph(int ranks, std::uint64_t seed) {
+  patterns::PatternConfig shape;
+  shape.num_ranks = ranks;
+  sim::SimConfig config;
+  config.num_ranks = ranks;
+  config.seed = seed;
+  config.network.nd_fraction = 1.0;
+  const sim::RunResult run = core::run_pattern_once("amg2013", shape, config);
+  return kernels::build_labeled_graph(
+      graph::EventGraph::from_trace(run.trace),
+      kernels::LabelPolicy::kTypePeer);
+}
+
+void BM_WlFeatures(benchmark::State& state) {
+  const kernels::LabeledGraph graph = make_graph(16, 1);
+  const kernels::WLSubtreeKernel kernel(
+      static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    const kernels::FeatureVector features = kernel.features(graph);
+    benchmark::DoNotOptimize(features.self_dot);
+  }
+  state.counters["nodes"] = static_cast<double>(graph.num_nodes());
+}
+
+void BM_HistogramFeatures(benchmark::State& state) {
+  const kernels::LabeledGraph graph = make_graph(16, 1);
+  const kernels::EdgeHistogramKernel kernel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.features(graph).self_dot);
+  }
+}
+
+void BM_KernelDistance(benchmark::State& state) {
+  const kernels::WLSubtreeKernel kernel(2);
+  const kernels::FeatureVector a = kernel.features(make_graph(16, 1));
+  const kernels::FeatureVector b = kernel.features(make_graph(16, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::kernel_distance(a, b));
+  }
+  state.counters["features"] = static_cast<double>(a.entries.size());
+}
+
+}  // namespace
+
+BENCHMARK(BM_WlFeatures)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HistogramFeatures)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_KernelDistance)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,12 @@
+// Reproduces Table I (learning objectives) and Table II (prerequisites)
+// of the paper's course module.
+
+#include <iostream>
+
+#include "course/module.hpp"
+
+int main() {
+  std::cout << anacin::course::render_learning_objectives() << '\n';
+  std::cout << anacin::course::render_prerequisites();
+  return 0;
+}

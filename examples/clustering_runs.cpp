@@ -1,0 +1,78 @@
+// Grouping executions by behavior.
+//
+// Kernel distances do more than quantify non-determinism: they organize a
+// pile of runs into behavior groups. Here a "mystery" sample mixes
+// executions of two different mesh applications plus their noisy reruns;
+// single-linkage clustering over the pairwise kernel-distance matrix
+// recovers the two applications without any labels — the run-comparison
+// workflow behind the ANACIN-X methodology.
+
+#include <iostream>
+
+#include "core/anacin.hpp"
+
+using namespace anacin;
+
+int main() {
+  ThreadPool pool;
+  const auto kernel = kernels::make_kernel("wl:2");
+
+  // Build the mystery sample: 5 runs each of two different mesh
+  // topologies (two "applications"), all at 100% ND.
+  std::vector<kernels::LabeledGraph> graphs;
+  std::vector<std::string> labels;
+  for (const std::uint64_t topology : {7ull, 424242ull}) {
+    for (int i = 0; i < 5; ++i) {
+      patterns::PatternConfig shape;
+      shape.num_ranks = 12;
+      shape.topology_seed = topology;
+      sim::SimConfig config;
+      config.num_ranks = 12;
+      config.seed = 10 + static_cast<std::uint64_t>(i);
+      config.network.nd_fraction = 1.0;
+      graphs.push_back(kernels::build_labeled_graph(
+          graph::EventGraph::from_trace(
+              core::run_pattern_once("unstructured_mesh", shape, config)
+                  .trace),
+          kernels::LabelPolicy::kTypePeer));
+      labels.push_back("app" + std::string(topology == 7 ? "A" : "B") +
+                       "/run" + std::to_string(i));
+    }
+  }
+
+  const kernels::DistanceMatrix matrix =
+      kernels::pairwise_distances(*kernel, graphs, pool);
+
+  std::cout << "pairwise kernel distances (rounded):\n      ";
+  for (std::size_t j = 0; j < matrix.size; ++j) {
+    std::cout << pad_left(std::to_string(j), 5);
+  }
+  std::cout << '\n';
+  for (std::size_t i = 0; i < matrix.size; ++i) {
+    std::cout << pad_left(std::to_string(i), 4) << "  ";
+    for (std::size_t j = 0; j < matrix.size; ++j) {
+      std::cout << pad_left(format_fixed(matrix.at(i, j), 0), 5);
+    }
+    std::cout << "   " << labels[i] << '\n';
+  }
+
+  const double threshold = analysis::largest_gap_threshold(matrix);
+  const analysis::Clustering clustering =
+      analysis::single_linkage(matrix, threshold);
+
+  std::cout << "\nautomatic threshold (largest gap): "
+            << format_fixed(threshold, 2) << '\n';
+  std::cout << "discovered " << clustering.num_clusters()
+            << " behavior group(s):\n";
+  for (std::size_t c = 0; c < clustering.num_clusters(); ++c) {
+    std::cout << "  group " << c << ": ";
+    for (const std::size_t member : clustering.clusters[c]) {
+      std::cout << labels[member] << ' ';
+    }
+    std::cout << '\n';
+  }
+  std::cout << "\nThe two applications separate cleanly even though every "
+               "run of each was\nnon-deterministic — structure dominates "
+               "noise in the kernel-distance geometry.\n";
+  return clustering.num_clusters() == 2 ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+// The course module's comprehension quiz: prints the question bank per
+// level with answer keys, then demonstrates automatic grading of a sample
+// submission.
+
+#include <iostream>
+
+#include "course/quiz.hpp"
+
+using namespace anacin::course;
+
+int main() {
+  for (const char* level : {"A", "B", "C"}) {
+    std::cout << "===== level " << level << " questions =====\n";
+    for (const QuizQuestion& question : questions_for(level)) {
+      std::cout << render_question(question, /*reveal=*/true) << '\n';
+    }
+  }
+
+  // A sample (imperfect) submission, graded automatically.
+  const std::vector<std::pair<std::string, std::size_t>> submission{
+      {"A.1-q1", 1}, {"A.2-q2", 0}, {"B.1-q1", 1},
+      {"B.2-q1", 0},  // wrong on purpose
+      {"C.1-q2", 2}, {"C.2-q3", 1},
+  };
+  const QuizGrade grade = grade_quiz(submission);
+  std::cout << "sample submission: " << grade.correct << '/'
+            << grade.answered << " correct (score "
+            << static_cast<int>(grade.score() * 100) << "%)\n";
+  for (const std::string& id : grade.missed_ids) {
+    std::cout << "  review: " << id << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Why non-determinism matters scientifically: the paper motivates the
+// course with the Enzo example, where different runs identified different
+// galactic halos because message order changed floating-point results.
+//
+// This example reproduces that failure mode in miniature: rank 0 sums
+// contributions in MPI_ANY_SOURCE arrival order. Addition of doubles is
+// not associative, so different match orders give *numerically different
+// totals* — and the fixed-order tree reduction (our library collective)
+// stays bit-stable.
+
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+#include <set>
+
+#include "core/anacin.hpp"
+
+using namespace anacin;
+
+namespace {
+
+/// Wildcard-order accumulation: the non-reproducible reduction.
+double run_naive_sum(std::uint64_t seed, int ranks) {
+  double total = 0.0;
+  sim::SimConfig config;
+  config.num_ranks = ranks;
+  config.seed = seed;
+  config.network.nd_fraction = 1.0;
+  sim::run_simulation(config, [&total](sim::Comm& comm) {
+    if (comm.rank() == 0) {
+      double sum = 0.0;
+      for (int i = 0; i < comm.size() - 1; ++i) {
+        sum += sim::double_from_payload(comm.recv().payload);
+      }
+      total = sum;
+    } else {
+      // Wildly mixed magnitudes make the addition order visible.
+      const double value =
+          comm.rank() % 3 == 0 ? 1e16 : (comm.rank() % 3 == 1 ? 1.0 : -1e16);
+      comm.send(0, 0, sim::payload_from_double(value));
+    }
+  });
+  return total;
+}
+
+/// Fixed-order tree reduction: the reproducible one.
+double run_tree_sum(std::uint64_t seed, int ranks) {
+  double total = 0.0;
+  sim::SimConfig config;
+  config.num_ranks = ranks;
+  config.seed = seed;
+  config.network.nd_fraction = 1.0;
+  sim::run_simulation(config, [&total](sim::Comm& comm) {
+    const double value =
+        comm.rank() == 0
+            ? 0.0
+            : (comm.rank() % 3 == 0 ? 1e16
+                                    : (comm.rank() % 3 == 1 ? 1.0 : -1e16));
+    const double sum = comm.reduce_sum(0, value);
+    if (comm.rank() == 0) total = sum;
+  });
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRanks = 16;
+  constexpr int kRuns = 12;
+
+  std::set<double> naive_results;
+  std::set<double> tree_results;
+  std::cout << "run   naive (ANY_SOURCE order)        tree reduction\n";
+  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+    const double naive = run_naive_sum(seed, kRanks);
+    const double tree = run_tree_sum(seed, kRanks);
+    naive_results.insert(naive);
+    tree_results.insert(tree);
+    std::printf("%3" PRIu64 "   %+.17e   %+.17e\n", seed, naive, tree);
+  }
+
+  std::cout << "\ndistinct results over " << kRuns << " runs:\n";
+  std::cout << "  naive wildcard sum : " << naive_results.size()
+            << " distinct value(s)\n";
+  std::cout << "  fixed-order reduce : " << tree_results.size()
+            << " distinct value(s)\n\n";
+  std::cout << "The same code with the same inputs produced "
+            << naive_results.size()
+            << " different totals — exactly how non-deterministic message "
+               "ordering\nchanges scientific results (cf. the paper's Enzo "
+               "motivation). A fixed reduction\norder restores "
+               "reproducibility.\n";
+  return tree_results.size() == 1 ? 0 : 1;
+}

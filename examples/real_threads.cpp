@@ -1,0 +1,113 @@
+// Simulated vs real non-determinism.
+//
+// The course environment *mimics* platform noise with a seeded jitter
+// model. This example runs the same message race on the native-threads
+// backend, where the only source of non-determinism is the actual OS
+// scheduler — and feeds both kinds of runs through the identical analysis
+// pipeline. Whatever your machine's scheduler does today, the method
+// (event graphs + kernel distance) measures it.
+
+#include <iostream>
+
+#include "core/anacin.hpp"
+#include "realtime/realtime.hpp"
+
+using namespace anacin;
+
+namespace {
+
+std::vector<int> recv_order(const graph::EventGraph& graph) {
+  std::vector<int> order;
+  for (const graph::EventNode& node : graph.nodes()) {
+    if (node.type == trace::EventType::kRecv && node.rank == 0) {
+      order.push_back(node.peer);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRanks = 6;
+  constexpr int kRuns = 8;
+
+  // --- real threads ---------------------------------------------------------
+  realtime::RtConfig rt_config;
+  rt_config.num_ranks = kRanks;
+  const realtime::RankProgram rt_program = [](realtime::Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < comm.size() - 1; ++i) (void)comm.recv();
+    } else {
+      comm.compute(50.0);  // a little real work before sending
+      comm.send(0, 0);
+    }
+  };
+
+  const auto kernel = kernels::make_kernel("wl:2");
+  std::vector<graph::EventGraph> real_runs;
+  std::cout << "native-threads runs (rank 0 receive order):\n";
+  for (int i = 0; i < kRuns; ++i) {
+    real_runs.push_back(graph::EventGraph::from_trace(
+        realtime::run_threads(rt_config, rt_program)));
+    std::cout << "  run " << i << ": ";
+    for (const int src : recv_order(real_runs.back())) std::cout << src << ' ';
+    std::cout << '\n';
+  }
+
+  double max_real_distance = 0.0;
+  {
+    std::vector<kernels::FeatureVector> features;
+    for (const auto& run : real_runs) {
+      features.push_back(kernel->features(kernels::build_labeled_graph(
+          run, kernels::LabelPolicy::kTypePeer)));
+    }
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      for (std::size_t j = i + 1; j < features.size(); ++j) {
+        max_real_distance =
+            std::max(max_real_distance,
+                     kernels::kernel_distance(features[i], features[j]));
+      }
+    }
+  }
+  std::cout << "max pairwise kernel distance across real runs: "
+            << max_real_distance << '\n';
+  std::cout << (max_real_distance > 0.0
+                    ? "=> your OS scheduler produced measurable "
+                      "non-determinism\n"
+                    : "=> the scheduler happened to be stable this time — "
+                      "rerun, or raise the rank count\n");
+
+  // --- simulator, for comparison -------------------------------------------
+  sim::SimConfig sim_config;
+  sim_config.num_ranks = kRanks;
+  sim_config.network.nd_fraction = 1.0;
+  const sim::RankProgram sim_program = [](sim::Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < comm.size() - 1; ++i) (void)comm.recv();
+    } else {
+      comm.send(0, 0);
+    }
+  };
+  std::vector<kernels::FeatureVector> sim_features;
+  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+    sim_config.seed = seed;
+    sim_features.push_back(kernel->features(kernels::build_labeled_graph(
+        graph::EventGraph::from_trace(
+            sim::run_simulation(sim_config, sim_program).trace),
+        kernels::LabelPolicy::kTypePeer)));
+  }
+  double max_sim_distance = 0.0;
+  for (std::size_t i = 0; i < sim_features.size(); ++i) {
+    for (std::size_t j = i + 1; j < sim_features.size(); ++j) {
+      max_sim_distance =
+          std::max(max_sim_distance,
+                   kernels::kernel_distance(sim_features[i], sim_features[j]));
+    }
+  }
+  std::cout << "\nsimulator at 100% ND, same program: max pairwise distance "
+            << max_sim_distance << '\n';
+  std::cout << "Same pipeline, two noise sources — the course teaches with "
+               "the controllable one.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Use Case 2 (intermediate level): factors that impact non-determinism.
+//
+// Goal B.1 — the number of MPI processes is directly related to the amount
+//   of non-determinism (paper Fig 5).
+// Goal B.2 — more iterations of the communication pattern accumulate more
+//   non-determinism within one execution (paper Fig 6).
+//
+// Scaled to laptop size by default; pass --paper-scale for the paper's
+// 32/16-process, 20-run configuration.
+
+#include <iostream>
+
+#include "core/anacin.hpp"
+#include "course/use_cases.hpp"
+
+using namespace anacin;
+
+int main(int argc, const char** argv) {
+  bool paper_scale = false;
+  int runs = 12;
+  ArgParser parser("Use case 2: factors that impact non-determinism");
+  parser.add_flag("paper-scale", "use the paper's 32/16 procs x 20 runs",
+                  &paper_scale);
+  parser.add_int("runs", "executions per setting", &runs);
+  if (!parser.parse(argc, argv)) return 0;
+
+  const int many = paper_scale ? 32 : 16;
+  const int few = paper_scale ? 16 : 8;
+  if (paper_scale) runs = 20;
+
+  ThreadPool pool;
+  const course::UseCase2Result lesson =
+      course::run_use_case_2(pool, many, few, runs);
+
+  std::cout << "Goal B.1 — number of processes (cf. paper Fig 5)\n";
+  std::cout << "  " << many
+            << " procs: median distance = " << lesson.many_procs.median
+            << " (q1 " << lesson.many_procs.q1 << ", q3 "
+            << lesson.many_procs.q3 << ")\n";
+  std::cout << "  " << few
+            << " procs: median distance = " << lesson.few_procs.median
+            << " (q1 " << lesson.few_procs.q1 << ", q3 "
+            << lesson.few_procs.q3 << ")\n";
+  std::cout << "  Mann-Whitney p = " << lesson.procs_p_value << '\n';
+  std::cout << "  more processes => more non-determinism: "
+            << (lesson.procs_effect_observed ? "OBSERVED" : "not observed")
+            << "\n\n";
+
+  std::cout << "Goal B.2 — iterations (cf. paper Fig 6)\n";
+  std::cout << "  2 iterations: median distance = "
+            << lesson.two_iterations.median << '\n';
+  std::cout << "  1 iteration:  median distance = "
+            << lesson.one_iteration.median << '\n';
+  std::cout << "  Mann-Whitney p = " << lesson.iterations_p_value << '\n';
+  std::cout << "  more iterations => more non-determinism: "
+            << (lesson.iterations_effect_observed ? "OBSERVED"
+                                                  : "not observed")
+            << "\n\n";
+
+  std::cout << "Takeaway: when a non-deterministic bug is hard to "
+               "reproduce, increase the\nnumber of processes and iterations "
+               "to make the non-determinism more visible.\n";
+
+  const bool pass =
+      lesson.procs_effect_observed && lesson.iterations_effect_observed;
+  std::cout << "\nLesson check: " << (pass ? "PASS" : "FAIL") << '\n';
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+#include "analysis/clustering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace anacin::analysis {
+
+namespace {
+
+/// Union-find with path compression.
+class DisjointSets {
+public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+Clustering single_linkage(const kernels::DistanceMatrix& distances,
+                          double threshold) {
+  ANACIN_CHECK(distances.size > 0, "clustering of empty distance matrix");
+  ANACIN_CHECK(threshold >= 0.0, "threshold must be non-negative");
+  const std::size_t n = distances.size;
+
+  DisjointSets sets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (distances.at(i, j) <= threshold) sets.unite(i, j);
+    }
+  }
+
+  Clustering clustering;
+  clustering.cluster_of.assign(n, 0);
+  std::vector<std::size_t> root_to_cluster(n, n);  // n = unassigned
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = sets.find(i);
+    if (root_to_cluster[root] == n) {
+      root_to_cluster[root] = clustering.clusters.size();
+      clustering.clusters.emplace_back();
+    }
+    const std::size_t cluster = root_to_cluster[root];
+    clustering.cluster_of[i] = cluster;
+    clustering.clusters[cluster].push_back(i);
+  }
+  return clustering;
+}
+
+double largest_gap_threshold(const kernels::DistanceMatrix& distances) {
+  ANACIN_CHECK(distances.size > 0, "empty distance matrix");
+  std::vector<double> flat = distances.upper_triangle();
+  if (flat.size() < 2) return flat.empty() ? 0.0 : flat.front();
+  std::sort(flat.begin(), flat.end());
+  double best_gap = 0.0;
+  double threshold = 0.0;
+  for (std::size_t i = 1; i < flat.size(); ++i) {
+    const double gap = flat[i] - flat[i - 1];
+    if (gap > best_gap) {
+      best_gap = gap;
+      // Cut in the middle of the largest gap.
+      threshold = flat[i - 1] + gap / 2.0;
+    }
+  }
+  return best_gap > 0.0 ? threshold : 0.0;
+}
+
+}  // namespace anacin::analysis

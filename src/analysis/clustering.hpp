@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/distance_matrix.hpp"
+
+namespace anacin::analysis {
+
+/// Partition of runs into behavior groups.
+struct Clustering {
+  /// Item indices per cluster; clusters ordered by their smallest member.
+  std::vector<std::vector<std::size_t>> clusters;
+  /// Cluster index of each item.
+  std::vector<std::size_t> cluster_of;
+
+  std::size_t num_clusters() const { return clusters.size(); }
+};
+
+/// Single-linkage agglomerative clustering with a distance cutoff: two
+/// runs land in the same cluster iff they are connected by a chain of
+/// pairwise kernel distances <= `threshold`.
+///
+/// This is how the ANACIN-X methodology groups executions by behavior: a
+/// deterministic application yields one cluster; distinct race outcomes
+/// (or distinct code paths) split into several.
+Clustering single_linkage(const kernels::DistanceMatrix& distances,
+                          double threshold);
+
+/// Convenience: the largest gap in the sorted pairwise distances, a
+/// simple automatic threshold between "same behavior" and "different
+/// behavior" scales. Returns 0 when all distances are equal.
+double largest_gap_threshold(const kernels::DistanceMatrix& distances);
+
+}  // namespace anacin::analysis

@@ -1,0 +1,63 @@
+#include "analysis/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace anacin::analysis {
+
+double silverman_bandwidth(std::span<const double> values) {
+  ANACIN_CHECK(!values.empty(), "bandwidth of empty sample");
+  const double sigma = stddev(values);
+  const double iqr = quantile(values, 0.75) - quantile(values, 0.25);
+  double spread = sigma;
+  if (iqr > 0.0) spread = std::min(sigma, iqr / 1.34);
+  if (spread <= 0.0) spread = std::max(sigma, iqr / 1.34);
+  const double n = static_cast<double>(values.size());
+  double bandwidth = 0.9 * spread * std::pow(n, -0.2);
+  if (bandwidth <= 0.0) {
+    // Degenerate sample: fall back to a sliver proportional to the scale
+    // of the data (or 1 if everything is exactly zero).
+    const double scale =
+        std::abs(*std::max_element(values.begin(), values.end(),
+                                   [](double a, double b) {
+                                     return std::abs(a) < std::abs(b);
+                                   }));
+    bandwidth = scale > 0.0 ? scale * 0.01 : 0.01;
+  }
+  return bandwidth;
+}
+
+ViolinData gaussian_kde(std::span<const double> values,
+                        std::size_t grid_points, double bandwidth) {
+  ANACIN_CHECK(!values.empty(), "kde of empty sample");
+  ANACIN_CHECK(grid_points >= 2, "kde needs at least two grid points");
+  ViolinData violin;
+  violin.summary = summarize(values);
+  violin.bandwidth = bandwidth > 0.0 ? bandwidth : silverman_bandwidth(values);
+
+  const double lo = violin.summary.min - 2.0 * violin.bandwidth;
+  const double hi = violin.summary.max + 2.0 * violin.bandwidth;
+  const double step = (hi - lo) / static_cast<double>(grid_points - 1);
+
+  violin.grid.resize(grid_points);
+  violin.density.resize(grid_points);
+  const double norm =
+      1.0 / (static_cast<double>(values.size()) * violin.bandwidth *
+             std::sqrt(2.0 * std::numbers::pi));
+  for (std::size_t g = 0; g < grid_points; ++g) {
+    const double x = lo + step * static_cast<double>(g);
+    double density = 0.0;
+    for (const double v : values) {
+      const double z = (x - v) / violin.bandwidth;
+      density += std::exp(-0.5 * z * z);
+    }
+    violin.grid[g] = x;
+    violin.density[g] = density * norm;
+  }
+  return violin;
+}
+
+}  // namespace anacin::analysis

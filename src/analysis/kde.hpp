@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/stats.hpp"
+
+namespace anacin::analysis {
+
+/// Data needed to draw one violin: a kernel density estimate evaluated on a
+/// regular grid, plus the quartiles overlaid by the plot.
+struct ViolinData {
+  std::vector<double> grid;     // sample-value axis
+  std::vector<double> density;  // estimated density at each grid point
+  Summary summary;
+  double bandwidth = 0.0;
+};
+
+/// Silverman's rule-of-thumb bandwidth, floored at a small positive value
+/// so degenerate samples (e.g. all-zero kernel distances at 0% ND) still
+/// produce a drawable sliver.
+double silverman_bandwidth(std::span<const double> values);
+
+/// Gaussian KDE on `grid_points` evenly spaced points spanning
+/// [min - 2h, max + 2h]. bandwidth <= 0 selects Silverman's rule.
+ViolinData gaussian_kde(std::span<const double> values,
+                        std::size_t grid_points = 64,
+                        double bandwidth = 0.0);
+
+}  // namespace anacin::analysis

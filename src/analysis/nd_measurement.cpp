@@ -1,0 +1,84 @@
+#include "analysis/nd_measurement.hpp"
+
+#include <algorithm>
+
+#include "graph/slicing.hpp"
+#include "support/error.hpp"
+
+namespace anacin::analysis {
+
+NdMeasurement measure_nd(const kernels::GraphKernel& kernel,
+                         kernels::LabelPolicy policy,
+                         const std::vector<graph::EventGraph>& runs,
+                         const graph::EventGraph* reference,
+                         DistanceReduction reduction, ThreadPool& pool) {
+  ANACIN_CHECK(!runs.empty(), "measure_nd needs at least one run");
+  std::vector<kernels::LabeledGraph> labeled(runs.size());
+  pool.parallel_for(0, runs.size(), [&](std::size_t i) {
+    labeled[i] = kernels::build_labeled_graph(runs[i], policy);
+  });
+
+  NdMeasurement measurement;
+  measurement.reduction = reduction;
+  switch (reduction) {
+    case DistanceReduction::kToReference: {
+      ANACIN_CHECK(reference != nullptr,
+                   "kToReference reduction needs a reference run");
+      const kernels::LabeledGraph reference_labeled =
+          kernels::build_labeled_graph(*reference, policy);
+      measurement.distances = kernels::distances_to_reference(
+          kernel, reference_labeled, labeled, pool);
+      break;
+    }
+    case DistanceReduction::kPairwise: {
+      measurement.distances =
+          kernels::pairwise_distances(kernel, labeled, pool).upper_triangle();
+      break;
+    }
+  }
+  return measurement;
+}
+
+SliceProfile slice_profile(const kernels::GraphKernel& kernel,
+                           kernels::LabelPolicy policy,
+                           const std::vector<graph::EventGraph>& runs,
+                           std::uint64_t slice_window, ThreadPool& pool) {
+  ANACIN_CHECK(runs.size() >= 2, "slice profile needs at least two runs");
+  std::vector<graph::SliceSet> slices;
+  slices.reserve(runs.size());
+  std::size_t num_slices = 0;
+  for (const auto& run : runs) {
+    slices.push_back(graph::slice_by_lamport_window(run, slice_window));
+    num_slices = std::max(num_slices, slices.back().num_slices);
+  }
+
+  SliceProfile profile;
+  profile.window = slice_window;
+  profile.distance.assign(num_slices, 0.0);
+
+  pool.parallel_for(0, num_slices, [&](std::size_t s) {
+    // Feature-embed each run's slice-s subgraph.
+    std::vector<kernels::FeatureVector> features;
+    features.reserve(runs.size());
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      static const std::vector<graph::NodeId> kEmpty;
+      const std::vector<graph::NodeId>& nodes =
+          s < slices[r].num_slices ? slices[r].nodes_in_slice[s] : kEmpty;
+      const kernels::LabeledGraph sub =
+          kernels::build_labeled_subgraph(runs[r], nodes, policy);
+      features.push_back(kernel.features(sub));
+    }
+    double total = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      for (std::size_t j = i + 1; j < features.size(); ++j) {
+        total += kernels::kernel_distance(features[i], features[j]);
+        ++pairs;
+      }
+    }
+    profile.distance[s] = pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+  });
+  return profile;
+}
+
+}  // namespace anacin::analysis

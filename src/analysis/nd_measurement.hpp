@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/event_graph.hpp"
+#include "kernels/distance_matrix.hpp"
+#include "kernels/kernel.hpp"
+#include "support/thread_pool.hpp"
+
+namespace anacin::analysis {
+
+/// How a set of runs is reduced to a sample of kernel distances.
+enum class DistanceReduction {
+  /// Distance of each run to a jitter-free reference execution: N runs
+  /// give N data points (the paper's 20-point violins).
+  kToReference,
+  /// All C(N,2) pairwise distances.
+  kPairwise,
+};
+
+/// Measure the amount of non-determinism in a set of runs of the same
+/// application: the paper's proxy metric.
+struct NdMeasurement {
+  std::vector<double> distances;
+  DistanceReduction reduction = DistanceReduction::kToReference;
+};
+
+NdMeasurement measure_nd(const kernels::GraphKernel& kernel,
+                         kernels::LabelPolicy policy,
+                         const std::vector<graph::EventGraph>& runs,
+                         const graph::EventGraph* reference,
+                         DistanceReduction reduction, ThreadPool& pool);
+
+/// Per-slice divergence profile across runs: for each logical-time slice,
+/// the mean pairwise kernel distance between the runs' slice subgraphs.
+/// Slices where the profile peaks are the "periods of highly
+/// non-deterministic execution" of the paper's Fig. 8.
+struct SliceProfile {
+  std::uint64_t window = 0;
+  /// Mean pairwise distance per slice index.
+  std::vector<double> distance;
+};
+
+SliceProfile slice_profile(const kernels::GraphKernel& kernel,
+                           kernels::LabelPolicy policy,
+                           const std::vector<graph::EventGraph>& runs,
+                           std::uint64_t slice_window, ThreadPool& pool);
+
+}  // namespace anacin::analysis

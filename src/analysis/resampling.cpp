@@ -1,0 +1,90 @@
+#include "analysis/resampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "support/error.hpp"
+
+namespace anacin::analysis {
+
+BootstrapCi bootstrap_ci(std::span<const double> values,
+                         const Statistic& statistic, double confidence,
+                         std::size_t resamples, std::uint64_t seed) {
+  ANACIN_CHECK(!values.empty(), "bootstrap of empty sample");
+  ANACIN_CHECK(confidence > 0.0 && confidence < 1.0,
+               "confidence must be in (0,1), got " << confidence);
+  ANACIN_CHECK(resamples >= 10, "need at least 10 resamples");
+
+  BootstrapCi ci;
+  ci.point_estimate = statistic(values);
+
+  Rng rng(seed);
+  std::vector<double> resample(values.size());
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (double& slot : resample) {
+      slot = values[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(values.size()) - 1))];
+    }
+    estimates.push_back(statistic(resample));
+  }
+  const double alpha = 1.0 - confidence;
+  ci.lower = quantile(estimates, alpha / 2.0);
+  ci.upper = quantile(estimates, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+double permutation_test(std::span<const double> a, std::span<const double> b,
+                        const Statistic& statistic, std::size_t permutations,
+                        std::uint64_t seed) {
+  ANACIN_CHECK(!a.empty() && !b.empty(), "permutation test needs two samples");
+  ANACIN_CHECK(permutations >= 10, "need at least 10 permutations");
+
+  const double observed =
+      std::abs(statistic(a) - statistic(b));
+
+  std::vector<double> pooled;
+  pooled.reserve(a.size() + b.size());
+  pooled.insert(pooled.end(), a.begin(), a.end());
+  pooled.insert(pooled.end(), b.begin(), b.end());
+
+  Rng rng(seed);
+  std::size_t at_least_as_extreme = 0;
+  for (std::size_t p = 0; p < permutations; ++p) {
+    rng.shuffle(pooled);
+    const std::span<const double> pseudo_a(pooled.data(), a.size());
+    const std::span<const double> pseudo_b(pooled.data() + a.size(),
+                                           b.size());
+    if (std::abs(statistic(pseudo_a) - statistic(pseudo_b)) >=
+        observed - 1e-15) {
+      ++at_least_as_extreme;
+    }
+  }
+  // +1 correction keeps the p-value strictly positive (the identity
+  // permutation always reproduces the observed statistic).
+  return (static_cast<double>(at_least_as_extreme) + 1.0) /
+         (static_cast<double>(permutations) + 1.0);
+}
+
+double cliffs_delta(std::span<const double> a, std::span<const double> b) {
+  ANACIN_CHECK(!a.empty() && !b.empty(), "cliffs_delta needs two samples");
+  // O((n+m) log(n+m)) via sorting b and binary-searching each a.
+  std::vector<double> sorted_b(b.begin(), b.end());
+  std::sort(sorted_b.begin(), sorted_b.end());
+  std::int64_t a_wins = 0;  // pairs with a > b
+  std::int64_t b_wins = 0;  // pairs with a < b
+  for (const double value : a) {
+    const auto lo = std::lower_bound(sorted_b.begin(), sorted_b.end(), value);
+    const auto hi = std::upper_bound(sorted_b.begin(), sorted_b.end(), value);
+    a_wins += lo - sorted_b.begin();  // b entries strictly below value
+    b_wins += sorted_b.end() - hi;    // b entries strictly above value
+  }
+  const double n_pairs =
+      static_cast<double>(a.size()) * static_cast<double>(b.size());
+  return (static_cast<double>(a_wins) - static_cast<double>(b_wins)) / n_pairs;
+}
+
+}  // namespace anacin::analysis

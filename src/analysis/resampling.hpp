@@ -1,0 +1,40 @@
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "support/rng.hpp"
+
+namespace anacin::analysis {
+
+/// Percentile bootstrap confidence interval for an arbitrary statistic.
+/// Deterministic given the seed (like everything else in this library).
+struct BootstrapCi {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point_estimate = 0.0;
+};
+
+using Statistic = std::function<double(std::span<const double>)>;
+
+BootstrapCi bootstrap_ci(std::span<const double> values,
+                         const Statistic& statistic, double confidence = 0.95,
+                         std::size_t resamples = 2000,
+                         std::uint64_t seed = 0xB007);
+
+/// Cliff's delta effect size in [-1, 1]: P(a > b) - P(a < b) over all
+/// cross pairs. |delta| >= 0.474 is conventionally a "large" effect —
+/// a robust companion to the Mann–Whitney test when comparing
+/// kernel-distance samples (e.g. 32 vs 16 processes).
+double cliffs_delta(std::span<const double> a, std::span<const double> b);
+
+/// Exact-style permutation test: two-sided p-value for the hypothesis that
+/// `a` and `b` come from the same distribution, using |statistic(a) -
+/// statistic(b)| as the test statistic under random relabelling. Makes no
+/// normality assumption — appropriate for small kernel-distance samples.
+double permutation_test(std::span<const double> a, std::span<const double> b,
+                        const Statistic& statistic,
+                        std::size_t permutations = 2000,
+                        std::uint64_t seed = 0x9E47);
+
+}  // namespace anacin::analysis

@@ -1,0 +1,124 @@
+#include "analysis/root_cause.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/slicing.hpp"
+#include "support/error.hpp"
+
+namespace anacin::analysis {
+
+RootCauseReport find_root_causes(const kernels::GraphKernel& kernel,
+                                 kernels::LabelPolicy policy,
+                                 const std::vector<graph::EventGraph>& runs,
+                                 const RootCauseConfig& config,
+                                 ThreadPool& pool) {
+  ANACIN_CHECK(runs.size() >= 2, "root-cause analysis needs >= 2 runs");
+  ANACIN_CHECK(config.hot_fraction > 0.0 && config.hot_fraction <= 1.0,
+               "hot_fraction must be in (0,1]");
+
+  RootCauseReport report;
+  report.profile =
+      slice_profile(kernel, policy, runs, config.slice_window, pool);
+
+  const auto peak = std::max_element(report.profile.distance.begin(),
+                                     report.profile.distance.end());
+  if (peak == report.profile.distance.end() || *peak <= 0.0) {
+    return report;  // no divergence anywhere: nothing to attribute
+  }
+  const double threshold = *peak * config.hot_fraction;
+  for (std::size_t s = 0; s < report.profile.distance.size(); ++s) {
+    if (report.profile.distance[s] >= threshold) {
+      report.hot_slices.push_back(s);
+    }
+  }
+
+  // Identify *divergent* events: receive positions whose matched send
+  // differs across runs. Tallying only these (rather than everything
+  // co-located with a hot slice) keeps innocent callsites that merely share
+  // logical time with a race out of the report.
+  using Position = std::pair<std::int32_t, std::int64_t>;  // (rank, seq)
+  std::map<Position, Position> first_match;
+  std::map<Position, bool> divergent;
+  for (const auto& run : runs) {
+    for (const auto& [send_node, recv_node] : run.message_edges()) {
+      const graph::EventNode& send = run.node(send_node);
+      const graph::EventNode& recv = run.node(recv_node);
+      const Position position{recv.rank, recv.seq};
+      const Position match{send.rank, send.seq};
+      const auto [it, inserted] = first_match.emplace(position, match);
+      if (!inserted && it->second != match) divergent[position] = true;
+    }
+  }
+
+  // Tally call paths of divergent events inside hot slices, across all
+  // runs. A send counts as divergent when the receive it matched is.
+  struct Tally {
+    std::size_t occurrences = 0;
+    std::size_t wildcard = 0;
+  };
+  std::map<std::string, Tally> tallies;
+  std::size_t total = 0;
+  for (const auto& run : runs) {
+    const graph::SliceSet slices =
+        graph::slice_by_lamport_window(run, config.slice_window);
+    // Per-node divergence flags for this run.
+    std::vector<bool> node_divergent(run.num_nodes(), false);
+    for (const graph::EventNode& node : run.nodes()) {
+      if (node.type != trace::EventType::kRecv) continue;
+      const auto it = divergent.find({node.rank, node.seq});
+      if (it != divergent.end() && it->second) {
+        node_divergent[run.node_of(node.rank, node.seq)] = true;
+      }
+    }
+    for (const auto& [send_node, recv_node] : run.message_edges()) {
+      if (node_divergent[recv_node]) node_divergent[send_node] = true;
+    }
+
+    for (const std::size_t s : report.hot_slices) {
+      if (s >= slices.num_slices) continue;
+      for (const graph::NodeId v : slices.nodes_in_slice[s]) {
+        const graph::EventNode& node = run.node(v);
+        if (config.recvs_only && node.type != trace::EventType::kRecv) {
+          continue;
+        }
+        if (node.type == trace::EventType::kInit ||
+            node.type == trace::EventType::kFinalize) {
+          continue;
+        }
+        if (!node_divergent[v]) continue;
+        Tally& tally = tallies[run.callstacks().path(node.callstack_id)];
+        ++tally.occurrences;
+        if (node.type == trace::EventType::kRecv &&
+            node.posted_source == -1) {
+          ++tally.wildcard;
+        }
+        ++total;
+      }
+    }
+  }
+
+  report.callstacks.reserve(tallies.size());
+  for (const auto& [path, tally] : tallies) {
+    CallstackFrequency frequency;
+    frequency.path = path;
+    frequency.occurrences = tally.occurrences;
+    frequency.frequency = total > 0 ? static_cast<double>(tally.occurrences) /
+                                          static_cast<double>(total)
+                                    : 0.0;
+    frequency.wildcard_share =
+        tally.occurrences > 0
+            ? static_cast<double>(tally.wildcard) /
+                  static_cast<double>(tally.occurrences)
+            : 0.0;
+    report.callstacks.push_back(std::move(frequency));
+  }
+  std::sort(report.callstacks.begin(), report.callstacks.end(),
+            [](const CallstackFrequency& a, const CallstackFrequency& b) {
+              if (a.frequency != b.frequency) return a.frequency > b.frequency;
+              return a.path < b.path;
+            });
+  return report;
+}
+
+}  // namespace anacin::analysis

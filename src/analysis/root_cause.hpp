@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/nd_measurement.hpp"
+#include "graph/event_graph.hpp"
+#include "kernels/kernel.hpp"
+#include "support/thread_pool.hpp"
+
+namespace anacin::analysis {
+
+/// One bar of the paper's Fig. 8: a call path and its normalized relative
+/// frequency inside the most non-deterministic logical-time slices.
+struct CallstackFrequency {
+  std::string path;
+  double frequency = 0.0;       // normalized to sum to 1 over the report
+  std::size_t occurrences = 0;  // raw event count
+  /// Fraction of this path's counted events that were wildcard receives —
+  /// a direct hint that the call site is a root source.
+  double wildcard_share = 0.0;
+};
+
+struct RootCauseConfig {
+  /// Logical-time slice width.
+  std::uint64_t slice_window = 16;
+  /// Slices whose divergence is within `hot_fraction` of the peak count as
+  /// "high non-determinism" regions.
+  double hot_fraction = 0.5;
+  /// Only tally receive events (the event class whose matching varies).
+  bool recvs_only = true;
+};
+
+/// Outcome of the Fig. 8 analysis: the divergence profile over logical
+/// time, which slices were deemed hot, and the callstack histogram inside
+/// those slices aggregated over all runs.
+struct RootCauseReport {
+  SliceProfile profile;
+  std::vector<std::size_t> hot_slices;
+  std::vector<CallstackFrequency> callstacks;  // sorted by frequency, desc
+};
+
+/// Identify likely root sources of non-determinism: slice the event graphs,
+/// find the logical-time regions where runs diverge most (per-slice kernel
+/// distance), and rank the call paths active there (paper Goal C.2).
+RootCauseReport find_root_causes(const kernels::GraphKernel& kernel,
+                                 kernels::LabelPolicy policy,
+                                 const std::vector<graph::EventGraph>& runs,
+                                 const RootCauseConfig& config,
+                                 ThreadPool& pool);
+
+}  // namespace anacin::analysis

@@ -1,0 +1,158 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace anacin::analysis {
+
+double mean(std::span<const double> values) {
+  ANACIN_CHECK(!values.empty(), "mean of empty sample");
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sum_sq = 0.0;
+  for (const double v : values) sum_sq += (v - m) * (v - m);
+  return sum_sq / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double quantile(std::span<const double> values, double q) {
+  ANACIN_CHECK(!values.empty(), "quantile of empty sample");
+  ANACIN_CHECK(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  return sorted[lower] * (1.0 - fraction) + sorted[lower + 1] * fraction;
+}
+
+double median(std::span<const double> values) {
+  return quantile(values, 0.5);
+}
+
+Summary summarize(std::span<const double> values) {
+  ANACIN_CHECK(!values.empty(), "summary of empty sample");
+  Summary summary;
+  summary.count = values.size();
+  summary.mean = mean(values);
+  summary.stddev = stddev(values);
+  summary.min = *std::min_element(values.begin(), values.end());
+  summary.max = *std::max_element(values.begin(), values.end());
+  summary.q1 = quantile(values, 0.25);
+  summary.median = quantile(values, 0.5);
+  summary.q3 = quantile(values, 0.75);
+  return summary;
+}
+
+namespace {
+
+/// Average ranks (1-based), with ties sharing their mean rank.
+std::vector<double> average_ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double shared = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = shared;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double normal_sf(double z) {
+  // Survival function of the standard normal.
+  return 0.5 * std::erfc(z / std::numbers::sqrt2);
+}
+
+}  // namespace
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  ANACIN_CHECK(x.size() == y.size(), "spearman needs equal-length samples");
+  ANACIN_CHECK(x.size() >= 2, "spearman needs at least two points");
+  const std::vector<double> rx = average_ranks(x);
+  const std::vector<double> ry = average_ranks(y);
+  const double mx = mean(rx);
+  const double my = mean(ry);
+  double cov = 0.0;
+  double vx = 0.0;
+  double vy = 0.0;
+  for (std::size_t i = 0; i < rx.size(); ++i) {
+    cov += (rx[i] - mx) * (ry[i] - my);
+    vx += (rx[i] - mx) * (rx[i] - mx);
+    vy += (ry[i] - my) * (ry[i] - my);
+  }
+  if (vx == 0.0 || vy == 0.0) return 0.0;  // constant input: undefined, use 0
+  return cov / std::sqrt(vx * vy);
+}
+
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b) {
+  ANACIN_CHECK(!a.empty() && !b.empty(), "Mann-Whitney needs two samples");
+  const std::size_t na = a.size();
+  const std::size_t nb = b.size();
+  std::vector<double> combined;
+  combined.reserve(na + nb);
+  combined.insert(combined.end(), a.begin(), a.end());
+  combined.insert(combined.end(), b.begin(), b.end());
+  const std::vector<double> ranks = average_ranks(combined);
+
+  double rank_sum_a = 0.0;
+  for (std::size_t i = 0; i < na; ++i) rank_sum_a += ranks[i];
+  const double u_a =
+      rank_sum_a - static_cast<double>(na) * (static_cast<double>(na) + 1) / 2.0;
+  const double u = std::min(u_a, static_cast<double>(na * nb) - u_a);
+
+  // Tie correction for the variance.
+  std::vector<double> sorted(combined);
+  std::sort(sorted.begin(), sorted.end());
+  double tie_term = 0.0;
+  std::size_t i = 0;
+  const std::size_t n = sorted.size();
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && sorted[j + 1] == sorted[i]) ++j;
+    const double t = static_cast<double>(j - i + 1);
+    tie_term += t * t * t - t;
+    i = j + 1;
+  }
+  const double n_total = static_cast<double>(n);
+  const double mu = static_cast<double>(na * nb) / 2.0;
+  const double sigma_sq = static_cast<double>(na) * static_cast<double>(nb) /
+                          12.0 *
+                          ((n_total + 1.0) -
+                           tie_term / (n_total * (n_total - 1.0)));
+
+  MannWhitneyResult result;
+  result.u_statistic = u;
+  if (sigma_sq <= 0.0) {
+    result.z_score = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  // Continuity correction.
+  result.z_score = (u - mu + 0.5) / std::sqrt(sigma_sq);
+  result.p_value = std::min(1.0, 2.0 * normal_sf(std::abs(result.z_score)));
+  return result;
+}
+
+}  // namespace anacin::analysis

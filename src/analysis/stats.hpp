@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace anacin::analysis {
+
+/// Five-number-plus summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1), 0 for n < 2
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+double mean(std::span<const double> values);
+/// Sample variance (n-1 denominator); 0 for fewer than two values.
+double variance(std::span<const double> values);
+double stddev(std::span<const double> values);
+/// Linear-interpolation quantile, q in [0, 1]. Throws on empty input.
+double quantile(std::span<const double> values, double q);
+double median(std::span<const double> values);
+Summary summarize(std::span<const double> values);
+
+/// Spearman rank correlation in [-1, 1] (ties get average ranks).
+/// Used to check monotone relationships, e.g. kernel distance vs ND%.
+double spearman(std::span<const double> x, std::span<const double> y);
+
+/// Two-sided Mann–Whitney U test (normal approximation with tie
+/// correction). Returns the p-value for the hypothesis that the two
+/// samples come from the same distribution.
+struct MannWhitneyResult {
+  double u_statistic = 0.0;
+  double z_score = 0.0;
+  double p_value = 1.0;
+};
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b);
+
+}  // namespace anacin::analysis

@@ -1,0 +1,698 @@
+#include "cli/cli_app.hpp"
+
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "core/anacin.hpp"
+#include "course/module.hpp"
+#include "course/quiz.hpp"
+#include "course/use_cases.hpp"
+#include "support/error.hpp"
+
+namespace anacin::cli {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared option bundles
+// ---------------------------------------------------------------------------
+
+struct WorkloadOptions {
+  std::string pattern = "message_race";
+  int ranks = 8;
+  int iterations = 1;
+  int nodes = 1;
+  int message_bytes = 1;
+  double nd_percent = 100.0;
+  std::uint64_t seed = 1;
+
+  void add_to(ArgParser& parser) {
+    parser.add_string("pattern", "mini-application name", &pattern);
+    parser.add_int("ranks", "number of MPI processes", &ranks);
+    parser.add_int("iterations", "communication pattern iterations",
+                   &iterations);
+    parser.add_int("nodes", "number of compute nodes", &nodes);
+    parser.add_int("msg-bytes", "message payload size in bytes",
+                   &message_bytes);
+    parser.add_double("nd", "percentage of non-determinism [0..100]",
+                      &nd_percent);
+    parser.add_uint64("seed", "execution seed", &seed);
+  }
+
+  patterns::PatternConfig shape() const {
+    patterns::PatternConfig config;
+    config.num_ranks = ranks;
+    config.iterations = iterations;
+    config.message_bytes = static_cast<std::uint32_t>(message_bytes);
+    return config;
+  }
+
+  sim::SimConfig sim_config() const {
+    sim::SimConfig config;
+    config.num_ranks = ranks;
+    config.num_nodes = nodes;
+    config.seed = seed;
+    config.network.nd_fraction = nd_percent / 100.0;
+    return config;
+  }
+
+  core::CampaignConfig campaign(int runs, const std::string& kernel,
+                                const std::string& policy) const {
+    core::CampaignConfig config;
+    config.pattern = pattern;
+    config.shape = shape();
+    config.num_nodes = nodes;
+    config.nd_fraction = nd_percent / 100.0;
+    config.num_runs = runs;
+    config.base_seed = seed;
+    config.kernel = kernel;
+    config.label_policy = kernels::label_policy_from_name(policy);
+    return config;
+  }
+};
+
+void print_summary(std::ostream& out, const std::string& label,
+                   const analysis::Summary& summary) {
+  out << pad_right(label, 22) << " n=" << summary.count
+      << " median=" << format_fixed(summary.median, 3)
+      << " mean=" << format_fixed(summary.mean, 3)
+      << " q1=" << format_fixed(summary.q1, 3)
+      << " q3=" << format_fixed(summary.q3, 3)
+      << " max=" << format_fixed(summary.max, 3) << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+int cmd_patterns(const std::vector<const char*>& argv, std::ostream& out) {
+  ArgParser parser("anacin patterns — list packaged mini-applications");
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+  for (const std::string& name : patterns::pattern_names()) {
+    const auto pattern = patterns::make_pattern(name);
+    out << pad_right(name, 20) << pattern->description() << '\n';
+  }
+  return 0;
+}
+
+int cmd_run(const std::vector<const char*>& argv, std::ostream& out) {
+  WorkloadOptions workload;
+  std::string trace_out;
+  std::string svg_out;
+  bool ascii = false;
+  bool metrics = false;
+  ArgParser parser("anacin run — simulate one execution of a mini-app");
+  workload.add_to(parser);
+  parser.add_string("trace-out", "write the trace as JSON", &trace_out);
+  parser.add_string("svg", "render the event graph to an SVG file", &svg_out);
+  parser.add_flag("ascii", "print an ASCII event graph", &ascii);
+  parser.add_flag("metrics", "print structural metrics", &metrics);
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  const sim::RunResult result = core::run_pattern_once(
+      workload.pattern, workload.shape(), workload.sim_config());
+  out << "pattern=" << workload.pattern << " ranks=" << workload.ranks
+      << " nd=" << workload.nd_percent << "% seed=" << workload.seed << '\n';
+  out << "events=" << result.trace.total_events()
+      << " messages=" << result.stats.messages
+      << " wildcard_recvs=" << result.stats.wildcard_recvs
+      << " makespan_us=" << format_fixed(result.stats.makespan_us, 2) << '\n';
+
+  const graph::EventGraph event_graph =
+      graph::EventGraph::from_trace(result.trace);
+  if (ascii) out << viz::ascii_event_graph(event_graph);
+  if (metrics) {
+    const graph::CommMatrix matrix =
+        graph::communication_matrix(event_graph);
+    out << "\ncommunication matrix (messages):\n"
+        << viz::ascii_comm_matrix(matrix);
+    const graph::CriticalPath path = graph::critical_path(event_graph);
+    out << "critical path: " << path.nodes.size() << " events, "
+        << format_fixed(path.virtual_duration, 2) << " us, recv share "
+        << format_fixed(path.recv_share * 100.0, 1) << "%\n";
+  }
+  if (!trace_out.empty()) {
+    core::write_json_file(trace_out, result.trace.to_json());
+    out << "trace written to " << trace_out << '\n';
+  }
+  if (!svg_out.empty()) {
+    viz::render_event_graph(event_graph).save(svg_out);
+    out << "event graph written to " << svg_out << '\n';
+  }
+  return 0;
+}
+
+int cmd_graph(const std::vector<const char*>& argv, std::ostream& out) {
+  std::string trace_in;
+  std::string svg_out;
+  bool no_ascii = false;
+  bool metrics = false;
+  ArgParser parser("anacin graph — inspect a saved trace");
+  parser.add_string("trace", "trace JSON file (from `anacin run`)",
+                    &trace_in);
+  parser.add_string("svg", "render the event graph to an SVG file", &svg_out);
+  parser.add_flag("metrics", "print structural metrics", &metrics);
+  parser.add_flag("no-ascii", "suppress the ASCII rendering", &no_ascii);
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+  if (trace_in.empty()) throw ConfigError("--trace is required");
+
+  const trace::Trace trace =
+      trace::Trace::from_json(json::parse(core::read_text_file(trace_in)));
+  const graph::EventGraph event_graph = graph::EventGraph::from_trace(trace);
+  out << "ranks=" << event_graph.num_ranks()
+      << " nodes=" << event_graph.num_nodes()
+      << " messages=" << event_graph.message_edges().size()
+      << " max_lamport=" << event_graph.max_lamport() << '\n';
+  if (!no_ascii) out << viz::ascii_event_graph(event_graph);
+  if (metrics) {
+    out << "\ncommunication matrix (messages):\n"
+        << viz::ascii_comm_matrix(graph::communication_matrix(event_graph));
+  }
+  if (!svg_out.empty()) {
+    viz::render_event_graph(event_graph).save(svg_out);
+    out << "event graph written to " << svg_out << '\n';
+  }
+  return 0;
+}
+
+int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
+  WorkloadOptions workload;
+  int runs = 20;
+  std::string kernel = "wl:2";
+  std::string policy = "type_peer";
+  std::string reduction = "to_reference";
+  std::string csv_out;
+  std::string violin_out;
+  ArgParser parser("anacin measure — quantify a mini-app's non-determinism");
+  workload.add_to(parser);
+  parser.add_int("runs", "number of independent executions", &runs);
+  parser.add_string("kernel", "graph kernel (wl[:h], vertex_histogram, ...)",
+                    &kernel);
+  parser.add_string("policy", "node label policy", &policy);
+  parser.add_string("reduction", "to_reference | pairwise", &reduction);
+  parser.add_string("csv", "write the distance sample as CSV", &csv_out);
+  parser.add_string("violin", "write a violin plot SVG", &violin_out);
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  core::CampaignConfig config = workload.campaign(runs, kernel, policy);
+  if (reduction == "pairwise") {
+    config.reduction = analysis::DistanceReduction::kPairwise;
+  } else if (reduction != "to_reference") {
+    throw ConfigError("unknown reduction '" + reduction + "'");
+  }
+  ThreadPool pool;
+  const core::CampaignResult result = core::run_campaign(config, pool);
+  print_summary(out, workload.pattern, result.distance_summary);
+  out << "messages/run=" << result.total_messages / result.graphs.size()
+      << " wildcard recvs/run="
+      << result.total_wildcard_recvs / result.graphs.size() << '\n';
+
+  const analysis::BootstrapCi ci = analysis::bootstrap_ci(
+      result.measurement.distances,
+      [](std::span<const double> v) { return analysis::median(v); });
+  out << "median 95% CI: [" << format_fixed(ci.lower, 3) << ", "
+      << format_fixed(ci.upper, 3) << "]\n";
+
+  if (!csv_out.empty()) {
+    core::CsvWriter csv({"run", "kernel_distance"});
+    for (std::size_t i = 0; i < result.measurement.distances.size(); ++i) {
+      csv.add_row({std::to_string(i),
+                   format_fixed(result.measurement.distances[i], 6)});
+    }
+    csv.save(csv_out);
+    out << "distances written to " << csv_out << '\n';
+  }
+  if (!violin_out.empty()) {
+    viz::violin_plot({{workload.pattern,
+                       analysis::gaussian_kde(result.measurement.distances)}},
+                     {.width = 420,
+                      .height = 360,
+                      .title = "kernel distance: " + workload.pattern,
+                      .x_label = "",
+                      .y_label = "kernel distance"})
+        .save(violin_out);
+    out << "violin written to " << violin_out << '\n';
+  }
+  return 0;
+}
+
+int cmd_sweep(const std::vector<const char*>& argv, std::ostream& out) {
+  WorkloadOptions workload;
+  workload.pattern = "amg2013";
+  workload.ranks = 16;
+  int runs = 10;
+  int step = 10;
+  std::string kernel = "wl:2";
+  std::string csv_out;
+  ArgParser parser("anacin sweep — kernel distance vs ND% (paper Fig 7)");
+  workload.add_to(parser);
+  parser.add_int("runs", "executions per setting", &runs);
+  parser.add_int("step", "ND percentage increment", &step);
+  parser.add_string("kernel", "graph kernel", &kernel);
+  parser.add_string("csv", "write the sweep as CSV", &csv_out);
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+  ANACIN_CHECK(step >= 1 && step <= 100, "step must be in [1,100]");
+
+  ThreadPool pool;
+  std::vector<double> percents;
+  std::vector<double> medians;
+  std::optional<core::CsvWriter> csv;
+  if (!csv_out.empty()) {
+    csv.emplace(std::vector<std::string>{"nd_percent", "median", "mean"});
+  }
+  for (int percent = 0; percent <= 100; percent += step) {
+    core::CampaignConfig config =
+        workload.campaign(runs, kernel, "type_peer");
+    config.nd_fraction = percent / 100.0;
+    const core::CampaignResult result = core::run_campaign(config, pool);
+    print_summary(out, std::to_string(percent) + "% ND",
+                  result.distance_summary);
+    percents.push_back(percent);
+    medians.push_back(result.distance_summary.median);
+    if (csv) {
+      csv->add_row({std::to_string(percent),
+                    format_fixed(result.distance_summary.median, 4),
+                    format_fixed(result.distance_summary.mean, 4)});
+    }
+  }
+  out << "Spearman(median, nd%) = "
+      << format_fixed(analysis::spearman(percents, medians), 3) << '\n';
+  if (csv) {
+    csv->save(csv_out);
+    out << "sweep written to " << csv_out << '\n';
+  }
+  return 0;
+}
+
+int cmd_rootcause(const std::vector<const char*>& argv, std::ostream& out) {
+  WorkloadOptions workload;
+  workload.pattern = "amg2013";
+  workload.ranks = 16;
+  int runs = 8;
+  int slice_window = 16;
+  double hot_fraction = 0.5;
+  std::string bar_out;
+  ArgParser parser(
+      "anacin rootcause — callstacks in high-ND regions (paper Fig 8)");
+  workload.add_to(parser);
+  parser.add_int("runs", "executions to compare", &runs);
+  parser.add_int("slice-window", "logical-time slice width", &slice_window);
+  parser.add_double("hot-fraction", "fraction of the peak that counts as hot",
+                    &hot_fraction);
+  parser.add_string("bar", "write a bar chart SVG", &bar_out);
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  ThreadPool pool;
+  const core::CampaignConfig config =
+      workload.campaign(runs, "wl:2", "type_peer");
+  const core::CampaignResult campaign = core::run_campaign(config, pool);
+  analysis::RootCauseConfig root_config;
+  root_config.slice_window = static_cast<std::uint64_t>(slice_window);
+  root_config.hot_fraction = hot_fraction;
+  const auto kernel = kernels::make_kernel(config.kernel);
+  const analysis::RootCauseReport report = analysis::find_root_causes(
+      *kernel, config.label_policy, campaign.graphs, root_config, pool);
+
+  if (report.callstacks.empty()) {
+    out << "no divergence found — the application appears deterministic at "
+           "these settings\n";
+    return 0;
+  }
+  out << "hot slices: " << report.hot_slices.size() << " of "
+      << report.profile.distance.size() << '\n';
+  std::vector<std::string> labels;
+  std::vector<double> values;
+  std::vector<viz::Bar> bars;
+  for (const auto& entry : report.callstacks) {
+    labels.push_back(entry.path);
+    values.push_back(entry.frequency);
+    bars.push_back({entry.path, entry.frequency});
+  }
+  out << viz::ascii_bar_chart(labels, values);
+  out << "likely root source: " << report.callstacks.front().path << '\n';
+  if (!bar_out.empty()) {
+    viz::bar_plot(bars, {.width = 720,
+                         .height = 300,
+                         .title = "callstacks in high-ND regions",
+                         .x_label = "normalized relative frequency",
+                         .y_label = ""})
+        .save(bar_out);
+    out << "bar chart written to " << bar_out << '\n';
+  }
+  return 0;
+}
+
+int cmd_replay(const std::vector<const char*>& argv, std::ostream& out) {
+  WorkloadOptions workload;
+  std::uint64_t replay_seed = 9999;
+  std::string schedule_out;
+  ArgParser parser("anacin replay — record one run, replay under new noise");
+  workload.add_to(parser);
+  parser.add_uint64("replay-seed", "noise seed for the replayed run",
+                    &replay_seed);
+  parser.add_string("schedule-out", "write the recorded schedule as JSON",
+                    &schedule_out);
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  const sim::RankProgram program =
+      patterns::make_pattern(workload.pattern)->program(workload.shape());
+  sim::SimConfig replay_config = workload.sim_config();
+  replay_config.seed = replay_seed;
+  const replay::RecordReplayResult rr = replay::record_and_replay(
+      workload.sim_config(), replay_config, program);
+
+  const sim::ReplaySchedule schedule =
+      replay::record_schedule(rr.recorded.trace);
+  out << "recorded wildcard matches: " << schedule.total_matches() << '\n';
+
+  const auto kernel = kernels::make_kernel("wl:2");
+  const double distance = kernel->distance(
+      kernels::build_labeled_graph(
+          graph::EventGraph::from_trace(rr.recorded.trace),
+          kernels::LabelPolicy::kTypePeer),
+      kernels::build_labeled_graph(
+          graph::EventGraph::from_trace(rr.replayed.trace),
+          kernels::LabelPolicy::kTypePeer));
+  out << "kernel distance(recorded, replayed) = " << distance << '\n';
+  out << (distance == 0.0 ? "replay reproduced the recorded matching exactly"
+                          : "replay diverged (unexpected)")
+      << '\n';
+  if (!schedule_out.empty()) {
+    core::write_json_file(schedule_out, replay::schedule_to_json(schedule));
+    out << "schedule written to " << schedule_out << '\n';
+  }
+  return distance == 0.0 ? 0 : 1;
+}
+
+int cmd_figures(const std::vector<const char*>& argv, std::ostream& out) {
+  std::string id;
+  ArgParser parser("anacin figures — index of reproduced paper items");
+  parser.add_string("id", "show one item (tab1, fig1..fig8)", &id);
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+  if (id.empty()) {
+    out << core::render_experiment_index();
+    return 0;
+  }
+  const core::ExperimentInfo* experiment = core::find_experiment(id);
+  if (experiment == nullptr) {
+    throw ConfigError("unknown experiment id '" + id + "' (try tab1, fig1..fig8)");
+  }
+  out << experiment->paper_item << ": " << experiment->title << '\n'
+      << "workload: " << experiment->workload << '\n'
+      << "bench:    build/bench/" << experiment->bench_target << '\n'
+      << "expected: " << experiment->expected_shape << '\n';
+  for (const std::string& artifact : experiment->artifacts) {
+    out << "artifact: results/" << artifact << '\n';
+  }
+  return 0;
+}
+
+int cmd_report(const std::vector<const char*>& argv, std::ostream& out) {
+  WorkloadOptions workload;
+  workload.pattern = "amg2013";
+  workload.ranks = 16;
+  int runs = 10;
+  std::string out_path = "anacin_report.html";
+  ArgParser parser(
+      "anacin report — one-stop HTML analysis of an application's "
+      "non-determinism (the packaged-notebook workflow)");
+  workload.add_to(parser);
+  parser.add_int("runs", "executions to sample", &runs);
+  parser.add_string("out", "output HTML path", &out_path);
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  ThreadPool pool;
+  const core::CampaignConfig config =
+      workload.campaign(runs, "wl:2", "type_peer");
+  const core::CampaignResult campaign = core::run_campaign(config, pool);
+  const auto kernel = kernels::make_kernel(config.kernel);
+
+  core::HtmlReport report("Non-determinism analysis: " + workload.pattern);
+  report.add_paragraph(
+      "Generated by `anacin report`. The kernel distance between event "
+      "graphs of repeated executions is the proxy metric for "
+      "non-determinism: identical runs have distance 0.");
+  report.add_table({
+      {"pattern", workload.pattern},
+      {"MPI processes", std::to_string(workload.ranks)},
+      {"compute nodes", std::to_string(workload.nodes)},
+      {"iterations", std::to_string(workload.iterations)},
+      {"% non-determinism", format_fixed(workload.nd_percent, 0)},
+      {"executions", std::to_string(runs)},
+      {"kernel", config.kernel},
+      {"median kernel distance",
+       format_fixed(campaign.distance_summary.median, 3)},
+      {"max kernel distance",
+       format_fixed(campaign.distance_summary.max, 3)},
+      {"messages per run",
+       std::to_string(campaign.total_messages / campaign.graphs.size())},
+      {"wildcard receives per run",
+       std::to_string(campaign.total_wildcard_recvs /
+                      campaign.graphs.size())},
+  });
+
+  report.add_heading("Kernel-distance distribution");
+  report.add_figure(
+      viz::violin_plot({{workload.pattern,
+                         analysis::gaussian_kde(
+                             campaign.measurement.distances)}},
+                       {.width = 420,
+                        .height = 340,
+                        .title = "",
+                        .x_label = "",
+                        .y_label = "kernel distance to reference"}),
+      std::to_string(runs) + " executions vs a jitter-free reference run");
+
+  report.add_heading("One execution, visualized");
+  const graph::EventGraph& sample = campaign.graphs.front();
+  if (sample.num_nodes() <= 400) {
+    report.add_figure(viz::render_event_graph(sample),
+                      "event graph of the first sampled run");
+  } else {
+    report.add_preformatted(viz::ascii_event_graph(sample, 8));
+  }
+  report.add_figure(
+      viz::comm_matrix_heatmap(graph::communication_matrix(sample)),
+      "message counts per (sender, receiver) pair");
+
+  report.add_heading("Where the runs diverge (root-cause analysis)");
+  const analysis::RootCauseReport causes = analysis::find_root_causes(
+      *kernel, config.label_policy, campaign.graphs, {}, pool);
+  if (causes.callstacks.empty()) {
+    report.add_paragraph(
+        "No divergence detected: the application behaved deterministically "
+        "at these settings.");
+  } else {
+    std::vector<viz::Point> profile;
+    for (std::size_t s = 0; s < causes.profile.distance.size(); ++s) {
+      profile.push_back(
+          {static_cast<double>(s), causes.profile.distance[s]});
+    }
+    report.add_figure(
+        viz::line_plot({{"divergence", profile}},
+                       {.width = 620,
+                        .height = 280,
+                        .title = "",
+                        .x_label = "logical-time slice",
+                        .y_label = "mean pairwise distance"}),
+        "divergence across logical time; peaks are the high-ND regions");
+    std::vector<viz::Bar> bars;
+    for (const auto& entry : causes.callstacks) {
+      bars.push_back({entry.path, entry.frequency});
+    }
+    report.add_figure(
+        viz::bar_plot(bars, {.width = 700,
+                             .height = 90.0 + 34.0 * bars.size(),
+                             .title = "",
+                             .x_label = "normalized relative frequency",
+                             .y_label = ""}),
+        "call paths of divergent events inside the high-ND regions — the "
+        "likely root sources");
+    report.add_paragraph("Likely root source: " +
+                         causes.callstacks.front().path);
+  }
+
+  report.save(out_path);
+  out << "report written to " << out_path << '\n';
+  print_summary(out, workload.pattern, campaign.distance_summary);
+  return 0;
+}
+
+int cmd_quiz(const std::vector<const char*>& argv, std::ostream& out) {
+  std::string level = "A";
+  bool reveal = false;
+  std::string grade_spec;
+  ArgParser parser("anacin quiz — course comprehension questions");
+  parser.add_string("level", "level (A, B, C) or goal (e.g. C.2)", &level);
+  parser.add_flag("reveal", "print the answer key", &reveal);
+  parser.add_string("grade", "grade answers: 'A.1-q1=b,B.1-q1=a,...'",
+                    &grade_spec);
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  if (!grade_spec.empty()) {
+    std::vector<std::pair<std::string, std::size_t>> answers;
+    for (const std::string& entry : split(grade_spec, ',')) {
+      const auto parts = split(entry, '=');
+      if (parts.size() != 2 || parts[1].size() != 1 ||
+          parts[1][0] < 'a' || parts[1][0] > 'z') {
+        throw ConfigError("malformed answer '" + entry +
+                          "' (expected id=letter)");
+      }
+      answers.emplace_back(std::string(trim(parts[0])),
+                           static_cast<std::size_t>(parts[1][0] - 'a'));
+    }
+    const course::QuizGrade grade = course::grade_quiz(answers);
+    out << "score: " << grade.correct << '/' << grade.answered << " ("
+        << static_cast<int>(grade.score() * 100) << "%)\n";
+    for (const std::string& id : grade.missed_ids) {
+      out << "  review " << id << '\n';
+    }
+    return grade.missed_ids.empty() ? 0 : 1;
+  }
+
+  const auto questions = course::questions_for(level);
+  if (questions.empty()) {
+    throw ConfigError("no questions for level/goal '" + level + "'");
+  }
+  for (const course::QuizQuestion& question : questions) {
+    out << course::render_question(question, reveal) << '\n';
+  }
+  return 0;
+}
+
+int cmd_course(const std::vector<const char*>& argv, std::ostream& out) {
+  int use_case = 0;
+  bool schedule = false;
+  bool homework = false;
+  ArgParser parser("anacin course — course module tables and use cases");
+  parser.add_int("use-case", "run use case 1, 2, or 3 (0 = tables only)",
+                 &use_case);
+  parser.add_flag("schedule", "print the half-day tutorial agenda",
+                  &schedule);
+  parser.add_flag("assignments", "print the per-goal assignments",
+                  &homework);
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  if (schedule) {
+    out << course::render_tutorial_schedule();
+    return 0;
+  }
+  if (homework) {
+    out << course::render_assignments();
+    return 0;
+  }
+  if (use_case == 0) {
+    out << course::render_learning_objectives() << '\n'
+        << course::render_prerequisites();
+    return 0;
+  }
+  ThreadPool pool;
+  switch (use_case) {
+    case 1: {
+      const course::UseCase1Result lesson = course::run_use_case_1();
+      out << viz::ascii_event_graph(lesson.race_run_a) << '\n'
+          << viz::ascii_event_graph(lesson.race_run_b);
+      out << "runs differ: " << (lesson.runs_differ ? "yes" : "no") << '\n';
+      return lesson.runs_differ ? 0 : 1;
+    }
+    case 2: {
+      const course::UseCase2Result lesson =
+          course::run_use_case_2(pool, 16, 8, 10);
+      print_summary(out, "more processes", lesson.many_procs);
+      print_summary(out, "fewer processes", lesson.few_procs);
+      print_summary(out, "two iterations", lesson.two_iterations);
+      print_summary(out, "one iteration", lesson.one_iteration);
+      return lesson.procs_effect_observed &&
+                     lesson.iterations_effect_observed
+                 ? 0
+                 : 1;
+    }
+    case 3: {
+      const course::UseCase3Result lesson =
+          course::run_use_case_3(pool, 12, 8, 25);
+      for (std::size_t i = 0; i < lesson.nd_percents.size(); ++i) {
+        print_summary(out,
+                      format_fixed(lesson.nd_percents[i], 0) + "% ND",
+                      lesson.distance_by_percent[i]);
+      }
+      if (!lesson.root_causes.callstacks.empty()) {
+        out << "top callstack: " << lesson.root_causes.callstacks.front().path
+            << '\n';
+      }
+      return lesson.monotone_observed ? 0 : 1;
+    }
+    default:
+      throw ConfigError("use case must be 1, 2, or 3");
+  }
+}
+
+const char kUsage[] =
+    "anacin — analysis of non-determinism in (simulated) MPI applications\n"
+    "\n"
+    "usage: anacin <command> [options]   (anacin <command> --help for "
+    "details)\n"
+    "\n"
+    "commands:\n"
+    "  patterns    list the packaged mini-applications\n"
+    "  run         simulate one execution (trace / ASCII / SVG outputs)\n"
+    "  graph       inspect a saved trace\n"
+    "  measure     quantify non-determinism over repeated executions\n"
+    "  sweep       kernel distance vs ND%% (paper Fig 7)\n"
+    "  rootcause   callstack attribution in high-ND regions (paper Fig 8)\n"
+    "  replay      record-and-replay (ReMPI-style suppression)\n"
+    "  course      course-module tables, schedule, and use cases\n"
+    "  quiz        comprehension questions with automatic grading\n"
+    "  report      self-contained HTML analysis report (notebook-style)\n"
+    "  figures     index of the reproduced paper tables and figures\n";
+
+}  // namespace
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  try {
+    if (argc < 2) {
+      out << kUsage;
+      return 0;
+    }
+    const std::string command = argv[1];
+    // Re-pack as "<prog> <args...>" for the subcommand parser.
+    std::vector<const char*> rest;
+    rest.push_back(argv[0]);
+    for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+
+    if (command == "help" || command == "--help" || command == "-h") {
+      out << kUsage;
+      return 0;
+    }
+    if (command == "patterns") return cmd_patterns(rest, out);
+    if (command == "run") return cmd_run(rest, out);
+    if (command == "graph") return cmd_graph(rest, out);
+    if (command == "measure") return cmd_measure(rest, out);
+    if (command == "sweep") return cmd_sweep(rest, out);
+    if (command == "rootcause") return cmd_rootcause(rest, out);
+    if (command == "replay") return cmd_replay(rest, out);
+    if (command == "course") return cmd_course(rest, out);
+    if (command == "quiz") return cmd_quiz(rest, out);
+    if (command == "report") return cmd_report(rest, out);
+    if (command == "figures") return cmd_figures(rest, out);
+    err << "unknown command '" << command << "'\n\n" << kUsage;
+    return 2;
+  } catch (const Error& error) {
+    err << "error: " << error.what() << '\n';
+    return 1;
+  } catch (const std::exception& error) {
+    err << "unexpected error: " << error.what() << '\n';
+    return 1;
+  }
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  std::vector<const char*> argv;
+  argv.reserve(args.size());
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+  return run_cli(static_cast<int>(argv.size()), argv.data(), out, err);
+}
+
+}  // namespace anacin::cli

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace anacin::cli {
+
+/// Entry point of the `anacin` command-line tool. Returns the process exit
+/// code; all output goes to the supplied streams so tests can capture it.
+///
+/// Subcommands:
+///   patterns   list the packaged mini-applications
+///   run        simulate one execution (trace / ASCII / SVG outputs)
+///   graph      inspect a saved trace (render + structural metrics)
+///   measure    run a campaign and report kernel-distance statistics
+///   sweep      Fig-7 style ND% sweep
+///   rootcause  Fig-8 style callstack attribution
+///   replay     record a run and replay it (ReMPI-style)
+///   course     print the course tables or run a use case
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+/// Convenience overload for tests.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace anacin::cli

@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "cli/cli_app.hpp"
+
+int main(int argc, char** argv) {
+  return anacin::cli::run_cli(argc, argv, std::cout, std::cerr);
+}

@@ -1,0 +1,40 @@
+#pragma once
+
+/// Umbrella header: the public API of the ANACIN reproduction.
+///
+/// Layers (bottom to top):
+///  - sim:      deterministic discrete-event MPI runtime (Comm API)
+///  - trace:    event records + callstack interning
+///  - graph:    event graphs, Lamport clocks, logical-time slicing
+///  - kernels:  graph kernels (WL subtree et al.) and kernel distances
+///  - patterns: packaged mini-applications
+///  - replay:   record-and-replay of wildcard matching
+///  - analysis: statistics, KDE, ND measurement, root-cause attribution
+///  - viz:      SVG + ASCII visualisations
+///  - core:     campaign orchestration and reporting
+
+#include "analysis/clustering.hpp"
+#include "analysis/kde.hpp"
+#include "analysis/nd_measurement.hpp"
+#include "analysis/resampling.hpp"
+#include "analysis/root_cause.hpp"
+#include "analysis/stats.hpp"
+#include "core/campaign.hpp"
+#include "core/experiments.hpp"
+#include "core/html_report.hpp"
+#include "core/report.hpp"
+#include "graph/event_graph.hpp"
+#include "graph/metrics.hpp"
+#include "graph/slicing.hpp"
+#include "kernels/distance_matrix.hpp"
+#include "kernels/kernel.hpp"
+#include "patterns/pattern.hpp"
+#include "replay/replay.hpp"
+#include "sim/simulator.hpp"
+#include "support/cli.hpp"
+#include "support/string_util.hpp"
+#include "support/thread_pool.hpp"
+#include "viz/ascii.hpp"
+#include "viz/event_graph_render.hpp"
+#include "viz/heatmap.hpp"
+#include "viz/plots.hpp"

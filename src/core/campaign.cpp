@@ -1,0 +1,117 @@
+#include "core/campaign.hpp"
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace anacin::core {
+
+sim::SimConfig CampaignConfig::sim_config_for_run(int run_index) const {
+  sim::SimConfig config;
+  config.num_ranks = shape.num_ranks;
+  config.num_nodes = num_nodes;
+  config.seed = hash_combine(mix64(base_seed),
+                             static_cast<std::uint64_t>(run_index));
+  config.network = network;
+  config.network.nd_fraction = nd_fraction;
+  return config;
+}
+
+sim::SimConfig CampaignConfig::reference_sim_config() const {
+  sim::SimConfig config = sim_config_for_run(0);
+  config.seed = mix64(base_seed);
+  config.network.nd_fraction = 0.0;
+  return config;
+}
+
+json::Value CampaignConfig::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("pattern", pattern);
+  doc.set("num_ranks", shape.num_ranks);
+  doc.set("iterations", shape.iterations);
+  doc.set("message_bytes", static_cast<std::int64_t>(shape.message_bytes));
+  doc.set("num_nodes", num_nodes);
+  doc.set("nd_percent", nd_fraction * 100.0);
+  doc.set("num_runs", num_runs);
+  doc.set("base_seed", base_seed);
+  doc.set("kernel", kernel);
+  doc.set("label_policy",
+          std::string(kernels::label_policy_name(label_policy)));
+  doc.set("reduction",
+          measurement_reduction_is_reference() ? "to_reference" : "pairwise");
+  return doc;
+}
+
+bool CampaignConfig::measurement_reduction_is_reference() const {
+  return reduction == analysis::DistanceReduction::kToReference;
+}
+
+json::Value CampaignResult::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("config", config.to_json());
+  doc.set("distances", json::Value::array_of(measurement.distances));
+  json::Value summary = json::Value::object();
+  summary.set("mean", distance_summary.mean);
+  summary.set("stddev", distance_summary.stddev);
+  summary.set("min", distance_summary.min);
+  summary.set("q1", distance_summary.q1);
+  summary.set("median", distance_summary.median);
+  summary.set("q3", distance_summary.q3);
+  summary.set("max", distance_summary.max);
+  doc.set("summary", std::move(summary));
+  doc.set("total_messages", total_messages);
+  doc.set("total_wildcard_recvs", total_wildcard_recvs);
+  return doc;
+}
+
+sim::RunResult run_pattern_once(const std::string& pattern,
+                                const patterns::PatternConfig& shape,
+                                const sim::SimConfig& sim_config) {
+  ANACIN_CHECK(sim_config.num_ranks == shape.num_ranks,
+               "pattern shape and sim config disagree on rank count");
+  const auto pattern_impl = patterns::make_pattern(pattern);
+  return sim::run_simulation(sim_config, pattern_impl->program(shape));
+}
+
+CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool) {
+  ANACIN_CHECK(config.num_runs >= 1, "campaign needs at least one run");
+  ANACIN_CHECK(config.nd_fraction >= 0.0 && config.nd_fraction <= 1.0,
+               "nd_fraction must be in [0,1]");
+  const auto pattern = patterns::make_pattern(config.pattern);
+  const sim::RankProgram program = pattern->program(config.shape);
+
+  CampaignResult result;
+  result.config = config;
+  result.graphs.resize(static_cast<std::size_t>(config.num_runs));
+  std::vector<std::uint64_t> messages(
+      static_cast<std::size_t>(config.num_runs));
+  std::vector<std::uint64_t> wildcards(
+      static_cast<std::size_t>(config.num_runs));
+
+  pool.parallel_for(0, static_cast<std::size_t>(config.num_runs),
+                    [&](std::size_t i) {
+                      const sim::RunResult run = sim::run_simulation(
+                          config.sim_config_for_run(static_cast<int>(i)),
+                          program);
+                      result.graphs[i] =
+                          graph::EventGraph::from_trace(run.trace);
+                      messages[i] = run.stats.messages;
+                      wildcards[i] = run.stats.wildcard_recvs;
+                    });
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    result.total_messages += messages[i];
+    result.total_wildcard_recvs += wildcards[i];
+  }
+
+  const sim::RunResult reference_run =
+      sim::run_simulation(config.reference_sim_config(), program);
+  result.reference = graph::EventGraph::from_trace(reference_run.trace);
+
+  const auto kernel = kernels::make_kernel(config.kernel);
+  result.measurement =
+      analysis::measure_nd(*kernel, config.label_policy, result.graphs,
+                           &result.reference, config.reduction, pool);
+  result.distance_summary = analysis::summarize(result.measurement.distances);
+  return result;
+}
+
+}  // namespace anacin::core

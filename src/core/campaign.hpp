@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/nd_measurement.hpp"
+#include "analysis/stats.hpp"
+#include "graph/event_graph.hpp"
+#include "kernels/kernel.hpp"
+#include "patterns/pattern.hpp"
+#include "sim/simulator.hpp"
+#include "support/json.hpp"
+#include "support/thread_pool.hpp"
+
+namespace anacin::core {
+
+/// One experimental setting: a mini-application shape, a platform
+/// configuration, and how many independent executions to sample. This is
+/// the unit in which the paper's figures are expressed ("20 executions of
+/// the Unstructured Mesh mini-application on 32 MPI processes at 100%
+/// non-determinism").
+struct CampaignConfig {
+  std::string pattern = "message_race";
+  patterns::PatternConfig shape;
+  int num_nodes = 1;
+  /// The paper's "percentage of non-determinism" as a fraction in [0,1].
+  double nd_fraction = 1.0;
+  sim::NetworkConfig network;  // nd_fraction above overrides network's
+  int num_runs = 20;
+  /// Run i uses seed derive(base_seed, i); the reference run disables
+  /// jitter entirely.
+  std::uint64_t base_seed = 1000;
+  std::string kernel = "wl:2";
+  kernels::LabelPolicy label_policy = kernels::LabelPolicy::kTypePeer;
+  analysis::DistanceReduction reduction =
+      analysis::DistanceReduction::kToReference;
+
+  sim::SimConfig sim_config_for_run(int run_index) const;
+  sim::SimConfig reference_sim_config() const;
+  bool measurement_reduction_is_reference() const;
+  json::Value to_json() const;
+};
+
+/// All runs of one campaign plus the kernel-distance measurement.
+struct CampaignResult {
+  CampaignConfig config;
+  /// Event graphs of the `num_runs` noisy executions.
+  std::vector<graph::EventGraph> graphs;
+  /// Jitter-free reference execution.
+  graph::EventGraph reference;
+  analysis::NdMeasurement measurement;
+  analysis::Summary distance_summary;
+  /// Aggregate simulator counters over the noisy runs.
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_wildcard_recvs = 0;
+
+  json::Value to_json() const;
+};
+
+/// Execute a campaign: num_runs simulations (parallel across the pool),
+/// the reference run, and the kernel-distance reduction.
+CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool);
+
+/// Convenience for single executions of a pattern.
+sim::RunResult run_pattern_once(const std::string& pattern,
+                                const patterns::PatternConfig& shape,
+                                const sim::SimConfig& sim_config);
+
+}  // namespace anacin::core

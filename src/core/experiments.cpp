@@ -1,0 +1,74 @@
+#include "core/experiments.hpp"
+
+#include <sstream>
+
+#include "support/string_util.hpp"
+
+namespace anacin::core {
+
+const std::vector<ExperimentInfo>& paper_experiments() {
+  static const std::vector<ExperimentInfo> experiments = {
+      {"tab1", "Tables I & II", "course learning objectives & prerequisites",
+       "static course metadata", "tab01_course_tables",
+       "verbatim reproduction of both tables", {}},
+      {"fig1", "Fig. 1", "example event graph, 3 MPI processes",
+       "hand-built 3-rank send/recv scenario", "fig01_event_graph_example",
+       "timeline with send/recv nodes, program-order and message edges",
+       {"fig01_event_graph_example.svg"}},
+      {"fig2", "Fig. 2", "message race event graph",
+       "message_race, 4 ranks, 1 iteration", "fig02_message_race_graph",
+       "ranks 1-3 each send one message into rank 0's wildcard receives",
+       {"fig02_message_race.svg"}},
+      {"fig3", "Fig. 3", "AMG 2013 event graph",
+       "amg2013, 2 ranks, 1 iteration", "fig03_amg_graph",
+       "two asynchronous exchange phases between the two ranks",
+       {"fig03_amg2013.svg"}},
+      {"fig4", "Fig. 4 (a/b)", "two non-deterministic runs differ",
+       "message_race, 4 ranks, 100% ND, two seeds", "fig04_nd_two_runs",
+       "same code + same inputs -> different receive orders",
+       {"fig04a_run_a.svg", "fig04b_run_b.svg"}},
+      {"fig5", "Fig. 5 (a/b)", "kernel distance vs number of processes",
+       "unstructured_mesh, 32 vs 16 ranks, 100% ND, 20 runs",
+       "fig05_process_scaling", "32-process median > 16-process median",
+       {"fig05_process_scaling.svg"}},
+      {"fig6", "Fig. 6 (a/b)", "kernel distance vs pattern iterations",
+       "unstructured_mesh, 16 ranks, 2 vs 1 iterations, 100% ND, 20 runs",
+       "fig06_iteration_scaling", "2-iteration median > 1-iteration median",
+       {"fig06_iteration_scaling.svg"}},
+      {"fig7", "Fig. 7", "kernel distance vs percentage of non-determinism",
+       "amg2013, 32 ranks, ND% 0..100 step 10, 1 node, 1 iter, 1-byte msgs, "
+       "20 runs/setting",
+       "fig07_nd_sweep", "~0 at 0% ND, monotone growth (Spearman > 0.8)",
+       {"fig07_nd_sweep.svg", "fig07_nd_sweep.csv"}},
+      {"fig8", "Fig. 8", "callstack frequency in high-ND regions",
+       "amg2013, 32 ranks, 100% ND (Fig. 7 settings)",
+       "fig08_callstack_attribution",
+       "wildcard-receive call paths dominate the high-ND slices",
+       {"fig08_callstacks.svg", "fig08_slice_profile.svg"}},
+  };
+  return experiments;
+}
+
+const ExperimentInfo* find_experiment(const std::string& id) {
+  for (const ExperimentInfo& experiment : paper_experiments()) {
+    if (experiment.id == id) return &experiment;
+  }
+  return nullptr;
+}
+
+std::string render_experiment_index() {
+  std::ostringstream os;
+  os << "Reproduced paper items (run `build/bench/<target>`; artifacts "
+        "under results/):\n";
+  for (const ExperimentInfo& experiment : paper_experiments()) {
+    os << "  " << pad_right(experiment.id, 6)
+       << pad_right(experiment.paper_item, 16)
+       << pad_right(experiment.bench_target, 28) << experiment.title << '\n'
+       << pad_right("", 22) << "workload: " << experiment.workload << '\n'
+       << pad_right("", 22) << "expected: " << experiment.expected_shape
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace anacin::core

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace anacin::core {
+
+/// Metadata index of every paper table/figure this repository reproduces:
+/// the machine-readable version of DESIGN.md's experiment table. Each
+/// entry names the bench binary that regenerates the item and the
+/// qualitative shape the paper reports (which the bench asserts).
+struct ExperimentInfo {
+  std::string id;             // short handle, e.g. "fig5"
+  std::string paper_item;     // e.g. "Fig. 5 (a/b)"
+  std::string title;
+  std::string workload;       // pattern + parameters, human-readable
+  std::string bench_target;   // binary under build/bench/
+  std::string expected_shape; // what "reproduced" means
+  std::vector<std::string> artifacts;  // files under results/
+};
+
+const std::vector<ExperimentInfo>& paper_experiments();
+
+/// nullptr when the id is unknown.
+const ExperimentInfo* find_experiment(const std::string& id);
+
+/// Aligned text index of all experiments (for `anacin figures`).
+std::string render_experiment_index();
+
+}  // namespace anacin::core

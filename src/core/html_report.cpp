@@ -1,0 +1,85 @@
+#include "core/html_report.hpp"
+
+#include <sstream>
+
+#include "core/report.hpp"
+
+namespace anacin::core {
+
+std::string html_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': escaped += "&amp;"; break;
+      case '<': escaped += "&lt;"; break;
+      case '>': escaped += "&gt;"; break;
+      case '"': escaped += "&quot;"; break;
+      default: escaped += c;
+    }
+  }
+  return escaped;
+}
+
+HtmlReport::HtmlReport(std::string title) : title_(std::move(title)) {}
+
+void HtmlReport::add_heading(const std::string& text) {
+  body_.push_back("<h2>" + html_escape(text) + "</h2>");
+}
+
+void HtmlReport::add_paragraph(const std::string& text) {
+  body_.push_back("<p>" + html_escape(text) + "</p>");
+}
+
+void HtmlReport::add_preformatted(const std::string& text) {
+  body_.push_back("<pre>" + html_escape(text) + "</pre>");
+}
+
+void HtmlReport::add_table(
+    const std::vector<std::pair<std::string, std::string>>& rows) {
+  std::ostringstream os;
+  os << "<table>";
+  for (const auto& [key, value] : rows) {
+    os << "<tr><th>" << html_escape(key) << "</th><td>"
+       << html_escape(value) << "</td></tr>";
+  }
+  os << "</table>";
+  body_.push_back(os.str());
+}
+
+void HtmlReport::add_figure(const viz::SvgDocument& svg,
+                            const std::string& caption) {
+  std::ostringstream os;
+  os << "<figure>" << svg.render() << "<figcaption>"
+     << html_escape(caption) << "</figcaption></figure>";
+  body_.push_back(os.str());
+}
+
+std::string HtmlReport::render() const {
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+     << "<meta charset=\"utf-8\">\n<title>" << html_escape(title_)
+     << "</title>\n<style>\n"
+     << "body{font-family:sans-serif;max-width:960px;margin:2em auto;"
+     << "color:#1a1a1a;line-height:1.45}\n"
+     << "h1{border-bottom:2px solid #4878a8;padding-bottom:.2em}\n"
+     << "h2{color:#30506e;margin-top:1.6em}\n"
+     << "pre{background:#f4f6f8;padding:.8em;overflow-x:auto;"
+     << "border-radius:4px;font-size:.85em}\n"
+     << "table{border-collapse:collapse;margin:.8em 0}\n"
+     << "th,td{border:1px solid #ccd5dd;padding:.35em .7em;text-align:left}\n"
+     << "th{background:#eef2f6;font-weight:600}\n"
+     << "figure{margin:1.2em 0;text-align:center}\n"
+     << "figcaption{color:#555;font-size:.9em;margin-top:.4em}\n"
+     << "</style>\n</head>\n<body>\n<h1>" << html_escape(title_)
+     << "</h1>\n";
+  for (const std::string& block : body_) os << block << '\n';
+  os << "</body>\n</html>\n";
+  return os.str();
+}
+
+void HtmlReport::save(const std::string& path) const {
+  write_text_file(path, render());
+}
+
+}  // namespace anacin::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "viz/svg.hpp"
+
+namespace anacin::core {
+
+/// Builder for a self-contained HTML analysis report with inline SVG
+/// figures — this repository's stand-in for the Jupyter notebook packaged
+/// with ANACIN-X ("the kernel distance visualization and the callstack
+/// visualization can also be generated via a Jupyter Notebook").
+///
+/// Sections are rendered in insertion order; no external assets, so the
+/// file can be mailed to students or attached to a bug report as-is.
+class HtmlReport {
+public:
+  explicit HtmlReport(std::string title);
+
+  void add_heading(const std::string& text);
+  /// Paragraph text (HTML-escaped).
+  void add_paragraph(const std::string& text);
+  /// Monospace block (HTML-escaped), e.g. ASCII art or command lines.
+  void add_preformatted(const std::string& text);
+  /// Two-column key/value table.
+  void add_table(const std::vector<std::pair<std::string, std::string>>& rows);
+  /// Inline an SVG figure with a caption.
+  void add_figure(const viz::SvgDocument& svg, const std::string& caption);
+
+  std::string render() const;
+  void save(const std::string& path) const;
+
+private:
+  std::string title_;
+  std::vector<std::string> body_;
+};
+
+/// Escape text for HTML element content.
+std::string html_escape(const std::string& text);
+
+}  // namespace anacin::core

@@ -1,0 +1,81 @@
+#include "core/report.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace anacin::core {
+
+void write_text_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path file_path(path);
+  if (file_path.has_parent_path()) {
+    std::filesystem::create_directories(file_path.parent_path());
+  }
+  std::ofstream out(file_path);
+  ANACIN_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << content;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  ANACIN_CHECK(in.good(), "cannot open '" << path << "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : columns_(header.size()) {
+  ANACIN_CHECK(columns_ > 0, "CSV needs at least one column");
+  rows_.push_back(std::move(header));
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& fields) {
+  ANACIN_CHECK(fields.size() == columns_,
+               "CSV row has " << fields.size() << " fields, expected "
+                              << columns_);
+  rows_.push_back(fields);
+}
+
+namespace {
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string escaped = "\"";
+  for (const char c : field) {
+    if (c == '"') escaped += "\"\"";
+    else escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+}  // namespace
+
+std::string CsvWriter::render() const {
+  std::ostringstream os;
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void CsvWriter::save(const std::string& path) const {
+  write_text_file(path, render());
+}
+
+void write_json_file(const std::string& path, const json::Value& document) {
+  write_text_file(path, document.dump(2) + "\n");
+}
+
+std::string results_dir() {
+  const char* env = std::getenv("ANACIN_RESULTS_DIR");
+  return env != nullptr && *env != '\0' ? env : "results";
+}
+
+}  // namespace anacin::core

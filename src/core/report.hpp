@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace anacin::core {
+
+/// Write text to a file, creating parent directories as needed.
+void write_text_file(const std::string& path, const std::string& content);
+
+std::string read_text_file(const std::string& path);
+
+/// Minimal CSV emitter (quotes fields containing separators/quotes).
+class CsvWriter {
+public:
+  explicit CsvWriter(std::vector<std::string> header);
+  void add_row(const std::vector<std::string>& fields);
+  std::string render() const;
+  void save(const std::string& path) const;
+
+private:
+  std::size_t columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Save a JSON document (pretty-printed) to a file.
+void write_json_file(const std::string& path, const json::Value& document);
+
+/// Default output directory for figure/report artifacts ("results", or
+/// $ANACIN_RESULTS_DIR when set).
+std::string results_dir();
+
+}  // namespace anacin::core

@@ -1,0 +1,129 @@
+#include "course/module.hpp"
+
+#include <sstream>
+
+namespace anacin::course {
+
+const std::vector<CourseLevel>& course_levels() {
+  static const std::vector<CourseLevel> levels = {
+      {"A. Beginner",
+       {{"A.1", "Introduce parallelism using the message passing paradigm"},
+        {"A.2", "Define non-determinism associated to message passing"}},
+       {"A basic knowledge of MPI, in particular point-to-point MPI "
+        "communication calls.",
+        "A basic knowledge of graph theory, but not necessarily an in-depth "
+        "understanding."}},
+      {"B. Intermediate",
+       {{"B.1",
+         "Study effects of number of processes on non-determinism in "
+         "applications"},
+        {"B.2",
+         "Study non-determinism across multiple iterations of the same code "
+         "during the same application execution"}},
+       {"An understanding of non-determinism from the topics described by "
+        "the beginner level.",
+        "The ability to interpret violin plots."}},
+      {"C. Advanced",
+       {{"C.1", "Quantify the level of non-determinism in application's "
+                "executions"},
+        {"C.2", "Identify root sources of non-determinism in applications"}},
+       {"An understanding of what external factors impact the amount of "
+        "non-determinism in an application from the intermediate level.",
+        "The ability to understand C++ source code to identify functions "
+        "causing non-determinism."}},
+  };
+  return levels;
+}
+
+std::string render_learning_objectives() {
+  std::ostringstream os;
+  os << "Table I: learning objectives per level of difficulty\n";
+  for (const CourseLevel& level : course_levels()) {
+    os << "  " << level.name << " level\n";
+    for (const CourseGoal& goal : level.goals) {
+      os << "    Goal " << goal.id << ": " << goal.text << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string render_tutorial_schedule() {
+  std::ostringstream os;
+  os << "Half-day tutorial schedule (per paper Section II)\n";
+  os << "  0:00-0:30  Introduction: message passing, event graphs, and why "
+        "non-determinism matters\n";
+  os << "  0:30-1:15  Use case 1 (beginner): visualize message races; two "
+        "runs of the same code differ   [examples/use_case_beginner]\n";
+  os << "  1:15-1:30  Break / environment check (`anacin run --pattern "
+        "message_race --ascii`)\n";
+  os << "  1:30-2:15  Use case 2 (intermediate): processes and iterations "
+        "as amplifiers                 [examples/use_case_intermediate]\n";
+  os << "  2:15-3:00  Use case 3 (advanced): quantifying ND and locating "
+        "root sources                  [examples/use_case_advanced]\n";
+  os << "  3:00-3:30  Applying the method to your own code; "
+        "record-and-replay               [examples/custom_application]\n";
+  os << "  3:30-3:45  Comprehension quiz                                   "
+        "                              [examples/course_quiz]\n";
+  return os.str();
+}
+
+const std::vector<Assignment>& assignments() {
+  static const std::vector<Assignment> list = {
+      {"A.1",
+       "Reproduce the Fig-2 and Fig-3 scenarios, then invent a third "
+       "communication pattern of your own (e.g. a ring) and describe its "
+       "event graph.",
+       "anacin run --pattern message_race --ranks 4 --ascii"},
+      {"A.2",
+       "Run the message race ten times with different seeds at 100% ND. "
+       "How many distinct receive orders did rank 0 observe? Why fewer "
+       "than 6 sometimes?",
+       "anacin run --pattern message_race --ranks 4 --nd 100 --seed 1 "
+       "--ascii"},
+      {"B.1",
+       "The lesson used the unstructured mesh. Repeat the 32-vs-16-process "
+       "comparison on the other two benchmarks and report whether the "
+       "direction of the effect is the same.",
+       "anacin measure --pattern amg2013 --ranks 32 --runs 20"},
+      {"B.2",
+       "Sweep iterations 1..4 on 16 processes and plot median kernel "
+       "distance vs iterations. Is the growth linear?",
+       "anacin measure --pattern unstructured_mesh --ranks 16 "
+       "--iterations 4 --runs 20"},
+      {"C.1",
+       "Repeat the Fig-7 ND% sweep on the message race and the mesh. Which "
+       "pattern saturates earlier, and what property of its communication "
+       "explains that?",
+       "anacin sweep --pattern message_race --ranks 32 --runs 20 --step 10"},
+      {"C.2",
+       "Run the root-cause analysis on probe_race. The receives name their "
+       "sources — where does the non-determinism hide, and which call path "
+       "does the analysis blame?",
+       "anacin rootcause --pattern probe_race --ranks 16 --runs 10"},
+  };
+  return list;
+}
+
+std::string render_assignments() {
+  std::ostringstream os;
+  os << "Assignments (one per course goal)\n";
+  for (const Assignment& assignment : assignments()) {
+    os << "  [" << assignment.goal << "] " << assignment.text << '\n'
+       << "        start from: " << assignment.command << '\n';
+  }
+  return os.str();
+}
+
+std::string render_prerequisites() {
+  std::ostringstream os;
+  os << "Table II: prerequisite knowledge per level of difficulty\n";
+  for (const CourseLevel& level : course_levels()) {
+    os << "  " << level.name << " level\n";
+    for (const std::string& prerequisite : level.prerequisites) {
+      os << "    - " << prerequisite << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace anacin::course

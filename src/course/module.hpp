@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace anacin::course {
+
+struct CourseGoal {
+  std::string id;    // e.g. "A.1"
+  std::string text;  // the learning objective
+};
+
+/// One level of the course module (paper Section II.A).
+struct CourseLevel {
+  std::string name;  // "Beginner", "Intermediate", "Advanced"
+  std::vector<CourseGoal> goals;            // Table I
+  std::vector<std::string> prerequisites;   // Table II
+};
+
+/// The three levels with the goals of Table I and prerequisites of
+/// Table II, verbatim from the paper.
+const std::vector<CourseLevel>& course_levels();
+
+/// Render Table I (learning objectives per level) as aligned text.
+std::string render_learning_objectives();
+
+/// Render Table II (prerequisite knowledge per level) as aligned text.
+std::string render_prerequisites();
+
+/// A suggested half-day tutorial agenda (the paper proposes the module
+/// either as part of a parallel-computing course or as a half-day
+/// conference tutorial).
+std::string render_tutorial_schedule();
+
+/// A homework assignment tied to one course goal, with a concrete command
+/// students run in this repository.
+struct Assignment {
+  std::string goal;     // e.g. "B.1"
+  std::string text;     // what to do and what to observe
+  std::string command;  // a runnable starting point
+};
+
+/// The paper's suggested assignments (e.g. "run ANACIN-X with similar
+/// settings on the other benchmarks"), made concrete for this repository.
+const std::vector<Assignment>& assignments();
+
+std::string render_assignments();
+
+}  // namespace anacin::course

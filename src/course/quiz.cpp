@@ -1,0 +1,161 @@
+#include "course/quiz.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace anacin::course {
+
+const std::vector<QuizQuestion>& quiz_bank() {
+  static const std::vector<QuizQuestion> bank = {
+      {"A.1-q1", "A.1",
+       "In an event graph, what does an edge between two nodes on the same "
+       "rank represent?",
+       {"A point-to-point message", "Logical precedence of MPI events",
+        "Shared-memory access", "A collective operation"},
+       1,
+       "On-process edges encode logical time: one event happened before the "
+       "next on that rank."},
+      {"A.1-q2", "A.1",
+       "In the paper's event-graph figures, what do blue and red circles "
+       "stand for?",
+       {"Barriers and reductions", "Process start and end",
+        "Sends and receives", "Fast and slow messages"},
+       2,
+       "Blue circles are MPI_Send events, red circles are MPI_Recv events; "
+       "green marks process start/end."},
+      {"A.2-q1", "A.2",
+       "Two runs of the same MPI code with identical inputs produced "
+       "different message arrival orders. This is best described as:",
+       {"A compiler bug", "Communication non-determinism",
+        "A deadlock", "Numerical overflow"},
+       1,
+       "Non-determinism: the same code, run the same way, exhibits "
+       "different communication patterns across runs."},
+      {"A.2-q2", "A.2",
+       "Which MPI feature makes a receive's matching order depend on "
+       "message timing?",
+       {"MPI_ANY_SOURCE", "MPI_Barrier", "MPI_COMM_WORLD", "MPI_Wtime"},
+       0,
+       "Wildcard receives match whichever eligible message arrives first — "
+       "the canonical root source of message races."},
+      {"B.1-q1", "B.1",
+       "Increasing the number of MPI processes in a racing application "
+       "generally makes the measured non-determinism:",
+       {"Smaller", "Larger", "Exactly zero", "Independent of the run"},
+       1,
+       "More processes means more concurrent messages and more races, so "
+       "kernel distances grow (paper Fig 5)."},
+      {"B.1-q2", "B.1",
+       "Your non-deterministic bug won't reproduce. Per the course, a good "
+       "first step is to:",
+       {"Reduce the process count", "Disable compiler optimization",
+        "Increase the process count and rerun many times",
+        "Switch to synchronous sends everywhere"},
+       2,
+       "Scaling up amplifies non-determinism, making the buggy schedule "
+       "more likely to appear."},
+      {"B.2-q1", "B.2",
+       "Running two iterations of the same communication pattern instead of "
+       "one typically:",
+       {"Halves the kernel distance", "Leaves the kernel distance unchanged",
+        "Accumulates more non-determinism", "Eliminates message races"},
+       2,
+       "Each iteration contributes its own races; differences accumulate "
+       "across iterations (paper Fig 6)."},
+      {"C.1-q1", "C.1",
+       "The 'percentage of non-determinism' knob controls:",
+       {"The fraction of messages that can suffer congestion delays",
+        "The number of MPI processes", "The size of each message",
+        "The number of compute nodes"},
+       0,
+       "It is defined during pattern generation as the percentage of "
+       "messages that may arrive non-deterministically."},
+      {"C.1-q2", "C.1",
+       "At 0% non-determinism, the kernel distance between repeated runs "
+       "should be:",
+       {"Maximal", "Random", "Approximately zero", "Negative"},
+       2,
+       "With no delayed messages every run is identical, so the event "
+       "graphs coincide and the distance vanishes (paper Fig 7)."},
+      {"C.2-q1", "C.2",
+       "Why are call paths that appear during periods of high "
+       "non-determinism likely root sources?",
+       {"They execute most often overall",
+        "MPI functions active where runs diverge are probably causing the "
+        "divergence",
+        "They always contain MPI_Barrier", "They allocate the most memory"},
+       1,
+       "The callstack histogram is taken inside the most divergent "
+       "logical-time slices (paper Fig 8)."},
+      {"C.2-q2", "C.2",
+       "A kernel distance between two event graphs is formally:",
+       {"The number of differing edges",
+        "An inner-product-induced metric in a Reproducing Kernel Hilbert "
+        "Space",
+        "The runtime difference in seconds", "A count of MPI calls"},
+       1,
+       "The graph kernel is an inner product of graph embeddings; the "
+       "distance is the induced RKHS metric."},
+      {"C.2-q3", "C.2",
+       "A record-and-replay tool like ReMPI addresses non-determinism by:",
+       {"Removing wildcard receives from the source",
+        "Recording matching decisions and forcing them on replay",
+        "Slowing down the network", "Using more compute nodes"},
+       1,
+       "Replay pins every message race to its recorded outcome, temporarily "
+       "restoring reproducibility."},
+  };
+  return bank;
+}
+
+std::vector<QuizQuestion> questions_for(const std::string& goal_or_level) {
+  ANACIN_CHECK(!goal_or_level.empty(), "empty goal filter");
+  std::vector<QuizQuestion> selected;
+  for (const QuizQuestion& question : quiz_bank()) {
+    if (question.goal.rfind(goal_or_level, 0) == 0) {
+      selected.push_back(question);
+    }
+  }
+  return selected;
+}
+
+QuizGrade grade_quiz(
+    std::span<const std::pair<std::string, std::size_t>> answers) {
+  std::unordered_map<std::string, const QuizQuestion*> by_id;
+  for (const QuizQuestion& question : quiz_bank()) {
+    by_id.emplace(question.id, &question);
+  }
+  QuizGrade grade;
+  for (const auto& [id, chosen] : answers) {
+    const auto it = by_id.find(id);
+    ANACIN_CHECK(it != by_id.end(), "unknown quiz question id '" << id << "'");
+    ANACIN_CHECK(chosen < it->second->options.size(),
+                 "option index out of range for " << id);
+    ++grade.answered;
+    if (chosen == it->second->correct_option) {
+      ++grade.correct;
+    } else {
+      grade.missed_ids.push_back(id);
+    }
+  }
+  return grade;
+}
+
+std::string render_question(const QuizQuestion& question, bool reveal) {
+  std::ostringstream os;
+  os << '[' << question.id << "] " << question.prompt << '\n';
+  for (std::size_t i = 0; i < question.options.size(); ++i) {
+    os << "  (" << static_cast<char>('a' + i) << ") " << question.options[i]
+       << '\n';
+  }
+  if (reveal) {
+    os << "  answer: ("
+       << static_cast<char>('a' + question.correct_option) << ") — "
+       << question.explanation << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace anacin::course

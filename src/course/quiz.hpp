@@ -1,0 +1,45 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace anacin::course {
+
+/// One multiple-choice comprehension question tied to a course goal.
+struct QuizQuestion {
+  std::string id;          // e.g. "A.1-q1"
+  std::string goal;        // the goal it examines, e.g. "A.1"
+  std::string prompt;
+  std::vector<std::string> options;
+  std::size_t correct_option = 0;
+  std::string explanation;
+};
+
+/// The question bank covering all six goals of Table I.
+const std::vector<QuizQuestion>& quiz_bank();
+
+/// Questions for one goal (e.g. "B.1") or level prefix (e.g. "B").
+std::vector<QuizQuestion> questions_for(const std::string& goal_or_level);
+
+struct QuizGrade {
+  std::size_t answered = 0;
+  std::size_t correct = 0;
+  std::vector<std::string> missed_ids;
+
+  double score() const {
+    return answered == 0 ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(answered);
+  }
+};
+
+/// Grade (question id, chosen option index) pairs. Unknown ids throw.
+QuizGrade grade_quiz(
+    std::span<const std::pair<std::string, std::size_t>> answers);
+
+/// Render a question for the terminal; `reveal` appends the answer key.
+std::string render_question(const QuizQuestion& question, bool reveal);
+
+}  // namespace anacin::course

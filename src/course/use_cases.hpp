@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/root_cause.hpp"
+#include "analysis/stats.hpp"
+#include "graph/event_graph.hpp"
+#include "support/thread_pool.hpp"
+
+namespace anacin::course {
+
+/// Use Case 1 (beginner): visualize message passing and observe that two
+/// runs of the same code with the same inputs produce different
+/// communication patterns (paper Figs 2-4).
+struct UseCase1Result {
+  /// Event graphs of the paper's beginner-level figures.
+  graph::EventGraph message_race;      // Fig 2: 4 ranks
+  graph::EventGraph amg_two_ranks;     // Fig 3: 2 ranks
+  graph::EventGraph race_run_a;        // Fig 4a: 100% ND, seed A
+  graph::EventGraph race_run_b;        // Fig 4b: 100% ND, seed B
+  /// Self-check (Goal A.2): the two independent runs differ.
+  bool runs_differ = false;
+};
+UseCase1Result run_use_case_1(std::uint64_t seed_a = 21,
+                              std::uint64_t seed_b = 22);
+
+/// Use Case 2 (intermediate): factors that impact non-determinism.
+struct UseCase2Result {
+  // Goal B.1: number of processes (paper Fig 5, 32 vs 16 ranks).
+  analysis::Summary many_procs;
+  analysis::Summary few_procs;
+  double procs_p_value = 1.0;
+  bool procs_effect_observed = false;
+  // Goal B.2: iterations (paper Fig 6, 2 vs 1 iterations on 16 ranks).
+  analysis::Summary two_iterations;
+  analysis::Summary one_iteration;
+  double iterations_p_value = 1.0;
+  bool iterations_effect_observed = false;
+};
+UseCase2Result run_use_case_2(ThreadPool& pool, int many = 32, int few = 16,
+                              int runs = 20);
+
+/// Use Case 3 (advanced): quantify ND vs the ND percentage (Goal C.1 /
+/// Fig 7) and identify root sources via callstacks (Goal C.2 / Fig 8).
+struct UseCase3Result {
+  std::vector<double> nd_percents;
+  std::vector<analysis::Summary> distance_by_percent;
+  std::vector<std::vector<double>> distances_by_percent;
+  double spearman_vs_percent = 0.0;
+  bool monotone_observed = false;
+  analysis::RootCauseReport root_causes;
+  bool wildcard_recv_attributed = false;
+};
+UseCase3Result run_use_case_3(ThreadPool& pool, int procs = 32, int runs = 20,
+                              int percent_step = 10);
+
+}  // namespace anacin::course

@@ -1,0 +1,89 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace anacin::graph {
+
+void Digraph::Builder::add_edge(NodeId from, NodeId to) {
+  ANACIN_CHECK(from < num_nodes_ && to < num_nodes_,
+               "edge (" << from << ", " << to << ") out of range for "
+                        << num_nodes_ << " nodes");
+  edges_.emplace_back(from, to);
+}
+
+Digraph Digraph::Builder::build() && {
+  Digraph graph;
+  graph.num_nodes_ = num_nodes_;
+  graph.out_offsets_.assign(num_nodes_ + 1, 0);
+  graph.in_offsets_.assign(num_nodes_ + 1, 0);
+
+  for (const auto& [from, to] : edges_) {
+    ++graph.out_offsets_[from + 1];
+    ++graph.in_offsets_[to + 1];
+  }
+  for (std::size_t i = 1; i <= num_nodes_; ++i) {
+    graph.out_offsets_[i] += graph.out_offsets_[i - 1];
+    graph.in_offsets_[i] += graph.in_offsets_[i - 1];
+  }
+  graph.out_targets_.resize(edges_.size());
+  graph.in_sources_.resize(edges_.size());
+  std::vector<std::uint64_t> out_cursor(graph.out_offsets_.begin(),
+                                        graph.out_offsets_.end() - 1);
+  std::vector<std::uint64_t> in_cursor(graph.in_offsets_.begin(),
+                                       graph.in_offsets_.end() - 1);
+  for (const auto& [from, to] : edges_) {
+    graph.out_targets_[out_cursor[from]++] = to;
+    graph.in_sources_[in_cursor[to]++] = from;
+  }
+  return graph;
+}
+
+std::span<const NodeId> Digraph::out_neighbors(NodeId node) const {
+  ANACIN_CHECK(node < num_nodes_, "node " << node << " out of range");
+  return {out_targets_.data() + out_offsets_[node],
+          out_targets_.data() + out_offsets_[node + 1]};
+}
+
+std::span<const NodeId> Digraph::in_neighbors(NodeId node) const {
+  ANACIN_CHECK(node < num_nodes_, "node " << node << " out of range");
+  return {in_sources_.data() + in_offsets_[node],
+          in_sources_.data() + in_offsets_[node + 1]};
+}
+
+std::vector<NodeId> Digraph::topological_order() const {
+  std::vector<std::uint32_t> in_degree_left(num_nodes_);
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    in_degree_left[v] = static_cast<std::uint32_t>(in_degree(v));
+    if (in_degree_left[v] == 0) frontier.push_back(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(num_nodes_);
+  // Process in node-id order within the frontier for a deterministic result.
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    const NodeId v = frontier[head++];
+    order.push_back(v);
+    for (const NodeId w : out_neighbors(v)) {
+      if (--in_degree_left[w] == 0) frontier.push_back(w);
+    }
+  }
+  ANACIN_CHECK(order.size() == num_nodes_,
+               "graph has a cycle: only " << order.size() << " of "
+                                          << num_nodes_
+                                          << " nodes are orderable");
+  return order;
+}
+
+bool Digraph::is_dag() const {
+  try {
+    (void)topological_order();
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace anacin::graph

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace anacin::graph {
+
+using NodeId = std::uint32_t;
+
+/// Immutable directed graph in compressed sparse row form (both directions).
+///
+/// Built once via Builder, then queried. Event graphs are DAGs by
+/// construction; `topological_order` throws on cycles as a structural
+/// integrity check.
+class Digraph {
+public:
+  class Builder {
+  public:
+    explicit Builder(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+    void add_edge(NodeId from, NodeId to);
+    std::size_t num_edges() const { return edges_.size(); }
+    Digraph build() &&;
+
+  private:
+    std::size_t num_nodes_;
+    std::vector<std::pair<NodeId, NodeId>> edges_;
+  };
+
+  Digraph() = default;
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_edges() const { return out_targets_.size(); }
+
+  std::span<const NodeId> out_neighbors(NodeId node) const;
+  std::span<const NodeId> in_neighbors(NodeId node) const;
+
+  std::size_t out_degree(NodeId node) const {
+    return out_neighbors(node).size();
+  }
+  std::size_t in_degree(NodeId node) const { return in_neighbors(node).size(); }
+
+  /// Kahn topological order; throws Error if the graph has a cycle.
+  std::vector<NodeId> topological_order() const;
+
+  bool is_dag() const;
+
+private:
+  std::size_t num_nodes_ = 0;
+  std::vector<std::uint64_t> out_offsets_;  // size num_nodes_+1
+  std::vector<NodeId> out_targets_;
+  std::vector<std::uint64_t> in_offsets_;
+  std::vector<NodeId> in_sources_;
+};
+
+}  // namespace anacin::graph

@@ -1,0 +1,109 @@
+#include "graph/event_graph.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace anacin::graph {
+
+EventGraph EventGraph::from_trace(const trace::Trace& trace) {
+  EventGraph graph;
+  graph.callstacks_ = trace.callstacks();
+
+  const int num_ranks = trace.num_ranks();
+  graph.rank_offsets_.assign(static_cast<std::size_t>(num_ranks) + 1, 0);
+  std::size_t total = 0;
+  for (int r = 0; r < num_ranks; ++r) {
+    graph.rank_offsets_[static_cast<std::size_t>(r)] = total;
+    total += trace.rank_events(r).size();
+  }
+  graph.rank_offsets_[static_cast<std::size_t>(num_ranks)] = total;
+
+  graph.nodes_.reserve(total);
+  for (int r = 0; r < num_ranks; ++r) {
+    const auto& events = trace.rank_events(r);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const trace::Event& e = events[i];
+      EventNode node;
+      node.type = e.type;
+      node.rank = e.rank;
+      node.seq = static_cast<std::int64_t>(i);
+      node.peer = e.peer;
+      node.tag = e.tag;
+      node.size_bytes = e.size_bytes;
+      node.t_start = e.t_start;
+      node.t_end = e.t_end;
+      node.callstack_id = e.callstack_id;
+      node.posted_source = e.posted_source;
+      node.jittered = e.jittered;
+      graph.nodes_.push_back(node);
+    }
+  }
+
+  Digraph::Builder builder(total);
+  // Program-order edges between consecutive events of a rank.
+  for (int r = 0; r < num_ranks; ++r) {
+    const NodeId base = graph.rank_base(r);
+    const std::size_t count = graph.rank_size(r);
+    for (std::size_t i = 1; i < count; ++i) {
+      builder.add_edge(base + static_cast<NodeId>(i) - 1,
+                       base + static_cast<NodeId>(i));
+    }
+  }
+  // Message edges from each send to its matched receive.
+  for (int r = 0; r < num_ranks; ++r) {
+    const auto& events = trace.rank_events(r);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const trace::Event& e = events[i];
+      if (e.type != trace::EventType::kRecv) continue;
+      ANACIN_CHECK(e.matched_rank >= 0 && e.matched_seq >= 0,
+                   "recv event without a matched send (rank "
+                       << r << ", seq " << i << ")");
+      const NodeId send_node = graph.node_of(e.matched_rank, e.matched_seq);
+      const NodeId recv_node = graph.node_of(r, static_cast<std::int64_t>(i));
+      ANACIN_CHECK(graph.nodes_[send_node].type == trace::EventType::kSend,
+                   "matched event is not a send");
+      builder.add_edge(send_node, recv_node);
+      graph.message_edges_.emplace_back(send_node, recv_node);
+    }
+  }
+  graph.digraph_ = std::move(builder).build();
+
+  // Lamport clocks over the DAG: 1 + max over predecessors.
+  const std::vector<NodeId> order = graph.digraph_.topological_order();
+  for (const NodeId v : order) {
+    std::uint64_t clock = 1;
+    for (const NodeId u : graph.digraph_.in_neighbors(v)) {
+      clock = std::max(clock, graph.nodes_[u].lamport + 1);
+    }
+    graph.nodes_[v].lamport = clock;
+    graph.max_lamport_ = std::max(graph.max_lamport_, clock);
+  }
+  return graph;
+}
+
+const EventNode& EventGraph::node(NodeId id) const {
+  ANACIN_CHECK(id < nodes_.size(), "node id " << id << " out of range");
+  return nodes_[id];
+}
+
+NodeId EventGraph::rank_base(int rank) const {
+  ANACIN_CHECK(rank >= 0 && rank < num_ranks(),
+               "rank " << rank << " out of range");
+  return static_cast<NodeId>(rank_offsets_[static_cast<std::size_t>(rank)]);
+}
+
+std::size_t EventGraph::rank_size(int rank) const {
+  ANACIN_CHECK(rank >= 0 && rank < num_ranks(),
+               "rank " << rank << " out of range");
+  return rank_offsets_[static_cast<std::size_t>(rank) + 1] -
+         rank_offsets_[static_cast<std::size_t>(rank)];
+}
+
+NodeId EventGraph::node_of(int rank, std::int64_t seq) const {
+  ANACIN_CHECK(seq >= 0 && static_cast<std::size_t>(seq) < rank_size(rank),
+               "event seq " << seq << " out of range on rank " << rank);
+  return rank_base(rank) + static_cast<NodeId>(seq);
+}
+
+}  // namespace anacin::graph

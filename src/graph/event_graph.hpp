@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "trace/callstack.hpp"
+#include "trace/trace.hpp"
+
+namespace anacin::graph {
+
+/// One node of an event graph (a traced MPI event plus its Lamport clock).
+struct EventNode {
+  trace::EventType type = trace::EventType::kInit;
+  std::int32_t rank = -1;
+  std::int64_t seq = -1;
+  std::int32_t peer = -1;
+  std::int32_t tag = -1;
+  std::uint32_t size_bytes = 0;
+  double t_start = 0.0;
+  double t_end = 0.0;
+  std::uint32_t callstack_id = 0;
+  std::int32_t posted_source = -2;
+  bool jittered = false;
+  /// Logical time: 1 + max over predecessors (sources have 1).
+  std::uint64_t lamport = 0;
+};
+
+/// Graph model of the communication pattern of one execution (the paper's
+/// core data structure).
+///
+/// Nodes are MPI events; edges are program order within a rank plus one
+/// message edge from each send to the receive it matched. Event graphs
+/// encode time logically: Lamport clocks are computed over the DAG, so two
+/// runs of the same program are comparable structurally even though their
+/// virtual timestamps differ.
+class EventGraph {
+public:
+  static EventGraph from_trace(const trace::Trace& trace);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  int num_ranks() const { return static_cast<int>(rank_offsets_.size()) - 1; }
+
+  const EventNode& node(NodeId id) const;
+  std::span<const EventNode> nodes() const { return nodes_; }
+
+  /// Node ids of a rank's events are contiguous: [offset, offset+count).
+  NodeId rank_base(int rank) const;
+  std::size_t rank_size(int rank) const;
+  /// Node id of the event (rank, seq).
+  NodeId node_of(int rank, std::int64_t seq) const;
+
+  const Digraph& digraph() const { return digraph_; }
+  /// (send_node, recv_node) pairs, in recv completion order per rank.
+  const std::vector<std::pair<NodeId, NodeId>>& message_edges() const {
+    return message_edges_;
+  }
+
+  std::uint64_t max_lamport() const { return max_lamport_; }
+
+  /// Callstack registry copied from the originating trace.
+  const trace::CallstackRegistry& callstacks() const { return callstacks_; }
+
+private:
+  std::vector<EventNode> nodes_;
+  std::vector<std::size_t> rank_offsets_;  // size num_ranks+1
+  Digraph digraph_;
+  std::vector<std::pair<NodeId, NodeId>> message_edges_;
+  std::uint64_t max_lamport_ = 0;
+  trace::CallstackRegistry callstacks_;
+};
+
+}  // namespace anacin::graph

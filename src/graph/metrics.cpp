@@ -1,0 +1,87 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace anacin::graph {
+
+std::uint64_t CommMatrix::total_messages() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : messages) total += count;
+  return total;
+}
+
+CommMatrix communication_matrix(const EventGraph& graph) {
+  CommMatrix matrix;
+  matrix.num_ranks = graph.num_ranks();
+  const auto cells = static_cast<std::size_t>(matrix.num_ranks) *
+                     static_cast<std::size_t>(matrix.num_ranks);
+  matrix.messages.assign(cells, 0);
+  matrix.bytes.assign(cells, 0);
+  for (const auto& [send_node, recv_node] : graph.message_edges()) {
+    const EventNode& send = graph.node(send_node);
+    const EventNode& recv = graph.node(recv_node);
+    const std::size_t cell =
+        static_cast<std::size_t>(send.rank) *
+            static_cast<std::size_t>(matrix.num_ranks) +
+        static_cast<std::size_t>(recv.rank);
+    ++matrix.messages[cell];
+    matrix.bytes[cell] += send.size_bytes;
+  }
+  return matrix;
+}
+
+CriticalPath critical_path(const EventGraph& graph) {
+  CriticalPath path;
+  if (graph.num_nodes() == 0) return path;
+
+  // Start from the event with the largest t_end.
+  NodeId current = 0;
+  for (NodeId v = 1; v < graph.num_nodes(); ++v) {
+    if (graph.node(v).t_end > graph.node(current).t_end) current = v;
+  }
+  path.virtual_duration = graph.node(current).t_end;
+
+  std::vector<NodeId> reversed;
+  double recv_time = 0.0;
+  for (;;) {
+    reversed.push_back(current);
+    const EventNode& node = graph.node(current);
+    const auto predecessors = graph.digraph().in_neighbors(current);
+    if (predecessors.empty()) {
+      if (node.type == trace::EventType::kRecv) {
+        recv_time += node.t_end - node.t_start;
+      }
+      break;
+    }
+    NodeId latest = predecessors[0];
+    for (const NodeId p : predecessors) {
+      if (graph.node(p).t_end > graph.node(latest).t_end) latest = p;
+    }
+    if (node.type == trace::EventType::kRecv) {
+      // Only the wait beyond the predecessor's finish is attributable to
+      // this receive; windows on different ranks overlap otherwise.
+      recv_time += std::max(
+          0.0, node.t_end - std::max(node.t_start, graph.node(latest).t_end));
+    }
+    current = latest;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  path.nodes = std::move(reversed);
+  path.recv_share = path.virtual_duration > 0.0
+                        ? recv_time / path.virtual_duration
+                        : 0.0;
+  return path;
+}
+
+std::vector<std::size_t> parallelism_profile(const EventGraph& graph) {
+  std::vector<std::size_t> profile(graph.max_lamport(), 0);
+  for (const EventNode& node : graph.nodes()) {
+    ANACIN_CHECK(node.lamport >= 1, "node without a Lamport clock");
+    ++profile[static_cast<std::size_t>(node.lamport - 1)];
+  }
+  return profile;
+}
+
+}  // namespace anacin::graph

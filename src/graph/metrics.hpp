@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/event_graph.hpp"
+
+namespace anacin::graph {
+
+/// Per-rank-pair message traffic of one execution.
+struct CommMatrix {
+  int num_ranks = 0;
+  /// messages[src * num_ranks + dst].
+  std::vector<std::uint64_t> messages;
+  std::vector<std::uint64_t> bytes;
+
+  std::uint64_t messages_between(int src, int dst) const {
+    return messages[static_cast<std::size_t>(src) *
+                        static_cast<std::size_t>(num_ranks) +
+                    static_cast<std::size_t>(dst)];
+  }
+  std::uint64_t bytes_between(int src, int dst) const {
+    return bytes[static_cast<std::size_t>(src) *
+                     static_cast<std::size_t>(num_ranks) +
+                 static_cast<std::size_t>(dst)];
+  }
+  std::uint64_t total_messages() const;
+};
+
+CommMatrix communication_matrix(const EventGraph& graph);
+
+/// The dependency chain with the largest virtual-time span: follow, from
+/// the last-finishing event backwards, the predecessor that finished
+/// latest. Teaches students where the execution's time actually went.
+struct CriticalPath {
+  std::vector<NodeId> nodes;  // in execution order
+  double virtual_duration = 0.0;
+  /// Fraction of the path spent in receive events (waiting on messages).
+  double recv_share = 0.0;
+};
+
+CriticalPath critical_path(const EventGraph& graph);
+
+/// Number of events at each Lamport tick (index 0 = tick 1): a profile of
+/// the available parallelism across logical time.
+std::vector<std::size_t> parallelism_profile(const EventGraph& graph);
+
+}  // namespace anacin::graph

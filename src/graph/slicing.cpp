@@ -1,0 +1,62 @@
+#include "graph/slicing.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace anacin::graph {
+
+SliceSet slice_by_lamport_window(const EventGraph& graph,
+                                 std::uint64_t window) {
+  ANACIN_CHECK(window >= 1, "slice window must be >= 1, got " << window);
+  SliceSet slices;
+  slices.window = window;
+  slices.num_slices =
+      graph.num_nodes() == 0
+          ? 0
+          : static_cast<std::size_t>((graph.max_lamport() - 1) / window) + 1;
+  slices.slice_of_node.resize(graph.num_nodes());
+  slices.nodes_in_slice.resize(slices.num_slices);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const std::uint64_t lamport = graph.node(v).lamport;
+    ANACIN_CHECK(lamport >= 1, "node without a Lamport clock");
+    const auto slice = static_cast<std::uint32_t>((lamport - 1) / window);
+    slices.slice_of_node[v] = slice;
+    slices.nodes_in_slice[slice].push_back(v);
+  }
+  return slices;
+}
+
+SliceSet slice_into(const EventGraph& graph, std::size_t target_slices) {
+  ANACIN_CHECK(target_slices >= 1, "need at least one slice");
+  const std::uint64_t span = graph.max_lamport();
+  const std::uint64_t window =
+      span == 0 ? 1 : (span + target_slices - 1) / target_slices;
+  return slice_by_lamport_window(graph, window);
+}
+
+SliceSet slice_by_virtual_time_window(const EventGraph& graph,
+                                      double window_us) {
+  ANACIN_CHECK(window_us > 0.0, "virtual-time window must be positive");
+  SliceSet slices;
+  slices.window = static_cast<std::uint64_t>(window_us);
+  double makespan = 0.0;
+  for (const EventNode& node : graph.nodes()) {
+    makespan = std::max(makespan, node.t_end);
+  }
+  slices.num_slices =
+      graph.num_nodes() == 0
+          ? 0
+          : static_cast<std::size_t>(makespan / window_us) + 1;
+  slices.slice_of_node.resize(graph.num_nodes());
+  slices.nodes_in_slice.resize(slices.num_slices);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const auto slice =
+        static_cast<std::uint32_t>(graph.node(v).t_end / window_us);
+    slices.slice_of_node[v] = slice;
+    slices.nodes_in_slice[slice].push_back(v);
+  }
+  return slices;
+}
+
+}  // namespace anacin::graph

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/event_graph.hpp"
+
+namespace anacin::graph {
+
+/// Partition of an event graph's nodes into consecutive logical-time
+/// windows. Slice s contains nodes with Lamport clock in
+/// [s*window + 1, (s+1)*window].
+///
+/// Slices are the unit of localisation for root-cause analysis: per-slice
+/// kernel distances across runs show *when* (in logical time) executions
+/// diverge, and the callstacks present in the most divergent slices point
+/// at the responsible code (paper Fig. 8).
+struct SliceSet {
+  std::uint64_t window = 0;
+  std::size_t num_slices = 0;
+  /// Slice index of each node (indexed by NodeId).
+  std::vector<std::uint32_t> slice_of_node;
+  /// Node ids in each slice, ascending.
+  std::vector<std::vector<NodeId>> nodes_in_slice;
+};
+
+/// Slice with a fixed logical-time window (>= 1).
+SliceSet slice_by_lamport_window(const EventGraph& graph,
+                                 std::uint64_t window);
+
+/// Slice into (at most) `target_slices` windows of equal logical width.
+SliceSet slice_into(const EventGraph& graph, std::size_t target_slices);
+
+/// Alternative policy: slice by *virtual-time* windows (event t_end).
+/// Unlike Lamport slicing, virtual-time windows are not comparable across
+/// runs whose timings differ (jitter shifts events between slices even
+/// when the communication structure is identical) — the slicing ablation
+/// bench demonstrates why the analysis defaults to logical time. The
+/// SliceSet::window field holds the window in whole microseconds.
+SliceSet slice_by_virtual_time_window(const EventGraph& graph,
+                                      double window_us);
+
+}  // namespace anacin::graph

@@ -1,0 +1,49 @@
+#include "kernels/distance_matrix.hpp"
+
+namespace anacin::kernels {
+
+std::vector<double> DistanceMatrix::upper_triangle() const {
+  std::vector<double> flat;
+  flat.reserve(size * (size - 1) / 2);
+  for (std::size_t i = 0; i < size; ++i) {
+    for (std::size_t j = i + 1; j < size; ++j) flat.push_back(at(i, j));
+  }
+  return flat;
+}
+
+DistanceMatrix pairwise_distances(const GraphKernel& kernel,
+                                  const std::vector<LabeledGraph>& graphs,
+                                  ThreadPool& pool) {
+  const std::size_t n = graphs.size();
+  std::vector<FeatureVector> features(n);
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    features[i] = kernel.features(graphs[i]);
+  });
+
+  DistanceMatrix matrix;
+  matrix.size = n;
+  matrix.values.assign(n * n, 0.0);
+  // Parallelize over rows; each row computes its upper-triangle segment.
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = kernel_distance(features[i], features[j]);
+      matrix.values[i * n + j] = d;
+      matrix.values[j * n + i] = d;
+    }
+  });
+  return matrix;
+}
+
+std::vector<double> distances_to_reference(
+    const GraphKernel& kernel, const LabeledGraph& reference,
+    const std::vector<LabeledGraph>& graphs, ThreadPool& pool) {
+  const FeatureVector reference_features = kernel.features(reference);
+  std::vector<double> distances(graphs.size());
+  pool.parallel_for(0, graphs.size(), [&](std::size_t i) {
+    distances[i] =
+        kernel_distance(reference_features, kernel.features(graphs[i]));
+  });
+  return distances;
+}
+
+}  // namespace anacin::kernels

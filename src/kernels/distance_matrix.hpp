@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "kernels/kernel.hpp"
+#include "support/thread_pool.hpp"
+
+namespace anacin::kernels {
+
+/// Symmetric pairwise kernel-distance matrix over a set of graphs.
+struct DistanceMatrix {
+  std::size_t size = 0;
+  /// Row-major size x size distances; diagonal is 0.
+  std::vector<double> values;
+
+  double at(std::size_t i, std::size_t j) const {
+    return values[i * size + j];
+  }
+
+  /// Strict upper triangle flattened (the sample of pairwise distances).
+  std::vector<double> upper_triangle() const;
+};
+
+/// Extract features for every graph (in parallel) and compute all pairwise
+/// kernel distances.
+DistanceMatrix pairwise_distances(const GraphKernel& kernel,
+                                  const std::vector<LabeledGraph>& graphs,
+                                  ThreadPool& pool);
+
+/// Distances from each graph to a single reference graph. With the
+/// reference being a jitter-free run, N runs give the paper's N-point
+/// kernel-distance samples.
+std::vector<double> distances_to_reference(
+    const GraphKernel& kernel, const LabeledGraph& reference,
+    const std::vector<LabeledGraph>& graphs, ThreadPool& pool);
+
+}  // namespace anacin::kernels

@@ -1,0 +1,189 @@
+#include "kernels/kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/string_util.hpp"
+
+namespace anacin::kernels {
+
+namespace {
+
+FeatureVector to_feature_vector(const std::map<std::uint64_t, double>& counts) {
+  FeatureVector features;
+  features.entries.assign(counts.begin(), counts.end());
+  for (const auto& [id, count] : features.entries) {
+    features.self_dot += count * count;
+  }
+  return features;
+}
+
+}  // namespace
+
+double dot(const FeatureVector& a, const FeatureVector& b) {
+  double sum = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.entries.size() && j < b.entries.size()) {
+    const auto [ida, ca] = a.entries[i];
+    const auto [idb, cb] = b.entries[j];
+    if (ida == idb) {
+      sum += ca * cb;
+      ++i;
+      ++j;
+    } else if (ida < idb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double kernel_distance(const FeatureVector& a, const FeatureVector& b) {
+  const double squared = a.self_dot + b.self_dot - 2.0 * dot(a, b);
+  return std::sqrt(std::max(0.0, squared));
+}
+
+double normalized_kernel(const FeatureVector& a, const FeatureVector& b) {
+  if (a.self_dot == 0.0 || b.self_dot == 0.0) {
+    return (a.self_dot == 0.0 && b.self_dot == 0.0) ? 1.0 : 0.0;
+  }
+  return dot(a, b) / std::sqrt(a.self_dot * b.self_dot);
+}
+
+FeatureVector VertexHistogramKernel::features(const LabeledGraph& graph) const {
+  std::map<std::uint64_t, double> counts;
+  for (const std::uint64_t label : graph.labels) counts[label] += 1.0;
+  return to_feature_vector(counts);
+}
+
+FeatureVector EdgeHistogramKernel::features(const LabeledGraph& graph) const {
+  std::map<std::uint64_t, double> counts;
+  for (std::size_t v = 0; v < graph.num_nodes(); ++v) {
+    for (const auto& [w, is_out] : graph.neighbors[v]) {
+      if (!is_out) continue;  // count each directed edge once, at its source
+      const std::uint64_t id =
+          hash_combine(graph.labels[v], graph.labels[w]);
+      counts[id] += 1.0;
+    }
+  }
+  return to_feature_vector(counts);
+}
+
+WLSubtreeKernel::WLSubtreeKernel(unsigned depth) : depth_(depth) {
+  ANACIN_CHECK(depth <= 16, "WL depth " << depth << " is unreasonably large");
+}
+
+std::string WLSubtreeKernel::name() const {
+  return "wl_subtree_h" + std::to_string(depth_);
+}
+
+FeatureVector WLSubtreeKernel::features(const LabeledGraph& graph) const {
+  std::map<std::uint64_t, double> counts;
+  const std::size_t n = graph.num_nodes();
+
+  std::vector<std::uint64_t> current = graph.labels;
+  // Depth 0: the initial labels themselves, salted by iteration index so
+  // labels from different depths never collide.
+  for (const std::uint64_t label : current) {
+    counts[hash_combine(0, label)] += 1.0;
+  }
+
+  std::vector<std::uint64_t> next(n);
+  std::vector<std::uint64_t> neighborhood;
+  for (unsigned iteration = 1; iteration <= depth_; ++iteration) {
+    for (std::size_t v = 0; v < n; ++v) {
+      neighborhood.clear();
+      neighborhood.reserve(graph.neighbors[v].size());
+      for (const auto& [w, is_out] : graph.neighbors[v]) {
+        // Direction-aware WL: an in-neighbor and an out-neighbor with the
+        // same label contribute differently.
+        neighborhood.push_back(
+            hash_combine(is_out ? 0x0Du : 0x1Du, current[w]));
+      }
+      std::sort(neighborhood.begin(), neighborhood.end());
+      std::uint64_t relabel = hash_combine(0x57AB1Eull, current[v]);
+      for (const std::uint64_t h : neighborhood) {
+        relabel = hash_combine(relabel, h);
+      }
+      next[v] = relabel;
+      counts[hash_combine(iteration, relabel)] += 1.0;
+    }
+    std::swap(current, next);
+  }
+  return to_feature_vector(counts);
+}
+
+GraphletSamplingKernel::GraphletSamplingKernel(
+    std::size_t max_samples_per_node, std::uint64_t seed)
+    : max_samples_per_node_(max_samples_per_node), seed_(seed) {
+  ANACIN_CHECK(max_samples_per_node >= 1, "need at least one sample");
+}
+
+FeatureVector GraphletSamplingKernel::features(
+    const LabeledGraph& graph) const {
+  std::map<std::uint64_t, double> counts;
+  const std::size_t n = graph.num_nodes();
+  // Deterministic sampling: the RNG depends only on the kernel seed, so
+  // identical graphs always produce identical features (a requirement for
+  // kernel distance 0 between equal runs).
+  Rng rng(seed_);
+  for (std::size_t center = 0; center < n; ++center) {
+    const auto& adjacency = graph.neighbors[center];
+    if (adjacency.size() < 2) continue;
+    const std::size_t samples =
+        std::min(max_samples_per_node_,
+                 adjacency.size() * (adjacency.size() - 1) / 2);
+    for (std::size_t s = 0; s < samples; ++s) {
+      const auto i = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(adjacency.size()) - 1));
+      auto j = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(adjacency.size()) - 2));
+      if (j >= i) ++j;
+      const auto& [u, u_out] = adjacency[i];
+      const auto& [w, w_out] = adjacency[j];
+      // Canonical form: order the two wings by (label, direction) hash so
+      // the graphlet id is independent of the sampling order.
+      const std::uint64_t wing_u =
+          hash_combine(u_out ? 0x0Du : 0x1Du, graph.labels[u]);
+      const std::uint64_t wing_w =
+          hash_combine(w_out ? 0x0Du : 0x1Du, graph.labels[w]);
+      const std::uint64_t id = hash_combine(
+          graph.labels[center],
+          hash_combine(std::min(wing_u, wing_w), std::max(wing_u, wing_w)));
+      counts[id] += 1.0;
+    }
+  }
+  return to_feature_vector(counts);
+}
+
+std::unique_ptr<GraphKernel> make_kernel(const std::string& spec) {
+  if (spec == "graphlet_sampling") {
+    return std::make_unique<GraphletSamplingKernel>();
+  }
+  if (spec == "vertex_histogram") {
+    return std::make_unique<VertexHistogramKernel>();
+  }
+  if (spec == "edge_histogram") {
+    return std::make_unique<EdgeHistogramKernel>();
+  }
+  if (spec == "wl") return std::make_unique<WLSubtreeKernel>();
+  if (spec.rfind("wl:", 0) == 0) {
+    const std::string depth_text = spec.substr(3);
+    char* end = nullptr;
+    const long depth = std::strtol(depth_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || depth < 0 || depth > 16) {
+      throw ConfigError("invalid WL depth in kernel spec '" + spec + "'");
+    }
+    return std::make_unique<WLSubtreeKernel>(static_cast<unsigned>(depth));
+  }
+  throw ConfigError("unknown kernel spec '" + spec +
+                    "' (try wl, wl:<h>, vertex_histogram, edge_histogram, "
+                    "graphlet_sampling)");
+}
+
+}  // namespace anacin::kernels

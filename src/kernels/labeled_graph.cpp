@@ -1,0 +1,117 @@
+#include "kernels/labeled_graph.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace anacin::kernels {
+
+std::string_view label_policy_name(LabelPolicy policy) {
+  switch (policy) {
+    case LabelPolicy::kTypeOnly: return "type_only";
+    case LabelPolicy::kTypePeer: return "type_peer";
+    case LabelPolicy::kTypePeerTag: return "type_peer_tag";
+    case LabelPolicy::kTypeCallstack: return "type_callstack";
+    case LabelPolicy::kTypePeerCallstack: return "type_peer_callstack";
+  }
+  return "?";
+}
+
+LabelPolicy label_policy_from_name(std::string_view name) {
+  if (name == "type_only") return LabelPolicy::kTypeOnly;
+  if (name == "type_peer") return LabelPolicy::kTypePeer;
+  if (name == "type_peer_tag") return LabelPolicy::kTypePeerTag;
+  if (name == "type_callstack") return LabelPolicy::kTypeCallstack;
+  if (name == "type_peer_callstack") return LabelPolicy::kTypePeerCallstack;
+  throw ConfigError("unknown label policy: '" + std::string(name) + "'");
+}
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t initial_label(const graph::EventGraph& graph,
+                            graph::NodeId node_id, LabelPolicy policy) {
+  const graph::EventNode& node = graph.node(node_id);
+  std::uint64_t label = mix64(static_cast<std::uint64_t>(node.type) + 1);
+  const auto mix_in = [&label](std::uint64_t value) {
+    label = hash_combine(label, value);
+  };
+  switch (policy) {
+    case LabelPolicy::kTypeOnly:
+      break;
+    case LabelPolicy::kTypePeer:
+      mix_in(static_cast<std::uint64_t>(node.peer + 2));
+      break;
+    case LabelPolicy::kTypePeerTag:
+      mix_in(static_cast<std::uint64_t>(node.peer + 2));
+      mix_in(static_cast<std::uint64_t>(node.tag + 2));
+      break;
+    case LabelPolicy::kTypeCallstack:
+      // Hash the path string, not the registry id: ids are only stable
+      // within one run's registry, paths compare across runs.
+      mix_in(fnv1a(graph.callstacks().path(node.callstack_id)));
+      break;
+    case LabelPolicy::kTypePeerCallstack:
+      mix_in(static_cast<std::uint64_t>(node.peer + 2));
+      mix_in(fnv1a(graph.callstacks().path(node.callstack_id)));
+      break;
+  }
+  return label;
+}
+
+LabeledGraph build_labeled_graph(const graph::EventGraph& graph,
+                                 LabelPolicy policy) {
+  LabeledGraph labeled;
+  const std::size_t n = graph.num_nodes();
+  labeled.labels.resize(n);
+  labeled.neighbors.resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    labeled.labels[v] = initial_label(graph, v, policy);
+    for (const graph::NodeId w : graph.digraph().out_neighbors(v)) {
+      labeled.neighbors[v].emplace_back(w, true);
+      labeled.neighbors[w].emplace_back(v, false);
+    }
+  }
+  return labeled;
+}
+
+LabeledGraph build_labeled_subgraph(const graph::EventGraph& graph,
+                                    std::span<const graph::NodeId> nodes,
+                                    LabelPolicy policy) {
+  ANACIN_CHECK(std::is_sorted(nodes.begin(), nodes.end()),
+               "subgraph node list must be sorted");
+  LabeledGraph labeled;
+  labeled.labels.resize(nodes.size());
+  labeled.neighbors.resize(nodes.size());
+
+  const auto local_id = [&nodes](graph::NodeId global) -> std::int64_t {
+    const auto it = std::lower_bound(nodes.begin(), nodes.end(), global);
+    if (it == nodes.end() || *it != global) return -1;
+    return it - nodes.begin();
+  };
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    labeled.labels[i] = initial_label(graph, nodes[i], policy);
+    for (const graph::NodeId w : graph.digraph().out_neighbors(nodes[i])) {
+      const std::int64_t j = local_id(w);
+      if (j < 0) continue;  // edge leaves the slice
+      labeled.neighbors[i].emplace_back(static_cast<std::uint32_t>(j), true);
+      labeled.neighbors[static_cast<std::size_t>(j)].emplace_back(
+          static_cast<std::uint32_t>(i), false);
+    }
+  }
+  return labeled;
+}
+
+}  // namespace anacin::kernels

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/event_graph.hpp"
+
+namespace anacin::kernels {
+
+/// How event-graph nodes are labelled before kernel computation.
+///
+/// The choice matters: with `kTypeOnly`, two matchings of a symmetric
+/// message race produce *isomorphic* graphs that no kernel can tell apart.
+/// Including the matched peer (`kTypePeer`, the default) breaks that
+/// symmetry, so matching-order differences become visible to the
+/// Weisfeiler–Lehman relabelling. The ablation bench quantifies this.
+enum class LabelPolicy {
+  kTypeOnly,
+  kTypePeer,
+  kTypePeerTag,
+  kTypeCallstack,
+  kTypePeerCallstack,
+};
+
+std::string_view label_policy_name(LabelPolicy policy);
+LabelPolicy label_policy_from_name(std::string_view name);
+
+/// Kernel-ready view of a (sub)graph: initial 64-bit node labels plus
+/// direction-tagged adjacency.
+struct LabeledGraph {
+  std::vector<std::uint64_t> labels;
+  /// neighbors[v] lists (u, is_out_edge) pairs; both directions present.
+  std::vector<std::vector<std::pair<std::uint32_t, bool>>> neighbors;
+
+  std::size_t num_nodes() const { return labels.size(); }
+};
+
+/// Label the whole event graph.
+LabeledGraph build_labeled_graph(const graph::EventGraph& graph,
+                                 LabelPolicy policy);
+
+/// Label the subgraph induced by `nodes` (edges with both ends inside).
+/// `nodes` must be sorted ascending.
+LabeledGraph build_labeled_subgraph(const graph::EventGraph& graph,
+                                    std::span<const graph::NodeId> nodes,
+                                    LabelPolicy policy);
+
+/// The initial label of one node under a policy (exposed for tests).
+std::uint64_t initial_label(const graph::EventGraph& graph,
+                            graph::NodeId node, LabelPolicy policy);
+
+}  // namespace anacin::kernels

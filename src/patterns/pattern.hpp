@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace anacin::patterns {
+
+/// Shape parameters of a mini-application run. These are exactly the knobs
+/// the paper's course module exposes to students: number of MPI processes,
+/// number of communication-pattern iterations, and message size — the
+/// percentage of non-determinism and number of compute nodes live in
+/// sim::SimConfig.
+struct PatternConfig {
+  int num_ranks = 4;
+  /// How many times the communication pattern repeats within one run
+  /// (paper: "number of communication pattern iterations").
+  int iterations = 1;
+  /// Payload size in bytes (the paper's figures use 1-byte messages).
+  std::uint32_t message_bytes = 1;
+  /// Topology seed for the unstructured mesh. Deliberately independent of
+  /// the execution seed: the mesh is part of the *application*, so it must
+  /// be identical across runs while the message timing varies.
+  std::uint64_t topology_seed = 7;
+  /// Extra random edges per rank in the unstructured mesh (on top of the
+  /// connectivity ring).
+  int mesh_extra_degree = 2;
+  /// Per-iteration local work in virtual microseconds.
+  double compute_us = 5.0;
+
+  void validate() const;
+};
+
+/// A named mini-application with a known communication pattern.
+class Pattern {
+public:
+  virtual ~Pattern() = default;
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+  /// Build the rank program for a given shape. The returned program is a
+  /// pure function of `config`, so the same config always yields the same
+  /// application (only sim::SimConfig::seed varies across runs).
+  virtual sim::RankProgram program(const PatternConfig& config) const = 0;
+};
+
+/// Mini-apps packaged with this reproduction (mirroring ANACIN-X):
+///  - "message_race":      many senders race into one wildcard receiver
+///  - "amg2013":           two all-to-all exchange phases per iteration
+///  - "unstructured_mesh": randomized neighbor exchanges
+///  - "ping_pong":         deterministic control (explicit sources)
+///  - "reduce_tree":       wildcard-order accumulation (numerical ND demo)
+std::unique_ptr<Pattern> make_pattern(const std::string& name);
+std::vector<std::string> pattern_names();
+
+}  // namespace anacin::patterns

@@ -1,0 +1,290 @@
+#include "patterns/pattern.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace anacin::patterns {
+
+void PatternConfig::validate() const {
+  ANACIN_CHECK(num_ranks >= 1, "pattern needs at least one rank");
+  ANACIN_CHECK(iterations >= 1, "pattern needs at least one iteration");
+  ANACIN_CHECK(mesh_extra_degree >= 0, "mesh degree must be non-negative");
+  ANACIN_CHECK(compute_us >= 0.0, "compute time must be non-negative");
+}
+
+namespace {
+
+using sim::Comm;
+using sim::kAnySource;
+using sim::Payload;
+using sim::Request;
+
+// ---------------------------------------------------------------------------
+// Message race: ranks 1..n-1 each send `iterations` messages to rank 0,
+// which receives everything with MPI_ANY_SOURCE. The simplest racing
+// pattern in the paper (Figs 2 and 4).
+// ---------------------------------------------------------------------------
+class MessageRace final : public Pattern {
+public:
+  std::string name() const override { return "message_race"; }
+  std::string description() const override {
+    return "ranks 1..n-1 race messages into rank 0's wildcard receives";
+  }
+  sim::RankProgram program(const PatternConfig& config) const override {
+    config.validate();
+    return [config](Comm& comm) {
+      const auto app = comm.scoped_frame("message_race");
+      const int n = comm.size();
+      for (int iteration = 0; iteration < config.iterations; ++iteration) {
+        if (comm.rank() == 0) {
+          const auto site = comm.scoped_frame("race_recv");
+          for (int i = 0; i < n - 1; ++i) (void)comm.recv(kAnySource, 0);
+        } else {
+          const auto site = comm.scoped_frame("race_send");
+          comm.compute(config.compute_us);
+          comm.send(0, 0, {}, config.message_bytes);
+        }
+      }
+    };
+  }
+};
+
+// ---------------------------------------------------------------------------
+// AMG 2013 pattern: per iteration, two phases in which every process sends
+// one message to every other process and receives with wildcards ("Each
+// process in an AMG 2013 pattern does this twice").
+// ---------------------------------------------------------------------------
+class Amg2013 final : public Pattern {
+public:
+  std::string name() const override { return "amg2013"; }
+  std::string description() const override {
+    return "two all-to-all wildcard exchange phases per iteration (AMG 2013)";
+  }
+  sim::RankProgram program(const PatternConfig& config) const override {
+    config.validate();
+    return [config](Comm& comm) {
+      const auto app = comm.scoped_frame("amg2013");
+      const int n = comm.size();
+      for (int iteration = 0; iteration < config.iterations; ++iteration) {
+        for (int phase = 0; phase < 2; ++phase) {
+          const auto site = comm.scoped_frame(phase == 0 ? "relax_phase"
+                                                         : "restrict_phase");
+          std::vector<Request> requests;
+          requests.reserve(static_cast<std::size_t>(n) - 1);
+          for (int i = 0; i < n - 1; ++i) {
+            requests.push_back(comm.irecv(kAnySource, phase));
+          }
+          comm.compute(config.compute_us);
+          for (int dst = 0; dst < n; ++dst) {
+            if (dst == comm.rank()) continue;
+            comm.send(dst, phase, {}, config.message_bytes);
+          }
+          (void)comm.wait_all(requests);
+        }
+      }
+    };
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Unstructured mesh: a fixed random neighbor topology (ring for
+// connectivity plus `mesh_extra_degree` random chords per rank); per
+// iteration every rank exchanges halos with its neighbors, receiving with
+// wildcards. Randomizing which processes communicate mirrors the paper's
+// description of the Chatterbug-style unstructured-mesh proxy.
+// ---------------------------------------------------------------------------
+std::vector<std::vector<int>> build_mesh_topology(int num_ranks,
+                                                  std::uint64_t topology_seed,
+                                                  int extra_degree) {
+  std::vector<std::set<int>> neighbor_sets(
+      static_cast<std::size_t>(num_ranks));
+  if (num_ranks > 1) {
+    for (int r = 0; r < num_ranks; ++r) {
+      const int next = (r + 1) % num_ranks;
+      if (next != r) {
+        neighbor_sets[static_cast<std::size_t>(r)].insert(next);
+        neighbor_sets[static_cast<std::size_t>(next)].insert(r);
+      }
+    }
+    Rng rng = Rng(topology_seed).derive(0x4D455348ull);  // "MESH"
+    for (int r = 0; r < num_ranks; ++r) {
+      for (int k = 0; k < extra_degree; ++k) {
+        const int other = static_cast<int>(rng.uniform_int(0, num_ranks - 1));
+        if (other == r) continue;
+        neighbor_sets[static_cast<std::size_t>(r)].insert(other);
+        neighbor_sets[static_cast<std::size_t>(other)].insert(r);
+      }
+    }
+  }
+  std::vector<std::vector<int>> topology(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    topology[static_cast<std::size_t>(r)].assign(
+        neighbor_sets[static_cast<std::size_t>(r)].begin(),
+        neighbor_sets[static_cast<std::size_t>(r)].end());
+  }
+  return topology;
+}
+
+class UnstructuredMesh final : public Pattern {
+public:
+  std::string name() const override { return "unstructured_mesh"; }
+  std::string description() const override {
+    return "halo exchanges over a seeded random neighbor topology";
+  }
+  sim::RankProgram program(const PatternConfig& config) const override {
+    config.validate();
+    const auto topology = build_mesh_topology(
+        config.num_ranks, config.topology_seed, config.mesh_extra_degree);
+    return [config, topology](Comm& comm) {
+      const auto app = comm.scoped_frame("unstructured_mesh");
+      const auto& neighbors =
+          topology[static_cast<std::size_t>(comm.rank())];
+      for (int iteration = 0; iteration < config.iterations; ++iteration) {
+        const auto site = comm.scoped_frame("halo_exchange");
+        std::vector<Request> requests;
+        requests.reserve(neighbors.size());
+        for (std::size_t i = 0; i < neighbors.size(); ++i) {
+          requests.push_back(comm.irecv(kAnySource, 0));
+        }
+        comm.compute(config.compute_us);
+        for (const int neighbor : neighbors) {
+          comm.send(neighbor, 0, {}, config.message_bytes);
+        }
+        (void)comm.wait_all(requests);
+      }
+    };
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Ping-pong: neighbor pairs exchange with explicit sources — a
+// deterministic control whose event graph is identical across runs for any
+// nd_fraction (no wildcard receives means no matching races).
+// ---------------------------------------------------------------------------
+class PingPong final : public Pattern {
+public:
+  std::string name() const override { return "ping_pong"; }
+  std::string description() const override {
+    return "deterministic explicit-source pairwise exchanges (control)";
+  }
+  sim::RankProgram program(const PatternConfig& config) const override {
+    config.validate();
+    return [config](Comm& comm) {
+      const auto app = comm.scoped_frame("ping_pong");
+      const int n = comm.size();
+      if (n < 2) return;
+      const int partner = comm.rank() % 2 == 0
+                              ? (comm.rank() + 1 < n ? comm.rank() + 1 : -1)
+                              : comm.rank() - 1;
+      if (partner < 0) return;  // odd rank count: last rank sits out
+      for (int iteration = 0; iteration < config.iterations; ++iteration) {
+        comm.compute(config.compute_us);
+        if (comm.rank() % 2 == 0) {
+          comm.send(partner, 0, {}, config.message_bytes);
+          (void)comm.recv(partner, 0);
+        } else {
+          (void)comm.recv(partner, 0);
+          comm.send(partner, 0, {}, config.message_bytes);
+        }
+      }
+    };
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Reduce tree: rank 0 accumulates one value per peer in *arrival order*
+// through wildcard receives. The communication graph races like
+// message_race, and the floating-point sum depends on the match order —
+// the numerical-reproducibility failure mode of the paper's Enzo example.
+// ---------------------------------------------------------------------------
+class ReduceTree final : public Pattern {
+public:
+  std::string name() const override { return "reduce_tree"; }
+  std::string description() const override {
+    return "wildcard-order floating-point accumulation onto rank 0";
+  }
+  sim::RankProgram program(const PatternConfig& config) const override {
+    config.validate();
+    return [config](Comm& comm) {
+      const auto app = comm.scoped_frame("reduce_tree");
+      const int n = comm.size();
+      for (int iteration = 0; iteration < config.iterations; ++iteration) {
+        if (comm.rank() == 0) {
+          const auto site = comm.scoped_frame("accumulate");
+          double sum = 0.0;
+          for (int i = 0; i < n - 1; ++i) {
+            sum += sim::double_from_payload(comm.recv(kAnySource, 0).payload);
+          }
+          // Broadcast the (order-dependent) sum so iterations stay loosely
+          // synchronized and every rank could observe the divergent value.
+          (void)comm.broadcast(0, sim::payload_from_double(sum));
+        } else {
+          const auto site = comm.scoped_frame("contribute");
+          comm.compute(config.compute_us);
+          // Spread magnitudes so summation order changes the FP result.
+          const double value =
+              (1.0 + comm.rank()) * 1e-3 +
+              (comm.rank() % 3 == 0 ? 1e8 : 1.0);
+          comm.send(0, 0, sim::payload_from_double(value));
+          (void)comm.broadcast(0, {});
+        }
+      }
+    };
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Probe race: the receiver uses MPI_Probe with ANY_SOURCE and then posts an
+// explicit-source receive for whatever the probe saw. The receive itself
+// names its source, so the race hides in the *probe* — a subtler root
+// source than a wildcard receive, common in real work-queue codes.
+// ---------------------------------------------------------------------------
+class ProbeRace final : public Pattern {
+public:
+  std::string name() const override { return "probe_race"; }
+  std::string description() const override {
+    return "ANY_SOURCE probe followed by explicit-source receives";
+  }
+  sim::RankProgram program(const PatternConfig& config) const override {
+    config.validate();
+    return [config](Comm& comm) {
+      const auto app = comm.scoped_frame("probe_race");
+      const int n = comm.size();
+      for (int iteration = 0; iteration < config.iterations; ++iteration) {
+        if (comm.rank() == 0) {
+          const auto site = comm.scoped_frame("drain_queue");
+          for (int i = 0; i < n - 1; ++i) {
+            const sim::ProbeResult envelope = comm.probe(sim::kAnySource, 0);
+            (void)comm.recv(envelope.source, 0);
+          }
+        } else {
+          const auto site = comm.scoped_frame("submit_work");
+          comm.compute(config.compute_us);
+          comm.send(0, 0, {}, config.message_bytes);
+        }
+      }
+    };
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pattern> make_pattern(const std::string& name) {
+  if (name == "message_race") return std::make_unique<MessageRace>();
+  if (name == "amg2013") return std::make_unique<Amg2013>();
+  if (name == "unstructured_mesh") return std::make_unique<UnstructuredMesh>();
+  if (name == "ping_pong") return std::make_unique<PingPong>();
+  if (name == "reduce_tree") return std::make_unique<ReduceTree>();
+  if (name == "probe_race") return std::make_unique<ProbeRace>();
+  throw ConfigError("unknown pattern '" + name + "'");
+}
+
+std::vector<std::string> pattern_names() {
+  return {"message_race", "amg2013", "unstructured_mesh", "ping_pong",
+          "reduce_tree", "probe_race"};
+}
+
+}  // namespace anacin::patterns

@@ -1,0 +1,315 @@
+#include "realtime/realtime.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+#include "trace/callstack.hpp"
+
+namespace anacin::realtime {
+
+void RtConfig::validate() const {
+  ANACIN_CHECK(num_ranks >= 1, "need at least one rank");
+  ANACIN_CHECK(recv_timeout_ms >= 1, "timeout must be positive");
+}
+
+namespace detail {
+
+using Clock = std::chrono::steady_clock;
+
+struct Msg {
+  int src = -1;
+  int tag = 0;
+  sim::Payload payload;
+  std::int64_t src_seq = -1;
+  std::uint32_t size = 0;
+};
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Msg> queue;
+};
+
+/// Per-rank recorder; events carry their call-path as a string until the
+/// final single-threaded assembly interns them into the shared registry.
+struct Recorder {
+  std::vector<trace::Event> events;
+  std::vector<std::string> paths;
+  std::vector<std::string> frames;
+
+  std::int64_t append(trace::Event event, std::string path) {
+    events.push_back(event);
+    paths.push_back(std::move(path));
+    return static_cast<std::int64_t>(events.size()) - 1;
+  }
+
+  std::string path_with(std::string_view mpi_function) const {
+    std::string path = trace::join_frames(frames);
+    if (!path.empty()) path += '>';
+    path += mpi_function;
+    return path;
+  }
+};
+
+class Runtime {
+public:
+  Runtime(const RtConfig& config, const RankProgram& program)
+      : config_(config),
+        program_(program),
+        mailboxes_(static_cast<std::size_t>(config.num_ranks)),
+        recorders_(static_cast<std::size_t>(config.num_ranks)),
+        start_(Clock::now()) {}
+
+  int num_ranks() const { return config_.num_ranks; }
+
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+  void fail(std::exception_ptr error) {
+    {
+      const std::lock_guard<std::mutex> lock(failure_mutex_);
+      if (!failure_) failure_ = error;
+      failed_.store(true);
+    }
+    // Take each waiter's mutex before notifying so a waiter cannot check
+    // its predicate, miss the flag, and sleep through the notification.
+    for (auto& mailbox : mailboxes_) {
+      const std::lock_guard<std::mutex> lock(mailbox.mutex);
+      mailbox.cv.notify_all();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(barrier_mutex_);
+      barrier_cv_.notify_all();
+    }
+  }
+
+  struct Aborted {};
+
+  void check_failed() const {
+    if (failed_.load()) throw Aborted{};
+  }
+
+  void send(int src, int dest, int tag, sim::Payload payload) {
+    ANACIN_CHECK(dest >= 0 && dest < num_ranks(),
+                 "send to out-of-range rank " << dest);
+    ANACIN_CHECK(tag >= 0, "tag must be non-negative");
+    Recorder& recorder = recorders_[static_cast<std::size_t>(src)];
+    const auto size = static_cast<std::uint32_t>(payload.size());
+
+    trace::Event event;
+    event.type = trace::EventType::kSend;
+    event.rank = src;
+    event.peer = dest;
+    event.tag = tag;
+    event.size_bytes = size;
+    event.t_start = now_us();
+    event.t_end = event.t_start;
+    const std::int64_t seq =
+        recorder.append(event, recorder.path_with("MPI_Send"));
+
+    Mailbox& mailbox = mailboxes_[static_cast<std::size_t>(dest)];
+    {
+      const std::lock_guard<std::mutex> lock(mailbox.mutex);
+      mailbox.queue.push_back(Msg{src, tag, std::move(payload), seq, size});
+    }
+    mailbox.cv.notify_all();
+  }
+
+  sim::RecvResult recv(int rank, int source, int tag) {
+    ANACIN_CHECK(source == sim::kAnySource ||
+                     (source >= 0 && source < num_ranks()),
+                 "receive from out-of-range rank " << source);
+    Recorder& recorder = recorders_[static_cast<std::size_t>(rank)];
+    Mailbox& mailbox = mailboxes_[static_cast<std::size_t>(rank)];
+    const double post_time = now_us();
+
+    Msg msg;
+    {
+      std::unique_lock<std::mutex> lock(mailbox.mutex);
+      const auto deadline = Clock::now() +
+                            std::chrono::milliseconds(config_.recv_timeout_ms);
+      auto matching = [&]() -> std::deque<Msg>::iterator {
+        for (auto it = mailbox.queue.begin(); it != mailbox.queue.end();
+             ++it) {
+          if ((source == sim::kAnySource || source == it->src) &&
+              (tag == sim::kAnyTag || tag == it->tag)) {
+            return it;
+          }
+        }
+        return mailbox.queue.end();
+      };
+      for (;;) {
+        check_failed();
+        const auto it = matching();
+        if (it != mailbox.queue.end()) {
+          msg = std::move(*it);
+          mailbox.queue.erase(it);
+          break;
+        }
+        if (mailbox.cv.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          throw DeadlockError(
+              "realtime: rank " + std::to_string(rank) +
+              " timed out in recv(source=" +
+              (source == sim::kAnySource ? std::string("ANY")
+                                         : std::to_string(source)) +
+              ", tag=" +
+              (tag == sim::kAnyTag ? std::string("ANY")
+                                   : std::to_string(tag)) +
+              ") after " + std::to_string(config_.recv_timeout_ms) + "ms");
+        }
+      }
+    }
+
+    trace::Event event;
+    event.type = trace::EventType::kRecv;
+    event.rank = rank;
+    event.peer = msg.src;
+    event.tag = msg.tag;
+    event.size_bytes = msg.size;
+    event.t_start = post_time;
+    event.t_end = now_us();
+    event.matched_rank = msg.src;
+    event.matched_seq = msg.src_seq;
+    event.posted_source = source;
+    event.posted_tag = tag;
+    recorder.append(event, recorder.path_with("MPI_Recv"));
+    return sim::RecvResult{msg.src, msg.tag, std::move(msg.payload),
+                           event.t_end};
+  }
+
+  void barrier() {
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    const std::uint64_t generation = barrier_generation_;
+    if (++barrier_arrivals_ == num_ranks()) {
+      barrier_arrivals_ = 0;
+      ++barrier_generation_;
+      barrier_cv_.notify_all();
+      return;
+    }
+    barrier_cv_.wait(lock, [&] {
+      return barrier_generation_ != generation || failed_.load();
+    });
+    check_failed();
+  }
+
+  void push_frame(int rank, std::string frame) {
+    recorders_[static_cast<std::size_t>(rank)].frames.push_back(
+        std::move(frame));
+  }
+  void pop_frame(int rank) {
+    auto& frames = recorders_[static_cast<std::size_t>(rank)].frames;
+    ANACIN_CHECK(!frames.empty(), "pop_frame with empty stack");
+    frames.pop_back();
+  }
+
+  trace::Trace run() {
+    // Init events at t=0.
+    for (int r = 0; r < num_ranks(); ++r) {
+      trace::Event event;
+      event.type = trace::EventType::kInit;
+      event.rank = r;
+      recorders_[static_cast<std::size_t>(r)].append(event, "MPI_Init");
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_ranks()));
+    for (int r = 0; r < num_ranks(); ++r) {
+      threads.emplace_back([this, r] {
+        try {
+          Comm comm(this, r);
+          program_(comm);
+          trace::Event event;
+          event.type = trace::EventType::kFinalize;
+          event.rank = r;
+          event.t_start = now_us();
+          event.t_end = event.t_start;
+          recorders_[static_cast<std::size_t>(r)].append(event,
+                                                         "MPI_Finalize");
+        } catch (const Aborted&) {
+          // another rank failed first; just unwind
+        } catch (...) {
+          fail(std::current_exception());
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    if (failure_) std::rethrow_exception(failure_);
+
+    // Single-threaded assembly: intern paths, build the trace.
+    trace::Trace trace(num_ranks(), 1);
+    for (int r = 0; r < num_ranks(); ++r) {
+      Recorder& recorder = recorders_[static_cast<std::size_t>(r)];
+      for (std::size_t i = 0; i < recorder.events.size(); ++i) {
+        trace::Event event = recorder.events[i];
+        event.callstack_id = trace.callstacks().intern(recorder.paths[i]);
+        trace.append(event);
+      }
+    }
+    return trace;
+  }
+
+private:
+  RtConfig config_;
+  const RankProgram& program_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<Recorder> recorders_;
+  Clock::time_point start_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrivals_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  std::atomic<bool> failed_{false};
+  std::mutex failure_mutex_;
+  std::exception_ptr failure_;
+};
+
+}  // namespace detail
+
+FrameScope::~FrameScope() {
+  if (comm_ != nullptr) comm_->pop_frame();
+}
+
+int Comm::size() const { return runtime_->num_ranks(); }
+
+void Comm::send(int dest, int tag, sim::Payload payload) {
+  runtime_->send(rank_, dest, tag, std::move(payload));
+}
+
+sim::RecvResult Comm::recv(int source, int tag) {
+  return runtime_->recv(rank_, source, tag);
+}
+
+void Comm::barrier() { runtime_->barrier(); }
+
+void Comm::compute(double microseconds) {
+  ANACIN_CHECK(microseconds >= 0, "compute time must be non-negative");
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::micro>(microseconds));
+}
+
+FrameScope Comm::scoped_frame(std::string_view name) {
+  runtime_->push_frame(rank_, std::string(name));
+  return FrameScope(this);
+}
+
+void Comm::pop_frame() { runtime_->pop_frame(rank_); }
+
+trace::Trace run_threads(const RtConfig& config, const RankProgram& program) {
+  config.validate();
+  ANACIN_CHECK(program != nullptr, "program must be callable");
+  detail::Runtime runtime(config, program);
+  return runtime.run();
+}
+
+}  // namespace anacin::realtime

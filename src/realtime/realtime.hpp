@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "sim/types.hpp"
+#include "trace/trace.hpp"
+
+namespace anacin::realtime {
+
+/// Native-threads execution backend.
+///
+/// Where `sim::run_simulation` produces *controlled* non-determinism from a
+/// seeded jitter model, this backend runs each rank on a real std::thread
+/// with real mutex-protected mailboxes: message races resolve however the
+/// OS scheduler happens to interleave the threads. It produces the same
+/// trace::Trace as the simulator, so the entire analysis pipeline (event
+/// graphs, kernel distances, root causes) applies unchanged — demonstrating
+/// that the course's method measures genuine platform non-determinism, not
+/// an artifact of the simulator.
+///
+/// The API is a deliberately small subset of sim::Comm: blocking send
+/// (mailboxes are unbounded, so sends never block), blocking receive with
+/// kAnySource/kAnyTag wildcards, a process barrier, local compute, and
+/// callsite frames for root-cause attribution.
+class Comm;
+using RankProgram = std::function<void(Comm&)>;
+
+struct RtConfig {
+  int num_ranks = 2;
+  /// A receive that waits longer than this fails the run with
+  /// DeadlockError (a hung test is worse than a failed one).
+  std::uint64_t recv_timeout_ms = 10'000;
+
+  void validate() const;
+};
+
+/// RAII callsite frame (same role as sim::CallScope).
+class FrameScope {
+public:
+  FrameScope(FrameScope&& other) noexcept : comm_(other.comm_) {
+    other.comm_ = nullptr;
+  }
+  FrameScope(const FrameScope&) = delete;
+  FrameScope& operator=(const FrameScope&) = delete;
+  FrameScope& operator=(FrameScope&&) = delete;
+  ~FrameScope();
+
+private:
+  friend class Comm;
+  explicit FrameScope(Comm* comm) : comm_(comm) {}
+  Comm* comm_;
+};
+
+namespace detail {
+class Runtime;
+}
+
+class Comm {
+public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  void send(int dest, int tag = 0, sim::Payload payload = {});
+  sim::RecvResult recv(int source = sim::kAnySource, int tag = sim::kAnyTag);
+  /// Synchronize all ranks.
+  void barrier();
+  /// Real local work (sleeps for the given wall-clock duration).
+  void compute(double microseconds);
+  [[nodiscard]] FrameScope scoped_frame(std::string_view name);
+
+private:
+  friend class detail::Runtime;
+  friend class FrameScope;
+  Comm(detail::Runtime* runtime, int rank)
+      : runtime_(runtime), rank_(rank) {}
+  void pop_frame();
+
+  detail::Runtime* runtime_;
+  int rank_;
+};
+
+/// Run `program` on real threads; returns the recorded trace.
+/// NOT deterministic: repeated calls may produce different matchings —
+/// that is the point.
+trace::Trace run_threads(const RtConfig& config, const RankProgram& program);
+
+}  // namespace anacin::realtime

@@ -1,0 +1,72 @@
+#include "replay/replay.hpp"
+
+#include "support/error.hpp"
+
+namespace anacin::replay {
+
+sim::ReplaySchedule record_schedule(const trace::Trace& trace) {
+  sim::ReplaySchedule schedule;
+  schedule.wildcard_matches.resize(
+      static_cast<std::size_t>(trace.num_ranks()));
+  for (int rank = 0; rank < trace.num_ranks(); ++rank) {
+    for (const trace::Event& event : trace.rank_events(rank)) {
+      if (event.type != trace::EventType::kRecv) continue;
+      if (event.posted_source != sim::kAnySource) continue;
+      schedule.wildcard_matches[static_cast<std::size_t>(rank)].push_back(
+          {event.matched_rank, event.matched_seq});
+    }
+  }
+  return schedule;
+}
+
+json::Value schedule_to_json(const sim::ReplaySchedule& schedule) {
+  json::Value doc = json::Value::object();
+  doc.set("schema", "anacin-replay-1");
+  json::Value ranks = json::Value::array();
+  for (const auto& per_rank : schedule.wildcard_matches) {
+    json::Value matches = json::Value::array();
+    for (const auto& match : per_rank) {
+      json::Value entry = json::Value::array();
+      entry.push_back(match.source);
+      entry.push_back(match.send_seq);
+      matches.push_back(std::move(entry));
+    }
+    ranks.push_back(std::move(matches));
+  }
+  doc.set("wildcard_matches", std::move(ranks));
+  return doc;
+}
+
+sim::ReplaySchedule schedule_from_json(const json::Value& document) {
+  if (!document.is_object() || !document.contains("schema") ||
+      document.at("schema").as_string() != "anacin-replay-1") {
+    throw ParseError("not an anacin-replay-1 document");
+  }
+  sim::ReplaySchedule schedule;
+  for (const json::Value& matches :
+       document.at("wildcard_matches").items()) {
+    std::vector<sim::ReplaySchedule::Match> per_rank;
+    per_rank.reserve(matches.size());
+    for (const json::Value& entry : matches.items()) {
+      ANACIN_CHECK(entry.size() == 2, "replay match entry must be a pair");
+      per_rank.push_back(
+          {static_cast<std::int32_t>(entry.at(0).as_int()),
+           entry.at(1).as_int()});
+    }
+    schedule.wildcard_matches.push_back(std::move(per_rank));
+  }
+  return schedule;
+}
+
+RecordReplayResult record_and_replay(const sim::SimConfig& record_config,
+                                     const sim::SimConfig& replay_config,
+                                     const sim::RankProgram& program) {
+  RecordReplayResult result{sim::run_simulation(record_config, program), {}};
+  const sim::ReplaySchedule schedule = record_schedule(result.recorded.trace);
+  sim::SimConfig forced = replay_config;
+  forced.replay = &schedule;
+  result.replayed = sim::run_simulation(forced, program);
+  return result;
+}
+
+}  // namespace anacin::replay

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "sim/replay_schedule.hpp"
+#include "sim/simulator.hpp"
+#include "support/json.hpp"
+#include "trace/trace.hpp"
+
+namespace anacin::replay {
+
+/// Extract the wildcard-receive matching decisions of a recorded run.
+///
+/// This is the ReMPI idea from the paper's Related Work: record the
+/// outcome of every message race, then force the same outcome on replay to
+/// temporarily suppress non-determinism. Under this engine only wildcard
+/// receives race (explicit-source matching is FIFO-deterministic), so the
+/// schedule stores exactly one (source, send_seq) pair per wildcard
+/// receive completion, in per-rank completion order.
+sim::ReplaySchedule record_schedule(const trace::Trace& trace);
+
+/// Serialize a schedule (schema "anacin-replay-1").
+json::Value schedule_to_json(const sim::ReplaySchedule& schedule);
+sim::ReplaySchedule schedule_from_json(const json::Value& document);
+
+/// Convenience: run `program` once with `record_config` to record a
+/// schedule, then run it again under `replay_config` with matching forced.
+/// Returns both runs; the replayed run's match order provably equals the
+/// recorded one (tested), so the kernel distance between them is ~0.
+struct RecordReplayResult {
+  sim::RunResult recorded;
+  sim::RunResult replayed;
+};
+RecordReplayResult record_and_replay(const sim::SimConfig& record_config,
+                                     const sim::SimConfig& replay_config,
+                                     const sim::RankProgram& program);
+
+}  // namespace anacin::replay

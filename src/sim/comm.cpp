@@ -1,0 +1,368 @@
+#include "sim/comm.hpp"
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+#include "support/error.hpp"
+
+namespace anacin::sim {
+
+CallScope::~CallScope() {
+  if (comm_ != nullptr) comm_->pop_frame();
+}
+
+Comm::Comm(Engine* engine, int rank) : engine_(engine), rank_(rank) {
+  ANACIN_CHECK(engine_ != nullptr, "Comm requires an engine");
+}
+
+int Comm::size() const { return engine_->num_ranks(); }
+int Comm::node() const { return engine_->node_of(rank_); }
+int Comm::num_nodes() const { return engine_->num_nodes(); }
+
+void Comm::compute(double microseconds) {
+  Engine::Call call;
+  call.kind = Engine::CallKind::kCompute;
+  call.compute_us = microseconds;
+  engine_->rank_call(rank_, call);
+}
+
+void Comm::send(int dest, int tag, Payload payload, std::uint32_t size_hint) {
+  Engine::Call call;
+  call.kind = Engine::CallKind::kSend;
+  call.send_mode = Engine::SendMode::kBuffered;
+  call.peer = dest;
+  call.tag = tag;
+  call.payload = std::move(payload);
+  call.size_hint = size_hint;
+  engine_->rank_call(rank_, call);
+}
+
+Request Comm::isend(int dest, int tag, Payload payload,
+                    std::uint32_t size_hint) {
+  Engine::Call call;
+  call.kind = Engine::CallKind::kSend;
+  call.send_mode = Engine::SendMode::kNonblocking;
+  call.peer = dest;
+  call.tag = tag;
+  call.payload = std::move(payload);
+  call.size_hint = size_hint;
+  engine_->rank_call(rank_, call);
+  return Request(call.out_request);
+}
+
+void Comm::ssend(int dest, int tag, Payload payload, std::uint32_t size_hint) {
+  Engine::Call call;
+  call.kind = Engine::CallKind::kSend;
+  call.send_mode = Engine::SendMode::kSync;
+  call.peer = dest;
+  call.tag = tag;
+  call.payload = std::move(payload);
+  call.size_hint = size_hint;
+  engine_->rank_call(rank_, call);
+}
+
+Request Comm::issend(int dest, int tag, Payload payload,
+                     std::uint32_t size_hint) {
+  Engine::Call call;
+  call.kind = Engine::CallKind::kSend;
+  call.send_mode = Engine::SendMode::kNonblockingSync;
+  call.peer = dest;
+  call.tag = tag;
+  call.payload = std::move(payload);
+  call.size_hint = size_hint;
+  engine_->rank_call(rank_, call);
+  return Request(call.out_request);
+}
+
+ProbeResult Comm::probe(int source, int tag) {
+  Engine::Call call;
+  call.kind = Engine::CallKind::kProbe;
+  call.src_filter = source;
+  call.tag_filter = tag;
+  engine_->rank_call(rank_, call);
+  return call.out_probe;
+}
+
+std::optional<ProbeResult> Comm::iprobe(int source, int tag) {
+  Engine::Call call;
+  call.kind = Engine::CallKind::kIprobe;
+  call.src_filter = source;
+  call.tag_filter = tag;
+  engine_->rank_call(rank_, call);
+  if (!call.out_flag) return std::nullopt;
+  return call.out_probe;
+}
+
+RecvResult Comm::sendrecv(int dest, int send_tag, Payload payload, int source,
+                          int recv_tag) {
+  // The outgoing message is buffered, so posting it before the blocking
+  // receive cannot deadlock — the same guarantee MPI_Sendrecv provides.
+  send(dest, send_tag, std::move(payload));
+  return recv(source, recv_tag);
+}
+
+RecvResult Comm::recv(int source, int tag) {
+  Engine::Call call;
+  call.kind = Engine::CallKind::kRecv;
+  call.src_filter = source;
+  call.tag_filter = tag;
+  engine_->rank_call(rank_, call);
+  return std::move(call.out_recv);
+}
+
+Request Comm::irecv(int source, int tag) {
+  Engine::Call call;
+  call.kind = Engine::CallKind::kIrecv;
+  call.src_filter = source;
+  call.tag_filter = tag;
+  engine_->rank_call(rank_, call);
+  return Request(call.out_request);
+}
+
+RecvResult Comm::wait(Request request) {
+  ANACIN_CHECK(request.valid(), "wait on an invalid request");
+  Engine::Call call;
+  call.kind = Engine::CallKind::kWait;
+  call.request_ids = {request.id_};
+  engine_->rank_call(rank_, call);
+  return std::move(call.out_recv);
+}
+
+WaitAnyResult Comm::wait_any(std::span<const Request> requests) {
+  Engine::Call call;
+  call.kind = Engine::CallKind::kWaitAny;
+  call.request_ids.reserve(requests.size());
+  for (const Request& request : requests) {
+    ANACIN_CHECK(request.valid(), "wait_any on an invalid request");
+    call.request_ids.push_back(request.id_);
+  }
+  engine_->rank_call(rank_, call);
+  return WaitAnyResult{call.out_index, std::move(call.out_recv)};
+}
+
+std::vector<RecvResult> Comm::wait_all(std::span<const Request> requests) {
+  Engine::Call call;
+  call.kind = Engine::CallKind::kWaitAll;
+  call.request_ids.reserve(requests.size());
+  for (const Request& request : requests) {
+    ANACIN_CHECK(request.valid(), "wait_all on an invalid request");
+    call.request_ids.push_back(request.id_);
+  }
+  engine_->rank_call(rank_, call);
+  return std::move(call.out_recv_all);
+}
+
+CallScope Comm::scoped_frame(std::string_view name) {
+  engine_->push_frame(rank_, std::string(name));
+  return CallScope(this);
+}
+
+void Comm::pop_frame() { engine_->pop_frame(rank_); }
+
+Rng& Comm::rng() { return engine_->rank_rng(rank_); }
+
+int Comm::next_collective_tag() {
+  // Collectives are called in the same order on every rank, so the counter
+  // values agree across ranks; 64 tags per invocation leave room for
+  // multi-round algorithms.
+  const int tag = kCollectiveTagBase + collective_counter_ * 64;
+  ++collective_counter_;
+  return tag;
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+// ---------------------------------------------------------------------------
+
+void Comm::barrier() {
+  const CallScope scope = scoped_frame("MPI_Barrier");
+  const int tag = next_collective_tag();
+  const int n = size();
+  for (int k = 1, round = 0; k < n; k <<= 1, ++round) {
+    const int to = (rank_ + k) % n;
+    const int from = (rank_ - k % n + n) % n;
+    send(to, tag + round);
+    (void)recv(from, tag + round);
+  }
+}
+
+Payload Comm::broadcast(int root, Payload value) {
+  ANACIN_CHECK(root >= 0 && root < size(), "broadcast root out of range");
+  const CallScope scope = scoped_frame("MPI_Bcast");
+  const int tag = next_collective_tag();
+  const int n = size();
+  // Binary tree over virtual ranks (root maps to virtual rank 0).
+  const int vrank = (rank_ - root + n) % n;
+  if (vrank != 0) {
+    const int vparent = (vrank - 1) / 2;
+    value = recv((vparent + root) % n, tag).payload;
+  }
+  for (const int vchild : {2 * vrank + 1, 2 * vrank + 2}) {
+    if (vchild < n) send((vchild + root) % n, tag, value);
+  }
+  return value;
+}
+
+namespace {
+double apply_reduce_op(Comm::ReduceOp op, double a, double b) {
+  switch (op) {
+    case Comm::ReduceOp::kSum: return a + b;
+    case Comm::ReduceOp::kMin: return std::min(a, b);
+    case Comm::ReduceOp::kMax: return std::max(a, b);
+  }
+  throw Error("unhandled reduce op");
+}
+}  // namespace
+
+double Comm::reduce(int root, double value, ReduceOp op) {
+  ANACIN_CHECK(root >= 0 && root < size(), "reduce root out of range");
+  const CallScope scope = scoped_frame("MPI_Reduce");
+  const int tag = next_collective_tag();
+  const int n = size();
+  const int vrank = (rank_ - root + n) % n;
+  // Children contribute in a fixed order, so floating-point reduction is
+  // deterministic — contrast with the reduce_tree mini-app, which
+  // deliberately accumulates in arrival order.
+  double accumulator = value;
+  for (const int vchild : {2 * vrank + 1, 2 * vrank + 2}) {
+    if (vchild < n) {
+      const RecvResult r = recv((vchild + root) % n, tag);
+      accumulator =
+          apply_reduce_op(op, accumulator, double_from_payload(r.payload));
+    }
+  }
+  if (vrank != 0) {
+    const int vparent = (vrank - 1) / 2;
+    send((vparent + root) % n, tag, payload_from_double(accumulator));
+    return 0.0;
+  }
+  return accumulator;
+}
+
+double Comm::reduce_sum(int root, double value) {
+  return reduce(root, value, ReduceOp::kSum);
+}
+
+double Comm::allreduce(double value, ReduceOp op) {
+  const CallScope scope = scoped_frame("MPI_Allreduce");
+  const double total = reduce(0, value, op);
+  const Payload result =
+      broadcast(0, rank_ == 0 ? payload_from_double(total) : Payload{});
+  return double_from_payload(result);
+}
+
+double Comm::allreduce_sum(double value) {
+  return allreduce(value, ReduceOp::kSum);
+}
+
+std::vector<Payload> Comm::gather(int root, Payload value) {
+  ANACIN_CHECK(root >= 0 && root < size(), "gather root out of range");
+  const CallScope scope = scoped_frame("MPI_Gather");
+  const int tag = next_collective_tag();
+  const int n = size();
+  if (rank_ != root) {
+    send(root, tag, std::move(value));
+    return {};
+  }
+  std::vector<Payload> gathered(static_cast<std::size_t>(n));
+  gathered[static_cast<std::size_t>(rank_)] = std::move(value);
+  for (int src = 0; src < n; ++src) {
+    if (src == root) continue;
+    gathered[static_cast<std::size_t>(src)] = recv(src, tag).payload;
+  }
+  return gathered;
+}
+
+std::vector<Payload> Comm::allgather(Payload value) {
+  const CallScope scope = scoped_frame("MPI_Allgather");
+  std::vector<Payload> gathered = gather(0, std::move(value));
+  // Rank 0 rebroadcasts the concatenation with per-chunk length prefixes.
+  const int n = size();
+  Payload packed;
+  if (rank_ == 0) {
+    for (const Payload& chunk : gathered) {
+      const auto length = static_cast<std::uint64_t>(chunk.size());
+      const Payload length_bytes = payload_from_u64(length);
+      packed.insert(packed.end(), length_bytes.begin(), length_bytes.end());
+      packed.insert(packed.end(), chunk.begin(), chunk.end());
+    }
+  }
+  const Payload broadcasted = broadcast(0, std::move(packed));
+  std::vector<Payload> result;
+  result.reserve(static_cast<std::size_t>(n));
+  std::size_t offset = 0;
+  for (int r = 0; r < n; ++r) {
+    ANACIN_CHECK(offset + sizeof(std::uint64_t) <= broadcasted.size(),
+                 "allgather decode underflow");
+    Payload length_bytes(broadcasted.begin() + static_cast<std::ptrdiff_t>(offset),
+                         broadcasted.begin() +
+                             static_cast<std::ptrdiff_t>(offset +
+                                                         sizeof(std::uint64_t)));
+    const auto length =
+        static_cast<std::size_t>(u64_from_payload(length_bytes));
+    offset += sizeof(std::uint64_t);
+    ANACIN_CHECK(offset + length <= broadcasted.size(),
+                 "allgather decode underflow");
+    result.emplace_back(
+        broadcasted.begin() + static_cast<std::ptrdiff_t>(offset),
+        broadcasted.begin() + static_cast<std::ptrdiff_t>(offset + length));
+    offset += length;
+  }
+  return result;
+}
+
+Payload Comm::scatter(int root, std::vector<Payload> chunks) {
+  ANACIN_CHECK(root >= 0 && root < size(), "scatter root out of range");
+  const CallScope scope = scoped_frame("MPI_Scatter");
+  const int tag = next_collective_tag();
+  const int n = size();
+  if (rank_ == root) {
+    ANACIN_CHECK(static_cast<int>(chunks.size()) == n,
+                 "scatter root needs one chunk per rank, got "
+                     << chunks.size());
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == root) continue;
+      send(dst, tag, std::move(chunks[static_cast<std::size_t>(dst)]));
+    }
+    return std::move(chunks[static_cast<std::size_t>(root)]);
+  }
+  return recv(root, tag).payload;
+}
+
+double Comm::scan_sum(double value) {
+  const CallScope scope = scoped_frame("MPI_Scan");
+  const int tag = next_collective_tag();
+  // Linear pipeline: receive the prefix from the left neighbor, add our
+  // value, forward to the right. O(n) depth but simple and deterministic.
+  double prefix = value;
+  if (rank_ > 0) {
+    prefix += double_from_payload(recv(rank_ - 1, tag).payload);
+  }
+  if (rank_ + 1 < size()) {
+    send(rank_ + 1, tag, payload_from_double(prefix));
+  }
+  return prefix;
+}
+
+std::vector<Payload> Comm::all_to_all(std::vector<Payload> send_buffers) {
+  const int n = size();
+  ANACIN_CHECK(static_cast<int>(send_buffers.size()) == n,
+               "all_to_all needs one buffer per rank, got "
+                   << send_buffers.size());
+  const CallScope scope = scoped_frame("MPI_Alltoall");
+  const int tag = next_collective_tag();
+  std::vector<Payload> received(static_cast<std::size_t>(n));
+  received[static_cast<std::size_t>(rank_)] =
+      std::move(send_buffers[static_cast<std::size_t>(rank_)]);
+  // Rotation schedule: in step i exchange with (rank + i) and (rank - i).
+  // Sends are buffered, so the blocking receive cannot deadlock.
+  for (int i = 1; i < n; ++i) {
+    const int to = (rank_ + i) % n;
+    const int from = (rank_ - i + n) % n;
+    send(to, tag, std::move(send_buffers[static_cast<std::size_t>(to)]));
+    received[static_cast<std::size_t>(from)] = recv(from, tag).payload;
+  }
+  return received;
+}
+
+}  // namespace anacin::sim

@@ -1,0 +1,74 @@
+#include "sim/config.hpp"
+
+#include "support/error.hpp"
+
+namespace anacin::sim {
+
+void NetworkConfig::validate() const {
+  ANACIN_CHECK(send_overhead_us >= 0 && recv_overhead_us >= 0,
+               "overheads must be non-negative");
+  ANACIN_CHECK(latency_intra_us >= 0 && latency_inter_us >= 0,
+               "latencies must be non-negative");
+  ANACIN_CHECK(bandwidth_bytes_per_us > 0, "bandwidth must be positive");
+  ANACIN_CHECK(nd_fraction >= 0.0 && nd_fraction <= 1.0,
+               "nd_fraction must be in [0,1], got " << nd_fraction);
+  ANACIN_CHECK(jitter_mean_intra_us >= 0 && jitter_mean_inter_us >= 0,
+               "jitter means must be non-negative");
+  ANACIN_CHECK(inter_node_nd_multiplier >= 1.0,
+               "inter-node ND multiplier must be >= 1");
+}
+
+json::Value NetworkConfig::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("send_overhead_us", send_overhead_us);
+  doc.set("recv_overhead_us", recv_overhead_us);
+  doc.set("latency_intra_us", latency_intra_us);
+  doc.set("latency_inter_us", latency_inter_us);
+  doc.set("bandwidth_bytes_per_us", bandwidth_bytes_per_us);
+  doc.set("nd_fraction", nd_fraction);
+  doc.set("jitter_mean_intra_us", jitter_mean_intra_us);
+  doc.set("jitter_mean_inter_us", jitter_mean_inter_us);
+  doc.set("inter_node_nd_multiplier", inter_node_nd_multiplier);
+  return doc;
+}
+
+NetworkConfig NetworkConfig::from_json(const json::Value& doc) {
+  NetworkConfig config;
+  config.send_overhead_us = doc.at("send_overhead_us").as_number();
+  config.recv_overhead_us = doc.at("recv_overhead_us").as_number();
+  config.latency_intra_us = doc.at("latency_intra_us").as_number();
+  config.latency_inter_us = doc.at("latency_inter_us").as_number();
+  config.bandwidth_bytes_per_us = doc.at("bandwidth_bytes_per_us").as_number();
+  config.nd_fraction = doc.at("nd_fraction").as_number();
+  config.jitter_mean_intra_us = doc.at("jitter_mean_intra_us").as_number();
+  config.jitter_mean_inter_us = doc.at("jitter_mean_inter_us").as_number();
+  config.inter_node_nd_multiplier =
+      doc.at("inter_node_nd_multiplier").as_number();
+  config.validate();
+  return config;
+}
+
+void SimConfig::validate() const {
+  ANACIN_CHECK(num_ranks >= 1, "num_ranks must be >= 1, got " << num_ranks);
+  ANACIN_CHECK(num_nodes >= 1 && num_nodes <= num_ranks,
+               "num_nodes must be in [1, num_ranks], got " << num_nodes);
+  ANACIN_CHECK(max_calls > 0, "max_calls must be positive");
+  network.validate();
+}
+
+int SimConfig::node_of(int rank) const {
+  const int ranks_per_node = (num_ranks + num_nodes - 1) / num_nodes;
+  return rank / ranks_per_node;
+}
+
+json::Value SimConfig::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("num_ranks", num_ranks);
+  doc.set("num_nodes", num_nodes);
+  doc.set("seed", static_cast<std::uint64_t>(seed));
+  doc.set("network", network.to_json());
+  doc.set("replay", replay != nullptr);
+  return doc;
+}
+
+}  // namespace anacin::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+
+#include "support/json.hpp"
+
+namespace anacin::sim {
+
+struct ReplaySchedule;  // sim/replay_schedule.hpp
+
+/// Parameters of the simulated interconnect and of the delay-injection
+/// model that produces controllable non-determinism.
+///
+/// The paper's "percentage of non-determinism" is `nd_fraction`: the
+/// probability that an individual message suffers a random congestion /
+/// contention delay on top of its deterministic base latency. With
+/// `nd_fraction == 0` every run of a program is bit-identical; with 1.0
+/// every message is eligible for jitter, reproducing the "100%
+/// non-determinism" setting used throughout the paper's figures.
+struct NetworkConfig {
+  /// Fixed virtual-time cost of issuing a send / completing a receive (µs).
+  double send_overhead_us = 0.05;
+  double recv_overhead_us = 0.05;
+  /// Base one-way latency between ranks on the same / different nodes (µs).
+  double latency_intra_us = 1.0;
+  double latency_inter_us = 5.0;
+  /// Serialization cost per byte (bytes per µs).
+  double bandwidth_bytes_per_us = 10000.0;
+  /// Fraction of messages eligible for congestion jitter, in [0, 1].
+  double nd_fraction = 1.0;
+  /// Mean of the exponentially distributed jitter (µs). Inter-node links
+  /// see larger jitter, modelling the paper's observation that runs across
+  /// multiple compute nodes are more likely to be non-deterministic.
+  double jitter_mean_intra_us = 20.0;
+  double jitter_mean_inter_us = 80.0;
+  /// Congestion on shared inter-node links is also more *likely*: the
+  /// effective jitter probability of an inter-node message is
+  /// min(1, nd_fraction * inter_node_nd_multiplier).
+  double inter_node_nd_multiplier = 2.0;
+
+  void validate() const;
+  json::Value to_json() const;
+  static NetworkConfig from_json(const json::Value& doc);
+};
+
+/// Full configuration of one simulated execution.
+struct SimConfig {
+  int num_ranks = 2;
+  /// Ranks are block-mapped onto nodes: node(r) = r / ceil(ranks/nodes).
+  int num_nodes = 1;
+  /// Seed of all randomness in the run (jitter + per-rank program RNGs).
+  /// Two runs with identical programs and identical seeds produce
+  /// identical traces; varying the seed across runs models independent
+  /// executions on a noisy machine.
+  std::uint64_t seed = 1;
+  NetworkConfig network;
+  /// Guard against runaway programs: maximum number of MPI calls processed.
+  std::uint64_t max_calls = 50'000'000;
+  /// Optional record-and-replay schedule; when set, wildcard receives are
+  /// forced to match the recorded message order (ReMPI-style).
+  const ReplaySchedule* replay = nullptr;
+
+  void validate() const;
+  /// Node of a rank under the block mapping.
+  int node_of(int rank) const;
+  json::Value to_json() const;
+};
+
+}  // namespace anacin::sim

@@ -1,0 +1,815 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/comm.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "trace/callstack.hpp"
+
+namespace anacin::sim {
+
+namespace {
+
+/// Minimum spacing between deliveries in the same (src, dst) channel.
+/// Enforces the MPI non-overtaking rule: matching order per channel equals
+/// send order, even when jitter would reorder raw network arrival.
+constexpr double kChannelFifoEpsilon = 1e-9;
+
+SimConfig validated(SimConfig config) {
+  config.validate();
+  return config;
+}
+
+}  // namespace
+
+Engine::Engine(SimConfig config, RankProgram program)
+    : config_(validated(std::move(config))),
+      program_(std::move(program)),
+      network_(config_.network, config_,
+               Rng(config_.seed).derive(0xC0FFEEull)),
+      trace_(config_.num_ranks, config_.num_nodes),
+      replay_(config_.replay) {
+  ANACIN_CHECK(program_ != nullptr, "rank program must be callable");
+  ranks_.reserve(static_cast<std::size_t>(config_.num_ranks));
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    auto ctx = std::make_unique<RankCtx>();
+    ctx->rank = r;
+    ctx->rng = Rng(config_.seed)
+                   .derive(hash_combine(0x52414E4Bull,
+                                        static_cast<std::uint64_t>(r)));
+    ranks_.push_back(std::move(ctx));
+  }
+}
+
+Engine::~Engine() {
+  if (threads_started_) {
+    abort_all_ranks();
+    for (auto& ctx : ranks_) {
+      if (ctx->thread.joinable()) ctx->thread.join();
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Token passing
+// --------------------------------------------------------------------------
+
+void Engine::resume_rank(RankCtx& ctx) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  token_ = ctx.rank;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return token_ == kEngineToken; });
+}
+
+void Engine::yield_to_engine(int rank) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  token_ = kEngineToken;
+  cv_.notify_all();
+  cv_.wait(lock, [this, rank] { return token_ == rank || aborting_; });
+  if (aborting_) throw AbortSignal{};
+}
+
+void Engine::wait_for_token_initial(int rank) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this, rank] { return token_ == rank || aborting_; });
+  if (aborting_) throw AbortSignal{};
+}
+
+void Engine::finish_rank_handshake(RankCtx& ctx) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ctx.finished = true;
+  token_ = kEngineToken;
+  cv_.notify_all();
+}
+
+void Engine::abort_all_ranks() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  aborting_ = true;
+  cv_.notify_all();
+}
+
+void Engine::rank_thread_main(RankCtx& ctx) {
+  try {
+    wait_for_token_initial(ctx.rank);
+    ctx.started = true;
+    Comm comm(this, ctx.rank);
+    program_(comm);
+  } catch (const AbortSignal&) {
+    // Engine-initiated teardown: exit without touching the token.
+    ctx.aborted = true;
+    return;
+  } catch (...) {
+    ctx.error = std::current_exception();
+  }
+  finish_rank_handshake(ctx);
+}
+
+// --------------------------------------------------------------------------
+// Rank-side entry points (called on rank threads while they hold the token)
+// --------------------------------------------------------------------------
+
+void Engine::rank_call(int rank, Call& call) {
+  RankCtx& ctx = *ranks_[static_cast<std::size_t>(rank)];
+  ctx.call = &call;
+  ctx.has_pending_call = true;
+  ctx.call_done = false;
+  yield_to_engine(rank);
+  ANACIN_CHECK(ctx.call_done, "engine resumed rank " << rank
+                                                     << " with incomplete call");
+  ctx.call = nullptr;
+}
+
+void Engine::push_frame(int rank, std::string frame) {
+  ranks_[static_cast<std::size_t>(rank)]->frames.push_back(std::move(frame));
+}
+
+void Engine::pop_frame(int rank) {
+  auto& frames = ranks_[static_cast<std::size_t>(rank)]->frames;
+  ANACIN_CHECK(!frames.empty(), "pop_frame with empty frame stack");
+  frames.pop_back();
+}
+
+Rng& Engine::rank_rng(int rank) {
+  return ranks_[static_cast<std::size_t>(rank)]->rng;
+}
+
+// --------------------------------------------------------------------------
+// Engine mechanics
+// --------------------------------------------------------------------------
+
+RunResult Engine::run() {
+  ANACIN_CHECK(!ran_, "Engine::run is single-use");
+  ran_ = true;
+  record_init_events();
+
+  for (auto& ctx : ranks_) {
+    RankCtx* raw = ctx.get();
+    ctx->thread = std::thread([this, raw] { rank_thread_main(*raw); });
+  }
+  threads_started_ = true;
+
+  try {
+    main_loop();
+  } catch (...) {
+    abort_all_ranks();
+    for (auto& ctx : ranks_) {
+      if (ctx->thread.joinable()) ctx->thread.join();
+    }
+    threads_started_ = false;
+    throw;
+  }
+
+  for (auto& ctx : ranks_) {
+    if (ctx->thread.joinable()) ctx->thread.join();
+  }
+  threads_started_ = false;
+
+  stats_.calls = processed_calls_;
+  stats_.makespan_us = trace_.makespan();
+  return RunResult{std::move(trace_), stats_};
+}
+
+void Engine::main_loop() {
+  for (;;) {
+    RankCtx* next = nullptr;
+    bool all_done = true;
+    for (auto& ctx : ranks_) {
+      if (ctx->state != RankState::kDone) all_done = false;
+      if (ctx->state == RankState::kReady &&
+          (next == nullptr || ctx->clock < next->clock)) {
+        next = ctx.get();
+      }
+    }
+    if (all_done) return;
+
+    const bool have_msg = !transit_.empty();
+    if (next == nullptr && !have_msg) throw_deadlock();
+
+    if (have_msg &&
+        (next == nullptr || transit_.front().msg.deliver_time <= next->clock)) {
+      process_delivery();
+      continue;
+    }
+    step_rank(*next);
+  }
+}
+
+void Engine::step_rank(RankCtx& ctx) {
+  resume_rank(ctx);
+  if (ctx.finished) {
+    if (ctx.error) std::rethrow_exception(ctx.error);
+    record_finalize_event(ctx);
+    ctx.state = RankState::kDone;
+    return;
+  }
+  ANACIN_CHECK(ctx.has_pending_call,
+               "rank " << ctx.rank << " yielded without a pending call");
+  ctx.has_pending_call = false;
+  ++processed_calls_;
+  if (processed_calls_ > config_.max_calls) {
+    throw Error("simulation exceeded max_calls (" +
+                std::to_string(config_.max_calls) +
+                "); the program may not terminate");
+  }
+  process_call(ctx, *ctx.call);
+}
+
+void Engine::process_call(RankCtx& ctx, Call& call) {
+  switch (call.kind) {
+    case CallKind::kCompute:
+      ANACIN_CHECK(call.compute_us >= 0.0, "compute time must be >= 0");
+      ctx.clock += call.compute_us;
+      ctx.call_done = true;
+      return;
+    case CallKind::kSend: do_send(ctx, call); return;
+    case CallKind::kRecv: do_recv(ctx, call); return;
+    case CallKind::kIrecv: do_irecv(ctx, call); return;
+    case CallKind::kWait: do_wait(ctx, call); return;
+    case CallKind::kWaitAny: do_wait_any(ctx, call); return;
+    case CallKind::kWaitAll: do_wait_all(ctx, call); return;
+    case CallKind::kProbe: do_probe(ctx, call); return;
+    case CallKind::kIprobe: do_iprobe(ctx, call); return;
+  }
+  throw Error("unhandled call kind");
+}
+
+void Engine::do_send(RankCtx& ctx, Call& call) {
+  if (call.peer < 0 || call.peer >= config_.num_ranks) {
+    throw SimUsageError("rank " + std::to_string(ctx.rank) +
+                        " sends to out-of-range rank " +
+                        std::to_string(call.peer));
+  }
+  if (call.tag < 0 || call.tag >= kCollectiveTagBase * 2) {
+    throw SimUsageError("invalid tag " + std::to_string(call.tag));
+  }
+  const auto size = std::max<std::uint32_t>(
+      static_cast<std::uint32_t>(call.payload.size()), call.size_hint);
+
+  const char* mpi_name = "MPI_Send";
+  switch (call.send_mode) {
+    case SendMode::kBuffered: mpi_name = "MPI_Send"; break;
+    case SendMode::kSync: mpi_name = "MPI_Ssend"; break;
+    case SendMode::kNonblocking: mpi_name = "MPI_Isend"; break;
+    case SendMode::kNonblockingSync: mpi_name = "MPI_Issend"; break;
+  }
+  trace::Event event;
+  event.type = trace::EventType::kSend;
+  event.rank = ctx.rank;
+  event.peer = call.peer;
+  event.tag = call.tag;
+  event.size_bytes = size;
+  event.callstack_id = callstack_id(ctx, mpi_name);
+
+  const NetworkModel::Delay delay = network_.sample(ctx.rank, call.peer, size);
+  event.jittered = delay.jittered;
+  event.t_start = ctx.clock;
+  ctx.clock += config_.network.send_overhead_us;
+  event.t_end = ctx.clock;
+  const std::int64_t seq = trace_.append(event);
+
+  double deliver = ctx.clock + delay.delay_us;
+  const std::uint64_t channel =
+      static_cast<std::uint64_t>(ctx.rank) *
+          static_cast<std::uint64_t>(config_.num_ranks) +
+      static_cast<std::uint64_t>(call.peer);
+  double& last = channel_last_delivery_[channel];
+  deliver = std::max(deliver, last + kChannelFifoEpsilon);
+  last = deliver;
+
+  ++stats_.messages;
+  if (delay.jittered) ++stats_.jittered_messages;
+
+  std::uint64_t sync_request = 0;
+  if (call.send_mode == SendMode::kSync ||
+      call.send_mode == SendMode::kNonblockingSync) {
+    sync_request = ctx.next_request++;
+    RequestState request;
+    request.sync_send = true;
+    request.post_time = ctx.clock;
+    ctx.requests.emplace(sync_request, std::move(request));
+  }
+
+  TransitMsg transit;
+  transit.dst = call.peer;
+  transit.msg =
+      ArrivedMsg{ctx.rank,         call.tag, std::move(call.payload),
+                 seq,              size,     deliver,
+                 delay.jittered,   ++order_counter_,
+                 sync_request};
+  push_transit(std::move(transit));
+
+  switch (call.send_mode) {
+    case SendMode::kBuffered:
+      ctx.call_done = true;
+      return;
+    case SendMode::kNonblocking: {
+      const std::uint64_t id = ctx.next_request++;
+      RequestState request;
+      request.post_time = ctx.clock;
+      request.complete = true;
+      request.complete_time = ctx.clock;
+      request.completion_order = ++completion_counter_;
+      ctx.requests.emplace(id, std::move(request));
+      call.out_request = id;
+      ctx.call_done = true;
+      return;
+    }
+    case SendMode::kSync:
+      call.request_ids = {sync_request};
+      ctx.block_kind = BlockKind::kSyncSend;
+      ctx.state = RankState::kBlocked;
+      return;
+    case SendMode::kNonblockingSync:
+      call.out_request = sync_request;
+      ctx.call_done = true;
+      return;
+  }
+}
+
+const Engine::ArrivedMsg* Engine::find_unexpected(const RankCtx& ctx,
+                                                  int src_filter,
+                                                  int tag_filter) const {
+  for (const ArrivedMsg& msg : ctx.unexpected) {
+    if (filters_match(src_filter, tag_filter, msg)) return &msg;
+  }
+  return nullptr;
+}
+
+void Engine::do_probe(RankCtx& ctx, Call& call) {
+  if (const ArrivedMsg* msg =
+          find_unexpected(ctx, call.src_filter, call.tag_filter)) {
+    call.out_probe = ProbeResult{msg->src, msg->tag, msg->size};
+    ctx.call_done = true;
+    return;
+  }
+  ctx.block_kind = BlockKind::kProbe;
+  ctx.state = RankState::kBlocked;
+}
+
+void Engine::do_iprobe(RankCtx& ctx, Call& call) {
+  const ArrivedMsg* msg =
+      find_unexpected(ctx, call.src_filter, call.tag_filter);
+  call.out_flag = msg != nullptr;
+  if (msg != nullptr) {
+    call.out_probe = ProbeResult{msg->src, msg->tag, msg->size};
+  }
+  // An iprobe poll costs a little virtual time, so poll loops make
+  // progress relative to in-flight messages instead of spinning at a
+  // frozen clock.
+  ctx.clock += config_.network.recv_overhead_us;
+  ctx.call_done = true;
+}
+
+std::uint64_t Engine::new_recv_request(RankCtx& ctx, int src_filter,
+                                       int tag_filter,
+                                       std::uint32_t callstack) {
+  if (src_filter != kAnySource &&
+      (src_filter < 0 || src_filter >= config_.num_ranks)) {
+    throw SimUsageError("receive from out-of-range rank " +
+                        std::to_string(src_filter));
+  }
+  const std::uint64_t id = ctx.next_request++;
+  RequestState request;
+  request.is_recv = true;
+  request.src_filter = src_filter;
+  request.tag_filter = tag_filter;
+  request.post_time = ctx.clock;
+  request.callstack_id = callstack;
+  ctx.requests.emplace(id, std::move(request));
+  return id;
+}
+
+bool Engine::filters_match(int src_filter, int tag_filter,
+                           const ArrivedMsg& msg) const {
+  if (src_filter != kAnySource && src_filter != msg.src) return false;
+  if (tag_filter == kAnyTag) {
+    // Collective traffic lives in its own context (as in MPI): wildcard-tag
+    // user receives never match internal collective messages; those are
+    // matched only by their explicit collective tag.
+    return msg.tag < kCollectiveTagBase;
+  }
+  return tag_filter == msg.tag;
+}
+
+bool Engine::match_allowed(const RankCtx& ctx, int src_filter,
+                           const ArrivedMsg& msg) const {
+  if (src_filter != kAnySource) return true;
+  if (replay_ == nullptr) return true;
+  if (ctx.rank >= static_cast<int>(replay_->wildcard_matches.size())) {
+    return true;
+  }
+  const auto& schedule =
+      replay_->wildcard_matches[static_cast<std::size_t>(ctx.rank)];
+  if (ctx.replay_cursor >= schedule.size()) return true;
+  const ReplaySchedule::Match& forced = schedule[ctx.replay_cursor];
+  return forced.source == msg.src && forced.send_seq == msg.src_seq;
+}
+
+bool Engine::try_match_unexpected(RankCtx& ctx, std::uint64_t request_id) {
+  RequestState& request = request_state(ctx, request_id);
+  for (auto it = ctx.unexpected.begin(); it != ctx.unexpected.end(); ++it) {
+    if (filters_match(request.src_filter, request.tag_filter, *it) &&
+        match_allowed(ctx, request.src_filter, *it)) {
+      const double match_time = std::max(it->deliver_time, request.post_time);
+      ArrivedMsg msg = std::move(*it);
+      ctx.unexpected.erase(it);
+      complete_recv_request(ctx, request_id, std::move(msg), match_time);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Engine::complete_recv_request(RankCtx& ctx, std::uint64_t request_id,
+                                   ArrivedMsg msg, double match_time) {
+  RequestState& request = request_state(ctx, request_id);
+  if (replay_ != nullptr && request.src_filter == kAnySource) {
+    match_time = std::max(match_time, ctx.replay_time_floor);
+    ctx.replay_time_floor = match_time;
+  }
+  request.complete = true;
+  request.complete_time = match_time;
+  request.completion_order = ++completion_counter_;
+  request.matched_rank = msg.src;
+  request.matched_seq = msg.src_seq;
+  request.jittered = msg.jittered;
+  request.size = msg.size;
+
+  const std::uint64_t sync_request = msg.sync_send_request;
+  const int sender = msg.src;
+  request.result =
+      RecvResult{msg.src, msg.tag, std::move(msg.payload), match_time};
+
+  bool cursor_advanced = false;
+  if (request.src_filter == kAnySource) {
+    ++stats_.wildcard_recvs;
+    if (replay_ != nullptr &&
+        ctx.rank < static_cast<int>(replay_->wildcard_matches.size()) &&
+        ctx.replay_cursor <
+            replay_->wildcard_matches[static_cast<std::size_t>(ctx.rank)]
+                .size()) {
+      ++ctx.replay_cursor;
+      cursor_advanced = true;
+    }
+  }
+  if (sync_request != 0) {
+    complete_sync_send(sync_request, sender, match_time);
+  }
+  // Advancing the replay cursor can make a queued unexpected message become
+  // the next forced match for an already-posted wildcard receive.
+  if (cursor_advanced) drain_replay_matches(ctx);
+}
+
+void Engine::drain_replay_matches(RankCtx& ctx) {
+  if (ctx.draining_replay) return;  // outermost drain handles everything
+  ctx.draining_replay = true;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto pit = ctx.posted.begin(); !progress && pit != ctx.posted.end();
+         ++pit) {
+      for (auto uit = ctx.unexpected.begin(); uit != ctx.unexpected.end();
+           ++uit) {
+        if (!filters_match(pit->src_filter, pit->tag_filter, *uit) ||
+            !match_allowed(ctx, pit->src_filter, *uit)) {
+          continue;
+        }
+        const std::uint64_t request_id = pit->request_id;
+        ctx.posted.erase(pit);
+        const double match_time =
+            std::max(uit->deliver_time,
+                     request_state(ctx, request_id).post_time);
+        ArrivedMsg msg = std::move(*uit);
+        ctx.unexpected.erase(uit);
+        complete_recv_request(ctx, request_id, std::move(msg), match_time);
+        progress = true;
+        break;
+      }
+    }
+  }
+  ctx.draining_replay = false;
+}
+
+void Engine::complete_sync_send(std::uint64_t request_id, int sender_rank,
+                                double match_time) {
+  RankCtx& sender = *ranks_[static_cast<std::size_t>(sender_rank)];
+  RequestState& request = request_state(sender, request_id);
+  request.complete = true;
+  request.complete_time = match_time;
+  request.completion_order = ++completion_counter_;
+  maybe_unblock(sender);
+}
+
+void Engine::do_recv(RankCtx& ctx, Call& call) {
+  const std::uint32_t cs = callstack_id(ctx, "MPI_Recv");
+  const std::uint64_t id =
+      new_recv_request(ctx, call.src_filter, call.tag_filter, cs);
+  call.request_ids = {id};
+  if (try_match_unexpected(ctx, id)) {
+    finish_recv_like(ctx, call, id, /*record_event_flag=*/true);
+    return;
+  }
+  ctx.posted.push_back(PostedRecv{id, call.src_filter, call.tag_filter});
+  ctx.block_kind = BlockKind::kRecv;
+  ctx.state = RankState::kBlocked;
+}
+
+void Engine::do_irecv(RankCtx& ctx, Call& call) {
+  const std::uint32_t cs = callstack_id(ctx, "MPI_Irecv");
+  const std::uint64_t id =
+      new_recv_request(ctx, call.src_filter, call.tag_filter, cs);
+  if (!try_match_unexpected(ctx, id)) {
+    ctx.posted.push_back(PostedRecv{id, call.src_filter, call.tag_filter});
+  }
+  call.out_request = id;
+  ctx.call_done = true;
+}
+
+Engine::RequestState& Engine::request_state(RankCtx& ctx,
+                                            std::uint64_t request_id) {
+  const auto it = ctx.requests.find(request_id);
+  if (it == ctx.requests.end()) {
+    throw SimUsageError("rank " + std::to_string(ctx.rank) +
+                        " used an invalid or already-retired request");
+  }
+  return it->second;
+}
+
+void Engine::finish_recv_like(RankCtx& ctx, Call& call,
+                              std::uint64_t request_id,
+                              bool record_event_flag) {
+  RequestState& request = request_state(ctx, request_id);
+  ANACIN_CHECK(request.complete, "finishing an incomplete request");
+  if (request.is_recv) {
+    ctx.clock = std::max(ctx.clock, request.complete_time) +
+                config_.network.recv_overhead_us;
+    if (record_event_flag) record_recv_event(ctx, request);
+    call.out_recv = std::move(request.result);
+  } else {
+    ctx.clock = std::max(ctx.clock, request.complete_time);
+  }
+  ctx.requests.erase(request_id);
+  ctx.block_kind = BlockKind::kNone;
+  ctx.state = RankState::kReady;
+  ctx.call_done = true;
+}
+
+void Engine::do_wait(RankCtx& ctx, Call& call) {
+  const std::uint64_t id = call.request_ids.at(0);
+  RequestState& request = request_state(ctx, id);
+  if (request.complete) {
+    finish_recv_like(ctx, call, id, true);
+    return;
+  }
+  ctx.block_kind = BlockKind::kWaitOne;
+  ctx.state = RankState::kBlocked;
+}
+
+void Engine::do_wait_any(RankCtx& ctx, Call& call) {
+  ANACIN_CHECK(!call.request_ids.empty(), "wait_any on empty request set");
+  std::size_t best = call.request_ids.size();
+  for (std::size_t i = 0; i < call.request_ids.size(); ++i) {
+    const RequestState& request = request_state(ctx, call.request_ids[i]);
+    if (!request.complete) continue;
+    if (best == call.request_ids.size()) {
+      best = i;
+      continue;
+    }
+    const RequestState& current = request_state(ctx, call.request_ids[best]);
+    if (request.complete_time < current.complete_time ||
+        (request.complete_time == current.complete_time &&
+         request.completion_order < current.completion_order)) {
+      best = i;
+    }
+  }
+  if (best == call.request_ids.size()) {
+    ctx.block_kind = BlockKind::kWaitAny;
+    ctx.state = RankState::kBlocked;
+    return;
+  }
+  call.out_index = best;
+  finish_recv_like(ctx, call, call.request_ids[best], true);
+}
+
+void Engine::do_wait_all(RankCtx& ctx, Call& call) {
+  for (const std::uint64_t id : call.request_ids) {
+    if (!request_state(ctx, id).complete) {
+      ctx.block_kind = BlockKind::kWaitAll;
+      ctx.state = RankState::kBlocked;
+      return;
+    }
+  }
+  // All complete: retire in completion order so recv events appear in the
+  // order the messages actually arrived.
+  std::vector<std::size_t> indices(call.request_ids.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  std::sort(indices.begin(), indices.end(),
+            [&](std::size_t a, std::size_t b) {
+              const RequestState& ra = request_state(ctx, call.request_ids[a]);
+              const RequestState& rb = request_state(ctx, call.request_ids[b]);
+              if (ra.complete_time != rb.complete_time) {
+                return ra.complete_time < rb.complete_time;
+              }
+              return ra.completion_order < rb.completion_order;
+            });
+  call.out_recv_all.resize(call.request_ids.size());
+  for (const std::size_t i : indices) {
+    RequestState& request = request_state(ctx, call.request_ids[i]);
+    if (request.is_recv) {
+      ctx.clock = std::max(ctx.clock, request.complete_time) +
+                  config_.network.recv_overhead_us;
+      record_recv_event(ctx, request);
+      call.out_recv_all[i] = std::move(request.result);
+    } else {
+      ctx.clock = std::max(ctx.clock, request.complete_time);
+    }
+    ctx.requests.erase(call.request_ids[i]);
+  }
+  ctx.block_kind = BlockKind::kNone;
+  ctx.state = RankState::kReady;
+  ctx.call_done = true;
+}
+
+void Engine::maybe_unblock(RankCtx& ctx) {
+  if (ctx.state != RankState::kBlocked) return;
+  Call& call = *ctx.call;
+  switch (ctx.block_kind) {
+    case BlockKind::kRecv:
+    case BlockKind::kWaitOne: {
+      const std::uint64_t id = call.request_ids.at(0);
+      if (request_state(ctx, id).complete) {
+        finish_recv_like(ctx, call, id, true);
+      }
+      return;
+    }
+    case BlockKind::kWaitAny: do_wait_any(ctx, call); return;
+    case BlockKind::kWaitAll: do_wait_all(ctx, call); return;
+    case BlockKind::kSyncSend: {
+      const std::uint64_t id = call.request_ids.at(0);
+      RequestState& request = request_state(ctx, id);
+      if (request.complete) {
+        ctx.clock = std::max(ctx.clock, request.complete_time);
+        ctx.requests.erase(id);
+        ctx.block_kind = BlockKind::kNone;
+        ctx.state = RankState::kReady;
+        ctx.call_done = true;
+      }
+      return;
+    }
+    case BlockKind::kProbe: {
+      for (const ArrivedMsg& msg : ctx.unexpected) {
+        if (!filters_match(call.src_filter, call.tag_filter, msg)) continue;
+        call.out_probe = ProbeResult{msg.src, msg.tag, msg.size};
+        ctx.clock = std::max(ctx.clock, msg.deliver_time) +
+                    config_.network.recv_overhead_us;
+        ctx.block_kind = BlockKind::kNone;
+        ctx.state = RankState::kReady;
+        ctx.call_done = true;
+        return;
+      }
+      return;
+    }
+    case BlockKind::kNone: return;
+  }
+}
+
+void Engine::process_delivery() {
+  TransitMsg transit = pop_transit();
+  RankCtx& ctx = *ranks_[static_cast<std::size_t>(transit.dst)];
+  ArrivedMsg& msg = transit.msg;
+
+  for (auto it = ctx.posted.begin(); it != ctx.posted.end(); ++it) {
+    if (filters_match(it->src_filter, it->tag_filter, msg) &&
+        match_allowed(ctx, it->src_filter, msg)) {
+      const std::uint64_t request_id = it->request_id;
+      ctx.posted.erase(it);
+      const double match_time =
+          std::max(msg.deliver_time,
+                   request_state(ctx, request_id).post_time);
+      complete_recv_request(ctx, request_id, std::move(msg), match_time);
+      maybe_unblock(ctx);
+      return;
+    }
+  }
+  ctx.unexpected.push_back(std::move(msg));
+  // A message parked in the unexpected queue can satisfy a blocked probe.
+  maybe_unblock(ctx);
+}
+
+// --------------------------------------------------------------------------
+// Events & diagnostics
+// --------------------------------------------------------------------------
+
+std::uint32_t Engine::callstack_id(RankCtx& ctx,
+                                   std::string_view mpi_function) {
+  std::string path = trace::join_frames(ctx.frames);
+  if (!path.empty()) path += '>';
+  path += mpi_function;
+  return trace_.callstacks().intern(path);
+}
+
+void Engine::record_recv_event(RankCtx& ctx, const RequestState& request) {
+  trace::Event event;
+  event.type = trace::EventType::kRecv;
+  event.rank = ctx.rank;
+  event.peer = request.matched_rank;
+  event.tag = request.result.tag;
+  event.size_bytes = request.size;
+  event.t_start = request.post_time;
+  event.t_end = ctx.clock;
+  event.matched_rank = request.matched_rank;
+  event.matched_seq = request.matched_seq;
+  event.posted_source = request.src_filter;
+  event.posted_tag = request.tag_filter;
+  event.callstack_id = request.callstack_id;
+  event.jittered = request.jittered;
+  trace_.append(event);
+}
+
+void Engine::record_init_events() {
+  const std::uint32_t cs = trace_.callstacks().intern("MPI_Init");
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    trace::Event event;
+    event.type = trace::EventType::kInit;
+    event.rank = r;
+    event.callstack_id = cs;
+    trace_.append(event);
+  }
+}
+
+void Engine::record_finalize_event(RankCtx& ctx) {
+  trace::Event event;
+  event.type = trace::EventType::kFinalize;
+  event.rank = ctx.rank;
+  event.t_start = ctx.clock;
+  event.t_end = ctx.clock;
+  event.callstack_id = trace_.callstacks().intern("MPI_Finalize");
+  trace_.append(event);
+}
+
+void Engine::throw_deadlock() {
+  std::ostringstream os;
+  os << "deadlock: no rank can make progress and no messages are in flight\n";
+  for (const auto& ctx : ranks_) {
+    if (ctx->state != RankState::kBlocked) continue;
+    os << "  rank " << ctx->rank << ": blocked in ";
+    switch (ctx->block_kind) {
+      case BlockKind::kRecv: {
+        const Call& call = *ctx->call;
+        os << "recv(source="
+           << (call.src_filter == kAnySource ? std::string("ANY")
+                                             : std::to_string(call.src_filter))
+           << ", tag="
+           << (call.tag_filter == kAnyTag ? std::string("ANY")
+                                          : std::to_string(call.tag_filter))
+           << ")";
+        break;
+      }
+      case BlockKind::kWaitOne: os << "wait"; break;
+      case BlockKind::kWaitAny: os << "wait_any"; break;
+      case BlockKind::kWaitAll: os << "wait_all"; break;
+      case BlockKind::kSyncSend: os << "ssend (no matching receive)"; break;
+      case BlockKind::kProbe: os << "probe (no matching message)"; break;
+      case BlockKind::kNone: os << "?"; break;
+    }
+    os << "; " << ctx->unexpected.size() << " unexpected message(s) queued";
+    if (replay_ != nullptr) {
+      os << "; replay cursor " << ctx->replay_cursor;
+    }
+    os << '\n';
+  }
+  throw DeadlockError(os.str());
+}
+
+// --------------------------------------------------------------------------
+// Transit heap
+// --------------------------------------------------------------------------
+
+void Engine::push_transit(TransitMsg msg) {
+  transit_.push_back(std::move(msg));
+  std::push_heap(transit_.begin(), transit_.end(),
+                 [](const TransitMsg& a, const TransitMsg& b) {
+                   if (a.msg.deliver_time != b.msg.deliver_time) {
+                     return a.msg.deliver_time > b.msg.deliver_time;
+                   }
+                   return a.msg.order > b.msg.order;
+                 });
+}
+
+Engine::TransitMsg Engine::pop_transit() {
+  ANACIN_CHECK(!transit_.empty(), "pop from empty transit heap");
+  std::pop_heap(transit_.begin(), transit_.end(),
+                [](const TransitMsg& a, const TransitMsg& b) {
+                  if (a.msg.deliver_time != b.msg.deliver_time) {
+                    return a.msg.deliver_time > b.msg.deliver_time;
+                  }
+                  return a.msg.order > b.msg.order;
+                });
+  TransitMsg msg = std::move(transit_.back());
+  transit_.pop_back();
+  return msg;
+}
+
+}  // namespace anacin::sim

@@ -1,0 +1,44 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace anacin::sim {
+
+NetworkModel::NetworkModel(const NetworkConfig& config,
+                           const SimConfig& sim_config, Rng rng)
+    : config_(config), num_ranks_(sim_config.num_ranks), rng_(rng) {
+  config_.validate();
+  ranks_per_node_ =
+      (sim_config.num_ranks + sim_config.num_nodes - 1) / sim_config.num_nodes;
+}
+
+int NetworkModel::node_of(int rank) const {
+  ANACIN_CHECK(rank >= 0 && rank < num_ranks_,
+               "rank " << rank << " out of range");
+  return rank / ranks_per_node_;
+}
+
+NetworkModel::Delay NetworkModel::sample(int src_rank, int dst_rank,
+                                         std::uint32_t size_bytes) {
+  const bool intra = same_node(src_rank, dst_rank);
+  Delay delay;
+  delay.delay_us = (intra ? config_.latency_intra_us : config_.latency_inter_us) +
+                   static_cast<double>(size_bytes) / config_.bandwidth_bytes_per_us;
+  const double jitter_probability =
+      intra ? config_.nd_fraction
+            : std::min(1.0,
+                       config_.nd_fraction * config_.inter_node_nd_multiplier);
+  if (rng_.bernoulli(jitter_probability)) {
+    const double mean =
+        intra ? config_.jitter_mean_intra_us : config_.jitter_mean_inter_us;
+    if (mean > 0.0) {
+      delay.delay_us += rng_.exponential(mean);
+      delay.jittered = true;
+    }
+  }
+  return delay;
+}
+
+}  // namespace anacin::sim

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "support/rng.hpp"
+
+namespace anacin::sim {
+
+/// Samples per-message delivery delays according to the NetworkConfig.
+///
+/// The model is LogP-flavoured: a fixed base latency (intra- or inter-node),
+/// a bandwidth term proportional to message size, and — with probability
+/// `nd_fraction` — an exponentially distributed congestion delay. The
+/// exponential tail is what makes message races resolve differently across
+/// runs; its mean is larger for inter-node links.
+class NetworkModel {
+public:
+  NetworkModel(const NetworkConfig& config, const SimConfig& sim_config,
+               Rng rng);
+
+  struct Delay {
+    double delay_us = 0.0;
+    bool jittered = false;
+  };
+
+  /// Sample the network transit delay for one message.
+  Delay sample(int src_rank, int dst_rank, std::uint32_t size_bytes);
+
+  int node_of(int rank) const;
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+private:
+  NetworkConfig config_;
+  int num_ranks_;
+  int ranks_per_node_;
+  Rng rng_;
+};
+
+}  // namespace anacin::sim

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace anacin::sim {
+
+/// Recorded matching decisions for wildcard receives, in per-rank
+/// completion order.
+///
+/// This is the minimal information a record-and-replay tool (ReMPI-style)
+/// needs to suppress message-race non-determinism: receives with an
+/// explicit source are already deterministic under FIFO channels, so only
+/// `MPI_ANY_SOURCE` matches are recorded. During replay the engine only
+/// lets a wildcard receive match the message named by the next recorded
+/// entry; all other candidate messages wait in the unexpected queue.
+struct ReplaySchedule {
+  struct Match {
+    /// Rank that sent the matched message.
+    std::int32_t source = -1;
+    /// Program-order event seq of the matching send on `source`.
+    std::int64_t send_seq = -1;
+
+    friend bool operator==(const Match&, const Match&) = default;
+  };
+
+  /// wildcard_matches[rank] lists that rank's wildcard receive completions
+  /// in the order they completed during the recorded run.
+  std::vector<std::vector<Match>> wildcard_matches;
+
+  bool empty() const {
+    for (const auto& per_rank : wildcard_matches) {
+      if (!per_rank.empty()) return false;
+    }
+    return true;
+  }
+
+  std::size_t total_matches() const {
+    std::size_t total = 0;
+    for (const auto& per_rank : wildcard_matches) total += per_rank.size();
+    return total;
+  }
+};
+
+}  // namespace anacin::sim

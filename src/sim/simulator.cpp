@@ -1,0 +1,10 @@
+#include "sim/simulator.hpp"
+
+namespace anacin::sim {
+
+RunResult run_simulation(const SimConfig& config, const RankProgram& program) {
+  Engine engine(config, program);
+  return engine.run();
+}
+
+}  // namespace anacin::sim

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "sim/comm.hpp"
+#include "sim/engine.hpp"
+
+namespace anacin::sim {
+
+/// Run `program` on `config.num_ranks` simulated MPI processes.
+///
+/// The result is a pure function of (program, config): identical inputs
+/// give bit-identical traces. Vary `config.seed` to model independent
+/// executions of the same application on a noisy platform.
+RunResult run_simulation(const SimConfig& config, const RankProgram& program);
+
+}  // namespace anacin::sim

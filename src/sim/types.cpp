@@ -1,0 +1,65 @@
+#include "sim/types.hpp"
+
+#include "support/error.hpp"
+
+namespace anacin::sim {
+
+namespace {
+template <typename T>
+Payload pack(const T* data, std::size_t count) {
+  Payload out(count * sizeof(T));
+  if (count > 0) std::memcpy(out.data(), data, out.size());
+  return out;
+}
+
+template <typename T>
+void unpack(const Payload& payload, T* out, std::size_t count,
+            const char* what) {
+  ANACIN_CHECK(payload.size() == count * sizeof(T),
+               "payload size " << payload.size() << " does not hold " << what);
+  if (count > 0) std::memcpy(out, payload.data(), payload.size());
+}
+}  // namespace
+
+Payload payload_from_double(double value) { return pack(&value, 1); }
+
+Payload payload_from_doubles(std::span<const double> values) {
+  return pack(values.data(), values.size());
+}
+
+Payload payload_from_u64(std::uint64_t value) { return pack(&value, 1); }
+
+Payload payload_from_string(std::string_view text) {
+  return pack(reinterpret_cast<const std::byte*>(text.data()), text.size());
+}
+
+Payload payload_of_size(std::size_t bytes) { return Payload(bytes); }
+
+double double_from_payload(const Payload& payload) {
+  double value = 0.0;
+  unpack(payload, &value, 1, "a double");
+  return value;
+}
+
+std::vector<double> doubles_from_payload(const Payload& payload) {
+  ANACIN_CHECK(payload.size() % sizeof(double) == 0,
+               "payload size " << payload.size() << " is not a whole number of doubles");
+  std::vector<double> values(payload.size() / sizeof(double));
+  if (!values.empty()) {
+    std::memcpy(values.data(), payload.data(), payload.size());
+  }
+  return values;
+}
+
+std::uint64_t u64_from_payload(const Payload& payload) {
+  std::uint64_t value = 0;
+  unpack(payload, &value, 1, "a u64");
+  return value;
+}
+
+std::string string_from_payload(const Payload& payload) {
+  return std::string(reinterpret_cast<const char*>(payload.data()),
+                     payload.size());
+}
+
+}  // namespace anacin::sim

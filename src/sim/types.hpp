@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anacin::sim {
+
+/// Wildcard source for receive matching (mirrors MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+/// Wildcard tag for receive matching (mirrors MPI_ANY_TAG).
+inline constexpr int kAnyTag = -1;
+
+/// First tag value reserved for the collective implementations layered on
+/// point-to-point messaging. User programs must use tags below this value.
+inline constexpr int kCollectiveTagBase = 1 << 20;
+
+/// Message payload carried by simulated point-to-point messages.
+using Payload = std::vector<std::byte>;
+
+/// Pack helpers — simulated applications mostly ship doubles and integers.
+Payload payload_from_double(double value);
+Payload payload_from_doubles(std::span<const double> values);
+Payload payload_from_u64(std::uint64_t value);
+Payload payload_from_string(std::string_view text);
+/// An uninitialized-content payload of a given size (for sizing experiments).
+Payload payload_of_size(std::size_t bytes);
+
+double double_from_payload(const Payload& payload);
+std::vector<double> doubles_from_payload(const Payload& payload);
+std::uint64_t u64_from_payload(const Payload& payload);
+std::string string_from_payload(const Payload& payload);
+
+/// Result of a completed receive.
+struct RecvResult {
+  int source = -1;
+  int tag = -1;
+  Payload payload;
+  /// Virtual time at which the receiving rank observed completion.
+  double time = 0.0;
+};
+
+/// Opaque handle to an outstanding nonblocking operation. Handles are
+/// rank-local and must be retired by exactly one wait call on the rank
+/// that created them.
+class Request {
+public:
+  Request() = default;
+  bool valid() const { return id_ != 0; }
+
+private:
+  friend class Engine;
+  friend class Comm;
+  explicit Request(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+struct WaitAnyResult {
+  /// Index into the span passed to wait_any.
+  std::size_t index = 0;
+  RecvResult result;
+};
+
+/// Envelope information returned by probe/iprobe (mirrors MPI_Status after
+/// MPI_Probe): the message stays queued and must still be received.
+struct ProbeResult {
+  int source = -1;
+  int tag = -1;
+  std::uint32_t size_bytes = 0;
+};
+
+}  // namespace anacin::sim

@@ -1,0 +1,156 @@
+#include "support/cli.hpp"
+
+#include <charconv>
+#include <iostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace anacin {
+
+namespace {
+
+template <typename T>
+T parse_number(const std::string& name, const std::string& text) {
+  T value{};
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw ConfigError("invalid value for --" + name + ": '" + text + "'");
+  }
+  return value;
+}
+
+template <>
+double parse_number<double>(const std::string& name, const std::string& text) {
+  // std::from_chars<double> is available in GCC 12, but go through strtod for
+  // leniency with exponent formats used in config files.
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || text.empty()) {
+    throw ConfigError("invalid value for --" + name + ": '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void ArgParser::add_option(Option option) {
+  ANACIN_CHECK(find(option.name) == nullptr,
+               "duplicate CLI option --" << option.name);
+  options_.push_back(std::move(option));
+}
+
+const ArgParser::Option* ArgParser::find(const std::string& name) const {
+  for (const auto& option : options_) {
+    if (option.name == name) return &option;
+  }
+  return nullptr;
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help,
+                         bool* out) {
+  add_option({name, help, /*is_flag=*/true, *out ? "true" : "false",
+              [out](const std::string&) { *out = true; }});
+}
+
+void ArgParser::add_int(const std::string& name, const std::string& help,
+                        int* out) {
+  add_option({name, help, false, std::to_string(*out),
+              [name, out](const std::string& text) {
+                *out = parse_number<int>(name, text);
+              }});
+}
+
+void ArgParser::add_int64(const std::string& name, const std::string& help,
+                          std::int64_t* out) {
+  add_option({name, help, false, std::to_string(*out),
+              [name, out](const std::string& text) {
+                *out = parse_number<std::int64_t>(name, text);
+              }});
+}
+
+void ArgParser::add_uint64(const std::string& name, const std::string& help,
+                           std::uint64_t* out) {
+  add_option({name, help, false, std::to_string(*out),
+              [name, out](const std::string& text) {
+                *out = parse_number<std::uint64_t>(name, text);
+              }});
+}
+
+void ArgParser::add_double(const std::string& name, const std::string& help,
+                           double* out) {
+  add_option({name, help, false, std::to_string(*out),
+              [name, out](const std::string& text) {
+                *out = parse_number<double>(name, text);
+              }});
+}
+
+void ArgParser::add_string(const std::string& name, const std::string& help,
+                           std::string* out) {
+  add_option({name, help, false, *out,
+              [out](const std::string& text) { *out = text; }});
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      std::cout << help_text();
+      return false;
+    }
+    if (token.rfind("--", 0) != 0) {
+      throw ConfigError("unexpected positional argument: '" + token + "'");
+    }
+    token.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      value = token.substr(eq + 1);
+      token.erase(eq);
+      has_value = true;
+    }
+    const Option* option = find(token);
+    if (option == nullptr) {
+      throw ConfigError("unknown option --" + token + " (try --help)");
+    }
+    if (option->is_flag) {
+      if (has_value) {
+        throw ConfigError("flag --" + token + " does not take a value");
+      }
+      option->apply("");
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        throw ConfigError("option --" + token + " requires a value");
+      }
+      value = argv[++i];
+    }
+    option->apply(value);
+  }
+  return true;
+}
+
+std::string ArgParser::help_text() const {
+  std::ostringstream os;
+  os << description_ << "\n\noptions:\n";
+  for (const auto& option : options_) {
+    std::string left = "  --" + option.name;
+    if (!option.is_flag) left += " <value>";
+    os << pad_right(left, 34) << option.help;
+    if (!option.default_repr.empty()) {
+      os << " (default: " << option.default_repr << ')';
+    }
+    os << '\n';
+  }
+  os << pad_right("  --help", 34) << "show this message\n";
+  return os.str();
+}
+
+}  // namespace anacin

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace anacin {
+
+/// Small declarative command-line parser for the bench/example binaries.
+///
+/// Supports `--name value` and `--name=value` forms, `--flag` booleans,
+/// and generates a --help text. Unknown options raise ConfigError so typos
+/// in experiment scripts fail loudly instead of silently running the
+/// default configuration.
+class ArgParser {
+public:
+  explicit ArgParser(std::string program_description);
+
+  void add_flag(const std::string& name, const std::string& help, bool* out);
+  void add_int(const std::string& name, const std::string& help, int* out);
+  void add_int64(const std::string& name, const std::string& help,
+                 std::int64_t* out);
+  void add_uint64(const std::string& name, const std::string& help,
+                  std::uint64_t* out);
+  void add_double(const std::string& name, const std::string& help,
+                  double* out);
+  void add_string(const std::string& name, const std::string& help,
+                  std::string* out);
+
+  /// Parse argv. Returns false if --help was requested (help text already
+  /// printed to stdout); throws ConfigError on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  std::string help_text() const;
+
+private:
+  struct Option {
+    std::string name;
+    std::string help;
+    bool is_flag = false;
+    std::string default_repr;
+    std::function<void(const std::string&)> apply;
+  };
+
+  void add_option(Option option);
+  const Option* find(const std::string& name) const;
+
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+}  // namespace anacin

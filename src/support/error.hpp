@@ -1,0 +1,60 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace anacin {
+
+/// Base class for all errors thrown by the ANACIN libraries.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when user-supplied configuration is invalid.
+class ConfigError : public Error {
+public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a simulated MPI program misuses the communication API
+/// (e.g. sends to an out-of-range rank or waits on an invalid request).
+class SimUsageError : public Error {
+public:
+  explicit SimUsageError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when the simulator detects that no entity can make progress.
+class DeadlockError : public Error {
+public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on malformed input documents (JSON, traces).
+class ParseError : public Error {
+public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace anacin
+
+/// Runtime invariant check that throws anacin::Error with location info.
+#define ANACIN_CHECK(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::anacin::detail::throw_check_failure(#expr, __FILE__, __LINE__,       \
+                                            (std::ostringstream{} << msg)    \
+                                                .str());                     \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace anacin::json {
+
+/// Minimal JSON document model used for experiment reports, trace
+/// serialization, and configuration files. Object members preserve
+/// insertion order so emitted reports are stable and diffable.
+class Value {
+public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(int n) : type_(Type::kNumber), number_(n) {}
+  Value(std::int64_t n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Value(std::uint64_t n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Value(double n) : type_(Type::kNumber), number_(n) {}
+  Value(const char* s) : type_(Type::kString), string_(s) {}
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Value(std::string_view s) : type_(Type::kString), string_(s) {}
+
+  static Value array();
+  static Value object();
+
+  template <typename T>
+  static Value array_of(const std::vector<T>& items) {
+    Value out = array();
+    for (const auto& item : items) out.push_back(Value(item));
+    return out;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw ParseError on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+
+  /// Array operations.
+  void push_back(Value value);
+  std::size_t size() const;
+  const Value& at(std::size_t index) const;
+  const std::vector<Value>& items() const;
+
+  /// Object operations.
+  Value& set(const std::string& key, Value value);
+  bool contains(const std::string& key) const;
+  const Value& at(const std::string& key) const;
+  /// Lookup with a fallback default.
+  const Value* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Serialize. indent < 0 → compact single line.
+  std::string dump(int indent = -1) const;
+
+  bool operator==(const Value& other) const;
+
+private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Parse a JSON document; throws ParseError with position info on failure.
+Value parse(std::string_view text);
+
+/// Escape a string for inclusion in a JSON document (without quotes).
+std::string escape(std::string_view text);
+
+}  // namespace anacin::json

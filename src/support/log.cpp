@@ -1,0 +1,58 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace anacin::log {
+
+namespace {
+
+Level initial_threshold() {
+  const char* env = std::getenv("ANACIN_LOG");
+  if (env == nullptr) return Level::kWarn;
+  if (std::strcmp(env, "debug") == 0) return Level::kDebug;
+  if (std::strcmp(env, "info") == 0) return Level::kInfo;
+  if (std::strcmp(env, "warn") == 0) return Level::kWarn;
+  if (std::strcmp(env, "error") == 0) return Level::kError;
+  if (std::strcmp(env, "off") == 0) return Level::kOff;
+  return Level::kWarn;
+}
+
+std::atomic<int>& threshold_storage() {
+  static std::atomic<int> value{static_cast<int>(initial_threshold())};
+  return value;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+Level threshold() { return static_cast<Level>(threshold_storage().load()); }
+
+void set_threshold(Level level) {
+  threshold_storage().store(static_cast<int>(level));
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void write(Level level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  std::cerr << "[anacin:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace anacin::log

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace anacin::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold. Defaults to kWarn; overridable with the
+/// ANACIN_LOG environment variable (debug|info|warn|error|off).
+Level threshold();
+void set_threshold(Level level);
+
+/// Thread-safe sink; writes one line to stderr.
+void write(Level level, const std::string& message);
+
+const char* level_name(Level level);
+
+namespace detail {
+struct LineEmitter {
+  Level level;
+  std::ostringstream stream;
+  ~LineEmitter() { write(level, stream.str()); }
+};
+}  // namespace detail
+
+}  // namespace anacin::log
+
+#define ANACIN_LOG(level_, expr_)                                        \
+  do {                                                                   \
+    if (static_cast<int>(level_) >=                                      \
+        static_cast<int>(::anacin::log::threshold())) {                  \
+      ::anacin::log::detail::LineEmitter{level_, {}}.stream << expr_;    \
+    }                                                                    \
+  } while (false)
+
+#define ANACIN_LOG_DEBUG(expr_) ANACIN_LOG(::anacin::log::Level::kDebug, expr_)
+#define ANACIN_LOG_INFO(expr_) ANACIN_LOG(::anacin::log::Level::kInfo, expr_)
+#define ANACIN_LOG_WARN(expr_) ANACIN_LOG(::anacin::log::Level::kWarn, expr_)
+#define ANACIN_LOG_ERROR(expr_) ANACIN_LOG(::anacin::log::Level::kError, expr_)

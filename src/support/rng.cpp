@@ -1,0 +1,133 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace anacin {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t value) {
+  std::uint64_t s = value;
+  return splitmix64(s);
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  // boost::hash_combine style, widened to 64 bits.
+  return a ^ (mix64(b) + 0x9E3779B97F4A7C15ull + (a << 12) + (a >> 4));
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random bits → double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  ANACIN_CHECK(lo <= hi, "uniform bounds out of order: " << lo << " > " << hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  ANACIN_CHECK(lo <= hi,
+               "uniform_int bounds out of order: " << lo << " > " << hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Debiased modulo rejection (Lemire-style threshold).
+  const std::uint64_t threshold = (0 - range) % range;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return lo + static_cast<std::int64_t>(r % range);
+  }
+}
+
+double Rng::exponential(double mean) {
+  ANACIN_CHECK(mean > 0.0, "exponential mean must be positive, got " << mean);
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 == 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) {
+  ANACIN_CHECK(stddev >= 0.0, "stddev must be non-negative, got " << stddev);
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+Rng Rng::derive(std::uint64_t stream_id) const {
+  return Rng(hash_combine(mix64(seed_), stream_id));
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  ANACIN_CHECK(k <= n, "cannot sample " << k << " items from " << n);
+  // Partial Fisher–Yates over an index vector; O(n) memory, O(n + k) time.
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i),
+                    static_cast<std::int64_t>(n) - 1));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace anacin

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace anacin {
+
+/// Deterministic, splittable pseudo-random generator.
+///
+/// The engine is xoshiro256**, seeded through SplitMix64 so that any 64-bit
+/// seed yields a well-mixed state. Simulations must be reproducible from a
+/// single seed, so every source of randomness in the project goes through
+/// this class; `derive()` produces statistically independent child streams
+/// (e.g. one per rank, one per message) without sharing mutable state.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// UniformRandomBitGenerator interface (usable with <random> and
+  /// std::shuffle).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+  /// Standard normal via Box–Muller.
+  double normal();
+  double normal(double mean, double stddev);
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Derive an independent child stream. Children with distinct stream ids
+  /// are independent of each other and of the parent's future output.
+  [[nodiscard]] Rng derive(std::uint64_t stream_id) const;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    shuffle(std::span<T>(items));
+  }
+
+  /// Sample k distinct values from [0, n). Order of the result is random.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  std::uint64_t seed() const { return seed_; }
+
+private:
+  std::uint64_t seed_ = 0;
+  std::uint64_t state_[4] = {};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// SplitMix64 step — also useful as a cheap 64-bit mixer for hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless mix of a 64-bit value (one SplitMix64 round).
+std::uint64_t mix64(std::uint64_t value);
+
+/// Combine two 64-bit hashes (order-dependent).
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+}  // namespace anacin

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anacin {
+
+/// Split on a delimiter character; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view text);
+
+/// Format a double with a fixed number of decimal places.
+std::string format_fixed(double value, int decimals);
+
+/// Pad/truncate to exactly `width` columns (left-aligned).
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// Pad on the left to at least `width` columns (right-aligned).
+std::string pad_left(std::string_view text, std::size_t width);
+
+}  // namespace anacin

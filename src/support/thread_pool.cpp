@@ -1,0 +1,85 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "support/error.hpp"
+
+namespace anacin {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> item) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ANACIN_CHECK(!stopping_, "submit on a stopping ThreadPool");
+    queue_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::future<void>> chunks;
+  chunks.reserve((end - begin + grain - 1) / grain);
+
+  for (std::size_t chunk_begin = begin; chunk_begin < end;
+       chunk_begin += grain) {
+    const std::size_t chunk_end = std::min(end, chunk_begin + grain);
+    chunks.push_back(submit([&, chunk_begin, chunk_end] {
+      try {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }));
+  }
+  for (auto& chunk : chunks) chunk.wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace anacin

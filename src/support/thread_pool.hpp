@@ -1,0 +1,65 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace anacin {
+
+/// Fixed-size worker pool used to parallelize independent simulation runs
+/// and pairwise kernel-distance computations.
+///
+/// Work items are type-erased `std::function<void()>`; `submit` wraps a
+/// callable in a packaged_task and returns its future. The pool is
+/// non-copyable and joins its workers on destruction (any queued work is
+/// drained first).
+class ThreadPool {
+public:
+  /// `num_threads == 0` selects std::thread::hardware_concurrency()
+  /// (minimum 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    enqueue([packaged] { (*packaged)(); });
+    return result;
+  }
+
+  /// Run fn(i) for i in [begin, end) across the pool and wait for
+  /// completion. Exceptions from tasks are rethrown (the first one, after
+  /// all tasks finish). Work is chunked to limit queue overhead.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+private:
+  void enqueue(std::function<void()> item);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide default pool (lazily constructed).
+ThreadPool& global_pool();
+
+}  // namespace anacin

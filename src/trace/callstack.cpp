@@ -1,0 +1,40 @@
+#include "trace/callstack.hpp"
+
+#include "support/error.hpp"
+
+namespace anacin::trace {
+
+std::string join_frames(const std::vector<std::string>& frames) {
+  std::string path;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i != 0) path += '>';
+    path += frames[i];
+  }
+  return path;
+}
+
+CallstackRegistry::CallstackRegistry() {
+  paths_.emplace_back("");
+  index_.emplace("", 0);
+}
+
+std::uint32_t CallstackRegistry::intern(std::string_view path) {
+  const auto it = index_.find(std::string(path));
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(paths_.size());
+  paths_.emplace_back(path);
+  index_.emplace(paths_.back(), id);
+  return id;
+}
+
+std::uint32_t CallstackRegistry::intern_frames(
+    const std::vector<std::string>& frames) {
+  return intern(join_frames(frames));
+}
+
+const std::string& CallstackRegistry::path(std::uint32_t id) const {
+  ANACIN_CHECK(id < paths_.size(), "callstack id out of range: " << id);
+  return paths_[id];
+}
+
+}  // namespace anacin::trace

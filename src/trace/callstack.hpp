@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace anacin::trace {
+
+/// Interns call paths ("main>phase>MPI_Recv") into dense 32-bit ids.
+///
+/// The simulator maintains a per-rank stack of frame names; every traced
+/// event stores the id of the call path active at the time. Analysis code
+/// aggregates across runs by *path string* (ids are only stable within one
+/// registry), mirroring how ANACIN-X aggregates callstacks captured from
+/// independent executions.
+class CallstackRegistry {
+public:
+  CallstackRegistry();
+
+  /// Intern a full path; returns its id. Id 0 is always the empty path "".
+  std::uint32_t intern(std::string_view path);
+
+  /// Intern the path formed by joining frames with '>'.
+  std::uint32_t intern_frames(const std::vector<std::string>& frames);
+
+  const std::string& path(std::uint32_t id) const;
+  std::size_t size() const { return paths_.size(); }
+
+  /// All interned paths, indexed by id.
+  const std::vector<std::string>& paths() const { return paths_; }
+
+private:
+  std::vector<std::string> paths_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+};
+
+/// Join frame names into a canonical path string.
+std::string join_frames(const std::vector<std::string>& frames);
+
+}  // namespace anacin::trace

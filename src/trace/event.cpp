@@ -1,0 +1,25 @@
+#include "trace/event.hpp"
+
+#include "support/error.hpp"
+
+namespace anacin::trace {
+
+std::string_view event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kInit: return "init";
+    case EventType::kSend: return "send";
+    case EventType::kRecv: return "recv";
+    case EventType::kFinalize: return "finalize";
+  }
+  return "?";
+}
+
+EventType event_type_from_name(std::string_view name) {
+  if (name == "init") return EventType::kInit;
+  if (name == "send") return EventType::kSend;
+  if (name == "recv") return EventType::kRecv;
+  if (name == "finalize") return EventType::kFinalize;
+  throw ParseError("unknown event type name: '" + std::string(name) + "'");
+}
+
+}  // namespace anacin::trace

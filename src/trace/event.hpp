@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace anacin::trace {
+
+/// Kinds of events recorded by the simulator's tracing layer.
+///
+/// These correspond to the nodes of the paper's event graphs: `kInit` and
+/// `kFinalize` are the green circles marking process start/end, `kSend` the
+/// blue circles, and `kRecv` the red circles. Collective operations are
+/// composed from point-to-point messages, so they appear as send/recv events
+/// tagged with a collective callstack frame.
+enum class EventType : std::uint8_t {
+  kInit = 0,
+  kSend = 1,
+  kRecv = 2,
+  kFinalize = 3,
+};
+
+std::string_view event_type_name(EventType type);
+
+/// Parse the name produced by event_type_name (throws ParseError otherwise).
+EventType event_type_from_name(std::string_view name);
+
+/// One traced MPI event on one rank.
+///
+/// Events for a rank are stored in program order; an event is identified
+/// globally by the pair (rank, seq) where `seq` is its index in the rank's
+/// event vector. A receive event records the identity of the send event it
+/// was matched with, which is exactly the information needed to build the
+/// message edges of the event graph.
+struct Event {
+  EventType type = EventType::kInit;
+  std::int32_t rank = -1;
+  /// Destination rank for sends, matched source rank for receives, -1 for
+  /// init/finalize.
+  std::int32_t peer = -1;
+  std::int32_t tag = -1;
+  std::uint32_t size_bytes = 0;
+  /// Virtual time when the operation was issued / completed.
+  double t_start = 0.0;
+  double t_end = 0.0;
+  /// For kRecv: (matched_rank, matched_seq) identify the matching send
+  /// event. -1 when not applicable.
+  std::int32_t matched_rank = -1;
+  std::int64_t matched_seq = -1;
+  /// For kRecv: the source/tag filters the receive was posted with
+  /// (-1 = wildcard, -2 = not applicable). Wildcard receives are the
+  /// root sources of message-race non-determinism.
+  std::int32_t posted_source = -2;
+  std::int32_t posted_tag = -2;
+  /// Interned call path active when the event was recorded.
+  std::uint32_t callstack_id = 0;
+  /// True if the message that produced this event received non-determinism
+  /// jitter in the network model (sends and their matched receives).
+  bool jittered = false;
+};
+
+}  // namespace anacin::trace

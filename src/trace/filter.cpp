@@ -1,0 +1,52 @@
+#include "trace/filter.hpp"
+
+#include <map>
+
+#include "support/error.hpp"
+
+namespace anacin::trace {
+
+Trace strip_events_with_tag_at_least(const Trace& trace, int tag_threshold) {
+  Trace filtered(trace.num_ranks(), trace.num_nodes());
+
+  // Preserve the callstack registry verbatim so ids keep working.
+  for (std::size_t id = 1; id < trace.callstacks().paths().size(); ++id) {
+    filtered.callstacks().intern(trace.callstacks().paths()[id]);
+  }
+
+  const auto dropped = [tag_threshold](const Event& event) {
+    return (event.type == EventType::kSend ||
+            event.type == EventType::kRecv) &&
+           event.tag >= tag_threshold;
+  };
+
+  // First pass: new sequence numbers of surviving events.
+  std::map<std::pair<std::int32_t, std::int64_t>, std::int64_t> remap;
+  for (int rank = 0; rank < trace.num_ranks(); ++rank) {
+    std::int64_t next_seq = 0;
+    const auto& events = trace.rank_events(rank);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (dropped(events[i])) continue;
+      remap[{rank, static_cast<std::int64_t>(i)}] = next_seq++;
+    }
+  }
+
+  // Second pass: copy surviving events with remapped match references.
+  for (int rank = 0; rank < trace.num_ranks(); ++rank) {
+    for (const Event& event : trace.rank_events(rank)) {
+      if (dropped(event)) continue;
+      Event copy = event;
+      if (copy.type == EventType::kRecv) {
+        const auto it = remap.find({copy.matched_rank, copy.matched_seq});
+        ANACIN_CHECK(it != remap.end(),
+                     "surviving recv matched a stripped send — tags of a "
+                     "matched pair must be equal");
+        copy.matched_seq = it->second;
+      }
+      filtered.append(copy);
+    }
+  }
+  return filtered;
+}
+
+}  // namespace anacin::trace

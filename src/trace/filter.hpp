@@ -1,0 +1,17 @@
+#pragma once
+
+#include "trace/trace.hpp"
+
+namespace anacin::trace {
+
+/// Copy of `trace` without the send/recv events whose tag is >=
+/// `tag_threshold` (the library's collectives use tags above
+/// sim::kCollectiveTagBase). Matched-send references of the surviving
+/// receives are remapped to the new per-rank sequence numbers.
+///
+/// Useful to study an application's own communication pattern without the
+/// point-to-point traffic its collectives decompose into — e.g. rendering
+/// a clean Fig-1 style timeline for a program that also calls barriers.
+Trace strip_events_with_tag_at_least(const Trace& trace, int tag_threshold);
+
+}  // namespace anacin::trace

@@ -1,0 +1,137 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace anacin::trace {
+
+Trace::Trace(int num_ranks, int num_nodes) : num_nodes_(num_nodes) {
+  ANACIN_CHECK(num_ranks > 0, "trace needs at least one rank");
+  ANACIN_CHECK(num_nodes > 0, "trace needs at least one node");
+  events_.resize(static_cast<std::size_t>(num_ranks));
+}
+
+std::int64_t Trace::append(Event event) {
+  ANACIN_CHECK(event.rank >= 0 && event.rank < num_ranks(),
+               "event rank " << event.rank << " out of range");
+  auto& rank_vector = events_[static_cast<std::size_t>(event.rank)];
+  ANACIN_CHECK(rank_vector.empty() || rank_vector.back().t_end <= event.t_end,
+               "events must be appended in per-rank time order (rank "
+                   << event.rank << ")");
+  rank_vector.push_back(event);
+  return static_cast<std::int64_t>(rank_vector.size()) - 1;
+}
+
+const std::vector<Event>& Trace::rank_events(int rank) const {
+  ANACIN_CHECK(rank >= 0 && rank < num_ranks(),
+               "rank " << rank << " out of range");
+  return events_[static_cast<std::size_t>(rank)];
+}
+
+const Event& Trace::event(EventId id) const {
+  const auto& rank_vector = rank_events(id.rank);
+  ANACIN_CHECK(id.seq >= 0 &&
+                   id.seq < static_cast<std::int64_t>(rank_vector.size()),
+               "event seq " << id.seq << " out of range on rank " << id.rank);
+  return rank_vector[static_cast<std::size_t>(id.seq)];
+}
+
+std::size_t Trace::total_events() const {
+  std::size_t total = 0;
+  for (const auto& rank_vector : events_) total += rank_vector.size();
+  return total;
+}
+
+double Trace::makespan() const {
+  double latest = 0.0;
+  for (const auto& rank_vector : events_) {
+    for (const auto& event : rank_vector) {
+      latest = std::max(latest, event.t_end);
+    }
+  }
+  return latest;
+}
+
+json::Value Trace::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("schema", "anacin-trace-1");
+  doc.set("num_ranks", num_ranks());
+  doc.set("num_nodes", num_nodes_);
+
+  json::Value callstack_array = json::Value::array();
+  for (const auto& path : callstacks_.paths()) callstack_array.push_back(path);
+  doc.set("callstacks", std::move(callstack_array));
+
+  json::Value ranks = json::Value::array();
+  for (const auto& rank_vector : events_) {
+    json::Value rank_events = json::Value::array();
+    for (const auto& e : rank_vector) {
+      json::Value record = json::Value::object();
+      record.set("type", std::string(event_type_name(e.type)));
+      record.set("rank", e.rank);
+      record.set("peer", e.peer);
+      record.set("tag", e.tag);
+      record.set("size", static_cast<std::int64_t>(e.size_bytes));
+      record.set("t0", e.t_start);
+      record.set("t1", e.t_end);
+      record.set("mrank", e.matched_rank);
+      record.set("mseq", e.matched_seq);
+      record.set("psrc", e.posted_source);
+      record.set("ptag", e.posted_tag);
+      record.set("cs", static_cast<std::int64_t>(e.callstack_id));
+      record.set("jit", e.jittered);
+      rank_events.push_back(std::move(record));
+    }
+    ranks.push_back(std::move(rank_events));
+  }
+  doc.set("events", std::move(ranks));
+  return doc;
+}
+
+Trace Trace::from_json(const json::Value& doc) {
+  if (!doc.is_object() || !doc.contains("schema") ||
+      doc.at("schema").as_string() != "anacin-trace-1") {
+    throw ParseError("not an anacin-trace-1 document");
+  }
+  const int num_ranks = static_cast<int>(doc.at("num_ranks").as_int());
+  const int num_nodes = static_cast<int>(doc.at("num_nodes").as_int());
+  Trace trace(num_ranks, num_nodes);
+
+  // Re-intern callstack paths in order so ids round-trip exactly (id 0 is
+  // pre-interned as the empty path by the registry constructor).
+  const auto& callstack_array = doc.at("callstacks");
+  for (std::size_t i = 0; i < callstack_array.size(); ++i) {
+    const std::uint32_t id =
+        trace.callstacks_.intern(callstack_array.at(i).as_string());
+    ANACIN_CHECK(id == i, "callstack ids must round-trip in order");
+  }
+
+  const auto& ranks = doc.at("events");
+  ANACIN_CHECK(static_cast<int>(ranks.size()) == num_ranks,
+               "event array count mismatch");
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    for (const auto& record : ranks.at(r).items()) {
+      Event e;
+      e.type = event_type_from_name(record.at("type").as_string());
+      e.rank = static_cast<std::int32_t>(record.at("rank").as_int());
+      e.peer = static_cast<std::int32_t>(record.at("peer").as_int());
+      e.tag = static_cast<std::int32_t>(record.at("tag").as_int());
+      e.size_bytes = static_cast<std::uint32_t>(record.at("size").as_int());
+      e.t_start = record.at("t0").as_number();
+      e.t_end = record.at("t1").as_number();
+      e.matched_rank = static_cast<std::int32_t>(record.at("mrank").as_int());
+      e.matched_seq = record.at("mseq").as_int();
+      e.posted_source = static_cast<std::int32_t>(record.at("psrc").as_int());
+      e.posted_tag = static_cast<std::int32_t>(record.at("ptag").as_int());
+      e.callstack_id = static_cast<std::uint32_t>(record.at("cs").as_int());
+      e.jittered = record.at("jit").as_bool();
+      ANACIN_CHECK(e.rank == static_cast<std::int32_t>(r),
+                   "event rank does not match its array position");
+      trace.append(e);
+    }
+  }
+  return trace;
+}
+
+}  // namespace anacin::trace

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+#include "trace/callstack.hpp"
+#include "trace/event.hpp"
+
+namespace anacin::trace {
+
+/// Globally unique identity of an event: (rank, index in that rank's
+/// program-order event vector).
+struct EventId {
+  std::int32_t rank = -1;
+  std::int64_t seq = -1;
+
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+/// Full record of one simulated execution: per-rank event sequences plus
+/// the callstack registry the events refer to.
+class Trace {
+public:
+  Trace() = default;
+  Trace(int num_ranks, int num_nodes);
+
+  int num_ranks() const { return static_cast<int>(events_.size()); }
+  int num_nodes() const { return num_nodes_; }
+
+  /// Append an event to its rank's sequence; returns the event's seq.
+  std::int64_t append(Event event);
+
+  const std::vector<Event>& rank_events(int rank) const;
+  const Event& event(EventId id) const;
+
+  /// Total number of events across all ranks.
+  std::size_t total_events() const;
+
+  CallstackRegistry& callstacks() { return callstacks_; }
+  const CallstackRegistry& callstacks() const { return callstacks_; }
+
+  /// Largest t_end across all events (the virtual makespan).
+  double makespan() const;
+
+  /// Serialize to / from a JSON document (schema version "anacin-trace-1").
+  json::Value to_json() const;
+  static Trace from_json(const json::Value& document);
+
+private:
+  int num_nodes_ = 1;
+  std::vector<std::vector<Event>> events_;
+  CallstackRegistry callstacks_;
+};
+
+}  // namespace anacin::trace

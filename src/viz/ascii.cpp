@@ -1,0 +1,113 @@
+#include "viz/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace anacin::viz {
+
+namespace {
+
+char event_glyph(trace::EventType type) {
+  switch (type) {
+    case trace::EventType::kInit: return 'I';
+    case trace::EventType::kSend: return 'S';
+    case trace::EventType::kRecv: return 'R';
+    case trace::EventType::kFinalize: return 'F';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string ascii_event_graph(const graph::EventGraph& graph,
+                              std::size_t max_edges) {
+  std::ostringstream os;
+  const auto columns = static_cast<std::size_t>(graph.max_lamport());
+  for (int r = 0; r < graph.num_ranks(); ++r) {
+    std::string row(columns, '-');
+    const graph::NodeId base = graph.rank_base(r);
+    for (std::size_t i = 0; i < graph.rank_size(r); ++i) {
+      const graph::EventNode& node =
+          graph.node(base + static_cast<graph::NodeId>(i));
+      row[static_cast<std::size_t>(node.lamport - 1)] =
+          event_glyph(node.type);
+    }
+    os << pad_right("rank " + std::to_string(r), 9) << row << '\n';
+  }
+  os << "legend: I=init S=send R=recv F=finalize; column = Lamport time\n";
+  const auto& edges = graph.message_edges();
+  const std::size_t shown = std::min(max_edges, edges.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const graph::EventNode& send = graph.node(edges[i].first);
+    const graph::EventNode& recv = graph.node(edges[i].second);
+    os << "  msg: rank " << send.rank << " @t" << send.lamport
+       << "  ->  rank " << recv.rank << " @t" << recv.lamport;
+    if (recv.posted_source == -1) os << "  (wildcard recv)";
+    os << '\n';
+  }
+  if (edges.size() > shown) {
+    os << "  ... " << (edges.size() - shown) << " more message(s)\n";
+  }
+  return os.str();
+}
+
+std::string ascii_histogram(std::span<const double> values, std::size_t bins,
+                            std::size_t width) {
+  ANACIN_CHECK(!values.empty(), "histogram of empty sample");
+  ANACIN_CHECK(bins >= 1 && width >= 1, "invalid histogram shape");
+  const double lo = *std::min_element(values.begin(), values.end());
+  double hi = *std::max_element(values.begin(), values.end());
+  if (hi <= lo) hi = lo + 1.0;
+
+  std::vector<std::size_t> counts(bins, 0);
+  for (const double v : values) {
+    auto bin = static_cast<std::size_t>((v - lo) / (hi - lo) *
+                                        static_cast<double>(bins));
+    if (bin >= bins) bin = bins - 1;
+    ++counts[bin];
+  }
+  const std::size_t peak = *std::max_element(counts.begin(), counts.end());
+
+  std::ostringstream os;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double bin_lo = lo + (hi - lo) * static_cast<double>(b) /
+                                   static_cast<double>(bins);
+    const auto bar_length = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts[b]) /
+                     static_cast<double>(peak) * static_cast<double>(width)));
+    os << pad_left(format_fixed(bin_lo, 3), 12) << " | "
+       << std::string(bar_length, '#') << ' ' << counts[b] << '\n';
+  }
+  return os.str();
+}
+
+std::string ascii_bar_chart(const std::vector<std::string>& labels,
+                            std::span<const double> values,
+                            std::size_t width) {
+  ANACIN_CHECK(labels.size() == values.size(),
+               "bar chart needs one label per value");
+  ANACIN_CHECK(!values.empty(), "bar chart of empty data");
+  double peak = *std::max_element(values.begin(), values.end());
+  if (peak <= 0.0) peak = 1.0;
+  std::size_t label_width = 0;
+  for (const auto& label : labels) {
+    label_width = std::max(label_width, label.size());
+  }
+  label_width = std::min<std::size_t>(label_width, 48);
+
+  std::ostringstream os;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto bar_length = static_cast<std::size_t>(std::llround(
+        values[i] / peak * static_cast<double>(width)));
+    os << pad_right(labels[i], label_width) << " | "
+       << std::string(bar_length, '#') << ' ' << format_fixed(values[i], 4)
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace anacin::viz

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/event_graph.hpp"
+
+namespace anacin::viz {
+
+/// Terminal rendering of an event graph: one row per rank, one column per
+/// Lamport tick; I = init, S = send, R = recv, F = finalize. Message
+/// matches are listed below the grid (up to `max_edges`).
+std::string ascii_event_graph(const graph::EventGraph& graph,
+                              std::size_t max_edges = 24);
+
+/// Horizontal histogram of a sample (terminal violin substitute).
+std::string ascii_histogram(std::span<const double> values,
+                            std::size_t bins = 10, std::size_t width = 40);
+
+/// Labelled horizontal bars scaled to the maximum value.
+std::string ascii_bar_chart(const std::vector<std::string>& labels,
+                            std::span<const double> values,
+                            std::size_t width = 40);
+
+}  // namespace anacin::viz

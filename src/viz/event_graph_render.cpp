@@ -1,0 +1,141 @@
+#include "viz/event_graph_render.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/types.hpp"
+#include "support/error.hpp"
+
+namespace anacin::viz {
+
+namespace {
+
+const char* node_fill(trace::EventType type) {
+  switch (type) {
+    case trace::EventType::kInit:
+    case trace::EventType::kFinalize:
+      return "#4c9a57";  // green
+    case trace::EventType::kSend:
+      return "#4878c8";  // blue
+    case trace::EventType::kRecv:
+      return "#c8504c";  // red
+  }
+  return "#999999";
+}
+
+bool is_collective_event(const graph::EventNode& node) {
+  return node.tag >= sim::kCollectiveTagBase;
+}
+
+}  // namespace
+
+SvgDocument render_event_graph(const graph::EventGraph& graph,
+                               const EventGraphRenderConfig& config) {
+  const int num_ranks = graph.num_ranks();
+  ANACIN_CHECK(num_ranks > 0, "event graph has no ranks");
+
+  const double left_margin = 76.0;
+  const double top_margin = config.title.empty() ? 24.0 : 48.0;
+
+  // Horizontal position: Lamport clock (so arrows always point right).
+  const double width =
+      left_margin +
+      config.column_width * static_cast<double>(graph.max_lamport() + 1);
+  const double height =
+      top_margin + config.row_height * static_cast<double>(num_ranks);
+
+  SvgDocument svg(width, height);
+  if (!config.title.empty()) {
+    svg.text(width / 2.0, 24.0, config.title,
+             {.size = 15, .anchor = "middle", .fill = "#111111",
+              .bold = true, .rotate = 0});
+  }
+
+  const auto node_x = [&](const graph::EventNode& node) {
+    return left_margin +
+           config.column_width * static_cast<double>(node.lamport);
+  };
+  const auto rank_y = [&](int rank) {
+    return top_margin + config.row_height * (static_cast<double>(rank) + 0.5);
+  };
+  const auto visible = [&](const graph::EventNode& node) {
+    return !(config.hide_collective_traffic && is_collective_event(node));
+  };
+
+  // Row guides and labels.
+  for (int r = 0; r < num_ranks; ++r) {
+    const double y = rank_y(r);
+    svg.line(left_margin - 10, y, width - 8, y,
+             {.fill = "none", .stroke = "#cccccc", .stroke_width = 1.0,
+              .opacity = 1.0, .dash = "4,4"});
+    svg.text(8, y + 4, "Rank " + std::to_string(r),
+             {.size = 12, .anchor = "start", .fill = "#222222",
+              .bold = false, .rotate = 0});
+  }
+
+  // Message arrows beneath the nodes.
+  for (const auto& [send_node, recv_node] : graph.message_edges()) {
+    const graph::EventNode& send = graph.node(send_node);
+    const graph::EventNode& recv = graph.node(recv_node);
+    if (!visible(send) || !visible(recv)) continue;
+    const double x1 = node_x(send);
+    const double y1 = rank_y(send.rank);
+    const double x2 = node_x(recv);
+    const double y2 = rank_y(recv.rank);
+    svg.line(x1, y1, x2, y2,
+             {.fill = "none", .stroke = "#888888", .stroke_width = 1.4,
+              .opacity = 0.9, .dash = ""});
+    // Arrowhead.
+    const double angle = std::atan2(y2 - y1, x2 - x1);
+    const double tip_x = x2 - std::cos(angle) * config.node_radius;
+    const double tip_y = y2 - std::sin(angle) * config.node_radius;
+    const double wing = 5.0;
+    svg.polygon(
+        {{tip_x, tip_y},
+         {tip_x - wing * std::cos(angle - 0.45),
+          tip_y - wing * std::sin(angle - 0.45)},
+         {tip_x - wing * std::cos(angle + 0.45),
+          tip_y - wing * std::sin(angle + 0.45)}},
+        {.fill = "#888888", .stroke = "none", .stroke_width = 0,
+         .opacity = 0.9, .dash = ""});
+  }
+
+  // Program-order connectors and nodes.
+  for (int r = 0; r < num_ranks; ++r) {
+    const graph::NodeId base = graph.rank_base(r);
+    const std::size_t count = graph.rank_size(r);
+    const double y = rank_y(r);
+    graph::NodeId previous_visible = base;
+    bool have_previous = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      const graph::NodeId id = base + static_cast<graph::NodeId>(i);
+      const graph::EventNode& node = graph.node(id);
+      if (!visible(node)) continue;
+      if (have_previous) {
+        svg.line(node_x(graph.node(previous_visible)), y, node_x(node), y,
+                 {.fill = "none", .stroke = "#555555", .stroke_width = 1.6,
+                  .opacity = 1.0, .dash = ""});
+      }
+      previous_visible = id;
+      have_previous = true;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const graph::NodeId id = base + static_cast<graph::NodeId>(i);
+      const graph::EventNode& node = graph.node(id);
+      if (!visible(node)) continue;
+      svg.circle(node_x(node), y, config.node_radius,
+                 {.fill = node_fill(node.type), .stroke = "#222222",
+                  .stroke_width = 1.0, .opacity = 1.0, .dash = ""});
+      if (config.annotate_matches &&
+          node.type == trace::EventType::kRecv) {
+        svg.text(node_x(node), y - config.node_radius - 4,
+                 "from " + std::to_string(node.peer),
+                 {.size = 9, .anchor = "middle", .fill = "#555555",
+                  .bold = false, .rotate = 0});
+      }
+    }
+  }
+  return svg;
+}
+
+}  // namespace anacin::viz

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "graph/event_graph.hpp"
+#include "viz/svg.hpp"
+
+namespace anacin::viz {
+
+/// Styling of the event-graph timeline (paper Figs 1-4): one row per MPI
+/// rank; green circles for process start/end, blue for sends, red for
+/// receives; gray arrows for point-to-point messages. Nodes are positioned
+/// by Lamport clock so message arrows always point rightwards.
+struct EventGraphRenderConfig {
+  double node_radius = 7.0;
+  double column_width = 34.0;
+  double row_height = 56.0;
+  std::string title;
+  /// Label receive nodes with their matched source rank.
+  bool annotate_matches = true;
+  /// Skip events from collective internals (tags >= 2^20).
+  bool hide_collective_traffic = false;
+};
+
+SvgDocument render_event_graph(const graph::EventGraph& graph,
+                               const EventGraphRenderConfig& config = {});
+
+}  // namespace anacin::viz

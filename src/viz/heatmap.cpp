@@ -1,0 +1,86 @@
+#include "viz/heatmap.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace anacin::viz {
+
+SvgDocument comm_matrix_heatmap(const graph::CommMatrix& matrix,
+                                const std::string& title) {
+  ANACIN_CHECK(matrix.num_ranks > 0, "empty communication matrix");
+  const int n = matrix.num_ranks;
+  const double cell = std::max(10.0, std::min(28.0, 560.0 / n));
+  const double left = 56.0;
+  const double top = title.empty() ? 32.0 : 56.0;
+  const double width = left + cell * n + 24.0;
+  const double height = top + cell * n + 40.0;
+
+  SvgDocument svg(width, height);
+  if (!title.empty()) {
+    svg.text(width / 2.0, 24.0, title,
+             {.size = 14, .anchor = "middle", .fill = "#111111",
+              .bold = true, .rotate = 0});
+  }
+
+  std::uint64_t peak = 1;
+  for (const std::uint64_t count : matrix.messages) {
+    peak = std::max(peak, count);
+  }
+
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      const double intensity =
+          static_cast<double>(matrix.messages_between(src, dst)) /
+          static_cast<double>(peak);
+      // White (0) to deep blue (1).
+      const int channel = static_cast<int>(245.0 - intensity * 170.0);
+      char color[8];
+      std::snprintf(color, sizeof(color), "#%02x%02xf5", channel, channel);
+      svg.rect(left + cell * dst, top + cell * src, cell - 1, cell - 1,
+               {.fill = color, .stroke = "#dddddd", .stroke_width = 0.5,
+                .opacity = 1.0, .dash = ""});
+    }
+    // Row / column labels, thinned for large matrices.
+    if (n <= 32 || src % 4 == 0) {
+      svg.text(left - 6, top + cell * src + cell * 0.7, std::to_string(src),
+               {.size = 9, .anchor = "end", .fill = "#333333", .bold = false,
+                .rotate = 0});
+      svg.text(left + cell * src + cell * 0.5, top + cell * n + 12,
+               std::to_string(src),
+               {.size = 9, .anchor = "middle", .fill = "#333333",
+                .bold = false, .rotate = 0});
+    }
+  }
+  svg.text(left + cell * n / 2.0, height - 8, "receiver rank",
+           {.size = 11, .anchor = "middle", .fill = "#222222", .bold = false,
+            .rotate = 0});
+  svg.text(14, top + cell * n / 2.0, "sender rank",
+           {.size = 11, .anchor = "middle", .fill = "#222222", .bold = false,
+            .rotate = -90});
+  return svg;
+}
+
+std::string ascii_comm_matrix(const graph::CommMatrix& matrix) {
+  ANACIN_CHECK(matrix.num_ranks > 0, "empty communication matrix");
+  const int n = matrix.num_ranks;
+  std::ostringstream os;
+  os << pad_right("src\\dst", 8);
+  for (int dst = 0; dst < n; ++dst) {
+    os << pad_left(std::to_string(dst), 6);
+  }
+  os << '\n';
+  for (int src = 0; src < n; ++src) {
+    os << pad_right(std::to_string(src), 8);
+    for (int dst = 0; dst < n; ++dst) {
+      os << pad_left(std::to_string(matrix.messages_between(src, dst)), 6);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace anacin::viz

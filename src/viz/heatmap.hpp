@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "graph/metrics.hpp"
+#include "viz/svg.hpp"
+
+namespace anacin::viz {
+
+/// SVG heatmap of a communication matrix: rows are senders, columns are
+/// receivers, cell shade encodes the message count.
+SvgDocument comm_matrix_heatmap(const graph::CommMatrix& matrix,
+                                const std::string& title = {});
+
+/// Terminal rendering of the communication matrix (counts, right-aligned).
+std::string ascii_comm_matrix(const graph::CommMatrix& matrix);
+
+}  // namespace anacin::viz

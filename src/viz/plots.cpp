@@ -1,0 +1,298 @@
+#include "viz/plots.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace anacin::viz {
+
+std::vector<double> nice_ticks(double lo, double hi, int target_count) {
+  ANACIN_CHECK(target_count >= 2, "need at least two ticks");
+  if (hi <= lo) hi = lo + 1.0;
+  const double raw_step = (hi - lo) / (target_count - 1);
+  const double magnitude = std::pow(10.0, std::floor(std::log10(raw_step)));
+  double step = magnitude;
+  for (const double multiple : {1.0, 2.0, 2.5, 5.0, 10.0}) {
+    if (magnitude * multiple >= raw_step) {
+      step = magnitude * multiple;
+      break;
+    }
+  }
+  std::vector<double> ticks;
+  const double start = std::floor(lo / step) * step;
+  for (double t = start; t <= hi + step * 0.5; t += step) {
+    if (t >= lo - step * 1e-9) ticks.push_back(t);
+  }
+  return ticks;
+}
+
+std::string tick_label(double value) {
+  if (value == 0.0) return "0";
+  char buffer[32];
+  if (std::abs(value) >= 1e5 || std::abs(value) < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.2g", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%g", value);
+  }
+  return buffer;
+}
+
+namespace {
+
+/// Margins and coordinate mapping of a chart frame.
+struct Frame {
+  double left = 64.0;
+  double right = 16.0;
+  double top = 40.0;
+  double bottom = 56.0;
+  double width = 0.0;
+  double height = 0.0;
+  double x_min = 0.0;
+  double x_max = 1.0;
+  double y_min = 0.0;
+  double y_max = 1.0;
+
+  double plot_width() const { return width - left - right; }
+  double plot_height() const { return height - top - bottom; }
+  double x(double value) const {
+    return left + (value - x_min) / (x_max - x_min) * plot_width();
+  }
+  double y(double value) const {
+    return height - bottom -
+           (value - y_min) / (y_max - y_min) * plot_height();
+  }
+};
+
+const Style kAxisStyle{.fill = "none", .stroke = "#444444",
+                       .stroke_width = 1.2, .opacity = 1.0, .dash = ""};
+const Style kGridStyle{.fill = "none", .stroke = "#dddddd",
+                       .stroke_width = 0.8, .opacity = 1.0, .dash = "3,3"};
+
+void draw_title_and_labels(SvgDocument& svg, const Frame& frame,
+                           const PlotConfig& config) {
+  if (!config.title.empty()) {
+    svg.text(frame.width / 2.0, frame.top - 16.0, config.title,
+             {.size = 15, .anchor = "middle", .fill = "#111111",
+              .bold = true, .rotate = 0});
+  }
+  if (!config.x_label.empty()) {
+    svg.text(frame.left + frame.plot_width() / 2.0, frame.height - 12.0,
+             config.x_label,
+             {.size = 12, .anchor = "middle", .fill = "#222222",
+              .bold = false, .rotate = 0});
+  }
+  if (!config.y_label.empty()) {
+    svg.text(16.0, frame.top + frame.plot_height() / 2.0, config.y_label,
+             {.size = 12, .anchor = "middle", .fill = "#222222",
+              .bold = false, .rotate = -90});
+  }
+}
+
+void draw_y_axis(SvgDocument& svg, const Frame& frame) {
+  svg.line(frame.left, frame.top, frame.left, frame.height - frame.bottom,
+           kAxisStyle);
+  for (const double tick : nice_ticks(frame.y_min, frame.y_max)) {
+    if (tick > frame.y_max + 1e-12) continue;
+    const double y = frame.y(tick);
+    svg.line(frame.left, y, frame.width - frame.right, y, kGridStyle);
+    svg.line(frame.left - 4, y, frame.left, y, kAxisStyle);
+    svg.text(frame.left - 8, y + 4, tick_label(tick),
+             {.size = 10, .anchor = "end", .fill = "#333333", .bold = false,
+              .rotate = 0});
+  }
+}
+
+void draw_x_axis_line(SvgDocument& svg, const Frame& frame) {
+  svg.line(frame.left, frame.height - frame.bottom,
+           frame.width - frame.right, frame.height - frame.bottom,
+           kAxisStyle);
+}
+
+const char* series_color(std::size_t index) {
+  static const char* kPalette[] = {"#4878a8", "#b5534c", "#6a9a58",
+                                   "#8066a9", "#c08a3e", "#5a9aa4"};
+  return kPalette[index % (sizeof(kPalette) / sizeof(kPalette[0]))];
+}
+
+}  // namespace
+
+SvgDocument violin_plot(const std::vector<ViolinSeries>& series,
+                        const PlotConfig& config) {
+  ANACIN_CHECK(!series.empty(), "violin plot needs at least one series");
+  Frame frame;
+  frame.width = config.width;
+  frame.height = config.height;
+  frame.x_min = 0.0;
+  frame.x_max = static_cast<double>(series.size());
+
+  double y_lo = series[0].data.summary.min;
+  double y_hi = series[0].data.summary.max;
+  for (const auto& violin : series) {
+    y_lo = std::min(y_lo, violin.data.grid.front());
+    y_hi = std::max(y_hi, violin.data.grid.back());
+  }
+  if (y_hi <= y_lo) y_hi = y_lo + 1.0;
+  frame.y_min = std::min(0.0, y_lo);
+  frame.y_max = y_hi + (y_hi - y_lo) * 0.05;
+
+  SvgDocument svg(config.width, config.height);
+  draw_y_axis(svg, frame);
+  draw_x_axis_line(svg, frame);
+  draw_title_and_labels(svg, frame, config);
+
+  const double slot_width = frame.plot_width() / static_cast<double>(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto& violin = series[i].data;
+    const double center =
+        frame.left + slot_width * (static_cast<double>(i) + 0.5);
+    const double max_density =
+        *std::max_element(violin.density.begin(), violin.density.end());
+    const double half_width = slot_width * 0.38;
+
+    std::vector<Point> outline;
+    outline.reserve(violin.grid.size() * 2);
+    for (std::size_t g = 0; g < violin.grid.size(); ++g) {
+      const double dx = max_density > 0.0
+                            ? violin.density[g] / max_density * half_width
+                            : 0.0;
+      outline.push_back({center - dx, frame.y(violin.grid[g])});
+    }
+    for (std::size_t g = violin.grid.size(); g-- > 0;) {
+      const double dx = max_density > 0.0
+                            ? violin.density[g] / max_density * half_width
+                            : 0.0;
+      outline.push_back({center + dx, frame.y(violin.grid[g])});
+    }
+    svg.polygon(outline, {.fill = series_color(i), .stroke = "#30506e",
+                          .stroke_width = 1.0, .opacity = 0.55, .dash = ""});
+
+    // Interquartile bar and median tick.
+    const Style box{.fill = "none", .stroke = "#1b2a38", .stroke_width = 2.2,
+                    .opacity = 0.9, .dash = ""};
+    svg.line(center, frame.y(violin.summary.q1), center,
+             frame.y(violin.summary.q3), box);
+    svg.circle(center, frame.y(violin.summary.median), 3.0,
+               {.fill = "#ffffff", .stroke = "#1b2a38", .stroke_width = 1.5,
+                .opacity = 1.0, .dash = ""});
+
+    svg.text(center, frame.height - frame.bottom + 18.0, series[i].label,
+             {.size = 11, .anchor = "middle", .fill = "#222222",
+              .bold = false, .rotate = 0});
+  }
+  return svg;
+}
+
+SvgDocument bar_plot(const std::vector<Bar>& bars, const PlotConfig& config) {
+  ANACIN_CHECK(!bars.empty(), "bar plot needs at least one bar");
+  SvgDocument svg(config.width, config.height);
+
+  const double label_column = config.width * 0.45;
+  const double top = 48.0;
+  const double bottom = 36.0;
+  const double row_height =
+      (config.height - top - bottom) / static_cast<double>(bars.size());
+  double max_value = 0.0;
+  for (const auto& bar : bars) max_value = std::max(max_value, bar.value);
+  if (max_value <= 0.0) max_value = 1.0;
+
+  if (!config.title.empty()) {
+    svg.text(config.width / 2.0, 24.0, config.title,
+             {.size = 15, .anchor = "middle", .fill = "#111111",
+              .bold = true, .rotate = 0});
+  }
+
+  const double bar_area = config.width - label_column - 24.0;
+  for (std::size_t i = 0; i < bars.size(); ++i) {
+    const double y = top + row_height * static_cast<double>(i);
+    const double bar_height = row_height * 0.7;
+    const double bar_width = bars[i].value / max_value * bar_area;
+    svg.rect(label_column, y, bar_width, bar_height,
+             {.fill = series_color(0), .stroke = "#30506e",
+              .stroke_width = 0.8, .opacity = 0.85, .dash = ""});
+    svg.text(label_column - 6.0, y + bar_height * 0.75, bars[i].label,
+             {.size = 10, .anchor = "end", .fill = "#222222", .bold = false,
+              .rotate = 0});
+    char value_text[32];
+    std::snprintf(value_text, sizeof(value_text), "%.3f", bars[i].value);
+    svg.text(label_column + bar_width + 4.0, y + bar_height * 0.75,
+             value_text,
+             {.size = 9, .anchor = "start", .fill = "#444444", .bold = false,
+              .rotate = 0});
+  }
+  if (!config.x_label.empty()) {
+    svg.text(label_column + bar_area / 2.0, config.height - 10.0,
+             config.x_label,
+             {.size = 12, .anchor = "middle", .fill = "#222222",
+              .bold = false, .rotate = 0});
+  }
+  return svg;
+}
+
+SvgDocument line_plot(const std::vector<LineSeries>& series,
+                      const PlotConfig& config) {
+  ANACIN_CHECK(!series.empty(), "line plot needs at least one series");
+  Frame frame;
+  frame.width = config.width;
+  frame.height = config.height;
+
+  bool first = true;
+  for (const auto& line : series) {
+    for (const Point& p : line.points) {
+      if (first) {
+        frame.x_min = frame.x_max = p.x;
+        frame.y_min = frame.y_max = p.y;
+        first = false;
+      }
+      frame.x_min = std::min(frame.x_min, p.x);
+      frame.x_max = std::max(frame.x_max, p.x);
+      frame.y_min = std::min(frame.y_min, p.y);
+      frame.y_max = std::max(frame.y_max, p.y);
+    }
+  }
+  ANACIN_CHECK(!first, "line plot needs at least one point");
+  if (frame.x_max <= frame.x_min) frame.x_max = frame.x_min + 1.0;
+  if (frame.y_max <= frame.y_min) frame.y_max = frame.y_min + 1.0;
+  frame.y_min = std::min(0.0, frame.y_min);
+  frame.y_max += (frame.y_max - frame.y_min) * 0.05;
+
+  SvgDocument svg(config.width, config.height);
+  draw_y_axis(svg, frame);
+  draw_x_axis_line(svg, frame);
+  for (const double tick : nice_ticks(frame.x_min, frame.x_max)) {
+    if (tick > frame.x_max + 1e-12) continue;
+    const double x = frame.x(tick);
+    svg.line(x, frame.height - frame.bottom, x,
+             frame.height - frame.bottom + 4, kAxisStyle);
+    svg.text(x, frame.height - frame.bottom + 16, tick_label(tick),
+             {.size = 10, .anchor = "middle", .fill = "#333333",
+              .bold = false, .rotate = 0});
+  }
+  draw_title_and_labels(svg, frame, config);
+
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    std::vector<Point> mapped;
+    mapped.reserve(series[s].points.size());
+    for (const Point& p : series[s].points) {
+      mapped.push_back({frame.x(p.x), frame.y(p.y)});
+    }
+    svg.polyline(mapped, {.fill = "none", .stroke = series_color(s),
+                          .stroke_width = 1.8, .opacity = 1.0, .dash = ""});
+    for (const Point& p : mapped) {
+      svg.circle(p.x, p.y, 2.4,
+                 {.fill = series_color(s), .stroke = "none",
+                  .stroke_width = 0, .opacity = 1.0, .dash = ""});
+    }
+    if (series.size() > 1) {
+      svg.text(frame.left + 8,
+               frame.top + 14 + 14 * static_cast<double>(s),
+               series[s].label,
+               {.size = 11, .anchor = "start", .fill = series_color(s),
+                .bold = true, .rotate = 0});
+    }
+  }
+  return svg;
+}
+
+}  // namespace anacin::viz

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/kde.hpp"
+#include "viz/svg.hpp"
+
+namespace anacin::viz {
+
+/// Shared chart-frame configuration.
+struct PlotConfig {
+  double width = 640.0;
+  double height = 420.0;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// One violin: a category label plus its kernel-distance sample.
+struct ViolinSeries {
+  std::string label;
+  analysis::ViolinData data;
+};
+
+/// Kernel-distance violin plot (paper Figs 5, 6, 7): one violin per
+/// setting, mirrored KDE silhouette with median and interquartile box.
+SvgDocument violin_plot(const std::vector<ViolinSeries>& series,
+                        const PlotConfig& config);
+
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+
+/// Horizontal bar chart (paper Fig. 8's callstack frequencies; horizontal
+/// so long call paths stay readable).
+SvgDocument bar_plot(const std::vector<Bar>& bars, const PlotConfig& config);
+
+struct LineSeries {
+  std::string label;
+  std::vector<Point> points;  // x ascending
+};
+
+/// Multi-series line plot with markers (slice-profile visualisations).
+SvgDocument line_plot(const std::vector<LineSeries>& series,
+                      const PlotConfig& config);
+
+/// "Nice" tick positions covering [lo, hi].
+std::vector<double> nice_ticks(double lo, double hi, int target_count = 6);
+
+/// Compact tick label (trims trailing zeros).
+std::string tick_label(double value);
+
+}  // namespace anacin::viz

@@ -1,0 +1,136 @@
+#include "viz/svg.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace anacin::viz {
+
+namespace {
+
+std::string number(double value) {
+  std::ostringstream os;
+  os.precision(6);
+  os << value;
+  return os.str();
+}
+
+std::string style_attrs(const Style& style) {
+  std::ostringstream os;
+  os << "fill=\"" << style.fill << "\" stroke=\"" << style.stroke
+     << "\" stroke-width=\"" << number(style.stroke_width) << '"';
+  if (style.opacity != 1.0) {
+    os << " opacity=\"" << number(style.opacity) << '"';
+  }
+  if (!style.dash.empty()) {
+    os << " stroke-dasharray=\"" << style.dash << '"';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+SvgDocument::SvgDocument(double width, double height)
+    : width_(width), height_(height) {
+  ANACIN_CHECK(width > 0 && height > 0, "SVG canvas must be positive");
+}
+
+void SvgDocument::line(double x1, double y1, double x2, double y2,
+                       const Style& style) {
+  std::ostringstream os;
+  os << "<line x1=\"" << number(x1) << "\" y1=\"" << number(y1) << "\" x2=\""
+     << number(x2) << "\" y2=\"" << number(y2) << "\" " << style_attrs(style)
+     << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgDocument::circle(double cx, double cy, double radius,
+                         const Style& style) {
+  std::ostringstream os;
+  os << "<circle cx=\"" << number(cx) << "\" cy=\"" << number(cy)
+     << "\" r=\"" << number(radius) << "\" " << style_attrs(style) << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgDocument::rect(double x, double y, double w, double h,
+                       const Style& style) {
+  std::ostringstream os;
+  os << "<rect x=\"" << number(x) << "\" y=\"" << number(y) << "\" width=\""
+     << number(w) << "\" height=\"" << number(h) << "\" "
+     << style_attrs(style) << "/>";
+  elements_.push_back(os.str());
+}
+
+namespace {
+std::string points_attr(const std::vector<Point>& points) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << number(points[i].x) << ',' << number(points[i].y);
+  }
+  return os.str();
+}
+}  // namespace
+
+void SvgDocument::polygon(const std::vector<Point>& points,
+                          const Style& style) {
+  std::ostringstream os;
+  os << "<polygon points=\"" << points_attr(points) << "\" "
+     << style_attrs(style) << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgDocument::polyline(const std::vector<Point>& points,
+                           const Style& style) {
+  std::ostringstream os;
+  os << "<polyline points=\"" << points_attr(points) << "\" "
+     << style_attrs(style) << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgDocument::text(double x, double y, const std::string& content,
+                       const TextStyle& style) {
+  std::ostringstream os;
+  os << "<text x=\"" << number(x) << "\" y=\"" << number(y)
+     << "\" font-size=\"" << number(style.size) << "\" text-anchor=\""
+     << style.anchor << "\" fill=\"" << style.fill
+     << "\" font-family=\"sans-serif\"";
+  if (style.bold) os << " font-weight=\"bold\"";
+  if (style.rotate != 0.0) {
+    os << " transform=\"rotate(" << number(style.rotate) << ' ' << number(x)
+       << ' ' << number(y) << ")\"";
+  }
+  os << '>' << json::escape(content) << "</text>";
+  elements_.push_back(os.str());
+}
+
+void SvgDocument::raw(const std::string& element) {
+  elements_.push_back(element);
+}
+
+std::string SvgDocument::render() const {
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << number(width_)
+     << "\" height=\"" << number(height_) << "\" viewBox=\"0 0 "
+     << number(width_) << ' ' << number(height_) << "\">\n";
+  os << "<rect x=\"0\" y=\"0\" width=\"" << number(width_) << "\" height=\""
+     << number(height_) << "\" fill=\"#ffffff\"/>\n";
+  for (const auto& element : elements_) os << element << '\n';
+  os << "</svg>\n";
+  return os.str();
+}
+
+void SvgDocument::save(const std::string& path) const {
+  const std::filesystem::path file_path(path);
+  if (file_path.has_parent_path()) {
+    std::filesystem::create_directories(file_path.parent_path());
+  }
+  std::ofstream out(file_path);
+  ANACIN_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << render();
+}
+
+}  // namespace anacin::viz

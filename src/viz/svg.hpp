@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace anacin::viz {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Stroke/fill styling for shapes.
+struct Style {
+  std::string fill = "none";
+  std::string stroke = "#333333";
+  double stroke_width = 1.0;
+  double opacity = 1.0;
+  /// SVG dash pattern, empty for solid.
+  std::string dash;
+};
+
+struct TextStyle {
+  double size = 12.0;
+  /// "start", "middle", or "end".
+  std::string anchor = "start";
+  std::string fill = "#222222";
+  bool bold = false;
+  /// Rotation in degrees about the text position.
+  double rotate = 0.0;
+};
+
+/// Tiny SVG writer — enough for the violin, bar, line, and event-graph
+/// figures this project regenerates. Elements render in insertion order.
+class SvgDocument {
+public:
+  SvgDocument(double width, double height);
+
+  double width() const { return width_; }
+  double height() const { return height_; }
+
+  void line(double x1, double y1, double x2, double y2, const Style& style);
+  void circle(double cx, double cy, double radius, const Style& style);
+  void rect(double x, double y, double w, double h, const Style& style);
+  void polygon(const std::vector<Point>& points, const Style& style);
+  void polyline(const std::vector<Point>& points, const Style& style);
+  void text(double x, double y, const std::string& content,
+            const TextStyle& style);
+  /// Raw element escape hatch.
+  void raw(const std::string& element);
+
+  std::string render() const;
+  /// Write render() to a file; creates parent directories as needed.
+  void save(const std::string& path) const;
+
+private:
+  double width_;
+  double height_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace anacin::viz

@@ -1,0 +1,118 @@
+#include "analysis/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "support/error.hpp"
+
+namespace anacin::analysis {
+namespace {
+
+kernels::DistanceMatrix matrix_from(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  kernels::DistanceMatrix matrix;
+  matrix.size = rows.size();
+  for (const auto& row : rows) {
+    for (const double value : row) matrix.values.push_back(value);
+  }
+  return matrix;
+}
+
+TEST(SingleLinkage, TwoObviousBlobs) {
+  // Items 0,1 close; items 2,3 close; blobs far apart.
+  const auto matrix = matrix_from({{0, 1, 9, 9},
+                                   {1, 0, 9, 9},
+                                   {9, 9, 0, 1},
+                                   {9, 9, 1, 0}});
+  const Clustering clustering = single_linkage(matrix, 2.0);
+  ASSERT_EQ(clustering.num_clusters(), 2u);
+  EXPECT_EQ(clustering.clusters[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(clustering.clusters[1], (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(clustering.cluster_of[1], clustering.cluster_of[0]);
+  EXPECT_NE(clustering.cluster_of[2], clustering.cluster_of[0]);
+}
+
+TEST(SingleLinkage, ChainingMergesTransitively) {
+  // 0-1 and 1-2 are close, 0-2 is far: single linkage still merges all.
+  const auto matrix = matrix_from({{0, 1, 5}, {1, 0, 1}, {5, 1, 0}});
+  const Clustering clustering = single_linkage(matrix, 1.5);
+  EXPECT_EQ(clustering.num_clusters(), 1u);
+}
+
+TEST(SingleLinkage, ThresholdExtremes) {
+  const auto matrix = matrix_from({{0, 2, 4}, {2, 0, 2}, {4, 2, 0}});
+  EXPECT_EQ(single_linkage(matrix, 0.0).num_clusters(), 3u);
+  EXPECT_EQ(single_linkage(matrix, 100.0).num_clusters(), 1u);
+}
+
+TEST(SingleLinkage, ZeroDistanceItemsAlwaysTogether) {
+  const auto matrix = matrix_from({{0, 0}, {0, 0}});
+  EXPECT_EQ(single_linkage(matrix, 0.0).num_clusters(), 1u);
+}
+
+TEST(SingleLinkage, InputValidation) {
+  kernels::DistanceMatrix empty;
+  EXPECT_THROW(single_linkage(empty, 1.0), Error);
+  const auto matrix = matrix_from({{0.0}});
+  EXPECT_THROW(single_linkage(matrix, -1.0), Error);
+  EXPECT_EQ(single_linkage(matrix, 0.0).num_clusters(), 1u);
+}
+
+TEST(LargestGap, FindsTheObviousCut) {
+  const auto matrix = matrix_from({{0, 1, 9, 9},
+                                   {1, 0, 9, 9},
+                                   {9, 9, 0, 1},
+                                   {9, 9, 1, 0}});
+  const double threshold = largest_gap_threshold(matrix);
+  EXPECT_GT(threshold, 1.0);
+  EXPECT_LT(threshold, 9.0);
+  EXPECT_EQ(single_linkage(matrix, threshold).num_clusters(), 2u);
+}
+
+TEST(LargestGap, DegenerateAllEqual) {
+  const auto matrix = matrix_from({{0, 3}, {3, 0}});
+  // Only one pairwise distance: nothing to cut between.
+  EXPECT_DOUBLE_EQ(largest_gap_threshold(matrix), 3.0);
+}
+
+TEST(ClusterRuns, SeparatesTwoApplicationVariants) {
+  // Two mesh *topologies* (different applications) sampled at 100% ND:
+  // within-topology distances are small, across-topology large — the
+  // clustering must recover the two groups without being told.
+  ThreadPool pool(2);
+  const auto kernel = kernels::make_kernel("wl:2");
+  std::vector<kernels::LabeledGraph> graphs;
+  std::vector<std::size_t> truth;
+  for (const std::uint64_t topology : {7ull, 99999ull}) {
+    for (int i = 0; i < 4; ++i) {
+      patterns::PatternConfig shape;
+      shape.num_ranks = 10;
+      shape.topology_seed = topology;
+      sim::SimConfig config;
+      config.num_ranks = 10;
+      config.seed = 50 + static_cast<std::uint64_t>(i);
+      config.network.nd_fraction = 1.0;
+      graphs.push_back(kernels::build_labeled_graph(
+          graph::EventGraph::from_trace(
+              core::run_pattern_once("unstructured_mesh", shape, config)
+                  .trace),
+          kernels::LabelPolicy::kTypePeer));
+      truth.push_back(topology == 7ull ? 0 : 1);
+    }
+  }
+  const kernels::DistanceMatrix matrix =
+      kernels::pairwise_distances(*kernel, graphs, pool);
+  const Clustering clustering =
+      single_linkage(matrix, largest_gap_threshold(matrix));
+  ASSERT_EQ(clustering.num_clusters(), 2u);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    for (std::size_t j = 0; j < truth.size(); ++j) {
+      EXPECT_EQ(truth[i] == truth[j],
+                clustering.cluster_of[i] == clustering.cluster_of[j])
+          << i << " vs " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anacin::analysis

@@ -1,0 +1,95 @@
+#include "analysis/kde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace anacin::analysis {
+namespace {
+
+TEST(Kde, DensityIntegratesToRoughlyOne) {
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.normal(5.0, 2.0));
+  const ViolinData violin = gaussian_kde(values, 256);
+  double integral = 0.0;
+  for (std::size_t g = 1; g < violin.grid.size(); ++g) {
+    integral += 0.5 * (violin.density[g] + violin.density[g - 1]) *
+                (violin.grid[g] - violin.grid[g - 1]);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.03);
+}
+
+TEST(Kde, DensityIsNonNegativeAndPeaksNearMode) {
+  Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.normal(0.0, 1.0));
+  const ViolinData violin = gaussian_kde(values, 128);
+  double peak_x = 0.0;
+  double peak_density = -1.0;
+  for (std::size_t g = 0; g < violin.grid.size(); ++g) {
+    EXPECT_GE(violin.density[g], 0.0);
+    if (violin.density[g] > peak_density) {
+      peak_density = violin.density[g];
+      peak_x = violin.grid[g];
+    }
+  }
+  EXPECT_NEAR(peak_x, 0.0, 0.5);
+}
+
+TEST(Kde, GridCoversSampleWithMargin) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  const ViolinData violin = gaussian_kde(values, 64);
+  EXPECT_LT(violin.grid.front(), 1.0);
+  EXPECT_GT(violin.grid.back(), 3.0);
+  EXPECT_EQ(violin.grid.size(), 64u);
+  EXPECT_EQ(violin.density.size(), 64u);
+}
+
+TEST(Kde, DegenerateConstantSampleStillDrawable) {
+  const std::vector<double> zeros(20, 0.0);
+  const ViolinData violin = gaussian_kde(zeros, 64);
+  EXPECT_GT(violin.bandwidth, 0.0);
+  const double peak =
+      *std::max_element(violin.density.begin(), violin.density.end());
+  EXPECT_GT(peak, 0.0);
+  EXPECT_DOUBLE_EQ(violin.summary.median, 0.0);
+}
+
+TEST(Kde, ExplicitBandwidthIsRespected) {
+  const std::vector<double> values{0.0, 10.0};
+  const ViolinData violin = gaussian_kde(values, 64, 0.5);
+  EXPECT_DOUBLE_EQ(violin.bandwidth, 0.5);
+  // With a tiny bandwidth the two modes are separated by a near-zero gap.
+  double middle_density = 1e9;
+  for (std::size_t g = 0; g < violin.grid.size(); ++g) {
+    if (std::abs(violin.grid[g] - 5.0) < 1.0) {
+      middle_density = std::min(middle_density, violin.density[g]);
+    }
+  }
+  EXPECT_LT(middle_density, 1e-6);
+}
+
+TEST(Kde, InputValidation) {
+  EXPECT_THROW(gaussian_kde(std::vector<double>{}, 64), Error);
+  const std::vector<double> values{1.0};
+  EXPECT_THROW(gaussian_kde(values, 1), Error);
+}
+
+TEST(SilvermanBandwidth, ScalesWithSpread) {
+  Rng rng(3);
+  std::vector<double> narrow;
+  std::vector<double> wide;
+  for (int i = 0; i < 100; ++i) {
+    const double z = rng.normal();
+    narrow.push_back(z);
+    wide.push_back(z * 10.0);
+  }
+  EXPECT_GT(silverman_bandwidth(wide), silverman_bandwidth(narrow) * 5.0);
+}
+
+}  // namespace
+}  // namespace anacin::analysis

@@ -1,0 +1,164 @@
+#include "analysis/nd_measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "support/error.hpp"
+
+namespace anacin::analysis {
+namespace {
+
+std::vector<graph::EventGraph> sample_runs(const std::string& pattern,
+                                           int ranks, double nd, int count,
+                                           int iterations = 1) {
+  patterns::PatternConfig shape;
+  shape.num_ranks = ranks;
+  shape.iterations = iterations;
+  std::vector<graph::EventGraph> runs;
+  for (int i = 0; i < count; ++i) {
+    sim::SimConfig config;
+    config.num_ranks = ranks;
+    config.seed = static_cast<std::uint64_t>(i) * 7919 + 13;
+    config.network.nd_fraction = nd;
+    runs.push_back(graph::EventGraph::from_trace(
+        core::run_pattern_once(pattern, shape, config).trace));
+  }
+  return runs;
+}
+
+graph::EventGraph reference_run(const std::string& pattern, int ranks,
+                                int iterations = 1) {
+  patterns::PatternConfig shape;
+  shape.num_ranks = ranks;
+  shape.iterations = iterations;
+  sim::SimConfig config;
+  config.num_ranks = ranks;
+  config.seed = 424242;
+  config.network.nd_fraction = 0.0;
+  return graph::EventGraph::from_trace(
+      core::run_pattern_once(pattern, shape, config).trace);
+}
+
+TEST(MeasureNd, ToReferenceShapeAndZeroCase) {
+  ThreadPool pool(2);
+  const auto kernel = kernels::make_kernel("wl:2");
+  const auto quiet = sample_runs("message_race", 6, 0.0, 5);
+  const auto reference = reference_run("message_race", 6);
+  const NdMeasurement m =
+      measure_nd(*kernel, kernels::LabelPolicy::kTypePeer, quiet, &reference,
+                 DistanceReduction::kToReference, pool);
+  ASSERT_EQ(m.distances.size(), 5u);
+  for (const double d : m.distances) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(MeasureNd, NoisyRunsGivePositiveDistances) {
+  ThreadPool pool(2);
+  const auto kernel = kernels::make_kernel("wl:2");
+  const auto noisy = sample_runs("amg2013", 6, 1.0, 6);
+  const auto reference = reference_run("amg2013", 6);
+  const NdMeasurement m =
+      measure_nd(*kernel, kernels::LabelPolicy::kTypePeer, noisy, &reference,
+                 DistanceReduction::kToReference, pool);
+  int positive = 0;
+  for (const double d : m.distances) {
+    if (d > 0.0) ++positive;
+  }
+  EXPECT_GE(positive, 5);
+}
+
+TEST(MeasureNd, PairwiseCountsPairs) {
+  ThreadPool pool(2);
+  const auto kernel = kernels::make_kernel("wl:1");
+  const auto noisy = sample_runs("message_race", 6, 1.0, 6);
+  const NdMeasurement m =
+      measure_nd(*kernel, kernels::LabelPolicy::kTypePeer, noisy, nullptr,
+                 DistanceReduction::kPairwise, pool);
+  EXPECT_EQ(m.distances.size(), 15u);
+}
+
+TEST(MeasureNd, ReferenceRequiredForReferenceReduction) {
+  ThreadPool pool(1);
+  const auto kernel = kernels::make_kernel("wl:1");
+  const auto runs = sample_runs("message_race", 4, 1.0, 2);
+  EXPECT_THROW(measure_nd(*kernel, kernels::LabelPolicy::kTypePeer, runs,
+                          nullptr, DistanceReduction::kToReference, pool),
+               Error);
+}
+
+TEST(SliceProfile, QuietRunsAreFlatZero) {
+  ThreadPool pool(2);
+  const auto kernel = kernels::make_kernel("wl:2");
+  const auto quiet = sample_runs("amg2013", 5, 0.0, 4);
+  const SliceProfile profile = slice_profile(
+      *kernel, kernels::LabelPolicy::kTypePeer, quiet, 8, pool);
+  EXPECT_GT(profile.distance.size(), 0u);
+  for (const double d : profile.distance) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(SliceProfile, NoisyRunsShowDivergenceSomewhere) {
+  ThreadPool pool(2);
+  const auto kernel = kernels::make_kernel("wl:2");
+  const auto noisy = sample_runs("amg2013", 6, 1.0, 5);
+  const SliceProfile profile = slice_profile(
+      *kernel, kernels::LabelPolicy::kTypePeer, noisy, 8, pool);
+  double peak = 0.0;
+  for (const double d : profile.distance) peak = std::max(peak, d);
+  EXPECT_GT(peak, 0.0);
+}
+
+TEST(SliceProfile, LocalizesAPlantedHotspot) {
+  // Program with a deterministic prologue (explicit sources), then a racy
+  // epilogue (wildcards): divergence must appear only in late slices.
+  const auto program = [](sim::Comm& comm) {
+    const int n = comm.size();
+    // Phase 1: deterministic ring, long enough to occupy early slices.
+    for (int lap = 0; lap < 10; ++lap) {
+      sim::Request r = comm.irecv((comm.rank() + n - 1) % n, 1);
+      comm.send((comm.rank() + 1) % n, 1);
+      (void)comm.wait(r);
+    }
+    // Phase 2: message race.
+    if (comm.rank() == 0) {
+      for (int i = 0; i < n - 1; ++i) (void)comm.recv();
+    } else {
+      comm.send(0, 0);
+    }
+  };
+  std::vector<graph::EventGraph> runs;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::SimConfig config;
+    config.num_ranks = 6;
+    config.seed = seed;
+    config.network.nd_fraction = 1.0;
+    runs.push_back(
+        graph::EventGraph::from_trace(sim::run_simulation(config, program).trace));
+  }
+  ThreadPool pool(2);
+  const auto kernel = kernels::make_kernel("wl:2");
+  const SliceProfile profile =
+      slice_profile(*kernel, kernels::LabelPolicy::kTypePeer, runs, 4, pool);
+  ASSERT_GE(profile.distance.size(), 4u);
+  // The first half of logical time (deterministic ring) must be flat.
+  const std::size_t half = profile.distance.size() / 2;
+  for (std::size_t s = 0; s + 2 < half; ++s) {
+    EXPECT_DOUBLE_EQ(profile.distance[s], 0.0) << "slice " << s;
+  }
+  // The peak must be in the second half.
+  std::size_t peak_slice = 0;
+  for (std::size_t s = 1; s < profile.distance.size(); ++s) {
+    if (profile.distance[s] > profile.distance[peak_slice]) peak_slice = s;
+  }
+  EXPECT_GE(peak_slice, half - 1);
+}
+
+TEST(SliceProfile, NeedsTwoRuns) {
+  ThreadPool pool(1);
+  const auto kernel = kernels::make_kernel("wl:1");
+  const auto one = sample_runs("message_race", 4, 1.0, 1);
+  EXPECT_THROW(slice_profile(*kernel, kernels::LabelPolicy::kTypePeer, one, 8,
+                             pool),
+               Error);
+}
+
+}  // namespace
+}  // namespace anacin::analysis

@@ -1,0 +1,145 @@
+#include "analysis/resampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace anacin::analysis {
+namespace {
+
+TEST(Bootstrap, CiBracketsThePointEstimate) {
+  Rng rng(3);
+  std::vector<double> sample;
+  for (int i = 0; i < 60; ++i) sample.push_back(rng.normal(10.0, 2.0));
+  const BootstrapCi ci = bootstrap_ci(
+      sample, [](std::span<const double> v) { return median(v); });
+  EXPECT_LE(ci.lower, ci.point_estimate);
+  EXPECT_GE(ci.upper, ci.point_estimate);
+  EXPECT_NEAR(ci.point_estimate, 10.0, 1.0);
+  EXPECT_LT(ci.upper - ci.lower, 3.0);
+}
+
+TEST(Bootstrap, WiderConfidenceWiderInterval) {
+  Rng rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 40; ++i) sample.push_back(rng.uniform(0.0, 10.0));
+  const Statistic stat = [](std::span<const double> v) { return mean(v); };
+  const BootstrapCi narrow = bootstrap_ci(sample, stat, 0.5);
+  const BootstrapCi wide = bootstrap_ci(sample, stat, 0.99);
+  EXPECT_LT(narrow.upper - narrow.lower, wide.upper - wide.lower);
+}
+
+TEST(Bootstrap, DeterministicGivenSeed) {
+  const std::vector<double> sample{1, 2, 3, 4, 5, 6, 7, 8};
+  const Statistic stat = [](std::span<const double> v) { return mean(v); };
+  const BootstrapCi a = bootstrap_ci(sample, stat, 0.95, 500, 42);
+  const BootstrapCi b = bootstrap_ci(sample, stat, 0.95, 500, 42);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(Bootstrap, DegenerateSampleCollapses) {
+  const std::vector<double> constant(20, 7.0);
+  const BootstrapCi ci = bootstrap_ci(
+      constant, [](std::span<const double> v) { return median(v); });
+  EXPECT_DOUBLE_EQ(ci.lower, 7.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 7.0);
+}
+
+TEST(Bootstrap, InputValidation) {
+  const Statistic stat = [](std::span<const double> v) { return mean(v); };
+  EXPECT_THROW(bootstrap_ci(std::vector<double>{}, stat), Error);
+  const std::vector<double> sample{1.0};
+  EXPECT_THROW(bootstrap_ci(sample, stat, 1.5), Error);
+  EXPECT_THROW(bootstrap_ci(sample, stat, 0.95, 3), Error);
+}
+
+TEST(CliffsDelta, FullySeparatedSamples) {
+  const std::vector<double> low{1, 2, 3};
+  const std::vector<double> high{10, 11, 12};
+  EXPECT_DOUBLE_EQ(cliffs_delta(high, low), 1.0);
+  EXPECT_DOUBLE_EQ(cliffs_delta(low, high), -1.0);
+}
+
+TEST(CliffsDelta, IdenticalSamplesGiveZero) {
+  const std::vector<double> same{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(cliffs_delta(same, same), 0.0);
+}
+
+TEST(CliffsDelta, PartialOverlap) {
+  const std::vector<double> a{1, 3, 5};
+  const std::vector<double> b{2, 4};
+  // pairs: (1,2)-, (1,4)-, (3,2)+, (3,4)-, (5,2)+, (5,4)+ => (3-3)/6 = 0.
+  EXPECT_DOUBLE_EQ(cliffs_delta(a, b), 0.0);
+  const std::vector<double> c{3, 5, 6};
+  // vs b={2,4}: (3,2)+ (3,4)- (5,2)+ (5,4)+ (6,2)+ (6,4)+ => (5-1)/6.
+  EXPECT_NEAR(cliffs_delta(c, b), 4.0 / 6.0, 1e-12);
+}
+
+TEST(CliffsDelta, TiesAreNeutral) {
+  const std::vector<double> a{2, 2};
+  const std::vector<double> b{2, 2, 2};
+  EXPECT_DOUBLE_EQ(cliffs_delta(a, b), 0.0);
+}
+
+TEST(CliffsDelta, RejectsEmpty) {
+  const std::vector<double> sample{1.0};
+  EXPECT_THROW(cliffs_delta(std::vector<double>{}, sample), Error);
+}
+
+TEST(PermutationTest, SeparatedSamplesAreSignificant) {
+  Rng rng(11);
+  std::vector<double> low;
+  std::vector<double> high;
+  for (int i = 0; i < 15; ++i) {
+    low.push_back(rng.uniform(0.0, 1.0));
+    high.push_back(rng.uniform(5.0, 6.0));
+  }
+  const double p = permutation_test(
+      low, high, [](std::span<const double> v) { return median(v); });
+  EXPECT_LT(p, 0.01);
+}
+
+TEST(PermutationTest, SameDistributionNotSignificant) {
+  Rng rng(13);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(rng.normal());
+    b.push_back(rng.normal());
+  }
+  const double p = permutation_test(
+      a, b, [](std::span<const double> v) { return median(v); });
+  EXPECT_GT(p, 0.05);
+}
+
+TEST(PermutationTest, DeterministicGivenSeed) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{2, 3, 4, 5};
+  const Statistic stat = [](std::span<const double> v) { return mean(v); };
+  EXPECT_DOUBLE_EQ(permutation_test(a, b, stat, 500, 7),
+                   permutation_test(a, b, stat, 500, 7));
+}
+
+TEST(PermutationTest, PValueInUnitInterval) {
+  const std::vector<double> a{1, 1, 1};
+  const std::vector<double> b{1, 1};
+  const double p = permutation_test(
+      a, b, [](std::span<const double> v) { return mean(v); });
+  EXPECT_GT(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(PermutationTest, InputValidation) {
+  const Statistic stat = [](std::span<const double> v) { return mean(v); };
+  const std::vector<double> sample{1.0};
+  EXPECT_THROW(permutation_test(std::vector<double>{}, sample, stat), Error);
+  EXPECT_THROW(permutation_test(sample, sample, stat, 2), Error);
+}
+
+}  // namespace
+}  // namespace anacin::analysis

@@ -1,0 +1,158 @@
+#include "analysis/root_cause.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "support/error.hpp"
+
+namespace anacin::analysis {
+namespace {
+
+std::vector<graph::EventGraph> planted_hotspot_runs(int ranks, int count) {
+  // Deterministic ring traffic annotated "stable_phase", followed by a
+  // wildcard message race annotated "racy_phase" — the ground truth root
+  // source the analysis must surface.
+  const auto program = [](sim::Comm& comm) {
+    const int n = comm.size();
+    {
+      const auto frame = comm.scoped_frame("stable_phase");
+      for (int lap = 0; lap < 6; ++lap) {
+        sim::Request r = comm.irecv((comm.rank() + n - 1) % n, 1);
+        comm.send((comm.rank() + 1) % n, 1);
+        (void)comm.wait(r);
+      }
+    }
+    {
+      const auto frame = comm.scoped_frame("racy_phase");
+      if (comm.rank() == 0) {
+        for (int i = 0; i < n - 1; ++i) (void)comm.recv();
+      } else {
+        comm.send(0, 0);
+      }
+    }
+  };
+  std::vector<graph::EventGraph> runs;
+  for (int i = 0; i < count; ++i) {
+    sim::SimConfig config;
+    config.num_ranks = ranks;
+    config.seed = static_cast<std::uint64_t>(i) + 1;
+    config.network.nd_fraction = 1.0;
+    runs.push_back(graph::EventGraph::from_trace(
+        sim::run_simulation(config, program).trace));
+  }
+  return runs;
+}
+
+TEST(RootCause, AttributesThePlantedRacyCallsite) {
+  ThreadPool pool(2);
+  const auto kernel = kernels::make_kernel("wl:2");
+  const auto runs = planted_hotspot_runs(6, 6);
+  RootCauseConfig config;
+  config.slice_window = 4;
+  const RootCauseReport report = find_root_causes(
+      *kernel, kernels::LabelPolicy::kTypePeer, runs, config, pool);
+
+  ASSERT_FALSE(report.callstacks.empty());
+  ASSERT_FALSE(report.hot_slices.empty());
+  const CallstackFrequency& top = report.callstacks.front();
+  EXPECT_NE(top.path.find("racy_phase"), std::string::npos)
+      << "top callstack was: " << top.path;
+  EXPECT_NE(top.path.find("MPI_Recv"), std::string::npos);
+  EXPECT_GT(top.wildcard_share, 0.9);
+}
+
+TEST(RootCause, FrequenciesAreNormalized) {
+  ThreadPool pool(2);
+  const auto kernel = kernels::make_kernel("wl:2");
+  const auto runs = planted_hotspot_runs(6, 5);
+  const RootCauseReport report = find_root_causes(
+      *kernel, kernels::LabelPolicy::kTypePeer, runs, {}, pool);
+  double total = 0.0;
+  for (const auto& entry : report.callstacks) {
+    EXPECT_GE(entry.frequency, 0.0);
+    EXPECT_LE(entry.frequency, 1.0);
+    EXPECT_GT(entry.occurrences, 0u);
+    total += entry.frequency;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RootCause, SortedByFrequencyDescending) {
+  ThreadPool pool(2);
+  const auto kernel = kernels::make_kernel("wl:2");
+  const auto runs = planted_hotspot_runs(6, 5);
+  const RootCauseReport report = find_root_causes(
+      *kernel, kernels::LabelPolicy::kTypePeer, runs, {}, pool);
+  for (std::size_t i = 1; i < report.callstacks.size(); ++i) {
+    EXPECT_GE(report.callstacks[i - 1].frequency,
+              report.callstacks[i].frequency);
+  }
+}
+
+TEST(RootCause, DeterministicProgramYieldsEmptyReport) {
+  ThreadPool pool(2);
+  const auto program = [](sim::Comm& comm) {
+    const int n = comm.size();
+    for (int lap = 0; lap < 4; ++lap) {
+      sim::Request r = comm.irecv((comm.rank() + n - 1) % n, 0);
+      comm.send((comm.rank() + 1) % n, 0);
+      (void)comm.wait(r);
+    }
+  };
+  std::vector<graph::EventGraph> runs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sim::SimConfig config;
+    config.num_ranks = 5;
+    config.seed = seed;
+    config.network.nd_fraction = 1.0;
+    runs.push_back(graph::EventGraph::from_trace(
+        sim::run_simulation(config, program).trace));
+  }
+  const auto kernel = kernels::make_kernel("wl:2");
+  const RootCauseReport report = find_root_causes(
+      *kernel, kernels::LabelPolicy::kTypePeer, runs, {}, pool);
+  EXPECT_TRUE(report.hot_slices.empty());
+  EXPECT_TRUE(report.callstacks.empty());
+}
+
+TEST(RootCause, HotFractionOneKeepsOnlyPeaks) {
+  ThreadPool pool(2);
+  const auto kernel = kernels::make_kernel("wl:2");
+  const auto runs = planted_hotspot_runs(6, 5);
+  RootCauseConfig narrow;
+  narrow.hot_fraction = 1.0;
+  RootCauseConfig wide;
+  wide.hot_fraction = 0.01;
+  const auto narrow_report = find_root_causes(
+      *kernel, kernels::LabelPolicy::kTypePeer, runs, narrow, pool);
+  const auto wide_report = find_root_causes(
+      *kernel, kernels::LabelPolicy::kTypePeer, runs, wide, pool);
+  EXPECT_LE(narrow_report.hot_slices.size(), wide_report.hot_slices.size());
+}
+
+TEST(RootCause, ConfigValidation) {
+  ThreadPool pool(1);
+  const auto kernel = kernels::make_kernel("wl:1");
+  const auto runs = planted_hotspot_runs(4, 2);
+  RootCauseConfig bad;
+  bad.hot_fraction = 0.0;
+  EXPECT_THROW(find_root_causes(*kernel, kernels::LabelPolicy::kTypePeer,
+                                runs, bad, pool),
+               Error);
+}
+
+TEST(RootCause, IncludingSendsStillRanksRacyPhaseFirst) {
+  ThreadPool pool(2);
+  const auto kernel = kernels::make_kernel("wl:2");
+  const auto runs = planted_hotspot_runs(6, 5);
+  RootCauseConfig config;
+  config.recvs_only = false;
+  const RootCauseReport report = find_root_causes(
+      *kernel, kernels::LabelPolicy::kTypePeer, runs, config, pool);
+  ASSERT_FALSE(report.callstacks.empty());
+  EXPECT_NE(report.callstacks.front().path.find("racy_phase"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace anacin::analysis

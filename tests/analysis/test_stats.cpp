@@ -1,0 +1,131 @@
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace anacin::analysis {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(values), 5.0);
+  EXPECT_NEAR(variance(values), 4.571428571, 1e-8);
+  EXPECT_NEAR(stddev(values), 2.138089935, 1e-8);
+}
+
+TEST(Stats, DegenerateSamples) {
+  const std::vector<double> single{3.0};
+  EXPECT_DOUBLE_EQ(mean(single), 3.0);
+  EXPECT_DOUBLE_EQ(variance(single), 0.0);
+  EXPECT_THROW(mean(std::vector<double>{}), Error);
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), Error);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 1.75);
+  EXPECT_THROW(quantile(values, 1.5), Error);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  const std::vector<double> values{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(values), 5.0);
+}
+
+TEST(Stats, SummaryIsConsistent) {
+  const std::vector<double> values{5.0, 1.0, 3.0, 2.0, 4.0};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_LE(s.q1, s.median);
+  EXPECT_LE(s.median, s.q3);
+}
+
+TEST(Spearman, PerfectMonotone) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{10, 100, 1000, 10000, 100000};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  const std::vector<double> y_down{5, 4, 3, 2, 1};
+  EXPECT_NEAR(spearman(x, y_down), -1.0, 1e-12);
+}
+
+TEST(Spearman, NoiseGivesSmallCorrelation) {
+  Rng rng(5);
+  std::vector<double> x(500);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  EXPECT_NEAR(spearman(x, y), 0.0, 0.1);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> x{1, 1, 2, 2, 3, 3};
+  const std::vector<double> y{1, 1, 2, 2, 3, 3};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, ConstantInputGivesZero) {
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(spearman(x, y), 0.0);
+}
+
+TEST(Spearman, InputValidation) {
+  EXPECT_THROW(spearman(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               Error);
+  EXPECT_THROW(
+      spearman(std::vector<double>{1, 2}, std::vector<double>{1, 2, 3}),
+      Error);
+}
+
+TEST(MannWhitney, ClearlySeparatedSamples) {
+  std::vector<double> low;
+  std::vector<double> high;
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    low.push_back(rng.uniform(0.0, 1.0));
+    high.push_back(rng.uniform(10.0, 11.0));
+  }
+  const MannWhitneyResult result = mann_whitney_u(low, high);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_DOUBLE_EQ(result.u_statistic, 0.0);  // no overlap at all
+}
+
+TEST(MannWhitney, IdenticalDistributionsNotSignificant) {
+  Rng rng(7);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(rng.normal());
+    b.push_back(rng.normal());
+  }
+  const MannWhitneyResult result = mann_whitney_u(a, b);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(MannWhitney, AllTiedValues) {
+  const std::vector<double> a{1.0, 1.0, 1.0};
+  const std::vector<double> b{1.0, 1.0};
+  const MannWhitneyResult result = mann_whitney_u(a, b);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(MannWhitney, RejectsEmptySamples) {
+  EXPECT_THROW(mann_whitney_u(std::vector<double>{}, std::vector<double>{1.0}),
+               Error);
+}
+
+}  // namespace
+}  // namespace anacin::analysis

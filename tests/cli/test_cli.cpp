@@ -1,0 +1,265 @@
+#include "cli/cli_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace anacin::cli {
+namespace {
+
+struct CliRun {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun invoke(std::vector<std::string> args) {
+  args.insert(args.begin(), "anacin");
+  std::ostringstream out;
+  std::ostringstream err;
+  CliRun run;
+  run.exit_code = run_cli(args, out, err);
+  run.out = out.str();
+  run.err = err.str();
+  return run;
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const CliRun run = invoke({});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("usage: anacin"), std::string::npos);
+  EXPECT_NE(run.out.find("rootcause"), std::string::npos);
+}
+
+TEST(Cli, HelpCommand) {
+  EXPECT_EQ(invoke({"help"}).exit_code, 0);
+  EXPECT_EQ(invoke({"--help"}).exit_code, 0);
+}
+
+TEST(Cli, UnknownCommandFailsWithUsage) {
+  const CliRun run = invoke({"frobnicate"});
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, SubcommandHelpReturnsZero) {
+  for (const std::string command :
+       {"run", "measure", "sweep", "rootcause", "replay", "course",
+        "patterns", "graph"}) {
+    const CliRun run = invoke({command, "--help"});
+    EXPECT_EQ(run.exit_code, 0) << command;
+  }
+}
+
+TEST(Cli, PatternsListsAllPackagedApps) {
+  const CliRun run = invoke({"patterns"});
+  EXPECT_EQ(run.exit_code, 0);
+  for (const std::string name :
+       {"message_race", "amg2013", "unstructured_mesh", "ping_pong",
+        "reduce_tree", "probe_race"}) {
+    EXPECT_NE(run.out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, RunPrintsStatsAndAscii) {
+  const CliRun run = invoke(
+      {"run", "--pattern", "message_race", "--ranks", "4", "--ascii"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("messages=3"), std::string::npos);
+  EXPECT_NE(run.out.find("rank 0"), std::string::npos);
+}
+
+TEST(Cli, RunWithMetrics) {
+  const CliRun run = invoke(
+      {"run", "--pattern", "amg2013", "--ranks", "3", "--metrics"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("communication matrix"), std::string::npos);
+  EXPECT_NE(run.out.find("critical path"), std::string::npos);
+}
+
+TEST(Cli, RunGraphRoundTripThroughTraceFile) {
+  const std::string trace_path = "test_output/cli/trace.json";
+  const CliRun run = invoke({"run", "--pattern", "message_race", "--ranks",
+                             "4", "--trace-out", trace_path});
+  EXPECT_EQ(run.exit_code, 0);
+  const CliRun graph = invoke({"graph", "--trace", trace_path, "--metrics"});
+  EXPECT_EQ(graph.exit_code, 0);
+  EXPECT_NE(graph.out.find("ranks=4"), std::string::npos);
+  EXPECT_NE(graph.out.find("messages=3"), std::string::npos);
+  std::filesystem::remove_all("test_output");
+}
+
+TEST(Cli, GraphRequiresTraceOption) {
+  const CliRun run = invoke({"graph"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--trace is required"), std::string::npos);
+}
+
+TEST(Cli, MeasureReportsSummaryAndCi) {
+  const CliRun run = invoke({"measure", "--pattern", "message_race",
+                             "--ranks", "6", "--runs", "6"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("median="), std::string::npos);
+  EXPECT_NE(run.out.find("95% CI"), std::string::npos);
+}
+
+TEST(Cli, MeasureWritesCsv) {
+  const std::string csv_path = "test_output/cli/distances.csv";
+  const CliRun run = invoke({"measure", "--pattern", "message_race",
+                             "--ranks", "5", "--runs", "4", "--csv",
+                             csv_path});
+  EXPECT_EQ(run.exit_code, 0);
+  std::ifstream in(csv_path);
+  EXPECT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "run,kernel_distance");
+  std::filesystem::remove_all("test_output");
+}
+
+TEST(Cli, MeasureRejectsBadReduction) {
+  const CliRun run = invoke({"measure", "--reduction", "bogus"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("reduction"), std::string::npos);
+}
+
+TEST(Cli, SweepShowsMonotoneTrend) {
+  const CliRun run = invoke({"sweep", "--pattern", "amg2013", "--ranks", "6",
+                             "--runs", "5", "--step", "50"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("0% ND"), std::string::npos);
+  EXPECT_NE(run.out.find("100% ND"), std::string::npos);
+  EXPECT_NE(run.out.find("Spearman"), std::string::npos);
+}
+
+TEST(Cli, RootcauseNamesWildcardCallsite) {
+  const CliRun run = invoke({"rootcause", "--pattern", "amg2013", "--ranks",
+                             "6", "--runs", "5"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("likely root source"), std::string::npos);
+  EXPECT_NE(run.out.find("MPI_Irecv"), std::string::npos);
+}
+
+TEST(Cli, RootcauseOnDeterministicPatternReportsNothing) {
+  const CliRun run = invoke({"rootcause", "--pattern", "ping_pong", "--ranks",
+                             "6", "--runs", "4"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("appears deterministic"), std::string::npos);
+}
+
+TEST(Cli, ReplayReportsZeroDistance) {
+  const CliRun run = invoke({"replay", "--pattern", "unstructured_mesh",
+                             "--ranks", "6", "--seed", "3", "--replay-seed",
+                             "777"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("kernel distance(recorded, replayed) = 0"),
+            std::string::npos);
+}
+
+TEST(Cli, FiguresIndexAndLookup) {
+  const CliRun index = invoke({"figures"});
+  EXPECT_EQ(index.exit_code, 0);
+  EXPECT_NE(index.out.find("fig07_nd_sweep"), std::string::npos);
+  const CliRun one = invoke({"figures", "--id", "fig5"});
+  EXPECT_EQ(one.exit_code, 0);
+  EXPECT_NE(one.out.find("unstructured_mesh"), std::string::npos);
+  EXPECT_NE(one.out.find("fig05_process_scaling"), std::string::npos);
+  const CliRun missing = invoke({"figures", "--id", "fig99"});
+  EXPECT_EQ(missing.exit_code, 1);
+}
+
+TEST(Cli, ReportProducesSelfContainedHtml) {
+  const std::string path = "test_output/cli/report.html";
+  const CliRun run = invoke({"report", "--pattern", "message_race",
+                             "--ranks", "5", "--runs", "4", "--out", path});
+  EXPECT_EQ(run.exit_code, 0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string html((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("message_race"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);       // inline figures
+  EXPECT_NE(html.find("root source"), std::string::npos);
+  EXPECT_EQ(html.find("src=\"http"), std::string::npos);  // no external assets
+  std::filesystem::remove_all("test_output");
+}
+
+TEST(Cli, ReportOnDeterministicPatternSaysSo) {
+  const std::string path = "test_output/cli/report2.html";
+  const CliRun run = invoke({"report", "--pattern", "ping_pong", "--ranks",
+                             "4", "--runs", "4", "--out", path});
+  EXPECT_EQ(run.exit_code, 0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string html((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(html.find("deterministically"), std::string::npos);
+  std::filesystem::remove_all("test_output");
+}
+
+TEST(Cli, CourseTablesPrinted) {
+  const CliRun run = invoke({"course"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("Table I"), std::string::npos);
+  EXPECT_NE(run.out.find("Table II"), std::string::npos);
+}
+
+TEST(Cli, CourseUseCase1Runs) {
+  const CliRun run = invoke({"course", "--use-case", "1"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("runs differ: yes"), std::string::npos);
+}
+
+TEST(Cli, CourseSchedulePrinted) {
+  const CliRun run = invoke({"course", "--schedule"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("Half-day tutorial schedule"), std::string::npos);
+  EXPECT_NE(run.out.find("use_case_advanced"), std::string::npos);
+}
+
+TEST(Cli, QuizPrintsQuestionsPerLevel) {
+  const CliRun run = invoke({"quiz", "--level", "C", "--reveal"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("C.1-q1"), std::string::npos);
+  EXPECT_NE(run.out.find("answer:"), std::string::npos);
+  const CliRun hidden = invoke({"quiz", "--level", "C"});
+  EXPECT_EQ(hidden.out.find("answer:"), std::string::npos);
+}
+
+TEST(Cli, QuizGradesSubmissions) {
+  const CliRun perfect = invoke({"quiz", "--grade", "A.1-q1=b,A.2-q2=a"});
+  EXPECT_EQ(perfect.exit_code, 0);
+  EXPECT_NE(perfect.out.find("score: 2/2"), std::string::npos);
+  const CliRun flawed = invoke({"quiz", "--grade", "A.1-q1=a"});
+  EXPECT_EQ(flawed.exit_code, 1);
+  EXPECT_NE(flawed.out.find("review A.1-q1"), std::string::npos);
+}
+
+TEST(Cli, QuizRejectsMalformedGradeSpec) {
+  EXPECT_EQ(invoke({"quiz", "--grade", "A.1-q1"}).exit_code, 1);
+  EXPECT_EQ(invoke({"quiz", "--grade", "A.1-q1=zz"}).exit_code, 1);
+  EXPECT_EQ(invoke({"quiz", "--level", "Q"}).exit_code, 1);
+}
+
+TEST(Cli, CourseRejectsBadUseCase) {
+  const CliRun run = invoke({"course", "--use-case", "9"});
+  EXPECT_EQ(run.exit_code, 1);
+}
+
+TEST(Cli, BadOptionValueSurfacesAsError) {
+  const CliRun run = invoke({"run", "--ranks", "not-a-number"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("invalid value"), std::string::npos);
+}
+
+TEST(Cli, UnknownPatternSurfacesAsError) {
+  const CliRun run = invoke({"run", "--pattern", "bogus"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("unknown pattern"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anacin::cli

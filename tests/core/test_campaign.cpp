@@ -1,0 +1,108 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace anacin::core {
+namespace {
+
+CampaignConfig small_campaign(double nd, int runs = 6) {
+  CampaignConfig config;
+  config.pattern = "message_race";
+  config.shape.num_ranks = 6;
+  config.nd_fraction = nd;
+  config.num_runs = runs;
+  return config;
+}
+
+TEST(Campaign, ProducesOneGraphPerRun) {
+  ThreadPool pool(2);
+  const CampaignResult result = run_campaign(small_campaign(1.0), pool);
+  EXPECT_EQ(result.graphs.size(), 6u);
+  EXPECT_EQ(result.measurement.distances.size(), 6u);
+  EXPECT_GT(result.total_messages, 0u);
+  EXPECT_GT(result.total_wildcard_recvs, 0u);
+  EXPECT_EQ(result.reference.num_ranks(), 6);
+}
+
+TEST(Campaign, ZeroNdGivesZeroDistances) {
+  ThreadPool pool(2);
+  const CampaignResult result = run_campaign(small_campaign(0.0), pool);
+  for (const double d : result.measurement.distances) {
+    EXPECT_DOUBLE_EQ(d, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(result.distance_summary.max, 0.0);
+}
+
+TEST(Campaign, FullNdGivesMostlyPositiveDistances) {
+  ThreadPool pool(2);
+  const CampaignResult result = run_campaign(small_campaign(1.0, 10), pool);
+  int positive = 0;
+  for (const double d : result.measurement.distances) {
+    if (d > 0.0) ++positive;
+  }
+  EXPECT_GE(positive, 8);
+  EXPECT_GT(result.distance_summary.median, 0.0);
+}
+
+TEST(Campaign, IsReproducible) {
+  ThreadPool pool(2);
+  const CampaignResult a = run_campaign(small_campaign(1.0), pool);
+  const CampaignResult b = run_campaign(small_campaign(1.0), pool);
+  ASSERT_EQ(a.measurement.distances.size(), b.measurement.distances.size());
+  for (std::size_t i = 0; i < a.measurement.distances.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.measurement.distances[i], b.measurement.distances[i]);
+  }
+}
+
+TEST(Campaign, RunSeedsAreDistinct) {
+  const CampaignConfig config = small_campaign(1.0);
+  const auto s0 = config.sim_config_for_run(0).seed;
+  const auto s1 = config.sim_config_for_run(1).seed;
+  const auto ref = config.reference_sim_config();
+  EXPECT_NE(s0, s1);
+  EXPECT_DOUBLE_EQ(ref.network.nd_fraction, 0.0);
+}
+
+TEST(Campaign, PairwiseReductionWorks) {
+  ThreadPool pool(2);
+  CampaignConfig config = small_campaign(1.0, 5);
+  config.reduction = analysis::DistanceReduction::kPairwise;
+  const CampaignResult result = run_campaign(config, pool);
+  EXPECT_EQ(result.measurement.distances.size(), 10u);
+}
+
+TEST(Campaign, JsonReportHasAllSections) {
+  ThreadPool pool(2);
+  const CampaignResult result = run_campaign(small_campaign(1.0, 3), pool);
+  const json::Value doc = result.to_json();
+  EXPECT_TRUE(doc.contains("config"));
+  EXPECT_TRUE(doc.contains("distances"));
+  EXPECT_TRUE(doc.contains("summary"));
+  EXPECT_EQ(doc.at("distances").size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("config").at("nd_percent").as_number(), 100.0);
+  EXPECT_EQ(doc.at("config").at("pattern").as_string(), "message_race");
+}
+
+TEST(Campaign, InvalidConfigsRejected) {
+  ThreadPool pool(1);
+  CampaignConfig bad_runs = small_campaign(1.0, 0);
+  EXPECT_THROW(run_campaign(bad_runs, pool), Error);
+  CampaignConfig bad_nd = small_campaign(1.5);
+  EXPECT_THROW(run_campaign(bad_nd, pool), Error);
+  CampaignConfig bad_pattern = small_campaign(1.0);
+  bad_pattern.pattern = "nope";
+  EXPECT_THROW(run_campaign(bad_pattern, pool), ConfigError);
+}
+
+TEST(RunPatternOnce, ShapeMismatchRejected) {
+  patterns::PatternConfig shape;
+  shape.num_ranks = 4;
+  sim::SimConfig config;
+  config.num_ranks = 5;
+  EXPECT_THROW(run_pattern_once("message_race", shape, config), Error);
+}
+
+}  // namespace
+}  // namespace anacin::core

@@ -1,0 +1,57 @@
+#include "core/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace anacin::core {
+namespace {
+
+TEST(ExperimentRegistry, CoversEveryPaperItem) {
+  std::set<std::string> ids;
+  for (const ExperimentInfo& experiment : paper_experiments()) {
+    ids.insert(experiment.id);
+  }
+  for (const std::string id :
+       {"tab1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        "fig8"}) {
+    EXPECT_TRUE(ids.count(id) > 0) << "missing experiment " << id;
+  }
+  EXPECT_EQ(paper_experiments().size(), 9u);
+}
+
+TEST(ExperimentRegistry, EntriesAreComplete) {
+  for (const ExperimentInfo& experiment : paper_experiments()) {
+    EXPECT_FALSE(experiment.paper_item.empty()) << experiment.id;
+    EXPECT_FALSE(experiment.title.empty()) << experiment.id;
+    EXPECT_FALSE(experiment.workload.empty()) << experiment.id;
+    EXPECT_FALSE(experiment.bench_target.empty()) << experiment.id;
+    EXPECT_FALSE(experiment.expected_shape.empty()) << experiment.id;
+  }
+}
+
+TEST(ExperimentRegistry, BenchTargetsAreUnique) {
+  std::set<std::string> targets;
+  for (const ExperimentInfo& experiment : paper_experiments()) {
+    EXPECT_TRUE(targets.insert(experiment.bench_target).second)
+        << "duplicate bench target " << experiment.bench_target;
+  }
+}
+
+TEST(ExperimentRegistry, FindByIdAndMiss) {
+  const ExperimentInfo* fig7 = find_experiment("fig7");
+  ASSERT_NE(fig7, nullptr);
+  EXPECT_EQ(fig7->bench_target, "fig07_nd_sweep");
+  EXPECT_EQ(find_experiment("fig99"), nullptr);
+}
+
+TEST(ExperimentRegistry, IndexMentionsEveryExperiment) {
+  const std::string index = render_experiment_index();
+  for (const ExperimentInfo& experiment : paper_experiments()) {
+    EXPECT_NE(index.find(experiment.bench_target), std::string::npos)
+        << experiment.id;
+  }
+}
+
+}  // namespace
+}  // namespace anacin::core

@@ -1,0 +1,93 @@
+#include "course/quiz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+
+namespace anacin::course {
+namespace {
+
+TEST(QuizBank, CoversAllSixGoals) {
+  std::set<std::string> goals;
+  for (const QuizQuestion& question : quiz_bank()) {
+    goals.insert(question.goal);
+  }
+  for (const std::string goal : {"A.1", "A.2", "B.1", "B.2", "C.1", "C.2"}) {
+    EXPECT_TRUE(goals.count(goal) > 0) << "no question for goal " << goal;
+  }
+}
+
+TEST(QuizBank, QuestionsAreWellFormed) {
+  std::set<std::string> ids;
+  for (const QuizQuestion& question : quiz_bank()) {
+    EXPECT_TRUE(ids.insert(question.id).second)
+        << "duplicate id " << question.id;
+    EXPECT_GE(question.options.size(), 2u) << question.id;
+    EXPECT_LT(question.correct_option, question.options.size())
+        << question.id;
+    EXPECT_FALSE(question.prompt.empty()) << question.id;
+    EXPECT_FALSE(question.explanation.empty()) << question.id;
+  }
+}
+
+TEST(QuizFilter, LevelPrefixSelectsAllGoalsOfLevel) {
+  const auto level_b = questions_for("B");
+  EXPECT_GE(level_b.size(), 3u);
+  for (const QuizQuestion& question : level_b) {
+    EXPECT_EQ(question.goal[0], 'B');
+  }
+  const auto goal_c2 = questions_for("C.2");
+  for (const QuizQuestion& question : goal_c2) {
+    EXPECT_EQ(question.goal, "C.2");
+  }
+  EXPECT_GE(goal_c2.size(), 2u);
+}
+
+TEST(QuizGrading, PerfectAndPartialScores) {
+  std::vector<std::pair<std::string, std::size_t>> perfect;
+  for (const QuizQuestion& question : quiz_bank()) {
+    perfect.emplace_back(question.id, question.correct_option);
+  }
+  const QuizGrade all = grade_quiz(perfect);
+  EXPECT_EQ(all.correct, all.answered);
+  EXPECT_DOUBLE_EQ(all.score(), 1.0);
+  EXPECT_TRUE(all.missed_ids.empty());
+
+  // Flip one answer.
+  auto flawed = perfect;
+  flawed[0].second = (flawed[0].second + 1) % 2;
+  const QuizGrade partial = grade_quiz(flawed);
+  EXPECT_EQ(partial.correct, partial.answered - 1);
+  ASSERT_EQ(partial.missed_ids.size(), 1u);
+  EXPECT_EQ(partial.missed_ids[0], flawed[0].first);
+}
+
+TEST(QuizGrading, RejectsUnknownIdsAndBadOptions) {
+  const std::vector<std::pair<std::string, std::size_t>> unknown{
+      {"Z.9-q1", 0}};
+  EXPECT_THROW(grade_quiz(unknown), Error);
+  const std::vector<std::pair<std::string, std::size_t>> out_of_range{
+      {"A.1-q1", 99}};
+  EXPECT_THROW(grade_quiz(out_of_range), Error);
+}
+
+TEST(QuizGrading, EmptySubmissionScoresZero) {
+  const QuizGrade grade = grade_quiz({});
+  EXPECT_EQ(grade.answered, 0u);
+  EXPECT_DOUBLE_EQ(grade.score(), 0.0);
+}
+
+TEST(QuizRender, ShowsOptionsAndOptionalKey) {
+  const QuizQuestion& question = quiz_bank().front();
+  const std::string hidden = render_question(question, false);
+  EXPECT_NE(hidden.find("(a)"), std::string::npos);
+  EXPECT_EQ(hidden.find("answer:"), std::string::npos);
+  const std::string revealed = render_question(question, true);
+  EXPECT_NE(revealed.find("answer:"), std::string::npos);
+  EXPECT_NE(revealed.find(question.explanation), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anacin::course

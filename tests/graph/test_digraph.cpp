@@ -1,0 +1,103 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace anacin::graph {
+namespace {
+
+Digraph diamond() {
+  Digraph::Builder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  builder.add_edge(1, 3);
+  builder.add_edge(2, 3);
+  return std::move(builder).build();
+}
+
+TEST(Digraph, EmptyGraph) {
+  const Digraph graph = Digraph::Builder(0).build();
+  EXPECT_EQ(graph.num_nodes(), 0u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+  EXPECT_TRUE(graph.topological_order().empty());
+}
+
+TEST(Digraph, AdjacencyBothDirections) {
+  const Digraph graph = diamond();
+  EXPECT_EQ(graph.num_edges(), 4u);
+  const auto out0 = graph.out_neighbors(0);
+  EXPECT_EQ(std::vector<NodeId>(out0.begin(), out0.end()),
+            (std::vector<NodeId>{1, 2}));
+  const auto in3 = graph.in_neighbors(3);
+  EXPECT_EQ(std::vector<NodeId>(in3.begin(), in3.end()),
+            (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(graph.out_degree(3), 0u);
+  EXPECT_EQ(graph.in_degree(0), 0u);
+}
+
+TEST(Digraph, OutOfRangeAccessesThrow) {
+  const Digraph graph = diamond();
+  EXPECT_THROW(graph.out_neighbors(4), Error);
+  EXPECT_THROW(graph.in_neighbors(4), Error);
+  Digraph::Builder builder(2);
+  EXPECT_THROW(builder.add_edge(0, 2), Error);
+}
+
+TEST(Digraph, TopologicalOrderRespectsEdges) {
+  const Digraph graph = diamond();
+  const auto order = graph.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> position(4);
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  EXPECT_LT(position[0], position[1]);
+  EXPECT_LT(position[0], position[2]);
+  EXPECT_LT(position[1], position[3]);
+  EXPECT_LT(position[2], position[3]);
+}
+
+TEST(Digraph, CycleDetected) {
+  Digraph::Builder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 0);
+  const Digraph graph = std::move(builder).build();
+  EXPECT_FALSE(graph.is_dag());
+  EXPECT_THROW(graph.topological_order(), Error);
+}
+
+TEST(Digraph, SelfLoopIsACycle) {
+  Digraph::Builder builder(1);
+  builder.add_edge(0, 0);
+  EXPECT_FALSE(std::move(builder).build().is_dag());
+}
+
+TEST(Digraph, ParallelEdgesSupported) {
+  Digraph::Builder builder(2);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 1);
+  const Digraph graph = std::move(builder).build();
+  EXPECT_EQ(graph.out_degree(0), 2u);
+  EXPECT_EQ(graph.in_degree(1), 2u);
+  EXPECT_TRUE(graph.is_dag());
+}
+
+TEST(Digraph, DeterministicTopoOrder) {
+  const auto order_a = diamond().topological_order();
+  const auto order_b = diamond().topological_order();
+  EXPECT_EQ(order_a, order_b);
+}
+
+TEST(Digraph, LongChain) {
+  constexpr std::size_t kLength = 10000;
+  Digraph::Builder builder(kLength);
+  for (NodeId v = 0; v + 1 < kLength; ++v) builder.add_edge(v, v + 1);
+  const Digraph graph = std::move(builder).build();
+  const auto order = graph.topological_order();
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+}  // namespace
+}  // namespace anacin::graph

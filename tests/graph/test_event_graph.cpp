@@ -1,0 +1,128 @@
+#include "graph/event_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace anacin::graph {
+namespace {
+
+trace::Trace race_trace(double nd, std::uint64_t seed, int ranks = 4) {
+  sim::SimConfig config;
+  config.num_ranks = ranks;
+  config.seed = seed;
+  config.network.nd_fraction = nd;
+  return sim::run_simulation(config,
+                             [](sim::Comm& comm) {
+                               if (comm.rank() == 0) {
+                                 for (int i = 0; i < comm.size() - 1; ++i) {
+                                   (void)comm.recv();
+                                 }
+                               } else {
+                                 comm.send(0, 0);
+                               }
+                             })
+      .trace;
+}
+
+TEST(EventGraph, NodeAndEdgeCounts) {
+  const EventGraph graph = EventGraph::from_trace(race_trace(0.0, 1));
+  // rank 0: init + 3 recvs + finalize = 5; ranks 1-3: init + send + finalize.
+  EXPECT_EQ(graph.num_nodes(), 5u + 3u * 3u);
+  EXPECT_EQ(graph.num_ranks(), 4);
+  EXPECT_EQ(graph.message_edges().size(), 3u);
+  // program edges: (5-1) + 3*(3-1) = 10; plus 3 message edges.
+  EXPECT_EQ(graph.digraph().num_edges(), 10u + 3u);
+}
+
+TEST(EventGraph, RankIndexingIsContiguous) {
+  const EventGraph graph = EventGraph::from_trace(race_trace(0.0, 1));
+  EXPECT_EQ(graph.rank_base(0), 0u);
+  EXPECT_EQ(graph.rank_size(0), 5u);
+  EXPECT_EQ(graph.rank_base(1), 5u);
+  EXPECT_EQ(graph.node_of(1, 1), 6u);
+  EXPECT_EQ(graph.node(graph.node_of(1, 1)).type, trace::EventType::kSend);
+  EXPECT_THROW(graph.node_of(1, 99), Error);
+  EXPECT_THROW(graph.rank_base(9), Error);
+}
+
+TEST(EventGraph, MessageEdgesConnectSendToRecv) {
+  const EventGraph graph = EventGraph::from_trace(race_trace(1.0, 3));
+  for (const auto& [send_id, recv_id] : graph.message_edges()) {
+    const EventNode& send = graph.node(send_id);
+    const EventNode& recv = graph.node(recv_id);
+    EXPECT_EQ(send.type, trace::EventType::kSend);
+    EXPECT_EQ(recv.type, trace::EventType::kRecv);
+    EXPECT_EQ(send.peer, recv.rank);
+    EXPECT_EQ(recv.peer, send.rank);
+  }
+}
+
+TEST(EventGraph, IsAlwaysADag) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const EventGraph graph = EventGraph::from_trace(race_trace(1.0, seed));
+    EXPECT_TRUE(graph.digraph().is_dag());
+  }
+}
+
+TEST(EventGraph, LamportClocksRespectAllEdges) {
+  const EventGraph graph = EventGraph::from_trace(race_trace(1.0, 7, 8));
+  const Digraph& digraph = graph.digraph();
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    EXPECT_GE(graph.node(v).lamport, 1u);
+    for (const NodeId w : digraph.out_neighbors(v)) {
+      EXPECT_LT(graph.node(v).lamport, graph.node(w).lamport)
+          << "edge " << v << "->" << w;
+    }
+  }
+  EXPECT_GT(graph.max_lamport(), 1u);
+}
+
+TEST(EventGraph, InitNodesHaveLamportOne) {
+  const EventGraph graph = EventGraph::from_trace(race_trace(0.0, 1));
+  for (int r = 0; r < graph.num_ranks(); ++r) {
+    EXPECT_EQ(graph.node(graph.rank_base(r)).lamport, 1u);
+  }
+}
+
+TEST(EventGraph, CallstacksSurviveTheTrip) {
+  const EventGraph graph = EventGraph::from_trace(race_trace(0.0, 1));
+  bool found_recv_path = false;
+  for (const EventNode& node : graph.nodes()) {
+    if (node.type == trace::EventType::kRecv) {
+      EXPECT_EQ(graph.callstacks().path(node.callstack_id), "MPI_Recv");
+      found_recv_path = true;
+    }
+  }
+  EXPECT_TRUE(found_recv_path);
+}
+
+TEST(EventGraph, WildcardFlagPreserved) {
+  const EventGraph graph = EventGraph::from_trace(race_trace(0.0, 1));
+  for (const EventNode& node : graph.nodes()) {
+    if (node.type == trace::EventType::kRecv) {
+      EXPECT_EQ(node.posted_source, -1);  // recv() defaults to ANY_SOURCE
+    }
+  }
+}
+
+TEST(EventGraph, CollectiveProgramsBuildCleanGraphs) {
+  sim::SimConfig config;
+  config.num_ranks = 6;
+  config.seed = 2;
+  const trace::Trace trace =
+      sim::run_simulation(config,
+                          [](sim::Comm& comm) {
+                            comm.barrier();
+                            (void)comm.allreduce_sum(1.0);
+                          })
+          .trace;
+  const EventGraph graph = EventGraph::from_trace(trace);
+  EXPECT_TRUE(graph.digraph().is_dag());
+  EXPECT_GT(graph.message_edges().size(), 0u);
+}
+
+}  // namespace
+}  // namespace anacin::graph

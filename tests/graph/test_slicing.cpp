@@ -1,0 +1,153 @@
+#include "graph/slicing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace anacin::graph {
+namespace {
+
+EventGraph ring_graph(int ranks, int laps) {
+  sim::SimConfig config;
+  config.num_ranks = ranks;
+  config.network.nd_fraction = 0.0;
+  const trace::Trace trace =
+      sim::run_simulation(config,
+                          [laps](sim::Comm& comm) {
+                            const int next =
+                                (comm.rank() + 1) % comm.size();
+                            const int prev = (comm.rank() + comm.size() - 1) %
+                                             comm.size();
+                            for (int i = 0; i < laps; ++i) {
+                              sim::Request r = comm.irecv(prev, 0);
+                              comm.send(next, 0);
+                              (void)comm.wait(r);
+                            }
+                          })
+          .trace;
+  return EventGraph::from_trace(trace);
+}
+
+class SlicingWindows : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SlicingWindows, PartitionIsCompleteAndConsistent) {
+  const EventGraph graph = ring_graph(4, 5);
+  const SliceSet slices = slice_by_lamport_window(graph, GetParam());
+
+  std::size_t covered = 0;
+  for (std::size_t s = 0; s < slices.num_slices; ++s) {
+    for (const NodeId v : slices.nodes_in_slice[s]) {
+      EXPECT_EQ(slices.slice_of_node[v], s);
+      const std::uint64_t lamport = graph.node(v).lamport;
+      EXPECT_GE(lamport, s * GetParam() + 1);
+      EXPECT_LE(lamport, (s + 1) * GetParam());
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, graph.num_nodes());
+  EXPECT_EQ(slices.slice_of_node.size(), graph.num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SlicingWindows,
+                         ::testing::Values(1u, 2u, 3u, 7u, 16u, 1000u));
+
+TEST(Slicing, WindowOneGivesOneSlicePerLamportTick) {
+  const EventGraph graph = ring_graph(3, 2);
+  const SliceSet slices = slice_by_lamport_window(graph, 1);
+  EXPECT_EQ(slices.num_slices, graph.max_lamport());
+}
+
+TEST(Slicing, HugeWindowGivesSingleSlice) {
+  const EventGraph graph = ring_graph(3, 2);
+  const SliceSet slices = slice_by_lamport_window(graph, 1u << 30);
+  EXPECT_EQ(slices.num_slices, 1u);
+  EXPECT_EQ(slices.nodes_in_slice[0].size(), graph.num_nodes());
+}
+
+TEST(Slicing, SliceIntoHitsTargetCount) {
+  const EventGraph graph = ring_graph(4, 10);
+  const SliceSet slices = slice_into(graph, 8);
+  EXPECT_LE(slices.num_slices, 8u);
+  EXPECT_GE(slices.num_slices, 6u);  // rounding can merge a couple
+}
+
+TEST(Slicing, InvalidWindowRejected) {
+  const EventGraph graph = ring_graph(2, 1);
+  EXPECT_THROW(slice_by_lamport_window(graph, 0), Error);
+  EXPECT_THROW(slice_into(graph, 0), Error);
+}
+
+TEST(VirtualTimeSlicing, PartitionCoversAllNodes) {
+  const EventGraph graph = ring_graph(4, 5);
+  const SliceSet slices = slice_by_virtual_time_window(graph, 10.0);
+  std::size_t covered = 0;
+  for (std::size_t s = 0; s < slices.num_slices; ++s) {
+    for (const NodeId v : slices.nodes_in_slice[s]) {
+      EXPECT_EQ(slices.slice_of_node[v], s);
+      EXPECT_GE(graph.node(v).t_end, s * 10.0);
+      EXPECT_LT(graph.node(v).t_end, (s + 1) * 10.0);
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, graph.num_nodes());
+}
+
+TEST(VirtualTimeSlicing, HugeWindowSingleSlice) {
+  const EventGraph graph = ring_graph(3, 2);
+  const SliceSet slices = slice_by_virtual_time_window(graph, 1e12);
+  EXPECT_EQ(slices.num_slices, 1u);
+}
+
+TEST(VirtualTimeSlicing, RejectsNonPositiveWindow) {
+  const EventGraph graph = ring_graph(2, 1);
+  EXPECT_THROW(slice_by_virtual_time_window(graph, 0.0), Error);
+  EXPECT_THROW(slice_by_virtual_time_window(graph, -1.0), Error);
+}
+
+TEST(VirtualTimeSlicing, JitterMovesEventsBetweenSlices) {
+  // Same program, different seeds at full ND: Lamport slicing puts the
+  // deterministic ring's nodes in identical slices, virtual-time slicing
+  // does not — the reason the analysis defaults to logical time.
+  auto slices_signature = [](const SliceSet& slices) {
+    std::vector<std::size_t> sizes;
+    for (const auto& nodes : slices.nodes_in_slice) {
+      sizes.push_back(nodes.size());
+    }
+    return sizes;
+  };
+  sim::SimConfig config;
+  config.num_ranks = 4;
+  config.network.nd_fraction = 1.0;
+  const auto ring = [](sim::Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    for (int i = 0; i < 6; ++i) {
+      sim::Request r = comm.irecv(prev, 0);
+      comm.send(next, 0);
+      (void)comm.wait(r);
+    }
+  };
+  config.seed = 1;
+  const EventGraph a =
+      EventGraph::from_trace(sim::run_simulation(config, ring).trace);
+  config.seed = 2;
+  const EventGraph b =
+      EventGraph::from_trace(sim::run_simulation(config, ring).trace);
+
+  EXPECT_EQ(slices_signature(slice_by_lamport_window(a, 4)),
+            slices_signature(slice_by_lamport_window(b, 4)));
+  EXPECT_NE(slices_signature(slice_by_virtual_time_window(a, 25.0)),
+            slices_signature(slice_by_virtual_time_window(b, 25.0)));
+}
+
+TEST(Slicing, NodesWithinSliceAreAscending) {
+  const EventGraph graph = ring_graph(5, 4);
+  const SliceSet slices = slice_by_lamport_window(graph, 4);
+  for (const auto& nodes : slices.nodes_in_slice) {
+    EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+  }
+}
+
+}  // namespace
+}  // namespace anacin::graph

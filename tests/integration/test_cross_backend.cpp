@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/anacin.hpp"
+#include "realtime/realtime.hpp"
+
+namespace anacin {
+namespace {
+
+/// The two execution backends (deterministic simulator, native threads)
+/// record the same trace schema, so their event graphs live in the same
+/// kernel feature space. For a program with no wildcard receives the
+/// *structure* is fully determined by the code — the two backends must
+/// agree exactly, i.e. kernel distance 0 between a simulated run and a
+/// real-threads run of the same program.
+
+TEST(CrossBackend, DeterministicProgramsAgreeAcrossBackends) {
+  constexpr int kRanks = 4;
+  const auto logic = [](auto& comm) {
+    const int n = comm.size();
+    const int next = (comm.rank() + 1) % n;
+    const int prev = (comm.rank() + n - 1) % n;
+    for (int lap = 0; lap < 3; ++lap) {
+      // Explicit sources only: no races anywhere.
+      if (comm.rank() % 2 == 0) {
+        comm.send(next, 1);
+        (void)comm.recv(prev, 1);
+      } else {
+        (void)comm.recv(prev, 1);
+        comm.send(next, 1);
+      }
+    }
+  };
+
+  sim::SimConfig sim_config;
+  sim_config.num_ranks = kRanks;
+  sim_config.network.nd_fraction = 1.0;  // jitter cannot matter here
+  const trace::Trace sim_trace =
+      sim::run_simulation(sim_config, [&](sim::Comm& comm) { logic(comm); })
+          .trace;
+
+  realtime::RtConfig rt_config;
+  rt_config.num_ranks = kRanks;
+  const trace::Trace rt_trace = realtime::run_threads(
+      rt_config, [&](realtime::Comm& comm) { logic(comm); });
+
+  const auto kernel = kernels::make_kernel("wl:3");
+  const double distance = kernel->distance(
+      kernels::build_labeled_graph(graph::EventGraph::from_trace(sim_trace),
+                                   kernels::LabelPolicy::kTypePeerTag),
+      kernels::build_labeled_graph(graph::EventGraph::from_trace(rt_trace),
+                                   kernels::LabelPolicy::kTypePeerTag));
+  EXPECT_DOUBLE_EQ(distance, 0.0);
+}
+
+TEST(CrossBackend, CallstackPolicyAlsoAgrees) {
+  constexpr int kRanks = 3;
+  const auto logic = [](auto& comm) {
+    const auto frame = comm.scoped_frame("exchange");
+    if (comm.rank() == 0) {
+      for (int src = 1; src < comm.size(); ++src) (void)comm.recv(src, 0);
+    } else {
+      comm.send(0, 0);
+    }
+  };
+  sim::SimConfig sim_config;
+  sim_config.num_ranks = kRanks;
+  const trace::Trace sim_trace =
+      sim::run_simulation(sim_config, [&](sim::Comm& comm) { logic(comm); })
+          .trace;
+  realtime::RtConfig rt_config;
+  rt_config.num_ranks = kRanks;
+  const trace::Trace rt_trace = realtime::run_threads(
+      rt_config, [&](realtime::Comm& comm) { logic(comm); });
+
+  const auto kernel = kernels::make_kernel("wl:2");
+  const double distance = kernel->distance(
+      kernels::build_labeled_graph(
+          graph::EventGraph::from_trace(sim_trace),
+          kernels::LabelPolicy::kTypePeerCallstack),
+      kernels::build_labeled_graph(
+          graph::EventGraph::from_trace(rt_trace),
+          kernels::LabelPolicy::kTypePeerCallstack));
+  EXPECT_DOUBLE_EQ(distance, 0.0);
+}
+
+}  // namespace
+}  // namespace anacin

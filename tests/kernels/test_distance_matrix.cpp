@@ -1,0 +1,98 @@
+#include "kernels/distance_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace anacin::kernels {
+namespace {
+
+std::vector<LabeledGraph> sample_graphs(int count, double nd) {
+  std::vector<LabeledGraph> graphs;
+  for (int i = 0; i < count; ++i) {
+    sim::SimConfig config;
+    config.num_ranks = 5;
+    config.seed = static_cast<std::uint64_t>(i) + 1;
+    config.network.nd_fraction = nd;
+    const trace::Trace trace =
+        sim::run_simulation(config,
+                            [](sim::Comm& comm) {
+                              if (comm.rank() == 0) {
+                                for (int k = 0; k < comm.size() - 1; ++k) {
+                                  (void)comm.recv();
+                                }
+                              } else {
+                                comm.send(0, 0);
+                              }
+                            })
+            .trace;
+    graphs.push_back(build_labeled_graph(
+        graph::EventGraph::from_trace(trace), LabelPolicy::kTypePeer));
+  }
+  return graphs;
+}
+
+TEST(DistanceMatrix, SymmetricWithZeroDiagonal) {
+  ThreadPool pool(2);
+  const WLSubtreeKernel kernel(2);
+  const auto graphs = sample_graphs(6, 1.0);
+  const DistanceMatrix matrix = pairwise_distances(kernel, graphs, pool);
+  ASSERT_EQ(matrix.size, 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(matrix.at(i, i), 0.0);
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(matrix.at(i, j), matrix.at(j, i));
+      EXPECT_GE(matrix.at(i, j), 0.0);
+    }
+  }
+}
+
+TEST(DistanceMatrix, UpperTriangleSizeAndContent) {
+  ThreadPool pool(2);
+  const WLSubtreeKernel kernel(1);
+  const auto graphs = sample_graphs(5, 1.0);
+  const DistanceMatrix matrix = pairwise_distances(kernel, graphs, pool);
+  const auto flat = matrix.upper_triangle();
+  ASSERT_EQ(flat.size(), 10u);
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(flat[index++], matrix.at(i, j));
+    }
+  }
+}
+
+TEST(DistanceMatrix, IdenticalRunsGiveAllZeros) {
+  ThreadPool pool(2);
+  const WLSubtreeKernel kernel(2);
+  const auto graphs = sample_graphs(4, 0.0);  // nd=0: all runs identical
+  const DistanceMatrix matrix = pairwise_distances(kernel, graphs, pool);
+  for (const double d : matrix.values) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(DistancesToReference, MatchesDirectComputation) {
+  ThreadPool pool(2);
+  const WLSubtreeKernel kernel(2);
+  const auto graphs = sample_graphs(5, 1.0);
+  const auto distances =
+      distances_to_reference(kernel, graphs[0], graphs, pool);
+  ASSERT_EQ(distances.size(), 5u);
+  EXPECT_DOUBLE_EQ(distances[0], 0.0);  // reference vs itself
+  for (std::size_t i = 1; i < 5; ++i) {
+    const double direct =
+        kernel_distance(kernel.features(graphs[0]), kernel.features(graphs[i]));
+    EXPECT_DOUBLE_EQ(distances[i], direct);
+  }
+}
+
+TEST(DistanceMatrix, SingleGraph) {
+  ThreadPool pool(1);
+  const VertexHistogramKernel kernel;
+  const auto graphs = sample_graphs(1, 1.0);
+  const DistanceMatrix matrix = pairwise_distances(kernel, graphs, pool);
+  EXPECT_EQ(matrix.size, 1u);
+  EXPECT_TRUE(matrix.upper_triangle().empty());
+}
+
+}  // namespace
+}  // namespace anacin::kernels

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "kernels/kernel.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace anacin::kernels {
+namespace {
+
+graph::EventGraph mesh_graph(double nd, std::uint64_t seed) {
+  sim::SimConfig config;
+  config.num_ranks = 8;
+  config.seed = seed;
+  config.network.nd_fraction = nd;
+  const trace::Trace trace =
+      sim::run_simulation(config,
+                          [](sim::Comm& comm) {
+                            const int n = comm.size();
+                            for (int lap = 0; lap < 3; ++lap) {
+                              std::vector<sim::Request> requests;
+                              requests.push_back(comm.irecv());
+                              requests.push_back(comm.irecv());
+                              comm.send((comm.rank() + 1) % n, 0);
+                              comm.send((comm.rank() + 3) % n, 0);
+                              (void)comm.wait_all(requests);
+                            }
+                          })
+          .trace;
+  return graph::EventGraph::from_trace(trace);
+}
+
+TEST(GraphletKernel, IdenticalGraphsAtDistanceZero) {
+  const GraphletSamplingKernel kernel;
+  const LabeledGraph a =
+      build_labeled_graph(mesh_graph(0.0, 1), LabelPolicy::kTypePeer);
+  const LabeledGraph b =
+      build_labeled_graph(mesh_graph(0.0, 2), LabelPolicy::kTypePeer);
+  EXPECT_DOUBLE_EQ(kernel.distance(a, b), 0.0);
+}
+
+TEST(GraphletKernel, FeaturesAreDeterministic) {
+  const GraphletSamplingKernel kernel;
+  const LabeledGraph g =
+      build_labeled_graph(mesh_graph(1.0, 5), LabelPolicy::kTypePeer);
+  const FeatureVector f1 = kernel.features(g);
+  const FeatureVector f2 = kernel.features(g);
+  EXPECT_EQ(f1.entries, f2.entries);
+  EXPECT_DOUBLE_EQ(kernel_distance(f1, f2), 0.0);
+}
+
+TEST(GraphletKernel, DetectsRacingRuns) {
+  const GraphletSamplingKernel kernel(16);
+  const LabeledGraph a =
+      build_labeled_graph(mesh_graph(1.0, 1), LabelPolicy::kTypePeer);
+  const LabeledGraph b =
+      build_labeled_graph(mesh_graph(1.0, 99), LabelPolicy::kTypePeer);
+  EXPECT_GT(kernel.distance(a, b), 0.0);
+}
+
+TEST(GraphletKernel, HandlesDegenerateGraphs) {
+  const GraphletSamplingKernel kernel;
+  LabeledGraph isolated;
+  isolated.labels = {1, 2, 3};
+  isolated.neighbors.resize(3);  // no edges: no 3-node graphlets
+  EXPECT_TRUE(kernel.features(isolated).entries.empty());
+  EXPECT_TRUE(kernel.features(LabeledGraph{}).entries.empty());
+}
+
+TEST(GraphletKernel, ConstructibleViaSpec) {
+  EXPECT_EQ(make_kernel("graphlet_sampling")->name(), "graphlet_sampling");
+}
+
+/// WL features must be invariant under node renumbering: permuting a
+/// labelled graph's node ids cannot change its feature multiset. This is
+/// the core soundness property that makes cross-run comparisons
+/// meaningful (runs build their graphs in different event orders).
+class WlPermutationInvariance
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+LabeledGraph permute(const LabeledGraph& graph, Rng& rng) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::uint32_t> mapping(n);
+  std::iota(mapping.begin(), mapping.end(), 0u);
+  rng.shuffle(mapping);
+  LabeledGraph permuted;
+  permuted.labels.resize(n);
+  permuted.neighbors.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    permuted.labels[mapping[v]] = graph.labels[v];
+    for (const auto& [w, is_out] : graph.neighbors[v]) {
+      permuted.neighbors[mapping[v]].emplace_back(mapping[w], is_out);
+    }
+  }
+  return permuted;
+}
+
+TEST_P(WlPermutationInvariance, FeaturesUnchangedByRelabeling) {
+  Rng rng(GetParam());
+  const LabeledGraph original =
+      build_labeled_graph(mesh_graph(1.0, GetParam()), LabelPolicy::kTypePeer);
+  const LabeledGraph shuffled = permute(original, rng);
+
+  for (const unsigned depth : {0u, 1u, 2u, 3u}) {
+    const WLSubtreeKernel kernel(depth);
+    const FeatureVector fa = kernel.features(original);
+    const FeatureVector fb = kernel.features(shuffled);
+    EXPECT_EQ(fa.entries, fb.entries) << "depth " << depth;
+  }
+  // Histogram kernels share the property.
+  EXPECT_EQ(VertexHistogramKernel().features(original).entries,
+            VertexHistogramKernel().features(shuffled).entries);
+  EXPECT_EQ(EdgeHistogramKernel().features(original).entries,
+            EdgeHistogramKernel().features(shuffled).entries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WlPermutationInvariance,
+                         ::testing::Values(1u, 2u, 3u, 11u, 23u));
+
+}  // namespace
+}  // namespace anacin::kernels

@@ -1,0 +1,194 @@
+#include "kernels/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace anacin::kernels {
+namespace {
+
+graph::EventGraph race_graph(int ranks, double nd, std::uint64_t seed) {
+  sim::SimConfig config;
+  config.num_ranks = ranks;
+  config.seed = seed;
+  config.network.nd_fraction = nd;
+  const trace::Trace trace =
+      sim::run_simulation(config,
+                          [](sim::Comm& comm) {
+                            if (comm.rank() == 0) {
+                              for (int i = 0; i < comm.size() - 1; ++i) {
+                                (void)comm.recv();
+                              }
+                            } else {
+                              comm.send(0, 0);
+                            }
+                          })
+          .trace;
+  return graph::EventGraph::from_trace(trace);
+}
+
+/// Find two seeds whose races resolve differently (guaranteed quickly at
+/// 100% ND with several senders).
+std::pair<graph::EventGraph, graph::EventGraph> differing_runs(int ranks) {
+  const graph::EventGraph first = race_graph(ranks, 1.0, 1);
+  const VertexHistogramKernel probe;
+  const LabeledGraph lg_first =
+      build_labeled_graph(first, LabelPolicy::kTypePeer);
+  for (std::uint64_t seed = 2; seed <= 50; ++seed) {
+    graph::EventGraph candidate = race_graph(ranks, 1.0, seed);
+    // Compare recv order on rank 0 directly.
+    bool same = true;
+    for (std::size_t i = 0; i < first.rank_size(0) && same; ++i) {
+      const auto a = first.node(first.rank_base(0) +
+                                static_cast<graph::NodeId>(i));
+      const auto b = candidate.node(candidate.rank_base(0) +
+                                    static_cast<graph::NodeId>(i));
+      same = a.peer == b.peer;
+    }
+    if (!same) return {first, std::move(candidate)};
+  }
+  throw Error("no differing seed found — jitter model broken?");
+}
+
+TEST(FeatureVector, DotAndSelfDotAgree) {
+  const graph::EventGraph g = race_graph(4, 0.0, 1);
+  const WLSubtreeKernel kernel(2);
+  const FeatureVector f =
+      kernel.features(build_labeled_graph(g, LabelPolicy::kTypePeer));
+  EXPECT_DOUBLE_EQ(dot(f, f), f.self_dot);
+  EXPECT_GT(f.self_dot, 0.0);
+}
+
+TEST(KernelDistance, IdenticalGraphsAreAtDistanceZero) {
+  const graph::EventGraph a = race_graph(4, 0.0, 1);
+  const graph::EventGraph b = race_graph(4, 0.0, 2);  // nd=0: identical runs
+  for (const auto* kernel_spec :
+       {"wl:0", "wl:2", "vertex_histogram", "edge_histogram"}) {
+    const auto kernel = make_kernel(kernel_spec);
+    const double d = kernel->distance(
+        build_labeled_graph(a, LabelPolicy::kTypePeer),
+        build_labeled_graph(b, LabelPolicy::kTypePeer));
+    EXPECT_DOUBLE_EQ(d, 0.0) << kernel_spec;
+  }
+}
+
+TEST(KernelDistance, DetectsPermutedMatchingWithPeerLabels) {
+  const auto [a, b] = differing_runs(5);
+  const WLSubtreeKernel kernel(2);
+  const double d = kernel.distance(
+      build_labeled_graph(a, LabelPolicy::kTypePeer),
+      build_labeled_graph(b, LabelPolicy::kTypePeer));
+  EXPECT_GT(d, 0.0);
+}
+
+TEST(KernelDistance, TypeOnlyLabelsAreBlindToPureMatchingPermutation) {
+  // The two matchings of a symmetric message race are isomorphic graphs;
+  // with type-only labels WL cannot distinguish them. This motivates the
+  // default kTypePeer policy (see DESIGN.md).
+  const auto [a, b] = differing_runs(5);
+  const WLSubtreeKernel kernel(3);
+  const double d = kernel.distance(
+      build_labeled_graph(a, LabelPolicy::kTypeOnly),
+      build_labeled_graph(b, LabelPolicy::kTypeOnly));
+  EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(KernelDistance, WlDepthZeroEqualsVertexHistogram) {
+  const auto [a, b] = differing_runs(5);
+  const LabeledGraph la = build_labeled_graph(a, LabelPolicy::kTypePeer);
+  const LabeledGraph lb = build_labeled_graph(b, LabelPolicy::kTypePeer);
+  const double d_wl0 = WLSubtreeKernel(0).distance(la, lb);
+  const double d_vh = VertexHistogramKernel().distance(la, lb);
+  EXPECT_NEAR(d_wl0, d_vh, 1e-12);
+}
+
+TEST(KernelDistance, DeeperWlSeesAtLeastAsMuch) {
+  const auto [a, b] = differing_runs(6);
+  const LabeledGraph la = build_labeled_graph(a, LabelPolicy::kTypePeer);
+  const LabeledGraph lb = build_labeled_graph(b, LabelPolicy::kTypePeer);
+  double previous = 0.0;
+  for (unsigned depth = 0; depth <= 4; ++depth) {
+    const double d = WLSubtreeKernel(depth).distance(la, lb);
+    EXPECT_GE(d, previous - 1e-9) << "depth " << depth;
+    previous = d;
+  }
+}
+
+// Metric axioms: WL distance is the Euclidean metric of the feature
+// embedding, so symmetry and the triangle inequality hold exactly.
+class MetricAxioms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricAxioms, SymmetryAndTriangle) {
+  const std::uint64_t seed = GetParam();
+  const graph::EventGraph a = race_graph(5, 1.0, seed);
+  const graph::EventGraph b = race_graph(5, 1.0, seed + 100);
+  const graph::EventGraph c = race_graph(5, 1.0, seed + 200);
+  const WLSubtreeKernel kernel(2);
+  const FeatureVector fa =
+      kernel.features(build_labeled_graph(a, LabelPolicy::kTypePeer));
+  const FeatureVector fb =
+      kernel.features(build_labeled_graph(b, LabelPolicy::kTypePeer));
+  const FeatureVector fc =
+      kernel.features(build_labeled_graph(c, LabelPolicy::kTypePeer));
+
+  const double ab = kernel_distance(fa, fb);
+  const double ba = kernel_distance(fb, fa);
+  const double ac = kernel_distance(fa, fc);
+  const double cb = kernel_distance(fc, fb);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_LE(ab, ac + cb + 1e-9);
+  EXPECT_DOUBLE_EQ(kernel_distance(fa, fa), 0.0);
+  EXPECT_GE(ab, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricAxioms,
+                         ::testing::Values(1u, 7u, 13u, 29u, 41u, 53u));
+
+TEST(NormalizedKernel, BoundsAndIdentity) {
+  const auto [a, b] = differing_runs(5);
+  const WLSubtreeKernel kernel(2);
+  const FeatureVector fa =
+      kernel.features(build_labeled_graph(a, LabelPolicy::kTypePeer));
+  const FeatureVector fb =
+      kernel.features(build_labeled_graph(b, LabelPolicy::kTypePeer));
+  const double same = normalized_kernel(fa, fa);
+  const double cross = normalized_kernel(fa, fb);
+  EXPECT_NEAR(same, 1.0, 1e-12);
+  EXPECT_GE(cross, 0.0);
+  EXPECT_LE(cross, 1.0);
+  EXPECT_LT(cross, 1.0);  // the runs differ
+}
+
+TEST(EdgeHistogramKernel, SeesEdgeRelabeling) {
+  const auto [a, b] = differing_runs(5);
+  const EdgeHistogramKernel kernel;
+  const double d = kernel.distance(
+      build_labeled_graph(a, LabelPolicy::kTypePeer),
+      build_labeled_graph(b, LabelPolicy::kTypePeer));
+  EXPECT_GT(d, 0.0);
+}
+
+TEST(MakeKernel, SpecsAndErrors) {
+  EXPECT_EQ(make_kernel("wl")->name(), "wl_subtree_h2");
+  EXPECT_EQ(make_kernel("wl:5")->name(), "wl_subtree_h5");
+  EXPECT_EQ(make_kernel("vertex_histogram")->name(), "vertex_histogram");
+  EXPECT_EQ(make_kernel("edge_histogram")->name(), "edge_histogram");
+  EXPECT_THROW(make_kernel("wl:99"), ConfigError);
+  EXPECT_THROW(make_kernel("wl:x"), ConfigError);
+  EXPECT_THROW(make_kernel("nope"), ConfigError);
+}
+
+TEST(EmptyGraphs, KernelsHandleGracefully) {
+  const LabeledGraph empty;
+  const WLSubtreeKernel kernel(2);
+  const FeatureVector f = kernel.features(empty);
+  EXPECT_TRUE(f.entries.empty());
+  EXPECT_DOUBLE_EQ(kernel_distance(f, f), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_kernel(f, f), 1.0);
+}
+
+}  // namespace
+}  // namespace anacin::kernels

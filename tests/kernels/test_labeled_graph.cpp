@@ -1,0 +1,126 @@
+#include "kernels/labeled_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace anacin::kernels {
+namespace {
+
+graph::EventGraph small_graph(std::uint64_t seed = 1, double nd = 0.0) {
+  sim::SimConfig config;
+  config.num_ranks = 3;
+  config.seed = seed;
+  config.network.nd_fraction = nd;
+  const trace::Trace trace =
+      sim::run_simulation(config,
+                          [](sim::Comm& comm) {
+                            const auto frame =
+                                comm.scoped_frame("app_phase");
+                            if (comm.rank() == 0) {
+                              (void)comm.recv();
+                              (void)comm.recv();
+                            } else {
+                              comm.send(0, comm.rank());
+                            }
+                          })
+          .trace;
+  return graph::EventGraph::from_trace(trace);
+}
+
+TEST(LabelPolicy, NamesRoundTrip) {
+  for (const LabelPolicy policy :
+       {LabelPolicy::kTypeOnly, LabelPolicy::kTypePeer,
+        LabelPolicy::kTypePeerTag, LabelPolicy::kTypeCallstack,
+        LabelPolicy::kTypePeerCallstack}) {
+    EXPECT_EQ(label_policy_from_name(label_policy_name(policy)), policy);
+  }
+  EXPECT_THROW(label_policy_from_name("nope"), ConfigError);
+}
+
+TEST(LabeledGraph, WholeGraphShape) {
+  const graph::EventGraph eg = small_graph();
+  const LabeledGraph lg = build_labeled_graph(eg, LabelPolicy::kTypePeer);
+  EXPECT_EQ(lg.num_nodes(), eg.num_nodes());
+  // Every directed edge appears twice (out at source, in at target).
+  std::size_t degree_total = 0;
+  for (const auto& adjacency : lg.neighbors) degree_total += adjacency.size();
+  EXPECT_EQ(degree_total, 2 * eg.digraph().num_edges());
+}
+
+TEST(LabeledGraph, TypeOnlyLabelsCollapseSends) {
+  const graph::EventGraph eg = small_graph();
+  const LabeledGraph lg = build_labeled_graph(eg, LabelPolicy::kTypeOnly);
+  // Both send events (ranks 1 and 2) share one label under kTypeOnly.
+  const auto send1 = lg.labels[eg.node_of(1, 1)];
+  const auto send2 = lg.labels[eg.node_of(2, 1)];
+  EXPECT_EQ(send1, send2);
+}
+
+TEST(LabeledGraph, TypePeerSeparatesMatchedSources) {
+  const graph::EventGraph eg = small_graph();
+  const LabeledGraph lg = build_labeled_graph(eg, LabelPolicy::kTypePeer);
+  // Rank 0's two receives matched different sources -> different labels.
+  const auto recv_a = lg.labels[eg.node_of(0, 1)];
+  const auto recv_b = lg.labels[eg.node_of(0, 2)];
+  EXPECT_NE(recv_a, recv_b);
+}
+
+TEST(LabeledGraph, TagDistinguishesUnderPeerTag) {
+  const graph::EventGraph eg = small_graph();
+  // Senders used tag == their rank, so kTypePeerTag must differ from
+  // kTypePeer only in label values, not structure.
+  const LabeledGraph peer = build_labeled_graph(eg, LabelPolicy::kTypePeer);
+  const LabeledGraph peer_tag =
+      build_labeled_graph(eg, LabelPolicy::kTypePeerTag);
+  EXPECT_EQ(peer.num_nodes(), peer_tag.num_nodes());
+  EXPECT_NE(peer.labels, peer_tag.labels);
+}
+
+TEST(LabeledGraph, CallstackPolicyUsesPathStrings) {
+  const graph::EventGraph a = small_graph(1);
+  const graph::EventGraph b = small_graph(2);
+  // Different runs build registries independently, but labels hash path
+  // strings, so identical executions produce identical label multisets.
+  const LabeledGraph la = build_labeled_graph(a, LabelPolicy::kTypeCallstack);
+  LabeledGraph lb = build_labeled_graph(b, LabelPolicy::kTypeCallstack);
+  std::vector<std::uint64_t> sa = la.labels;
+  std::vector<std::uint64_t> sb = lb.labels;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(LabeledSubgraph, InducedEdgesOnly) {
+  const graph::EventGraph eg = small_graph();
+  // Take only rank 0's nodes: message edges to other ranks must vanish.
+  std::vector<graph::NodeId> nodes;
+  for (std::size_t i = 0; i < eg.rank_size(0); ++i) {
+    nodes.push_back(eg.rank_base(0) + static_cast<graph::NodeId>(i));
+  }
+  const LabeledGraph sub =
+      build_labeled_subgraph(eg, nodes, LabelPolicy::kTypePeer);
+  EXPECT_EQ(sub.num_nodes(), nodes.size());
+  std::size_t degree_total = 0;
+  for (const auto& adjacency : sub.neighbors) degree_total += adjacency.size();
+  // Only the program-order chain of rank 0 survives: (n-1) edges, twice.
+  EXPECT_EQ(degree_total, 2 * (nodes.size() - 1));
+}
+
+TEST(LabeledSubgraph, EmptySubgraph) {
+  const graph::EventGraph eg = small_graph();
+  const LabeledGraph sub =
+      build_labeled_subgraph(eg, {}, LabelPolicy::kTypePeer);
+  EXPECT_EQ(sub.num_nodes(), 0u);
+}
+
+TEST(LabeledSubgraph, RejectsUnsortedInput) {
+  const graph::EventGraph eg = small_graph();
+  const std::vector<graph::NodeId> unsorted{2, 1};
+  EXPECT_THROW(build_labeled_subgraph(eg, unsorted, LabelPolicy::kTypePeer),
+               Error);
+}
+
+}  // namespace
+}  // namespace anacin::kernels

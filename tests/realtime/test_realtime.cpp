@@ -1,0 +1,183 @@
+#include "realtime/realtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "graph/event_graph.hpp"
+#include "kernels/kernel.hpp"
+#include "support/error.hpp"
+
+namespace anacin::realtime {
+namespace {
+
+// These tests exercise REAL thread scheduling, so they assert correctness
+// properties (delivery, matching, trace shape) but never a particular
+// interleaving.
+
+TEST(Realtime, PayloadsDeliveredCorrectly) {
+  RtConfig config;
+  config.num_ranks = 2;
+  std::atomic<double> got{0.0};
+  run_threads(config, [&got](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 5, sim::payload_from_double(2.75));
+    } else {
+      const sim::RecvResult r = comm.recv(0, 5);
+      got.store(sim::double_from_payload(r.payload));
+    }
+  });
+  EXPECT_DOUBLE_EQ(got.load(), 2.75);
+}
+
+TEST(Realtime, TraceHasSameShapeAsSimulator) {
+  RtConfig config;
+  config.num_ranks = 4;
+  const trace::Trace trace = run_threads(config, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < comm.size() - 1; ++i) (void)comm.recv();
+    } else {
+      comm.send(0, 0);
+    }
+  });
+  EXPECT_EQ(trace.num_ranks(), 4);
+  // init + 3 recvs + finalize on rank 0.
+  EXPECT_EQ(trace.rank_events(0).size(), 5u);
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ(trace.rank_events(r).size(), 3u);
+  }
+  // Matched sends resolve to real send events.
+  for (const trace::Event& event : trace.rank_events(0)) {
+    if (event.type != trace::EventType::kRecv) continue;
+    const trace::Event& send =
+        trace.event({event.matched_rank, event.matched_seq});
+    EXPECT_EQ(send.type, trace::EventType::kSend);
+    EXPECT_EQ(send.peer, 0);
+  }
+}
+
+TEST(Realtime, EventGraphBuildsAndIsDag) {
+  RtConfig config;
+  config.num_ranks = 4;
+  const trace::Trace trace = run_threads(config, [](Comm& comm) {
+    const auto frame = comm.scoped_frame("phase");
+    if (comm.rank() == 0) {
+      for (int i = 0; i < comm.size() - 1; ++i) (void)comm.recv();
+    } else {
+      comm.send(0, 0);
+    }
+    comm.barrier();
+  });
+  const graph::EventGraph event_graph = graph::EventGraph::from_trace(trace);
+  EXPECT_TRUE(event_graph.digraph().is_dag());
+  EXPECT_EQ(event_graph.message_edges().size(), 3u);
+  bool found_framed_recv = false;
+  for (const graph::EventNode& node : event_graph.nodes()) {
+    if (node.type == trace::EventType::kRecv) {
+      EXPECT_EQ(event_graph.callstacks().path(node.callstack_id),
+                "phase>MPI_Recv");
+      found_framed_recv = true;
+    }
+  }
+  EXPECT_TRUE(found_framed_recv);
+}
+
+TEST(Realtime, TagFilteringWorks) {
+  std::atomic<int> first_tag{-1};
+  RtConfig config;
+  config.num_ranks = 2;
+  run_threads(config, [&first_tag](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1);
+      comm.send(1, 2);
+    } else {
+      first_tag.store(comm.recv(sim::kAnySource, 2).tag);
+      (void)comm.recv(sim::kAnySource, 1);
+    }
+  });
+  EXPECT_EQ(first_tag.load(), 2);
+}
+
+TEST(Realtime, BarrierSynchronizesAllRanks) {
+  RtConfig config;
+  config.num_ranks = 6;
+  std::atomic<int> before{0};
+  std::atomic<bool> consistent{true};
+  run_threads(config, [&](Comm& comm) {
+    ++before;
+    comm.barrier();
+    if (before.load() != comm.size()) consistent.store(false);
+    comm.barrier();
+  });
+  EXPECT_TRUE(consistent.load());
+}
+
+TEST(Realtime, RecvTimeoutReportsDeadlock) {
+  RtConfig config;
+  config.num_ranks = 2;
+  config.recv_timeout_ms = 50;  // fail fast
+  EXPECT_THROW(run_threads(config,
+                           [](Comm& comm) {
+                             if (comm.rank() == 1) (void)comm.recv(0, 9);
+                           }),
+               DeadlockError);
+}
+
+TEST(Realtime, UserExceptionPropagates) {
+  RtConfig config;
+  config.num_ranks = 3;
+  config.recv_timeout_ms = 2000;
+  EXPECT_THROW(run_threads(config,
+                           [](Comm& comm) {
+                             if (comm.rank() == 2) {
+                               throw std::runtime_error("app bug");
+                             }
+                             comm.barrier();  // would hang without rank 2
+                           }),
+               std::runtime_error);
+}
+
+TEST(Realtime, InvalidUsageRejected) {
+  RtConfig config;
+  config.num_ranks = 2;
+  EXPECT_THROW(run_threads(config,
+                           [](Comm& comm) {
+                             if (comm.rank() == 0) comm.send(7, 0);
+                             else (void)comm.recv();
+                           }),
+               Error);
+  RtConfig bad;
+  bad.num_ranks = 0;
+  EXPECT_THROW(run_threads(bad, [](Comm&) {}), Error);
+}
+
+TEST(Realtime, PipelineMeasuresRealRuns) {
+  // The full measurement pipeline applies to real-thread traces; distances
+  // are well defined (>= 0) whatever the scheduler did.
+  const RankProgram program = [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < comm.size() - 1; ++i) (void)comm.recv();
+    } else {
+      comm.send(0, 0);
+    }
+  };
+  RtConfig config;
+  config.num_ranks = 4;
+  const auto kernel = kernels::make_kernel("wl:2");
+  std::vector<kernels::FeatureVector> features;
+  for (int i = 0; i < 3; ++i) {
+    const trace::Trace trace = run_threads(config, program);
+    features.push_back(kernel->features(kernels::build_labeled_graph(
+        graph::EventGraph::from_trace(trace),
+        kernels::LabelPolicy::kTypePeer)));
+  }
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    for (std::size_t j = i + 1; j < features.size(); ++j) {
+      EXPECT_GE(kernels::kernel_distance(features[i], features[j]), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anacin::realtime

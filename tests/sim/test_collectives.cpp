@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace anacin::sim {
+namespace {
+
+SimConfig jittery(int ranks, std::uint64_t seed) {
+  SimConfig config;
+  config.num_ranks = ranks;
+  config.seed = seed;
+  config.network.nd_fraction = 1.0;  // collectives must be correct anyway
+  return config;
+}
+
+class CollectivesAcrossSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesAcrossSizes, BarrierSynchronizesClocks) {
+  const int n = GetParam();
+  const RunResult result = run_simulation(jittery(n, 7), [](Comm& comm) {
+    // Rank 0 works for 1000us before the barrier; everyone's post-barrier
+    // work must therefore start at or after 1000us.
+    if (comm.rank() == 0) comm.compute(1000.0);
+    comm.barrier();
+  });
+  for (int r = 0; r < n; ++r) {
+    EXPECT_GE(result.trace.rank_events(r).back().t_end, n > 1 ? 1000.0 : 0.0)
+        << "rank " << r;
+  }
+}
+
+TEST_P(CollectivesAcrossSizes, BroadcastDeliversRootValue) {
+  const int n = GetParam();
+  std::vector<double> got(static_cast<std::size_t>(n), -1.0);
+  const int root = n / 2;
+  run_simulation(jittery(n, 11), [&got, root](Comm& comm) {
+    const Payload value = comm.broadcast(
+        root, comm.rank() == root ? payload_from_double(6.5) : Payload{});
+    got[static_cast<std::size_t>(comm.rank())] = double_from_payload(value);
+  });
+  for (const double v : got) EXPECT_DOUBLE_EQ(v, 6.5);
+}
+
+TEST_P(CollectivesAcrossSizes, ReduceSumAddsAllContributions) {
+  const int n = GetParam();
+  double total = -1.0;
+  run_simulation(jittery(n, 13), [&total](Comm& comm) {
+    const double mine = static_cast<double>(comm.rank() + 1);
+    const double result = comm.reduce_sum(0, mine);
+    if (comm.rank() == 0) total = result;
+  });
+  EXPECT_DOUBLE_EQ(total, n * (n + 1) / 2.0);
+}
+
+TEST_P(CollectivesAcrossSizes, AllreduceGivesSameValueEverywhere) {
+  const int n = GetParam();
+  std::vector<double> got(static_cast<std::size_t>(n), -1.0);
+  run_simulation(jittery(n, 17), [&got](Comm& comm) {
+    got[static_cast<std::size_t>(comm.rank())] =
+        comm.allreduce_sum(static_cast<double>(comm.rank()));
+  });
+  const double expected = n * (n - 1) / 2.0;
+  for (const double v : got) EXPECT_DOUBLE_EQ(v, expected);
+}
+
+TEST_P(CollectivesAcrossSizes, GatherCollectsPerRankPayloads) {
+  const int n = GetParam();
+  std::vector<std::uint64_t> at_root;
+  run_simulation(jittery(n, 19), [&at_root](Comm& comm) {
+    const auto gathered = comm.gather(
+        0, payload_from_u64(static_cast<std::uint64_t>(comm.rank() * 10)));
+    if (comm.rank() == 0) {
+      for (const Payload& p : gathered) at_root.push_back(u64_from_payload(p));
+    } else {
+      EXPECT_TRUE(gathered.empty());
+    }
+  });
+  ASSERT_EQ(at_root.size(), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(at_root[static_cast<std::size_t>(r)],
+              static_cast<std::uint64_t>(r * 10));
+  }
+}
+
+TEST_P(CollectivesAcrossSizes, AllToAllPersonalizedExchange) {
+  const int n = GetParam();
+  std::vector<std::vector<std::uint64_t>> received(
+      static_cast<std::size_t>(n));
+  run_simulation(jittery(n, 23), [&received, n](Comm& comm) {
+    std::vector<Payload> outgoing;
+    outgoing.reserve(static_cast<std::size_t>(n));
+    for (int dst = 0; dst < n; ++dst) {
+      // Value encodes (sender, receiver) so misrouting is detectable.
+      outgoing.push_back(payload_from_u64(
+          static_cast<std::uint64_t>(comm.rank() * 1000 + dst)));
+    }
+    const auto incoming = comm.all_to_all(std::move(outgoing));
+    for (const Payload& p : incoming) {
+      received[static_cast<std::size_t>(comm.rank())].push_back(
+          u64_from_payload(p));
+    }
+  });
+  for (int r = 0; r < n; ++r) {
+    ASSERT_EQ(received[static_cast<std::size_t>(r)].size(),
+              static_cast<std::size_t>(n));
+    for (int src = 0; src < n; ++src) {
+      EXPECT_EQ(received[static_cast<std::size_t>(r)]
+                        [static_cast<std::size_t>(src)],
+                static_cast<std::uint64_t>(src * 1000 + r));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesAcrossSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 9, 16));
+
+TEST(Collectives, ReduceSumIsDeterministicAcrossSeeds) {
+  // The library reduce uses a fixed accumulation order, so even with full
+  // jitter the floating-point result is bit-stable across runs.
+  double reference = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    double total = 0.0;
+    run_simulation(jittery(9, seed), [&total](Comm& comm) {
+      // Values chosen so that different summation orders give different
+      // floating-point results.
+      const double mine = std::pow(10.0, comm.rank() % 5) * 1.1;
+      const double r = comm.reduce_sum(0, mine);
+      if (comm.rank() == 0) total = r;
+    });
+    if (seed == 1) reference = total;
+    EXPECT_EQ(total, reference) << "seed " << seed;
+  }
+}
+
+TEST(Collectives, CallstacksAttributeCollectiveTraffic) {
+  const RunResult result = run_simulation(jittery(4, 3), [](Comm& comm) {
+    comm.barrier();
+  });
+  bool found_barrier_frame = false;
+  for (int r = 0; r < 4; ++r) {
+    for (const auto& event : result.trace.rank_events(r)) {
+      const std::string& path =
+          result.trace.callstacks().path(event.callstack_id);
+      if (path.find("MPI_Barrier>") != std::string::npos) {
+        found_barrier_frame = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_barrier_frame);
+}
+
+TEST(Collectives, BackToBackCollectivesDoNotCrossTalk) {
+  std::vector<double> got(4, -1.0);
+  run_simulation(jittery(4, 29), [&got](Comm& comm) {
+    const double a = comm.allreduce_sum(1.0);
+    comm.barrier();
+    const double b = comm.allreduce_sum(10.0);
+    got[static_cast<std::size_t>(comm.rank())] = a + b;
+  });
+  for (const double v : got) EXPECT_DOUBLE_EQ(v, 4.0 + 40.0);
+}
+
+}  // namespace
+}  // namespace anacin::sim

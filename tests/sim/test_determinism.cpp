@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace anacin::sim {
+namespace {
+
+/// Message-race toy program: ranks 1..n-1 send to rank 0, which receives
+/// with wildcards.
+void message_race(Comm& comm) {
+  if (comm.rank() == 0) {
+    for (int i = 0; i < comm.size() - 1; ++i) (void)comm.recv();
+  } else {
+    comm.send(0, 0, payload_from_u64(static_cast<std::uint64_t>(comm.rank())));
+  }
+}
+
+/// All-pairs exchange with wildcard receives (AMG-flavoured).
+void all_pairs(Comm& comm) {
+  const int n = comm.size();
+  for (int phase = 0; phase < 2; ++phase) {
+    std::vector<Request> requests;
+    for (int i = 0; i < n - 1; ++i) requests.push_back(comm.irecv());
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst != comm.rank()) comm.send(dst, phase);
+    }
+    (void)comm.wait_all(requests);
+  }
+}
+
+SimConfig make_config(int ranks, double nd, std::uint64_t seed) {
+  SimConfig config;
+  config.num_ranks = ranks;
+  config.seed = seed;
+  config.network.nd_fraction = nd;
+  return config;
+}
+
+std::string trace_fingerprint(const trace::Trace& trace) {
+  return trace.to_json().dump();
+}
+
+TEST(Determinism, IdenticalSeedIdenticalTrace) {
+  for (const double nd : {0.0, 0.5, 1.0}) {
+    const RunResult a = run_simulation(make_config(6, nd, 42), message_race);
+    const RunResult b = run_simulation(make_config(6, nd, 42), message_race);
+    EXPECT_EQ(trace_fingerprint(a.trace), trace_fingerprint(b.trace))
+        << "nd=" << nd;
+  }
+}
+
+TEST(Determinism, IdenticalSeedIdenticalTraceAllPairs) {
+  const RunResult a = run_simulation(make_config(5, 1.0, 9), all_pairs);
+  const RunResult b = run_simulation(make_config(5, 1.0, 9), all_pairs);
+  EXPECT_EQ(trace_fingerprint(a.trace), trace_fingerprint(b.trace));
+}
+
+TEST(Determinism, ZeroNdIdenticalAcrossSeeds) {
+  const RunResult reference =
+      run_simulation(make_config(6, 0.0, 1), message_race);
+  for (std::uint64_t seed = 2; seed <= 8; ++seed) {
+    const RunResult other =
+        run_simulation(make_config(6, 0.0, seed), message_race);
+    EXPECT_EQ(trace_fingerprint(reference.trace),
+              trace_fingerprint(other.trace))
+        << "seed " << seed;
+  }
+}
+
+TEST(Determinism, FullNdVariesAcrossSeeds) {
+  const RunResult reference =
+      run_simulation(make_config(8, 1.0, 1), message_race);
+  int different = 0;
+  for (std::uint64_t seed = 2; seed <= 11; ++seed) {
+    const RunResult other =
+        run_simulation(make_config(8, 1.0, seed), message_race);
+    if (trace_fingerprint(reference.trace) != trace_fingerprint(other.trace)) {
+      ++different;
+    }
+  }
+  EXPECT_GE(different, 7) << "most seeds should produce distinct traces";
+}
+
+ReplaySchedule schedule_from_trace(const trace::Trace& trace) {
+  ReplaySchedule schedule;
+  schedule.wildcard_matches.resize(
+      static_cast<std::size_t>(trace.num_ranks()));
+  for (int r = 0; r < trace.num_ranks(); ++r) {
+    for (const auto& event : trace.rank_events(r)) {
+      if (event.type == trace::EventType::kRecv &&
+          event.posted_source == kAnySource) {
+        schedule.wildcard_matches[static_cast<std::size_t>(r)].push_back(
+            {event.matched_rank, event.matched_seq});
+      }
+    }
+  }
+  return schedule;
+}
+
+std::vector<std::vector<int>> match_orders(const trace::Trace& trace) {
+  std::vector<std::vector<int>> orders(
+      static_cast<std::size_t>(trace.num_ranks()));
+  for (int r = 0; r < trace.num_ranks(); ++r) {
+    for (const auto& event : trace.rank_events(r)) {
+      if (event.type == trace::EventType::kRecv) {
+        orders[static_cast<std::size_t>(r)].push_back(event.matched_rank);
+      }
+    }
+  }
+  return orders;
+}
+
+TEST(Determinism, ReplayForcesRecordedWildcardOrder) {
+  // Record a noisy run, then replay it under a *different* seed: matching
+  // decisions must reproduce the recorded run exactly (ReMPI-style).
+  const RunResult recorded =
+      run_simulation(make_config(8, 1.0, 5), message_race);
+  const ReplaySchedule schedule = schedule_from_trace(recorded.trace);
+  ASSERT_GT(schedule.total_matches(), 0u);
+
+  SimConfig replay_config = make_config(8, 1.0, 999);
+  replay_config.replay = &schedule;
+  const RunResult replayed = run_simulation(replay_config, message_race);
+
+  EXPECT_EQ(match_orders(recorded.trace), match_orders(replayed.trace));
+}
+
+TEST(Determinism, ReplayWorksForWaitAllPrograms) {
+  const RunResult recorded = run_simulation(make_config(5, 1.0, 3), all_pairs);
+  const ReplaySchedule schedule = schedule_from_trace(recorded.trace);
+
+  SimConfig replay_config = make_config(5, 1.0, 12345);
+  replay_config.replay = &schedule;
+  const RunResult replayed = run_simulation(replay_config, all_pairs);
+
+  EXPECT_EQ(match_orders(recorded.trace), match_orders(replayed.trace));
+}
+
+TEST(Determinism, ReplayOfOwnScheduleIsIdempotent) {
+  const RunResult recorded =
+      run_simulation(make_config(6, 1.0, 8), message_race);
+  const ReplaySchedule schedule = schedule_from_trace(recorded.trace);
+
+  SimConfig replay_config = make_config(6, 1.0, 8);
+  replay_config.replay = &schedule;
+  const RunResult replayed = run_simulation(replay_config, message_race);
+  EXPECT_EQ(match_orders(recorded.trace), match_orders(replayed.trace));
+}
+
+TEST(Determinism, StatsCountersAreConsistent) {
+  const RunResult result = run_simulation(make_config(6, 1.0, 2), all_pairs);
+  // 2 phases x 5 ranks sending to 5 peers.
+  EXPECT_EQ(result.stats.messages, 2u * 6u * 5u);
+  EXPECT_EQ(result.stats.wildcard_recvs, 2u * 6u * 5u);
+  EXPECT_EQ(result.stats.jittered_messages, result.stats.messages)
+      << "nd_fraction=1 jitters every message";
+  EXPECT_GT(result.stats.calls, 0u);
+}
+
+TEST(Determinism, JitteredFlagPropagatesToRecvEvents) {
+  const RunResult result =
+      run_simulation(make_config(4, 1.0, 2), message_race);
+  for (const auto& event : result.trace.rank_events(0)) {
+    if (event.type == trace::EventType::kRecv) {
+      EXPECT_TRUE(event.jittered);
+    }
+  }
+  const RunResult quiet = run_simulation(make_config(4, 0.0, 2), message_race);
+  for (const auto& event : quiet.trace.rank_events(0)) {
+    if (event.type == trace::EventType::kRecv) {
+      EXPECT_FALSE(event.jittered);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anacin::sim

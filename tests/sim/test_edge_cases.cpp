@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "graph/event_graph.hpp"
+#include "kernels/kernel.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace anacin::sim {
+namespace {
+
+SimConfig config_of(int ranks, double nd = 0.0, std::uint64_t seed = 1) {
+  SimConfig config;
+  config.num_ranks = ranks;
+  config.seed = seed;
+  config.network.nd_fraction = nd;
+  return config;
+}
+
+TEST(EdgeCases, ZeroCostComputeIsANoop) {
+  const RunResult result = run_simulation(config_of(1), [](Comm& comm) {
+    comm.compute(0.0);
+    comm.compute(0.0);
+  });
+  EXPECT_DOUBLE_EQ(result.stats.makespan_us, 0.0);
+}
+
+TEST(EdgeCases, NegativeComputeRejected) {
+  EXPECT_THROW(
+      run_simulation(config_of(1), [](Comm& comm) { comm.compute(-1.0); }),
+      Error);
+}
+
+TEST(EdgeCases, ZeroByteMessages) {
+  const RunResult result = run_simulation(config_of(2), [](Comm& comm) {
+    if (comm.rank() == 0) comm.send(1, 0);
+    else EXPECT_TRUE(comm.recv().payload.empty());
+  });
+  EXPECT_EQ(result.trace.rank_events(0)[1].size_bytes, 0u);
+}
+
+TEST(EdgeCases, TagBoundaries) {
+  // User tags right below the collective base are legal; far above the
+  // collective range they are rejected.
+  EXPECT_NO_THROW(run_simulation(config_of(2), [](Comm& comm) {
+    if (comm.rank() == 0) comm.send(1, kCollectiveTagBase - 1);
+    else (void)comm.recv(0, kCollectiveTagBase - 1);
+  }));
+  EXPECT_THROW(run_simulation(config_of(2),
+                              [](Comm& comm) {
+                                if (comm.rank() == 0) {
+                                  comm.send(1, 2 * kCollectiveTagBase);
+                                }
+                              }),
+               SimUsageError);
+}
+
+TEST(EdgeCases, WaitAllOverMixedSendAndRecvRequests) {
+  std::vector<int> sources;
+  run_simulation(config_of(3), [&sources](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<Request> requests;
+      requests.push_back(comm.irecv(1, 0));
+      requests.push_back(comm.isend(2, 7, payload_from_u64(1)));
+      requests.push_back(comm.irecv(2, 0));
+      const std::vector<RecvResult> results = comm.wait_all(requests);
+      // Results align with the request span; the isend slot is empty.
+      sources = {results[0].source, results[1].source, results[2].source};
+    } else {
+      if (comm.rank() == 2) (void)comm.recv(0, 7);
+      comm.send(0, 0);
+    }
+  });
+  EXPECT_EQ(sources, (std::vector<int>{1, -1, 2}));
+}
+
+TEST(EdgeCases, WaitAnyPrefersCompletedSendOverPendingRecv) {
+  run_simulation(config_of(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<Request> requests;
+      requests.push_back(comm.irecv(1, 0));            // completes late
+      requests.push_back(comm.isend(1, 1));            // completes now
+      const WaitAnyResult first = comm.wait_any(requests);
+      EXPECT_EQ(first.index, 1u);
+      (void)comm.wait(requests[0]);
+    } else {
+      (void)comm.recv(0, 1);
+      comm.compute(500.0);
+      comm.send(0, 0);
+    }
+  });
+}
+
+TEST(EdgeCases, IssendMatchedFromUnexpectedQueue) {
+  // The issend's message arrives before any receive is posted; the request
+  // completes only when the late receive finally matches it.
+  const RunResult result = run_simulation(config_of(2), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      Request r = comm.issend(1, 0);
+      (void)comm.wait(r);
+      comm.compute(1.0);
+    } else {
+      comm.compute(700.0);
+      (void)comm.recv();
+    }
+  });
+  EXPECT_GE(result.trace.rank_events(0).back().t_end, 700.0);
+}
+
+TEST(EdgeCases, ManyRanksSmoke) {
+  const RunResult result =
+      run_simulation(config_of(64, 1.0, 9), [](Comm& comm) {
+        const int next = (comm.rank() + 1) % comm.size();
+        const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+        Request r = comm.irecv(prev, 0);
+        comm.send(next, 0);
+        (void)comm.wait(r);
+        (void)comm.allreduce_sum(1.0);
+      });
+  EXPECT_EQ(result.trace.num_ranks(), 64);
+  EXPECT_GT(result.stats.messages, 64u);
+}
+
+TEST(EdgeCases, EmptyProgramGraphAndKernels) {
+  const RunResult result = run_simulation(config_of(3), [](Comm&) {});
+  const graph::EventGraph graph =
+      graph::EventGraph::from_trace(result.trace);
+  EXPECT_EQ(graph.num_nodes(), 6u);  // init + finalize per rank
+  EXPECT_TRUE(graph.message_edges().empty());
+  const auto kernel = kernels::make_kernel("wl:2");
+  const kernels::LabeledGraph labeled = kernels::build_labeled_graph(
+      graph, kernels::LabelPolicy::kTypePeer);
+  EXPECT_DOUBLE_EQ(kernel->distance(labeled, labeled), 0.0);
+}
+
+TEST(EdgeCases, SelfSendViaSendrecv) {
+  run_simulation(config_of(1), [](Comm& comm) {
+    const RecvResult r =
+        comm.sendrecv(0, 0, payload_from_u64(5), 0, 0);
+    EXPECT_EQ(u64_from_payload(r.payload), 5u);
+    EXPECT_EQ(r.source, 0);
+  });
+}
+
+TEST(EdgeCases, RecvOnSingleRankWorldDeadlocksCleanly) {
+  EXPECT_THROW(
+      run_simulation(config_of(1), [](Comm& comm) { (void)comm.recv(); }),
+      DeadlockError);
+}
+
+TEST(EdgeCases, LargePayloadIntegrity) {
+  std::vector<double> values(4096);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i) * 0.5;
+  }
+  run_simulation(config_of(2, 1.0), [&values](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, payload_from_doubles(values));
+    } else {
+      EXPECT_EQ(doubles_from_payload(comm.recv().payload), values);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace anacin::sim

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace anacin::sim {
+namespace {
+
+SimConfig two_node_config() {
+  SimConfig config;
+  config.num_ranks = 8;
+  config.num_nodes = 2;
+  return config;
+}
+
+TEST(NodeMapping, BlockMappingSplitsEvenly) {
+  const SimConfig config = two_node_config();
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(config.node_of(r), 0);
+  for (int r = 4; r < 8; ++r) EXPECT_EQ(config.node_of(r), 1);
+}
+
+TEST(NodeMapping, UnevenRanksStillCovered) {
+  SimConfig config;
+  config.num_ranks = 5;
+  config.num_nodes = 2;
+  // ceil(5/2)=3 ranks per node: 0,1,2 -> node 0; 3,4 -> node 1.
+  EXPECT_EQ(config.node_of(2), 0);
+  EXPECT_EQ(config.node_of(3), 1);
+  EXPECT_EQ(config.node_of(4), 1);
+}
+
+TEST(NodeMapping, SingleNodePutsEveryoneTogether) {
+  SimConfig config;
+  config.num_ranks = 16;
+  config.num_nodes = 1;
+  for (int r = 0; r < 16; ++r) EXPECT_EQ(config.node_of(r), 0);
+}
+
+TEST(NetworkModel, DelayAtLeastBaseLatency) {
+  const SimConfig config = two_node_config();
+  NetworkModel model(config.network, config, Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    const auto d = model.sample(0, 1, 0);
+    EXPECT_GE(d.delay_us, config.network.latency_intra_us);
+  }
+}
+
+TEST(NetworkModel, InterNodeLatencyHigher) {
+  SimConfig config = two_node_config();
+  config.network.nd_fraction = 0.0;
+  NetworkModel model(config.network, config, Rng(1));
+  const auto intra = model.sample(0, 1, 0);
+  const auto inter = model.sample(0, 7, 0);
+  EXPECT_DOUBLE_EQ(intra.delay_us, config.network.latency_intra_us);
+  EXPECT_DOUBLE_EQ(inter.delay_us, config.network.latency_inter_us);
+  EXPECT_GT(inter.delay_us, intra.delay_us);
+}
+
+TEST(NetworkModel, BandwidthTermScalesWithSize) {
+  SimConfig config = two_node_config();
+  config.network.nd_fraction = 0.0;
+  NetworkModel model(config.network, config, Rng(1));
+  const auto small = model.sample(0, 1, 0);
+  const auto big = model.sample(0, 1, 100000);
+  EXPECT_NEAR(big.delay_us - small.delay_us,
+              100000.0 / config.network.bandwidth_bytes_per_us, 1e-9);
+}
+
+TEST(NetworkModel, ZeroNdNeverJitters) {
+  SimConfig config = two_node_config();
+  config.network.nd_fraction = 0.0;
+  NetworkModel model(config.network, config, Rng(1));
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(model.sample(0, 1, 0).jittered);
+}
+
+TEST(NetworkModel, FullNdAlwaysJitters) {
+  SimConfig config = two_node_config();
+  config.network.nd_fraction = 1.0;
+  NetworkModel model(config.network, config, Rng(1));
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(model.sample(0, 1, 0).jittered);
+}
+
+TEST(NetworkModel, InterNodeLinksJitterMoreOften) {
+  SimConfig config = two_node_config();
+  config.network.nd_fraction = 0.2;
+  config.network.inter_node_nd_multiplier = 3.0;
+  NetworkModel model(config.network, config, Rng(1));
+  int intra_jittered = 0;
+  int inter_jittered = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample(0, 1, 0).jittered) ++intra_jittered;  // same node
+    if (model.sample(0, 7, 0).jittered) ++inter_jittered;  // across nodes
+  }
+  EXPECT_NEAR(static_cast<double>(intra_jittered) / n, 0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(inter_jittered) / n, 0.6, 0.02);
+}
+
+TEST(NetworkModel, InterNodeMultiplierCapsAtOne) {
+  SimConfig config = two_node_config();
+  config.network.nd_fraction = 0.9;
+  config.network.inter_node_nd_multiplier = 5.0;
+  NetworkModel model(config.network, config, Rng(1));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(model.sample(0, 7, 0).jittered);
+  }
+}
+
+TEST(NetworkConfig, RejectsSubUnitInterNodeMultiplier) {
+  NetworkConfig config;
+  config.inter_node_nd_multiplier = 0.5;
+  EXPECT_THROW(config.validate(), Error);
+}
+
+TEST(NetworkModel, PartialNdJittersAboutTheRightFraction) {
+  SimConfig config = two_node_config();
+  config.network.nd_fraction = 0.3;
+  NetworkModel model(config.network, config, Rng(1));
+  int jittered = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample(0, 1, 0).jittered) ++jittered;
+  }
+  EXPECT_NEAR(static_cast<double>(jittered) / n, 0.3, 0.02);
+}
+
+TEST(NetworkModel, OutOfRangeRankRejected) {
+  const SimConfig config = two_node_config();
+  NetworkModel model(config.network, config, Rng(1));
+  EXPECT_THROW(model.node_of(8), Error);
+  EXPECT_THROW(model.node_of(-1), Error);
+}
+
+TEST(NetworkConfig, ValidationCatchesBadValues) {
+  NetworkConfig config;
+  config.nd_fraction = 1.5;
+  EXPECT_THROW(config.validate(), Error);
+  config.nd_fraction = -0.1;
+  EXPECT_THROW(config.validate(), Error);
+  config.nd_fraction = 0.5;
+  config.bandwidth_bytes_per_us = 0.0;
+  EXPECT_THROW(config.validate(), Error);
+}
+
+TEST(NetworkConfig, JsonRoundTrip) {
+  NetworkConfig config;
+  config.nd_fraction = 0.75;
+  config.latency_inter_us = 12.5;
+  const NetworkConfig copy = NetworkConfig::from_json(config.to_json());
+  EXPECT_DOUBLE_EQ(copy.nd_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(copy.latency_inter_us, 12.5);
+}
+
+TEST(SimConfigValidation, RejectsBadShapes) {
+  SimConfig config;
+  config.num_ranks = 0;
+  EXPECT_THROW(config.validate(), Error);
+  config.num_ranks = 4;
+  config.num_nodes = 5;
+  EXPECT_THROW(config.validate(), Error);
+  config.num_nodes = 0;
+  EXPECT_THROW(config.validate(), Error);
+}
+
+TEST(MultiNode, CrossNodeTrafficIsSlower) {
+  // Same program on 1 node vs 2 nodes: the 2-node run's makespan must be
+  // larger because half the messages pay inter-node latency.
+  auto pingpong = [](Comm& comm) {
+    const int peer = comm.rank() == 0 ? comm.size() - 1 : 0;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 50; ++i) {
+        comm.send(peer, 0);
+        (void)comm.recv(peer, 0);
+      }
+    } else if (comm.rank() == comm.size() - 1) {
+      for (int i = 0; i < 50; ++i) {
+        (void)comm.recv(0, 0);
+        comm.send(0, 0);
+      }
+    }
+  };
+  SimConfig one_node;
+  one_node.num_ranks = 4;
+  one_node.num_nodes = 1;
+  one_node.network.nd_fraction = 0.0;
+  SimConfig two_nodes = one_node;
+  two_nodes.num_nodes = 2;
+
+  const RunResult a = run_simulation(one_node, pingpong);
+  const RunResult b = run_simulation(two_nodes, pingpong);
+  EXPECT_GT(b.stats.makespan_us, a.stats.makespan_us);
+}
+
+}  // namespace
+}  // namespace anacin::sim

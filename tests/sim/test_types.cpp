@@ -1,0 +1,60 @@
+#include "sim/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace anacin::sim {
+namespace {
+
+TEST(Payload, DoubleRoundTrip) {
+  EXPECT_DOUBLE_EQ(double_from_payload(payload_from_double(3.14159)),
+                   3.14159);
+  EXPECT_DOUBLE_EQ(double_from_payload(payload_from_double(-0.0)), -0.0);
+  EXPECT_DOUBLE_EQ(double_from_payload(payload_from_double(1e308)), 1e308);
+}
+
+TEST(Payload, DoublesRoundTrip) {
+  const std::vector<double> values{1.0, -2.5, 1e-9, 4e7};
+  EXPECT_EQ(doubles_from_payload(payload_from_doubles(values)), values);
+  EXPECT_TRUE(doubles_from_payload(payload_from_doubles({})).empty());
+}
+
+TEST(Payload, U64RoundTrip) {
+  EXPECT_EQ(u64_from_payload(payload_from_u64(0)), 0u);
+  EXPECT_EQ(u64_from_payload(payload_from_u64(~0ull)), ~0ull);
+}
+
+TEST(Payload, StringRoundTrip) {
+  EXPECT_EQ(string_from_payload(payload_from_string("hello\0x"
+                                                    " world")),
+            std::string("hello\0x"
+                        " world"));
+  EXPECT_EQ(string_from_payload(payload_from_string("")), "");
+}
+
+TEST(Payload, SizeHelper) {
+  EXPECT_EQ(payload_of_size(0).size(), 0u);
+  EXPECT_EQ(payload_of_size(1024).size(), 1024u);
+}
+
+TEST(Payload, WrongSizeDecodeThrows) {
+  const Payload three_bytes = payload_of_size(3);
+  EXPECT_THROW(double_from_payload(three_bytes), Error);
+  EXPECT_THROW(u64_from_payload(three_bytes), Error);
+  EXPECT_THROW(doubles_from_payload(three_bytes), Error);
+}
+
+TEST(Request, DefaultIsInvalid) {
+  const Request request;
+  EXPECT_FALSE(request.valid());
+}
+
+TEST(Constants, WildcardsAreNegative) {
+  EXPECT_LT(kAnySource, 0);
+  EXPECT_LT(kAnyTag, 0);
+  EXPECT_GT(kCollectiveTagBase, 0);
+}
+
+}  // namespace
+}  // namespace anacin::sim

@@ -1,0 +1,139 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "support/error.hpp"
+
+namespace anacin {
+namespace {
+
+TEST(ArgParser, ParsesAllOptionKinds) {
+  int count = 1;
+  double ratio = 0.5;
+  std::string name = "default";
+  bool verbose = false;
+  std::uint64_t seed = 0;
+
+  ArgParser parser("test");
+  parser.add_int("count", "a count", &count);
+  parser.add_double("ratio", "a ratio", &ratio);
+  parser.add_string("name", "a name", &name);
+  parser.add_flag("verbose", "chatty", &verbose);
+  parser.add_uint64("seed", "rng seed", &seed);
+
+  const std::array<const char*, 10> argv{"prog",    "--count", "42",
+                                         "--ratio", "0.25",    "--name",
+                                         "x",       "--verbose", "--seed",
+                                         "123456789012345"};
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(count, 42);
+  EXPECT_DOUBLE_EQ(ratio, 0.25);
+  EXPECT_EQ(name, "x");
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(seed, 123456789012345ull);
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  int count = 0;
+  ArgParser parser("test");
+  parser.add_int("count", "", &count);
+  const std::array<const char*, 2> argv{"prog", "--count=7"};
+  ASSERT_TRUE(parser.parse(2, argv.data()));
+  EXPECT_EQ(count, 7);
+}
+
+TEST(ArgParser, DefaultsSurviveWhenUnset) {
+  int count = 9;
+  ArgParser parser("test");
+  parser.add_int("count", "", &count);
+  const std::array<const char*, 1> argv{"prog"};
+  ASSERT_TRUE(parser.parse(1, argv.data()));
+  EXPECT_EQ(count, 9);
+}
+
+TEST(ArgParser, UnknownOptionThrows) {
+  ArgParser parser("test");
+  const std::array<const char*, 2> argv{"prog", "--nope"};
+  EXPECT_THROW(parser.parse(2, argv.data()), ConfigError);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  int count = 0;
+  ArgParser parser("test");
+  parser.add_int("count", "", &count);
+  const std::array<const char*, 2> argv{"prog", "--count"};
+  EXPECT_THROW(parser.parse(2, argv.data()), ConfigError);
+}
+
+TEST(ArgParser, MalformedNumberThrows) {
+  int count = 0;
+  double ratio = 0;
+  ArgParser parser("test");
+  parser.add_int("count", "", &count);
+  parser.add_double("ratio", "", &ratio);
+  {
+    const std::array<const char*, 3> argv{"prog", "--count", "12x"};
+    EXPECT_THROW(parser.parse(3, argv.data()), ConfigError);
+  }
+  {
+    const std::array<const char*, 3> argv{"prog", "--ratio", "abc"};
+    EXPECT_THROW(parser.parse(3, argv.data()), ConfigError);
+  }
+}
+
+TEST(ArgParser, FlagRejectsValue) {
+  bool flag = false;
+  ArgParser parser("test");
+  parser.add_flag("flag", "", &flag);
+  const std::array<const char*, 2> argv{"prog", "--flag=true"};
+  EXPECT_THROW(parser.parse(2, argv.data()), ConfigError);
+}
+
+TEST(ArgParser, PositionalArgumentRejected) {
+  ArgParser parser("test");
+  const std::array<const char*, 2> argv{"prog", "stray"};
+  EXPECT_THROW(parser.parse(2, argv.data()), ConfigError);
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  ArgParser parser("test tool");
+  const std::array<const char*, 2> argv{"prog", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv.data()));
+}
+
+TEST(ArgParser, HelpTextMentionsOptionsAndDefaults) {
+  int count = 3;
+  ArgParser parser("my tool");
+  parser.add_int("count", "how many", &count);
+  const std::string help = parser.help_text();
+  EXPECT_NE(help.find("my tool"), std::string::npos);
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("how many"), std::string::npos);
+  EXPECT_NE(help.find("default: 3"), std::string::npos);
+}
+
+TEST(ArgParser, DuplicateOptionNameRejected) {
+  int a = 0;
+  int b = 0;
+  ArgParser parser("test");
+  parser.add_int("x", "", &a);
+  EXPECT_THROW(parser.add_int("x", "", &b), Error);
+}
+
+TEST(ArgParser, NegativeNumbersParse) {
+  int count = 0;
+  double ratio = 0;
+  ArgParser parser("test");
+  parser.add_int("count", "", &count);
+  parser.add_double("ratio", "", &ratio);
+  const std::array<const char*, 5> argv{"prog", "--count", "-4", "--ratio",
+                                        "-1.5"};
+  ASSERT_TRUE(parser.parse(5, argv.data()));
+  EXPECT_EQ(count, -4);
+  EXPECT_DOUBLE_EQ(ratio, -1.5);
+}
+
+}  // namespace
+}  // namespace anacin

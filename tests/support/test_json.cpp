@@ -1,0 +1,149 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace anacin::json {
+namespace {
+
+TEST(Json, ScalarConstruction) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(nullptr).is_null());
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_DOUBLE_EQ(Value(2.5).as_number(), 2.5);
+  EXPECT_EQ(Value(7).as_int(), 7);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+}
+
+TEST(Json, TypeMismatchThrows) {
+  EXPECT_THROW(Value(1).as_string(), ParseError);
+  EXPECT_THROW(Value("x").as_number(), ParseError);
+  EXPECT_THROW(Value(true).at(0), ParseError);
+  EXPECT_THROW(Value(true).at("k"), ParseError);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Value obj = Value::object();
+  obj.set("zebra", 1);
+  obj.set("alpha", 2);
+  obj.set("mid", 3);
+  const auto& members = obj.members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "zebra");
+  EXPECT_EQ(members[1].first, "alpha");
+  EXPECT_EQ(members[2].first, "mid");
+}
+
+TEST(Json, ObjectSetOverwrites) {
+  Value obj = Value::object();
+  obj.set("k", 1);
+  obj.set("k", 2);
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_EQ(obj.at("k").as_int(), 2);
+}
+
+TEST(Json, FindMissingReturnsNull) {
+  Value obj = Value::object();
+  obj.set("present", 1);
+  EXPECT_NE(obj.find("present"), nullptr);
+  EXPECT_EQ(obj.find("absent"), nullptr);
+  EXPECT_THROW(obj.at("absent"), ParseError);
+}
+
+TEST(Json, DumpCompactRoundTrip) {
+  Value doc = Value::object();
+  doc.set("name", "anacin");
+  doc.set("count", 3);
+  doc.set("ratio", 0.25);
+  doc.set("ok", true);
+  doc.set("nothing", nullptr);
+  Value list = Value::array();
+  list.push_back(1);
+  list.push_back("two");
+  doc.set("list", std::move(list));
+
+  const Value parsed = parse(doc.dump());
+  EXPECT_EQ(parsed, doc);
+}
+
+TEST(Json, DumpIndentedParses) {
+  Value doc = Value::object();
+  Value inner = Value::object();
+  inner.set("x", 1);
+  doc.set("inner", std::move(inner));
+  const std::string text = doc.dump(2);
+  EXPECT_NE(text.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(text), doc);
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  Value doc = Value::object();
+  doc.set("s", "line\nquote\"back\\slash\ttab");
+  const Value parsed = parse(doc.dump());
+  EXPECT_EQ(parsed.at("s").as_string(), "line\nquote\"back\\slash\ttab");
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  const Value v = parse(R"("aAb")");
+  EXPECT_EQ(v.as_string(), "aAb");
+}
+
+TEST(Json, ParseNumbers) {
+  EXPECT_DOUBLE_EQ(parse("3.5").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(parse("-2e3").as_number(), -2000.0);
+  EXPECT_EQ(parse("12").as_int(), 12);
+}
+
+TEST(Json, LargeIntegerRoundTripsExactly) {
+  Value v(std::int64_t{1234567890123});
+  EXPECT_EQ(parse(v.dump()).as_int(), 1234567890123);
+}
+
+TEST(Json, ParseLiterals) {
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_TRUE(parse("null").is_null());
+}
+
+TEST(Json, ParseNestedContainers) {
+  const Value doc = parse(R"({"a": [1, {"b": [true, null]}], "c": {}})");
+  EXPECT_EQ(doc.at("a").at(1).at("b").at(0).as_bool(), true);
+  EXPECT_TRUE(doc.at("c").is_object());
+  EXPECT_EQ(doc.at("c").size(), 0u);
+}
+
+TEST(Json, ParseWhitespaceTolerant) {
+  const Value doc = parse("  {\n\t\"a\" :  1 , \"b\" : [ ]\r\n}  ");
+  EXPECT_EQ(doc.at("a").as_int(), 1);
+  EXPECT_EQ(doc.at("b").size(), 0u);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,]"), ParseError);
+  EXPECT_THROW(parse("{\"a\":1,}"), ParseError);
+  EXPECT_THROW(parse("tru"), ParseError);
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+  EXPECT_THROW(parse("1 2"), ParseError);
+  EXPECT_THROW(parse("{\"a\" 1}"), ParseError);
+}
+
+TEST(Json, ArrayOfHelper) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  const Value arr = Value::array_of(values);
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr.at(2).as_number(), 3.0);
+}
+
+TEST(Json, EqualityIsDeep) {
+  const Value a = parse(R"({"x": [1, 2]})");
+  const Value b = parse(R"({"x": [1, 2]})");
+  const Value c = parse(R"({"x": [2, 1]})");
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace anacin::json

@@ -1,0 +1,56 @@
+#include "support/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anacin::log {
+namespace {
+
+class LogThresholdGuard {
+public:
+  LogThresholdGuard() : saved_(threshold()) {}
+  ~LogThresholdGuard() { set_threshold(saved_); }
+
+private:
+  Level saved_;
+};
+
+TEST(Log, ThresholdIsAdjustable) {
+  const LogThresholdGuard guard;
+  set_threshold(Level::kDebug);
+  EXPECT_EQ(threshold(), Level::kDebug);
+  set_threshold(Level::kError);
+  EXPECT_EQ(threshold(), Level::kError);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(level_name(Level::kDebug), "DEBUG");
+  EXPECT_STREQ(level_name(Level::kInfo), "INFO");
+  EXPECT_STREQ(level_name(Level::kWarn), "WARN");
+  EXPECT_STREQ(level_name(Level::kError), "ERROR");
+  EXPECT_STREQ(level_name(Level::kOff), "OFF");
+}
+
+TEST(Log, MacroRespectsThreshold) {
+  const LogThresholdGuard guard;
+  set_threshold(Level::kOff);
+  int evaluations = 0;
+  // The stream expression must not be evaluated below the threshold.
+  ANACIN_LOG_DEBUG("count " << ++evaluations);
+  EXPECT_EQ(evaluations, 0);
+  set_threshold(Level::kDebug);
+  testing::internal::CaptureStderr();
+  ANACIN_LOG_DEBUG("count " << ++evaluations);
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(output.find("[anacin:DEBUG] count 1"), std::string::npos);
+}
+
+TEST(Log, WriteEmitsPrefixedLine) {
+  testing::internal::CaptureStderr();
+  write(Level::kWarn, "something odd");
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(output, "[anacin:WARN] something odd\n");
+}
+
+}  // namespace
+}  // namespace anacin::log

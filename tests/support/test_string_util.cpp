@@ -1,0 +1,67 @@
+#include "support/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anacin {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, EmptyInputYieldsOneField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Join, RoundTripWithSplit) {
+  const std::vector<std::string> parts{"x", "", "yz"};
+  EXPECT_EQ(join(parts, "|"), "x||yz");
+  EXPECT_EQ(split(join(parts, "|"), '|'), parts);
+}
+
+TEST(Join, EmptyVector) { EXPECT_EQ(join({}, ","), ""); }
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("MiXeD 123"), "mixed 123");
+}
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-0.5, 3), "-0.500");
+}
+
+TEST(Pad, RightPadsAndTruncates) {
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_right("abcdef", 3), "abc");
+}
+
+TEST(Pad, LeftPadsWithoutTruncating) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace anacin

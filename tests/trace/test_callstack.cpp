@@ -1,0 +1,52 @@
+#include "trace/callstack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace anacin::trace {
+namespace {
+
+TEST(CallstackRegistry, EmptyPathIsIdZero) {
+  CallstackRegistry registry;
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.path(0), "");
+  EXPECT_EQ(registry.intern(""), 0u);
+}
+
+TEST(CallstackRegistry, InternDeduplicates) {
+  CallstackRegistry registry;
+  const auto a = registry.intern("main>MPI_Send");
+  const auto b = registry.intern("main>MPI_Recv");
+  const auto a2 = registry.intern("main>MPI_Send");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(CallstackRegistry, PathLookupRoundTrips) {
+  CallstackRegistry registry;
+  const auto id = registry.intern("a>b>c");
+  EXPECT_EQ(registry.path(id), "a>b>c");
+}
+
+TEST(CallstackRegistry, OutOfRangeIdThrows) {
+  CallstackRegistry registry;
+  EXPECT_THROW(registry.path(99), Error);
+}
+
+TEST(CallstackRegistry, InternFramesJoins) {
+  CallstackRegistry registry;
+  const auto id = registry.intern_frames({"main", "phase1", "MPI_Irecv"});
+  EXPECT_EQ(registry.path(id), "main>phase1>MPI_Irecv");
+  EXPECT_EQ(registry.intern("main>phase1>MPI_Irecv"), id);
+}
+
+TEST(JoinFrames, EdgeCases) {
+  EXPECT_EQ(join_frames({}), "");
+  EXPECT_EQ(join_frames({"solo"}), "solo");
+  EXPECT_EQ(join_frames({"a", "b"}), "a>b");
+}
+
+}  // namespace
+}  // namespace anacin::trace

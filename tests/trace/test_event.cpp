@@ -1,0 +1,34 @@
+#include "trace/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace anacin::trace {
+namespace {
+
+TEST(EventType, NamesRoundTrip) {
+  for (const EventType type : {EventType::kInit, EventType::kSend,
+                               EventType::kRecv, EventType::kFinalize}) {
+    EXPECT_EQ(event_type_from_name(event_type_name(type)), type);
+  }
+}
+
+TEST(EventType, UnknownNameThrows) {
+  EXPECT_THROW(event_type_from_name("bogus"), ParseError);
+  EXPECT_THROW(event_type_from_name(""), ParseError);
+}
+
+TEST(Event, DefaultsAreInert) {
+  const Event e;
+  EXPECT_EQ(e.type, EventType::kInit);
+  EXPECT_EQ(e.peer, -1);
+  EXPECT_EQ(e.matched_rank, -1);
+  EXPECT_EQ(e.matched_seq, -1);
+  EXPECT_EQ(e.posted_source, -2);
+  EXPECT_EQ(e.callstack_id, 0u);
+  EXPECT_FALSE(e.jittered);
+}
+
+}  // namespace
+}  // namespace anacin::trace

@@ -1,0 +1,86 @@
+#include "trace/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/event_graph.hpp"
+#include "sim/simulator.hpp"
+
+namespace anacin::trace {
+namespace {
+
+trace::Trace mixed_traffic_trace() {
+  sim::SimConfig config;
+  config.num_ranks = 4;
+  config.network.nd_fraction = 0.0;
+  return sim::run_simulation(config,
+                             [](sim::Comm& comm) {
+                               // User traffic...
+                               if (comm.rank() == 0) {
+                                 for (int i = 0; i < comm.size() - 1; ++i) {
+                                   (void)comm.recv();
+                                 }
+                               } else {
+                                 comm.send(0, 0);
+                               }
+                               // ...plus collective traffic.
+                               comm.barrier();
+                               (void)comm.allreduce_sum(1.0);
+                             })
+      .trace;
+}
+
+TEST(TraceFilter, StripsOnlyCollectiveEvents) {
+  const Trace original = mixed_traffic_trace();
+  const Trace filtered =
+      strip_events_with_tag_at_least(original, sim::kCollectiveTagBase);
+  EXPECT_LT(filtered.total_events(), original.total_events());
+  for (int rank = 0; rank < filtered.num_ranks(); ++rank) {
+    for (const Event& event : filtered.rank_events(rank)) {
+      if (event.type == EventType::kSend ||
+          event.type == EventType::kRecv) {
+        EXPECT_LT(event.tag, sim::kCollectiveTagBase);
+      }
+    }
+  }
+  // The user message race (3 messages) survives intact.
+  std::size_t recvs = 0;
+  for (const Event& event : filtered.rank_events(0)) {
+    if (event.type == EventType::kRecv) ++recvs;
+  }
+  EXPECT_EQ(recvs, 3u);
+}
+
+TEST(TraceFilter, MatchedSeqsAreRemapped) {
+  const Trace filtered = strip_events_with_tag_at_least(
+      mixed_traffic_trace(), sim::kCollectiveTagBase);
+  // The filtered trace must still build a consistent event graph: every
+  // recv's matched reference resolves to a send.
+  const graph::EventGraph graph = graph::EventGraph::from_trace(filtered);
+  EXPECT_TRUE(graph.digraph().is_dag());
+  EXPECT_EQ(graph.message_edges().size(), 3u);
+}
+
+TEST(TraceFilter, ThresholdZeroDropsAllMessaging) {
+  const Trace filtered =
+      strip_events_with_tag_at_least(mixed_traffic_trace(), 0);
+  for (int rank = 0; rank < filtered.num_ranks(); ++rank) {
+    EXPECT_EQ(filtered.rank_events(rank).size(), 2u);  // init + finalize
+  }
+}
+
+TEST(TraceFilter, HugeThresholdIsIdentity) {
+  const Trace original = mixed_traffic_trace();
+  const Trace filtered =
+      strip_events_with_tag_at_least(original, 1 << 30);
+  EXPECT_EQ(original.to_json().dump(), filtered.to_json().dump());
+}
+
+TEST(TraceFilter, CallstacksPreserved) {
+  const Trace original = mixed_traffic_trace();
+  const Trace filtered =
+      strip_events_with_tag_at_least(original, sim::kCollectiveTagBase);
+  EXPECT_EQ(original.callstacks().paths(), filtered.callstacks().paths());
+}
+
+}  // namespace
+}  // namespace anacin::trace

@@ -1,0 +1,120 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace anacin::trace {
+namespace {
+
+Event make_event(EventType type, int rank, double t) {
+  Event e;
+  e.type = type;
+  e.rank = rank;
+  e.t_start = t;
+  e.t_end = t;
+  return e;
+}
+
+TEST(Trace, AppendAssignsSequentialSeqs) {
+  Trace trace(2, 1);
+  EXPECT_EQ(trace.append(make_event(EventType::kInit, 0, 0.0)), 0);
+  EXPECT_EQ(trace.append(make_event(EventType::kSend, 0, 1.0)), 1);
+  EXPECT_EQ(trace.append(make_event(EventType::kInit, 1, 0.0)), 0);
+  EXPECT_EQ(trace.total_events(), 3u);
+}
+
+TEST(Trace, RejectsOutOfRangeRank) {
+  Trace trace(2, 1);
+  EXPECT_THROW(trace.append(make_event(EventType::kInit, 2, 0.0)), Error);
+  EXPECT_THROW(trace.append(make_event(EventType::kInit, -1, 0.0)), Error);
+}
+
+TEST(Trace, RejectsTimeRegression) {
+  Trace trace(1, 1);
+  trace.append(make_event(EventType::kInit, 0, 5.0));
+  EXPECT_THROW(trace.append(make_event(EventType::kSend, 0, 4.0)), Error);
+}
+
+TEST(Trace, EventLookupById) {
+  Trace trace(2, 1);
+  trace.append(make_event(EventType::kInit, 1, 0.0));
+  Event send = make_event(EventType::kSend, 1, 2.0);
+  send.peer = 0;
+  trace.append(send);
+  const Event& fetched = trace.event(EventId{1, 1});
+  EXPECT_EQ(fetched.type, EventType::kSend);
+  EXPECT_EQ(fetched.peer, 0);
+  EXPECT_THROW(trace.event(EventId{1, 5}), Error);
+  EXPECT_THROW(trace.event(EventId{3, 0}), Error);
+}
+
+TEST(Trace, MakespanIsMaxEndTime) {
+  Trace trace(2, 1);
+  trace.append(make_event(EventType::kInit, 0, 0.0));
+  trace.append(make_event(EventType::kFinalize, 0, 7.5));
+  trace.append(make_event(EventType::kInit, 1, 0.0));
+  trace.append(make_event(EventType::kFinalize, 1, 3.0));
+  EXPECT_DOUBLE_EQ(trace.makespan(), 7.5);
+}
+
+TEST(Trace, EmptyTraceMakespanZero) {
+  const Trace trace(1, 1);
+  EXPECT_DOUBLE_EQ(trace.makespan(), 0.0);
+}
+
+TEST(Trace, JsonRoundTripPreservesEverything) {
+  Trace trace(2, 2);
+  const auto cs = trace.callstacks().intern("main>MPI_Send");
+
+  trace.append(make_event(EventType::kInit, 0, 0.0));
+  Event send = make_event(EventType::kSend, 0, 1.25);
+  send.peer = 1;
+  send.tag = 3;
+  send.size_bytes = 64;
+  send.callstack_id = cs;
+  send.jittered = true;
+  trace.append(send);
+
+  trace.append(make_event(EventType::kInit, 1, 0.0));
+  Event recv = make_event(EventType::kRecv, 1, 2.5);
+  recv.peer = 0;
+  recv.tag = 3;
+  recv.matched_rank = 0;
+  recv.matched_seq = 1;
+  recv.posted_source = -1;
+  recv.posted_tag = 3;
+  trace.append(recv);
+
+  const Trace copy = Trace::from_json(trace.to_json());
+  EXPECT_EQ(copy.num_ranks(), 2);
+  EXPECT_EQ(copy.num_nodes(), 2);
+  EXPECT_EQ(copy.total_events(), 4u);
+  EXPECT_EQ(copy.callstacks().path(cs), "main>MPI_Send");
+
+  const Event& copy_send = copy.event(EventId{0, 1});
+  EXPECT_EQ(copy_send.type, EventType::kSend);
+  EXPECT_EQ(copy_send.peer, 1);
+  EXPECT_EQ(copy_send.tag, 3);
+  EXPECT_EQ(copy_send.size_bytes, 64u);
+  EXPECT_DOUBLE_EQ(copy_send.t_start, 1.25);
+  EXPECT_TRUE(copy_send.jittered);
+
+  const Event& copy_recv = copy.event(EventId{1, 1});
+  EXPECT_EQ(copy_recv.matched_rank, 0);
+  EXPECT_EQ(copy_recv.matched_seq, 1);
+  EXPECT_EQ(copy_recv.posted_source, -1);
+  EXPECT_EQ(copy_recv.posted_tag, 3);
+
+  // Serialization is stable: dumping twice gives identical text.
+  EXPECT_EQ(trace.to_json().dump(), copy.to_json().dump());
+}
+
+TEST(Trace, FromJsonRejectsWrongSchema) {
+  EXPECT_THROW(Trace::from_json(json::parse(R"({"schema": "other"})")),
+               ParseError);
+  EXPECT_THROW(Trace::from_json(json::parse("[]")), ParseError);
+}
+
+}  // namespace
+}  // namespace anacin::trace
