@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_kernel_comparison"
+  "../bench/ablation_kernel_comparison.pdb"
+  "CMakeFiles/ablation_kernel_comparison.dir/ablation_kernel_comparison.cpp.o"
+  "CMakeFiles/ablation_kernel_comparison.dir/ablation_kernel_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kernel_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

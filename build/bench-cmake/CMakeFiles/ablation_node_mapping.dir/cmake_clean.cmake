@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_node_mapping"
+  "../bench/ablation_node_mapping.pdb"
+  "CMakeFiles/ablation_node_mapping.dir/ablation_node_mapping.cpp.o"
+  "CMakeFiles/ablation_node_mapping.dir/ablation_node_mapping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_node_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_replay"
+  "../bench/ablation_replay.pdb"
+  "CMakeFiles/ablation_replay.dir/ablation_replay.cpp.o"
+  "CMakeFiles/ablation_replay.dir/ablation_replay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_wl_depth"
+  "../bench/ablation_wl_depth.pdb"
+  "CMakeFiles/ablation_wl_depth.dir/ablation_wl_depth.cpp.o"
+  "CMakeFiles/ablation_wl_depth.dir/ablation_wl_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wl_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extra_comm_matrices"
+  "../bench/extra_comm_matrices.pdb"
+  "CMakeFiles/extra_comm_matrices.dir/extra_comm_matrices.cpp.o"
+  "CMakeFiles/extra_comm_matrices.dir/extra_comm_matrices.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_comm_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

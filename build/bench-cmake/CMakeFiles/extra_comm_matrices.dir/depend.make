@@ -1,0 +1,2 @@
+# Empty dependencies file for extra_comm_matrices.
+# This may be replaced when dependencies are built.

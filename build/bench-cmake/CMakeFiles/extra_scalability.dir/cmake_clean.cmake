@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extra_scalability"
+  "../bench/extra_scalability.pdb"
+  "CMakeFiles/extra_scalability.dir/extra_scalability.cpp.o"
+  "CMakeFiles/extra_scalability.dir/extra_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

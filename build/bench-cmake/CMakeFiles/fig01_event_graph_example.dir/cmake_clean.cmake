@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_event_graph_example"
+  "../bench/fig01_event_graph_example.pdb"
+  "CMakeFiles/fig01_event_graph_example.dir/fig01_event_graph_example.cpp.o"
+  "CMakeFiles/fig01_event_graph_example.dir/fig01_event_graph_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_event_graph_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

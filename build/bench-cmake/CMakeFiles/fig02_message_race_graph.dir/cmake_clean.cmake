@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_message_race_graph"
+  "../bench/fig02_message_race_graph.pdb"
+  "CMakeFiles/fig02_message_race_graph.dir/fig02_message_race_graph.cpp.o"
+  "CMakeFiles/fig02_message_race_graph.dir/fig02_message_race_graph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_message_race_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

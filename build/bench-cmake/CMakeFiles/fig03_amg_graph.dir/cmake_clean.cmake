@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_amg_graph"
+  "../bench/fig03_amg_graph.pdb"
+  "CMakeFiles/fig03_amg_graph.dir/fig03_amg_graph.cpp.o"
+  "CMakeFiles/fig03_amg_graph.dir/fig03_amg_graph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_amg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

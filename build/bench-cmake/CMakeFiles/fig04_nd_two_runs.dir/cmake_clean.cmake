@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_nd_two_runs"
+  "../bench/fig04_nd_two_runs.pdb"
+  "CMakeFiles/fig04_nd_two_runs.dir/fig04_nd_two_runs.cpp.o"
+  "CMakeFiles/fig04_nd_two_runs.dir/fig04_nd_two_runs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_nd_two_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

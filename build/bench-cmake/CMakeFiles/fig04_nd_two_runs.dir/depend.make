@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_nd_two_runs.
+# This may be replaced when dependencies are built.

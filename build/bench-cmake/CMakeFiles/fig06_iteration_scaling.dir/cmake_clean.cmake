@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_iteration_scaling"
+  "../bench/fig06_iteration_scaling.pdb"
+  "CMakeFiles/fig06_iteration_scaling.dir/fig06_iteration_scaling.cpp.o"
+  "CMakeFiles/fig06_iteration_scaling.dir/fig06_iteration_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_iteration_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_nd_sweep"
+  "../bench/fig07_nd_sweep.pdb"
+  "CMakeFiles/fig07_nd_sweep.dir/fig07_nd_sweep.cpp.o"
+  "CMakeFiles/fig07_nd_sweep.dir/fig07_nd_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_nd_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_callstack_attribution"
+  "../bench/fig08_callstack_attribution.pdb"
+  "CMakeFiles/fig08_callstack_attribution.dir/fig08_callstack_attribution.cpp.o"
+  "CMakeFiles/fig08_callstack_attribution.dir/fig08_callstack_attribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_callstack_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

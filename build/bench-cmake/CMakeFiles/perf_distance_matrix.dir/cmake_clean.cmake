@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_distance_matrix"
+  "../bench/perf_distance_matrix.pdb"
+  "CMakeFiles/perf_distance_matrix.dir/perf_distance_matrix.cpp.o"
+  "CMakeFiles/perf_distance_matrix.dir/perf_distance_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_distance_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

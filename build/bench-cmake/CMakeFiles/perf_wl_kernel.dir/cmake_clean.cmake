@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_wl_kernel"
+  "../bench/perf_wl_kernel.pdb"
+  "CMakeFiles/perf_wl_kernel.dir/perf_wl_kernel.cpp.o"
+  "CMakeFiles/perf_wl_kernel.dir/perf_wl_kernel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_wl_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab01_course_tables.cpp" "bench-cmake/CMakeFiles/tab01_course_tables.dir/tab01_course_tables.cpp.o" "gcc" "bench-cmake/CMakeFiles/tab01_course_tables.dir/tab01_course_tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/anacin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/course/CMakeFiles/anacin_course.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/anacin_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/anacin_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/anacin_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/anacin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/anacin_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/anacin_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anacin_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/anacin_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/anacin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

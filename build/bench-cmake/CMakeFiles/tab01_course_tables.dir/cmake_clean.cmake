@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_course_tables"
+  "../bench/tab01_course_tables.pdb"
+  "CMakeFiles/tab01_course_tables.dir/tab01_course_tables.cpp.o"
+  "CMakeFiles/tab01_course_tables.dir/tab01_course_tables.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_course_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_runs.dir/clustering_runs.cpp.o"
+  "CMakeFiles/clustering_runs.dir/clustering_runs.cpp.o.d"
+  "clustering_runs"
+  "clustering_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

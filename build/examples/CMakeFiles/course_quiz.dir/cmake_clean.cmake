@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/course_quiz.dir/course_quiz.cpp.o"
+  "CMakeFiles/course_quiz.dir/course_quiz.cpp.o.d"
+  "course_quiz"
+  "course_quiz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/course_quiz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for course_quiz.
+# This may be replaced when dependencies are built.

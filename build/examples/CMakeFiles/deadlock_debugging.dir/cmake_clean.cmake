@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_debugging.dir/deadlock_debugging.cpp.o"
+  "CMakeFiles/deadlock_debugging.dir/deadlock_debugging.cpp.o.d"
+  "deadlock_debugging"
+  "deadlock_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

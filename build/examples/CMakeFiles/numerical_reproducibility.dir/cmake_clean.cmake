@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numerical_reproducibility.dir/numerical_reproducibility.cpp.o"
+  "CMakeFiles/numerical_reproducibility.dir/numerical_reproducibility.cpp.o.d"
+  "numerical_reproducibility"
+  "numerical_reproducibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numerical_reproducibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

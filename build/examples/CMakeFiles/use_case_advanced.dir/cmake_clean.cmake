@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/use_case_advanced.dir/use_case_advanced.cpp.o"
+  "CMakeFiles/use_case_advanced.dir/use_case_advanced.cpp.o.d"
+  "use_case_advanced"
+  "use_case_advanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/use_case_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

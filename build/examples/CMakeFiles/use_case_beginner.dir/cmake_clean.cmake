@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/use_case_beginner.dir/use_case_beginner.cpp.o"
+  "CMakeFiles/use_case_beginner.dir/use_case_beginner.cpp.o.d"
+  "use_case_beginner"
+  "use_case_beginner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/use_case_beginner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

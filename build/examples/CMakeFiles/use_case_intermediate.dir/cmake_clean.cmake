@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/use_case_intermediate.dir/use_case_intermediate.cpp.o"
+  "CMakeFiles/use_case_intermediate.dir/use_case_intermediate.cpp.o.d"
+  "use_case_intermediate"
+  "use_case_intermediate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/use_case_intermediate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("trace")
+subdirs("sim")
+subdirs("realtime")
+subdirs("graph")
+subdirs("kernels")
+subdirs("patterns")
+subdirs("replay")
+subdirs("analysis")
+subdirs("viz")
+subdirs("core")
+subdirs("course")
+subdirs("cli")

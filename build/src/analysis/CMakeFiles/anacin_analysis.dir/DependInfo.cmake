@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/clustering.cpp" "src/analysis/CMakeFiles/anacin_analysis.dir/clustering.cpp.o" "gcc" "src/analysis/CMakeFiles/anacin_analysis.dir/clustering.cpp.o.d"
+  "/root/repo/src/analysis/kde.cpp" "src/analysis/CMakeFiles/anacin_analysis.dir/kde.cpp.o" "gcc" "src/analysis/CMakeFiles/anacin_analysis.dir/kde.cpp.o.d"
+  "/root/repo/src/analysis/nd_measurement.cpp" "src/analysis/CMakeFiles/anacin_analysis.dir/nd_measurement.cpp.o" "gcc" "src/analysis/CMakeFiles/anacin_analysis.dir/nd_measurement.cpp.o.d"
+  "/root/repo/src/analysis/resampling.cpp" "src/analysis/CMakeFiles/anacin_analysis.dir/resampling.cpp.o" "gcc" "src/analysis/CMakeFiles/anacin_analysis.dir/resampling.cpp.o.d"
+  "/root/repo/src/analysis/root_cause.cpp" "src/analysis/CMakeFiles/anacin_analysis.dir/root_cause.cpp.o" "gcc" "src/analysis/CMakeFiles/anacin_analysis.dir/root_cause.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/anacin_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/anacin_analysis.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/anacin_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anacin_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/anacin_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/anacin_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anacin_analysis.dir/clustering.cpp.o"
+  "CMakeFiles/anacin_analysis.dir/clustering.cpp.o.d"
+  "CMakeFiles/anacin_analysis.dir/kde.cpp.o"
+  "CMakeFiles/anacin_analysis.dir/kde.cpp.o.d"
+  "CMakeFiles/anacin_analysis.dir/nd_measurement.cpp.o"
+  "CMakeFiles/anacin_analysis.dir/nd_measurement.cpp.o.d"
+  "CMakeFiles/anacin_analysis.dir/resampling.cpp.o"
+  "CMakeFiles/anacin_analysis.dir/resampling.cpp.o.d"
+  "CMakeFiles/anacin_analysis.dir/root_cause.cpp.o"
+  "CMakeFiles/anacin_analysis.dir/root_cause.cpp.o.d"
+  "CMakeFiles/anacin_analysis.dir/stats.cpp.o"
+  "CMakeFiles/anacin_analysis.dir/stats.cpp.o.d"
+  "libanacin_analysis.a"
+  "libanacin_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anacin_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anacin.dir/main.cpp.o"
+  "CMakeFiles/anacin.dir/main.cpp.o.d"
+  "anacin"
+  "anacin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anacin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anacin_cli.dir/cli_app.cpp.o"
+  "CMakeFiles/anacin_cli.dir/cli_app.cpp.o.d"
+  "libanacin_cli.a"
+  "libanacin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anacin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anacin_core.dir/campaign.cpp.o"
+  "CMakeFiles/anacin_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/anacin_core.dir/experiments.cpp.o"
+  "CMakeFiles/anacin_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/anacin_core.dir/html_report.cpp.o"
+  "CMakeFiles/anacin_core.dir/html_report.cpp.o.d"
+  "CMakeFiles/anacin_core.dir/report.cpp.o"
+  "CMakeFiles/anacin_core.dir/report.cpp.o.d"
+  "libanacin_core.a"
+  "libanacin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anacin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anacin_course.dir/module.cpp.o"
+  "CMakeFiles/anacin_course.dir/module.cpp.o.d"
+  "CMakeFiles/anacin_course.dir/quiz.cpp.o"
+  "CMakeFiles/anacin_course.dir/quiz.cpp.o.d"
+  "CMakeFiles/anacin_course.dir/use_cases.cpp.o"
+  "CMakeFiles/anacin_course.dir/use_cases.cpp.o.d"
+  "libanacin_course.a"
+  "libanacin_course.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anacin_course.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/anacin_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/anacin_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/event_graph.cpp" "src/graph/CMakeFiles/anacin_graph.dir/event_graph.cpp.o" "gcc" "src/graph/CMakeFiles/anacin_graph.dir/event_graph.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/graph/CMakeFiles/anacin_graph.dir/metrics.cpp.o" "gcc" "src/graph/CMakeFiles/anacin_graph.dir/metrics.cpp.o.d"
+  "/root/repo/src/graph/slicing.cpp" "src/graph/CMakeFiles/anacin_graph.dir/slicing.cpp.o" "gcc" "src/graph/CMakeFiles/anacin_graph.dir/slicing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/anacin_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/anacin_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

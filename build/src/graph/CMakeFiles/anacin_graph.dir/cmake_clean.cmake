@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anacin_graph.dir/digraph.cpp.o"
+  "CMakeFiles/anacin_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/anacin_graph.dir/event_graph.cpp.o"
+  "CMakeFiles/anacin_graph.dir/event_graph.cpp.o.d"
+  "CMakeFiles/anacin_graph.dir/metrics.cpp.o"
+  "CMakeFiles/anacin_graph.dir/metrics.cpp.o.d"
+  "CMakeFiles/anacin_graph.dir/slicing.cpp.o"
+  "CMakeFiles/anacin_graph.dir/slicing.cpp.o.d"
+  "libanacin_graph.a"
+  "libanacin_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anacin_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/distance_matrix.cpp" "src/kernels/CMakeFiles/anacin_kernels.dir/distance_matrix.cpp.o" "gcc" "src/kernels/CMakeFiles/anacin_kernels.dir/distance_matrix.cpp.o.d"
+  "/root/repo/src/kernels/kernel.cpp" "src/kernels/CMakeFiles/anacin_kernels.dir/kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/anacin_kernels.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernels/labeled_graph.cpp" "src/kernels/CMakeFiles/anacin_kernels.dir/labeled_graph.cpp.o" "gcc" "src/kernels/CMakeFiles/anacin_kernels.dir/labeled_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/anacin_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anacin_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/anacin_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

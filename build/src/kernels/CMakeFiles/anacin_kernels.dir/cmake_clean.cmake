@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anacin_kernels.dir/distance_matrix.cpp.o"
+  "CMakeFiles/anacin_kernels.dir/distance_matrix.cpp.o.d"
+  "CMakeFiles/anacin_kernels.dir/kernel.cpp.o"
+  "CMakeFiles/anacin_kernels.dir/kernel.cpp.o.d"
+  "CMakeFiles/anacin_kernels.dir/labeled_graph.cpp.o"
+  "CMakeFiles/anacin_kernels.dir/labeled_graph.cpp.o.d"
+  "libanacin_kernels.a"
+  "libanacin_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anacin_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anacin_patterns.dir/patterns.cpp.o"
+  "CMakeFiles/anacin_patterns.dir/patterns.cpp.o.d"
+  "libanacin_patterns.a"
+  "libanacin_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anacin_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

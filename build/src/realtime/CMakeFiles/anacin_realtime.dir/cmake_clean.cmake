@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anacin_realtime.dir/realtime.cpp.o"
+  "CMakeFiles/anacin_realtime.dir/realtime.cpp.o.d"
+  "libanacin_realtime.a"
+  "libanacin_realtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anacin_realtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

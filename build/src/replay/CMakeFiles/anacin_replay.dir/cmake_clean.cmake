@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anacin_replay.dir/replay.cpp.o"
+  "CMakeFiles/anacin_replay.dir/replay.cpp.o.d"
+  "libanacin_replay.a"
+  "libanacin_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anacin_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/comm.cpp" "src/sim/CMakeFiles/anacin_sim.dir/comm.cpp.o" "gcc" "src/sim/CMakeFiles/anacin_sim.dir/comm.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/anacin_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/anacin_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/anacin_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/anacin_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/anacin_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/anacin_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/anacin_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/anacin_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/types.cpp" "src/sim/CMakeFiles/anacin_sim.dir/types.cpp.o" "gcc" "src/sim/CMakeFiles/anacin_sim.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/anacin_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/anacin_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anacin_sim.dir/comm.cpp.o"
+  "CMakeFiles/anacin_sim.dir/comm.cpp.o.d"
+  "CMakeFiles/anacin_sim.dir/config.cpp.o"
+  "CMakeFiles/anacin_sim.dir/config.cpp.o.d"
+  "CMakeFiles/anacin_sim.dir/engine.cpp.o"
+  "CMakeFiles/anacin_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/anacin_sim.dir/network.cpp.o"
+  "CMakeFiles/anacin_sim.dir/network.cpp.o.d"
+  "CMakeFiles/anacin_sim.dir/simulator.cpp.o"
+  "CMakeFiles/anacin_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/anacin_sim.dir/types.cpp.o"
+  "CMakeFiles/anacin_sim.dir/types.cpp.o.d"
+  "libanacin_sim.a"
+  "libanacin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anacin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

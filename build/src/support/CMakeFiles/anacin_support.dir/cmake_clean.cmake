@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anacin_support.dir/cli.cpp.o"
+  "CMakeFiles/anacin_support.dir/cli.cpp.o.d"
+  "CMakeFiles/anacin_support.dir/json.cpp.o"
+  "CMakeFiles/anacin_support.dir/json.cpp.o.d"
+  "CMakeFiles/anacin_support.dir/log.cpp.o"
+  "CMakeFiles/anacin_support.dir/log.cpp.o.d"
+  "CMakeFiles/anacin_support.dir/rng.cpp.o"
+  "CMakeFiles/anacin_support.dir/rng.cpp.o.d"
+  "CMakeFiles/anacin_support.dir/string_util.cpp.o"
+  "CMakeFiles/anacin_support.dir/string_util.cpp.o.d"
+  "CMakeFiles/anacin_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/anacin_support.dir/thread_pool.cpp.o.d"
+  "libanacin_support.a"
+  "libanacin_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anacin_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

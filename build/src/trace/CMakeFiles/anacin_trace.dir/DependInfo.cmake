@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/callstack.cpp" "src/trace/CMakeFiles/anacin_trace.dir/callstack.cpp.o" "gcc" "src/trace/CMakeFiles/anacin_trace.dir/callstack.cpp.o.d"
+  "/root/repo/src/trace/event.cpp" "src/trace/CMakeFiles/anacin_trace.dir/event.cpp.o" "gcc" "src/trace/CMakeFiles/anacin_trace.dir/event.cpp.o.d"
+  "/root/repo/src/trace/filter.cpp" "src/trace/CMakeFiles/anacin_trace.dir/filter.cpp.o" "gcc" "src/trace/CMakeFiles/anacin_trace.dir/filter.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/anacin_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/anacin_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/anacin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

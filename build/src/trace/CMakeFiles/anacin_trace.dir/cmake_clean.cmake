@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anacin_trace.dir/callstack.cpp.o"
+  "CMakeFiles/anacin_trace.dir/callstack.cpp.o.d"
+  "CMakeFiles/anacin_trace.dir/event.cpp.o"
+  "CMakeFiles/anacin_trace.dir/event.cpp.o.d"
+  "CMakeFiles/anacin_trace.dir/filter.cpp.o"
+  "CMakeFiles/anacin_trace.dir/filter.cpp.o.d"
+  "CMakeFiles/anacin_trace.dir/trace.cpp.o"
+  "CMakeFiles/anacin_trace.dir/trace.cpp.o.d"
+  "libanacin_trace.a"
+  "libanacin_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anacin_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

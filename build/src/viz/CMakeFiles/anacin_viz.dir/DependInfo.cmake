@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/ascii.cpp" "src/viz/CMakeFiles/anacin_viz.dir/ascii.cpp.o" "gcc" "src/viz/CMakeFiles/anacin_viz.dir/ascii.cpp.o.d"
+  "/root/repo/src/viz/event_graph_render.cpp" "src/viz/CMakeFiles/anacin_viz.dir/event_graph_render.cpp.o" "gcc" "src/viz/CMakeFiles/anacin_viz.dir/event_graph_render.cpp.o.d"
+  "/root/repo/src/viz/heatmap.cpp" "src/viz/CMakeFiles/anacin_viz.dir/heatmap.cpp.o" "gcc" "src/viz/CMakeFiles/anacin_viz.dir/heatmap.cpp.o.d"
+  "/root/repo/src/viz/plots.cpp" "src/viz/CMakeFiles/anacin_viz.dir/plots.cpp.o" "gcc" "src/viz/CMakeFiles/anacin_viz.dir/plots.cpp.o.d"
+  "/root/repo/src/viz/svg.cpp" "src/viz/CMakeFiles/anacin_viz.dir/svg.cpp.o" "gcc" "src/viz/CMakeFiles/anacin_viz.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/anacin_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anacin_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/anacin_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/anacin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/anacin_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/anacin_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anacin_viz.dir/ascii.cpp.o"
+  "CMakeFiles/anacin_viz.dir/ascii.cpp.o.d"
+  "CMakeFiles/anacin_viz.dir/event_graph_render.cpp.o"
+  "CMakeFiles/anacin_viz.dir/event_graph_render.cpp.o.d"
+  "CMakeFiles/anacin_viz.dir/heatmap.cpp.o"
+  "CMakeFiles/anacin_viz.dir/heatmap.cpp.o.d"
+  "CMakeFiles/anacin_viz.dir/plots.cpp.o"
+  "CMakeFiles/anacin_viz.dir/plots.cpp.o.d"
+  "CMakeFiles/anacin_viz.dir/svg.cpp.o"
+  "CMakeFiles/anacin_viz.dir/svg.cpp.o.d"
+  "libanacin_viz.a"
+  "libanacin_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anacin_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

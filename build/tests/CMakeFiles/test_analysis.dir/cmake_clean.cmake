@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_clustering.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_clustering.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_kde.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_kde.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_nd_measurement.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_nd_measurement.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_resampling.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_resampling.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_root_cause.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_root_cause.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_stats.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_stats.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

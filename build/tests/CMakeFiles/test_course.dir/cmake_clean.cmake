@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_course.dir/course/test_course.cpp.o"
+  "CMakeFiles/test_course.dir/course/test_course.cpp.o.d"
+  "CMakeFiles/test_course.dir/course/test_quiz.cpp.o"
+  "CMakeFiles/test_course.dir/course/test_quiz.cpp.o.d"
+  "test_course"
+  "test_course.pdb"
+  "test_course[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_course.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/test_digraph.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_digraph.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_event_graph.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_event_graph.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_metrics.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_metrics.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_slicing.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_slicing.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernels/test_distance_matrix.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_distance_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_distance_matrix.cpp.o.d"
+  "/root/repo/tests/kernels/test_graphlet_and_invariance.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_graphlet_and_invariance.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_graphlet_and_invariance.cpp.o.d"
+  "/root/repo/tests/kernels/test_kernels.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_kernels.cpp.o.d"
+  "/root/repo/tests/kernels/test_labeled_graph.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_labeled_graph.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_labeled_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/anacin_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/anacin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anacin_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/anacin_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/anacin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_collectives.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_collectives.cpp.o.d"
+  "/root/repo/tests/sim/test_deadlock.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_deadlock.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_deadlock.cpp.o.d"
+  "/root/repo/tests/sim/test_determinism.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_determinism.cpp.o.d"
+  "/root/repo/tests/sim/test_edge_cases.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/sim/test_engine_basic.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_engine_basic.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_engine_basic.cpp.o.d"
+  "/root/repo/tests/sim/test_matching.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_matching.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_matching.cpp.o.d"
+  "/root/repo/tests/sim/test_network.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_network.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_network.cpp.o.d"
+  "/root/repo/tests/sim/test_probe_and_extras.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_probe_and_extras.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_probe_and_extras.cpp.o.d"
+  "/root/repo/tests/sim/test_random_programs.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_random_programs.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_random_programs.cpp.o.d"
+  "/root/repo/tests/sim/test_types.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_types.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/anacin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anacin_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/anacin_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/anacin_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/anacin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

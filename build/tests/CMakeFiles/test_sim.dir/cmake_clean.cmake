@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_collectives.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_collectives.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_deadlock.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_deadlock.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_determinism.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_determinism.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_edge_cases.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_edge_cases.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_engine_basic.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_engine_basic.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_matching.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_matching.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_network.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_network.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_probe_and_extras.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_probe_and_extras.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_random_programs.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_random_programs.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_types.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_types.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

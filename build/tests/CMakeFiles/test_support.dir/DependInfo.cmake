@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/test_cli.cpp" "tests/CMakeFiles/test_support.dir/support/test_cli.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_cli.cpp.o.d"
+  "/root/repo/tests/support/test_json.cpp" "tests/CMakeFiles/test_support.dir/support/test_json.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_json.cpp.o.d"
+  "/root/repo/tests/support/test_log.cpp" "tests/CMakeFiles/test_support.dir/support/test_log.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_log.cpp.o.d"
+  "/root/repo/tests/support/test_rng.cpp" "tests/CMakeFiles/test_support.dir/support/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_rng.cpp.o.d"
+  "/root/repo/tests/support/test_string_util.cpp" "tests/CMakeFiles/test_support.dir/support/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_string_util.cpp.o.d"
+  "/root/repo/tests/support/test_thread_pool.cpp" "tests/CMakeFiles/test_support.dir/support/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/anacin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

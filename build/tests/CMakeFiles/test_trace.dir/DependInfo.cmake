@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_callstack.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_callstack.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_callstack.cpp.o.d"
+  "/root/repo/tests/trace/test_event.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_event.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_event.cpp.o.d"
+  "/root/repo/tests/trace/test_filter.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_filter.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_filter.cpp.o.d"
+  "/root/repo/tests/trace/test_trace.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/anacin_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/anacin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anacin_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/anacin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
