@@ -5,6 +5,7 @@
 
 #include "core/campaign.hpp"
 #include "kernels/distance_matrix.hpp"
+#include "obs_cli.hpp"
 
 using namespace anacin;
 
@@ -58,4 +59,6 @@ void BM_DistancesToReference(benchmark::State& state) {
 BENCHMARK(BM_PairwiseDistances)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DistancesToReference)->Arg(20)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return anacin::bench::run_benchmark_main(argc, argv);
+}

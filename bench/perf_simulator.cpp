@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/campaign.hpp"
+#include "obs_cli.hpp"
 
 using namespace anacin;
 
@@ -69,4 +70,6 @@ BENCHMARK(BM_SimAmg2013)->Arg(4)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond
 BENCHMARK(BM_SimUnstructuredMesh)->Arg(4)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EventGraphBuild)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return anacin::bench::run_benchmark_main(argc, argv);
+}

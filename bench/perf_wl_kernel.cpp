@@ -5,6 +5,7 @@
 
 #include "core/campaign.hpp"
 #include "kernels/kernel.hpp"
+#include "obs_cli.hpp"
 
 using namespace anacin;
 
@@ -58,4 +59,6 @@ BENCHMARK(BM_WlFeatures)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMicro
 BENCHMARK(BM_HistogramFeatures)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_KernelDistance)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return anacin::bench::run_benchmark_main(argc, argv);
+}

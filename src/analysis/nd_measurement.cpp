@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/slicing.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace anacin::analysis {
@@ -12,7 +13,9 @@ NdMeasurement measure_nd(const kernels::GraphKernel& kernel,
                          const std::vector<graph::EventGraph>& runs,
                          const graph::EventGraph* reference,
                          DistanceReduction reduction, ThreadPool& pool) {
+  ANACIN_SPAN("analysis.measure_nd");
   ANACIN_CHECK(!runs.empty(), "measure_nd needs at least one run");
+  obs::counter("analysis.nd_measurements").add(1);
   std::vector<kernels::LabeledGraph> labeled(runs.size());
   pool.parallel_for(0, runs.size(), [&](std::size_t i) {
     labeled[i] = kernels::build_labeled_graph(runs[i], policy);

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "graph/slicing.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace anacin::analysis {
@@ -13,7 +14,9 @@ RootCauseReport find_root_causes(const kernels::GraphKernel& kernel,
                                  const std::vector<graph::EventGraph>& runs,
                                  const RootCauseConfig& config,
                                  ThreadPool& pool) {
+  ANACIN_SPAN("analysis.root_cause");
   ANACIN_CHECK(runs.size() >= 2, "root-cause analysis needs >= 2 runs");
+  obs::counter("analysis.root_cause_reports").add(1);
   ANACIN_CHECK(config.hot_fraction > 0.0 && config.hot_fraction <= 1.0,
                "hot_fraction must be in (0,1]");
 

@@ -3,11 +3,13 @@
 #include <iostream>
 #include <optional>
 #include <sstream>
+#include <string_view>
 
 #include "core/anacin.hpp"
 #include "course/module.hpp"
 #include "course/quiz.hpp"
 #include "course/use_cases.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace anacin::cli {
@@ -513,6 +515,25 @@ int cmd_report(const std::vector<const char*>& argv, std::ostream& out) {
                          causes.callstacks.front().path);
   }
 
+  report.add_heading("Pipeline observability");
+  report.add_paragraph(
+      "Process-wide metrics captured while producing this report (see "
+      "docs/OBSERVABILITY.md; run with the global --metrics-out flag for "
+      "the full machine-readable snapshot).");
+  const json::Value metrics = obs::Registry::global().snapshot_json();
+  std::vector<std::pair<std::string, std::string>> metric_rows;
+  for (const auto& [name, value] : metrics.at("counters").members()) {
+    metric_rows.emplace_back(
+        name, std::to_string(static_cast<std::uint64_t>(value.as_number())));
+  }
+  for (const auto& [name, histogram] : metrics.at("histograms").members()) {
+    metric_rows.emplace_back(
+        name + " (mean / p99)",
+        format_fixed(histogram.at("mean").as_number(), 3) + " / " +
+            format_fixed(histogram.at("p99").as_number(), 3));
+  }
+  report.add_table(metric_rows);
+
   report.save(out_path);
   out << "report written to " << out_path << '\n';
   print_summary(out, workload.pattern, campaign.distance_summary);
@@ -630,8 +651,13 @@ int cmd_course(const std::vector<const char*>& argv, std::ostream& out) {
 const char kUsage[] =
     "anacin — analysis of non-determinism in (simulated) MPI applications\n"
     "\n"
-    "usage: anacin <command> [options]   (anacin <command> --help for "
-    "details)\n"
+    "usage: anacin [global options] <command> [options]\n"
+    "       (anacin <command> --help for details)\n"
+    "\n"
+    "global options (before the command):\n"
+    "  --metrics-out FILE   write a JSON metrics snapshot on exit\n"
+    "  --trace-out FILE     record spans; write a Chrome trace-event JSON\n"
+    "                       (open in chrome://tracing or ui.perfetto.dev)\n"
     "\n"
     "commands:\n"
     "  patterns    list the packaged mini-applications\n"
@@ -646,38 +672,97 @@ const char kUsage[] =
     "  report      self-contained HTML analysis report (notebook-style)\n"
     "  figures     index of the reproduced paper tables and figures\n";
 
+/// Global observability outputs, parsed before the subcommand name.
+struct ObsOptions {
+  std::string metrics_out;
+  std::string trace_out;
+};
+
+int dispatch(const std::string& command, const std::vector<const char*>& rest,
+             std::ostream& out, std::ostream& err) {
+  if (command == "help" || command == "--help" || command == "-h") {
+    out << kUsage;
+    return 0;
+  }
+  if (command == "patterns") return cmd_patterns(rest, out);
+  if (command == "run") return cmd_run(rest, out);
+  if (command == "graph") return cmd_graph(rest, out);
+  if (command == "measure") return cmd_measure(rest, out);
+  if (command == "sweep") return cmd_sweep(rest, out);
+  if (command == "rootcause") return cmd_rootcause(rest, out);
+  if (command == "replay") return cmd_replay(rest, out);
+  if (command == "course") return cmd_course(rest, out);
+  if (command == "quiz") return cmd_quiz(rest, out);
+  if (command == "report") return cmd_report(rest, out);
+  if (command == "figures") return cmd_figures(rest, out);
+  err << "unknown command '" << command << "'\n\n" << kUsage;
+  return 2;
+}
+
+/// Consume leading --metrics-out/--trace-out options; returns the index of
+/// the subcommand name (or argc when none is left).
+int parse_obs_options(int argc, const char* const* argv, ObsOptions* options) {
+  int index = 1;
+  while (index < argc) {
+    const std::string_view arg = argv[index];
+    const auto take = [&](std::string_view flag, std::string* value) {
+      if (arg == flag) {
+        if (index + 1 >= argc) {
+          throw ConfigError(std::string(flag) + " requires a file path");
+        }
+        *value = argv[index + 1];
+        index += 2;
+        return true;
+      }
+      if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+          arg[flag.size()] == '=') {
+        *value = std::string(arg.substr(flag.size() + 1));
+        ++index;
+        return true;
+      }
+      return false;
+    };
+    if (take("--metrics-out", &options->metrics_out)) continue;
+    if (take("--trace-out", &options->trace_out)) continue;
+    break;
+  }
+  return index;
+}
+
 }  // namespace
 
 int run_cli(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err) {
   try {
-    if (argc < 2) {
+    ObsOptions obs_options;
+    const int command_index = parse_obs_options(argc, argv, &obs_options);
+    if (command_index >= argc) {
       out << kUsage;
       return 0;
     }
-    const std::string command = argv[1];
+    if (!obs_options.trace_out.empty()) {
+      obs::Tracer::global().set_enabled(true);
+    }
+
+    const std::string command = argv[command_index];
     // Re-pack as "<prog> <args...>" for the subcommand parser.
     std::vector<const char*> rest;
     rest.push_back(argv[0]);
-    for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+    for (int i = command_index + 1; i < argc; ++i) rest.push_back(argv[i]);
 
-    if (command == "help" || command == "--help" || command == "-h") {
-      out << kUsage;
-      return 0;
+    const int code = dispatch(command, rest, out, err);
+
+    if (!obs_options.metrics_out.empty()) {
+      core::write_json_file(obs_options.metrics_out,
+                            obs::Registry::global().snapshot_json());
+      out << "metrics written to " << obs_options.metrics_out << '\n';
     }
-    if (command == "patterns") return cmd_patterns(rest, out);
-    if (command == "run") return cmd_run(rest, out);
-    if (command == "graph") return cmd_graph(rest, out);
-    if (command == "measure") return cmd_measure(rest, out);
-    if (command == "sweep") return cmd_sweep(rest, out);
-    if (command == "rootcause") return cmd_rootcause(rest, out);
-    if (command == "replay") return cmd_replay(rest, out);
-    if (command == "course") return cmd_course(rest, out);
-    if (command == "quiz") return cmd_quiz(rest, out);
-    if (command == "report") return cmd_report(rest, out);
-    if (command == "figures") return cmd_figures(rest, out);
-    err << "unknown command '" << command << "'\n\n" << kUsage;
-    return 2;
+    if (!obs_options.trace_out.empty()) {
+      core::write_json_file(obs_options.trace_out,
+                            obs::Tracer::global().chrome_trace_json());
+      out << "trace written to " << obs_options.trace_out << '\n';
+    }
+    return code;
   } catch (const Error& error) {
     err << "error: " << error.what() << '\n';
     return 1;

@@ -1,5 +1,6 @@
 #include "core/campaign.hpp"
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -73,9 +74,13 @@ sim::RunResult run_pattern_once(const std::string& pattern,
 }
 
 CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool) {
+  ANACIN_SPAN("campaign.run");
   ANACIN_CHECK(config.num_runs >= 1, "campaign needs at least one run");
   ANACIN_CHECK(config.nd_fraction >= 0.0 && config.nd_fraction <= 1.0,
                "nd_fraction must be in [0,1]");
+  obs::counter("campaign.campaigns").add(1);
+  obs::counter("campaign.runs")
+      .add(static_cast<std::uint64_t>(config.num_runs));
   const auto pattern = patterns::make_pattern(config.pattern);
   const sim::RankProgram program = pattern->program(config.shape);
 
@@ -87,30 +92,41 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool) {
   std::vector<std::uint64_t> wildcards(
       static_cast<std::size_t>(config.num_runs));
 
-  pool.parallel_for(0, static_cast<std::size_t>(config.num_runs),
-                    [&](std::size_t i) {
-                      const sim::RunResult run = sim::run_simulation(
-                          config.sim_config_for_run(static_cast<int>(i)),
-                          program);
-                      result.graphs[i] =
-                          graph::EventGraph::from_trace(run.trace);
-                      messages[i] = run.stats.messages;
-                      wildcards[i] = run.stats.wildcard_recvs;
-                    });
+  {
+    ANACIN_SPAN("campaign.simulate");
+    pool.parallel_for(0, static_cast<std::size_t>(config.num_runs),
+                      [&](std::size_t i) {
+                        ANACIN_SPAN("campaign.simulate_run");
+                        const sim::RunResult run = sim::run_simulation(
+                            config.sim_config_for_run(static_cast<int>(i)),
+                            program);
+                        result.graphs[i] =
+                            graph::EventGraph::from_trace(run.trace);
+                        messages[i] = run.stats.messages;
+                        wildcards[i] = run.stats.wildcard_recvs;
+                      });
+  }
   for (std::size_t i = 0; i < messages.size(); ++i) {
     result.total_messages += messages[i];
     result.total_wildcard_recvs += wildcards[i];
   }
 
-  const sim::RunResult reference_run =
-      sim::run_simulation(config.reference_sim_config(), program);
-  result.reference = graph::EventGraph::from_trace(reference_run.trace);
+  {
+    ANACIN_SPAN("campaign.reference_run");
+    const sim::RunResult reference_run =
+        sim::run_simulation(config.reference_sim_config(), program);
+    result.reference = graph::EventGraph::from_trace(reference_run.trace);
+  }
 
-  const auto kernel = kernels::make_kernel(config.kernel);
-  result.measurement =
-      analysis::measure_nd(*kernel, config.label_policy, result.graphs,
-                           &result.reference, config.reduction, pool);
-  result.distance_summary = analysis::summarize(result.measurement.distances);
+  {
+    ANACIN_SPAN("campaign.measure");
+    const auto kernel = kernels::make_kernel(config.kernel);
+    result.measurement =
+        analysis::measure_nd(*kernel, config.label_policy, result.graphs,
+                             &result.reference, config.reduction, pool);
+    result.distance_summary =
+        analysis::summarize(result.measurement.distances);
+  }
   return result;
 }
 

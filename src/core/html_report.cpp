@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "core/report.hpp"
+#include "obs/obs.hpp"
 
 namespace anacin::core {
 
@@ -79,6 +80,7 @@ std::string HtmlReport::render() const {
 }
 
 void HtmlReport::save(const std::string& path) const {
+  ANACIN_SPAN("report.save");
   write_text_file(path, render());
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/string_util.hpp"
@@ -83,8 +84,14 @@ std::string WLSubtreeKernel::name() const {
 }
 
 FeatureVector WLSubtreeKernel::features(const LabeledGraph& graph) const {
+  ANACIN_SPAN("kernels.wl_features");
   std::map<std::uint64_t, double> counts;
   const std::size_t n = graph.num_nodes();
+  static obs::Counter& extractions =
+      obs::counter("kernels.wl.feature_extractions");
+  static obs::Counter& relabels = obs::counter("kernels.wl.node_relabels");
+  extractions.add(1);
+  relabels.add(static_cast<std::uint64_t>(n) * depth_);
 
   std::vector<std::uint64_t> current = graph.labels;
   // Depth 0: the initial labels themselves, salted by iteration index so

@@ -1,0 +1,283 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace anacin::obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double load_double(const std::atomic<std::uint64_t>& bits) noexcept {
+  return std::bit_cast<double>(bits.load(std::memory_order_relaxed));
+}
+
+void store_double(std::atomic<std::uint64_t>& bits, double value) noexcept {
+  bits.store(std::bit_cast<std::uint64_t>(value), std::memory_order_relaxed);
+}
+
+void add_double(std::atomic<std::uint64_t>& bits, double delta) noexcept {
+  std::uint64_t observed = bits.load(std::memory_order_relaxed);
+  std::uint64_t desired;
+  do {
+    desired = std::bit_cast<std::uint64_t>(std::bit_cast<double>(observed) +
+                                           delta);
+  } while (!bits.compare_exchange_weak(observed, desired,
+                                       std::memory_order_relaxed));
+}
+
+void min_double(std::atomic<std::uint64_t>& bits, double value) noexcept {
+  std::uint64_t observed = bits.load(std::memory_order_relaxed);
+  while (value < std::bit_cast<double>(observed) &&
+         !bits.compare_exchange_weak(observed,
+                                     std::bit_cast<std::uint64_t>(value),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void max_double(std::atomic<std::uint64_t>& bits, double value) noexcept {
+  std::uint64_t observed = bits.load(std::memory_order_relaxed);
+  while (value > std::bit_cast<double>(observed) &&
+         !bits.compare_exchange_weak(observed,
+                                     std::bit_cast<std::uint64_t>(value),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+Counter::Counter(std::string name) : name_(std::move(name)) {}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t sum = 0;
+  for (const Shard& shard : shards_) {
+    sum += shard.value.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Counter::reset() noexcept {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+Gauge::Gauge(std::string name)
+    : name_(std::move(name)), bits_(std::bit_cast<std::uint64_t>(0.0)) {}
+
+void Gauge::set(double value) noexcept { store_double(bits_, value); }
+
+void Gauge::add(double delta) noexcept { add_double(bits_, delta); }
+
+double Gauge::value() const noexcept { return load_double(bits_); }
+
+void Gauge::reset() noexcept { store_double(bits_, 0.0); }
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+std::vector<double> Histogram::default_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 0.001; decade < 1e5; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  return bounds;
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_bounds();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (Shard& shard : shards_) {
+    shard.buckets =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    reset_shard(shard);
+  }
+}
+
+void Histogram::reset_shard(Shard& shard) noexcept {
+  shard.count.store(0, std::memory_order_relaxed);
+  store_double(shard.sum_bits, 0.0);
+  store_double(shard.min_bits, kInf);
+  store_double(shard.max_bits, -kInf);
+  for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+    shard.buckets[b].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  Shard& shard = shards_[shard_index()];
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  add_double(shard.sum_bits, value);
+  min_double(shard.min_bits, value);
+  max_double(shard.max_bits, value);
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  double min = kInf;
+  double max = -kInf;
+  for (const Shard& shard : shards_) {
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += load_double(shard.sum_bits);
+    min = std::min(min, load_double(shard.min_bits));
+    max = std::max(max, load_double(shard.max_bits));
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      snap.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  snap.min = snap.count == 0 ? 0.0 : min;
+  snap.max = snap.count == 0 ? 0.0 : max;
+  return snap;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The requested rank falls inside bucket b; interpolate between its
+    // edges (clamped to the observed min/max so estimates never leave the
+    // data range).
+    const double lower = b == 0 ? min : std::max(min, bounds[b - 1]);
+    const double upper = b == bounds.size() ? max : std::min(max, bounds[b]);
+    const double within =
+        (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+  }
+  return max;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& shard : shards_) reset_shard(shard);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename T, typename Map, typename Make>
+T& find_or_create(std::mutex& mutex, Map& map, std::string_view name,
+                  Make make) {
+  std::lock_guard<std::mutex> lock(mutex);
+  for (auto& [key, metric] : map) {
+    if (key == name) return *metric;
+  }
+  map.emplace_back(std::string(name), make());
+  return *map.back().second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return find_or_create<Counter>(mutex_, counters_, name, [&] {
+    return std::make_unique<Counter>(std::string(name));
+  });
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return find_or_create<Gauge>(mutex_, gauges_, name, [&] {
+    return std::make_unique<Gauge>(std::string(name));
+  });
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  return find_or_create<Histogram>(mutex_, histograms_, name, [&] {
+    return std::make_unique<Histogram>(std::string(name), std::move(bounds));
+  });
+}
+
+json::Value Registry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Value doc = json::Value::object();
+
+  json::Value counters = json::Value::object();
+  for (const auto& [name, metric] : counters_) {
+    counters.set(name, metric->value());
+  }
+  doc.set("counters", std::move(counters));
+
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, metric] : gauges_) {
+    gauges.set(name, metric->value());
+  }
+  doc.set("gauges", std::move(gauges));
+
+  json::Value histograms = json::Value::object();
+  for (const auto& [name, metric] : histograms_) {
+    const Histogram::Snapshot snap = metric->snapshot();
+    json::Value entry = json::Value::object();
+    entry.set("count", snap.count);
+    entry.set("sum", snap.sum);
+    entry.set("mean", snap.mean());
+    entry.set("min", snap.min);
+    entry.set("max", snap.max);
+    entry.set("p50", snap.quantile(0.50));
+    entry.set("p90", snap.quantile(0.90));
+    entry.set("p99", snap.quantile(0.99));
+    histograms.set(name, std::move(entry));
+  }
+  doc.set("histograms", std::move(histograms));
+  return doc;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, metric] : counters_) metric->reset();
+  for (auto& [name, metric] : gauges_) metric->reset();
+  for (auto& [name, metric] : histograms_) metric->reset();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& counter(std::string_view name) {
+  return Registry::global().counter(name);
+}
+
+Gauge& gauge(std::string_view name) { return Registry::global().gauge(name); }
+
+Histogram& histogram(std::string_view name, std::vector<double> bounds) {
+  return Registry::global().histogram(name, std::move(bounds));
+}
+
+}  // namespace anacin::obs

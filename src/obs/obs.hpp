@@ -1,0 +1,33 @@
+#pragma once
+
+/// Observability umbrella: metrics registry + span tracer + macros.
+///
+/// Metrics (always on, wait-free-ish sharded atomics):
+///   obs::counter("sim.engine.runs").add(1);
+///   obs::histogram("sim.engine.run_wall_ms").observe(elapsed_ms);
+///
+/// Spans (off by default; enable via Tracer::global().set_enabled(true),
+/// the CLI's global --trace-out flag, or a bench binary's --trace-out):
+///   void Engine::run() {
+///     ANACIN_SPAN("sim.engine.run");
+///     ...
+///   }
+///
+/// Export: Registry::global().snapshot_json() for a flat metrics
+/// snapshot, Tracer::global().chrome_trace_json() for a Chrome
+/// trace-event array (chrome://tracing / Perfetto). See
+/// docs/OBSERVABILITY.md.
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+#define ANACIN_OBS_CONCAT_INNER(a_, b_) a_##b_
+#define ANACIN_OBS_CONCAT(a_, b_) ANACIN_OBS_CONCAT_INNER(a_, b_)
+
+/// Time the enclosing scope on the global tracer. Inert (one relaxed
+/// atomic load) while tracing is disabled.
+#define ANACIN_SPAN(name_)                                   \
+  ::anacin::obs::ScopedSpan ANACIN_OBS_CONCAT(anacin_span_,  \
+                                              __LINE__) {    \
+    name_                                                    \
+  }

@@ -1,0 +1,89 @@
+#include "obs/span.hpp"
+
+namespace anacin::obs {
+
+namespace {
+
+/// Per-thread nesting depth of live spans.
+thread_local std::uint32_t t_span_depth = 0;
+
+}  // namespace
+
+std::uint32_t this_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Tracer::now_us() const noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+json::Value Tracer::chrome_trace_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Value events = json::Value::array();
+  for (const SpanRecord& record : records_) {
+    json::Value event = json::Value::object();
+    event.set("name", record.name);
+    event.set("cat", "anacin");
+    event.set("ph", "X");
+    event.set("ts", record.start_us);
+    event.set("dur", record.dur_us);
+    event.set("pid", 1);
+    event.set("tid", static_cast<std::int64_t>(record.tid));
+    json::Value args = json::Value::object();
+    args.set("depth", static_cast<std::int64_t>(record.depth));
+    event.set("args", std::move(args));
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+ScopedSpan::ScopedSpan(const char* name, Tracer& tracer) {
+  if (!tracer.enabled()) return;
+  tracer_ = &tracer;
+  name_ = name;
+  depth_ = t_span_depth++;
+  start_us_ = tracer.now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  const double end_us = tracer_->now_us();
+  --t_span_depth;
+  tracer_->record(SpanRecord{name_, start_us_, end_us - start_us_,
+                             this_thread_id(), depth_});
+}
+
+}  // namespace anacin::obs

@@ -1,8 +1,10 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "sim/comm.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
@@ -142,6 +144,8 @@ Rng& Engine::rank_rng(int rank) {
 RunResult Engine::run() {
   ANACIN_CHECK(!ran_, "Engine::run is single-use");
   ran_ = true;
+  ANACIN_SPAN("sim.engine.run");
+  const auto wall_start = std::chrono::steady_clock::now();
   record_init_events();
 
   for (auto& ctx : ranks_) {
@@ -167,7 +171,37 @@ RunResult Engine::run() {
   threads_started_ = false;
 
   stats_.calls = processed_calls_;
+  stats_.matched_messages = matched_messages_;
+  stats_.max_unexpected_depth = max_unexpected_depth_;
   stats_.makespan_us = trace_.makespan();
+
+  // One registry update per run (the per-event counts are aggregated in
+  // members above), so instrumentation cost is independent of trace size.
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  static obs::Counter& runs_counter = obs::counter("sim.engine.runs");
+  static obs::Counter& events_counter = obs::counter("sim.engine.events");
+  static obs::Counter& calls_counter = obs::counter("sim.engine.calls");
+  static obs::Counter& messages_counter = obs::counter("sim.engine.messages");
+  static obs::Counter& matched_counter =
+      obs::counter("sim.engine.messages_matched");
+  static obs::Counter& wildcard_counter =
+      obs::counter("sim.engine.wildcard_recvs");
+  static obs::Histogram& wall_histogram =
+      obs::histogram("sim.engine.run_wall_ms");
+  static obs::Histogram& unexpected_histogram =
+      obs::histogram("sim.engine.max_unexpected_depth");
+  runs_counter.add(1);
+  events_counter.add(trace_.total_events());
+  calls_counter.add(processed_calls_);
+  messages_counter.add(stats_.messages);
+  matched_counter.add(matched_messages_);
+  wildcard_counter.add(stats_.wildcard_recvs);
+  wall_histogram.observe(wall_ms);
+  unexpected_histogram.observe(static_cast<double>(max_unexpected_depth_));
+
   return RunResult{std::move(trace_), stats_};
 }
 
@@ -432,6 +466,7 @@ void Engine::complete_recv_request(RankCtx& ctx, std::uint64_t request_id,
   request.complete = true;
   request.complete_time = match_time;
   request.completion_order = ++completion_counter_;
+  ++matched_messages_;
   request.matched_rank = msg.src;
   request.matched_seq = msg.src_seq;
   request.jittered = msg.jittered;
@@ -694,6 +729,9 @@ void Engine::process_delivery() {
     }
   }
   ctx.unexpected.push_back(std::move(msg));
+  max_unexpected_depth_ =
+      std::max(max_unexpected_depth_,
+               static_cast<std::uint64_t>(ctx.unexpected.size()));
   // A message parked in the unexpected queue can satisfy a blocked probe.
   maybe_unblock(ctx);
 }

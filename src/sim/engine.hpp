@@ -31,6 +31,10 @@ struct RunStats {
   std::uint64_t jittered_messages = 0;
   std::uint64_t wildcard_recvs = 0;
   std::uint64_t calls = 0;
+  /// Receives completed by matching a message (posted or unexpected).
+  std::uint64_t matched_messages = 0;
+  /// High-water mark of any rank's unexpected-message queue.
+  std::uint64_t max_unexpected_depth = 0;
   double makespan_us = 0.0;
 };
 
@@ -279,6 +283,8 @@ private:
   std::uint64_t order_counter_ = 0;
   std::uint64_t completion_counter_ = 0;
   std::uint64_t processed_calls_ = 0;
+  std::uint64_t matched_messages_ = 0;
+  std::uint64_t max_unexpected_depth_ = 0;
   bool ran_ = false;
   bool threads_started_ = false;
 

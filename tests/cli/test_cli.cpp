@@ -6,6 +6,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.hpp"
+#include "support/json.hpp"
+
 namespace anacin::cli {
 namespace {
 
@@ -247,6 +250,64 @@ TEST(Cli, QuizRejectsMalformedGradeSpec) {
 TEST(Cli, CourseRejectsBadUseCase) {
   const CliRun run = invoke({"course", "--use-case", "9"});
   EXPECT_EQ(run.exit_code, 1);
+}
+
+TEST(Cli, GlobalObservabilityFlagsWriteMetricsAndTrace) {
+  const std::string metrics_path = "test_output/cli/metrics.json";
+  const std::string trace_path = "test_output/cli/spans.json";
+  const CliRun run = invoke({"--metrics-out", metrics_path, "--trace-out",
+                             trace_path, "measure", "--pattern",
+                             "message_race", "--ranks", "5", "--runs", "4"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("metrics written to"), std::string::npos);
+  EXPECT_NE(run.out.find("trace written to"), std::string::npos);
+
+  std::ifstream metrics_in(metrics_path);
+  ASSERT_TRUE(metrics_in.good());
+  std::string metrics_text((std::istreambuf_iterator<char>(metrics_in)),
+                           std::istreambuf_iterator<char>());
+  const json::Value metrics = json::parse(metrics_text);
+  EXPECT_GT(metrics.at("counters").at("sim.engine.runs").as_number(), 0.0);
+  EXPECT_GT(metrics.at("counters").at("sim.engine.messages").as_number(),
+            0.0);
+  EXPECT_GT(
+      metrics.at("counters").at("kernels.wl.feature_extractions").as_number(),
+      0.0);
+
+  std::ifstream trace_in(trace_path);
+  ASSERT_TRUE(trace_in.good());
+  std::string trace_text((std::istreambuf_iterator<char>(trace_in)),
+                         std::istreambuf_iterator<char>());
+  const json::Value trace = json::parse(trace_text);
+  ASSERT_TRUE(trace.is_array());
+  ASSERT_GT(trace.size(), 0u);
+  bool saw_engine_run = false;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.at(i).at("ph").as_string(), "X");
+    if (trace.at(i).at("name").as_string() == "sim.engine.run") {
+      saw_engine_run = true;
+    }
+  }
+  EXPECT_TRUE(saw_engine_run);
+  obs::Tracer::global().set_enabled(false);
+  obs::Tracer::global().clear();
+  std::filesystem::remove_all("test_output");
+}
+
+TEST(Cli, GlobalFlagsAcceptEqualsForm) {
+  const std::string metrics_path = "test_output/cli/metrics_eq.json";
+  const CliRun run = invoke({"--metrics-out=" + metrics_path, "run",
+                             "--pattern", "message_race", "--ranks", "4"});
+  EXPECT_EQ(run.exit_code, 0);
+  std::ifstream in(metrics_path);
+  EXPECT_TRUE(in.good());
+  std::filesystem::remove_all("test_output");
+}
+
+TEST(Cli, MetricsOutWithoutPathFails) {
+  const CliRun run = invoke({"--metrics-out"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("requires a file path"), std::string::npos);
 }
 
 TEST(Cli, BadOptionValueSurfacesAsError) {

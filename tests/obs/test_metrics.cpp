@@ -1,0 +1,165 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace anacin::obs {
+namespace {
+
+TEST(Counter, SingleThreadAddAndValue) {
+  Counter counter("test.counter");
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Counter, AggregatesAcrossThreads) {
+  Counter counter("test.threads");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAddValue) {
+  Gauge gauge("test.gauge");
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(2.5);
+  EXPECT_EQ(gauge.value(), 2.5);
+  gauge.add(-1.0);
+  EXPECT_EQ(gauge.value(), 1.5);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(Histogram, CountSumMinMax) {
+  Histogram histogram("test.hist", {1.0, 10.0, 100.0});
+  histogram.observe(0.5);
+  histogram.observe(5.0);
+  histogram.observe(50.0);
+  histogram.observe(500.0);  // overflow bucket
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 555.5);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 500.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 555.5 / 4.0);
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  for (const std::uint64_t in_bucket : snap.buckets) {
+    EXPECT_EQ(in_bucket, 1u);
+  }
+}
+
+TEST(Histogram, EmptySnapshotIsZero) {
+  Histogram histogram("test.empty");
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0.0);
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, 0.0);
+  EXPECT_EQ(snap.mean(), 0.0);
+  EXPECT_EQ(snap.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantilesBracketTheData) {
+  Histogram histogram("test.quantiles", {1, 2, 5, 10, 20, 50, 100});
+  for (int i = 1; i <= 100; ++i) {
+    histogram.observe(static_cast<double>(i));
+  }
+  const Histogram::Snapshot snap = histogram.snapshot();
+  const double p50 = snap.quantile(0.5);
+  const double p99 = snap.quantile(0.99);
+  EXPECT_GE(p50, 20.0);
+  EXPECT_LE(p50, 60.0);
+  EXPECT_GE(p99, 90.0);
+  EXPECT_LE(p99, 100.0);
+  EXPECT_LE(snap.quantile(0.0), snap.quantile(1.0));
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, AggregatesAcrossThreads) {
+  Histogram histogram("test.hist_threads");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.observe(1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.sum, static_cast<double>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 1.0);
+}
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  Registry registry;
+  Counter& a = registry.counter("dup");
+  Counter& b = registry.counter("dup");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  Histogram& h1 = registry.histogram("hist", {1.0, 2.0});
+  Histogram& h2 = registry.histogram("hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Registry, SnapshotJsonShape) {
+  Registry registry;
+  registry.counter("events").add(7);
+  registry.gauge("depth").set(3.0);
+  registry.histogram("latency").observe(0.25);
+  const json::Value doc = registry.snapshot_json();
+  EXPECT_EQ(doc.at("counters").at("events").as_number(), 7.0);
+  EXPECT_EQ(doc.at("gauges").at("depth").as_number(), 3.0);
+  const json::Value& latency = doc.at("histograms").at("latency");
+  EXPECT_EQ(latency.at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(latency.at("sum").as_number(), 0.25);
+  EXPECT_TRUE(latency.contains("p50"));
+  EXPECT_TRUE(latency.contains("p99"));
+
+  // The snapshot must round-trip through the JSON text layer.
+  const json::Value parsed = json::parse(doc.dump(2));
+  EXPECT_EQ(parsed.at("counters").at("events").as_number(), 7.0);
+}
+
+TEST(Registry, ResetZeroesEverythingButKeepsReferences) {
+  Registry registry;
+  Counter& counter = registry.counter("c");
+  registry.gauge("g").set(9.0);
+  registry.histogram("h").observe(4.0);
+  counter.add(5);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(registry.gauge("g").value(), 0.0);
+  EXPECT_EQ(registry.histogram("h").snapshot().count, 0u);
+  counter.add(1);
+  EXPECT_EQ(registry.counter("c").value(), 1u);
+}
+
+TEST(Registry, GlobalShorthandsHitGlobalRegistry) {
+  counter("test.global.counter").add(2);
+  EXPECT_EQ(Registry::global().counter("test.global.counter").value(), 2u);
+  Registry::global().reset();
+  EXPECT_EQ(counter("test.global.counter").value(), 0u);
+}
+
+}  // namespace
+}  // namespace anacin::obs

@@ -1,0 +1,133 @@
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace anacin::obs {
+namespace {
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  {
+    ScopedSpan span("ignored", tracer);
+  }
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Tracer, RecordsNestedSpansWithDepth) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan outer("outer", tracer);
+    {
+      ScopedSpan inner("inner", tracer);
+    }
+  }
+  const std::vector<SpanRecord> records = tracer.records();
+  ASSERT_EQ(records.size(), 2u);
+  // Spans complete innermost-first.
+  EXPECT_EQ(records[0].name, "inner");
+  EXPECT_EQ(records[0].depth, 1u);
+  EXPECT_EQ(records[1].name, "outer");
+  EXPECT_EQ(records[1].depth, 0u);
+  EXPECT_EQ(records[0].tid, records[1].tid);
+  // The inner span is contained in the outer one.
+  EXPECT_GE(records[0].start_us, records[1].start_us);
+  EXPECT_LE(records[0].dur_us, records[1].dur_us);
+}
+
+TEST(Tracer, SpansFromDifferentThreadsGetDifferentTids) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan span("main-thread", tracer);
+  }
+  std::thread worker([&tracer] { ScopedSpan span("worker", tracer); });
+  worker.join();
+  const std::vector<SpanRecord> records = tracer.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].tid, records[1].tid);
+}
+
+TEST(Tracer, ClearDropsRecordsAndRestartsEpoch) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan span("before-clear", tracer);
+  }
+  EXPECT_EQ(tracer.size(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  {
+    ScopedSpan span("after-clear", tracer);
+  }
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_GE(tracer.records()[0].start_us, 0.0);
+}
+
+TEST(Tracer, ChromeTraceJsonRoundTripsThroughParser) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan outer("stage", tracer);
+    ScopedSpan inner("step", tracer);
+  }
+  const std::string text = tracer.chrome_trace_json().dump(2);
+  const json::Value parsed = json::parse(text);
+  ASSERT_TRUE(parsed.is_array());
+  ASSERT_EQ(parsed.size(), 2u);
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    const json::Value& event = parsed.at(i);
+    EXPECT_TRUE(event.at("name").is_string());
+    EXPECT_EQ(event.at("ph").as_string(), "X");
+    EXPECT_EQ(event.at("cat").as_string(), "anacin");
+    EXPECT_GE(event.at("ts").as_number(), 0.0);
+    EXPECT_GE(event.at("dur").as_number(), 0.0);
+    EXPECT_GE(event.at("tid").as_number(), 1.0);
+    EXPECT_TRUE(event.at("args").contains("depth"));
+  }
+  const auto name_of = [&](std::size_t i) {
+    return parsed.at(i).at("name").as_string();
+  };
+  EXPECT_EQ(name_of(0), "step");
+  EXPECT_EQ(name_of(1), "stage");
+}
+
+TEST(Tracer, GlobalMacroRecordsWhenEnabled) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    ANACIN_SPAN("macro.scope");
+  }
+  tracer.set_enabled(false);
+  const std::vector<SpanRecord> records = tracer.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "macro.scope");
+  tracer.clear();
+}
+
+TEST(Tracer, ConcurrentRecordingIsSafe) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ScopedSpan span("burst", tracer);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(tracer.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace anacin::obs
