@@ -1,6 +1,9 @@
 #include "cli/cli_app.hpp"
 
+#include <cstdlib>
 #include <iostream>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string_view>
@@ -10,6 +13,7 @@
 #include "course/quiz.hpp"
 #include "course/use_cases.hpp"
 #include "obs/obs.hpp"
+#include "store/store.hpp"
 #include "support/error.hpp"
 
 namespace anacin::cli {
@@ -186,6 +190,7 @@ int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
   std::string reduction = "to_reference";
   std::string csv_out;
   std::string violin_out;
+  std::string json_out;
   ArgParser parser("anacin measure — quantify a mini-app's non-determinism");
   workload.add_to(parser);
   parser.add_int("runs", "number of independent executions", &runs);
@@ -195,6 +200,8 @@ int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
   parser.add_string("reduction", "to_reference | pairwise", &reduction);
   parser.add_string("csv", "write the distance sample as CSV", &csv_out);
   parser.add_string("violin", "write a violin plot SVG", &violin_out);
+  parser.add_string("json", "write the full measurement result as JSON",
+                    &json_out);
   if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
 
   core::CampaignConfig config = workload.campaign(runs, kernel, policy);
@@ -224,6 +231,10 @@ int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
     }
     csv.save(csv_out);
     out << "distances written to " << csv_out << '\n';
+  }
+  if (!json_out.empty()) {
+    core::write_json_file(json_out, result.to_json());
+    out << "measurement written to " << json_out << '\n';
   }
   if (!violin_out.empty()) {
     viz::violin_plot({{workload.pattern,
@@ -648,6 +659,81 @@ int cmd_course(const std::vector<const char*>& argv, std::ostream& out) {
   }
 }
 
+int cmd_cache(const std::vector<const char*>& argv, std::ostream& out) {
+  // The action is the first non-flag operand; everything else goes to the
+  // option parser (ArgParser has no positional-argument support).
+  std::string action;
+  std::vector<const char*> rest;
+  rest.push_back(argv.empty() ? "anacin" : argv[0]);
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string_view arg = argv[i];
+    if (action.empty() && !arg.empty() && arg[0] != '-') {
+      action = std::string(arg);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+
+  std::uint64_t max_bytes = std::numeric_limits<std::uint64_t>::max();
+  ArgParser parser(
+      "anacin cache <stats|verify|gc> — inspect and maintain the artifact "
+      "store (pass --store DIR before the command, or set ANACIN_STORE_DIR)");
+  parser.add_uint64("max-bytes",
+                    "gc: evict least-recently-used objects until the store "
+                    "is at most this many bytes",
+                    &max_bytes);
+  if (!parser.parse(static_cast<int>(rest.size()), rest.data())) return 0;
+  if (action.empty()) {
+    throw ConfigError("cache needs an action: stats, verify, or gc");
+  }
+  store::ArtifactStore* store = store::active_store();
+  if (store == nullptr) {
+    throw ConfigError(
+        "cache needs a store: pass --store DIR before the command or set "
+        "ANACIN_STORE_DIR");
+  }
+
+  if (action == "stats") {
+    const store::ObjectStore::Stats stats = store->objects().stats();
+    out << "store root:     " << store->objects().root().string() << '\n'
+        << "objects:        " << stats.objects << '\n'
+        << "total bytes:    " << stats.total_bytes << '\n';
+    for (const auto& [kind, count] : stats.kind_counts) {
+      out << "  " << pad_right(kind, 16) << count << '\n';
+    }
+    out << "memory cache:   " << stats.memory_objects << " objects, "
+        << stats.memory_bytes << " / " << stats.memory_max_bytes
+        << " bytes\n";
+    return 0;
+  }
+  if (action == "verify") {
+    const store::ObjectStore::VerifyReport report = store->objects().verify();
+    out << "checked " << report.checked << " objects: "
+        << report.corrupt.size() << " corrupt, " << report.foreign.size()
+        << " foreign\n";
+    for (const std::string& key : report.corrupt) {
+      out << "  corrupt: " << key << '\n';
+    }
+    for (const std::string& path : report.foreign) {
+      out << "  foreign: " << path << '\n';
+    }
+    return report.ok() ? 0 : 1;
+  }
+  if (action == "gc") {
+    if (max_bytes == std::numeric_limits<std::uint64_t>::max()) {
+      throw ConfigError("cache gc requires --max-bytes");
+    }
+    const store::ObjectStore::GcReport report =
+        store->objects().gc(max_bytes);
+    out << "removed " << report.removed_objects << " objects ("
+        << report.removed_bytes << " bytes); " << report.remaining_objects
+        << " objects (" << report.remaining_bytes << " bytes) remain\n";
+    return 0;
+  }
+  throw ConfigError("unknown cache action '" + action +
+                    "' (expected stats, verify, or gc)");
+}
+
 const char kUsage[] =
     "anacin — analysis of non-determinism in (simulated) MPI applications\n"
     "\n"
@@ -658,6 +744,13 @@ const char kUsage[] =
     "  --metrics-out FILE   write a JSON metrics snapshot on exit\n"
     "  --trace-out FILE     record spans; write a Chrome trace-event JSON\n"
     "                       (open in chrome://tracing or ui.perfetto.dev)\n"
+    "  --store DIR          content-addressed artifact store: simulations\n"
+    "                       and kernel distances are cached and reused\n"
+    "                       (defaults to $ANACIN_STORE_DIR when set)\n"
+    "  --no-store           disable the store even if ANACIN_STORE_DIR is set\n"
+    "  --store-max-bytes N  in-memory cache budget of the store (default\n"
+    "                       268435456 = 256 MiB; disk usage is unbounded —\n"
+    "                       prune with `anacin cache gc`)\n"
     "\n"
     "commands:\n"
     "  patterns    list the packaged mini-applications\n"
@@ -670,12 +763,17 @@ const char kUsage[] =
     "  course      course-module tables, schedule, and use cases\n"
     "  quiz        comprehension questions with automatic grading\n"
     "  report      self-contained HTML analysis report (notebook-style)\n"
-    "  figures     index of the reproduced paper tables and figures\n";
+    "  figures     index of the reproduced paper tables and figures\n"
+    "  cache       artifact-store maintenance: stats, verify, gc\n";
 
-/// Global observability outputs, parsed before the subcommand name.
-struct ObsOptions {
+/// Global options, parsed before the subcommand name.
+struct GlobalOptions {
   std::string metrics_out;
   std::string trace_out;
+  /// Artifact-store directory; empty disables incremental execution.
+  std::string store_dir;
+  bool no_store = false;
+  std::uint64_t store_max_bytes = 256ull << 20;
 };
 
 int dispatch(const std::string& command, const std::vector<const char*>& rest,
@@ -695,20 +793,25 @@ int dispatch(const std::string& command, const std::vector<const char*>& rest,
   if (command == "quiz") return cmd_quiz(rest, out);
   if (command == "report") return cmd_report(rest, out);
   if (command == "figures") return cmd_figures(rest, out);
+  if (command == "cache") return cmd_cache(rest, out);
   err << "unknown command '" << command << "'\n\n" << kUsage;
   return 2;
 }
 
-/// Consume leading --metrics-out/--trace-out options; returns the index of
-/// the subcommand name (or argc when none is left).
-int parse_obs_options(int argc, const char* const* argv, ObsOptions* options) {
+/// Consume leading global options; returns the index of the subcommand
+/// name (or argc when none is left).
+int parse_global_options(int argc, const char* const* argv,
+                         GlobalOptions* options) {
+  std::string store_max_bytes_text;
   int index = 1;
   while (index < argc) {
     const std::string_view arg = argv[index];
-    const auto take = [&](std::string_view flag, std::string* value) {
+    const auto take = [&](std::string_view flag, std::string* value,
+                          std::string_view operand) {
       if (arg == flag) {
         if (index + 1 >= argc) {
-          throw ConfigError(std::string(flag) + " requires a file path");
+          throw ConfigError(std::string(flag) + " requires " +
+                            std::string(operand));
         }
         *value = argv[index + 1];
         index += 2;
@@ -722,26 +825,66 @@ int parse_obs_options(int argc, const char* const* argv, ObsOptions* options) {
       }
       return false;
     };
-    if (take("--metrics-out", &options->metrics_out)) continue;
-    if (take("--trace-out", &options->trace_out)) continue;
+    if (take("--metrics-out", &options->metrics_out, "a file path")) continue;
+    if (take("--trace-out", &options->trace_out, "a file path")) continue;
+    if (take("--store", &options->store_dir, "a directory path")) continue;
+    if (take("--store-max-bytes", &store_max_bytes_text, "a byte count")) {
+      continue;
+    }
+    if (arg == "--no-store") {
+      options->no_store = true;
+      ++index;
+      continue;
+    }
     break;
   }
+  if (!store_max_bytes_text.empty()) {
+    try {
+      options->store_max_bytes = std::stoull(store_max_bytes_text);
+    } catch (const std::exception&) {
+      throw ConfigError("--store-max-bytes expects a byte count, got '" +
+                        store_max_bytes_text + "'");
+    }
+  }
+  // Opt-in default so cron jobs / CI can turn on caching fleet-wide
+  // without touching every invocation.
+  if (options->store_dir.empty() && !options->no_store) {
+    if (const char* env = std::getenv("ANACIN_STORE_DIR");
+        env != nullptr && env[0] != '\0') {
+      options->store_dir = env;
+    }
+  }
+  if (options->no_store) options->store_dir.clear();
   return index;
 }
+
+/// Clears the process-global store pointer on scope exit (the store object
+/// itself lives in run_cli and must outlive every campaign).
+struct ActiveStoreGuard {
+  ~ActiveStoreGuard() { store::set_active_store(nullptr); }
+};
 
 }  // namespace
 
 int run_cli(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err) {
   try {
-    ObsOptions obs_options;
-    const int command_index = parse_obs_options(argc, argv, &obs_options);
+    GlobalOptions global_options;
+    const int command_index = parse_global_options(argc, argv, &global_options);
     if (command_index >= argc) {
       out << kUsage;
       return 0;
     }
-    if (!obs_options.trace_out.empty()) {
+    if (!global_options.trace_out.empty()) {
       obs::Tracer::global().set_enabled(true);
+    }
+    std::unique_ptr<store::ArtifactStore> artifact_store;
+    ActiveStoreGuard store_guard;
+    if (!global_options.store_dir.empty()) {
+      artifact_store = std::make_unique<store::ArtifactStore>(
+          store::ObjectStore::Config{global_options.store_dir,
+                                     global_options.store_max_bytes});
+      store::set_active_store(artifact_store.get());
     }
 
     const std::string command = argv[command_index];
@@ -752,15 +895,15 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
 
     const int code = dispatch(command, rest, out, err);
 
-    if (!obs_options.metrics_out.empty()) {
-      core::write_json_file(obs_options.metrics_out,
+    if (!global_options.metrics_out.empty()) {
+      core::write_json_file(global_options.metrics_out,
                             obs::Registry::global().snapshot_json());
-      out << "metrics written to " << obs_options.metrics_out << '\n';
+      out << "metrics written to " << global_options.metrics_out << '\n';
     }
-    if (!obs_options.trace_out.empty()) {
-      core::write_json_file(obs_options.trace_out,
+    if (!global_options.trace_out.empty()) {
+      core::write_json_file(global_options.trace_out,
                             obs::Tracer::global().chrome_trace_json());
-      out << "trace written to " << obs_options.trace_out << '\n';
+      out << "trace written to " << global_options.trace_out << '\n';
     }
     return code;
   } catch (const Error& error) {

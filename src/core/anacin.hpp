@@ -10,6 +10,7 @@
 ///  - patterns: packaged mini-applications
 ///  - replay:   record-and-replay of wildcard matching
 ///  - analysis: statistics, KDE, ND measurement, root-cause attribution
+///  - store:    content-addressed artifact store (incremental execution)
 ///  - viz:      SVG + ASCII visualisations
 ///  - core:     campaign orchestration and reporting
 
@@ -31,6 +32,8 @@
 #include "patterns/pattern.hpp"
 #include "replay/replay.hpp"
 #include "sim/simulator.hpp"
+#include "store/codec.hpp"
+#include "store/store.hpp"
 #include "support/cli.hpp"
 #include "support/string_util.hpp"
 #include "support/thread_pool.hpp"

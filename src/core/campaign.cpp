@@ -1,5 +1,11 @@
 #include "core/campaign.hpp"
 
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
 #include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -73,7 +79,165 @@ sim::RunResult run_pattern_once(const std::string& pattern,
   return sim::run_simulation(sim_config, pattern_impl->program(shape));
 }
 
-CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool) {
+namespace {
+
+/// Process-wide memo of jitter-free reference executions, keyed by the
+/// reference run's artifact key. Sweep points differ only in nd_fraction,
+/// which the reference run zeroes out, so an 11-point sweep shares one
+/// reference simulation. Works with or without an artifact store.
+struct ReferenceMemo {
+  std::mutex mutex;
+  std::unordered_map<std::string, std::shared_ptr<const graph::EventGraph>>
+      by_key;
+};
+
+ReferenceMemo& reference_memo() {
+  static ReferenceMemo memo;
+  return memo;
+}
+
+/// Coarse bound so a long-lived process sweeping many shapes cannot grow
+/// the memo without limit (graphs are a few MB each at paper scale).
+constexpr std::size_t kMaxReferenceMemoEntries = 64;
+
+/// Produce the reference event graph: memo, then store, then simulate.
+/// Each unique reference key is simulated at most once per process (see
+/// the `campaign.reference_sims` counter).
+std::shared_ptr<const graph::EventGraph> reference_graph(
+    const CampaignConfig& config, const sim::RankProgram& program,
+    store::ArtifactStore* store) {
+  const sim::SimConfig sim_config = config.reference_sim_config();
+  const store::Digest key =
+      store::ArtifactStore::run_key(config.pattern, config.shape, sim_config);
+  const std::string hex = key.to_hex();
+
+  ReferenceMemo& memo = reference_memo();
+  {
+    std::lock_guard<std::mutex> lock(memo.mutex);
+    if (const auto it = memo.by_key.find(hex); it != memo.by_key.end()) {
+      return it->second;
+    }
+  }
+
+  std::shared_ptr<const graph::EventGraph> graph;
+  if (store != nullptr) {
+    if (auto cached = store->load_run(key)) {
+      graph = std::make_shared<const graph::EventGraph>(
+          std::move(cached->graph));
+    }
+  }
+  if (!graph) {
+    obs::counter("campaign.reference_sims").add(1);
+    const sim::RunResult run = sim::run_simulation(sim_config, program);
+    store::EncodedRun encoded;
+    encoded.graph = graph::EventGraph::from_trace(run.trace);
+    encoded.messages = run.stats.messages;
+    encoded.wildcard_recvs = run.stats.wildcard_recvs;
+    if (store != nullptr) store->save_run(key, encoded);
+    graph = std::make_shared<const graph::EventGraph>(
+        std::move(encoded.graph));
+  }
+
+  std::lock_guard<std::mutex> lock(memo.mutex);
+  if (memo.by_key.size() >= kMaxReferenceMemoEntries) memo.by_key.clear();
+  memo.by_key.emplace(hex, graph);
+  return graph;
+}
+
+/// Store-backed equivalent of analysis::measure_nd: every pair distance is
+/// a store lookup first; only misses build features and compute (via
+/// kernels::counted_distance, so `kernels.distances_computed` stays an
+/// exact census and a fully warm campaign leaves it untouched). Argument
+/// orders mirror the batched kernels:: entry points so results are
+/// bit-identical with and without a store.
+analysis::NdMeasurement measure_nd_with_store(
+    const CampaignConfig& config, const std::vector<graph::EventGraph>& runs,
+    const std::vector<store::Digest>& run_keys,
+    const graph::EventGraph& reference, const store::Digest& reference_key,
+    ThreadPool& pool, store::ArtifactStore& store) {
+  ANACIN_SPAN("analysis.measure_nd");
+  obs::counter("analysis.nd_measurements").add(1);
+  const auto kernel = kernels::make_kernel(config.kernel);
+  const std::size_t n = runs.size();
+
+  struct Pair {
+    std::size_t a;  // index into runs, or n for the reference
+    std::size_t b;
+    std::size_t out;  // slot in measurement.distances
+    store::Digest key;
+  };
+  const auto key_of = [&](std::size_t index) -> const store::Digest& {
+    return index == n ? reference_key : run_keys[index];
+  };
+
+  std::vector<Pair> pairs;
+  if (config.measurement_reduction_is_reference()) {
+    pairs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // distances_to_reference order: (reference, run i).
+      pairs.push_back({n, i, i, {}});
+    }
+  } else {
+    pairs.reserve(n * (n - 1) / 2);
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        // upper_triangle order of pairwise_distances.
+        pairs.push_back({i, j, out++, {}});
+      }
+    }
+  }
+  for (Pair& pair : pairs) {
+    pair.key = store::ArtifactStore::distance_key(
+        config.kernel, config.label_policy, key_of(pair.a), key_of(pair.b));
+  }
+
+  analysis::NdMeasurement measurement;
+  measurement.reduction = config.reduction;
+  measurement.distances.assign(pairs.size(), 0.0);
+
+  std::vector<Pair> misses;
+  std::vector<char> need_features(n + 1, 0);
+  for (const Pair& pair : pairs) {
+    if (const auto hit = store.load_distance(pair.key)) {
+      measurement.distances[pair.out] = *hit;
+    } else {
+      need_features[pair.a] = 1;
+      need_features[pair.b] = 1;
+      misses.push_back(pair);
+    }
+  }
+  if (misses.empty()) return measurement;
+
+  // Feature-embed only the graphs that participate in a miss (index n is
+  // the reference).
+  std::vector<kernels::FeatureVector> features(n + 1);
+  {
+    ANACIN_SPAN("kernels.feature_extraction");
+    static obs::Counter& feature_tasks =
+        obs::counter("kernels.feature_tasks");
+    pool.parallel_for(0, n + 1, [&](std::size_t i) {
+      if (!need_features[i]) return;
+      const graph::EventGraph& graph = i == n ? reference : runs[i];
+      features[i] = kernel->features(
+          kernels::build_labeled_graph(graph, config.label_policy));
+      feature_tasks.add(1);
+    });
+  }
+  pool.parallel_for(0, misses.size(), [&](std::size_t m) {
+    const Pair& pair = misses[m];
+    const double distance =
+        kernels::counted_distance(features[pair.a], features[pair.b]);
+    measurement.distances[pair.out] = distance;
+    store.save_distance(pair.key, distance);
+  });
+  return measurement;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
+                            store::ArtifactStore* store) {
   ANACIN_SPAN("campaign.run");
   ANACIN_CHECK(config.num_runs >= 1, "campaign needs at least one run");
   ANACIN_CHECK(config.nd_fraction >= 0.0 && config.nd_fraction <= 1.0,
@@ -83,28 +247,41 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool) {
       .add(static_cast<std::uint64_t>(config.num_runs));
   const auto pattern = patterns::make_pattern(config.pattern);
   const sim::RankProgram program = pattern->program(config.shape);
+  const std::size_t num_runs = static_cast<std::size_t>(config.num_runs);
 
   CampaignResult result;
   result.config = config;
-  result.graphs.resize(static_cast<std::size_t>(config.num_runs));
-  std::vector<std::uint64_t> messages(
-      static_cast<std::size_t>(config.num_runs));
-  std::vector<std::uint64_t> wildcards(
-      static_cast<std::size_t>(config.num_runs));
+  result.graphs.resize(num_runs);
+  std::vector<std::uint64_t> messages(num_runs);
+  std::vector<std::uint64_t> wildcards(num_runs);
+  std::vector<store::Digest> run_keys(num_runs);
 
   {
     ANACIN_SPAN("campaign.simulate");
-    pool.parallel_for(0, static_cast<std::size_t>(config.num_runs),
-                      [&](std::size_t i) {
-                        ANACIN_SPAN("campaign.simulate_run");
-                        const sim::RunResult run = sim::run_simulation(
-                            config.sim_config_for_run(static_cast<int>(i)),
-                            program);
-                        result.graphs[i] =
-                            graph::EventGraph::from_trace(run.trace);
-                        messages[i] = run.stats.messages;
-                        wildcards[i] = run.stats.wildcard_recvs;
-                      });
+    pool.parallel_for(0, num_runs, [&](std::size_t i) {
+      ANACIN_SPAN("campaign.simulate_run");
+      const sim::SimConfig sim_config =
+          config.sim_config_for_run(static_cast<int>(i));
+      run_keys[i] = store::ArtifactStore::run_key(config.pattern,
+                                                  config.shape, sim_config);
+      if (store != nullptr) {
+        if (auto cached = store->load_run(run_keys[i])) {
+          result.graphs[i] = std::move(cached->graph);
+          messages[i] = cached->messages;
+          wildcards[i] = cached->wildcard_recvs;
+          return;
+        }
+      }
+      const sim::RunResult run = sim::run_simulation(sim_config, program);
+      store::EncodedRun encoded;
+      encoded.graph = graph::EventGraph::from_trace(run.trace);
+      encoded.messages = run.stats.messages;
+      encoded.wildcard_recvs = run.stats.wildcard_recvs;
+      if (store != nullptr) store->save_run(run_keys[i], encoded);
+      result.graphs[i] = std::move(encoded.graph);
+      messages[i] = encoded.messages;
+      wildcards[i] = encoded.wildcard_recvs;
+    });
   }
   for (std::size_t i = 0; i < messages.size(); ++i) {
     result.total_messages += messages[i];
@@ -113,17 +290,23 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool) {
 
   {
     ANACIN_SPAN("campaign.reference_run");
-    const sim::RunResult reference_run =
-        sim::run_simulation(config.reference_sim_config(), program);
-    result.reference = graph::EventGraph::from_trace(reference_run.trace);
+    result.reference = *reference_graph(config, program, store);
   }
 
   {
     ANACIN_SPAN("campaign.measure");
-    const auto kernel = kernels::make_kernel(config.kernel);
-    result.measurement =
-        analysis::measure_nd(*kernel, config.label_policy, result.graphs,
-                             &result.reference, config.reduction, pool);
+    if (store != nullptr) {
+      const store::Digest reference_key = store::ArtifactStore::run_key(
+          config.pattern, config.shape, config.reference_sim_config());
+      result.measurement =
+          measure_nd_with_store(config, result.graphs, run_keys,
+                                result.reference, reference_key, pool, *store);
+    } else {
+      const auto kernel = kernels::make_kernel(config.kernel);
+      result.measurement =
+          analysis::measure_nd(*kernel, config.label_policy, result.graphs,
+                               &result.reference, config.reduction, pool);
+    }
     result.distance_summary =
         analysis::summarize(result.measurement.distances);
   }

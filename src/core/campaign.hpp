@@ -9,6 +9,7 @@
 #include "kernels/kernel.hpp"
 #include "patterns/pattern.hpp"
 #include "sim/simulator.hpp"
+#include "store/store.hpp"
 #include "support/json.hpp"
 #include "support/thread_pool.hpp"
 
@@ -59,7 +60,22 @@ struct CampaignResult {
 
 /// Execute a campaign: num_runs simulations (parallel across the pool),
 /// the reference run, and the kernel-distance reduction.
-CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool);
+///
+/// With a store (the process-global one by default — the default argument
+/// is evaluated at each call, so installing a store via
+/// store::set_active_store() makes every campaign incremental), each run
+/// and each kernel distance is a content-addressed lookup first and a
+/// computation only on a miss; a warm store re-runs a campaign without a
+/// single simulation or distance computation, bit-identically. Pass
+/// nullptr to force everything to be recomputed.
+///
+/// The jitter-free reference execution is additionally memoized in-process
+/// (independent of the store), so sweep points that share
+/// (pattern, shape, base_seed) simulate it once — see the
+/// `campaign.reference_sims` counter.
+CampaignResult run_campaign(
+    const CampaignConfig& config, ThreadPool& pool,
+    store::ArtifactStore* store = store::active_store());
 
 /// Convenience for single executions of a pattern.
 sim::RunResult run_pattern_once(const std::string& pattern,

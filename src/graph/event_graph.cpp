@@ -40,16 +40,6 @@ EventGraph EventGraph::from_trace(const trace::Trace& trace) {
     }
   }
 
-  Digraph::Builder builder(total);
-  // Program-order edges between consecutive events of a rank.
-  for (int r = 0; r < num_ranks; ++r) {
-    const NodeId base = graph.rank_base(r);
-    const std::size_t count = graph.rank_size(r);
-    for (std::size_t i = 1; i < count; ++i) {
-      builder.add_edge(base + static_cast<NodeId>(i) - 1,
-                       base + static_cast<NodeId>(i));
-    }
-  }
   // Message edges from each send to its matched receive.
   for (int r = 0; r < num_ranks; ++r) {
     const auto& events = trace.rank_events(r);
@@ -63,23 +53,75 @@ EventGraph EventGraph::from_trace(const trace::Trace& trace) {
       const NodeId recv_node = graph.node_of(r, static_cast<std::int64_t>(i));
       ANACIN_CHECK(graph.nodes_[send_node].type == trace::EventType::kSend,
                    "matched event is not a send");
-      builder.add_edge(send_node, recv_node);
       graph.message_edges_.emplace_back(send_node, recv_node);
     }
   }
-  graph.digraph_ = std::move(builder).build();
+  graph.finalize_structure();
+  return graph;
+}
+
+EventGraph EventGraph::from_parts(
+    std::vector<EventNode> nodes, std::vector<std::size_t> rank_offsets,
+    std::vector<std::pair<NodeId, NodeId>> message_edges,
+    trace::CallstackRegistry callstacks) {
+  if (rank_offsets.size() < 2 || rank_offsets.front() != 0 ||
+      rank_offsets.back() != nodes.size()) {
+    throw ParseError("event graph parts: malformed rank offsets");
+  }
+  for (std::size_t r = 1; r < rank_offsets.size(); ++r) {
+    if (rank_offsets[r] < rank_offsets[r - 1]) {
+      throw ParseError("event graph parts: rank offsets not monotone");
+    }
+  }
+  for (const auto& node : nodes) {
+    if (node.callstack_id >= callstacks.size()) {
+      throw ParseError("event graph parts: callstack id out of range");
+    }
+  }
+  for (const auto& [send_node, recv_node] : message_edges) {
+    if (send_node >= nodes.size() || recv_node >= nodes.size() ||
+        nodes[send_node].type != trace::EventType::kSend ||
+        nodes[recv_node].type != trace::EventType::kRecv) {
+      throw ParseError("event graph parts: invalid message edge");
+    }
+  }
+  EventGraph graph;
+  graph.nodes_ = std::move(nodes);
+  graph.rank_offsets_ = std::move(rank_offsets);
+  graph.message_edges_ = std::move(message_edges);
+  graph.callstacks_ = std::move(callstacks);
+  graph.finalize_structure();
+  return graph;
+}
+
+void EventGraph::finalize_structure() {
+  Digraph::Builder builder(nodes_.size());
+  // Program-order edges between consecutive events of a rank.
+  for (int r = 0; r < num_ranks(); ++r) {
+    const NodeId base = rank_base(r);
+    const std::size_t count = rank_size(r);
+    for (std::size_t i = 1; i < count; ++i) {
+      builder.add_edge(base + static_cast<NodeId>(i) - 1,
+                       base + static_cast<NodeId>(i));
+    }
+  }
+  // Message edges from each send to its matched receive.
+  for (const auto& [send_node, recv_node] : message_edges_) {
+    builder.add_edge(send_node, recv_node);
+  }
+  digraph_ = std::move(builder).build();
 
   // Lamport clocks over the DAG: 1 + max over predecessors.
-  const std::vector<NodeId> order = graph.digraph_.topological_order();
+  max_lamport_ = 0;
+  const std::vector<NodeId> order = digraph_.topological_order();
   for (const NodeId v : order) {
     std::uint64_t clock = 1;
-    for (const NodeId u : graph.digraph_.in_neighbors(v)) {
-      clock = std::max(clock, graph.nodes_[u].lamport + 1);
+    for (const NodeId u : digraph_.in_neighbors(v)) {
+      clock = std::max(clock, nodes_[u].lamport + 1);
     }
-    graph.nodes_[v].lamport = clock;
-    graph.max_lamport_ = std::max(graph.max_lamport_, clock);
+    nodes_[v].lamport = clock;
+    max_lamport_ = std::max(max_lamport_, clock);
   }
-  return graph;
 }
 
 const EventNode& EventGraph::node(NodeId id) const {

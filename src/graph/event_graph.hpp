@@ -39,6 +39,17 @@ class EventGraph {
 public:
   static EventGraph from_trace(const trace::Trace& trace);
 
+  /// Rebuild a graph from its serialized parts (the binary codec in
+  /// src/store). `rank_offsets` has num_ranks+1 monotone entries ending at
+  /// nodes.size(); message edges must connect a send to a recv. Program
+  /// order edges, the digraph, and Lamport clocks are reconstructed
+  /// deterministically, so a round trip through the codec is exact.
+  /// Throws ParseError on structurally invalid parts.
+  static EventGraph from_parts(
+      std::vector<EventNode> nodes, std::vector<std::size_t> rank_offsets,
+      std::vector<std::pair<NodeId, NodeId>> message_edges,
+      trace::CallstackRegistry callstacks);
+
   std::size_t num_nodes() const { return nodes_.size(); }
   int num_ranks() const { return static_cast<int>(rank_offsets_.size()) - 1; }
 
@@ -63,6 +74,10 @@ public:
   const trace::CallstackRegistry& callstacks() const { return callstacks_; }
 
 private:
+  /// Build digraph_ (program order + message edges) and Lamport clocks
+  /// from nodes_, rank_offsets_, and message_edges_.
+  void finalize_structure();
+
   std::vector<EventNode> nodes_;
   std::vector<std::size_t> rank_offsets_;  // size num_ranks+1
   Digraph digraph_;

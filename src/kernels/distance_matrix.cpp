@@ -71,4 +71,10 @@ std::vector<double> distances_to_reference(
   return result;
 }
 
+double counted_distance(const FeatureVector& a, const FeatureVector& b) {
+  static obs::Counter& distances = obs::counter("kernels.distances_computed");
+  distances.add(1);
+  return kernel_distance(a, b);
+}
+
 }  // namespace anacin::kernels

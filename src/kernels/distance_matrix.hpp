@@ -34,4 +34,11 @@ std::vector<double> distances_to_reference(
     const GraphKernel& kernel, const LabeledGraph& reference,
     const std::vector<LabeledGraph>& graphs, ThreadPool& pool);
 
+/// One pair distance, accounted in the `kernels.distances_computed`
+/// counter like the batched entry points above. The artifact store's
+/// incremental measurement path uses this for cache misses so that the
+/// counter stays an exact census of distance computations (a warm cached
+/// campaign must leave it untouched).
+double counted_distance(const FeatureVector& a, const FeatureVector& b);
+
 }  // namespace anacin::kernels

@@ -31,6 +31,10 @@ struct PatternConfig {
   double compute_us = 5.0;
 
   void validate() const;
+  /// Complete canonical serialization — every field that shapes the rank
+  /// program. This is the form hashed into artifact-store keys, so a new
+  /// behavioral field MUST be added here too.
+  json::Value to_json() const;
 };
 
 /// A named mini-application with a known communication pattern.

@@ -15,6 +15,17 @@ void PatternConfig::validate() const {
   ANACIN_CHECK(compute_us >= 0.0, "compute time must be non-negative");
 }
 
+json::Value PatternConfig::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("num_ranks", num_ranks);
+  doc.set("iterations", iterations);
+  doc.set("message_bytes", static_cast<std::int64_t>(message_bytes));
+  doc.set("topology_seed", topology_seed);
+  doc.set("mesh_extra_degree", mesh_extra_degree);
+  doc.set("compute_us", compute_us);
+  return doc;
+}
+
 namespace {
 
 using sim::Comm;

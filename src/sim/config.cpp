@@ -67,6 +67,9 @@ json::Value SimConfig::to_json() const {
   doc.set("num_nodes", num_nodes);
   doc.set("seed", static_cast<std::uint64_t>(seed));
   doc.set("network", network.to_json());
+  // max_calls is part of the config's identity (it changes when a run
+  // fails), so it belongs in the canonical form hashed by src/store.
+  doc.set("max_calls", max_calls);
   doc.set("replay", replay != nullptr);
   return doc;
 }

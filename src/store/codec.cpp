@@ -1,0 +1,427 @@
+#include "store/codec.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "store/hash.hpp"
+#include "support/error.hpp"
+
+namespace anacin::store {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'N', 'C', 'S'};
+
+/// Append-only little-endian writer for artifact payloads.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t value) { bytes_.push_back(value); }
+  void u16(std::uint16_t value) { integer(value, 2); }
+  void u32(std::uint32_t value) { integer(value, 4); }
+  void u64(std::uint64_t value) { integer(value, 8); }
+  void i32(std::int32_t value) { u32(static_cast<std::uint32_t>(value)); }
+  void i64(std::int64_t value) { u64(static_cast<std::uint64_t>(value)); }
+  void f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
+  void string(std::string_view text) {
+    u64(text.size());
+    bytes_.insert(bytes_.end(), text.begin(), text.end());
+  }
+
+  std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+
+ private:
+  void integer(std::uint64_t value, int width) {
+    for (int i = 0; i < width; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian reader; every overrun throws ParseError
+/// mentioning truncation so corrupt / cut-short files fail loudly.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(integer(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(integer(4)); }
+  std::uint64_t u64() { return integer(8); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string string() {
+    const std::uint64_t size = u64();
+    const auto data = take(size);
+    return std::string(reinterpret_cast<const char*>(data.data()),
+                       data.size());
+  }
+  /// Container count, sanity-bounded (every element is at least one byte)
+  /// so a corrupt length cannot trigger a giant allocation before the
+  /// out-of-bounds read would be noticed.
+  std::uint64_t count() {
+    const std::uint64_t n = u64();
+    if (n > remaining()) {
+      throw ParseError("truncated artifact: container count exceeds payload");
+    }
+    return n;
+  }
+
+  std::uint64_t remaining() const { return bytes_.size() - pos_; }
+  bool at_end() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> take(std::uint64_t size) {
+    if (size > bytes_.size() - pos_) {
+      throw ParseError("truncated artifact: payload ends mid-field");
+    }
+    const auto view = bytes_.subspan(pos_, size);
+    pos_ += size;
+    return view;
+  }
+
+  std::uint64_t integer(int width) {
+    const auto data = take(static_cast<std::uint64_t>(width));
+    std::uint64_t value = 0;
+    for (int i = width - 1; i >= 0; --i) {
+      value = (value << 8) | data[static_cast<std::size_t>(i)];
+    }
+    return value;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::uint64_t pos_ = 0;
+};
+
+std::vector<std::uint8_t> seal(Kind kind, std::vector<std::uint8_t> payload) {
+  Fnv1a checksum;
+  checksum.update(payload.data(), payload.size());
+
+  ByteWriter header;
+  for (const char c : kMagic) header.u8(static_cast<std::uint8_t>(c));
+  header.u16(kFormatVersion);
+  header.u16(static_cast<std::uint16_t>(kind));
+  header.u64(payload.size());
+  header.u64(checksum.value());
+
+  std::vector<std::uint8_t> blob = std::move(header).take();
+  blob.insert(blob.end(), payload.begin(), payload.end());
+  return blob;
+}
+
+/// Validate the envelope and return the payload span, additionally
+/// requiring the artifact kind to match what the caller decodes.
+std::span<const std::uint8_t> open(std::span<const std::uint8_t> bytes,
+                                   Kind expected) {
+  const Envelope envelope = validate_envelope(bytes);
+  if (envelope.kind != expected) {
+    throw ParseError(std::string("artifact kind mismatch: expected ") +
+                     std::string(kind_name(expected)) + ", found " +
+                     std::string(kind_name(envelope.kind)));
+  }
+  return bytes.subspan(kEnvelopeSize);
+}
+
+void write_event_node(ByteWriter& writer, const graph::EventNode& node) {
+  writer.u8(static_cast<std::uint8_t>(node.type));
+  writer.i32(node.rank);
+  writer.i64(node.seq);
+  writer.i32(node.peer);
+  writer.i32(node.tag);
+  writer.u32(node.size_bytes);
+  writer.f64(node.t_start);
+  writer.f64(node.t_end);
+  writer.u32(node.callstack_id);
+  writer.i32(node.posted_source);
+  writer.u8(node.jittered ? 1 : 0);
+  writer.u64(node.lamport);
+}
+
+graph::EventNode read_event_node(ByteReader& reader) {
+  graph::EventNode node;
+  node.type = static_cast<trace::EventType>(reader.u8());
+  node.rank = reader.i32();
+  node.seq = reader.i64();
+  node.peer = reader.i32();
+  node.tag = reader.i32();
+  node.size_bytes = reader.u32();
+  node.t_start = reader.f64();
+  node.t_end = reader.f64();
+  node.callstack_id = reader.u32();
+  node.posted_source = reader.i32();
+  node.jittered = reader.u8() != 0;
+  node.lamport = reader.u64();
+  return node;
+}
+
+void write_event_graph_payload(ByteWriter& writer,
+                               const graph::EventGraph& graph) {
+  writer.i32(graph.num_ranks());
+  for (int r = 0; r < graph.num_ranks(); ++r) {
+    writer.u64(graph.rank_size(r));
+  }
+  writer.u64(graph.num_nodes());
+  for (const graph::EventNode& node : graph.nodes()) {
+    write_event_node(writer, node);
+  }
+  writer.u64(graph.message_edges().size());
+  for (const auto& [send_node, recv_node] : graph.message_edges()) {
+    writer.u32(send_node);
+    writer.u32(recv_node);
+  }
+  writer.u64(graph.callstacks().paths().size());
+  for (const std::string& path : graph.callstacks().paths()) {
+    writer.string(path);
+  }
+}
+
+graph::EventGraph read_event_graph_payload(ByteReader& reader) {
+  const std::int32_t num_ranks = reader.i32();
+  if (num_ranks < 1) throw ParseError("event graph artifact: no ranks");
+  std::vector<std::size_t> rank_offsets(
+      static_cast<std::size_t>(num_ranks) + 1, 0);
+  for (std::int32_t r = 0; r < num_ranks; ++r) {
+    rank_offsets[static_cast<std::size_t>(r) + 1] =
+        rank_offsets[static_cast<std::size_t>(r)] + reader.u64();
+  }
+  const std::uint64_t num_nodes = reader.count();
+  std::vector<graph::EventNode> nodes;
+  nodes.reserve(num_nodes);
+  for (std::uint64_t i = 0; i < num_nodes; ++i) {
+    nodes.push_back(read_event_node(reader));
+  }
+  const std::uint64_t num_edges = reader.count();
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> message_edges;
+  message_edges.reserve(num_edges);
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    const graph::NodeId send_node = reader.u32();
+    const graph::NodeId recv_node = reader.u32();
+    message_edges.emplace_back(send_node, recv_node);
+  }
+  const std::uint64_t num_callstacks = reader.count();
+  trace::CallstackRegistry callstacks;
+  for (std::uint64_t i = 0; i < num_callstacks; ++i) {
+    const std::uint32_t id = callstacks.intern(reader.string());
+    if (id != i) {
+      throw ParseError("event graph artifact: duplicate callstack path");
+    }
+  }
+  return graph::EventGraph::from_parts(std::move(nodes),
+                                       std::move(rank_offsets),
+                                       std::move(message_edges),
+                                       std::move(callstacks));
+}
+
+}  // namespace
+
+std::string_view kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kTrace: return "trace";
+    case Kind::kEventGraph: return "event_graph";
+    case Kind::kDistances: return "distances";
+    case Kind::kDistanceMatrix: return "distance_matrix";
+    case Kind::kRun: return "run";
+  }
+  return "unknown";
+}
+
+Envelope validate_envelope(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kEnvelopeSize) {
+    throw ParseError("truncated artifact: shorter than the envelope");
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (bytes[i] != static_cast<std::uint8_t>(kMagic[i])) {
+      throw ParseError("not an anacin artifact (bad magic)");
+    }
+  }
+  Envelope envelope;
+  envelope.version =
+      static_cast<std::uint16_t>(bytes[4] | (bytes[5] << 8));
+  if (envelope.version > kFormatVersion) {
+    throw ParseError("artifact uses format version " +
+                     std::to_string(envelope.version) +
+                     " but this build supports up to " +
+                     std::to_string(kFormatVersion) +
+                     " — produced by a newer anacin");
+  }
+  const std::uint16_t raw_kind =
+      static_cast<std::uint16_t>(bytes[6] | (bytes[7] << 8));
+  if (raw_kind < 1 || raw_kind > 5) {
+    throw ParseError("artifact has unknown kind " + std::to_string(raw_kind));
+  }
+  envelope.kind = static_cast<Kind>(raw_kind);
+  std::uint64_t payload_size = 0;
+  std::uint64_t stored_checksum = 0;
+  for (int i = 7; i >= 0; --i) {
+    payload_size = (payload_size << 8) | bytes[8 + static_cast<std::size_t>(i)];
+    stored_checksum =
+        (stored_checksum << 8) | bytes[16 + static_cast<std::size_t>(i)];
+  }
+  envelope.payload_size = payload_size;
+  if (bytes.size() - kEnvelopeSize != payload_size) {
+    throw ParseError("truncated artifact: envelope promises " +
+                     std::to_string(payload_size) + " payload bytes, found " +
+                     std::to_string(bytes.size() - kEnvelopeSize));
+  }
+  Fnv1a checksum;
+  checksum.update(bytes.data() + kEnvelopeSize, payload_size);
+  if (checksum.value() != stored_checksum) {
+    throw ParseError("artifact payload checksum mismatch (corrupt object)");
+  }
+  return envelope;
+}
+
+std::vector<std::uint8_t> encode_trace(const trace::Trace& trace) {
+  ByteWriter writer;
+  writer.i32(trace.num_ranks());
+  writer.i32(trace.num_nodes());
+  writer.u64(trace.callstacks().paths().size());
+  for (const std::string& path : trace.callstacks().paths()) {
+    writer.string(path);
+  }
+  for (int r = 0; r < trace.num_ranks(); ++r) {
+    const auto& events = trace.rank_events(r);
+    writer.u64(events.size());
+    for (const trace::Event& e : events) {
+      writer.u8(static_cast<std::uint8_t>(e.type));
+      writer.i32(e.rank);
+      writer.i32(e.peer);
+      writer.i32(e.tag);
+      writer.u32(e.size_bytes);
+      writer.f64(e.t_start);
+      writer.f64(e.t_end);
+      writer.i32(e.matched_rank);
+      writer.i64(e.matched_seq);
+      writer.i32(e.posted_source);
+      writer.i32(e.posted_tag);
+      writer.u32(e.callstack_id);
+      writer.u8(e.jittered ? 1 : 0);
+    }
+  }
+  return seal(Kind::kTrace, std::move(writer).take());
+}
+
+trace::Trace decode_trace(std::span<const std::uint8_t> bytes) {
+  ByteReader reader(open(bytes, Kind::kTrace));
+  const std::int32_t num_ranks = reader.i32();
+  const std::int32_t num_nodes = reader.i32();
+  trace::Trace trace(num_ranks, num_nodes);
+  const std::uint64_t num_callstacks = reader.count();
+  for (std::uint64_t i = 0; i < num_callstacks; ++i) {
+    const std::uint32_t id = trace.callstacks().intern(reader.string());
+    if (id != i) throw ParseError("trace artifact: duplicate callstack path");
+  }
+  for (std::int32_t r = 0; r < num_ranks; ++r) {
+    const std::uint64_t num_events = reader.count();
+    for (std::uint64_t i = 0; i < num_events; ++i) {
+      trace::Event e;
+      e.type = static_cast<trace::EventType>(reader.u8());
+      e.rank = reader.i32();
+      e.peer = reader.i32();
+      e.tag = reader.i32();
+      e.size_bytes = reader.u32();
+      e.t_start = reader.f64();
+      e.t_end = reader.f64();
+      e.matched_rank = reader.i32();
+      e.matched_seq = reader.i64();
+      e.posted_source = reader.i32();
+      e.posted_tag = reader.i32();
+      e.callstack_id = reader.u32();
+      e.jittered = reader.u8() != 0;
+      if (e.rank != r) {
+        throw ParseError("trace artifact: event rank out of place");
+      }
+      trace.append(e);
+    }
+  }
+  if (!reader.at_end()) {
+    throw ParseError("trace artifact: trailing bytes after payload");
+  }
+  return trace;
+}
+
+std::vector<std::uint8_t> encode_event_graph(const graph::EventGraph& graph) {
+  ByteWriter writer;
+  write_event_graph_payload(writer, graph);
+  return seal(Kind::kEventGraph, std::move(writer).take());
+}
+
+graph::EventGraph decode_event_graph(std::span<const std::uint8_t> bytes) {
+  ByteReader reader(open(bytes, Kind::kEventGraph));
+  graph::EventGraph graph = read_event_graph_payload(reader);
+  if (!reader.at_end()) {
+    throw ParseError("event graph artifact: trailing bytes after payload");
+  }
+  return graph;
+}
+
+std::vector<std::uint8_t> encode_distances(const std::vector<double>& values) {
+  ByteWriter writer;
+  writer.u64(values.size());
+  for (const double value : values) writer.f64(value);
+  return seal(Kind::kDistances, std::move(writer).take());
+}
+
+std::vector<double> decode_distances(std::span<const std::uint8_t> bytes) {
+  ByteReader reader(open(bytes, Kind::kDistances));
+  const std::uint64_t size = reader.count();
+  std::vector<double> values;
+  values.reserve(size);
+  for (std::uint64_t i = 0; i < size; ++i) values.push_back(reader.f64());
+  if (!reader.at_end()) {
+    throw ParseError("distances artifact: trailing bytes after payload");
+  }
+  return values;
+}
+
+std::vector<std::uint8_t> encode_distance_matrix(
+    const kernels::DistanceMatrix& matrix) {
+  ByteWriter writer;
+  writer.u64(matrix.size);
+  for (const double value : matrix.values) writer.f64(value);
+  return seal(Kind::kDistanceMatrix, std::move(writer).take());
+}
+
+kernels::DistanceMatrix decode_distance_matrix(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader reader(open(bytes, Kind::kDistanceMatrix));
+  kernels::DistanceMatrix matrix;
+  matrix.size = reader.u64();
+  if (matrix.size > 1u << 20 ||
+      matrix.size * matrix.size > reader.remaining() / 8) {
+    throw ParseError("truncated artifact: distance matrix size exceeds payload");
+  }
+  const std::uint64_t expected = matrix.size * matrix.size;
+  matrix.values.reserve(expected);
+  for (std::uint64_t i = 0; i < expected; ++i) {
+    matrix.values.push_back(reader.f64());
+  }
+  if (!reader.at_end()) {
+    throw ParseError("distance matrix artifact: trailing bytes after payload");
+  }
+  return matrix;
+}
+
+std::vector<std::uint8_t> encode_run(const EncodedRun& run) {
+  ByteWriter writer;
+  writer.u64(run.messages);
+  writer.u64(run.wildcard_recvs);
+  write_event_graph_payload(writer, run.graph);
+  return seal(Kind::kRun, std::move(writer).take());
+}
+
+EncodedRun decode_run(std::span<const std::uint8_t> bytes) {
+  ByteReader reader(open(bytes, Kind::kRun));
+  EncodedRun run;
+  run.messages = reader.u64();
+  run.wildcard_recvs = reader.u64();
+  run.graph = read_event_graph_payload(reader);
+  if (!reader.at_end()) {
+    throw ParseError("run artifact: trailing bytes after payload");
+  }
+  return run;
+}
+
+}  // namespace anacin::store

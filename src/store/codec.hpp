@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/event_graph.hpp"
+#include "kernels/distance_matrix.hpp"
+#include "trace/trace.hpp"
+
+namespace anacin::store {
+
+/// Versioned binary envelope for every stored artifact:
+///
+///   offset  size  field
+///   0       4     magic "ANCS"
+///   4       2     format version (little-endian; currently 1)
+///   6       2     artifact kind (Kind below)
+///   8       8     payload size in bytes
+///   16      8     FNV-1a 64 checksum of the payload
+///   24      —     payload (little-endian, length-prefixed containers)
+///
+/// Decoding rejects, with distinct error messages: wrong magic, a format
+/// version newer than this build supports, truncated files, checksum
+/// mismatches (bit rot / partial writes), and kind mismatches. Doubles are
+/// bit-cast, so round trips are exact — a decoded artifact reproduces the
+/// original JSON forms byte for byte.
+inline constexpr std::uint16_t kFormatVersion = 1;
+inline constexpr std::size_t kEnvelopeSize = 24;
+
+enum class Kind : std::uint16_t {
+  kTrace = 1,
+  kEventGraph = 2,
+  kDistances = 3,
+  kDistanceMatrix = 4,
+  /// One campaign run: aggregate simulator stats + the event graph.
+  kRun = 5,
+};
+
+std::string_view kind_name(Kind kind);
+
+/// Header metadata of an encoded artifact (available without decoding).
+struct Envelope {
+  std::uint16_t version = 0;
+  Kind kind = Kind::kTrace;
+  std::uint64_t payload_size = 0;
+};
+
+/// Validate magic/version/size/checksum and return the header.
+/// Throws ParseError describing the first violation.
+Envelope validate_envelope(std::span<const std::uint8_t> bytes);
+
+/// One campaign run as stored: the event graph plus the per-run simulator
+/// counters the campaign aggregates (so a cache hit skips the simulator
+/// entirely, not just graph construction).
+struct EncodedRun {
+  graph::EventGraph graph;
+  std::uint64_t messages = 0;
+  std::uint64_t wildcard_recvs = 0;
+};
+
+std::vector<std::uint8_t> encode_trace(const trace::Trace& trace);
+trace::Trace decode_trace(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> encode_event_graph(const graph::EventGraph& graph);
+graph::EventGraph decode_event_graph(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> encode_distances(const std::vector<double>& values);
+std::vector<double> decode_distances(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> encode_distance_matrix(
+    const kernels::DistanceMatrix& matrix);
+kernels::DistanceMatrix decode_distance_matrix(
+    std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> encode_run(const EncodedRun& run);
+EncodedRun decode_run(std::span<const std::uint8_t> bytes);
+
+}  // namespace anacin::store

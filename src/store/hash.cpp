@@ -1,0 +1,61 @@
+#include "store/hash.hpp"
+
+#include <cstdio>
+
+namespace anacin::store {
+
+namespace {
+
+// Second-stream basis: the standard offset basis perturbed by the golden
+// ratio, so the two 64-bit halves of a Digest are effectively independent.
+constexpr std::uint64_t kAltBasis =
+    Fnv1a::kOffsetBasis ^ 0x9E3779B97F4A7C15ull;
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string Digest::to_hex() const {
+  char buffer[33];
+  std::snprintf(buffer, sizeof(buffer), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buffer, 32);
+}
+
+std::optional<Digest> Digest::from_hex(std::string_view hex) {
+  if (hex.size() != 32) return std::nullopt;
+  Digest digest;
+  for (int half = 0; half < 2; ++half) {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 16; ++i) {
+      const int nibble = hex_nibble(hex[static_cast<std::size_t>(half * 16 + i)]);
+      if (nibble < 0) return std::nullopt;
+      value = (value << 4) | static_cast<std::uint64_t>(nibble);
+    }
+    (half == 0 ? digest.hi : digest.lo) = value;
+  }
+  return digest;
+}
+
+Digest digest_bytes(const void* data, std::size_t size) {
+  Fnv1a hi(kAltBasis);
+  Fnv1a lo;
+  hi.update(data, size);
+  lo.update(data, size);
+  return Digest{hi.value(), lo.value()};
+}
+
+Digest digest_string(std::string_view text) {
+  return digest_bytes(text.data(), text.size());
+}
+
+Digest digest_json(const json::Value& document) {
+  return digest_string(document.dump_canonical());
+}
+
+}  // namespace anacin::store

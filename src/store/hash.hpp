@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/json.hpp"
+
+namespace anacin::store {
+
+/// Streaming FNV-1a 64-bit hash. Fast, dependency-free, and stable across
+/// platforms — good enough for content addressing of artifacts whose keys
+/// are derived from canonical JSON (collisions would only ever alias two
+/// cache entries, never corrupt results, because payloads carry their own
+/// checksums and are decoded defensively).
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  explicit Fnv1a(std::uint64_t basis = kOffsetBasis) : state_(basis) {}
+
+  void update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= bytes[i];
+      state_ *= kPrime;
+    }
+  }
+  void update(std::string_view text) { update(text.data(), text.size()); }
+
+  std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// 128-bit content digest (two independently seeded FNV-1a streams).
+/// 32 lowercase hex characters; the artifact store shards objects on the
+/// first two.
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Digest&, const Digest&) = default;
+
+  std::string to_hex() const;
+  /// Parse a 32-char lowercase hex digest; nullopt on malformed input.
+  static std::optional<Digest> from_hex(std::string_view hex);
+};
+
+/// Digest of a byte span.
+Digest digest_bytes(const void* data, std::size_t size);
+Digest digest_string(std::string_view text);
+
+/// Digest of a JSON document's canonical serialization: stable across
+/// runs, platforms, and object-member insertion order.
+Digest digest_json(const json::Value& document);
+
+}  // namespace anacin::store

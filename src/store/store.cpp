@@ -1,0 +1,99 @@
+#include "store/store.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "support/error.hpp"
+
+namespace anacin::store {
+
+namespace {
+
+obs::Counter& corrupt_counter() {
+  static obs::Counter& counter = obs::counter("store.corrupt");
+  return counter;
+}
+
+std::atomic<ArtifactStore*> g_active_store{nullptr};
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(ObjectStore::Config config)
+    : objects_(std::move(config)) {}
+
+Digest ArtifactStore::run_key(const std::string& pattern,
+                              const patterns::PatternConfig& shape,
+                              const sim::SimConfig& sim_config) {
+  json::Value doc = json::Value::object();
+  doc.set("artifact", "run");
+  doc.set("codec", static_cast<std::int64_t>(kFormatVersion));
+  doc.set("pattern", pattern);
+  doc.set("shape", shape.to_json());
+  doc.set("sim", sim_config.to_json());
+  return digest_json(doc);
+}
+
+Digest ArtifactStore::distance_key(const std::string& kernel_spec,
+                                   kernels::LabelPolicy policy,
+                                   const Digest& a, const Digest& b) {
+  const std::string hex_a = a.to_hex();
+  const std::string hex_b = b.to_hex();
+  json::Value doc = json::Value::object();
+  doc.set("artifact", "distance");
+  doc.set("codec", static_cast<std::int64_t>(kFormatVersion));
+  doc.set("kernel", kernel_spec);
+  doc.set("label_policy", std::string(kernels::label_policy_name(policy)));
+  doc.set("run_lo", hex_a <= hex_b ? hex_a : hex_b);
+  doc.set("run_hi", hex_a <= hex_b ? hex_b : hex_a);
+  return digest_json(doc);
+}
+
+std::optional<EncodedRun> ArtifactStore::load_run(const Digest& key) {
+  const ObjectBytes bytes = objects_.get(key);
+  if (!bytes) return std::nullopt;
+  try {
+    return decode_run(*bytes);
+  } catch (const Error&) {
+    corrupt_counter().add(1);
+    objects_.remove(key);
+    return std::nullopt;
+  }
+}
+
+void ArtifactStore::save_run(const Digest& key, const EncodedRun& run) {
+  const std::vector<std::uint8_t> bytes = encode_run(run);
+  objects_.put(key, Kind::kRun, bytes);
+}
+
+std::optional<double> ArtifactStore::load_distance(const Digest& key) {
+  const ObjectBytes bytes = objects_.get(key);
+  if (!bytes) return std::nullopt;
+  try {
+    const std::vector<double> values = decode_distances(*bytes);
+    if (values.size() != 1) {
+      throw ParseError("distance artifact holds " +
+                       std::to_string(values.size()) + " values, expected 1");
+    }
+    return values.front();
+  } catch (const Error&) {
+    corrupt_counter().add(1);
+    objects_.remove(key);
+    return std::nullopt;
+  }
+}
+
+void ArtifactStore::save_distance(const Digest& key, double value) {
+  const std::vector<std::uint8_t> bytes = encode_distances({value});
+  objects_.put(key, Kind::kDistances, bytes);
+}
+
+ArtifactStore* active_store() {
+  return g_active_store.load(std::memory_order_acquire);
+}
+
+void set_active_store(ArtifactStore* store) {
+  g_active_store.store(store, std::memory_order_release);
+}
+
+}  // namespace anacin::store

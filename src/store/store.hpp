@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "kernels/labeled_graph.hpp"
+#include "patterns/pattern.hpp"
+#include "sim/config.hpp"
+#include "store/codec.hpp"
+#include "store/hash.hpp"
+#include "store/object_store.hpp"
+
+namespace anacin::store {
+
+/// Typed facade over the content-addressed ObjectStore.
+///
+/// Keys are digests of canonical JSON documents describing *everything the
+/// artifact is a function of* — the simulator is deterministic, so a run
+/// artifact is fully determined by (pattern, shape, sim config) and a
+/// distance artifact by (kernel, label policy, the two runs' keys). The
+/// documents embed the codec format version, so bumping kFormatVersion
+/// invalidates every old key instead of misreading old payloads.
+///
+/// Loads that hit a corrupt object (failed envelope or payload decode)
+/// remove the object, bump the `store.corrupt` counter, and report a miss
+/// so callers transparently recompute.
+class ArtifactStore {
+ public:
+  explicit ArtifactStore(ObjectStore::Config config);
+
+  ObjectStore& objects() { return objects_; }
+  const ObjectStore& objects() const { return objects_; }
+
+  /// Key of one simulated run (simulation + event-graph construction).
+  static Digest run_key(const std::string& pattern,
+                        const patterns::PatternConfig& shape,
+                        const sim::SimConfig& sim_config);
+
+  /// Key of one kernel distance between two runs. Symmetric: the two run
+  /// digests are ordered before hashing, so (a, b) and (b, a) collide.
+  static Digest distance_key(const std::string& kernel_spec,
+                             kernels::LabelPolicy policy, const Digest& a,
+                             const Digest& b);
+
+  std::optional<EncodedRun> load_run(const Digest& key);
+  void save_run(const Digest& key, const EncodedRun& run);
+
+  std::optional<double> load_distance(const Digest& key);
+  void save_distance(const Digest& key, double value);
+
+ private:
+  ObjectStore objects_;
+};
+
+/// Process-global store used by default throughout the campaign layer;
+/// nullptr (the initial state) disables artifact caching. The CLI installs
+/// a store here when --store is given. Not owned.
+ArtifactStore* active_store();
+void set_active_store(ArtifactStore* store);
+
+}  // namespace anacin::store

@@ -1,5 +1,6 @@
 #include "support/json.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -104,7 +105,16 @@ bool Value::operator==(const Value& other) const {
     case Type::kNumber: return number_ == other.number_;
     case Type::kString: return string_ == other.string_;
     case Type::kArray: return array_ == other.array_;
-    case Type::kObject: return object_ == other.object_;
+    case Type::kObject: {
+      // Semantic equality: member order is a serialization detail (set()
+      // keeps keys unique), so objects compare as key -> value maps.
+      if (object_.size() != other.object_.size()) return false;
+      for (const auto& [key, value] : object_) {
+        const Value* other_value = other.find(key);
+        if (other_value == nullptr || !(value == *other_value)) return false;
+      }
+      return true;
+    }
   }
   return false;
 }
@@ -204,6 +214,51 @@ void Value::dump_to(std::string& out, int indent, int depth) const {
 std::string Value::dump(int indent) const {
   std::string out;
   dump_to(out, indent, 0);
+  return out;
+}
+
+void Value::dump_canonical_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+    case Type::kBool:
+    case Type::kNumber:
+    case Type::kString:
+      dump_to(out, -1, 0);
+      return;
+    case Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += ',';
+        array_[i].dump_canonical_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      // Keys are unique (set() overwrites), so a sorted view is a total
+      // order and the output is independent of insertion order.
+      std::vector<const std::pair<std::string, Value>*> sorted;
+      sorted.reserve(object_.size());
+      for (const auto& member : object_) sorted.push_back(&member);
+      std::sort(sorted.begin(), sorted.end(),
+                [](const auto* a, const auto* b) { return a->first < b->first; });
+      out += '{';
+      for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (i != 0) out += ',';
+        out += '"';
+        out += escape(sorted[i]->first);
+        out += "\":";
+        sorted[i]->second.dump_canonical_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::dump_canonical() const {
+  std::string out;
+  dump_canonical_to(out);
   return out;
 }
 

@@ -69,10 +69,17 @@ public:
   /// Serialize. indent < 0 → compact single line.
   std::string dump(int indent = -1) const;
 
+  /// Canonical serialization: compact, with object keys emitted in sorted
+  /// order at every level. Two semantically equal documents produce
+  /// byte-identical output regardless of member insertion order, which is
+  /// what makes hashing `to_json()`-derived forms stable (src/store).
+  std::string dump_canonical() const;
+
   bool operator==(const Value& other) const;
 
 private:
   void dump_to(std::string& out, int indent, int depth) const;
+  void dump_canonical_to(std::string& out) const;
 
   Type type_;
   bool bool_ = false;

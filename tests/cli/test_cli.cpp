@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "obs/obs.hpp"
@@ -320,6 +322,124 @@ TEST(Cli, UnknownPatternSurfacesAsError) {
   const CliRun run = invoke({"run", "--pattern", "bogus"});
   EXPECT_EQ(run.exit_code, 1);
   EXPECT_NE(run.err.find("unknown pattern"), std::string::npos);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(Cli, CacheWithoutStoreFails) {
+  const CliRun run = invoke({"cache", "stats"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--store"), std::string::npos);
+}
+
+TEST(Cli, CacheWithoutActionFails) {
+  const CliRun run = invoke({"--store", "test_output/cli_cache", "cache"});
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("stats, verify, or gc"), std::string::npos);
+  std::filesystem::remove_all("test_output");
+}
+
+TEST(Cli, StoreWarmMeasureSkipsSimulationAndDistanceWork) {
+  const std::string dir = "test_output/cli_store";
+  const std::vector<std::string> measure = {
+      "--store", dir,      "measure", "--pattern", "message_race",
+      "--ranks", "4",      "--runs",  "4",         "--seed",
+      "90125",   "--json"};
+
+  auto with_json = [&](const std::string& json_path) {
+    std::vector<std::string> args = measure;
+    args.push_back(json_path);
+    return args;
+  };
+  ASSERT_EQ(invoke(with_json(dir + "/cold.json")).exit_code, 0);
+
+  obs::Counter& sims = obs::counter("sim.engine.runs");
+  obs::Counter& distances = obs::counter("kernels.distances_computed");
+  const std::uint64_t sims_before = sims.value();
+  const std::uint64_t distances_before = distances.value();
+  const std::uint64_t hits_before = obs::counter("store.hits").value();
+
+  ASSERT_EQ(invoke(with_json(dir + "/warm.json")).exit_code, 0);
+  EXPECT_EQ(sims.value(), sims_before)
+      << "warm measure re-ran a simulation";
+  EXPECT_EQ(distances.value(), distances_before)
+      << "warm measure recomputed a kernel distance";
+  EXPECT_GT(obs::counter("store.hits").value(), hits_before);
+
+  const std::string cold = read_file(dir + "/cold.json");
+  const std::string warm = read_file(dir + "/warm.json");
+  ASSERT_FALSE(cold.empty());
+  EXPECT_EQ(warm, cold) << "warm measurement JSON is not bit-identical";
+  std::filesystem::remove_all("test_output");
+}
+
+TEST(Cli, CacheStatsVerifyAndGc) {
+  const std::string dir = "test_output/cli_cache_ops";
+  ASSERT_EQ(invoke({"--store", dir, "measure", "--pattern", "message_race",
+                    "--ranks", "4", "--runs", "3", "--seed", "5150"})
+                .exit_code,
+            0);
+
+  const CliRun stats = invoke({"--store", dir, "cache", "stats"});
+  EXPECT_EQ(stats.exit_code, 0);
+  EXPECT_NE(stats.out.find("objects:"), std::string::npos);
+  EXPECT_NE(stats.out.find("run"), std::string::npos);
+
+  const CliRun verify = invoke({"--store", dir, "cache", "verify"});
+  EXPECT_EQ(verify.exit_code, 0);
+  EXPECT_NE(verify.out.find("0 corrupt"), std::string::npos);
+
+  EXPECT_EQ(invoke({"--store", dir, "cache", "gc"}).exit_code, 1)
+      << "gc without --max-bytes must be rejected";
+  const CliRun gc =
+      invoke({"--store", dir, "cache", "gc", "--max-bytes", "0"});
+  EXPECT_EQ(gc.exit_code, 0);
+  EXPECT_NE(gc.out.find("0 objects (0 bytes) remain"), std::string::npos);
+  std::filesystem::remove_all("test_output");
+}
+
+TEST(Cli, CacheVerifyFlagsCorruptObjects) {
+  const std::string dir = "test_output/cli_cache_corrupt";
+  ASSERT_EQ(invoke({"--store", dir, "run", "--pattern", "message_race",
+                    "--ranks", "4"})
+                .exit_code,
+            0);
+  // `run` does not use the store yet; plant a bogus object by hand.
+  std::filesystem::create_directories(dir + "/objects/ab");
+  {
+    std::ofstream bad(dir + "/objects/ab" +
+                          "/cdcdcdcdcdcdcdcdcdcdcdcdcdcdcd",
+                      std::ios::binary);
+    bad << "this is not an artifact";
+  }
+  const CliRun verify = invoke({"--store", dir, "cache", "verify"});
+  EXPECT_EQ(verify.exit_code, 1);
+  EXPECT_NE(verify.out.find("corrupt"), std::string::npos);
+  std::filesystem::remove_all("test_output");
+}
+
+TEST(Cli, StoreEnvVarDefaultAndNoStoreOverride) {
+  const std::string dir = "test_output/cli_env_store";
+  ::setenv("ANACIN_STORE_DIR", dir.c_str(), 1);
+  ASSERT_EQ(invoke({"measure", "--pattern", "message_race", "--ranks", "4",
+                    "--runs", "2", "--seed", "777001"})
+                .exit_code,
+            0);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/objects"));
+
+  // --no-store wins over the environment.
+  std::filesystem::remove_all("test_output");
+  ASSERT_EQ(invoke({"--no-store", "measure", "--pattern", "message_race",
+                    "--ranks", "4", "--runs", "2", "--seed", "777002"})
+                .exit_code,
+            0);
+  EXPECT_FALSE(std::filesystem::exists(dir));
+  ::unsetenv("ANACIN_STORE_DIR");
+  std::filesystem::remove_all("test_output");
 }
 
 }  // namespace

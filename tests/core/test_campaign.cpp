@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace anacin::core {
@@ -83,6 +84,28 @@ TEST(Campaign, JsonReportHasAllSections) {
   EXPECT_EQ(doc.at("distances").size(), 3u);
   EXPECT_DOUBLE_EQ(doc.at("config").at("nd_percent").as_number(), 100.0);
   EXPECT_EQ(doc.at("config").at("pattern").as_string(), "message_race");
+}
+
+TEST(Campaign, ReferenceSimulatedOncePerUniqueKeyWithoutStore) {
+  ThreadPool pool(2);
+  obs::Counter& reference_sims = obs::counter("campaign.reference_sims");
+
+  // A sweep varies nd_fraction while (pattern, shape, base_seed) stay
+  // fixed; the jitter-free reference is identical across all points and
+  // must be simulated exactly once — even with no artifact store.
+  CampaignConfig config = small_campaign(1.0, 3);
+  config.base_seed = 987654321;  // unique key within this test binary
+  const std::uint64_t before = reference_sims.value();
+  for (const double nd : {0.2, 0.6, 1.0}) {
+    config.nd_fraction = nd;
+    run_campaign(config, pool, nullptr);
+  }
+  EXPECT_EQ(reference_sims.value(), before + 1);
+
+  // A different base_seed is a different reference: one more simulation.
+  config.base_seed = 987654322;
+  run_campaign(config, pool, nullptr);
+  EXPECT_EQ(reference_sims.value(), before + 2);
 }
 
 TEST(Campaign, InvalidConfigsRejected) {

@@ -1,0 +1,160 @@
+#include "store/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <limits>
+
+#include "graph/event_graph.hpp"
+#include "patterns/pattern.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace anacin::store {
+namespace {
+
+sim::RunResult sample_run(std::uint64_t seed = 42) {
+  patterns::PatternConfig shape;
+  shape.num_ranks = 4;
+  shape.iterations = 2;
+  sim::SimConfig config;
+  config.num_ranks = 4;
+  config.seed = seed;
+  const auto pattern = patterns::make_pattern("amg2013");
+  return sim::run_simulation(config, pattern->program(shape));
+}
+
+TEST(CodecTrace, RoundTripMatchesJsonForm) {
+  const trace::Trace original = sample_run().trace;
+  const std::vector<std::uint8_t> blob = encode_trace(original);
+  const trace::Trace decoded = decode_trace(blob);
+  // The JSON form is the existing canonical serialization of a trace;
+  // byte-identical dumps mean the binary codec loses nothing.
+  EXPECT_EQ(decoded.to_json().dump(), original.to_json().dump());
+}
+
+TEST(CodecEventGraph, RoundTripIsExact) {
+  const graph::EventGraph original =
+      graph::EventGraph::from_trace(sample_run().trace);
+  const std::vector<std::uint8_t> blob = encode_event_graph(original);
+  const graph::EventGraph decoded = decode_event_graph(blob);
+
+  EXPECT_EQ(decoded.num_ranks(), original.num_ranks());
+  EXPECT_EQ(decoded.num_nodes(), original.num_nodes());
+  EXPECT_EQ(decoded.message_edges(), original.message_edges());
+  EXPECT_EQ(decoded.max_lamport(), original.max_lamport());
+  // Re-encoding captures every node field, offsets, edges, and callstacks:
+  // byte equality is full structural equality.
+  EXPECT_EQ(encode_event_graph(decoded), blob);
+}
+
+TEST(CodecDistances, DoublesRoundTripBitwise) {
+  const std::vector<double> values = {
+      0.0, -0.0, 1.0 / 3.0, 0.1, 1e-308, 1e308,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::infinity()};
+  const std::vector<double> decoded = decode_distances(
+      encode_distances(values));
+  ASSERT_EQ(decoded.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded[i]),
+              std::bit_cast<std::uint64_t>(values[i]))
+        << "value " << i;
+  }
+}
+
+TEST(CodecDistanceMatrix, RoundTrip) {
+  kernels::DistanceMatrix matrix;
+  matrix.size = 3;
+  matrix.values = {0.0, 1.5, 2.5, 1.5, 0.0, 3.5, 2.5, 3.5, 0.0};
+  const kernels::DistanceMatrix decoded =
+      decode_distance_matrix(encode_distance_matrix(matrix));
+  EXPECT_EQ(decoded.size, matrix.size);
+  EXPECT_EQ(decoded.values, matrix.values);
+}
+
+TEST(CodecRun, RoundTripKeepsStats) {
+  const sim::RunResult run = sample_run();
+  EncodedRun original;
+  original.graph = graph::EventGraph::from_trace(run.trace);
+  original.messages = run.stats.messages;
+  original.wildcard_recvs = run.stats.wildcard_recvs;
+  const EncodedRun decoded = decode_run(encode_run(original));
+  EXPECT_EQ(decoded.messages, original.messages);
+  EXPECT_EQ(decoded.wildcard_recvs, original.wildcard_recvs);
+  EXPECT_EQ(encode_event_graph(decoded.graph),
+            encode_event_graph(original.graph));
+}
+
+TEST(CodecCorruption, TruncationIsRejected) {
+  const std::vector<std::uint8_t> blob = encode_distances({1.0, 2.0, 3.0});
+  // Cut inside the envelope.
+  const std::vector<std::uint8_t> headerless(blob.begin(), blob.begin() + 8);
+  EXPECT_THROW(validate_envelope(headerless), ParseError);
+  // Cut inside the payload.
+  std::vector<std::uint8_t> short_payload(blob.begin(), blob.end() - 5);
+  try {
+    decode_distances(short_payload);
+    FAIL() << "truncated artifact was accepted";
+  } catch (const ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("truncated"),
+              std::string::npos);
+  }
+}
+
+TEST(CodecCorruption, FlippedPayloadByteFailsChecksum) {
+  std::vector<std::uint8_t> blob = encode_distances({1.0, 2.0, 3.0});
+  blob[kEnvelopeSize + 3] ^= 0x40;
+  try {
+    decode_distances(blob);
+    FAIL() << "corrupt artifact was accepted";
+  } catch (const ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(CodecCorruption, BadMagicIsRejected) {
+  std::vector<std::uint8_t> blob = encode_distances({1.0});
+  blob[0] = 'X';
+  try {
+    validate_envelope(blob);
+    FAIL() << "bad magic was accepted";
+  } catch (const ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("magic"), std::string::npos);
+  }
+}
+
+TEST(CodecCorruption, FutureFormatVersionIsRefusedWithClearError) {
+  std::vector<std::uint8_t> blob = encode_distances({1.0});
+  blob[4] = static_cast<std::uint8_t>(kFormatVersion + 1);
+  try {
+    validate_envelope(blob);
+    FAIL() << "future-version artifact was accepted";
+  } catch (const ParseError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("newer"), std::string::npos) << message;
+    EXPECT_NE(message.find(std::to_string(kFormatVersion)),
+              std::string::npos)
+        << message;
+  }
+}
+
+TEST(CodecCorruption, KindMismatchIsRejected) {
+  const std::vector<std::uint8_t> blob = encode_distances({1.0});
+  try {
+    decode_trace(blob);
+    FAIL() << "kind mismatch was accepted";
+  } catch (const ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("kind"), std::string::npos);
+  }
+}
+
+TEST(CodecDeterminism, EncodingIsStable) {
+  const trace::Trace trace = sample_run(7).trace;
+  EXPECT_EQ(encode_trace(trace), encode_trace(trace));
+  const graph::EventGraph graph = graph::EventGraph::from_trace(trace);
+  EXPECT_EQ(encode_event_graph(graph), encode_event_graph(graph));
+}
+
+}  // namespace
+}  // namespace anacin::store

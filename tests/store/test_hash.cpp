@@ -1,0 +1,72 @@
+#include "store/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/json.hpp"
+
+namespace anacin::store {
+namespace {
+
+TEST(Fnv1aHash, MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  Fnv1a empty;
+  EXPECT_EQ(empty.value(), 14695981039346656037ull);
+
+  Fnv1a a;
+  a.update("a");
+  EXPECT_EQ(a.value(), 0xaf63dc4c8601ec8cull);
+
+  Fnv1a foobar;
+  foobar.update("foobar");
+  EXPECT_EQ(foobar.value(), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1aHash, StreamingEqualsOneShot) {
+  Fnv1a streaming;
+  streaming.update("hello ");
+  streaming.update("world");
+  Fnv1a one_shot;
+  one_shot.update("hello world");
+  EXPECT_EQ(streaming.value(), one_shot.value());
+}
+
+TEST(DigestTest, HexRoundTrip) {
+  const Digest digest = digest_string("some artifact identity");
+  const std::string hex = digest.to_hex();
+  EXPECT_EQ(hex.size(), 32u);
+  const auto parsed = Digest::from_hex(hex);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, digest);
+}
+
+TEST(DigestTest, FromHexRejectsMalformedInput) {
+  EXPECT_FALSE(Digest::from_hex("").has_value());
+  EXPECT_FALSE(Digest::from_hex("abc").has_value());
+  EXPECT_FALSE(
+      Digest::from_hex("zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz").has_value());
+  // Uppercase is not canonical.
+  EXPECT_FALSE(
+      Digest::from_hex("ABCDEF0123456789ABCDEF0123456789").has_value());
+}
+
+TEST(DigestTest, HalvesAreIndependent) {
+  const Digest digest = digest_string("x");
+  EXPECT_NE(digest.hi, digest.lo);
+  EXPECT_NE(digest_string("x"), digest_string("y"));
+}
+
+TEST(DigestTest, JsonDigestIgnoresInsertionOrder) {
+  json::Value a = json::Value::object();
+  a.set("pattern", "message_race");
+  a.set("ranks", 8);
+  json::Value b = json::Value::object();
+  b.set("ranks", 8);
+  b.set("pattern", "message_race");
+  EXPECT_EQ(digest_json(a), digest_json(b));
+
+  b.set("ranks", 16);
+  EXPECT_NE(digest_json(a), digest_json(b));
+}
+
+}  // namespace
+}  // namespace anacin::store

@@ -1,0 +1,195 @@
+#include "store/object_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/obs.hpp"
+#include "store/codec.hpp"
+
+namespace anacin::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("anacin_store_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  static std::vector<std::uint8_t> artifact(double value) {
+    return encode_distances({value});
+  }
+
+  fs::path root_;
+};
+
+TEST_F(ObjectStoreTest, PutGetRoundTrip) {
+  ObjectStore store({root_, 1 << 20});
+  const std::vector<std::uint8_t> bytes = artifact(1.25);
+  const Digest key = digest_bytes(bytes.data(), bytes.size());
+
+  EXPECT_FALSE(store.contains(key));
+  EXPECT_EQ(store.get(key), nullptr);
+  EXPECT_TRUE(store.put(key, Kind::kDistances, bytes));
+  EXPECT_TRUE(store.contains(key));
+
+  const ObjectBytes fetched = store.get(key);
+  ASSERT_NE(fetched, nullptr);
+  EXPECT_EQ(*fetched, bytes);
+  // Second put of the same key is a no-op.
+  EXPECT_FALSE(store.put(key, Kind::kDistances, bytes));
+}
+
+TEST_F(ObjectStoreTest, ObjectsLandInShardedLayout) {
+  ObjectStore store({root_, 1 << 20});
+  const std::vector<std::uint8_t> bytes = artifact(2.0);
+  const Digest key = digest_bytes(bytes.data(), bytes.size());
+  store.put(key, Kind::kDistances, bytes);
+
+  const std::string hex = key.to_hex();
+  EXPECT_TRUE(
+      fs::exists(root_ / "objects" / hex.substr(0, 2) / hex.substr(2)));
+  EXPECT_TRUE(fs::exists(root_ / "index.json"));
+}
+
+TEST_F(ObjectStoreTest, SurvivesReopenAndIndexLoss) {
+  const std::vector<std::uint8_t> bytes = artifact(3.0);
+  const Digest key = digest_bytes(bytes.data(), bytes.size());
+  {
+    ObjectStore store({root_, 1 << 20});
+    store.put(key, Kind::kDistances, bytes);
+  }
+  {
+    ObjectStore reopened({root_, 1 << 20});
+    const ObjectBytes fetched = reopened.get(key);
+    ASSERT_NE(fetched, nullptr);
+    EXPECT_EQ(*fetched, bytes);
+  }
+  // The index is a cache: deleting it must not lose objects.
+  fs::remove(root_ / "index.json");
+  {
+    ObjectStore healed({root_, 1 << 20});
+    const ObjectBytes fetched = healed.get(key);
+    ASSERT_NE(fetched, nullptr);
+    EXPECT_EQ(*fetched, bytes);
+    EXPECT_EQ(healed.stats().objects, 1u);
+  }
+}
+
+TEST_F(ObjectStoreTest, MemoryCacheEvictsByBytes) {
+  // Budget fits roughly one artifact; inserting several must evict.
+  const std::vector<std::uint8_t> bytes = artifact(0.0);
+  ObjectStore store({root_, bytes.size() + 4});
+  const std::uint64_t evictions_before =
+      obs::counter("store.evictions").value();
+  for (int i = 0; i < 4; ++i) {
+    const std::vector<std::uint8_t> blob = artifact(static_cast<double>(i));
+    store.put(digest_bytes(blob.data(), blob.size()), Kind::kDistances, blob);
+  }
+  EXPECT_GT(obs::counter("store.evictions").value(), evictions_before);
+  EXPECT_LE(store.stats().memory_bytes, bytes.size() + 4);
+  // Evicted objects are still served from disk.
+  const std::vector<std::uint8_t> first = artifact(0.0);
+  const ObjectBytes fetched =
+      store.get(digest_bytes(first.data(), first.size()));
+  ASSERT_NE(fetched, nullptr);
+  EXPECT_EQ(*fetched, first);
+}
+
+TEST_F(ObjectStoreTest, CountsHitsAndMisses) {
+  ObjectStore store({root_, 1 << 20});
+  const std::vector<std::uint8_t> bytes = artifact(9.0);
+  const Digest key = digest_bytes(bytes.data(), bytes.size());
+
+  const std::uint64_t misses_before = obs::counter("store.misses").value();
+  const std::uint64_t hits_before = obs::counter("store.hits").value();
+  EXPECT_EQ(store.get(key), nullptr);
+  EXPECT_EQ(obs::counter("store.misses").value(), misses_before + 1);
+
+  store.put(key, Kind::kDistances, bytes);
+  ASSERT_NE(store.get(key), nullptr);
+  EXPECT_EQ(obs::counter("store.hits").value(), hits_before + 1);
+}
+
+TEST_F(ObjectStoreTest, StatsCountKinds) {
+  ObjectStore store({root_, 1 << 20});
+  for (int i = 0; i < 3; ++i) {
+    const std::vector<std::uint8_t> blob = artifact(static_cast<double>(i));
+    store.put(digest_bytes(blob.data(), blob.size()), Kind::kDistances, blob);
+  }
+  const ObjectStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.objects, 3u);
+  EXPECT_EQ(stats.kind_counts.at("distances"), 3u);
+  EXPECT_GT(stats.total_bytes, 0u);
+}
+
+TEST_F(ObjectStoreTest, VerifyFlagsCorruptAndForeignFiles) {
+  ObjectStore store({root_, 1 << 20});
+  const std::vector<std::uint8_t> bytes = artifact(5.0);
+  const Digest key = digest_bytes(bytes.data(), bytes.size());
+  store.put(key, Kind::kDistances, bytes);
+  EXPECT_TRUE(store.verify().ok());
+
+  // Flip one payload byte on disk.
+  const std::string hex = key.to_hex();
+  const fs::path path = root_ / "objects" / hex.substr(0, 2) / hex.substr(2);
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(static_cast<std::streamoff>(kEnvelopeSize + 2));
+    const char garbage = 0x7f;
+    file.write(&garbage, 1);
+  }
+  // Plant a file whose name is not a digest.
+  fs::create_directories(root_ / "objects" / "zz");
+  std::ofstream(root_ / "objects" / "zz" / "not-a-digest") << "hello";
+
+  const ObjectStore::VerifyReport report = store.verify();
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.corrupt.size(), 1u);
+  EXPECT_EQ(report.corrupt.front(), hex);
+  EXPECT_EQ(report.foreign.size(), 1u);
+}
+
+TEST_F(ObjectStoreTest, RemoveDropsObjectEverywhere) {
+  ObjectStore store({root_, 1 << 20});
+  const std::vector<std::uint8_t> bytes = artifact(6.0);
+  const Digest key = digest_bytes(bytes.data(), bytes.size());
+  store.put(key, Kind::kDistances, bytes);
+  store.remove(key);
+  EXPECT_FALSE(store.contains(key));
+  EXPECT_EQ(store.get(key), nullptr);
+  EXPECT_EQ(store.stats().objects, 0u);
+}
+
+TEST_F(ObjectStoreTest, GcEvictsDownToBudget) {
+  ObjectStore store({root_, 1 << 20});
+  std::uint64_t one_size = 0;
+  for (int i = 0; i < 5; ++i) {
+    const std::vector<std::uint8_t> blob = artifact(static_cast<double>(i));
+    one_size = blob.size();
+    store.put(digest_bytes(blob.data(), blob.size()), Kind::kDistances, blob);
+  }
+  const ObjectStore::GcReport report = store.gc(2 * one_size);
+  EXPECT_EQ(report.removed_objects, 3u);
+  EXPECT_EQ(report.remaining_objects, 2u);
+  EXPECT_LE(report.remaining_bytes, 2 * one_size);
+  EXPECT_EQ(store.stats().objects, 2u);
+
+  // gc(0) empties the store.
+  const ObjectStore::GcReport empty = store.gc(0);
+  EXPECT_EQ(empty.remaining_objects, 0u);
+  EXPECT_EQ(store.stats().objects, 0u);
+}
+
+}  // namespace
+}  // namespace anacin::store

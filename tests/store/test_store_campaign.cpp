@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <filesystem>
+#include <fstream>
+
+#include "core/campaign.hpp"
+#include "obs/obs.hpp"
+#include "store/store.hpp"
+
+namespace anacin::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::CampaignConfig small_campaign(std::uint64_t base_seed) {
+  core::CampaignConfig config;
+  config.pattern = "message_race";
+  config.shape.num_ranks = 4;
+  config.shape.iterations = 2;
+  config.num_runs = 5;
+  config.base_seed = base_seed;
+  return config;
+}
+
+class StoreCampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("anacin_campaign_store_" + std::string(::testing::UnitTest::
+                                                        GetInstance()
+                                                            ->current_test_info()
+                                                            ->name()));
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+};
+
+TEST_F(StoreCampaignTest, KeysAreStableAndDistanceKeyIsSymmetric) {
+  const core::CampaignConfig config = small_campaign(123);
+  const Digest a = ArtifactStore::run_key(config.pattern, config.shape,
+                                          config.sim_config_for_run(0));
+  const Digest b = ArtifactStore::run_key(config.pattern, config.shape,
+                                          config.sim_config_for_run(0));
+  EXPECT_EQ(a, b);
+  const Digest other = ArtifactStore::run_key(config.pattern, config.shape,
+                                              config.sim_config_for_run(1));
+  EXPECT_NE(a, other);
+
+  const Digest forward = ArtifactStore::distance_key(
+      "wl:2", kernels::LabelPolicy::kTypePeer, a, other);
+  const Digest backward = ArtifactStore::distance_key(
+      "wl:2", kernels::LabelPolicy::kTypePeer, other, a);
+  EXPECT_EQ(forward, backward);
+  EXPECT_NE(forward, ArtifactStore::distance_key(
+                         "wl:3", kernels::LabelPolicy::kTypePeer, a, other));
+}
+
+TEST_F(StoreCampaignTest, WarmRerunSkipsAllSimulationAndDistanceWork) {
+  ArtifactStore store({root_, 64 << 20});
+  ThreadPool pool(2);
+  const core::CampaignConfig config = small_campaign(2026);
+
+  const core::CampaignResult cold = core::run_campaign(config, pool, &store);
+
+  obs::Counter& sims = obs::counter("sim.engine.runs");
+  obs::Counter& distances = obs::counter("kernels.distances_computed");
+  const std::uint64_t sims_before = sims.value();
+  const std::uint64_t distances_before = distances.value();
+  const std::uint64_t hits_before = obs::counter("store.hits").value();
+
+  const core::CampaignResult warm = core::run_campaign(config, pool, &store);
+
+  EXPECT_EQ(sims.value(), sims_before) << "warm campaign ran a simulation";
+  EXPECT_EQ(distances.value(), distances_before)
+      << "warm campaign recomputed a kernel distance";
+  EXPECT_GT(obs::counter("store.hits").value(), hits_before);
+
+  // Bit-identical results, not merely close ones.
+  ASSERT_EQ(warm.measurement.distances.size(),
+            cold.measurement.distances.size());
+  for (std::size_t i = 0; i < cold.measurement.distances.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(warm.measurement.distances[i]),
+              std::bit_cast<std::uint64_t>(cold.measurement.distances[i]));
+  }
+  EXPECT_EQ(warm.total_messages, cold.total_messages);
+  EXPECT_EQ(warm.total_wildcard_recvs, cold.total_wildcard_recvs);
+  EXPECT_EQ(warm.to_json().dump(), cold.to_json().dump());
+}
+
+TEST_F(StoreCampaignTest, StoreDoesNotChangeResults) {
+  ArtifactStore store({root_, 64 << 20});
+  ThreadPool pool(2);
+  const core::CampaignConfig config = small_campaign(777);
+
+  const core::CampaignResult without =
+      core::run_campaign(config, pool, nullptr);
+  const core::CampaignResult with = core::run_campaign(config, pool, &store);
+  EXPECT_EQ(with.to_json().dump(), without.to_json().dump());
+}
+
+TEST_F(StoreCampaignTest, PairwiseReductionIsAlsoCached) {
+  ArtifactStore store({root_, 64 << 20});
+  ThreadPool pool(2);
+  core::CampaignConfig config = small_campaign(31337);
+  config.reduction = analysis::DistanceReduction::kPairwise;
+
+  const core::CampaignResult plain = core::run_campaign(config, pool, nullptr);
+  const core::CampaignResult cold = core::run_campaign(config, pool, &store);
+  EXPECT_EQ(cold.to_json().dump(), plain.to_json().dump());
+
+  obs::Counter& distances = obs::counter("kernels.distances_computed");
+  const std::uint64_t before = distances.value();
+  const core::CampaignResult warm = core::run_campaign(config, pool, &store);
+  EXPECT_EQ(distances.value(), before);
+  EXPECT_EQ(warm.to_json().dump(), cold.to_json().dump());
+}
+
+TEST_F(StoreCampaignTest, CorruptObjectIsRecomputedNotServed) {
+  ArtifactStore store({root_, 0});  // no memory cache: force disk reads
+  ThreadPool pool(2);
+  const core::CampaignConfig config = small_campaign(555);
+  const core::CampaignResult cold = core::run_campaign(config, pool, &store);
+
+  // Corrupt every stored object on disk.
+  for (const auto& shard : fs::directory_iterator(root_ / "objects")) {
+    for (const auto& file : fs::directory_iterator(shard.path())) {
+      std::fstream stream(file.path(),
+                          std::ios::binary | std::ios::in | std::ios::out);
+      stream.seekp(static_cast<std::streamoff>(kEnvelopeSize));
+      const char garbage = 0x55;
+      stream.write(&garbage, 1);
+    }
+  }
+
+  const std::uint64_t corrupt_before = obs::counter("store.corrupt").value();
+  const core::CampaignResult recovered =
+      core::run_campaign(config, pool, &store);
+  EXPECT_GT(obs::counter("store.corrupt").value(), corrupt_before);
+  EXPECT_EQ(recovered.to_json().dump(), cold.to_json().dump());
+  // Every re-read artifact was removed, recomputed, and re-published. The
+  // jitter-free reference run is served from the in-process memo, so its
+  // (corrupted) object is never re-read — it stays as the one bad object.
+  EXPECT_LE(store.objects().verify().corrupt.size(), 1u);
+}
+
+}  // namespace
+}  // namespace anacin::store

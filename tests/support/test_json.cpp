@@ -35,6 +35,44 @@ TEST(Json, ObjectPreservesInsertionOrder) {
   EXPECT_EQ(members[2].first, "mid");
 }
 
+TEST(Json, CanonicalDumpIsKeyOrderIndependent) {
+  // Two semantically equal documents built in different insertion orders
+  // must serialize byte-identically — this is what makes artifact-store
+  // keys (digests of dump_canonical) stable.
+  Value a = Value::object();
+  a.set("pattern", "amg2013");
+  a.set("ranks", 16);
+  Value nested_a = Value::object();
+  nested_a.set("seed", 7);
+  nested_a.set("nd", 0.5);
+  a.set("sim", std::move(nested_a));
+
+  Value b = Value::object();
+  Value nested_b = Value::object();
+  nested_b.set("nd", 0.5);
+  nested_b.set("seed", 7);
+  b.set("sim", std::move(nested_b));
+  b.set("ranks", 16);
+  b.set("pattern", "amg2013");
+
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.dump_canonical(), b.dump_canonical());
+  // Keys are sorted at every level and output is compact.
+  EXPECT_EQ(a.dump_canonical(),
+            "{\"pattern\":\"amg2013\",\"ranks\":16,"
+            "\"sim\":{\"nd\":0.5,\"seed\":7}}");
+  // The regular dump still preserves insertion order.
+  EXPECT_NE(a.dump(), b.dump());
+}
+
+TEST(Json, CanonicalDumpParsesBackEqual) {
+  Value doc = Value::object();
+  doc.set("zebra", Value::array_of<int>({3, 1, 2}));
+  doc.set("alpha", true);
+  const Value reparsed = parse(doc.dump_canonical());
+  EXPECT_TRUE(reparsed == doc);
+}
+
 TEST(Json, ObjectSetOverwrites) {
   Value obj = Value::object();
   obj.set("k", 1);
