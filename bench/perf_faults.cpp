@@ -1,0 +1,102 @@
+// Microbenchmarks of the fault-injection layer: what message drops,
+// duplicates, and stragglers cost on top of a clean simulation, and how
+// expensive the FaultModel sampling itself is.
+
+#include <benchmark/benchmark.h>
+
+#include "core/campaign.hpp"
+#include "obs_cli.hpp"
+#include "sim/faults.hpp"
+
+using namespace anacin;
+
+namespace {
+
+void run_fault_benchmark(benchmark::State& state,
+                         const sim::FaultConfig& faults) {
+  const int ranks = static_cast<int>(state.range(0));
+  patterns::PatternConfig shape;
+  shape.num_ranks = ranks;
+  const sim::RankProgram program =
+      patterns::make_pattern("amg2013")->program(shape);
+
+  std::uint64_t seed = 1;
+  std::uint64_t events = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  for (auto _ : state) {
+    sim::SimConfig config;
+    config.num_ranks = ranks;
+    config.seed = seed++;
+    config.network.nd_fraction = 1.0;
+    config.faults = faults;
+    const sim::RunResult result = sim::run_simulation(config, program);
+    events += result.trace.total_events();
+    drops += result.stats.drops;
+    duplicates += result.stats.duplicates;
+    benchmark::DoNotOptimize(result.stats.makespan_us);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["drops"] = static_cast<double>(drops);
+  state.counters["duplicates"] = static_cast<double>(duplicates);
+}
+
+void BM_SimNoFaults(benchmark::State& state) {
+  run_fault_benchmark(state, sim::FaultConfig{});
+}
+
+void BM_SimWithDrops(benchmark::State& state) {
+  sim::FaultConfig faults;
+  faults.drop_probability = 0.05;
+  run_fault_benchmark(state, faults);
+}
+
+void BM_SimWithDuplicates(benchmark::State& state) {
+  sim::FaultConfig faults;
+  faults.duplicate_probability = 0.05;
+  run_fault_benchmark(state, faults);
+}
+
+void BM_SimWithStragglers(benchmark::State& state) {
+  sim::FaultConfig faults;
+  faults.straggler_ranks = {0, 1};
+  faults.straggler_multiplier = 4.0;
+  run_fault_benchmark(state, faults);
+}
+
+void BM_SimKitchenSink(benchmark::State& state) {
+  sim::FaultConfig faults;
+  faults.drop_probability = 0.05;
+  faults.duplicate_probability = 0.05;
+  faults.straggler_ranks = {0};
+  run_fault_benchmark(state, faults);
+}
+
+void BM_FaultModelSampling(benchmark::State& state) {
+  sim::FaultConfig faults;
+  faults.drop_probability = 0.05;
+  faults.duplicate_probability = 0.05;
+  sim::FaultModel model(faults, 32, 2, Rng(1));
+  std::uint64_t samples = 0;
+  for (auto _ : state) {
+    const auto fate = model.sample_message(0, 1);
+    benchmark::DoNotOptimize(fate.dropped_attempts);
+    ++samples;
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(samples), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SimNoFaults)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimWithDrops)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimWithDuplicates)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimWithStragglers)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimKitchenSink)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FaultModelSampling);
+
+int main(int argc, char** argv) {
+  return anacin::bench::run_benchmark_main(argc, argv);
+}

@@ -1,5 +1,8 @@
 #include "cli/cli_app.hpp"
 
+#include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
@@ -19,6 +22,59 @@
 namespace anacin::cli {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Strict numeric parsing (full consumption, no silent partial parses)
+// ---------------------------------------------------------------------------
+
+std::uint64_t parse_uint64_strict(std::string_view text,
+                                  std::string_view flag) {
+  std::uint64_t value = 0;
+  const char* const end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (text.empty() || ec != std::errc{} || ptr != end) {
+    throw ConfigError(std::string(flag) +
+                      " expects a non-negative integer, got '" +
+                      std::string(text) + "'");
+  }
+  return value;
+}
+
+double parse_double_strict(std::string_view text, std::string_view flag) {
+  std::string token{trim(text)};
+  if (token.empty()) {
+    throw ConfigError(std::string(flag) + " expects a number, got ''");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    throw ConfigError(std::string(flag) + " expects a number, got '" +
+                      token + "'");
+  }
+  return value;
+}
+
+std::vector<int> parse_id_list(const std::string& text,
+                               std::string_view flag) {
+  std::vector<int> ids;
+  if (trim(text).empty()) return ids;
+  for (const std::string& piece : split(text, ',')) {
+    const std::string token{trim(piece)};
+    int value = 0;
+    const char* const end = token.data() + token.size();
+    const auto [ptr, ec] = std::from_chars(token.data(), end, value);
+    if (token.empty() || ec != std::errc{} || ptr != end || value < 0) {
+      throw ConfigError(std::string(flag) +
+                        " expects a comma-separated list of non-negative "
+                        "ids, got '" +
+                        text + "'");
+    }
+    ids.push_back(value);
+  }
+  return ids;
+}
 
 // ---------------------------------------------------------------------------
 // Shared option bundles
@@ -78,6 +134,92 @@ struct WorkloadOptions {
   }
 };
 
+/// Fault-injection flags shared by run / measure / sweep. The drop
+/// probability is kept as text because `sweep` also accepts a lo:hi:step
+/// range on the same flag.
+struct FaultOptions {
+  std::string drop_spec;
+  double dup = 0.0;
+  int retries = 3;
+  double timeout_us = 50.0;
+  std::string stragglers;
+  double straggler_factor = 4.0;
+  std::string slow_nodes;
+  double slow_factor = 2.0;
+
+  void add_to(ArgParser& parser, bool sweepable_drop = false) {
+    parser.add_string("fault-drop",
+                      sweepable_drop
+                          ? "message drop probability [0..1], or lo:hi:step "
+                            "to sweep the drop axis instead of ND%"
+                          : "message drop probability [0..1]",
+                      &drop_spec);
+    parser.add_double("fault-dup", "message duplication probability [0..1]",
+                      &dup);
+    parser.add_int("fault-retries",
+                   "max retransmissions of a dropped message", &retries);
+    parser.add_double("fault-timeout", "retransmit timeout in microseconds",
+                      &timeout_us);
+    parser.add_string("stragglers", "comma-separated straggler rank ids",
+                      &stragglers);
+    parser.add_double("straggler-factor",
+                      "compute slowdown of straggler ranks", &straggler_factor);
+    parser.add_string("slow-nodes", "comma-separated slow node ids",
+                      &slow_nodes);
+    parser.add_double("slow-factor",
+                      "compute+latency slowdown of slow nodes", &slow_factor);
+  }
+
+  double scalar_drop() const {
+    if (drop_spec.empty()) return 0.0;
+    if (drop_spec.find(':') != std::string::npos) {
+      throw ConfigError(
+          "--fault-drop expects a single probability here; lo:hi:step "
+          "ranges only work with `anacin sweep`");
+    }
+    return parse_double_strict(drop_spec, "--fault-drop");
+  }
+
+  sim::FaultConfig config(double drop_probability) const {
+    sim::FaultConfig config;
+    config.drop_probability = drop_probability;
+    config.duplicate_probability = dup;
+    config.max_retries = retries;
+    config.retry_timeout_us = timeout_us;
+    config.straggler_ranks = parse_id_list(stragglers, "--stragglers");
+    config.straggler_multiplier = straggler_factor;
+    config.slow_nodes = parse_id_list(slow_nodes, "--slow-nodes");
+    config.node_slowdown_multiplier = slow_factor;
+    return config;
+  }
+
+  sim::FaultConfig config() const { return config(scalar_drop()); }
+};
+
+/// A lo:hi:step range on --fault-drop (sweep only); nullopt for scalars.
+struct DropRange {
+  double lo = 0.0;
+  double hi = 0.0;
+  double step = 0.0;
+};
+
+std::optional<DropRange> parse_drop_range(const std::string& spec) {
+  if (spec.find(':') == std::string::npos) return std::nullopt;
+  const auto parts = split(spec, ':');
+  if (parts.size() != 3) {
+    throw ConfigError("--fault-drop range must be lo:hi:step, got '" + spec +
+                      "'");
+  }
+  DropRange range;
+  range.lo = parse_double_strict(parts[0], "--fault-drop");
+  range.hi = parse_double_strict(parts[1], "--fault-drop");
+  range.step = parse_double_strict(parts[2], "--fault-drop");
+  ANACIN_CHECK(range.lo >= 0.0 && range.hi <= 1.0 && range.lo <= range.hi,
+               "--fault-drop range must satisfy 0 <= lo <= hi <= 1");
+  ANACIN_CHECK(range.step > 0.0, "--fault-drop range step must be positive");
+  return range;
+}
+
 void print_summary(std::ostream& out, const std::string& label,
                    const analysis::Summary& summary) {
   out << pad_right(label, 22) << " n=" << summary.count
@@ -104,26 +246,36 @@ int cmd_patterns(const std::vector<const char*>& argv, std::ostream& out) {
 
 int cmd_run(const std::vector<const char*>& argv, std::ostream& out) {
   WorkloadOptions workload;
+  FaultOptions faults;
   std::string trace_out;
   std::string svg_out;
   bool ascii = false;
   bool metrics = false;
   ArgParser parser("anacin run — simulate one execution of a mini-app");
   workload.add_to(parser);
+  faults.add_to(parser);
   parser.add_string("trace-out", "write the trace as JSON", &trace_out);
   parser.add_string("svg", "render the event graph to an SVG file", &svg_out);
   parser.add_flag("ascii", "print an ASCII event graph", &ascii);
   parser.add_flag("metrics", "print structural metrics", &metrics);
   if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
 
-  const sim::RunResult result = core::run_pattern_once(
-      workload.pattern, workload.shape(), workload.sim_config());
+  sim::SimConfig sim_config = workload.sim_config();
+  sim_config.faults = faults.config();
+  const sim::RunResult result =
+      core::run_pattern_once(workload.pattern, workload.shape(), sim_config);
   out << "pattern=" << workload.pattern << " ranks=" << workload.ranks
       << " nd=" << workload.nd_percent << "% seed=" << workload.seed << '\n';
   out << "events=" << result.trace.total_events()
       << " messages=" << result.stats.messages
       << " wildcard_recvs=" << result.stats.wildcard_recvs
       << " makespan_us=" << format_fixed(result.stats.makespan_us, 2) << '\n';
+  if (sim_config.faults.enabled()) {
+    out << "faults: drops=" << result.stats.drops
+        << " retries=" << result.stats.retries
+        << " duplicates=" << result.stats.duplicates
+        << " straggler_events=" << result.stats.straggler_events << '\n';
+  }
 
   const graph::EventGraph event_graph =
       graph::EventGraph::from_trace(result.trace);
@@ -184,6 +336,7 @@ int cmd_graph(const std::vector<const char*>& argv, std::ostream& out) {
 
 int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
   WorkloadOptions workload;
+  FaultOptions faults;
   int runs = 20;
   std::string kernel = "wl:2";
   std::string policy = "type_peer";
@@ -193,6 +346,7 @@ int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
   std::string json_out;
   ArgParser parser("anacin measure — quantify a mini-app's non-determinism");
   workload.add_to(parser);
+  faults.add_to(parser);
   parser.add_int("runs", "number of independent executions", &runs);
   parser.add_string("kernel", "graph kernel (wl[:h], vertex_histogram, ...)",
                     &kernel);
@@ -205,6 +359,7 @@ int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
   if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
 
   core::CampaignConfig config = workload.campaign(runs, kernel, policy);
+  config.faults = faults.config();
   if (reduction == "pairwise") {
     config.reduction = analysis::DistanceReduction::kPairwise;
   } else if (reduction != "to_reference") {
@@ -216,6 +371,11 @@ int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
   out << "messages/run=" << result.total_messages / result.graphs.size()
       << " wildcard recvs/run="
       << result.total_wildcard_recvs / result.graphs.size() << '\n';
+  if (config.faults.enabled()) {
+    out << "faults: drops=" << result.total_drops
+        << " duplicates=" << result.total_duplicates
+        << " straggler_events=" << result.total_straggler_events << '\n';
+  }
 
   const analysis::BootstrapCi ci = analysis::bootstrap_ci(
       result.measurement.distances,
@@ -252,14 +412,18 @@ int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
 
 int cmd_sweep(const std::vector<const char*>& argv, std::ostream& out) {
   WorkloadOptions workload;
+  FaultOptions faults;
   workload.pattern = "amg2013";
   workload.ranks = 16;
   int runs = 10;
   int step = 10;
   std::string kernel = "wl:2";
   std::string csv_out;
-  ArgParser parser("anacin sweep — kernel distance vs ND% (paper Fig 7)");
+  ArgParser parser(
+      "anacin sweep — kernel distance vs ND% (paper Fig 7), or vs message "
+      "drop probability when --fault-drop is a lo:hi:step range");
   workload.add_to(parser);
+  faults.add_to(parser, /*sweepable_drop=*/true);
   parser.add_int("runs", "executions per setting", &runs);
   parser.add_int("step", "ND percentage increment", &step);
   parser.add_string("kernel", "graph kernel", &kernel);
@@ -268,29 +432,55 @@ int cmd_sweep(const std::vector<const char*>& argv, std::ostream& out) {
   ANACIN_CHECK(step >= 1 && step <= 100, "step must be in [1,100]");
 
   ThreadPool pool;
-  std::vector<double> percents;
+  const std::optional<DropRange> drop_range =
+      parse_drop_range(faults.drop_spec);
+  std::vector<double> axis;
   std::vector<double> medians;
   std::optional<core::CsvWriter> csv;
   if (!csv_out.empty()) {
-    csv.emplace(std::vector<std::string>{"nd_percent", "median", "mean"});
+    csv.emplace(std::vector<std::string>{
+        drop_range ? "drop_probability" : "nd_percent", "median", "mean"});
   }
-  for (int percent = 0; percent <= 100; percent += step) {
-    core::CampaignConfig config =
-        workload.campaign(runs, kernel, "type_peer");
-    config.nd_fraction = percent / 100.0;
+
+  const auto sweep_point = [&](const std::string& label, double axis_value,
+                               const core::CampaignConfig& config) {
     const core::CampaignResult result = core::run_campaign(config, pool);
-    print_summary(out, std::to_string(percent) + "% ND",
-                  result.distance_summary);
-    percents.push_back(percent);
+    print_summary(out, label, result.distance_summary);
+    axis.push_back(axis_value);
     medians.push_back(result.distance_summary.median);
     if (csv) {
-      csv->add_row({std::to_string(percent),
+      csv->add_row({format_fixed(axis_value, drop_range ? 4 : 0),
                     format_fixed(result.distance_summary.median, 4),
                     format_fixed(result.distance_summary.mean, 4)});
     }
+  };
+
+  if (drop_range) {
+    // Fault sweep: ND% stays at --nd, the drop probability is the axis.
+    const int points = static_cast<int>(
+        std::llround((drop_range->hi - drop_range->lo) / drop_range->step));
+    for (int i = 0; i <= points; ++i) {
+      const double p = std::min(
+          drop_range->lo + static_cast<double>(i) * drop_range->step, 1.0);
+      core::CampaignConfig config =
+          workload.campaign(runs, kernel, "type_peer");
+      config.faults = faults.config(p);
+      sweep_point("drop " + format_fixed(p, 2), p, config);
+    }
+    out << "Spearman(median, drop) = "
+        << format_fixed(analysis::spearman(axis, medians), 3) << '\n';
+  } else {
+    for (int percent = 0; percent <= 100; percent += step) {
+      core::CampaignConfig config =
+          workload.campaign(runs, kernel, "type_peer");
+      config.nd_fraction = percent / 100.0;
+      config.faults = faults.config();
+      sweep_point(std::to_string(percent) + "% ND",
+                  static_cast<double>(percent), config);
+    }
+    out << "Spearman(median, nd%) = "
+        << format_fixed(analysis::spearman(axis, medians), 3) << '\n';
   }
-  out << "Spearman(median, nd%) = "
-      << format_fixed(analysis::spearman(percents, medians), 3) << '\n';
   if (csv) {
     csv->save(csv_out);
     out << "sweep written to " << csv_out << '\n';
@@ -752,6 +942,17 @@ const char kUsage[] =
     "                       268435456 = 256 MiB; disk usage is unbounded —\n"
     "                       prune with `anacin cache gc`)\n"
     "\n"
+    "fault injection (run / measure / sweep):\n"
+    "  --fault-drop P       message drop probability [0..1]; in `sweep`,\n"
+    "                       lo:hi:step sweeps the drop axis instead of ND%\n"
+    "  --fault-dup P        message duplication probability [0..1]\n"
+    "  --fault-retries N    max retransmissions of a dropped message\n"
+    "  --fault-timeout US   retransmit timeout in microseconds\n"
+    "  --stragglers LIST    comma-separated rank ids with slowed compute\n"
+    "  --straggler-factor F compute slowdown of straggler ranks\n"
+    "  --slow-nodes LIST    comma-separated node ids slowed end-to-end\n"
+    "  --slow-factor F      compute+latency slowdown of slow nodes\n"
+    "\n"
     "commands:\n"
     "  patterns    list the packaged mini-applications\n"
     "  run         simulate one execution (trace / ASCII / SVG outputs)\n"
@@ -803,6 +1004,7 @@ int dispatch(const std::string& command, const std::vector<const char*>& rest,
 int parse_global_options(int argc, const char* const* argv,
                          GlobalOptions* options) {
   std::string store_max_bytes_text;
+  bool store_max_bytes_given = false;
   int index = 1;
   while (index < argc) {
     const std::string_view arg = argv[index];
@@ -829,6 +1031,7 @@ int parse_global_options(int argc, const char* const* argv,
     if (take("--trace-out", &options->trace_out, "a file path")) continue;
     if (take("--store", &options->store_dir, "a directory path")) continue;
     if (take("--store-max-bytes", &store_max_bytes_text, "a byte count")) {
+      store_max_bytes_given = true;
       continue;
     }
     if (arg == "--no-store") {
@@ -838,13 +1041,10 @@ int parse_global_options(int argc, const char* const* argv,
     }
     break;
   }
-  if (!store_max_bytes_text.empty()) {
-    try {
-      options->store_max_bytes = std::stoull(store_max_bytes_text);
-    } catch (const std::exception&) {
-      throw ConfigError("--store-max-bytes expects a byte count, got '" +
-                        store_max_bytes_text + "'");
-    }
+  if (store_max_bytes_given) {
+    // Strict parse: "", "10abc", and "-1" are errors, not defaults.
+    options->store_max_bytes =
+        parse_uint64_strict(store_max_bytes_text, "--store-max-bytes");
   }
   // Opt-in default so cron jobs / CI can turn on caching fleet-wide
   // without touching every invocation.

@@ -20,6 +20,7 @@ sim::SimConfig CampaignConfig::sim_config_for_run(int run_index) const {
                              static_cast<std::uint64_t>(run_index));
   config.network = network;
   config.network.nd_fraction = nd_fraction;
+  config.faults = faults;
   return config;
 }
 
@@ -27,6 +28,9 @@ sim::SimConfig CampaignConfig::reference_sim_config() const {
   sim::SimConfig config = sim_config_for_run(0);
   config.seed = mix64(base_seed);
   config.network.nd_fraction = 0.0;
+  // The reference is always fault-free: a fault sweep's points then share
+  // one clean baseline, so the measured distance isolates the faults.
+  config.faults = sim::FaultConfig{};
   return config;
 }
 
@@ -45,6 +49,7 @@ json::Value CampaignConfig::to_json() const {
           std::string(kernels::label_policy_name(label_policy)));
   doc.set("reduction",
           measurement_reduction_is_reference() ? "to_reference" : "pairwise");
+  doc.set("faults", faults.to_json());
   return doc;
 }
 
@@ -67,6 +72,9 @@ json::Value CampaignResult::to_json() const {
   doc.set("summary", std::move(summary));
   doc.set("total_messages", total_messages);
   doc.set("total_wildcard_recvs", total_wildcard_recvs);
+  doc.set("total_drops", total_drops);
+  doc.set("total_duplicates", total_duplicates);
+  doc.set("total_straggler_events", total_straggler_events);
   return doc;
 }
 
@@ -254,6 +262,9 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
   result.graphs.resize(num_runs);
   std::vector<std::uint64_t> messages(num_runs);
   std::vector<std::uint64_t> wildcards(num_runs);
+  std::vector<std::uint64_t> drops(num_runs);
+  std::vector<std::uint64_t> duplicates(num_runs);
+  std::vector<std::uint64_t> stragglers(num_runs);
   std::vector<store::Digest> run_keys(num_runs);
 
   {
@@ -269,6 +280,9 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
           result.graphs[i] = std::move(cached->graph);
           messages[i] = cached->messages;
           wildcards[i] = cached->wildcard_recvs;
+          drops[i] = cached->drops;
+          duplicates[i] = cached->duplicates;
+          stragglers[i] = cached->straggler_events;
           return;
         }
       }
@@ -277,15 +291,24 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
       encoded.graph = graph::EventGraph::from_trace(run.trace);
       encoded.messages = run.stats.messages;
       encoded.wildcard_recvs = run.stats.wildcard_recvs;
+      encoded.drops = run.stats.drops;
+      encoded.duplicates = run.stats.duplicates;
+      encoded.straggler_events = run.stats.straggler_events;
       if (store != nullptr) store->save_run(run_keys[i], encoded);
       result.graphs[i] = std::move(encoded.graph);
       messages[i] = encoded.messages;
       wildcards[i] = encoded.wildcard_recvs;
+      drops[i] = encoded.drops;
+      duplicates[i] = encoded.duplicates;
+      stragglers[i] = encoded.straggler_events;
     });
   }
   for (std::size_t i = 0; i < messages.size(); ++i) {
     result.total_messages += messages[i];
     result.total_wildcard_recvs += wildcards[i];
+    result.total_drops += drops[i];
+    result.total_duplicates += duplicates[i];
+    result.total_straggler_events += stragglers[i];
   }
 
   {

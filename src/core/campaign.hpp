@@ -8,6 +8,7 @@
 #include "graph/event_graph.hpp"
 #include "kernels/kernel.hpp"
 #include "patterns/pattern.hpp"
+#include "sim/faults.hpp"
 #include "sim/simulator.hpp"
 #include "store/store.hpp"
 #include "support/json.hpp"
@@ -27,6 +28,10 @@ struct CampaignConfig {
   /// The paper's "percentage of non-determinism" as a fraction in [0,1].
   double nd_fraction = 1.0;
   sim::NetworkConfig network;  // nd_fraction above overrides network's
+  /// Fault injection applied to every noisy run; the reference run is
+  /// always fault-free, so fault sweeps measure distance against one clean
+  /// baseline.
+  sim::FaultConfig faults;
   int num_runs = 20;
   /// Run i uses seed derive(base_seed, i); the reference run disables
   /// jitter entirely.
@@ -54,6 +59,9 @@ struct CampaignResult {
   /// Aggregate simulator counters over the noisy runs.
   std::uint64_t total_messages = 0;
   std::uint64_t total_wildcard_recvs = 0;
+  std::uint64_t total_drops = 0;
+  std::uint64_t total_duplicates = 0;
+  std::uint64_t total_straggler_events = 0;
 
   json::Value to_json() const;
 };

@@ -1,6 +1,7 @@
 #include "kernels/kernel.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <map>
 
@@ -180,10 +181,14 @@ std::unique_ptr<GraphKernel> make_kernel(const std::string& spec) {
   }
   if (spec == "wl") return std::make_unique<WLSubtreeKernel>();
   if (spec.rfind("wl:", 0) == 0) {
+    // from_chars, not strtol: an empty or whitespace depth ("wl:", "wl: 2")
+    // must be an error, not a silent depth-0 kernel.
     const std::string depth_text = spec.substr(3);
-    char* end = nullptr;
-    const long depth = std::strtol(depth_text.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || depth < 0 || depth > 16) {
+    const char* const last = depth_text.data() + depth_text.size();
+    int depth = -1;
+    const auto [ptr, ec] = std::from_chars(depth_text.data(), last, depth);
+    if (depth_text.empty() || ec != std::errc{} || ptr != last ||
+        depth < 0 || depth > 16) {
       throw ConfigError("invalid WL depth in kernel spec '" + spec + "'");
     }
     return std::make_unique<WLSubtreeKernel>(static_cast<unsigned>(depth));

@@ -54,6 +54,7 @@ void SimConfig::validate() const {
                "num_nodes must be in [1, num_ranks], got " << num_nodes);
   ANACIN_CHECK(max_calls > 0, "max_calls must be positive");
   network.validate();
+  faults.validate(num_ranks, num_nodes);
 }
 
 int SimConfig::node_of(int rank) const {
@@ -70,6 +71,9 @@ json::Value SimConfig::to_json() const {
   // max_calls is part of the config's identity (it changes when a run
   // fails), so it belongs in the canonical form hashed by src/store.
   doc.set("max_calls", max_calls);
+  // Faults are part of the identity too: two runs that differ only in
+  // their FaultConfig must never share a store key.
+  doc.set("faults", faults.to_json());
   doc.set("replay", replay != nullptr);
   return doc;
 }

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "sim/faults.hpp"
 #include "support/json.hpp"
 
 namespace anacin::sim {
@@ -54,6 +55,10 @@ struct SimConfig {
   /// executions on a noisy machine.
   std::uint64_t seed = 1;
   NetworkConfig network;
+  /// Deterministic fault injection (drops/retransmits, duplicates,
+  /// stragglers, slow nodes). All-defaults means no faults — and a run
+  /// then matches the fault-free engine bit for bit.
+  FaultConfig faults;
   /// Guard against runaway programs: maximum number of MPI calls processed.
   std::uint64_t max_calls = 50'000'000;
   /// Optional record-and-replay schedule; when set, wildcard receives are

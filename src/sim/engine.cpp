@@ -31,6 +31,10 @@ Engine::Engine(SimConfig config, RankProgram program)
       program_(std::move(program)),
       network_(config_.network, config_,
                Rng(config_.seed).derive(0xC0FFEEull)),
+      // The fault model draws from its own derived stream: enabling or
+      // disabling faults never shifts the network/rank RNG sequences.
+      faults_(config_.faults, config_.num_ranks, config_.num_nodes,
+              Rng(config_.seed).derive(0xFA017Bull)),
       trace_(config_.num_ranks, config_.num_nodes),
       replay_(config_.replay) {
   ANACIN_CHECK(program_ != nullptr, "rank program must be callable");
@@ -193,7 +197,17 @@ RunResult Engine::run() {
       obs::histogram("sim.engine.run_wall_ms");
   static obs::Histogram& unexpected_histogram =
       obs::histogram("sim.engine.max_unexpected_depth");
+  static obs::Counter& drops_counter = obs::counter("sim.faults.drops");
+  static obs::Counter& retries_counter = obs::counter("sim.faults.retries");
+  static obs::Counter& duplicates_counter =
+      obs::counter("sim.faults.duplicates");
+  static obs::Counter& straggler_counter =
+      obs::counter("sim.faults.straggler_events");
   runs_counter.add(1);
+  drops_counter.add(stats_.drops);
+  retries_counter.add(stats_.retries);
+  duplicates_counter.add(stats_.duplicates);
+  straggler_counter.add(stats_.straggler_events);
   events_counter.add(trace_.total_events());
   calls_counter.add(processed_calls_);
   messages_counter.add(stats_.messages);
@@ -216,7 +230,20 @@ void Engine::main_loop() {
         next = ctx.get();
       }
     }
-    if (all_done) return;
+    if (all_done) {
+      // Spurious duplicate copies trail the real message by an extra delay
+      // and can still be in flight once every rank has finalized. Deliver
+      // them so duplicate accounting is deterministic; any other leftover
+      // message is an unreceived send and stays dropped.
+      while (!transit_.empty()) {
+        if (transit_.front().msg.duplicate) {
+          process_delivery();
+        } else {
+          (void)pop_transit();
+        }
+      }
+      return;
+    }
 
     const bool have_msg = !transit_.empty();
     if (next == nullptr && !have_msg) throw_deadlock();
@@ -252,11 +279,24 @@ void Engine::step_rank(RankCtx& ctx) {
 
 void Engine::process_call(RankCtx& ctx, Call& call) {
   switch (call.kind) {
-    case CallKind::kCompute:
+    case CallKind::kCompute: {
       ANACIN_CHECK(call.compute_us >= 0.0, "compute time must be >= 0");
-      ctx.clock += call.compute_us;
+      double compute_us = call.compute_us;
+      if (faults_.enabled() && compute_us > 0.0) {
+        const double multiplier = faults_.compute_multiplier(ctx.rank);
+        if (multiplier > 1.0) {
+          compute_us *= multiplier;
+          if (!ctx.straggler_event_recorded) {
+            ctx.straggler_event_recorded = true;
+            ++stats_.straggler_events;
+            record_fault_event(ctx, -1, -1, 0, "FAULT_straggler");
+          }
+        }
+      }
+      ctx.clock += compute_us;
       ctx.call_done = true;
       return;
+    }
     case CallKind::kSend: do_send(ctx, call); return;
     case CallKind::kRecv: do_recv(ctx, call); return;
     case CallKind::kIrecv: do_irecv(ctx, call); return;
@@ -303,7 +343,26 @@ void Engine::do_send(RankCtx& ctx, Call& call) {
   event.t_end = ctx.clock;
   const std::int64_t seq = trace_.append(event);
 
-  double deliver = ctx.clock + delay.delay_us;
+  double delay_us = delay.delay_us;
+  FaultModel::MessageFate fate;
+  if (faults_.enabled()) {
+    delay_us *= faults_.latency_multiplier(ctx.rank, call.peer);
+    fate = faults_.sample_message(ctx.rank, call.peer);
+    // One fault event per dropped attempt, right after the send event
+    // (same clock): the transport retransmits asynchronously, the sender
+    // does not stall, but the retry latency is visible in the delivery
+    // time and the drops are visible in the event graph.
+    for (int drop = 0; drop < fate.dropped_attempts; ++drop) {
+      record_fault_event(ctx, call.peer, call.tag, size, "FAULT_retransmit");
+    }
+    stats_.drops += static_cast<std::uint64_t>(fate.dropped_attempts);
+    stats_.retries += static_cast<std::uint64_t>(fate.dropped_attempts);
+  }
+
+  double deliver = ctx.clock +
+                   static_cast<double>(fate.dropped_attempts) *
+                       config_.faults.retry_timeout_us +
+                   delay_us;
   const std::uint64_t channel =
       static_cast<std::uint64_t>(ctx.rank) *
           static_cast<std::uint64_t>(config_.num_ranks) +
@@ -333,6 +392,26 @@ void Engine::do_send(RankCtx& ctx, Call& call) {
                  delay.jittered,   ++order_counter_,
                  sync_request};
   push_transit(std::move(transit));
+
+  if (fate.duplicated) {
+    // A spurious copy trails the original. It bypasses the channel-FIFO
+    // bookkeeping (it is a network artifact, never matched, so it cannot
+    // overtake anything observable) and carries no payload.
+    TransitMsg duplicate;
+    duplicate.dst = call.peer;
+    duplicate.msg = ArrivedMsg{
+        ctx.rank,
+        call.tag,
+        Payload{},
+        seq,
+        size,
+        deliver + std::max(kChannelFifoEpsilon, fate.duplicate_extra_delay_us),
+        delay.jittered,
+        ++order_counter_,
+        /*sync_send_request=*/0,
+        /*duplicate=*/true};
+    push_transit(std::move(duplicate));
+  }
 
   switch (call.send_mode) {
     case SendMode::kBuffered:
@@ -715,6 +794,15 @@ void Engine::process_delivery() {
   RankCtx& ctx = *ranks_[static_cast<std::size_t>(transit.dst)];
   ArrivedMsg& msg = transit.msg;
 
+  if (msg.duplicate) {
+    // The receiver recognizes the repeated (source, sequence) pair,
+    // records the fault, and drops the copy before matching: duplicates
+    // never complete a receive or perturb the unexpected queue.
+    ++stats_.duplicates;
+    record_fault_event(ctx, msg.src, msg.tag, msg.size, "FAULT_duplicate");
+    return;
+  }
+
   for (auto it = ctx.posted.begin(); it != ctx.posted.end(); ++it) {
     if (filters_match(it->src_filter, it->tag_filter, msg) &&
         match_allowed(ctx, it->src_filter, msg)) {
@@ -763,6 +851,24 @@ void Engine::record_recv_event(RankCtx& ctx, const RequestState& request) {
   event.posted_tag = request.tag_filter;
   event.callstack_id = request.callstack_id;
   event.jittered = request.jittered;
+  trace_.append(event);
+}
+
+void Engine::record_fault_event(RankCtx& ctx, int peer, int tag,
+                                std::uint32_t size_bytes,
+                                std::string_view cause) {
+  trace::Event event;
+  event.type = trace::EventType::kFault;
+  event.rank = ctx.rank;
+  event.peer = peer;
+  event.tag = tag;
+  event.size_bytes = size_bytes;
+  // Faults are runtime artifacts, not program steps: they take no virtual
+  // time and are stamped at the rank's current clock, which keeps the
+  // per-rank t_end ordering invariant intact.
+  event.t_start = ctx.clock;
+  event.t_end = ctx.clock;
+  event.callstack_id = trace_.callstacks().intern(std::string(cause));
   trace_.append(event);
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/faults.hpp"
 #include "sim/network.hpp"
 #include "sim/replay_schedule.hpp"
 #include "sim/types.hpp"
@@ -35,6 +36,14 @@ struct RunStats {
   std::uint64_t matched_messages = 0;
   /// High-water mark of any rank's unexpected-message queue.
   std::uint64_t max_unexpected_depth = 0;
+  /// Fault injection (see sim/faults.hpp): transmission attempts dropped,
+  /// retransmissions issued (equal under the bounded-retry model),
+  /// duplicate deliveries discarded, and ranks that stretched a compute
+  /// phase as stragglers / slow-node residents.
+  std::uint64_t drops = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t straggler_events = 0;
   double makespan_us = 0.0;
 };
 
@@ -155,6 +164,9 @@ private:
     std::uint64_t order = 0;
     /// Sender-side request id for synchronous sends (0 otherwise).
     std::uint64_t sync_send_request = 0;
+    /// Spurious duplicate injected by the fault model; detected at the
+    /// receiver (by sequence number) and discarded, never matched.
+    bool duplicate = false;
   };
 
   struct TransitMsg {
@@ -204,6 +216,9 @@ private:
     /// a message matched out of its arrival order completes no earlier than
     /// its predecessors in the schedule (the replay tool "holds" it).
     double replay_time_floor = 0.0;
+    /// One straggler fault event is recorded per affected rank per run,
+    /// on its first stretched compute phase.
+    bool straggler_event_recorded = false;
     Rng rng;
   };
 
@@ -260,6 +275,13 @@ private:
   void finish_recv_like(RankCtx& ctx, Call& call, std::uint64_t request_id,
                         bool record_event_flag);
   void record_recv_event(RankCtx& ctx, const RequestState& request);
+  /// Append a kFault event on `ctx` at its current clock. `cause` becomes
+  /// the event's callstack path (FAULT_retransmit / FAULT_duplicate /
+  /// FAULT_straggler), so fault kinds are distinguishable under every
+  /// label policy that looks at callstacks, and fault presence under all
+  /// of them (distinct node type).
+  void record_fault_event(RankCtx& ctx, int peer, int tag,
+                          std::uint32_t size_bytes, std::string_view cause);
   void record_init_events();
   void record_finalize_event(RankCtx& ctx);
   std::uint32_t callstack_id(RankCtx& ctx, std::string_view mpi_function);
@@ -273,6 +295,7 @@ private:
   SimConfig config_;
   RankProgram program_;
   NetworkModel network_;
+  FaultModel faults_;
   trace::Trace trace_;
   RunStats stats_;
   const ReplaySchedule* replay_ = nullptr;

@@ -1,0 +1,153 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace anacin::sim {
+
+namespace {
+
+json::Value int_array(const std::vector<int>& values) {
+  json::Value out = json::Value::array();
+  for (const int value : values) out.push_back(json::Value(value));
+  return out;
+}
+
+std::vector<int> int_vector(const json::Value& doc) {
+  std::vector<int> out;
+  out.reserve(doc.size());
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    out.push_back(static_cast<int>(doc.at(i).as_number()));
+  }
+  return out;
+}
+
+void check_ids_in_range(const std::vector<int>& ids, int limit,
+                        const char* what) {
+  for (const int id : ids) {
+    ANACIN_CHECK(id >= 0 && id < limit,
+                 what << " " << id << " out of range [0, " << limit << ")");
+  }
+}
+
+}  // namespace
+
+bool FaultConfig::enabled() const {
+  return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+         (!straggler_ranks.empty() && straggler_multiplier > 1.0) ||
+         (!slow_nodes.empty() && node_slowdown_multiplier > 1.0);
+}
+
+void FaultConfig::validate(int num_ranks, int num_nodes) const {
+  ANACIN_CHECK(drop_probability >= 0.0 && drop_probability <= 1.0,
+               "drop_probability must be in [0,1], got " << drop_probability);
+  ANACIN_CHECK(duplicate_probability >= 0.0 && duplicate_probability <= 1.0,
+               "duplicate_probability must be in [0,1], got "
+                   << duplicate_probability);
+  ANACIN_CHECK(max_retries >= 0,
+               "max_retries must be >= 0, got " << max_retries);
+  ANACIN_CHECK(retry_timeout_us >= 0.0,
+               "retry_timeout_us must be >= 0, got " << retry_timeout_us);
+  ANACIN_CHECK(straggler_multiplier >= 1.0,
+               "straggler_multiplier must be >= 1, got "
+                   << straggler_multiplier);
+  ANACIN_CHECK(node_slowdown_multiplier >= 1.0,
+               "node_slowdown_multiplier must be >= 1, got "
+                   << node_slowdown_multiplier);
+  check_ids_in_range(straggler_ranks, num_ranks, "straggler rank");
+  check_ids_in_range(slow_nodes, num_nodes, "slow node");
+}
+
+json::Value FaultConfig::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("drop_probability", drop_probability);
+  doc.set("max_retries", max_retries);
+  doc.set("retry_timeout_us", retry_timeout_us);
+  doc.set("duplicate_probability", duplicate_probability);
+  doc.set("straggler_ranks", int_array(straggler_ranks));
+  doc.set("straggler_multiplier", straggler_multiplier);
+  doc.set("slow_nodes", int_array(slow_nodes));
+  doc.set("node_slowdown_multiplier", node_slowdown_multiplier);
+  return doc;
+}
+
+FaultConfig FaultConfig::from_json(const json::Value& doc) {
+  FaultConfig config;
+  config.drop_probability = doc.at("drop_probability").as_number();
+  config.max_retries = static_cast<int>(doc.at("max_retries").as_number());
+  config.retry_timeout_us = doc.at("retry_timeout_us").as_number();
+  config.duplicate_probability = doc.at("duplicate_probability").as_number();
+  config.straggler_ranks = int_vector(doc.at("straggler_ranks"));
+  config.straggler_multiplier = doc.at("straggler_multiplier").as_number();
+  config.slow_nodes = int_vector(doc.at("slow_nodes"));
+  config.node_slowdown_multiplier =
+      doc.at("node_slowdown_multiplier").as_number();
+  return config;
+}
+
+FaultModel::FaultModel(const FaultConfig& config, int num_ranks,
+                       int num_nodes, Rng rng)
+    : config_(config), num_ranks_(num_ranks), rng_(rng) {
+  config_.validate(num_ranks, num_nodes);
+  ranks_per_node_ = (num_ranks + num_nodes - 1) / num_nodes;
+  straggler_.assign(static_cast<std::size_t>(num_ranks), 0);
+  for (const int rank : config_.straggler_ranks) {
+    straggler_[static_cast<std::size_t>(rank)] = 1;
+  }
+  slow_node_.assign(static_cast<std::size_t>(num_nodes), 0);
+  for (const int node : config_.slow_nodes) {
+    slow_node_[static_cast<std::size_t>(node)] = 1;
+  }
+}
+
+bool FaultModel::is_straggler(int rank) const {
+  ANACIN_CHECK(rank >= 0 && rank < num_ranks_,
+               "rank " << rank << " out of range");
+  return straggler_[static_cast<std::size_t>(rank)] != 0;
+}
+
+bool FaultModel::on_slow_node(int rank) const {
+  ANACIN_CHECK(rank >= 0 && rank < num_ranks_,
+               "rank " << rank << " out of range");
+  return slow_node_[static_cast<std::size_t>(rank / ranks_per_node_)] != 0;
+}
+
+FaultModel::MessageFate FaultModel::sample_message(int src_rank,
+                                                   int dst_rank) {
+  ANACIN_CHECK(src_rank >= 0 && src_rank < num_ranks_ && dst_rank >= 0 &&
+                   dst_rank < num_ranks_,
+               "message endpoints out of range");
+  MessageFate fate;
+  if (config_.drop_probability > 0.0) {
+    // Each attempt drops independently; after max_retries retransmissions
+    // the next attempt is forced through, bounding delivery latency at
+    // max_retries * retry_timeout_us + network delay.
+    for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
+      if (!rng_.bernoulli(config_.drop_probability)) break;
+      ++fate.dropped_attempts;
+    }
+  }
+  if (config_.duplicate_probability > 0.0 &&
+      rng_.bernoulli(config_.duplicate_probability)) {
+    fate.duplicated = true;
+    const double mean = std::max(config_.retry_timeout_us, 1.0);
+    fate.duplicate_extra_delay_us = rng_.exponential(mean);
+  }
+  return fate;
+}
+
+double FaultModel::compute_multiplier(int rank) const {
+  double multiplier = 1.0;
+  if (is_straggler(rank)) multiplier *= config_.straggler_multiplier;
+  if (on_slow_node(rank)) multiplier *= config_.node_slowdown_multiplier;
+  return multiplier;
+}
+
+double FaultModel::latency_multiplier(int src_rank, int dst_rank) const {
+  return on_slow_node(src_rank) || on_slow_node(dst_rank)
+             ? config_.node_slowdown_multiplier
+             : 1.0;
+}
+
+}  // namespace anacin::sim

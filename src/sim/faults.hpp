@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/rng.hpp"
+
+namespace anacin::sim {
+
+/// Configuration of the deterministic fault-injection layer.
+///
+/// Real HPC runs are non-deterministic not only because of congestion
+/// jitter but also because of *faults*: messages dropped and retransmitted
+/// by the transport, spurious duplicates, straggler processes, and slow
+/// nodes. Every knob here is sampled from a seeded RNG stream derived from
+/// the run seed, so a faulty execution is exactly as reproducible as a
+/// fault-free one — identical (program, SimConfig) pairs still give
+/// bit-identical traces, and injected faults appear as labelled `kFault`
+/// events in the trace and event graph.
+struct FaultConfig {
+  /// Probability that one transmission attempt of a message is dropped.
+  /// A dropped attempt is retransmitted after `retry_timeout_us`; after
+  /// `max_retries` retransmissions the final attempt always succeeds, so
+  /// delivery is guaranteed (bounded retransmit, no livelock).
+  double drop_probability = 0.0;
+  /// Maximum number of retransmissions per message (>= 0).
+  int max_retries = 3;
+  /// Virtual time between a dropped attempt and its retransmission (µs).
+  double retry_timeout_us = 50.0;
+  /// Probability that the network delivers a spurious duplicate of a
+  /// message. Duplicates are detected at the receiver (by sequence
+  /// number), recorded as fault events, and discarded — they never match
+  /// a receive.
+  double duplicate_probability = 0.0;
+  /// Ranks whose compute phases run `straggler_multiplier` times slower.
+  std::vector<int> straggler_ranks;
+  double straggler_multiplier = 4.0;
+  /// Nodes whose attached ranks see both compute and link latency scaled
+  /// by `node_slowdown_multiplier` (a degraded switch / thermal throttle).
+  std::vector<int> slow_nodes;
+  double node_slowdown_multiplier = 2.0;
+
+  /// True when any fault mechanism can fire.
+  bool enabled() const;
+
+  /// Validate against the simulation shape. Throws ConfigError.
+  void validate(int num_ranks, int num_nodes) const;
+
+  json::Value to_json() const;
+  static FaultConfig from_json(const json::Value& doc);
+};
+
+/// Per-run fault sampler. Owns an independent RNG stream (derived from the
+/// run seed), so enabling faults never perturbs the network-jitter or
+/// per-rank program RNG streams: a run with an all-defaults FaultConfig is
+/// bit-identical to one simulated before this subsystem existed.
+class FaultModel {
+public:
+  FaultModel(const FaultConfig& config, int num_ranks, int num_nodes,
+             Rng rng);
+
+  /// What the transport does to one message.
+  struct MessageFate {
+    /// Transmission attempts dropped before the successful one
+    /// (each costs `retry_timeout_us` of delivery latency).
+    int dropped_attempts = 0;
+    bool duplicated = false;
+    /// Extra transit delay of the duplicate copy beyond the original.
+    double duplicate_extra_delay_us = 0.0;
+  };
+
+  bool enabled() const { return config_.enabled(); }
+  const FaultConfig& config() const { return config_; }
+
+  /// Sample drop/duplicate outcomes for one message send. Deterministic
+  /// given the model's seed and call sequence.
+  MessageFate sample_message(int src_rank, int dst_rank);
+
+  /// Combined compute-slowdown factor for a rank (straggler × slow node).
+  /// 1.0 when the rank is unaffected.
+  double compute_multiplier(int rank) const;
+
+  /// Link-latency factor: `node_slowdown_multiplier` when either endpoint
+  /// sits on a slow node, else 1.0.
+  double latency_multiplier(int src_rank, int dst_rank) const;
+
+  bool is_straggler(int rank) const;
+  bool on_slow_node(int rank) const;
+
+private:
+  FaultConfig config_;
+  int num_ranks_ = 0;
+  int ranks_per_node_ = 1;
+  std::vector<char> straggler_;  // indexed by rank
+  std::vector<char> slow_node_;  // indexed by node
+  Rng rng_;
+};
+
+}  // namespace anacin::sim

@@ -141,7 +141,12 @@ void write_event_node(ByteWriter& writer, const graph::EventNode& node) {
 
 graph::EventNode read_event_node(ByteReader& reader) {
   graph::EventNode node;
-  node.type = static_cast<trace::EventType>(reader.u8());
+  const std::uint8_t raw_type = reader.u8();
+  if (raw_type > static_cast<std::uint8_t>(trace::EventType::kFault)) {
+    throw ParseError("event graph artifact: unknown event type " +
+                     std::to_string(raw_type));
+  }
+  node.type = static_cast<trace::EventType>(raw_type);
   node.rank = reader.i32();
   node.seq = reader.i64();
   node.peer = reader.i32();
@@ -408,6 +413,10 @@ std::vector<std::uint8_t> encode_run(const EncodedRun& run) {
   ByteWriter writer;
   writer.u64(run.messages);
   writer.u64(run.wildcard_recvs);
+  writer.u64(run.drops);
+  writer.u64(run.retries);
+  writer.u64(run.duplicates);
+  writer.u64(run.straggler_events);
   write_event_graph_payload(writer, run.graph);
   return seal(Kind::kRun, std::move(writer).take());
 }
@@ -417,6 +426,10 @@ EncodedRun decode_run(std::span<const std::uint8_t> bytes) {
   EncodedRun run;
   run.messages = reader.u64();
   run.wildcard_recvs = reader.u64();
+  run.drops = reader.u64();
+  run.retries = reader.u64();
+  run.duplicates = reader.u64();
+  run.straggler_events = reader.u64();
   run.graph = read_event_graph_payload(reader);
   if (!reader.at_end()) {
     throw ParseError("run artifact: trailing bytes after payload");

@@ -26,7 +26,12 @@ namespace anacin::store {
 /// mismatches (bit rot / partial writes), and kind mismatches. Doubles are
 /// bit-cast, so round trips are exact — a decoded artifact reproduces the
 /// original JSON forms byte for byte.
-inline constexpr std::uint16_t kFormatVersion = 1;
+///
+/// Version history:
+///   1 — initial layout.
+///   2 — kRun payload carries fault counters (drops/retries/duplicates/
+///       straggler_events); event nodes may use EventType::kFault.
+inline constexpr std::uint16_t kFormatVersion = 2;
 inline constexpr std::size_t kEnvelopeSize = 24;
 
 enum class Kind : std::uint16_t {
@@ -58,6 +63,12 @@ struct EncodedRun {
   graph::EventGraph graph;
   std::uint64_t messages = 0;
   std::uint64_t wildcard_recvs = 0;
+  /// Fault-injection counters (see sim/faults.hpp); all zero when the run
+  /// was simulated without faults.
+  std::uint64_t drops = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t straggler_events = 0;
 };
 
 std::vector<std::uint8_t> encode_trace(const trace::Trace& trace);

@@ -2,11 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 #include "support/error.hpp"
 
 namespace anacin {
+
+namespace {
+
+/// The pool whose worker_loop is executing on this thread, if any. Lets
+/// parallel_for detect re-entrant calls from its own workers.
+thread_local ThreadPool* t_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -37,6 +46,7 @@ void ThreadPool::enqueue(std::function<void()> item) {
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -73,8 +83,33 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       }
     }));
   }
-  for (auto& chunk : chunks) chunk.wait();
+  if (t_worker_pool == this) {
+    // Re-entrant call from one of our own workers. Blocking here could
+    // deadlock: with every worker waiting, the chunks just submitted would
+    // never be scheduled. Help drain the queue until our chunks finish —
+    // drained tasks may belong to other callers, which only speeds them up.
+    for (auto& chunk : chunks) {
+      while (chunk.wait_for(std::chrono::seconds(0)) !=
+             std::future_status::ready) {
+        if (!run_one_queued_task()) std::this_thread::yield();
+      }
+    }
+  } else {
+    for (auto& chunk : chunks) chunk.wait();
+  }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+bool ThreadPool::run_one_queued_task() {
+  std::function<void()> task;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
 }
 
 ThreadPool& global_pool() {

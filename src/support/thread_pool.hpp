@@ -44,6 +44,10 @@ public:
   /// Run fn(i) for i in [begin, end) across the pool and wait for
   /// completion. Exceptions from tasks are rethrown (the first one, after
   /// all tasks finish). Work is chunked to limit queue overhead.
+  ///
+  /// Safe to call from inside a pool task: the calling worker then helps
+  /// drain the queue instead of blocking on its own chunks (blocking would
+  /// deadlock a pool whose every worker waits on queued work).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 1);
@@ -51,6 +55,8 @@ public:
 private:
   void enqueue(std::function<void()> item);
   void worker_loop();
+  /// Pop and run one queued task; false if the queue was empty.
+  bool run_one_queued_task();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

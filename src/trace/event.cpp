@@ -10,6 +10,7 @@ std::string_view event_type_name(EventType type) {
     case EventType::kSend: return "send";
     case EventType::kRecv: return "recv";
     case EventType::kFinalize: return "finalize";
+    case EventType::kFault: return "fault";
   }
   return "?";
 }
@@ -19,6 +20,7 @@ EventType event_type_from_name(std::string_view name) {
   if (name == "send") return EventType::kSend;
   if (name == "recv") return EventType::kRecv;
   if (name == "finalize") return EventType::kFinalize;
+  if (name == "fault") return EventType::kFault;
   throw ParseError("unknown event type name: '" + std::string(name) + "'");
 }
 

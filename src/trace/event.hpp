@@ -11,12 +11,15 @@ namespace anacin::trace {
 /// `kFinalize` are the green circles marking process start/end, `kSend` the
 /// blue circles, and `kRecv` the red circles. Collective operations are
 /// composed from point-to-point messages, so they appear as send/recv events
-/// tagged with a collective callstack frame.
+/// tagged with a collective callstack frame. `kFault` marks an injected
+/// fault (retransmission, discarded duplicate, straggler onset — see
+/// sim/faults.hpp); its callstack path names the fault cause.
 enum class EventType : std::uint8_t {
   kInit = 0,
   kSend = 1,
   kRecv = 2,
   kFinalize = 3,
+  kFault = 4,
 };
 
 std::string_view event_type_name(EventType type);

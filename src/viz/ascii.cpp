@@ -17,6 +17,7 @@ char event_glyph(trace::EventType type) {
     case trace::EventType::kSend: return 'S';
     case trace::EventType::kRecv: return 'R';
     case trace::EventType::kFinalize: return 'F';
+    case trace::EventType::kFault: return 'X';
   }
   return '?';
 }
@@ -38,7 +39,8 @@ std::string ascii_event_graph(const graph::EventGraph& graph,
     }
     os << pad_right("rank " + std::to_string(r), 9) << row << '\n';
   }
-  os << "legend: I=init S=send R=recv F=finalize; column = Lamport time\n";
+  os << "legend: I=init S=send R=recv F=finalize X=fault; "
+        "column = Lamport time\n";
   const auto& edges = graph.message_edges();
   const std::size_t shown = std::min(max_edges, edges.size());
   for (std::size_t i = 0; i < shown; ++i) {

@@ -19,6 +19,8 @@ const char* node_fill(trace::EventType type) {
       return "#4878c8";  // blue
     case trace::EventType::kRecv:
       return "#c8504c";  // red
+    case trace::EventType::kFault:
+      return "#d9862c";  // orange
   }
   return "#999999";
 }

@@ -442,5 +442,67 @@ TEST(Cli, StoreEnvVarDefaultAndNoStoreOverride) {
   std::filesystem::remove_all("test_output");
 }
 
+TEST(Cli, StoreMaxBytesRejectsMalformedValues) {
+  for (const char* bad : {"abc", "10abc", "-1", "", "0x10", "1.5"}) {
+    const CliRun run = invoke(
+        {"--store-max-bytes", bad, "patterns"});
+    EXPECT_EQ(run.exit_code, 1) << "value '" << bad << "'";
+    EXPECT_NE(run.err.find("--store-max-bytes"), std::string::npos)
+        << "value '" << bad << "'";
+  }
+  EXPECT_EQ(invoke({"--store-max-bytes", "1048576", "patterns"}).exit_code, 0);
+  EXPECT_EQ(invoke({"--store-max-bytes=0", "patterns"}).exit_code, 0);
+}
+
+TEST(Cli, FaultFlagsInjectFaults) {
+  const CliRun run = invoke({"run", "--pattern", "message_race", "--ranks",
+                             "4", "--fault-drop", "1.0", "--fault-retries",
+                             "2", "--fault-dup", "1.0", "--stragglers", "1"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("faults: drops=6"), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("duplicates=3"), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("straggler_events="), std::string::npos) << run.out;
+}
+
+TEST(Cli, FaultFlagsRejectMalformedValues) {
+  const CliRun bad_drop = invoke({"run", "--ranks", "4", "--fault-drop", "x"});
+  EXPECT_EQ(bad_drop.exit_code, 1);
+  EXPECT_NE(bad_drop.err.find("--fault-drop"), std::string::npos);
+
+  const CliRun range_outside_sweep =
+      invoke({"run", "--ranks", "4", "--fault-drop", "0:0.3:0.1"});
+  EXPECT_EQ(range_outside_sweep.exit_code, 1);
+
+  const CliRun bad_list =
+      invoke({"run", "--ranks", "4", "--stragglers", "1,x"});
+  EXPECT_EQ(bad_list.exit_code, 1);
+  EXPECT_NE(bad_list.err.find("--stragglers"), std::string::npos);
+
+  const CliRun out_of_range =
+      invoke({"run", "--ranks", "4", "--stragglers", "7"});
+  EXPECT_EQ(out_of_range.exit_code, 1);
+}
+
+TEST(Cli, SweepOverDropProbability) {
+  const CliRun run =
+      invoke({"sweep", "--pattern", "message_race", "--ranks", "4", "--runs",
+              "3", "--nd", "0", "--fault-drop", "0:0.5:0.25", "--csv",
+              "test_output/drop_sweep.csv"});
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_NE(run.out.find("Spearman(median, drop)"), std::string::npos)
+      << run.out;
+
+  std::ifstream csv("test_output/drop_sweep.csv");
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header, "drop_probability,median,mean");
+  int rows = 0;
+  for (std::string line; std::getline(csv, line);) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 3);  // 0, 0.25, 0.5
+  std::filesystem::remove_all("test_output");
+}
+
 }  // namespace
 }  // namespace anacin::cli

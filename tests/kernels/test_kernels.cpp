@@ -181,6 +181,17 @@ TEST(MakeKernel, SpecsAndErrors) {
   EXPECT_THROW(make_kernel("nope"), ConfigError);
 }
 
+TEST(MakeKernel, RejectsEmptyOrPaddedWlDepth) {
+  // "wl:" used to strtol an empty string to 0 and silently build a
+  // depth-0 kernel; these must all be hard errors.
+  EXPECT_THROW(make_kernel("wl:"), ConfigError);
+  EXPECT_THROW(make_kernel("wl: 2"), ConfigError);
+  EXPECT_THROW(make_kernel("wl:2 "), ConfigError);
+  EXPECT_THROW(make_kernel("wl:2x"), ConfigError);
+  EXPECT_THROW(make_kernel("wl:-1"), ConfigError);
+  EXPECT_EQ(make_kernel("wl:0")->name(), "wl_subtree_h0");
+}
+
 TEST(EmptyGraphs, KernelsHandleGracefully) {
   const LabeledGraph empty;
   const WLSubtreeKernel kernel(2);

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/event_graph.hpp"
+#include "kernels/kernel.hpp"
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace anacin::sim {
+namespace {
+
+void message_race(Comm& comm) {
+  if (comm.rank() == 0) {
+    for (int i = 0; i < comm.size() - 1; ++i) (void)comm.recv();
+  } else {
+    comm.send(0, 0, payload_from_u64(static_cast<std::uint64_t>(comm.rank())));
+  }
+}
+
+void compute_then_race(Comm& comm) {
+  comm.compute(100.0);
+  message_race(comm);
+}
+
+SimConfig make_config(int ranks, std::uint64_t seed,
+                      const FaultConfig& faults, double nd = 0.0) {
+  SimConfig config;
+  config.num_ranks = ranks;
+  config.seed = seed;
+  config.network.nd_fraction = nd;
+  config.faults = faults;
+  return config;
+}
+
+std::string trace_fingerprint(const trace::Trace& trace) {
+  return trace.to_json().dump();
+}
+
+std::uint64_t count_fault_events(const trace::Trace& trace,
+                                 const std::string& cause) {
+  std::uint64_t count = 0;
+  for (int r = 0; r < trace.num_ranks(); ++r) {
+    for (const auto& event : trace.rank_events(r)) {
+      if (event.type == trace::EventType::kFault &&
+          trace.callstacks().path(event.callstack_id) == cause) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// FaultConfig
+// ---------------------------------------------------------------------------
+
+TEST(FaultConfig, DefaultIsDisabled) {
+  EXPECT_FALSE(FaultConfig{}.enabled());
+  FaultConfig drops;
+  drops.drop_probability = 0.01;
+  EXPECT_TRUE(drops.enabled());
+  FaultConfig stragglers;
+  stragglers.straggler_ranks = {1};
+  EXPECT_TRUE(stragglers.enabled());
+}
+
+TEST(FaultConfig, ValidationRejectsBadValues) {
+  FaultConfig bad_probability;
+  bad_probability.drop_probability = 1.5;
+  EXPECT_THROW(bad_probability.validate(4, 1), Error);
+
+  FaultConfig negative_retries;
+  negative_retries.max_retries = -1;
+  EXPECT_THROW(negative_retries.validate(4, 1), Error);
+
+  FaultConfig shrink_multiplier;
+  shrink_multiplier.straggler_multiplier = 0.5;
+  EXPECT_THROW(shrink_multiplier.validate(4, 1), Error);
+
+  FaultConfig rank_out_of_range;
+  rank_out_of_range.straggler_ranks = {4};
+  EXPECT_THROW(rank_out_of_range.validate(4, 1), Error);
+
+  FaultConfig node_out_of_range;
+  node_out_of_range.slow_nodes = {2};
+  EXPECT_THROW(node_out_of_range.validate(4, 2), Error);
+
+  FaultConfig ok;
+  ok.drop_probability = 0.3;
+  ok.straggler_ranks = {0, 3};
+  ok.slow_nodes = {1};
+  EXPECT_NO_THROW(ok.validate(4, 2));
+}
+
+TEST(FaultConfig, JsonRoundTripIsExact) {
+  FaultConfig config;
+  config.drop_probability = 0.125;
+  config.max_retries = 7;
+  config.retry_timeout_us = 12.5;
+  config.duplicate_probability = 0.0625;
+  config.straggler_ranks = {1, 5};
+  config.straggler_multiplier = 3.0;
+  config.slow_nodes = {0};
+  config.node_slowdown_multiplier = 1.5;
+
+  const FaultConfig decoded = FaultConfig::from_json(config.to_json());
+  EXPECT_EQ(config.to_json().dump(), decoded.to_json().dump());
+  EXPECT_EQ(decoded.straggler_ranks, config.straggler_ranks);
+  EXPECT_EQ(decoded.slow_nodes, config.slow_nodes);
+}
+
+// ---------------------------------------------------------------------------
+// FaultModel sampling
+// ---------------------------------------------------------------------------
+
+TEST(FaultModel, CertainDropAlwaysExhaustsRetries) {
+  FaultConfig config;
+  config.drop_probability = 1.0;
+  config.max_retries = 2;
+  FaultModel model(config, 4, 1, Rng(7));
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(model.sample_message(1, 0).dropped_attempts, 2);
+  }
+}
+
+TEST(FaultModel, MultipliersCompose) {
+  FaultConfig config;
+  config.straggler_ranks = {1};
+  config.straggler_multiplier = 4.0;
+  config.slow_nodes = {0};
+  config.node_slowdown_multiplier = 2.0;
+  // 4 ranks on 2 nodes: ranks 0,1 on node 0, ranks 2,3 on node 1.
+  FaultModel model(config, 4, 2, Rng(7));
+  EXPECT_DOUBLE_EQ(model.compute_multiplier(1), 8.0);  // straggler on slow
+  EXPECT_DOUBLE_EQ(model.compute_multiplier(0), 2.0);  // slow node only
+  EXPECT_DOUBLE_EQ(model.compute_multiplier(2), 1.0);  // unaffected
+  EXPECT_DOUBLE_EQ(model.latency_multiplier(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(model.latency_multiplier(2, 3), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration
+// ---------------------------------------------------------------------------
+
+TEST(FaultEngine, SameSeedSameFaultsBitIdenticalTrace) {
+  FaultConfig faults;
+  faults.drop_probability = 0.4;
+  faults.duplicate_probability = 0.3;
+  faults.straggler_ranks = {1};
+  const RunResult a =
+      run_simulation(make_config(6, 42, faults, 1.0), message_race);
+  const RunResult b =
+      run_simulation(make_config(6, 42, faults, 1.0), message_race);
+  EXPECT_EQ(trace_fingerprint(a.trace), trace_fingerprint(b.trace));
+}
+
+TEST(FaultEngine, DisabledFaultsMatchNoFaultTrace) {
+  // All-defaults FaultConfig must be bit-identical to a run without the
+  // subsystem: the fault RNG stream is separate and never consulted.
+  const RunResult with_defaults =
+      run_simulation(make_config(6, 9, FaultConfig{}, 1.0), message_race);
+  SimConfig plain = make_config(6, 9, FaultConfig{}, 1.0);
+  const RunResult baseline = run_simulation(plain, message_race);
+  EXPECT_EQ(trace_fingerprint(with_defaults.trace),
+            trace_fingerprint(baseline.trace));
+  EXPECT_EQ(with_defaults.stats.drops, 0u);
+  EXPECT_EQ(with_defaults.stats.duplicates, 0u);
+  EXPECT_EQ(with_defaults.stats.straggler_events, 0u);
+}
+
+TEST(FaultEngine, CertainDropRetransmitsEveryMessage) {
+  FaultConfig faults;
+  faults.drop_probability = 1.0;
+  faults.max_retries = 2;
+  faults.retry_timeout_us = 50.0;
+  const RunResult faulty =
+      run_simulation(make_config(4, 3, faults), message_race);
+  const RunResult clean =
+      run_simulation(make_config(4, 3, FaultConfig{}), message_race);
+
+  // 3 messages, each dropped exactly max_retries times.
+  EXPECT_EQ(faulty.stats.messages, 3u);
+  EXPECT_EQ(faulty.stats.drops, 3u * 2u);
+  EXPECT_EQ(faulty.stats.retries, 3u * 2u);
+  EXPECT_EQ(count_fault_events(faulty.trace, "FAULT_retransmit"), 3u * 2u);
+  // Delivery is guaranteed: the faulty trace is the clean trace plus one
+  // retransmit event per drop (recorded on the sender ranks).
+  EXPECT_EQ(faulty.trace.rank_events(0).size(),
+            clean.trace.rank_events(0).size());
+  EXPECT_EQ(faulty.trace.total_events(),
+            clean.trace.total_events() + 3u * 2u);
+  EXPECT_GT(faulty.stats.makespan_us,
+            clean.stats.makespan_us + 2.0 * 50.0 - 1e-9);
+}
+
+TEST(FaultEngine, CertainDuplicateIsDiscardedAtReceiver) {
+  FaultConfig faults;
+  faults.duplicate_probability = 1.0;
+  const RunResult faulty =
+      run_simulation(make_config(4, 3, faults), message_race);
+  EXPECT_EQ(faulty.stats.duplicates, faulty.stats.messages);
+  EXPECT_EQ(count_fault_events(faulty.trace, "FAULT_duplicate"),
+            faulty.stats.messages);
+  // Matching is unaffected: rank 0 still completes exactly 3 receives.
+  std::uint64_t recvs = 0;
+  for (const auto& event : faulty.trace.rank_events(0)) {
+    if (event.type == trace::EventType::kRecv) {
+      ++recvs;
+      EXPECT_GE(event.matched_rank, 1);
+    }
+  }
+  EXPECT_EQ(recvs, 3u);
+}
+
+TEST(FaultEngine, StragglerStretchesComputeAndIsLabeled) {
+  FaultConfig faults;
+  faults.straggler_ranks = {1};
+  faults.straggler_multiplier = 8.0;
+  const RunResult faulty =
+      run_simulation(make_config(4, 3, faults), compute_then_race);
+  const RunResult clean =
+      run_simulation(make_config(4, 3, FaultConfig{}), compute_then_race);
+  EXPECT_EQ(faulty.stats.straggler_events, 1u);
+  EXPECT_EQ(count_fault_events(faulty.trace, "FAULT_straggler"), 1u);
+  // 100us compute became 800us on the critical path of rank 1's message.
+  EXPECT_GT(faulty.stats.makespan_us, clean.stats.makespan_us + 600.0);
+}
+
+TEST(FaultEngine, SlowNodeStretchesLatencyAndCompute) {
+  FaultConfig faults;
+  faults.slow_nodes = {0};
+  faults.node_slowdown_multiplier = 4.0;
+  SimConfig config = make_config(4, 3, faults);
+  config.num_nodes = 2;
+  SimConfig clean_config = make_config(4, 3, FaultConfig{});
+  clean_config.num_nodes = 2;
+  const RunResult faulty = run_simulation(config, compute_then_race);
+  const RunResult clean = run_simulation(clean_config, compute_then_race);
+  EXPECT_GT(faulty.stats.makespan_us, clean.stats.makespan_us);
+}
+
+TEST(FaultEngine, FaultEventsSurviveTraceJsonRoundTrip) {
+  FaultConfig faults;
+  faults.drop_probability = 1.0;
+  faults.max_retries = 1;
+  faults.duplicate_probability = 1.0;
+  const RunResult result =
+      run_simulation(make_config(4, 11, faults), message_race);
+  ASSERT_GT(count_fault_events(result.trace, "FAULT_retransmit"), 0u);
+
+  const trace::Trace decoded =
+      trace::Trace::from_json(result.trace.to_json());
+  EXPECT_EQ(trace_fingerprint(result.trace), trace_fingerprint(decoded));
+}
+
+TEST(FaultEngine, FaultsIncreaseKernelDistanceToCleanRun) {
+  FaultConfig faults;
+  faults.drop_probability = 1.0;
+  faults.max_retries = 2;
+  const RunResult faulty =
+      run_simulation(make_config(6, 5, faults), message_race);
+  const RunResult clean =
+      run_simulation(make_config(6, 5, FaultConfig{}), message_race);
+
+  const auto kernel = kernels::make_kernel("wl:2");
+  const double distance = kernel->distance(
+      kernels::build_labeled_graph(graph::EventGraph::from_trace(faulty.trace),
+                                   kernels::LabelPolicy::kTypePeer),
+      kernels::build_labeled_graph(graph::EventGraph::from_trace(clean.trace),
+                                   kernels::LabelPolicy::kTypePeer));
+  EXPECT_GT(distance, 0.0)
+      << "fault events must be visible to the graph kernels";
+}
+
+TEST(FaultEngine, SimConfigJsonIncludesFaults) {
+  FaultConfig faults;
+  faults.drop_probability = 0.25;
+  const SimConfig with_faults = make_config(4, 1, faults);
+  const SimConfig without = make_config(4, 1, FaultConfig{});
+  EXPECT_NE(with_faults.to_json().dump(), without.to_json().dump())
+      << "FaultConfig must be part of a run's content-addressed identity";
+}
+
+}  // namespace
+}  // namespace anacin::sim

@@ -79,9 +79,38 @@ TEST(CodecRun, RoundTripKeepsStats) {
   original.graph = graph::EventGraph::from_trace(run.trace);
   original.messages = run.stats.messages;
   original.wildcard_recvs = run.stats.wildcard_recvs;
+  original.drops = 17;
+  original.retries = 17;
+  original.duplicates = 5;
+  original.straggler_events = 2;
   const EncodedRun decoded = decode_run(encode_run(original));
   EXPECT_EQ(decoded.messages, original.messages);
   EXPECT_EQ(decoded.wildcard_recvs, original.wildcard_recvs);
+  EXPECT_EQ(decoded.drops, original.drops);
+  EXPECT_EQ(decoded.retries, original.retries);
+  EXPECT_EQ(decoded.duplicates, original.duplicates);
+  EXPECT_EQ(decoded.straggler_events, original.straggler_events);
+  EXPECT_EQ(encode_event_graph(decoded.graph),
+            encode_event_graph(original.graph));
+}
+
+TEST(CodecRun, FaultEventsInGraphRoundTrip) {
+  patterns::PatternConfig shape;
+  shape.num_ranks = 4;
+  sim::SimConfig config;
+  config.num_ranks = 4;
+  config.seed = 3;
+  config.faults.drop_probability = 1.0;
+  config.faults.max_retries = 1;
+  const auto pattern = patterns::make_pattern("message_race");
+  const sim::RunResult run =
+      sim::run_simulation(config, pattern->program(shape));
+  ASSERT_GT(run.stats.drops, 0u);
+
+  EncodedRun original;
+  original.graph = graph::EventGraph::from_trace(run.trace);
+  original.drops = run.stats.drops;
+  const EncodedRun decoded = decode_run(encode_run(original));
   EXPECT_EQ(encode_event_graph(decoded.graph),
             encode_event_graph(original.graph));
 }

@@ -118,6 +118,73 @@ TEST_F(StoreCampaignTest, PairwiseReductionIsAlsoCached) {
   EXPECT_EQ(warm.to_json().dump(), cold.to_json().dump());
 }
 
+TEST_F(StoreCampaignTest, DifferentFaultConfigsNeverShareRunKeys) {
+  const core::CampaignConfig clean = small_campaign(99);
+  core::CampaignConfig faulty = small_campaign(99);
+  faulty.faults.drop_probability = 0.05;
+  core::CampaignConfig faultier = small_campaign(99);
+  faultier.faults.drop_probability = 0.10;
+
+  const Digest clean_key = ArtifactStore::run_key(
+      clean.pattern, clean.shape, clean.sim_config_for_run(0));
+  const Digest faulty_key = ArtifactStore::run_key(
+      faulty.pattern, faulty.shape, faulty.sim_config_for_run(0));
+  const Digest faultier_key = ArtifactStore::run_key(
+      faultier.pattern, faultier.shape, faultier.sim_config_for_run(0));
+  EXPECT_NE(clean_key, faulty_key);
+  EXPECT_NE(faulty_key, faultier_key);
+
+  // The reference run zeroes the faults, so every fault-sweep point shares
+  // one clean baseline key.
+  EXPECT_EQ(ArtifactStore::run_key(clean.pattern, clean.shape,
+                                   clean.reference_sim_config()),
+            ArtifactStore::run_key(faulty.pattern, faulty.shape,
+                                   faulty.reference_sim_config()));
+}
+
+TEST_F(StoreCampaignTest, ChangingOnlyFaultConfigRecomputesOnWarmStore) {
+  ArtifactStore store({root_, 64 << 20});
+  ThreadPool pool(2);
+  core::CampaignConfig faulty = small_campaign(2027);
+  faulty.faults.drop_probability = 0.5;
+  faulty.faults.duplicate_probability = 0.25;
+
+  const core::CampaignResult cold = core::run_campaign(faulty, pool, &store);
+  EXPECT_GT(cold.total_drops + cold.total_duplicates, 0u);
+
+  obs::Counter& sims = obs::counter("sim.engine.runs");
+  obs::Counter& distances = obs::counter("kernels.distances_computed");
+
+  // Same faults, warm store: zero simulations, zero distances,
+  // bit-identical result (fault counters included).
+  const std::uint64_t sims_before = sims.value();
+  const std::uint64_t distances_before = distances.value();
+  const core::CampaignResult warm = core::run_campaign(faulty, pool, &store);
+  EXPECT_EQ(sims.value(), sims_before)
+      << "warm fault campaign ran a simulation";
+  EXPECT_EQ(distances.value(), distances_before);
+  EXPECT_EQ(warm.total_drops, cold.total_drops);
+  EXPECT_EQ(warm.total_duplicates, cold.total_duplicates);
+  EXPECT_EQ(warm.to_json().dump(), cold.to_json().dump());
+  ASSERT_EQ(warm.measurement.distances.size(),
+            cold.measurement.distances.size());
+  for (std::size_t i = 0; i < cold.measurement.distances.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(warm.measurement.distances[i]),
+              std::bit_cast<std::uint64_t>(cold.measurement.distances[i]));
+  }
+
+  // Different faults, same everything else: no stale cache hits — the
+  // noisy runs must be re-simulated.
+  core::CampaignConfig other = faulty;
+  other.faults.drop_probability = 0.9;
+  const std::uint64_t sims_before_other = sims.value();
+  const core::CampaignResult changed = core::run_campaign(other, pool, &store);
+  EXPECT_EQ(sims.value() - sims_before_other,
+            static_cast<std::uint64_t>(other.num_runs))
+      << "changing only the FaultConfig must invalidate every noisy run";
+  EXPECT_NE(changed.to_json().dump(), cold.to_json().dump());
+}
+
 TEST_F(StoreCampaignTest, CorruptObjectIsRecomputedNotServed) {
   ArtifactStore store({root_, 0});  // no memory cache: force disk reads
   ThreadPool pool(2);

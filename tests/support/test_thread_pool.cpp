@@ -89,5 +89,42 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&global_pool(), &global_pool());
 }
 
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // A worker calling parallel_for on its own pool used to block on chunks
+  // that could never be scheduled (every worker waiting, queue full). A
+  // one-thread pool makes the old deadlock deterministic.
+  ThreadPool pool(1);
+  std::atomic<long> sum{0};
+  pool.parallel_for(0, 4, [&](std::size_t i) {
+    pool.parallel_for(0, 8, [&](std::size_t j) {
+      sum += static_cast<long>(i * 8 + j);
+    });
+  });
+  EXPECT_EQ(sum.load(), 31L * 32L / 2);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 4,
+                                 [&](std::size_t i) {
+                                   pool.parallel_for(0, 4, [&](std::size_t j) {
+                                     if (i == 1 && j == 2) {
+                                       throw std::runtime_error("nested");
+                                     }
+                                   });
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForFromSubmittedTask) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  auto done = pool.submit([&] {
+    pool.parallel_for(0, 16, [&](std::size_t) { ++count; });
+  });
+  done.get();
+  EXPECT_EQ(count.load(), 16);
+}
+
 }  // namespace
 }  // namespace anacin
