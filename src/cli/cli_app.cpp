@@ -3,7 +3,9 @@
 #include <cerrno>
 #include <charconv>
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <limits>
 #include <memory>
@@ -12,16 +14,68 @@
 #include <string_view>
 
 #include "core/anacin.hpp"
+#include "core/journal.hpp"
 #include "course/module.hpp"
 #include "course/quiz.hpp"
 #include "course/use_cases.hpp"
 #include "obs/obs.hpp"
+#include "store/hash.hpp"
 #include "store/store.hpp"
 #include "support/error.hpp"
 
 namespace anacin::cli {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Exit codes (documented in docs/RESILIENCE.md)
+// ---------------------------------------------------------------------------
+
+constexpr int kExitOk = 0;
+/// Any error that aborted the command (fail-fast campaign failure,
+/// ConfigError, I/O failure).
+constexpr int kExitError = 1;
+/// The command completed but quarantined at least one work unit
+/// (--keep-going): results are partial and the report says which units.
+constexpr int kExitPartial = 2;
+/// Unknown command (usage error) — distinct from kExitPartial so scripts
+/// can tell "partial results" from "you typoed the command".
+constexpr int kExitUsage = 64;
+/// SIGINT: in-flight work drained, completed work journaled, then exited.
+constexpr int kExitInterrupted = 130;
+
+// ---------------------------------------------------------------------------
+// SIGINT → cooperative cancellation
+// ---------------------------------------------------------------------------
+
+CancelToken& interrupt_token() {
+  static CancelToken token;
+  return token;
+}
+
+void handle_sigint(int) {
+  // Async-signal-safe: a single lock-free atomic store. Workers poll the
+  // token between work units; a second Ctrl-C falls through to the
+  // default disposition because the handler is one-shot (see SigintScope).
+  interrupt_token().cancel();
+}
+
+/// Installs the SIGINT handler for the duration of a long-running
+/// command; restores the previous disposition (and clears the token) on
+/// scope exit so in-process callers (tests) can run commands repeatedly.
+class SigintScope {
+public:
+  SigintScope() { previous_ = std::signal(SIGINT, handle_sigint); }
+  ~SigintScope() {
+    std::signal(SIGINT, previous_);
+    interrupt_token().reset();
+  }
+  SigintScope(const SigintScope&) = delete;
+  SigintScope& operator=(const SigintScope&) = delete;
+
+private:
+  void (*previous_)(int) = nullptr;
+};
 
 // ---------------------------------------------------------------------------
 // Strict numeric parsing (full consumption, no silent partial parses)
@@ -196,6 +250,75 @@ struct FaultOptions {
   sim::FaultConfig config() const { return config(scalar_drop()); }
 };
 
+/// Resilience flags shared by measure / sweep / rootcause / report (the
+/// campaign-running commands). See docs/RESILIENCE.md.
+struct ResilienceCliOptions {
+  bool keep_going = false;
+  int max_retries = 0;
+  std::uint64_t backoff_us = 1000;
+  double run_deadline_ms = 0.0;
+
+  void add_to(ArgParser& parser) {
+    parser.add_flag("keep-going",
+                    "quarantine failed work units and finish with the "
+                    "survivors instead of aborting (exit 2 when partial)",
+                    &keep_going);
+    parser.add_int("max-retries",
+                   "retries per work unit after a transient failure",
+                   &max_retries);
+    parser.add_uint64("backoff-us",
+                      "first retry backoff in microseconds (doubles per "
+                      "retry, deterministic jitter)",
+                      &backoff_us);
+    parser.add_double("run-deadline-ms",
+                      "per-attempt wall-clock deadline (0 = none)",
+                      &run_deadline_ms);
+  }
+
+  /// Bundle for run_campaign; wires in the SIGINT token so Ctrl-C drains
+  /// in-flight units instead of killing the process mid-write.
+  core::ResilienceOptions options() const {
+    ANACIN_CHECK(max_retries >= 0, "--max-retries must be >= 0");
+    ANACIN_CHECK(run_deadline_ms >= 0.0, "--run-deadline-ms must be >= 0");
+    core::ResilienceOptions resilience;
+    resilience.retry.max_retries = max_retries;
+    resilience.retry.base_backoff_us = backoff_us;
+    resilience.retry.run_deadline_ms = run_deadline_ms;
+    resilience.keep_going = keep_going;
+    resilience.cancel = &interrupt_token();
+    return resilience;
+  }
+};
+
+/// Prints the quarantine ledger of a partial campaign; returns the exit
+/// code (kExitPartial when units were quarantined, kExitOk otherwise).
+int report_quarantine(std::ostream& out, const core::CampaignResult& result) {
+  if (result.complete()) return kExitOk;
+  out << "PARTIAL RESULTS: " << result.quarantined.size()
+      << " work unit(s) quarantined (--keep-going)\n";
+  for (const core::QuarantinedUnit& unit : result.quarantined) {
+    out << "  quarantined " << unit.unit << " after " << unit.attempts
+        << " attempt(s): " << unit.error << '\n';
+  }
+  return kExitPartial;
+}
+
+/// Rebuilds a Summary from the "summary" object of a journaled
+/// CampaignResult::to_json() payload (resumed sweep points print and
+/// export without recomputing anything).
+analysis::Summary summary_from_json(const json::Value& doc) {
+  analysis::Summary summary;
+  summary.count = static_cast<std::size_t>(doc.at("count").as_number());
+  summary.mean = doc.at("mean").as_number();
+  summary.stddev = doc.at("stddev").as_number();
+  summary.min = doc.at("min").as_number();
+  summary.q1 = doc.at("q1").as_number();
+  summary.median = doc.at("median").as_number();
+  summary.q3 = doc.at("q3").as_number();
+  summary.max = doc.at("max").as_number();
+  return summary;
+}
+
 /// A lo:hi:step range on --fault-drop (sweep only); nullopt for scalars.
 struct DropRange {
   double lo = 0.0;
@@ -337,6 +460,7 @@ int cmd_graph(const std::vector<const char*>& argv, std::ostream& out) {
 int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
   WorkloadOptions workload;
   FaultOptions faults;
+  ResilienceCliOptions resilience;
   int runs = 20;
   std::string kernel = "wl:2";
   std::string policy = "type_peer";
@@ -347,6 +471,7 @@ int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
   ArgParser parser("anacin measure — quantify a mini-app's non-determinism");
   workload.add_to(parser);
   faults.add_to(parser);
+  resilience.add_to(parser);
   parser.add_int("runs", "number of independent executions", &runs);
   parser.add_string("kernel", "graph kernel (wl[:h], vertex_histogram, ...)",
                     &kernel);
@@ -365,8 +490,10 @@ int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
   } else if (reduction != "to_reference") {
     throw ConfigError("unknown reduction '" + reduction + "'");
   }
+  SigintScope sigint;
   ThreadPool pool;
-  const core::CampaignResult result = core::run_campaign(config, pool);
+  const core::CampaignResult result = core::run_campaign(
+      config, pool, store::active_store(), resilience.options());
   print_summary(out, workload.pattern, result.distance_summary);
   out << "messages/run=" << result.total_messages / result.graphs.size()
       << " wildcard recvs/run="
@@ -377,11 +504,13 @@ int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
         << " straggler_events=" << result.total_straggler_events << '\n';
   }
 
-  const analysis::BootstrapCi ci = analysis::bootstrap_ci(
-      result.measurement.distances,
-      [](std::span<const double> v) { return analysis::median(v); });
-  out << "median 95% CI: [" << format_fixed(ci.lower, 3) << ", "
-      << format_fixed(ci.upper, 3) << "]\n";
+  if (!result.measurement.distances.empty()) {
+    const analysis::BootstrapCi ci = analysis::bootstrap_ci(
+        result.measurement.distances,
+        [](std::span<const double> v) { return analysis::median(v); });
+    out << "median 95% CI: [" << format_fixed(ci.lower, 3) << ", "
+        << format_fixed(ci.upper, 3) << "]\n";
+  }
 
   if (!csv_out.empty()) {
     core::CsvWriter csv({"run", "kernel_distance"});
@@ -396,7 +525,7 @@ int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
     core::write_json_file(json_out, result.to_json());
     out << "measurement written to " << json_out << '\n';
   }
-  if (!violin_out.empty()) {
+  if (!violin_out.empty() && !result.measurement.distances.empty()) {
     viz::violin_plot({{workload.pattern,
                        analysis::gaussian_kde(result.measurement.distances)}},
                      {.width = 420,
@@ -407,33 +536,121 @@ int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
         .save(violin_out);
     out << "violin written to " << violin_out << '\n';
   }
-  return 0;
+  return report_quarantine(out, result);
 }
 
 int cmd_sweep(const std::vector<const char*>& argv, std::ostream& out) {
   WorkloadOptions workload;
   FaultOptions faults;
+  ResilienceCliOptions resilience;
   workload.pattern = "amg2013";
   workload.ranks = 16;
   int runs = 10;
   int step = 10;
   std::string kernel = "wl:2";
   std::string csv_out;
+  std::string json_out;
+  std::string journal_path;
+  bool resume = false;
   ArgParser parser(
       "anacin sweep — kernel distance vs ND% (paper Fig 7), or vs message "
       "drop probability when --fault-drop is a lo:hi:step range");
   workload.add_to(parser);
   faults.add_to(parser, /*sweepable_drop=*/true);
+  resilience.add_to(parser);
   parser.add_int("runs", "executions per setting", &runs);
   parser.add_int("step", "ND percentage increment", &step);
   parser.add_string("kernel", "graph kernel", &kernel);
   parser.add_string("csv", "write the sweep as CSV", &csv_out);
+  parser.add_string("json", "write every point's full result as JSON",
+                    &json_out);
+  parser.add_string("journal",
+                    "crash-consistent journal of completed sweep points "
+                    "(written after every point; enables --resume)",
+                    &journal_path);
+  parser.add_flag("resume",
+                  "replay points already in the journal, compute only the "
+                  "rest (a killed sweep continues where it stopped)",
+                  &resume);
   if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
   ANACIN_CHECK(step >= 1 && step <= 100, "step must be in [1,100]");
 
+  SigintScope sigint;
   ThreadPool pool;
   const std::optional<DropRange> drop_range =
       parse_drop_range(faults.drop_spec);
+
+  // Enumerate every point's full config up front: the journal key must
+  // cover the exact work list, so a journal recorded for a different
+  // sweep (other pattern, runs, axis, ...) can never be replayed here.
+  struct Point {
+    std::string label;
+    double axis = 0.0;
+    core::CampaignConfig config;
+  };
+  std::vector<Point> points;
+  if (drop_range) {
+    // Fault sweep: ND% stays at --nd, the drop probability is the axis.
+    const int count = static_cast<int>(
+        std::llround((drop_range->hi - drop_range->lo) / drop_range->step));
+    for (int i = 0; i <= count; ++i) {
+      const double p = std::min(
+          drop_range->lo + static_cast<double>(i) * drop_range->step, 1.0);
+      core::CampaignConfig config =
+          workload.campaign(runs, kernel, "type_peer");
+      config.faults = faults.config(p);
+      points.push_back({"drop " + format_fixed(p, 2), p, std::move(config)});
+    }
+  } else {
+    for (int percent = 0; percent <= 100; percent += step) {
+      core::CampaignConfig config =
+          workload.campaign(runs, kernel, "type_peer");
+      config.nd_fraction = percent / 100.0;
+      config.faults = faults.config();
+      points.push_back({std::to_string(percent) + "% ND",
+                        static_cast<double>(percent), std::move(config)});
+    }
+  }
+
+  json::Value key_doc = json::Value::array();
+  for (const Point& point : points) key_doc.push_back(point.config.to_json());
+  const std::string campaign_key = store::digest_json(key_doc).to_hex();
+
+  std::unique_ptr<core::CampaignJournal> journal;
+  if (resume || !journal_path.empty()) {
+    if (journal_path.empty()) {
+      // Default next to the artifact store when one is active — resumable
+      // sweeps want the store anyway (it covers the half-finished point).
+      const store::ArtifactStore* store = store::active_store();
+      const std::filesystem::path dir =
+          store != nullptr
+              ? store->objects().root() / "journal"
+              : std::filesystem::path(".");
+      journal_path =
+          (dir / ("sweep-" + campaign_key.substr(0, 16) + ".jsonl")).string();
+    }
+    if (!resume) {
+      // A fresh (non-resume) sweep must not inherit a stale journal.
+      std::error_code ec;
+      std::filesystem::remove(journal_path, ec);
+    }
+    journal = std::make_unique<core::CampaignJournal>(journal_path,
+                                                      campaign_key);
+    if (resume) {
+      out << "resume: " << journal->size() << " of " << points.size()
+          << " points journaled at " << journal_path << '\n';
+    }
+  }
+
+  // Test hook: SIGKILL ourselves after journaling N fresh points, so the
+  // kill/resume integration test crashes at a deterministic place.
+  std::int64_t crash_after = -1;
+  if (const char* env = std::getenv("ANACIN_CRASH_AFTER_POINTS");
+      env != nullptr && *env != '\0') {
+    crash_after = static_cast<std::int64_t>(
+        parse_uint64_strict(env, "ANACIN_CRASH_AFTER_POINTS"));
+  }
+
   std::vector<double> axis;
   std::vector<double> medians;
   std::optional<core::CsvWriter> csv;
@@ -441,51 +658,92 @@ int cmd_sweep(const std::vector<const char*>& argv, std::ostream& out) {
     csv.emplace(std::vector<std::string>{
         drop_range ? "drop_probability" : "nd_percent", "median", "mean"});
   }
+  json::Value points_json = json::Value::array();
+  std::size_t quarantined_units = 0;
+  std::int64_t fresh_points = 0;
+  bool interrupted = false;
 
-  const auto sweep_point = [&](const std::string& label, double axis_value,
-                               const core::CampaignConfig& config) {
-    const core::CampaignResult result = core::run_campaign(config, pool);
-    print_summary(out, label, result.distance_summary);
-    axis.push_back(axis_value);
-    medians.push_back(result.distance_summary.median);
+  for (const Point& point : points) {
+    if (interrupt_token().cancelled()) {
+      interrupted = true;
+      break;
+    }
+    const std::string point_key =
+        store::digest_json(point.config.to_json()).to_hex();
+    const json::Value* replay =
+        journal != nullptr && resume ? journal->lookup(point_key) : nullptr;
+    json::Value result_json;
+    analysis::Summary summary;
+    if (replay != nullptr) {
+      result_json = *replay;
+      summary = summary_from_json(result_json.at("summary"));
+      obs::counter("resilience.points_replayed").add(1);
+    } else {
+      core::CampaignResult result;
+      try {
+        result = core::run_campaign(point.config, pool,
+                                    store::active_store(),
+                                    resilience.options());
+      } catch (const InterruptedError&) {
+        interrupted = true;
+        break;
+      }
+      result_json = result.to_json();
+      summary = result.distance_summary;
+      if (journal != nullptr) journal->record(point_key, result_json);
+      ++fresh_points;
+      if (crash_after >= 0 && fresh_points >= crash_after) {
+        std::raise(SIGKILL);
+      }
+    }
+    quarantined_units +=
+        result_json.at("resilience").at("quarantined").size();
+    print_summary(out, point.label, summary);
+    axis.push_back(point.axis);
+    medians.push_back(summary.median);
     if (csv) {
-      csv->add_row({format_fixed(axis_value, drop_range ? 4 : 0),
-                    format_fixed(result.distance_summary.median, 4),
-                    format_fixed(result.distance_summary.mean, 4)});
+      csv->add_row({format_fixed(point.axis, drop_range ? 4 : 0),
+                    format_fixed(summary.median, 4),
+                    format_fixed(summary.mean, 4)});
     }
-  };
+    json::Value entry = json::Value::object();
+    entry.set("label", point.label);
+    entry.set("axis", point.axis);
+    entry.set("result", std::move(result_json));
+    points_json.push_back(std::move(entry));
+  }
 
-  if (drop_range) {
-    // Fault sweep: ND% stays at --nd, the drop probability is the axis.
-    const int points = static_cast<int>(
-        std::llround((drop_range->hi - drop_range->lo) / drop_range->step));
-    for (int i = 0; i <= points; ++i) {
-      const double p = std::min(
-          drop_range->lo + static_cast<double>(i) * drop_range->step, 1.0);
-      core::CampaignConfig config =
-          workload.campaign(runs, kernel, "type_peer");
-      config.faults = faults.config(p);
-      sweep_point("drop " + format_fixed(p, 2), p, config);
-    }
-    out << "Spearman(median, drop) = "
-        << format_fixed(analysis::spearman(axis, medians), 3) << '\n';
+  double spearman = 0.0;
+  if (!interrupted) {
+    spearman = analysis::spearman(axis, medians);
+    out << (drop_range ? "Spearman(median, drop) = "
+                       : "Spearman(median, nd%) = ")
+        << format_fixed(spearman, 3) << '\n';
   } else {
-    for (int percent = 0; percent <= 100; percent += step) {
-      core::CampaignConfig config =
-          workload.campaign(runs, kernel, "type_peer");
-      config.nd_fraction = percent / 100.0;
-      config.faults = faults.config();
-      sweep_point(std::to_string(percent) + "% ND",
-                  static_cast<double>(percent), config);
-    }
-    out << "Spearman(median, nd%) = "
-        << format_fixed(analysis::spearman(axis, medians), 3) << '\n';
+    out << "interrupted: " << axis.size() << " of " << points.size()
+        << " points completed";
+    if (journal != nullptr) out << " (journaled; rerun with --resume)";
+    out << '\n';
   }
   if (csv) {
     csv->save(csv_out);
     out << "sweep written to " << csv_out << '\n';
   }
-  return 0;
+  if (!json_out.empty()) {
+    json::Value doc = json::Value::object();
+    doc.set("complete", !interrupted && quarantined_units == 0);
+    doc.set("points", std::move(points_json));
+    if (!interrupted) doc.set("spearman", spearman);
+    core::write_json_file(json_out, doc);
+    out << "sweep json written to " << json_out << '\n';
+  }
+  if (interrupted) return kExitInterrupted;
+  if (quarantined_units > 0) {
+    out << "PARTIAL RESULTS: " << quarantined_units
+        << " work unit(s) quarantined across the sweep (--keep-going)\n";
+    return kExitPartial;
+  }
+  return kExitOk;
 }
 
 int cmd_rootcause(const std::vector<const char*>& argv, std::ostream& out) {
@@ -865,6 +1123,7 @@ int cmd_cache(const std::vector<const char*>& argv, std::ostream& out) {
   }
 
   std::uint64_t max_bytes = std::numeric_limits<std::uint64_t>::max();
+  bool repair = false;
   ArgParser parser(
       "anacin cache <stats|verify|gc> — inspect and maintain the artifact "
       "store (pass --store DIR before the command, or set ANACIN_STORE_DIR)");
@@ -872,6 +1131,10 @@ int cmd_cache(const std::vector<const char*>& argv, std::ostream& out) {
                     "gc: evict least-recently-used objects until the store "
                     "is at most this many bytes",
                     &max_bytes);
+  parser.add_flag("repair",
+                  "verify: move corrupt and foreign objects into "
+                  "<store>/quarantine/ so later runs recompute them",
+                  &repair);
   if (!parser.parse(static_cast<int>(rest.size()), rest.data())) return 0;
   if (action.empty()) {
     throw ConfigError("cache needs an action: stats, verify, or gc");
@@ -897,6 +1160,24 @@ int cmd_cache(const std::vector<const char*>& argv, std::ostream& out) {
     return 0;
   }
   if (action == "verify") {
+    if (repair) {
+      const store::ObjectStore::RepairReport report =
+          store->objects().repair();
+      out << "checked " << report.verified.checked << " objects: "
+          << report.verified.corrupt.size() << " corrupt, "
+          << report.verified.foreign.size() << " foreign; quarantined "
+          << report.quarantined << '\n';
+      for (const std::string& key : report.verified.corrupt) {
+        out << "  quarantined corrupt: " << key << '\n';
+      }
+      for (const std::string& path : report.verified.foreign) {
+        out << "  quarantined foreign: " << path << '\n';
+      }
+      for (const std::string& path : report.failed) {
+        out << "  FAILED to quarantine: " << path << '\n';
+      }
+      return report.ok() ? 0 : 1;
+    }
     const store::ObjectStore::VerifyReport report = store->objects().verify();
     out << "checked " << report.checked << " objects: "
         << report.corrupt.size() << " corrupt, " << report.foreign.size()
@@ -953,6 +1234,17 @@ const char kUsage[] =
     "  --slow-nodes LIST    comma-separated node ids slowed end-to-end\n"
     "  --slow-factor F      compute+latency slowdown of slow nodes\n"
     "\n"
+    "resilience (measure / sweep; see docs/RESILIENCE.md):\n"
+    "  --keep-going         quarantine failed work units, finish with the\n"
+    "                       survivors, and exit 2 (default: fail fast)\n"
+    "  --max-retries N      retries per work unit after transient failures\n"
+    "  --backoff-us US      first retry backoff (doubles per retry)\n"
+    "  --run-deadline-ms MS per-attempt wall-clock deadline (0 = none)\n"
+    "  --journal FILE       sweep: crash-consistent journal of completed\n"
+    "                       points; --resume replays it after a crash\n"
+    "  exit codes: 0 ok, 1 error, 2 partial results, 64 usage,\n"
+    "              130 interrupted (SIGINT drains in-flight work first)\n"
+    "\n"
     "commands:\n"
     "  patterns    list the packaged mini-applications\n"
     "  run         simulate one execution (trace / ASCII / SVG outputs)\n"
@@ -965,7 +1257,7 @@ const char kUsage[] =
     "  quiz        comprehension questions with automatic grading\n"
     "  report      self-contained HTML analysis report (notebook-style)\n"
     "  figures     index of the reproduced paper tables and figures\n"
-    "  cache       artifact-store maintenance: stats, verify, gc\n";
+    "  cache       artifact-store maintenance: stats, verify [--repair], gc\n";
 
 /// Global options, parsed before the subcommand name.
 struct GlobalOptions {
@@ -996,7 +1288,7 @@ int dispatch(const std::string& command, const std::vector<const char*>& rest,
   if (command == "figures") return cmd_figures(rest, out);
   if (command == "cache") return cmd_cache(rest, out);
   err << "unknown command '" << command << "'\n\n" << kUsage;
-  return 2;
+  return kExitUsage;
 }
 
 /// Consume leading global options; returns the index of the subcommand
@@ -1106,12 +1398,15 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
       out << "trace written to " << global_options.trace_out << '\n';
     }
     return code;
+  } catch (const InterruptedError& error) {
+    err << "interrupted: " << error.what() << '\n';
+    return kExitInterrupted;
   } catch (const Error& error) {
     err << "error: " << error.what() << '\n';
-    return 1;
+    return kExitError;
   } catch (const std::exception& error) {
     err << "unexpected error: " << error.what() << '\n';
-    return 1;
+    return kExitError;
   }
 }
 

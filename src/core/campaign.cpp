@@ -57,11 +57,20 @@ bool CampaignConfig::measurement_reduction_is_reference() const {
   return reduction == analysis::DistanceReduction::kToReference;
 }
 
+json::Value QuarantinedUnit::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("unit", unit);
+  doc.set("error", error);
+  doc.set("attempts", static_cast<std::int64_t>(attempts));
+  return doc;
+}
+
 json::Value CampaignResult::to_json() const {
   json::Value doc = json::Value::object();
   doc.set("config", config.to_json());
   doc.set("distances", json::Value::array_of(measurement.distances));
   json::Value summary = json::Value::object();
+  summary.set("count", static_cast<std::int64_t>(distance_summary.count));
   summary.set("mean", distance_summary.mean);
   summary.set("stddev", distance_summary.stddev);
   summary.set("min", distance_summary.min);
@@ -75,6 +84,15 @@ json::Value CampaignResult::to_json() const {
   doc.set("total_drops", total_drops);
   doc.set("total_duplicates", total_duplicates);
   doc.set("total_straggler_events", total_straggler_events);
+  json::Value resilience = json::Value::object();
+  resilience.set("complete", complete());
+  resilience.set("retries", retries);
+  json::Value quarantine = json::Value::array();
+  for (const QuarantinedUnit& unit : quarantined) {
+    quarantine.push_back(unit.to_json());
+  }
+  resilience.set("quarantined", std::move(quarantine));
+  doc.set("resilience", std::move(resilience));
   return doc;
 }
 
@@ -158,11 +176,21 @@ std::shared_ptr<const graph::EventGraph> reference_graph(
 /// exact census and a fully warm campaign leaves it untouched). Argument
 /// orders mirror the batched kernels:: entry points so results are
 /// bit-identical with and without a store.
+///
+/// `runs` may be a subset of the campaign's runs (quarantined runs are
+/// excluded); `run_labels[i]` carries the original run index so pair work
+/// units keep stable ids. Each missing pair distance is a supervised work
+/// unit: with `keep_going`, a permanently failing pair is dropped from
+/// the sample and appended to `quarantined` instead of aborting.
 analysis::NdMeasurement measure_nd_with_store(
-    const CampaignConfig& config, const std::vector<graph::EventGraph>& runs,
+    const CampaignConfig& config,
+    const std::vector<const graph::EventGraph*>& runs,
     const std::vector<store::Digest>& run_keys,
-    const graph::EventGraph& reference, const store::Digest& reference_key,
-    ThreadPool& pool, store::ArtifactStore& store) {
+    const std::vector<int>& run_labels, const graph::EventGraph& reference,
+    const store::Digest& reference_key, ThreadPool& pool,
+    store::ArtifactStore& store, const Supervisor& supervisor,
+    bool keep_going, CancelToken* cancel,
+    std::vector<QuarantinedUnit>* quarantined) {
   ANACIN_SPAN("analysis.measure_nd");
   obs::counter("analysis.nd_measurements").add(1);
   const auto kernel = kernels::make_kernel(config.kernel);
@@ -176,6 +204,10 @@ analysis::NdMeasurement measure_nd_with_store(
   };
   const auto key_of = [&](std::size_t index) -> const store::Digest& {
     return index == n ? reference_key : run_keys[index];
+  };
+  const auto label_of = [&](std::size_t index) {
+    return index == n ? std::string("ref")
+                      : std::to_string(run_labels[index]);
   };
 
   std::vector<Pair> pairs;
@@ -224,28 +256,77 @@ analysis::NdMeasurement measure_nd_with_store(
     ANACIN_SPAN("kernels.feature_extraction");
     static obs::Counter& feature_tasks =
         obs::counter("kernels.feature_tasks");
-    pool.parallel_for(0, n + 1, [&](std::size_t i) {
-      if (!need_features[i]) return;
-      const graph::EventGraph& graph = i == n ? reference : runs[i];
-      features[i] = kernel->features(
-          kernels::build_labeled_graph(graph, config.label_policy));
-      feature_tasks.add(1);
-    });
+    pool.parallel_for(
+        0, n + 1,
+        [&](std::size_t i) {
+          if (!need_features[i]) return;
+          const graph::EventGraph& graph = i == n ? reference : *runs[i];
+          features[i] = kernel->features(
+              kernels::build_labeled_graph(graph, config.label_policy));
+          feature_tasks.add(1);
+        },
+        1, cancel);
   }
-  pool.parallel_for(0, misses.size(), [&](std::size_t m) {
+  if (cancel != nullptr && cancel->cancelled()) {
+    throw InterruptedError("interrupted during feature extraction");
+  }
+
+  std::vector<UnitReport> reports(misses.size());
+  std::vector<char> slot_failed(measurement.distances.size(), 0);
+  pool.parallel_for(
+      0, misses.size(),
+      [&](std::size_t m) {
+        const Pair& pair = misses[m];
+        const std::string unit =
+            "pair:" + label_of(pair.a) + "-" + label_of(pair.b);
+        reports[m] = supervisor.run(unit, [&] {
+          const double distance =
+              kernels::counted_distance(features[pair.a], features[pair.b]);
+          measurement.distances[pair.out] = distance;
+          store.save_distance(pair.key, distance);
+        });
+        if (!reports[m].ok) {
+          if (!keep_going) {
+            throw PermanentError("work unit '" + unit + "' failed after " +
+                                 std::to_string(reports[m].attempts) +
+                                 " attempt(s): " + reports[m].error);
+          }
+          slot_failed[pair.out] = 1;
+        }
+      },
+      1, cancel);
+  if (cancel != nullptr && cancel->cancelled()) {
+    throw InterruptedError("interrupted during distance measurement");
+  }
+
+  // Quarantine failed pairs (in deterministic miss order) and compact
+  // their slots out of the sample.
+  bool any_failed = false;
+  for (std::size_t m = 0; m < misses.size(); ++m) {
+    if (reports[m].ok) continue;
+    any_failed = true;
     const Pair& pair = misses[m];
-    const double distance =
-        kernels::counted_distance(features[pair.a], features[pair.b]);
-    measurement.distances[pair.out] = distance;
-    store.save_distance(pair.key, distance);
-  });
+    quarantined->push_back(
+        {"pair:" + label_of(pair.a) + "-" + label_of(pair.b),
+         reports[m].error, reports[m].attempts});
+    obs::counter("resilience.pairs_quarantined").add(1);
+  }
+  if (any_failed) {
+    std::vector<double> surviving;
+    surviving.reserve(measurement.distances.size());
+    for (std::size_t slot = 0; slot < measurement.distances.size(); ++slot) {
+      if (!slot_failed[slot]) surviving.push_back(measurement.distances[slot]);
+    }
+    measurement.distances = std::move(surviving);
+  }
   return measurement;
 }
 
 }  // namespace
 
 CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
-                            store::ArtifactStore* store) {
+                            store::ArtifactStore* store,
+                            const ResilienceOptions& resilience) {
   ANACIN_SPAN("campaign.run");
   ANACIN_CHECK(config.num_runs >= 1, "campaign needs at least one run");
   ANACIN_CHECK(config.nd_fraction >= 0.0 && config.nd_fraction <= 1.0,
@@ -257,6 +338,15 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
   const sim::RankProgram program = pattern->program(config.shape);
   const std::size_t num_runs = static_cast<std::size_t>(config.num_runs);
 
+  const Supervisor supervisor(resilience.retry, config.base_seed);
+  CancelToken* const cancel = resilience.cancel;
+  const auto check_interrupt = [&](const char* where) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      throw InterruptedError(std::string("interrupted during ") + where +
+                             " — in-flight work drained");
+    }
+  };
+
   CampaignResult result;
   result.config = config;
   result.graphs.resize(num_runs);
@@ -266,43 +356,79 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
   std::vector<std::uint64_t> duplicates(num_runs);
   std::vector<std::uint64_t> stragglers(num_runs);
   std::vector<store::Digest> run_keys(num_runs);
+  std::vector<UnitReport> run_reports(num_runs);
 
   {
     ANACIN_SPAN("campaign.simulate");
-    pool.parallel_for(0, num_runs, [&](std::size_t i) {
-      ANACIN_SPAN("campaign.simulate_run");
-      const sim::SimConfig sim_config =
-          config.sim_config_for_run(static_cast<int>(i));
-      run_keys[i] = store::ArtifactStore::run_key(config.pattern,
-                                                  config.shape, sim_config);
-      if (store != nullptr) {
-        if (auto cached = store->load_run(run_keys[i])) {
-          result.graphs[i] = std::move(cached->graph);
-          messages[i] = cached->messages;
-          wildcards[i] = cached->wildcard_recvs;
-          drops[i] = cached->drops;
-          duplicates[i] = cached->duplicates;
-          stragglers[i] = cached->straggler_events;
-          return;
-        }
-      }
-      const sim::RunResult run = sim::run_simulation(sim_config, program);
-      store::EncodedRun encoded;
-      encoded.graph = graph::EventGraph::from_trace(run.trace);
-      encoded.messages = run.stats.messages;
-      encoded.wildcard_recvs = run.stats.wildcard_recvs;
-      encoded.drops = run.stats.drops;
-      encoded.duplicates = run.stats.duplicates;
-      encoded.straggler_events = run.stats.straggler_events;
-      if (store != nullptr) store->save_run(run_keys[i], encoded);
-      result.graphs[i] = std::move(encoded.graph);
-      messages[i] = encoded.messages;
-      wildcards[i] = encoded.wildcard_recvs;
-      drops[i] = encoded.drops;
-      duplicates[i] = encoded.duplicates;
-      stragglers[i] = encoded.straggler_events;
-    });
+    pool.parallel_for(
+        0, num_runs,
+        [&](std::size_t i) {
+          ANACIN_SPAN("campaign.simulate_run");
+          const std::string unit = "run:" + std::to_string(i);
+          run_reports[i] = supervisor.run(unit, [&] {
+            const sim::SimConfig sim_config =
+                config.sim_config_for_run(static_cast<int>(i));
+            run_keys[i] = store::ArtifactStore::run_key(
+                config.pattern, config.shape, sim_config);
+            if (store != nullptr) {
+              if (auto cached = store->load_run(run_keys[i])) {
+                result.graphs[i] = std::move(cached->graph);
+                messages[i] = cached->messages;
+                wildcards[i] = cached->wildcard_recvs;
+                drops[i] = cached->drops;
+                duplicates[i] = cached->duplicates;
+                stragglers[i] = cached->straggler_events;
+                return;
+              }
+            }
+            const sim::RunResult run =
+                sim::run_simulation(sim_config, program);
+            store::EncodedRun encoded;
+            encoded.graph = graph::EventGraph::from_trace(run.trace);
+            encoded.messages = run.stats.messages;
+            encoded.wildcard_recvs = run.stats.wildcard_recvs;
+            encoded.drops = run.stats.drops;
+            encoded.duplicates = run.stats.duplicates;
+            encoded.straggler_events = run.stats.straggler_events;
+            if (store != nullptr) store->save_run(run_keys[i], encoded);
+            result.graphs[i] = std::move(encoded.graph);
+            messages[i] = encoded.messages;
+            wildcards[i] = encoded.wildcard_recvs;
+            drops[i] = encoded.drops;
+            duplicates[i] = encoded.duplicates;
+            stragglers[i] = encoded.straggler_events;
+          });
+          if (!run_reports[i].ok && !resilience.keep_going) {
+            // Fail fast: parallel_for's cancellation skips every
+            // not-yet-started run before this rethrows.
+            throw PermanentError("work unit '" + unit + "' failed after " +
+                                 std::to_string(run_reports[i].attempts) +
+                                 " attempt(s): " + run_reports[i].error);
+          }
+        },
+        1, cancel);
   }
+  check_interrupt("simulation");
+
+  // Quarantine failed runs in deterministic index order; their stat slots
+  // stay zero and their graphs stay empty.
+  std::vector<std::size_t> ok_runs;
+  ok_runs.reserve(num_runs);
+  for (std::size_t i = 0; i < num_runs; ++i) {
+    if (run_reports[i].ok) {
+      ok_runs.push_back(i);
+    } else {
+      result.quarantined.push_back({"run:" + std::to_string(i),
+                                    run_reports[i].error,
+                                    run_reports[i].attempts});
+      obs::counter("resilience.runs_quarantined").add(1);
+      result.graphs[i] = graph::EventGraph{};
+      messages[i] = wildcards[i] = drops[i] = duplicates[i] =
+          stragglers[i] = 0;
+    }
+  }
+  ANACIN_CHECK(!ok_runs.empty(),
+               "campaign quarantined every run — nothing left to measure");
   for (std::size_t i = 0; i < messages.size(); ++i) {
     result.total_messages += messages[i];
     result.total_wildcard_recvs += wildcards[i];
@@ -313,25 +439,84 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
 
   {
     ANACIN_SPAN("campaign.reference_run");
-    result.reference = *reference_graph(config, program, store);
+    // The reference is the measurement baseline: a permanent failure here
+    // is fatal even under keep-going (there is nothing to measure
+    // against), but it still gets the supervisor's retries and deadline.
+    std::shared_ptr<const graph::EventGraph> reference;
+    const UnitReport report = supervisor.run("reference", [&] {
+      reference = reference_graph(config, program, store);
+    });
+    if (!report.ok) {
+      throw PermanentError("work unit 'reference' failed after " +
+                           std::to_string(report.attempts) +
+                           " attempt(s): " + report.error);
+    }
+    result.reference = *reference;
   }
+  check_interrupt("reference run");
 
   {
     ANACIN_SPAN("campaign.measure");
+    const bool subset = ok_runs.size() < num_runs;
     if (store != nullptr) {
       const store::Digest reference_key = store::ArtifactStore::run_key(
           config.pattern, config.shape, config.reference_sim_config());
-      result.measurement =
-          measure_nd_with_store(config, result.graphs, run_keys,
-                                result.reference, reference_key, pool, *store);
+      std::vector<const graph::EventGraph*> run_view;
+      std::vector<store::Digest> key_view;
+      std::vector<int> label_view;
+      run_view.reserve(ok_runs.size());
+      key_view.reserve(ok_runs.size());
+      label_view.reserve(ok_runs.size());
+      for (const std::size_t i : ok_runs) {
+        run_view.push_back(&result.graphs[i]);
+        key_view.push_back(run_keys[i]);
+        label_view.push_back(static_cast<int>(i));
+      }
+      result.measurement = measure_nd_with_store(
+          config, run_view, key_view, label_view, result.reference,
+          reference_key, pool, *store, supervisor, resilience.keep_going,
+          cancel, &result.quarantined);
     } else {
+      // Without a store the batched kernels:: entry points do the work;
+      // supervise the measurement as one unit (pair-level supervision is
+      // the store path's job).
+      const std::vector<graph::EventGraph>* run_set = &result.graphs;
+      std::vector<graph::EventGraph> surviving;
+      if (subset) {
+        surviving.reserve(ok_runs.size());
+        for (const std::size_t i : ok_runs) {
+          surviving.push_back(result.graphs[i]);
+        }
+        run_set = &surviving;
+      }
       const auto kernel = kernels::make_kernel(config.kernel);
-      result.measurement =
-          analysis::measure_nd(*kernel, config.label_policy, result.graphs,
-                               &result.reference, config.reduction, pool);
+      const UnitReport report = supervisor.run("measure", [&] {
+        result.measurement =
+            analysis::measure_nd(*kernel, config.label_policy, *run_set,
+                                 &result.reference, config.reduction, pool);
+      });
+      if (!report.ok) {
+        if (!resilience.keep_going) {
+          throw PermanentError("work unit 'measure' failed after " +
+                               std::to_string(report.attempts) +
+                               " attempt(s): " + report.error);
+        }
+        result.quarantined.push_back(
+            {"measure", report.error, report.attempts});
+        obs::counter("resilience.pairs_quarantined").add(1);
+        result.measurement = analysis::NdMeasurement{};
+        result.measurement.reduction = config.reduction;
+      }
     }
     result.distance_summary =
-        analysis::summarize(result.measurement.distances);
+        result.measurement.distances.empty()
+            ? analysis::Summary{}
+            : analysis::summarize(result.measurement.distances);
+  }
+  check_interrupt("measurement");
+  result.retries = supervisor.retries_performed();
+  if (!result.quarantined.empty()) {
+    obs::counter("resilience.campaigns_partial").add(1);
   }
   return result;
 }

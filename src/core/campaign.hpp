@@ -5,6 +5,7 @@
 
 #include "analysis/nd_measurement.hpp"
 #include "analysis/stats.hpp"
+#include "core/supervisor.hpp"
 #include "graph/event_graph.hpp"
 #include "kernels/kernel.hpp"
 #include "patterns/pattern.hpp"
@@ -47,10 +48,37 @@ struct CampaignConfig {
   json::Value to_json() const;
 };
 
+/// How run_campaign behaves when a work unit fails or the user interrupts
+/// the process. Defaults reproduce the historical behavior: fail-fast, no
+/// retries, no deadline, no cancellation.
+struct ResilienceOptions {
+  RetryPolicy retry;
+  /// Quarantine failed work units (recorded in CampaignResult) instead of
+  /// aborting the campaign; the default aborts on the first permanent
+  /// failure and cancels all not-yet-started units.
+  bool keep_going = false;
+  /// External cancellation (the CLI's SIGINT token). When cancelled,
+  /// in-flight units finish, unstarted units are skipped, and
+  /// run_campaign throws InterruptedError.
+  CancelToken* cancel = nullptr;
+};
+
+/// A work unit that permanently failed under --keep-going. `unit` names
+/// the supervisor's work unit ("run:<i>", "pair:<a>-<b>", "measure").
+struct QuarantinedUnit {
+  std::string unit;
+  std::string error;
+  int attempts = 0;
+
+  json::Value to_json() const;
+};
+
 /// All runs of one campaign plus the kernel-distance measurement.
 struct CampaignResult {
   CampaignConfig config;
-  /// Event graphs of the `num_runs` noisy executions.
+  /// Event graphs of the `num_runs` noisy executions. Quarantined runs
+  /// leave their slot as an empty graph and are excluded from the
+  /// measurement.
   std::vector<graph::EventGraph> graphs;
   /// Jitter-free reference execution.
   graph::EventGraph reference;
@@ -62,6 +90,12 @@ struct CampaignResult {
   std::uint64_t total_drops = 0;
   std::uint64_t total_duplicates = 0;
   std::uint64_t total_straggler_events = 0;
+  /// Failed work units recorded under --keep-going (empty = clean run).
+  std::vector<QuarantinedUnit> quarantined;
+  /// Transient retries the supervisor performed for this campaign.
+  std::uint64_t retries = 0;
+
+  bool complete() const { return quarantined.empty(); }
 
   json::Value to_json() const;
 };
@@ -81,9 +115,18 @@ struct CampaignResult {
 /// (independent of the store), so sweep points that share
 /// (pattern, shape, base_seed) simulate it once — see the
 /// `campaign.reference_sims` counter.
+///
+/// Resilience (see docs/RESILIENCE.md): every work unit (per-run
+/// simulation, reference run, kernel-distance pair) runs under a
+/// Supervisor with typed retries and an optional per-attempt deadline.
+/// The default is fail-fast — the first permanent failure cancels all
+/// unstarted units and rethrows. With `resilience.keep_going` the failed
+/// units are quarantined in the result instead and the campaign
+/// completes with the surviving runs.
 CampaignResult run_campaign(
     const CampaignConfig& config, ThreadPool& pool,
-    store::ArtifactStore* store = store::active_store());
+    store::ArtifactStore* store = store::active_store(),
+    const ResilienceOptions& resilience = {});
 
 /// Convenience for single executions of a pattern.
 sim::RunResult run_pattern_once(const std::string& pattern,

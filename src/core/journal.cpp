@@ -1,0 +1,133 @@
+#include "core/journal.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/obs.hpp"
+#include "store/hash.hpp"
+#include "support/error.hpp"
+#include "support/fs.hpp"
+
+namespace anacin::core {
+
+namespace {
+
+constexpr const char kHeaderKey[] = "@header";
+constexpr const char kSchema[] = "anacin-journal-1";
+
+/// Checksum binding a record's key and payload together; canonical
+/// serialization makes it stable across member order and processes.
+std::string record_checksum(const std::string& key,
+                            const json::Value& payload) {
+  json::Value body = json::Value::object();
+  body.set("k", key);
+  body.set("p", payload);
+  return store::digest_string(body.dump_canonical()).to_hex();
+}
+
+std::string render_line(const std::string& key, const json::Value& payload) {
+  json::Value line = json::Value::object();
+  line.set("c", record_checksum(key, payload));
+  line.set("k", key);
+  line.set("p", payload);
+  return line.dump();
+}
+
+}  // namespace
+
+CampaignJournal::CampaignJournal(std::string path, std::string campaign_key)
+    : path_(std::move(path)), campaign_key_(std::move(campaign_key)) {
+  ANACIN_CHECK(!path_.empty(), "journal needs a path");
+  load();
+}
+
+void CampaignJournal::load() {
+  std::ifstream in(path_);
+  if (!in.good()) return;  // no journal yet — fresh campaign
+
+  bool header_seen = false;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::string key;
+    json::Value payload;
+    try {
+      const json::Value doc = json::parse(line);
+      key = doc.at("k").as_string();
+      payload = doc.at("p");
+      if (doc.at("c").as_string() != record_checksum(key, payload)) {
+        throw ParseError("journal record checksum mismatch");
+      }
+    } catch (const Error&) {
+      // Corrupt or truncated record: everything from here on is
+      // untrustworthy (append-ordered log), so end the journal at the
+      // last intact record. The dropped units simply re-run.
+      std::size_t remaining = 1;
+      while (std::getline(in, line)) ++remaining;
+      dropped_lines_ = remaining;
+      obs::counter("resilience.journal_lines_dropped").add(remaining);
+      break;
+    }
+    if (line_number == 1) {
+      if (key != kHeaderKey) {
+        throw ConfigError("'" + path_ + "' is not a campaign journal");
+      }
+      const std::string recorded_campaign =
+          payload.at("campaign").as_string();
+      if (payload.at("schema").as_string() != kSchema ||
+          recorded_campaign != campaign_key_) {
+        throw ConfigError(
+            "journal '" + path_ +
+            "' was recorded for a different campaign configuration (" +
+            recorded_campaign + " != " + campaign_key_ +
+            ") — pass a different --journal path or delete it");
+      }
+      header_seen = true;
+      continue;
+    }
+    if (!header_seen) {
+      throw ConfigError("'" + path_ + "' is missing its journal header");
+    }
+    if (const auto it = by_key_.find(key); it != by_key_.end()) {
+      records_[it->second].second = std::move(payload);
+    } else {
+      by_key_.emplace(key, records_.size());
+      records_.emplace_back(key, std::move(payload));
+    }
+  }
+  obs::counter("resilience.journal_units_loaded").add(records_.size());
+}
+
+const json::Value* CampaignJournal::lookup(
+    const std::string& unit_key) const {
+  const auto it = by_key_.find(unit_key);
+  return it == by_key_.end() ? nullptr : &records_[it->second].second;
+}
+
+void CampaignJournal::record(const std::string& unit_key,
+                             json::Value payload) {
+  if (const auto it = by_key_.find(unit_key); it != by_key_.end()) {
+    records_[it->second].second = std::move(payload);
+  } else {
+    by_key_.emplace(unit_key, records_.size());
+    records_.emplace_back(unit_key, std::move(payload));
+  }
+  persist();
+  obs::counter("resilience.journal_units_recorded").add(1);
+}
+
+void CampaignJournal::persist() const {
+  std::ostringstream out;
+  json::Value header = json::Value::object();
+  header.set("schema", kSchema);
+  header.set("campaign", campaign_key_);
+  out << render_line(kHeaderKey, header) << '\n';
+  for (const auto& [key, payload] : records_) {
+    out << render_line(key, payload) << '\n';
+  }
+  support::atomic_write_file(path_, out.str());
+}
+
+}  // namespace anacin::core

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace anacin::core {
+
+/// Crash-consistent write-ahead log of completed campaign work units.
+///
+/// A sweep records one entry per finished sweep point, keyed by the
+/// point's content digest (the same hash family the artifact store uses
+/// for run keys). `anacin sweep --resume` then replays journaled points
+/// from the log instead of recomputing them, and the artifact store
+/// covers the partially finished point — together a SIGKILLed sweep
+/// resumes with zero redundant simulations.
+///
+/// Persistence follows the store's atomic-rename discipline: every
+/// `record()` rewrites the whole journal through
+/// support::atomic_write_file, so a crash can never leave a half-written
+/// journal in place. The on-disk format is still line-framed JSONL with a
+/// per-record checksum, and the loader is tolerant: a truncated or
+/// corrupt tail (e.g. a journal salvaged from a dying disk) silently ends
+/// the log at the last intact record instead of failing the resume.
+///
+/// Line format (one JSON object per line):
+///   {"c":"<digest>","k":"<unit key>","p":<payload>}
+/// where c is the content digest of the canonical serialization of
+/// {"k":...,"p":...}. The first line is a header record (k = "@header")
+/// whose payload carries the schema tag and the campaign-set key; opening
+/// a journal recorded for a different campaign configuration throws
+/// ConfigError rather than silently mixing results.
+class CampaignJournal {
+public:
+  /// Opens (and tolerantly loads) the journal at `path`. `campaign_key`
+  /// identifies the sweep configuration; a mismatch with an existing
+  /// journal's header is a ConfigError.
+  CampaignJournal(std::string path, std::string campaign_key);
+
+  const std::string& path() const { return path_; }
+
+  /// Completed units salvaged from disk plus those recorded this process.
+  std::size_t size() const { return records_.size(); }
+
+  /// Lines dropped by the tolerant loader (corrupt/truncated tail).
+  std::size_t dropped_lines() const { return dropped_lines_; }
+
+  /// Payload of a completed unit, or nullptr when the unit is not
+  /// journaled (i.e. still needs to run).
+  const json::Value* lookup(const std::string& unit_key) const;
+
+  /// Durably append a completed unit. The journal is flushed to disk
+  /// (atomic rename) before this returns — once record() returns, a crash
+  /// cannot lose the unit. Re-recording an existing key overwrites it.
+  void record(const std::string& unit_key, json::Value payload);
+
+private:
+  void load();
+  void persist() const;
+
+  std::string path_;
+  std::string campaign_key_;
+  std::vector<std::pair<std::string, json::Value>> records_;
+  std::unordered_map<std::string, std::size_t> by_key_;
+  std::size_t dropped_lines_ = 0;
+};
+
+}  // namespace anacin::core

@@ -6,17 +6,14 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/fs.hpp"
 
 namespace anacin::core {
 
 void write_text_file(const std::string& path, const std::string& content) {
-  const std::filesystem::path file_path(path);
-  if (file_path.has_parent_path()) {
-    std::filesystem::create_directories(file_path.parent_path());
-  }
-  std::ofstream out(file_path);
-  ANACIN_CHECK(out.good(), "cannot open '" << path << "' for writing");
-  out << content;
+  // Crash-consistent: a full disk or mid-write crash leaves the previous
+  // version (or nothing) in place, never a truncated-but-plausible file.
+  support::atomic_write_file(path, content);
 }
 
 std::string read_text_file(const std::string& path) {

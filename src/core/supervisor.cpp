@@ -1,0 +1,185 @@
+#include "core/supervisor.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "obs/obs.hpp"
+#include "store/hash.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/string_util.hpp"
+
+namespace anacin::core {
+
+namespace {
+
+double parse_spec_number(const std::string& token, const std::string& spec) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (token.empty() || end != token.c_str() + token.size() || value < 0) {
+    throw ConfigError("malformed ANACIN_INJECT_FAILURES entry '" + spec + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+FailureInjector::FailureInjector(const std::string& spec) {
+  for (const std::string& entry : split(spec, ',')) {
+    const std::string trimmed{trim(entry)};
+    if (trimmed.empty()) continue;
+    const auto parts = split(trimmed, '=');
+    if (parts.size() != 2) {
+      throw ConfigError("malformed ANACIN_INJECT_FAILURES entry '" + trimmed +
+                        "' (expected unit=kind[:arg])");
+    }
+    const std::string unit{trim(parts[0])};
+    const auto kind_arg = split(parts[1], ':');
+    const std::string kind{trim(kind_arg[0])};
+    Plan& plan = plans_[unit];
+    if (kind == "transient") {
+      plan.transient_failures =
+          kind_arg.size() > 1
+              ? static_cast<int>(parse_spec_number(
+                    std::string(trim(kind_arg[1])), trimmed))
+              : 1;
+    } else if (kind == "permanent") {
+      plan.permanent = true;
+    } else if (kind == "hang") {
+      plan.hang_ms =
+          kind_arg.size() > 1
+              ? parse_spec_number(std::string(trim(kind_arg[1])), trimmed)
+              : 100.0;
+    } else {
+      throw ConfigError("unknown ANACIN_INJECT_FAILURES kind '" + kind +
+                        "' (expected transient, permanent, or hang)");
+    }
+  }
+}
+
+FailureInjector FailureInjector::from_env() {
+  const char* env = std::getenv("ANACIN_INJECT_FAILURES");
+  if (env == nullptr || *env == '\0') return FailureInjector{};
+  return FailureInjector(env);
+}
+
+void FailureInjector::on_attempt(const std::string& unit_id,
+                                 int attempt) const {
+  const auto it = plans_.find(unit_id);
+  if (it == plans_.end()) return;
+  const Plan& plan = it->second;
+  if (plan.hang_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        plan.hang_ms));
+  }
+  if (plan.permanent) {
+    throw PermanentError("injected permanent failure for unit '" + unit_id +
+                         "'");
+  }
+  if (attempt <= plan.transient_failures) {
+    throw TransientError("injected transient failure " +
+                         std::to_string(attempt) + "/" +
+                         std::to_string(plan.transient_failures) +
+                         " for unit '" + unit_id + "'");
+  }
+}
+
+Supervisor::Supervisor(RetryPolicy policy, std::uint64_t campaign_seed,
+                       FailureInjector injector)
+    : policy_(policy),
+      campaign_seed_(campaign_seed),
+      injector_(std::move(injector)) {}
+
+std::uint64_t Supervisor::backoff_us(const std::string& unit_id,
+                                     int attempt) const {
+  if (policy_.base_backoff_us == 0) return 0;
+  // Exponential growth with deterministic jitter: the jitter stream is a
+  // pure function of (campaign seed, unit id, attempt), so a re-run of the
+  // same campaign with the same failure schedule backs off identically.
+  const std::uint64_t unit_hash = store::digest_string(unit_id).lo;
+  const std::uint64_t stream = hash_combine(
+      hash_combine(mix64(campaign_seed_), unit_hash),
+      static_cast<std::uint64_t>(attempt));
+  const double jitter =
+      0.5 + static_cast<double>(mix64(stream) >> 11) * 0x1.0p-53;
+  const int exponent = attempt > 20 ? 20 : attempt - 1;
+  const double scaled = static_cast<double>(policy_.base_backoff_us) *
+                        static_cast<double>(1ull << exponent) * jitter;
+  return static_cast<std::uint64_t>(scaled);
+}
+
+UnitReport Supervisor::run(const std::string& unit_id,
+                           const std::function<void()>& work) const {
+  static obs::Counter& units_counter = obs::counter("resilience.units");
+  static obs::Counter& retries_counter = obs::counter("resilience.retries");
+  static obs::Counter& transient_counter =
+      obs::counter("resilience.transient_failures");
+  static obs::Counter& permanent_counter =
+      obs::counter("resilience.permanent_failures");
+  static obs::Counter& deadline_counter =
+      obs::counter("resilience.deadline_exceeded");
+  units_counter.add(1);
+
+  UnitReport report;
+  const int max_attempts = 1 + (policy_.max_retries < 0 ? 0
+                                                        : policy_.max_retries);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    report.attempts = attempt;
+    try {
+      // The injector runs inside the timed section so an injected hang
+      // exercises the deadline path exactly like genuinely slow work.
+      const auto start = std::chrono::steady_clock::now();
+      injector_.on_attempt(unit_id, attempt);
+      work();
+      if (policy_.run_deadline_ms > 0.0) {
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (elapsed_ms > policy_.run_deadline_ms) {
+          std::ostringstream os;
+          os << "unit '" << unit_id << "' exceeded its deadline ("
+             << elapsed_ms << " ms > " << policy_.run_deadline_ms << " ms)";
+          throw DeadlineExceeded(os.str());
+        }
+      }
+      report.ok = true;
+      report.error.clear();
+      return report;
+    } catch (const TransientError& error) {
+      // DeadlineExceeded lands here too (it is-a TransientError).
+      transient_counter.add(1);
+      if (dynamic_cast<const DeadlineExceeded*>(&error) != nullptr) {
+        deadline_counter.add(1);
+      }
+      report.error = error.what();
+      report.transient = true;
+      if (attempt == max_attempts) return report;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++retries_;
+      }
+      retries_counter.add(1);
+      const std::uint64_t sleep_us = backoff_us(unit_id, attempt);
+      if (sleep_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      }
+    } catch (const std::exception& error) {
+      permanent_counter.add(1);
+      report.error = error.what();
+      report.transient = false;
+      return report;
+    }
+  }
+  return report;  // unreachable; loop always returns
+}
+
+std::uint64_t Supervisor::retries_performed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return retries_;
+}
+
+}  // namespace anacin::core

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace anacin::core {
+
+/// How the run supervisor treats failing work units. Defaults are
+/// fail-fast and retry-free, matching the historical behavior exactly.
+struct RetryPolicy {
+  /// Retries *after* the first attempt; only transient failures
+  /// (TransientError and subclasses, including DeadlineExceeded) retry.
+  int max_retries = 0;
+  /// First backoff duration; doubles per retry, scaled by a deterministic
+  /// jitter in [0.5, 1.5) derived from the campaign seed and unit id so a
+  /// retried campaign is reproducible. 0 disables sleeping entirely.
+  std::uint64_t base_backoff_us = 1000;
+  /// Per-attempt wall-clock deadline in milliseconds; an attempt that runs
+  /// longer fails with DeadlineExceeded (detected when the attempt
+  /// returns — the supervisor never preempts running work). 0 = none.
+  double run_deadline_ms = 0.0;
+};
+
+/// Outcome of one supervised work unit.
+struct UnitReport {
+  bool ok = false;
+  /// Attempts made (>= 1); attempts - 1 of them failed transiently.
+  int attempts = 0;
+  /// what() of the final failure; empty on success.
+  std::string error;
+  /// True when the final failure was transient (retries exhausted) rather
+  /// than permanent.
+  bool transient = false;
+};
+
+/// Deterministic failure injection for tests, configured from the
+/// ANACIN_INJECT_FAILURES environment variable (snapshotted per
+/// Supervisor, so in-process tests can change it between campaigns).
+///
+/// Spec grammar (comma-separated):
+///   unit=transient:N    the unit's first N attempts throw TransientError
+///   unit=permanent      every attempt of the unit throws PermanentError
+///   unit=hang:MS        every attempt sleeps MS milliseconds first
+///                       (drives the deadline path without a slow workload)
+///
+/// Unit ids are the supervisor's ids: "run:<i>", "reference",
+/// "pair:<a>-<b>", "measure".
+class FailureInjector {
+public:
+  FailureInjector() = default;
+  /// Parse a spec string; throws ConfigError on malformed input.
+  explicit FailureInjector(const std::string& spec);
+  /// Snapshot of the process environment (empty when unset).
+  static FailureInjector from_env();
+
+  bool empty() const { return plans_.empty(); }
+  /// Called at the top of every attempt; throws the planned failure.
+  void on_attempt(const std::string& unit_id, int attempt) const;
+
+private:
+  struct Plan {
+    int transient_failures = 0;
+    bool permanent = false;
+    double hang_ms = 0.0;
+  };
+  std::map<std::string, Plan> plans_;
+};
+
+/// Wraps every campaign work unit (per-run simulation, reference run,
+/// kernel-distance pair) with the typed error taxonomy, a per-attempt
+/// wall-clock deadline, and seeded exponential-backoff retries. Thread
+/// safe: run() may be called concurrently from pool workers.
+class Supervisor {
+public:
+  /// `campaign_seed` feeds the deterministic backoff jitter, so identical
+  /// (seed, injected-failure schedule) pairs retry identically.
+  Supervisor(RetryPolicy policy, std::uint64_t campaign_seed,
+             FailureInjector injector = FailureInjector::from_env());
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// Execute `work`, retrying transient failures per the policy. Never
+  /// throws for unit failures — the report carries the outcome and the
+  /// caller chooses fail-fast (throw) or keep-going (quarantine).
+  UnitReport run(const std::string& unit_id,
+                 const std::function<void()>& work) const;
+
+  /// Total transient retries performed by this supervisor (for the
+  /// resilience.retries counter and determinism tests).
+  std::uint64_t retries_performed() const;
+
+private:
+  std::uint64_t backoff_us(const std::string& unit_id, int attempt) const;
+
+  RetryPolicy policy_;
+  std::uint64_t campaign_seed_ = 0;
+  FailureInjector injector_;
+  mutable std::mutex mutex_;
+  mutable std::uint64_t retries_ = 0;
+};
+
+}  // namespace anacin::core

@@ -346,6 +346,53 @@ ObjectStore::VerifyReport ObjectStore::verify() const {
   return report;
 }
 
+ObjectStore::RepairReport ObjectStore::repair() {
+  RepairReport report;
+  report.verified = verify();
+  if (report.verified.ok()) return report;
+
+  const fs::path quarantine_dir = config_.root / "quarantine";
+  std::error_code ec;
+  fs::create_directories(quarantine_dir, ec);
+  if (ec) {
+    report.failed.push_back(quarantine_dir.string());
+    return report;
+  }
+
+  const auto quarantine_file = [&](const fs::path& source,
+                                   const std::string& name) {
+    fs::path target = quarantine_dir / name;
+    // Uniquify on collision so repeated repairs never clobber evidence.
+    for (int attempt = 1; fs::exists(target, ec); ++attempt) {
+      target = quarantine_dir / (name + "." + std::to_string(attempt));
+    }
+    fs::rename(source, target, ec);
+    if (ec) {
+      report.failed.push_back(source.string());
+      return false;
+    }
+    report.quarantined += 1;
+    return true;
+  };
+
+  for (const std::string& hex : report.verified.corrupt) {
+    if (!quarantine_file(object_path(hex), hex)) continue;
+    std::lock_guard<std::mutex> lock(mutex_);
+    drop_memory_locked(hex);
+    if (index_.erase(hex) > 0) index_dirty_ = true;
+  }
+  for (const std::string& path : report.verified.foreign) {
+    const fs::path source(path);
+    quarantine_file(source, source.filename().string());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index_dirty_) save_index_locked();
+  }
+  obs::counter("store.objects_quarantined").add(report.quarantined);
+  return report;
+}
+
 ObjectStore::GcReport ObjectStore::gc(std::uint64_t max_bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
   GcReport report;

@@ -88,6 +88,23 @@ class ObjectStore {
   /// Re-read every object from disk and validate its envelope.
   VerifyReport verify() const;
 
+  struct RepairReport {
+    /// verify() results the repair acted on.
+    VerifyReport verified;
+    /// Objects moved into quarantine/ (corrupt + foreign).
+    std::uint64_t quarantined = 0;
+    /// Files that could not be moved (e.g. permissions); left in place.
+    std::vector<std::string> failed;
+
+    bool ok() const { return failed.empty(); }
+  };
+  /// Heal a damaged store: re-verify, then move every corrupt and foreign
+  /// object aside into `<root>/quarantine/` (preserving the file name,
+  /// uniquified on collision) so subsequent loads recompute instead of
+  /// tripping over bad bytes. Nothing is deleted — a quarantined object
+  /// can be inspected or restored by hand.
+  RepairReport repair();
+
   struct GcReport {
     std::uint64_t removed_objects = 0;
     std::uint64_t removed_bytes = 0;

@@ -37,6 +37,51 @@ public:
   explicit ParseError(const std::string& what) : Error(what) {}
 };
 
+// ---------------------------------------------------------------------------
+// Resilience taxonomy (see docs/RESILIENCE.md). The run supervisor
+// classifies every failure of a campaign work unit by this hierarchy:
+// TransientError (and subclasses) is retried with seeded exponential
+// backoff, everything else — including the pre-existing errors above —
+// is treated as permanent.
+// ---------------------------------------------------------------------------
+
+/// A failure that is expected to succeed on retry (contended resource,
+/// injected flaky fault, timeout). The supervisor retries these.
+class TransientError : public Error {
+public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// A failure that retrying cannot fix (bad input, logic error, injected
+/// hard fault). The supervisor fails the unit immediately.
+class PermanentError : public Error {
+public:
+  explicit PermanentError(const std::string& what) : Error(what) {}
+};
+
+/// A work unit exceeded its per-run wall-clock deadline. Deadline misses
+/// are often load-induced, so they are transient (retried).
+class DeadlineExceeded : public TransientError {
+public:
+  explicit DeadlineExceeded(const std::string& what) : TransientError(what) {}
+};
+
+/// A filesystem write failed (open failure, short write / ENOSPC, rename
+/// failure). Raised by support::atomic_write_file; permanent because a
+/// full disk does not heal between retries of the same process.
+class IoError : public PermanentError {
+public:
+  explicit IoError(const std::string& what) : PermanentError(what) {}
+};
+
+/// Cooperative cancellation: the user interrupted the process (SIGINT)
+/// and in-flight work has been drained. Not a failure — callers translate
+/// it into the distinct "interrupted" exit code.
+class InterruptedError : public Error {
+public:
+  explicit InterruptedError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
                                              int line, const std::string& msg) {

@@ -1,0 +1,112 @@
+#include "support/fs.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <system_error>
+
+#include "support/error.hpp"
+
+namespace anacin::support {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::atomic<std::uint64_t> g_write_count{0};
+
+/// Remaining writes before the injected failure fires; -1 = no injection.
+/// Re-read from the environment on first use of every process so the CLI
+/// binary honors the variable without any plumbing.
+std::int64_t& injected_budget() {
+  static std::int64_t budget = [] {
+    const char* env = std::getenv("ANACIN_FAIL_WRITE_AFTER");
+    if (env == nullptr || *env == '\0') return std::int64_t{-1};
+    return static_cast<std::int64_t>(std::strtoll(env, nullptr, 10));
+  }();
+  return budget;
+}
+
+std::mutex& injection_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+/// True when this call should fail; decrements the budget. The injection
+/// fires exactly once (then disables itself) so a test can assert both the
+/// failure and that later writes in the same process still succeed.
+bool consume_injected_failure() {
+  const std::lock_guard<std::mutex> lock(injection_mutex());
+  std::int64_t& budget = injected_budget();
+  if (budget < 0) return false;
+  if (budget == 0) {
+    budget = -1;
+    return true;
+  }
+  --budget;
+  return false;
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  const fs::path file_path(path);
+  std::error_code ec;
+  if (file_path.has_parent_path()) {
+    fs::create_directories(file_path.parent_path(), ec);
+    if (ec) {
+      throw IoError("cannot create directory '" +
+                    file_path.parent_path().string() + "': " + ec.message());
+    }
+  }
+
+  // Unique temp name per writer so concurrent writers of the same path
+  // never clobber each other's in-progress bytes; the final rename is the
+  // single atomic commit point.
+  static std::atomic<std::uint64_t> temp_sequence{0};
+  const fs::path temp =
+      file_path.string() + ".tmp." +
+      std::to_string(temp_sequence.fetch_add(1, std::memory_order_relaxed));
+
+  const bool fail_injected = consume_injected_failure();
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw IoError("cannot open '" + temp.string() + "' for writing");
+    }
+    if (fail_injected) {
+      // Simulate a disk filling mid-write: a partial temp file is left on
+      // disk (as a real crash would) and the destination stays untouched.
+      out << content.substr(0, content.size() / 2);
+      out.flush();
+      throw IoError("injected write failure (ANACIN_FAIL_WRITE_AFTER) for '" +
+                    path + "'");
+    }
+    out << content;
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      fs::remove(temp, ec);
+      throw IoError("short write for '" + path + "' (disk full?)");
+    }
+  }
+  fs::rename(temp, file_path, ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    throw IoError("cannot publish '" + path + "': rename failed");
+  }
+  g_write_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t atomic_write_count() {
+  return g_write_count.load(std::memory_order_relaxed);
+}
+
+void set_fail_write_after(std::int64_t budget) {
+  const std::lock_guard<std::mutex> lock(injection_mutex());
+  injected_budget() = budget;
+}
+
+}  // namespace anacin::support

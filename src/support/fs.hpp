@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace anacin::support {
+
+/// Crash-consistent file write: the content is written to a uniquely named
+/// `<path>.tmp.<n>` sibling, the stream state is checked after every stage
+/// (open, write, flush), and the temp file is renamed into place only when
+/// the bytes are durably complete. Readers therefore never observe a
+/// truncated file — a crash or full disk leaves at worst a stale previous
+/// version plus an orphaned temp file, never a plausible-looking prefix.
+///
+/// Parent directories are created as needed. Throws IoError on any
+/// failure (after best-effort removal of the temp file).
+///
+/// Test hook: when the environment variable ANACIN_FAIL_WRITE_AFTER=N is
+/// set, the N+1-th atomic_write_file call in the process fails as if the
+/// disk filled mid-write (a partial temp file is left behind, IoError is
+/// thrown, the destination is untouched). Used by the fault-injection
+/// tests to exercise the ENOSPC/crash paths for real.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+/// Number of successful atomic_write_file calls so far (test observability).
+std::uint64_t atomic_write_count();
+
+/// In-process override of ANACIN_FAIL_WRITE_AFTER (test hook): the next
+/// `budget` writes succeed, then one fails; -1 disables injection.
+void set_fail_write_after(std::int64_t budget);
+
+}  // namespace anacin::support

@@ -62,12 +62,19 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn,
-                              std::size_t grain) {
+                              std::size_t grain, CancelToken* cancel) {
   if (begin >= end) return;
   grain = std::max<std::size_t>(1, grain);
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  // Set by the first failing item so every not-yet-started item is skipped
+  // instead of executed uselessly (fail-fast degradation).
+  std::atomic<bool> error_cancel{false};
+  const auto stop_requested = [&] {
+    return error_cancel.load(std::memory_order_relaxed) ||
+           (cancel != nullptr && cancel->cancelled());
+  };
   std::vector<std::future<void>> chunks;
   chunks.reserve((end - begin + grain - 1) / grain);
 
@@ -76,8 +83,12 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     const std::size_t chunk_end = std::min(end, chunk_begin + grain);
     chunks.push_back(submit([&, chunk_begin, chunk_end] {
       try {
-        for (std::size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          if (stop_requested()) return;
+          fn(i);
+        }
       } catch (...) {
+        error_cancel.store(true, std::memory_order_relaxed);
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -11,6 +12,23 @@
 #include <vector>
 
 namespace anacin {
+
+/// Cooperative cancellation flag shared between a controller (a SIGINT
+/// handler, a fail-fast error path) and workers. `cancel()` is a single
+/// lock-free atomic store, so it is safe to call from a signal handler.
+/// Workers poll `cancelled()` between work items; in-flight items always
+/// run to completion — cancellation skips *unstarted* work only.
+class CancelToken {
+public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> cancelled_{false};
+};
 
 /// Fixed-size worker pool used to parallelize independent simulation runs
 /// and pairwise kernel-distance computations.
@@ -42,15 +60,21 @@ public:
   }
 
   /// Run fn(i) for i in [begin, end) across the pool and wait for
-  /// completion. Exceptions from tasks are rethrown (the first one, after
-  /// all tasks finish). Work is chunked to limit queue overhead.
+  /// completion. Work is chunked to limit queue overhead.
+  ///
+  /// Fail-fast: the first exception thrown by any item cancels the
+  /// remaining *unstarted* items (in-flight ones finish), and is rethrown
+  /// after all scheduled work has drained. An optional external
+  /// CancelToken skips unstarted items the same way without being an
+  /// error — parallel_for returns normally and the caller inspects the
+  /// token (used for SIGINT draining).
   ///
   /// Safe to call from inside a pool task: the calling worker then helps
   /// drain the queue instead of blocking on its own chunks (blocking would
   /// deadlock a pool whose every worker waits on queued work).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
-                    std::size_t grain = 1);
+                    std::size_t grain = 1, CancelToken* cancel = nullptr);
 
 private:
   void enqueue(std::function<void()> item);

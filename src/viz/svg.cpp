@@ -1,10 +1,9 @@
 #include "viz/svg.hpp"
 
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/fs.hpp"
 #include "support/json.hpp"
 
 namespace anacin::viz {
@@ -124,13 +123,9 @@ std::string SvgDocument::render() const {
 }
 
 void SvgDocument::save(const std::string& path) const {
-  const std::filesystem::path file_path(path);
-  if (file_path.has_parent_path()) {
-    std::filesystem::create_directories(file_path.parent_path());
-  }
-  std::ofstream out(file_path);
-  ANACIN_CHECK(out.good(), "cannot open '" << path << "' for writing");
-  out << render();
+  // Atomic temp-write + rename: a crash mid-save never leaves a truncated
+  // SVG that a browser would render half-blank.
+  support::atomic_write_file(path, render());
 }
 
 }  // namespace anacin::viz

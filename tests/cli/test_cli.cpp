@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <initializer_list>
 #include <iterator>
 #include <sstream>
 
@@ -44,8 +45,10 @@ TEST(Cli, HelpCommand) {
 }
 
 TEST(Cli, UnknownCommandFailsWithUsage) {
+  // 64 (EX_USAGE), not 2: exit 2 means "completed with quarantined units"
+  // under --keep-going (see docs/RESILIENCE.md).
   const CliRun run = invoke({"frobnicate"});
-  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_EQ(run.exit_code, 64);
   EXPECT_NE(run.err.find("unknown command"), std::string::npos);
 }
 
@@ -502,6 +505,171 @@ TEST(Cli, SweepOverDropProbability) {
   }
   EXPECT_EQ(rows, 3);  // 0, 0.25, 0.5
   std::filesystem::remove_all("test_output");
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: --keep-going, retries, journal/--resume, cache repair
+// ---------------------------------------------------------------------------
+
+class ScopedInjection {
+public:
+  explicit ScopedInjection(const char* spec) {
+    ::setenv("ANACIN_INJECT_FAILURES", spec, 1);
+  }
+  ~ScopedInjection() { ::unsetenv("ANACIN_INJECT_FAILURES"); }
+};
+
+const std::vector<std::string> kSmallMeasure = {
+    "measure", "--pattern", "message_race", "--ranks", "4",
+    "--runs",  "4",         "--seed",       "42",      "--backoff-us", "0"};
+
+std::vector<std::string> with_args(std::vector<std::string> base,
+                                   std::initializer_list<std::string> extra) {
+  base.insert(base.end(), extra.begin(), extra.end());
+  return base;
+}
+
+TEST(CliResilience, FailFastAbortsWithExit1) {
+  const ScopedInjection inject("run:1=permanent");
+  const CliRun run = invoke(kSmallMeasure);
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("run:1"), std::string::npos) << run.err;
+}
+
+TEST(CliResilience, KeepGoingQuarantinesWithExit2) {
+  const ScopedInjection inject("run:1=permanent");
+  const CliRun run = invoke(with_args(kSmallMeasure, {"--keep-going"}));
+  EXPECT_EQ(run.exit_code, 2) << run.err;
+  EXPECT_NE(run.out.find("PARTIAL RESULTS"), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("quarantined run:1"), std::string::npos) << run.out;
+}
+
+TEST(CliResilience, TransientFailuresRetryToCleanExit) {
+  const ScopedInjection inject("run:0=transient:2");
+  const CliRun no_retries = invoke(kSmallMeasure);
+  EXPECT_EQ(no_retries.exit_code, 1);
+  const CliRun retried =
+      invoke(with_args(kSmallMeasure, {"--max-retries", "3"}));
+  EXPECT_EQ(retried.exit_code, 0) << retried.err;
+}
+
+TEST(CliResilience, DeadlineFlagFailsHangingUnit) {
+  const ScopedInjection inject("run:2=hang:50");
+  const CliRun run = invoke(
+      with_args(kSmallMeasure, {"--run-deadline-ms", "5", "--keep-going"}));
+  EXPECT_EQ(run.exit_code, 2) << run.err;
+  EXPECT_NE(run.out.find("deadline"), std::string::npos) << run.out;
+}
+
+TEST(CliResilience, RejectsNegativeRetries) {
+  const CliRun run = invoke(with_args(kSmallMeasure, {"--max-retries", "-1"}));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.err.find("--max-retries"), std::string::npos);
+}
+
+std::vector<std::string> small_sweep(std::initializer_list<std::string> extra) {
+  std::vector<std::string> args = {
+      "sweep", "--pattern", "message_race", "--ranks", "4",
+      "--runs", "2",        "--step",       "50",      "--seed", "7"};
+  args.insert(args.end(), extra.begin(), extra.end());
+  return args;
+}
+
+TEST(CliResilience, SweepResumeReplaysJournalByteIdentically) {
+  const std::string dir = "test_output/cli_resume";
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/sweep.jsonl";
+
+  const CliRun first = invoke(small_sweep({"--journal", journal, "--csv",
+                                           dir + "/a.csv", "--json",
+                                           dir + "/a.json"}));
+  ASSERT_EQ(first.exit_code, 0) << first.err;
+  ASSERT_TRUE(std::filesystem::exists(journal));
+
+  const std::uint64_t sims_before = obs::counter("sim.engine.runs").value();
+  const CliRun resumed = invoke(small_sweep({"--journal", journal, "--resume",
+                                             "--csv", dir + "/b.csv",
+                                             "--json", dir + "/b.json"}));
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.err;
+  EXPECT_NE(resumed.out.find("resume: 3 of 3 points journaled"),
+            std::string::npos)
+      << resumed.out;
+  // Zero redundant simulations: every point replays from the journal.
+  EXPECT_EQ(obs::counter("sim.engine.runs").value(), sims_before);
+
+  EXPECT_EQ(read_file(dir + "/b.csv"), read_file(dir + "/a.csv"));
+  EXPECT_EQ(read_file(dir + "/b.json"), read_file(dir + "/a.json"));
+  ASSERT_FALSE(read_file(dir + "/a.json").empty());
+  std::filesystem::remove_all("test_output");
+}
+
+TEST(CliResilience, SweepResumeRejectsJournalOfDifferentCampaign) {
+  const std::string dir = "test_output/cli_resume_mismatch";
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/sweep.jsonl";
+  ASSERT_EQ(invoke(small_sweep({"--journal", journal})).exit_code, 0);
+  // Same journal, different sweep configuration (other seed).
+  const CliRun mismatched = invoke(
+      {"sweep", "--pattern", "message_race", "--ranks", "4", "--runs", "2",
+       "--step", "50", "--seed", "8", "--journal", journal, "--resume"});
+  EXPECT_EQ(mismatched.exit_code, 1);
+  EXPECT_NE(mismatched.err.find("different campaign"), std::string::npos)
+      << mismatched.err;
+  std::filesystem::remove_all("test_output");
+}
+
+TEST(CliResilience, SweepWithoutResumeDiscardsStaleJournal) {
+  const std::string dir = "test_output/cli_fresh_journal";
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/sweep.jsonl";
+  ASSERT_EQ(invoke(small_sweep({"--journal", journal})).exit_code, 0);
+  // A non-resume sweep with a different config and the same journal path
+  // starts fresh instead of tripping the campaign-key check.
+  const CliRun fresh = invoke(
+      {"sweep", "--pattern", "message_race", "--ranks", "4", "--runs", "2",
+       "--step", "50", "--seed", "8", "--journal", journal});
+  EXPECT_EQ(fresh.exit_code, 0) << fresh.err;
+  std::filesystem::remove_all("test_output");
+}
+
+TEST(CliResilience, SweepKeepGoingPropagatesPartialExit) {
+  const ScopedInjection inject("run:1=permanent");
+  const CliRun run =
+      invoke(small_sweep({"--keep-going", "--backoff-us", "0"}));
+  EXPECT_EQ(run.exit_code, 2) << run.err;
+  EXPECT_NE(run.out.find("PARTIAL RESULTS"), std::string::npos) << run.out;
+}
+
+TEST(CliResilience, CacheVerifyRepairQuarantinesCorruptObjects) {
+  const std::string dir = "test_output/cli_cache_repair";
+  ASSERT_EQ(invoke({"--store", dir, "measure", "--pattern", "message_race",
+                    "--ranks", "4", "--runs", "3", "--seed", "31337"})
+                .exit_code,
+            0);
+  std::filesystem::create_directories(dir + "/objects/ab");
+  {
+    std::ofstream bad(dir + "/objects/ab/cdcdcdcdcdcdcdcdcdcdcdcdcdcdcd",
+                      std::ios::binary);
+    bad << "this is not an artifact";
+  }
+  const CliRun repair =
+      invoke({"--store", dir, "cache", "verify", "--repair"});
+  EXPECT_EQ(repair.exit_code, 0) << repair.err;
+  EXPECT_NE(repair.out.find("quarantined"), std::string::npos) << repair.out;
+  EXPECT_TRUE(std::filesystem::exists(
+      dir + "/quarantine/abcdcdcdcdcdcdcdcdcdcdcdcdcdcdcd"));
+
+  // After repair the store verifies clean again.
+  const CliRun verify = invoke({"--store", dir, "cache", "verify"});
+  EXPECT_EQ(verify.exit_code, 0);
+  EXPECT_NE(verify.out.find("0 corrupt"), std::string::npos);
+  std::filesystem::remove_all("test_output");
+}
+
+TEST(CliResilience, UsageDocumentsExitCodes) {
+  const CliRun run = invoke({"help"});
+  EXPECT_NE(run.out.find("--keep-going"), std::string::npos);
+  EXPECT_NE(run.out.find("130 interrupted"), std::string::npos);
 }
 
 }  // namespace

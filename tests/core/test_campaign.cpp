@@ -127,5 +127,120 @@ TEST(RunPatternOnce, ShapeMismatchRejected) {
   EXPECT_THROW(run_pattern_once("message_race", shape, config), Error);
 }
 
+// ---------------------------------------------------------------------------
+// Resilience (supervised units, keep-going, cancellation)
+// ---------------------------------------------------------------------------
+
+/// Injected failures via an env snapshot: the Supervisor inside
+/// run_campaign reads ANACIN_INJECT_FAILURES at construction.
+class ScopedInjection {
+public:
+  explicit ScopedInjection(const char* spec) {
+    ::setenv("ANACIN_INJECT_FAILURES", spec, 1);
+  }
+  ~ScopedInjection() { ::unsetenv("ANACIN_INJECT_FAILURES"); }
+};
+
+ResilienceOptions no_backoff(bool keep_going, int max_retries = 0) {
+  ResilienceOptions resilience;
+  resilience.keep_going = keep_going;
+  resilience.retry.max_retries = max_retries;
+  resilience.retry.base_backoff_us = 0;
+  return resilience;
+}
+
+TEST(CampaignResilience, FailFastAbortsOnPermanentFailure) {
+  const ScopedInjection inject("run:2=permanent");
+  ThreadPool pool(2);
+  EXPECT_THROW(run_campaign(small_campaign(1.0), pool, nullptr,
+                            no_backoff(/*keep_going=*/false)),
+               PermanentError);
+}
+
+TEST(CampaignResilience, KeepGoingQuarantinesExactlyTheFailingRun) {
+  const ScopedInjection inject("run:2=permanent");
+  ThreadPool pool(2);
+  const CampaignResult result = run_campaign(
+      small_campaign(1.0), pool, nullptr, no_backoff(/*keep_going=*/true));
+  ASSERT_EQ(result.quarantined.size(), 1u);
+  EXPECT_EQ(result.quarantined.front().unit, "run:2");
+  EXPECT_EQ(result.quarantined.front().attempts, 1);
+  EXPECT_FALSE(result.complete());
+  // The failed slot is an empty graph; the survivors are measured.
+  EXPECT_EQ(result.graphs.size(), 6u);
+  EXPECT_EQ(result.graphs[2].num_nodes(), 0u);
+  EXPECT_EQ(result.measurement.distances.size(), 5u);
+  EXPECT_EQ(result.distance_summary.count, 5u);
+}
+
+TEST(CampaignResilience, TransientFailuresRetryToSuccess) {
+  const ScopedInjection inject("run:1=transient:2");
+  ThreadPool pool(2);
+  const CampaignResult result =
+      run_campaign(small_campaign(1.0), pool, nullptr,
+                   no_backoff(/*keep_going=*/false, /*max_retries=*/3));
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.retries, 2u);
+  EXPECT_EQ(result.measurement.distances.size(), 6u);
+}
+
+TEST(CampaignResilience, RetriedCampaignMatchesUnfailedCampaign) {
+  ThreadPool pool(2);
+  const CampaignResult clean = run_campaign(small_campaign(1.0), pool);
+  const ScopedInjection inject("run:0=transient:1,run:3=transient:2");
+  const CampaignResult retried =
+      run_campaign(small_campaign(1.0), pool, nullptr,
+                   no_backoff(/*keep_going=*/false, /*max_retries=*/2));
+  // Retries must not leak into the results: same seeds, same graphs, same
+  // distances as a campaign that never failed.
+  EXPECT_EQ(retried.retries, 3u);
+  ASSERT_EQ(retried.measurement.distances.size(),
+            clean.measurement.distances.size());
+  for (std::size_t i = 0; i < clean.measurement.distances.size(); ++i) {
+    EXPECT_DOUBLE_EQ(retried.measurement.distances[i],
+                     clean.measurement.distances[i]);
+  }
+}
+
+TEST(CampaignResilience, AllRunsQuarantinedIsFatalEvenWithKeepGoing) {
+  const ScopedInjection inject(
+      "run:0=permanent,run:1=permanent,run:2=permanent");
+  ThreadPool pool(2);
+  EXPECT_THROW(run_campaign(small_campaign(1.0, /*runs=*/3), pool, nullptr,
+                            no_backoff(/*keep_going=*/true)),
+               Error);
+}
+
+TEST(CampaignResilience, ReferenceFailureIsFatalEvenWithKeepGoing) {
+  const ScopedInjection inject("reference=permanent");
+  ThreadPool pool(2);
+  EXPECT_THROW(run_campaign(small_campaign(1.0), pool, nullptr,
+                            no_backoff(/*keep_going=*/true)),
+               PermanentError);
+}
+
+TEST(CampaignResilience, CancelledTokenInterrupts) {
+  ThreadPool pool(2);
+  CancelToken token;
+  token.cancel();
+  ResilienceOptions resilience;
+  resilience.cancel = &token;
+  EXPECT_THROW(run_campaign(small_campaign(1.0), pool, nullptr, resilience),
+               InterruptedError);
+}
+
+TEST(CampaignResilience, QuarantineIsSurfacedInJson) {
+  const ScopedInjection inject("run:4=permanent");
+  ThreadPool pool(2);
+  const CampaignResult result = run_campaign(
+      small_campaign(1.0), pool, nullptr, no_backoff(/*keep_going=*/true));
+  const json::Value doc = result.to_json();
+  EXPECT_FALSE(doc.at("resilience").at("complete").as_bool());
+  ASSERT_EQ(doc.at("resilience").at("quarantined").size(), 1u);
+  EXPECT_EQ(
+      doc.at("resilience").at("quarantined").at(0).at("unit").as_string(),
+      "run:4");
+}
+
 }  // namespace
 }  // namespace anacin::core

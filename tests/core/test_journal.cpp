@@ -1,0 +1,187 @@
+#include "core/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace anacin::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class JournalTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("anacin_journal_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+    path_ = (dir_ / "sweep.jsonl").string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  static json::Value payload(double median) {
+    json::Value doc = json::Value::object();
+    doc.set("median", median);
+    return doc;
+  }
+
+  static inline int counter_ = 0;
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(JournalTest, FreshJournalIsEmpty) {
+  const CampaignJournal journal(path_, "campaign-a");
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.dropped_lines(), 0u);
+  EXPECT_EQ(journal.lookup("point-1"), nullptr);
+}
+
+TEST_F(JournalTest, RecordedUnitsSurviveReopen) {
+  {
+    CampaignJournal journal(path_, "campaign-a");
+    journal.record("point-1", payload(0.5));
+    journal.record("point-2", payload(0.75));
+  }
+  const CampaignJournal reopened(path_, "campaign-a");
+  EXPECT_EQ(reopened.size(), 2u);
+  ASSERT_NE(reopened.lookup("point-1"), nullptr);
+  EXPECT_DOUBLE_EQ(reopened.lookup("point-1")->at("median").as_number(), 0.5);
+  ASSERT_NE(reopened.lookup("point-2"), nullptr);
+  EXPECT_EQ(reopened.lookup("point-3"), nullptr);
+}
+
+TEST_F(JournalTest, RecordIsDurableImmediately) {
+  CampaignJournal journal(path_, "campaign-a");
+  journal.record("point-1", payload(1.0));
+  // A concurrent reader (or a post-SIGKILL resume) sees the record without
+  // any explicit flush/close.
+  const CampaignJournal other(path_, "campaign-a");
+  EXPECT_EQ(other.size(), 1u);
+}
+
+TEST_F(JournalTest, ReRecordingOverwrites) {
+  CampaignJournal journal(path_, "campaign-a");
+  journal.record("point-1", payload(1.0));
+  journal.record("point-1", payload(2.0));
+  EXPECT_EQ(journal.size(), 1u);
+  EXPECT_DOUBLE_EQ(journal.lookup("point-1")->at("median").as_number(), 2.0);
+}
+
+TEST_F(JournalTest, CampaignKeyMismatchThrows) {
+  { CampaignJournal journal(path_, "campaign-a"); journal.record("p", payload(0)); }
+  EXPECT_THROW(CampaignJournal(path_, "campaign-b"), ConfigError);
+}
+
+TEST_F(JournalTest, TruncatedTailDropsOnlyTheTail) {
+  {
+    CampaignJournal journal(path_, "campaign-a");
+    journal.record("point-1", payload(0.1));
+    journal.record("point-2", payload(0.2));
+    journal.record("point-3", payload(0.3));
+  }
+  // Simulate a crash mid-append on a non-atomic filesystem: cut the last
+  // line in half.
+  std::string content;
+  {
+    std::ifstream in(path_);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    content = buffer.str();
+  }
+  const std::size_t last_line_start =
+      content.rfind('\n', content.size() - 2) + 1;
+  const std::size_t cut = last_line_start + (content.size() - last_line_start) / 2;
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << content.substr(0, cut);
+  }
+
+  const CampaignJournal salvaged(path_, "campaign-a");
+  EXPECT_EQ(salvaged.size(), 2u);
+  EXPECT_EQ(salvaged.dropped_lines(), 1u);
+  EXPECT_NE(salvaged.lookup("point-1"), nullptr);
+  EXPECT_NE(salvaged.lookup("point-2"), nullptr);
+  EXPECT_EQ(salvaged.lookup("point-3"), nullptr);
+}
+
+TEST_F(JournalTest, CorruptMiddleRecordEndsTheLogThere) {
+  {
+    CampaignJournal journal(path_, "campaign-a");
+    journal.record("point-1", payload(0.1));
+    journal.record("point-2", payload(0.2));
+    journal.record("point-3", payload(0.3));
+  }
+  // Flip payload bytes of the middle record without fixing its checksum.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path_);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 4u);  // header + 3 records
+  const std::size_t digit = lines[2].find("0.2");
+  ASSERT_NE(digit, std::string::npos);
+  lines[2].replace(digit, 3, "9.9");
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    for (const std::string& line : lines) out << line << '\n';
+  }
+
+  // An append-ordered log is untrustworthy past the first bad record: the
+  // tampered record and everything after it are dropped.
+  const CampaignJournal salvaged(path_, "campaign-a");
+  EXPECT_EQ(salvaged.size(), 1u);
+  EXPECT_EQ(salvaged.dropped_lines(), 2u);
+  EXPECT_NE(salvaged.lookup("point-1"), nullptr);
+  EXPECT_EQ(salvaged.lookup("point-2"), nullptr);
+}
+
+TEST_F(JournalTest, NonJournalJsonLoadsAsEmpty) {
+  // Valid JSON without the record framing fails the checksum validation
+  // like any corrupt line — the journal loads as empty (and the sweep
+  // simply recomputes) instead of erroring.
+  {
+    std::ofstream out(path_);
+    out << "{\"not\": \"a journal\"}\n";
+  }
+  const CampaignJournal journal(path_, "campaign-a");
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.dropped_lines(), 1u);
+}
+
+TEST_F(JournalTest, GarbageFirstLineLoadsAsEmpty) {
+  // A header that fails checksum validation is indistinguishable from a
+  // truncated write of the very first record: the tolerant loader treats
+  // the whole file as unusable and starts fresh rather than erroring.
+  {
+    std::ofstream out(path_);
+    out << "complete garbage, not even JSON\n";
+  }
+  const CampaignJournal journal(path_, "campaign-a");
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.dropped_lines(), 1u);
+}
+
+TEST_F(JournalTest, PersistsThroughParentDirectoryCreation) {
+  const std::string nested = (dir_ / "deep" / "er" / "sweep.jsonl").string();
+  CampaignJournal journal(nested, "campaign-a");
+  journal.record("point-1", payload(1.5));
+  EXPECT_TRUE(fs::exists(nested));
+}
+
+}  // namespace
+}  // namespace anacin::core

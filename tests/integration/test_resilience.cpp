@@ -1,0 +1,181 @@
+// End-to-end crash/resume: SIGKILL a real `anacin sweep` child process
+// mid-campaign, then --resume and require byte-identical outputs with no
+// redundant simulation work. Exercises the journal + artifact store + CLI
+// stack the way an operator would hit it.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/json.hpp"
+
+#ifndef ANACIN_CLI_PATH
+#error "ANACIN_CLI_PATH must point at the anacin executable"
+#endif
+
+namespace anacin {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Run a shell command; returns the exit code, mapping death-by-signal to
+/// the shell convention 128+signo (SIGKILL => 137).
+int run_command(const std::string& command) {
+  const int status = std::system(command.c_str());
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+double counter_value(const json::Value& metrics, const std::string& name) {
+  const json::Value* found = metrics.at("counters").find(name);
+  return found == nullptr ? 0.0 : found->as_number();
+}
+
+class ResilienceE2e : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("anacin_resilience_e2e_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    ::unsetenv("ANACIN_CRASH_AFTER_POINTS");
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  /// A 3-point sweep (ND 0/50/100) small enough to finish in well under a
+  /// second per point.
+  std::string sweep_command(const std::string& store,
+                            const std::string& journal,
+                            const std::string& tag,
+                            const std::string& extra) const {
+    const fs::path bin(ANACIN_CLI_PATH);
+    std::ostringstream os;
+    os << '"' << bin.string() << '"' << " --store " << (dir_ / store).string()
+       << " --metrics-out " << (dir_ / (tag + "-metrics.json")).string()
+       << " sweep --pattern message_race --ranks 4 --runs 2 --step 50"
+       << " --seed 7 --journal " << (dir_ / journal).string() << " --csv "
+       << (dir_ / (tag + ".csv")).string() << " --json "
+       << (dir_ / (tag + ".json")).string() << ' ' << extra << " > "
+       << (dir_ / (tag + ".out")).string() << " 2>&1";
+    return os.str();
+  }
+
+  json::Value metrics(const std::string& tag) const {
+    return json::parse(slurp(dir_ / (tag + "-metrics.json")));
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ResilienceE2e, SigkilledSweepResumesByteIdentically) {
+  // Baseline: uninterrupted sweep.
+  ASSERT_EQ(run_command(sweep_command("store-a", "a.jsonl", "base", "")), 0)
+      << slurp(dir_ / "base.out");
+  const std::string base_csv = slurp(dir_ / "base.csv");
+  const std::string base_json = slurp(dir_ / "base.json");
+  ASSERT_FALSE(base_csv.empty());
+  ASSERT_FALSE(base_json.empty());
+
+  // Crash run: the process SIGKILLs itself right after journaling the
+  // first point — exactly what a node failure mid-sweep looks like.
+  ::setenv("ANACIN_CRASH_AFTER_POINTS", "1", 1);
+  EXPECT_EQ(run_command(sweep_command("store-b", "b.jsonl", "crash", "")),
+            128 + SIGKILL);
+  ::unsetenv("ANACIN_CRASH_AFTER_POINTS");
+  ASSERT_TRUE(fs::exists(dir_ / "b.jsonl")) << "crash before any journaling";
+
+  // Resume: replays the journaled point, computes the rest.
+  ASSERT_EQ(run_command(
+                sweep_command("store-b", "b.jsonl", "resumed", "--resume")),
+            0)
+      << slurp(dir_ / "resumed.out");
+  EXPECT_NE(slurp(dir_ / "resumed.out").find("resume: 1 of 3"),
+            std::string::npos);
+
+  // Byte-identical outputs despite the kill.
+  EXPECT_EQ(slurp(dir_ / "resumed.csv"), base_csv);
+  EXPECT_EQ(slurp(dir_ / "resumed.json"), base_json);
+
+  // Zero redundant work for the journaled point: the resumed process
+  // replayed it without a single simulation, so it ran strictly fewer
+  // simulations than the uninterrupted baseline.
+  const json::Value base_metrics = metrics("base");
+  const json::Value resumed_metrics = metrics("resumed");
+  EXPECT_EQ(counter_value(resumed_metrics, "resilience.points_replayed"), 1.0);
+  EXPECT_EQ(counter_value(resumed_metrics,
+                          "resilience.journal_units_loaded"),
+            1.0);
+  EXPECT_LT(counter_value(resumed_metrics, "sim.engine.runs"),
+            counter_value(base_metrics, "sim.engine.runs"));
+}
+
+TEST_F(ResilienceE2e, TruncatedJournalResumesFromLastIntactRecord) {
+  ASSERT_EQ(run_command(sweep_command("store-a", "a.jsonl", "base", "")), 0)
+      << slurp(dir_ / "base.out");
+
+  // Journal truncation fixture: cut the final record in half, as if the
+  // machine died mid-append on a filesystem without atomic rename.
+  std::string journal = slurp(dir_ / "a.jsonl");
+  ASSERT_FALSE(journal.empty());
+  const std::size_t last_line = journal.rfind('\n', journal.size() - 2) + 1;
+  const std::size_t cut = last_line + (journal.size() - last_line) / 2;
+  {
+    std::ofstream out(dir_ / "a.jsonl", std::ios::binary | std::ios::trunc);
+    out << journal.substr(0, cut);
+  }
+
+  ASSERT_EQ(run_command(
+                sweep_command("store-a", "a.jsonl", "salvaged", "--resume")),
+            0)
+      << slurp(dir_ / "salvaged.out");
+  EXPECT_NE(slurp(dir_ / "salvaged.out").find("resume: 2 of 3"),
+            std::string::npos)
+      << slurp(dir_ / "salvaged.out");
+
+  EXPECT_EQ(slurp(dir_ / "salvaged.csv"), slurp(dir_ / "base.csv"));
+  EXPECT_EQ(slurp(dir_ / "salvaged.json"), slurp(dir_ / "base.json"));
+
+  // The dropped point re-runs against a warm store: no simulations at all.
+  EXPECT_EQ(counter_value(metrics("salvaged"), "sim.engine.runs"), 0.0);
+}
+
+TEST_F(ResilienceE2e, ChildExitCodesMatchTaxonomy) {
+  const std::string bin = '"' + fs::path(ANACIN_CLI_PATH).string() + '"';
+  const std::string store = " --store " + (dir_ / "store-x").string();
+  // Unknown command: 64 (EX_USAGE), reserved so 2 still means "partial".
+  EXPECT_EQ(run_command(bin + " frobnicate > /dev/null 2>&1"), 64);
+  // Keep-going quarantine: 2.
+  ::setenv("ANACIN_INJECT_FAILURES", "run:1=permanent", 1);
+  EXPECT_EQ(run_command(bin + store +
+                        " measure --pattern message_race --ranks 4 "
+                        "--runs 3 --keep-going --backoff-us 0 "
+                        "> /dev/null 2>&1"),
+            2);
+  // Fail-fast: 1.
+  EXPECT_EQ(run_command(bin + store +
+                        " measure --pattern message_race --ranks 4 "
+                        "--runs 3 --backoff-us 0 > /dev/null 2>&1"),
+            1);
+  ::unsetenv("ANACIN_INJECT_FAILURES");
+}
+
+}  // namespace
+}  // namespace anacin

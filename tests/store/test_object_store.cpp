@@ -160,6 +160,63 @@ TEST_F(ObjectStoreTest, VerifyFlagsCorruptAndForeignFiles) {
   EXPECT_EQ(report.foreign.size(), 1u);
 }
 
+TEST_F(ObjectStoreTest, RepairQuarantinesCorruptAndForeignObjects) {
+  ObjectStore store({root_, 1 << 20});
+  const std::vector<std::uint8_t> good = artifact(7.0);
+  const Digest good_key = digest_bytes(good.data(), good.size());
+  store.put(good_key, Kind::kDistances, good);
+  const std::vector<std::uint8_t> bad = artifact(8.0);
+  const Digest bad_key = digest_bytes(bad.data(), bad.size());
+  store.put(bad_key, Kind::kDistances, bad);
+
+  // A healthy store repairs to a no-op.
+  EXPECT_TRUE(store.repair().ok());
+  EXPECT_EQ(store.repair().quarantined, 0u);
+
+  // Corrupt one object and plant a foreign file.
+  const std::string hex = bad_key.to_hex();
+  const fs::path bad_path =
+      root_ / "objects" / hex.substr(0, 2) / hex.substr(2);
+  {
+    std::fstream file(bad_path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(static_cast<std::streamoff>(kEnvelopeSize + 2));
+    const char garbage = 0x7f;
+    file.write(&garbage, 1);
+  }
+  fs::create_directories(root_ / "objects" / "zz");
+  std::ofstream(root_ / "objects" / "zz" / "not-a-digest") << "hello";
+
+  const ObjectStore::RepairReport report = store.repair();
+  EXPECT_TRUE(report.ok());  // nothing failed to move
+  EXPECT_EQ(report.quarantined, 2u);
+  EXPECT_EQ(report.verified.corrupt.size(), 1u);
+  EXPECT_EQ(report.verified.foreign.size(), 1u);
+
+  // Quarantined objects moved aside (inspectable), not deleted.
+  EXPECT_FALSE(fs::exists(bad_path));
+  EXPECT_TRUE(fs::exists(root_ / "quarantine" / hex));
+  EXPECT_TRUE(fs::exists(root_ / "quarantine" / "not-a-digest"));
+
+  // The store no longer serves the corrupt object (callers recompute) but
+  // keeps serving the healthy one.
+  EXPECT_FALSE(store.contains(bad_key));
+  EXPECT_EQ(store.get(bad_key), nullptr);
+  ASSERT_NE(store.get(good_key), nullptr);
+  EXPECT_TRUE(store.verify().ok());
+}
+
+TEST_F(ObjectStoreTest, RepeatedRepairUniquifiesQuarantineNames) {
+  ObjectStore store({root_, 1 << 20});
+  for (int round = 0; round < 2; ++round) {
+    fs::create_directories(root_ / "objects" / "zz");
+    std::ofstream(root_ / "objects" / "zz" / "junk") << "round " << round;
+    EXPECT_EQ(store.repair().quarantined, 1u);
+  }
+  EXPECT_TRUE(fs::exists(root_ / "quarantine" / "junk"));
+  EXPECT_TRUE(fs::exists(root_ / "quarantine" / "junk.1"));
+}
+
 TEST_F(ObjectStoreTest, RemoveDropsObjectEverywhere) {
   ObjectStore store({root_, 1 << 20});
   const std::vector<std::uint8_t> bytes = artifact(6.0);

@@ -1,0 +1,114 @@
+#include "support/fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace anacin::support {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class TempDir {
+public:
+  TempDir() {
+    root_ = fs::temp_directory_path() /
+            ("anacin_fs_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(root_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+  fs::path path(const std::string& name) const { return root_ / name; }
+
+private:
+  static inline int counter_ = 0;
+  fs::path root_;
+};
+
+TEST(AtomicWriteFile, WritesContentAndCreatesParents) {
+  TempDir dir;
+  const fs::path target = dir.path("a/b/c.txt");
+  atomic_write_file(target.string(), "hello\n");
+  EXPECT_EQ(slurp(target), "hello\n");
+}
+
+TEST(AtomicWriteFile, OverwritesExistingFile) {
+  TempDir dir;
+  const fs::path target = dir.path("f.txt");
+  atomic_write_file(target.string(), "old");
+  atomic_write_file(target.string(), "new");
+  EXPECT_EQ(slurp(target), "new");
+}
+
+TEST(AtomicWriteFile, LeavesNoTempFileBehind) {
+  TempDir dir;
+  atomic_write_file(dir.path("x.json").string(), "{}");
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path(""))) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(AtomicWriteFile, CountsSuccessfulWrites) {
+  TempDir dir;
+  const std::uint64_t before = atomic_write_count();
+  atomic_write_file(dir.path("1").string(), "1");
+  atomic_write_file(dir.path("2").string(), "2");
+  EXPECT_EQ(atomic_write_count(), before + 2);
+}
+
+TEST(AtomicWriteFile, InjectedFailureLeavesDestinationUntouched) {
+  TempDir dir;
+  const fs::path target = dir.path("report.json");
+  atomic_write_file(target.string(), "intact previous version");
+
+  // Budget 0: the very next write fails as if the disk filled mid-write.
+  set_fail_write_after(0);
+  EXPECT_THROW(atomic_write_file(target.string(), "would-be new version"),
+               IoError);
+  EXPECT_EQ(slurp(target), "intact previous version");
+
+  // The injection fires exactly once — the process recovers afterwards.
+  atomic_write_file(target.string(), "recovered");
+  EXPECT_EQ(slurp(target), "recovered");
+}
+
+TEST(AtomicWriteFile, InjectionBudgetCountsWrites) {
+  TempDir dir;
+  set_fail_write_after(2);
+  atomic_write_file(dir.path("ok1").string(), "1");
+  atomic_write_file(dir.path("ok2").string(), "2");
+  EXPECT_THROW(atomic_write_file(dir.path("boom").string(), "3"), IoError);
+  EXPECT_FALSE(fs::exists(dir.path("boom")));
+  atomic_write_file(dir.path("ok3").string(), "4");
+  EXPECT_EQ(slurp(dir.path("ok3")), "4");
+}
+
+TEST(AtomicWriteFile, FailedInjectionDoesNotCountAsSuccess) {
+  TempDir dir;
+  const std::uint64_t before = atomic_write_count();
+  set_fail_write_after(0);
+  EXPECT_THROW(atomic_write_file(dir.path("f").string(), "x"), IoError);
+  EXPECT_EQ(atomic_write_count(), before);
+}
+
+}  // namespace
+}  // namespace anacin::support

@@ -126,5 +126,64 @@ TEST(ThreadPool, NestedParallelForFromSubmittedTask) {
   EXPECT_EQ(count.load(), 16);
 }
 
+TEST(CancelToken, StartsClearAndSticksUntilReset) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(ThreadPool, PreCancelledTokenSkipsAllItems) {
+  ThreadPool pool(2);
+  CancelToken token;
+  token.cancel();
+  std::atomic<int> executed{0};
+  // Cancellation is not an error: parallel_for returns normally and the
+  // caller inspects the token.
+  pool.parallel_for(0, 64, [&](std::size_t) { ++executed; }, 1, &token);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ThreadPool, CancelMidFlightSkipsUnstartedItems) {
+  ThreadPool pool(2);
+  CancelToken token;
+  std::atomic<int> executed{0};
+  pool.parallel_for(
+      0, 256,
+      [&](std::size_t i) {
+        ++executed;
+        if (i == 0) token.cancel();
+      },
+      1, &token);
+  // Item 0 always runs; everything not yet started when the token flipped
+  // is skipped. With 2 workers that leaves far fewer than 256 executions.
+  EXPECT_GE(executed.load(), 1);
+  EXPECT_LT(executed.load(), 256);
+}
+
+TEST(ThreadPool, ExceptionCancelsUnstartedItems) {
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.parallel_for(0, 256,
+                        [&](std::size_t i) {
+                          ++executed;
+                          if (i == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  EXPECT_LT(executed.load(), 256);
+}
+
+TEST(ThreadPool, NullTokenBehavesAsBefore) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 32, [&](std::size_t) { ++count; }, 4, nullptr);
+  EXPECT_EQ(count.load(), 32);
+}
+
 }  // namespace
 }  // namespace anacin
