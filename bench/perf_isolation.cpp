@@ -1,0 +1,136 @@
+// Overhead of --isolate=process: on a warm store every dispatched unit is
+// answered from the cache by the worker child, so the isolated-minus-
+// in-process delta is the pure sandboxing cost (fork/exec amortized by
+// worker reuse, plus one pipe-protocol round trip per unit). The CI
+// isolation-smoke job archives this as BENCH_isolation.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "obs_cli.hpp"
+#include "proc/worker_main.hpp"
+#include "proc/worker_pool.hpp"
+#include "store/store.hpp"
+
+#ifndef ANACIN_CLI_PATH
+#error "ANACIN_CLI_PATH must point at the anacin executable"
+#endif
+
+using namespace anacin;
+namespace fs = std::filesystem;
+
+namespace {
+
+core::CampaignConfig bench_campaign() {
+  core::CampaignConfig config;
+  config.pattern = "message_race";
+  config.shape.num_ranks = 8;
+  config.num_runs = 8;
+  config.base_seed = 42;
+  return config;
+}
+
+// Work units per campaign under the kToReference reduction: num_runs
+// simulations + the reference + num_runs pair distances.
+constexpr double kUnitsPerCampaign = 17.0;
+
+fs::path bench_store_root(const std::string& name) {
+  return fs::temp_directory_path() / ("anacin-perf-isolation-" + name);
+}
+
+proc::WorkerPoolConfig pool_config(const fs::path& root) {
+  proc::WorkerPoolConfig config;
+  config.worker_exe = ANACIN_CLI_PATH;
+  config.store_dir = root.string();
+  return config;
+}
+
+/// Fill `root` with every artifact of the bench campaign.
+void warm_store(const fs::path& root, ThreadPool& pool) {
+  fs::remove_all(root);
+  store::ArtifactStore artifacts({root.string()});
+  core::run_campaign(bench_campaign(), pool, &artifacts);
+}
+
+// Baseline: a warm campaign executed in-process (every unit is a store
+// lookup on this side of any process boundary).
+void BM_WarmCampaignInProcess(benchmark::State& state) {
+  const fs::path root = bench_store_root("inproc");
+  ThreadPool pool;
+  warm_store(root, pool);
+  store::ArtifactStore artifacts({root.string()});
+  for (auto _ : state) {
+    const core::CampaignResult result =
+        core::run_campaign(bench_campaign(), pool, &artifacts);
+    benchmark::DoNotOptimize(result.distance_summary.mean);
+  }
+  state.counters["units_per_iter"] = kUnitsPerCampaign;
+  fs::remove_all(root);
+}
+
+// The same warm campaign with every unit dispatched to sandboxed worker
+// children. (time_isolated - time_inprocess) / units_per_iter is the
+// per-unit isolation overhead quoted in docs/RESILIENCE.md.
+void BM_WarmCampaignIsolated(benchmark::State& state) {
+  const fs::path root = bench_store_root("isolated");
+  ThreadPool pool;
+  warm_store(root, pool);
+  store::ArtifactStore artifacts({root.string()});
+  proc::WorkerPool workers(pool_config(root));
+  core::ResilienceOptions resilience;
+  resilience.workers = &workers;
+  for (auto _ : state) {
+    const core::CampaignResult result =
+        core::run_campaign(bench_campaign(), pool, &artifacts, resilience);
+    benchmark::DoNotOptimize(result.distance_summary.mean);
+  }
+  state.counters["units_per_iter"] = kUnitsPerCampaign;
+  fs::remove_all(root);
+}
+
+// One warm run unit through the pipe protocol: the purest per-unit cost
+// (the child answers from the cache without simulating anything).
+void BM_WarmUnitDispatch(benchmark::State& state) {
+  const fs::path root = bench_store_root("unit");
+  ThreadPool pool;
+  warm_store(root, pool);
+  store::ArtifactStore artifacts({root.string()});
+  proc::WorkerPool workers(pool_config(root));
+  const core::CampaignConfig config = bench_campaign();
+  const json::Value request = proc::make_run_request(
+      "run:0", config.pattern, config.shape, config.sim_config_for_run(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workers.execute("run:0", request));
+  }
+  fs::remove_all(root);
+}
+
+// The in-process equivalent of one warm unit: a store lookup.
+void BM_WarmUnitInProcess(benchmark::State& state) {
+  const fs::path root = bench_store_root("lookup");
+  ThreadPool pool;
+  warm_store(root, pool);
+  store::ArtifactStore artifacts({root.string()});
+  const core::CampaignConfig config = bench_campaign();
+  const store::Digest key = store::ArtifactStore::run_key(
+      config.pattern, config.shape, config.sim_config_for_run(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(artifacts.load_run(key));
+  }
+  fs::remove_all(root);
+}
+
+}  // namespace
+
+BENCHMARK(BM_WarmCampaignInProcess)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WarmCampaignIsolated)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WarmUnitDispatch)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WarmUnitInProcess)->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  return anacin::bench::run_benchmark_main(argc, argv);
+}

@@ -1,5 +1,6 @@
 #include "cli/cli_app.hpp"
 
+#include <atomic>
 #include <cerrno>
 #include <charconv>
 #include <cmath>
@@ -19,6 +20,8 @@
 #include "course/quiz.hpp"
 #include "course/use_cases.hpp"
 #include "obs/obs.hpp"
+#include "proc/worker_main.hpp"
+#include "proc/worker_pool.hpp"
 #include "store/hash.hpp"
 #include "store/store.hpp"
 #include "support/error.hpp"
@@ -43,9 +46,11 @@ constexpr int kExitPartial = 2;
 constexpr int kExitUsage = 64;
 /// SIGINT: in-flight work drained, completed work journaled, then exited.
 constexpr int kExitInterrupted = 130;
+/// SIGTERM: identical graceful drain, shell-convention exit code 128+15.
+constexpr int kExitTerminated = 143;
 
 // ---------------------------------------------------------------------------
-// SIGINT → cooperative cancellation
+// SIGINT / SIGTERM → cooperative cancellation
 // ---------------------------------------------------------------------------
 
 CancelToken& interrupt_token() {
@@ -53,28 +58,50 @@ CancelToken& interrupt_token() {
   return token;
 }
 
-void handle_sigint(int) {
-  // Async-signal-safe: a single lock-free atomic store. Workers poll the
-  // token between work units; a second Ctrl-C falls through to the
-  // default disposition because the handler is one-shot (see SigintScope).
+/// Which signal asked us to stop (0 = none); decides 130 vs 143.
+std::atomic<int>& interrupt_signal() {
+  static std::atomic<int> signo{0};
+  return signo;
+}
+
+void handle_interrupt(int signo) {
+  // Async-signal-safe: two lock-free atomic stores. Workers poll the
+  // token between work units; a second signal falls through to the
+  // default disposition because the handler is one-shot per scope.
+  interrupt_signal().store(signo, std::memory_order_relaxed);
   interrupt_token().cancel();
 }
 
-/// Installs the SIGINT handler for the duration of a long-running
-/// command; restores the previous disposition (and clears the token) on
-/// scope exit so in-process callers (tests) can run commands repeatedly.
-class SigintScope {
+int interrupted_exit_code() {
+  return interrupt_signal().load(std::memory_order_relaxed) == SIGTERM
+             ? kExitTerminated
+             : kExitInterrupted;
+}
+
+/// Installs the SIGINT and SIGTERM handlers for the duration of a
+/// long-running command; restores the previous dispositions (and clears
+/// the token) on scope exit so in-process callers (tests) can run
+/// commands repeatedly. The signal-number atomic is reset on entry, NOT
+/// on exit: InterruptedError unwinds through this destructor before
+/// run_cli's catch block maps it to 130/143.
+class InterruptScope {
 public:
-  SigintScope() { previous_ = std::signal(SIGINT, handle_sigint); }
-  ~SigintScope() {
-    std::signal(SIGINT, previous_);
+  InterruptScope() {
+    interrupt_signal().store(0, std::memory_order_relaxed);
+    previous_int_ = std::signal(SIGINT, handle_interrupt);
+    previous_term_ = std::signal(SIGTERM, handle_interrupt);
+  }
+  ~InterruptScope() {
+    std::signal(SIGINT, previous_int_);
+    std::signal(SIGTERM, previous_term_);
     interrupt_token().reset();
   }
-  SigintScope(const SigintScope&) = delete;
-  SigintScope& operator=(const SigintScope&) = delete;
+  InterruptScope(const InterruptScope&) = delete;
+  InterruptScope& operator=(const InterruptScope&) = delete;
 
 private:
-  void (*previous_)(int) = nullptr;
+  void (*previous_int_)(int) = nullptr;
+  void (*previous_term_)(int) = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -257,6 +284,8 @@ struct ResilienceCliOptions {
   int max_retries = 0;
   std::uint64_t backoff_us = 1000;
   double run_deadline_ms = 0.0;
+  std::string isolate = "none";
+  std::uint64_t unit_mem_limit = 0;
 
   void add_to(ArgParser& parser) {
     parser.add_flag("keep-going",
@@ -271,13 +300,65 @@ struct ResilienceCliOptions {
                       "retry, deterministic jitter)",
                       &backoff_us);
     parser.add_double("run-deadline-ms",
-                      "per-attempt wall-clock deadline (0 = none)",
+                      "per-attempt wall-clock deadline (0 = none); under "
+                      "--isolate=process a watchdog SIGKILLs the worker "
+                      "child preemptively",
                       &run_deadline_ms);
+    parser.add_string("isolate",
+                      "work-unit sandbox: none | process (fork/exec'd "
+                      "worker children; requires --store)",
+                      &isolate);
+    parser.add_uint64("unit-mem-limit",
+                      "RLIMIT_AS per worker child in bytes under "
+                      "--isolate=process (0 = unlimited)",
+                      &unit_mem_limit);
   }
 
-  /// Bundle for run_campaign; wires in the SIGINT token so Ctrl-C drains
-  /// in-flight units instead of killing the process mid-write.
-  core::ResilienceOptions options() const {
+  /// The executable to fork/exec as a worker child: this binary, unless
+  /// ANACIN_WORKER_EXE overrides it (tests run inside a gtest binary
+  /// whose /proc/self/exe has no `__worker` command).
+  static std::string worker_executable() {
+    if (const char* env = std::getenv("ANACIN_WORKER_EXE");
+        env != nullptr && *env != '\0') {
+      return env;
+    }
+    std::error_code ec;
+    const std::filesystem::path exe =
+        std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (ec) {
+      throw ConfigError(
+          "cannot resolve /proc/self/exe for --isolate=process; set "
+          "ANACIN_WORKER_EXE to the anacin binary");
+    }
+    return exe.string();
+  }
+
+  /// Build the worker pool for --isolate=process (nullptr for none).
+  std::unique_ptr<proc::WorkerPool> make_worker_pool() const {
+    const proc::IsolationMode mode = proc::isolation_mode_from_name(isolate);
+    if (mode == proc::IsolationMode::kNone) {
+      ANACIN_CHECK(unit_mem_limit == 0,
+                   "--unit-mem-limit requires --isolate=process");
+      return nullptr;
+    }
+    store::ArtifactStore* store = store::active_store();
+    if (store == nullptr) {
+      throw ConfigError(
+          "--isolate=process requires an artifact store (--store DIR or "
+          "ANACIN_STORE_DIR): isolated results flow back through it");
+    }
+    proc::WorkerPoolConfig config;
+    config.worker_exe = worker_executable();
+    config.store_dir = store->objects().root().string();
+    config.run_deadline_ms = run_deadline_ms;
+    config.mem_limit_bytes = unit_mem_limit;
+    return std::make_unique<proc::WorkerPool>(config);
+  }
+
+  /// Bundle for run_campaign; wires in the SIGINT/SIGTERM token so a
+  /// signal drains in-flight units instead of killing the process
+  /// mid-write. `workers` may be null (in-process execution).
+  core::ResilienceOptions options(proc::WorkerPool* workers = nullptr) const {
     ANACIN_CHECK(max_retries >= 0, "--max-retries must be >= 0");
     ANACIN_CHECK(run_deadline_ms >= 0.0, "--run-deadline-ms must be >= 0");
     core::ResilienceOptions resilience;
@@ -286,6 +367,7 @@ struct ResilienceCliOptions {
     resilience.retry.run_deadline_ms = run_deadline_ms;
     resilience.keep_going = keep_going;
     resilience.cancel = &interrupt_token();
+    resilience.workers = workers;
     return resilience;
   }
 };
@@ -299,6 +381,16 @@ int report_quarantine(std::ostream& out, const core::CampaignResult& result) {
   for (const core::QuarantinedUnit& unit : result.quarantined) {
     out << "  quarantined " << unit.unit << " after " << unit.attempts
         << " attempt(s): " << unit.error << '\n';
+    if (unit.has_triage) {
+      out << "    triage: " << unit.triage.disposition;
+      if (!unit.triage.signal.empty()) {
+        out << " signal=" << unit.triage.signal;
+      }
+      if (unit.triage.exit_status >= 0) {
+        out << " exit=" << unit.triage.exit_status;
+      }
+      out << " peak_rss_kib=" << unit.triage.peak_rss_kib << '\n';
+    }
   }
   return kExitPartial;
 }
@@ -490,10 +582,13 @@ int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
   } else if (reduction != "to_reference") {
     throw ConfigError("unknown reduction '" + reduction + "'");
   }
-  SigintScope sigint;
+  InterruptScope interrupt;
   ThreadPool pool;
-  const core::CampaignResult result = core::run_campaign(
-      config, pool, store::active_store(), resilience.options());
+  const std::unique_ptr<proc::WorkerPool> workers =
+      resilience.make_worker_pool();
+  const core::CampaignResult result =
+      core::run_campaign(config, pool, store::active_store(),
+                         resilience.options(workers.get()));
   print_summary(out, workload.pattern, result.distance_summary);
   out << "messages/run=" << result.total_messages / result.graphs.size()
       << " wildcard recvs/run="
@@ -575,8 +670,10 @@ int cmd_sweep(const std::vector<const char*>& argv, std::ostream& out) {
   if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
   ANACIN_CHECK(step >= 1 && step <= 100, "step must be in [1,100]");
 
-  SigintScope sigint;
+  InterruptScope interrupt;
   ThreadPool pool;
+  const std::unique_ptr<proc::WorkerPool> workers =
+      resilience.make_worker_pool();
   const std::optional<DropRange> drop_range =
       parse_drop_range(faults.drop_spec);
 
@@ -683,7 +780,7 @@ int cmd_sweep(const std::vector<const char*>& argv, std::ostream& out) {
       try {
         result = core::run_campaign(point.config, pool,
                                     store::active_store(),
-                                    resilience.options());
+                                    resilience.options(workers.get()));
       } catch (const InterruptedError&) {
         interrupted = true;
         break;
@@ -737,7 +834,7 @@ int cmd_sweep(const std::vector<const char*>& argv, std::ostream& out) {
     core::write_json_file(json_out, doc);
     out << "sweep json written to " << json_out << '\n';
   }
-  if (interrupted) return kExitInterrupted;
+  if (interrupted) return interrupted_exit_code();
   if (quarantined_units > 0) {
     out << "PARTIAL RESULTS: " << quarantined_units
         << " work unit(s) quarantined across the sweep (--keep-going)\n";
@@ -1205,6 +1302,27 @@ int cmd_cache(const std::vector<const char*>& argv, std::ostream& out) {
                     "' (expected stats, verify, or gc)");
 }
 
+/// Internal entry point of --isolate=process worker children (spawned by
+/// proc::WorkerPool, never typed by a user — hence absent from kUsage).
+/// Serves work-unit requests over stdin/stdout until the parent closes
+/// the pipe.
+int cmd_worker(const std::vector<const char*>& argv) {
+  double heartbeat_ms = 50.0;
+  ArgParser parser(
+      "anacin __worker — internal: serve isolated work units over "
+      "stdin/stdout (spawned by --isolate=process)");
+  parser.add_double("heartbeat-ms", "heartbeat interval in milliseconds",
+                    &heartbeat_ms);
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+  ANACIN_CHECK(heartbeat_ms > 0.0, "--heartbeat-ms must be > 0");
+  store::ArtifactStore* store = store::active_store();
+  if (store == nullptr) {
+    throw ConfigError("__worker requires the shared artifact store "
+                      "(--store DIR before the command)");
+  }
+  return proc::worker_main(*store, heartbeat_ms);
+}
+
 const char kUsage[] =
     "anacin — analysis of non-determinism in (simulated) MPI applications\n"
     "\n"
@@ -1239,11 +1357,18 @@ const char kUsage[] =
     "                       survivors, and exit 2 (default: fail fast)\n"
     "  --max-retries N      retries per work unit after transient failures\n"
     "  --backoff-us US      first retry backoff (doubles per retry)\n"
-    "  --run-deadline-ms MS per-attempt wall-clock deadline (0 = none)\n"
+    "  --run-deadline-ms MS per-attempt wall-clock deadline (0 = none);\n"
+    "                       preemptive (SIGKILL) under --isolate=process\n"
+    "  --isolate MODE       none (default) | process: execute work units in\n"
+    "                       sandboxed fork/exec'd worker children with a\n"
+    "                       watchdog and crash triage (requires --store)\n"
+    "  --unit-mem-limit N   RLIMIT_AS per worker child in bytes (0 = none;\n"
+    "                       only with --isolate=process)\n"
     "  --journal FILE       sweep: crash-consistent journal of completed\n"
     "                       points; --resume replays it after a crash\n"
     "  exit codes: 0 ok, 1 error, 2 partial results, 64 usage,\n"
-    "              130 interrupted (SIGINT drains in-flight work first)\n"
+    "              130 interrupted (SIGINT drains in-flight work first),\n"
+    "              143 terminated (SIGTERM, same graceful drain)\n"
     "\n"
     "commands:\n"
     "  patterns    list the packaged mini-applications\n"
@@ -1287,6 +1412,7 @@ int dispatch(const std::string& command, const std::vector<const char*>& rest,
   if (command == "report") return cmd_report(rest, out);
   if (command == "figures") return cmd_figures(rest, out);
   if (command == "cache") return cmd_cache(rest, out);
+  if (command == "__worker") return cmd_worker(rest);
   err << "unknown command '" << command << "'\n\n" << kUsage;
   return kExitUsage;
 }
@@ -1370,16 +1496,20 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     if (!global_options.trace_out.empty()) {
       obs::Tracer::global().set_enabled(true);
     }
+    const std::string command = argv[command_index];
     std::unique_ptr<store::ArtifactStore> artifact_store;
     ActiveStoreGuard store_guard;
     if (!global_options.store_dir.empty()) {
-      artifact_store = std::make_unique<store::ArtifactStore>(
-          store::ObjectStore::Config{global_options.store_dir,
-                                     global_options.store_max_bytes});
+      store::ObjectStore::Config store_config{global_options.store_dir,
+                                              global_options.store_max_bytes};
+      // Worker children share one store root with the campaign process and
+      // their siblings; object publishes are rename-atomic, but the index
+      // temp file is a fixed path concurrent writers would race on.
+      store_config.persist_index = command != "__worker";
+      artifact_store =
+          std::make_unique<store::ArtifactStore>(std::move(store_config));
       store::set_active_store(artifact_store.get());
     }
-
-    const std::string command = argv[command_index];
     // Re-pack as "<prog> <args...>" for the subcommand parser.
     std::vector<const char*> rest;
     rest.push_back(argv[0]);
@@ -1400,7 +1530,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     return code;
   } catch (const InterruptedError& error) {
     err << "interrupted: " << error.what() << '\n';
-    return kExitInterrupted;
+    return interrupted_exit_code();
   } catch (const Error& error) {
     err << "error: " << error.what() << '\n';
     return kExitError;

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "proc/worker_main.hpp"
+#include "proc/worker_pool.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -62,6 +64,18 @@ json::Value QuarantinedUnit::to_json() const {
   doc.set("unit", unit);
   doc.set("error", error);
   doc.set("attempts", static_cast<std::int64_t>(attempts));
+  if (has_triage) {
+    json::Value details = json::Value::object();
+    details.set("disposition", triage.disposition);
+    if (!triage.signal.empty()) details.set("signal", triage.signal);
+    if (triage.exit_status >= 0) {
+      details.set("exit_status", static_cast<std::int64_t>(triage.exit_status));
+    }
+    details.set("peak_rss_kib", static_cast<std::int64_t>(triage.peak_rss_kib));
+    details.set("heartbeat_age_ms", triage.heartbeat_age_ms);
+    details.set("stderr_tail", triage.stderr_tail);
+    doc.set("triage", std::move(details));
+  }
   return doc;
 }
 
@@ -190,7 +204,8 @@ analysis::NdMeasurement measure_nd_with_store(
     const store::Digest& reference_key, ThreadPool& pool,
     store::ArtifactStore& store, const Supervisor& supervisor,
     bool keep_going, CancelToken* cancel,
-    std::vector<QuarantinedUnit>* quarantined) {
+    std::vector<QuarantinedUnit>* quarantined,
+    proc::WorkerPool* workers) {
   ANACIN_SPAN("analysis.measure_nd");
   obs::counter("analysis.nd_measurements").add(1);
   const auto kernel = kernels::make_kernel(config.kernel);
@@ -250,9 +265,10 @@ analysis::NdMeasurement measure_nd_with_store(
   if (misses.empty()) return measurement;
 
   // Feature-embed only the graphs that participate in a miss (index n is
-  // the reference).
+  // the reference). Under --isolate=process the worker children build
+  // features themselves, so the campaign process skips this entirely.
   std::vector<kernels::FeatureVector> features(n + 1);
-  {
+  if (workers == nullptr) {
     ANACIN_SPAN("kernels.feature_extraction");
     static obs::Counter& feature_tasks =
         obs::counter("kernels.feature_tasks");
@@ -266,9 +282,9 @@ analysis::NdMeasurement measure_nd_with_store(
           feature_tasks.add(1);
         },
         1, cancel);
-  }
-  if (cancel != nullptr && cancel->cancelled()) {
-    throw InterruptedError("interrupted during feature extraction");
+    if (cancel != nullptr && cancel->cancelled()) {
+      throw InterruptedError("interrupted during feature extraction");
+    }
   }
 
   std::vector<UnitReport> reports(misses.size());
@@ -280,6 +296,25 @@ analysis::NdMeasurement measure_nd_with_store(
         const std::string unit =
             "pair:" + label_of(pair.a) + "-" + label_of(pair.b);
         reports[m] = supervisor.run(unit, [&] {
+          if (workers != nullptr) {
+            // The child computes and publishes the distance; the parent
+            // reads it back through the store, so isolated results are
+            // byte-identical to in-process ones. Digests travel in
+            // request order — the child computes in that order too.
+            workers->execute(unit, proc::make_pair_request(
+                                       unit, config.kernel,
+                                       config.label_policy, key_of(pair.a),
+                                       key_of(pair.b)));
+            const auto hit = store.load_distance(pair.key);
+            if (!hit) {
+              throw PermanentError(
+                  "worker child reported success for unit '" + unit +
+                  "' but the distance artifact is missing from the store");
+            }
+            measurement.distances[pair.out] = *hit;
+            return;
+          }
+          supervisor.injector().apply_execution_hooks(unit);
           const double distance =
               kernels::counted_distance(features[pair.a], features[pair.b]);
           measurement.distances[pair.out] = distance;
@@ -306,9 +341,9 @@ analysis::NdMeasurement measure_nd_with_store(
     if (reports[m].ok) continue;
     any_failed = true;
     const Pair& pair = misses[m];
-    quarantined->push_back(
-        {"pair:" + label_of(pair.a) + "-" + label_of(pair.b),
-         reports[m].error, reports[m].attempts});
+    quarantined->push_back({"pair:" + label_of(pair.a) + "-" + label_of(pair.b),
+                            reports[m].error, reports[m].attempts,
+                            reports[m].triage, reports[m].has_triage});
     obs::counter("resilience.pairs_quarantined").add(1);
   }
   if (any_failed) {
@@ -337,6 +372,11 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
   const auto pattern = patterns::make_pattern(config.pattern);
   const sim::RankProgram program = pattern->program(config.shape);
   const std::size_t num_runs = static_cast<std::size_t>(config.num_runs);
+
+  proc::WorkerPool* const workers = resilience.workers;
+  ANACIN_CHECK(workers == nullptr || store != nullptr,
+               "--isolate=process requires an artifact store: isolated "
+               "results flow back through it");
 
   const Supervisor supervisor(resilience.retry, config.base_seed);
   CancelToken* const cancel = resilience.cancel;
@@ -370,6 +410,17 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
                 config.sim_config_for_run(static_cast<int>(i));
             run_keys[i] = store::ArtifactStore::run_key(
                 config.pattern, config.shape, sim_config);
+            if (workers != nullptr) {
+              // Dispatch even on a warm store: the child answers fast from
+              // the cache, injected faults stay deterministic, and the
+              // parent's load below is guaranteed to hit.
+              workers->execute(unit,
+                               proc::make_run_request(unit, config.pattern,
+                                                      config.shape,
+                                                      sim_config));
+            } else {
+              supervisor.injector().apply_execution_hooks(unit);
+            }
             if (store != nullptr) {
               if (auto cached = store->load_run(run_keys[i])) {
                 result.graphs[i] = std::move(cached->graph);
@@ -418,9 +469,10 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
     if (run_reports[i].ok) {
       ok_runs.push_back(i);
     } else {
-      result.quarantined.push_back({"run:" + std::to_string(i),
-                                    run_reports[i].error,
-                                    run_reports[i].attempts});
+      result.quarantined.push_back(
+          {"run:" + std::to_string(i), run_reports[i].error,
+           run_reports[i].attempts, run_reports[i].triage,
+           run_reports[i].has_triage});
       obs::counter("resilience.runs_quarantined").add(1);
       result.graphs[i] = graph::EventGraph{};
       messages[i] = wildcards[i] = drops[i] = duplicates[i] =
@@ -444,6 +496,14 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
     // against), but it still gets the supervisor's retries and deadline.
     std::shared_ptr<const graph::EventGraph> reference;
     const UnitReport report = supervisor.run("reference", [&] {
+      if (workers != nullptr) {
+        workers->execute("reference",
+                         proc::make_run_request("reference", config.pattern,
+                                                config.shape,
+                                                config.reference_sim_config()));
+      } else {
+        supervisor.injector().apply_execution_hooks("reference");
+      }
       reference = reference_graph(config, program, store);
     });
     if (!report.ok) {
@@ -475,7 +535,7 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
       result.measurement = measure_nd_with_store(
           config, run_view, key_view, label_view, result.reference,
           reference_key, pool, *store, supervisor, resilience.keep_going,
-          cancel, &result.quarantined);
+          cancel, &result.quarantined, workers);
     } else {
       // Without a store the batched kernels:: entry points do the work;
       // supervise the measurement as one unit (pair-level supervision is
@@ -491,6 +551,7 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
       }
       const auto kernel = kernels::make_kernel(config.kernel);
       const UnitReport report = supervisor.run("measure", [&] {
+        supervisor.injector().apply_execution_hooks("measure");
         result.measurement =
             analysis::measure_nd(*kernel, config.label_policy, *run_set,
                                  &result.reference, config.reduction, pool);
@@ -501,8 +562,8 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
                                std::to_string(report.attempts) +
                                " attempt(s): " + report.error);
         }
-        result.quarantined.push_back(
-            {"measure", report.error, report.attempts});
+        result.quarantined.push_back({"measure", report.error, report.attempts,
+                                      report.triage, report.has_triage});
         obs::counter("resilience.pairs_quarantined").add(1);
         result.measurement = analysis::NdMeasurement{};
         result.measurement.reduction = config.reduction;

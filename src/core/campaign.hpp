@@ -15,6 +15,10 @@
 #include "support/json.hpp"
 #include "support/thread_pool.hpp"
 
+namespace anacin::proc {
+class WorkerPool;  // proc/worker_pool.hpp
+}
+
 namespace anacin::core {
 
 /// One experimental setting: a mini-application shape, a platform
@@ -57,10 +61,15 @@ struct ResilienceOptions {
   /// aborting the campaign; the default aborts on the first permanent
   /// failure and cancels all not-yet-started units.
   bool keep_going = false;
-  /// External cancellation (the CLI's SIGINT token). When cancelled,
-  /// in-flight units finish, unstarted units are skipped, and
+  /// External cancellation (the CLI's SIGINT/SIGTERM token). When
+  /// cancelled, in-flight units finish, unstarted units are skipped, and
   /// run_campaign throws InterruptedError.
   CancelToken* cancel = nullptr;
+  /// When set (--isolate=process), run/reference/pair work units execute
+  /// in sandboxed worker children from this pool, with results flowing
+  /// back through the artifact store — which therefore must be present.
+  /// Not owned. nullptr = historical in-process execution.
+  proc::WorkerPool* workers = nullptr;
 };
 
 /// A work unit that permanently failed under --keep-going. `unit` names
@@ -69,6 +78,10 @@ struct QuarantinedUnit {
   std::string unit;
   std::string error;
   int attempts = 0;
+  /// Crash-triage details when the unit died in a worker child (signal
+  /// name, peak RSS, stderr tail, ...); see support/error.hpp.
+  UnitTriage triage;
+  bool has_triage = false;
 
   json::Value to_json() const;
 };

@@ -13,80 +13,6 @@
 
 namespace anacin::core {
 
-namespace {
-
-double parse_spec_number(const std::string& token, const std::string& spec) {
-  errno = 0;
-  char* end = nullptr;
-  const double value = std::strtod(token.c_str(), &end);
-  if (token.empty() || end != token.c_str() + token.size() || value < 0) {
-    throw ConfigError("malformed ANACIN_INJECT_FAILURES entry '" + spec + "'");
-  }
-  return value;
-}
-
-}  // namespace
-
-FailureInjector::FailureInjector(const std::string& spec) {
-  for (const std::string& entry : split(spec, ',')) {
-    const std::string trimmed{trim(entry)};
-    if (trimmed.empty()) continue;
-    const auto parts = split(trimmed, '=');
-    if (parts.size() != 2) {
-      throw ConfigError("malformed ANACIN_INJECT_FAILURES entry '" + trimmed +
-                        "' (expected unit=kind[:arg])");
-    }
-    const std::string unit{trim(parts[0])};
-    const auto kind_arg = split(parts[1], ':');
-    const std::string kind{trim(kind_arg[0])};
-    Plan& plan = plans_[unit];
-    if (kind == "transient") {
-      plan.transient_failures =
-          kind_arg.size() > 1
-              ? static_cast<int>(parse_spec_number(
-                    std::string(trim(kind_arg[1])), trimmed))
-              : 1;
-    } else if (kind == "permanent") {
-      plan.permanent = true;
-    } else if (kind == "hang") {
-      plan.hang_ms =
-          kind_arg.size() > 1
-              ? parse_spec_number(std::string(trim(kind_arg[1])), trimmed)
-              : 100.0;
-    } else {
-      throw ConfigError("unknown ANACIN_INJECT_FAILURES kind '" + kind +
-                        "' (expected transient, permanent, or hang)");
-    }
-  }
-}
-
-FailureInjector FailureInjector::from_env() {
-  const char* env = std::getenv("ANACIN_INJECT_FAILURES");
-  if (env == nullptr || *env == '\0') return FailureInjector{};
-  return FailureInjector(env);
-}
-
-void FailureInjector::on_attempt(const std::string& unit_id,
-                                 int attempt) const {
-  const auto it = plans_.find(unit_id);
-  if (it == plans_.end()) return;
-  const Plan& plan = it->second;
-  if (plan.hang_ms > 0.0) {
-    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-        plan.hang_ms));
-  }
-  if (plan.permanent) {
-    throw PermanentError("injected permanent failure for unit '" + unit_id +
-                         "'");
-  }
-  if (attempt <= plan.transient_failures) {
-    throw TransientError("injected transient failure " +
-                         std::to_string(attempt) + "/" +
-                         std::to_string(plan.transient_failures) +
-                         " for unit '" + unit_id + "'");
-  }
-}
-
 Supervisor::Supervisor(RetryPolicy policy, std::uint64_t campaign_seed,
                        FailureInjector injector)
     : policy_(policy),
@@ -157,6 +83,10 @@ UnitReport Supervisor::run(const std::string& unit_id,
       }
       report.error = error.what();
       report.transient = true;
+      if (const auto* triaged = dynamic_cast<const TriagedError*>(&error)) {
+        report.triage = triaged->triage();
+        report.has_triage = true;
+      }
       if (attempt == max_attempts) return report;
       {
         const std::lock_guard<std::mutex> lock(mutex_);
@@ -171,6 +101,11 @@ UnitReport Supervisor::run(const std::string& unit_id,
       permanent_counter.add(1);
       report.error = error.what();
       report.transient = false;
+      if (const auto* triaged =
+              dynamic_cast<const TriagedError*>(&error)) {
+        report.triage = triaged->triage();
+        report.has_triage = true;
+      }
       return report;
     }
   }

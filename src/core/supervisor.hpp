@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <mutex>
 #include <string>
+
+#include "support/error.hpp"
+#include "support/failure_injector.hpp"
 
 namespace anacin::core {
 
@@ -34,40 +36,15 @@ struct UnitReport {
   /// True when the final failure was transient (retries exhausted) rather
   /// than permanent.
   bool transient = false;
+  /// Post-mortem details when the final failure carried them (worker-child
+  /// deaths under --isolate=process; see support/error.hpp).
+  UnitTriage triage;
+  bool has_triage = false;
 };
 
-/// Deterministic failure injection for tests, configured from the
-/// ANACIN_INJECT_FAILURES environment variable (snapshotted per
-/// Supervisor, so in-process tests can change it between campaigns).
-///
-/// Spec grammar (comma-separated):
-///   unit=transient:N    the unit's first N attempts throw TransientError
-///   unit=permanent      every attempt of the unit throws PermanentError
-///   unit=hang:MS        every attempt sleeps MS milliseconds first
-///                       (drives the deadline path without a slow workload)
-///
-/// Unit ids are the supervisor's ids: "run:<i>", "reference",
-/// "pair:<a>-<b>", "measure".
-class FailureInjector {
-public:
-  FailureInjector() = default;
-  /// Parse a spec string; throws ConfigError on malformed input.
-  explicit FailureInjector(const std::string& spec);
-  /// Snapshot of the process environment (empty when unset).
-  static FailureInjector from_env();
-
-  bool empty() const { return plans_.empty(); }
-  /// Called at the top of every attempt; throws the planned failure.
-  void on_attempt(const std::string& unit_id, int attempt) const;
-
-private:
-  struct Plan {
-    int transient_failures = 0;
-    bool permanent = false;
-    double hang_ms = 0.0;
-  };
-  std::map<std::string, Plan> plans_;
-};
+/// Deterministic failure injection lives in support/ (it also runs inside
+/// sandboxed worker children); the historical name stays usable here.
+using FailureInjector = support::FailureInjector;
 
 /// Wraps every campaign work unit (per-run simulation, reference run,
 /// kernel-distance pair) with the typed error taxonomy, a per-attempt
@@ -81,6 +58,9 @@ public:
              FailureInjector injector = FailureInjector::from_env());
 
   const RetryPolicy& policy() const { return policy_; }
+  /// The snapshotted injector, exposed so unit bodies can apply the
+  /// crash/hang execution hooks in whichever process executes the work.
+  const FailureInjector& injector() const { return injector_; }
 
   /// Execute `work`, retrying transient failures per the policy. Never
   /// throws for unit failures — the report carries the outcome and the

@@ -35,6 +35,8 @@ struct PatternConfig {
   /// program. This is the form hashed into artifact-store keys, so a new
   /// behavioral field MUST be added here too.
   json::Value to_json() const;
+  /// Inverse of to_json (used by the --isolate=process worker protocol).
+  static PatternConfig from_json(const json::Value& doc);
 };
 
 /// A named mini-application with a known communication pattern.

@@ -26,6 +26,21 @@ json::Value PatternConfig::to_json() const {
   return doc;
 }
 
+PatternConfig PatternConfig::from_json(const json::Value& doc) {
+  PatternConfig config;
+  config.num_ranks = static_cast<int>(doc.at("num_ranks").as_int());
+  config.iterations = static_cast<int>(doc.at("iterations").as_int());
+  config.message_bytes =
+      static_cast<std::uint32_t>(doc.at("message_bytes").as_int());
+  config.topology_seed =
+      static_cast<std::uint64_t>(doc.at("topology_seed").as_int());
+  config.mesh_extra_degree =
+      static_cast<int>(doc.at("mesh_extra_degree").as_int());
+  config.compute_us = doc.at("compute_us").as_number();
+  config.validate();
+  return config;
+}
+
 namespace {
 
 using sim::Comm;

@@ -1,0 +1,79 @@
+#include "proc/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace anacin::proc {
+
+namespace {
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* cursor = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t written = ::write(fd, cursor, size);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    cursor += written;
+    size -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+/// Read exactly `size` bytes; false on EOF or error.
+bool read_all(int fd, void* data, std::size_t size) {
+  char* cursor = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t got = ::read(fd, cursor, size);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // EOF
+    cursor += got;
+    size -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) return false;
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  // One buffered write per frame: heartbeat frames (5 bytes) stay well
+  // under PIPE_BUF, so concurrent writers serialized by a mutex can never
+  // interleave a heartbeat into the middle of a result frame.
+  std::vector<char> buffer(5 + payload.size());
+  buffer[0] = static_cast<char>(length & 0xff);
+  buffer[1] = static_cast<char>((length >> 8) & 0xff);
+  buffer[2] = static_cast<char>((length >> 16) & 0xff);
+  buffer[3] = static_cast<char>((length >> 24) & 0xff);
+  buffer[4] = static_cast<char>(type);
+  std::memcpy(buffer.data() + 5, payload.data(), payload.size());
+  return write_all(fd, buffer.data(), buffer.size());
+}
+
+std::optional<Frame> read_frame(int fd) {
+  unsigned char header[5];
+  if (!read_all(fd, header, sizeof(header))) return std::nullopt;
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(header[0]) |
+      (static_cast<std::uint32_t>(header[1]) << 8) |
+      (static_cast<std::uint32_t>(header[2]) << 16) |
+      (static_cast<std::uint32_t>(header[3]) << 24);
+  if (length > kMaxFramePayload) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(header[4]);
+  frame.payload.resize(length);
+  if (length > 0 && !read_all(fd, frame.payload.data(), length)) {
+    return std::nullopt;
+  }
+  return frame;
+}
+
+}  // namespace anacin::proc

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace anacin::proc {
+
+/// Frame types of the worker pipe protocol (--isolate=process). Wire
+/// format of one frame: u32 little-endian payload length, one type byte,
+/// then the payload (JSON text for everything but heartbeats, which are
+/// empty). Heartbeat frames are tiny (< PIPE_BUF), so the child's
+/// heartbeat thread can interleave them with result frames under a write
+/// mutex without tearing.
+enum class FrameType : std::uint8_t {
+  kRequest = 1,    // parent -> child: one work unit (JSON)
+  kResult = 2,     // child -> parent: unit succeeded (JSON)
+  kFail = 3,       // child -> parent: unit threw (JSON {kind, error})
+  kHeartbeat = 4,  // child -> parent: still alive (empty payload)
+};
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+/// Refuse to allocate for absurd lengths — a torn/corrupt header reads as
+/// garbage, not a 4 GiB allocation.
+constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/// Write one frame, retrying short writes and EINTR. Returns false when
+/// the peer is gone (EPIPE with SIGPIPE ignored) or the fd is broken —
+/// never throws, because a dead peer is an expected condition handled by
+/// triage (parent) or shutdown (child).
+bool write_frame(int fd, FrameType type, std::string_view payload);
+
+/// Blocking read of one complete frame; nullopt on EOF, a torn frame
+/// (peer died mid-write), or a malformed header.
+std::optional<Frame> read_frame(int fd);
+
+}  // namespace anacin::proc

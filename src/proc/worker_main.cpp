@@ -1,0 +1,243 @@
+#include "proc/worker_main.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "graph/event_graph.hpp"
+#include "kernels/distance_matrix.hpp"
+#include "kernels/kernel.hpp"
+#include "proc/protocol.hpp"
+#include "sim/engine.hpp"
+#include "store/codec.hpp"
+#include "support/error.hpp"
+#include "support/failure_injector.hpp"
+
+namespace anacin::proc {
+
+namespace {
+
+/// Emits heartbeat frames on stdout every interval while a unit executes.
+/// Scoped to one unit so an idle worker stays silent (an unread pipe would
+/// otherwise slowly fill with heartbeats). An injected SIGSTOP freezes
+/// this thread along with the unit — which is exactly what lets the
+/// parent's stall detector observe a wedged child.
+class Heartbeater {
+ public:
+  Heartbeater(double interval_ms, std::mutex& write_mutex)
+      : interval_(interval_ms), write_mutex_(write_mutex) {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~Heartbeater() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
+      lock.unlock();
+      {
+        const std::lock_guard<std::mutex> write_lock(write_mutex_);
+        // A failed write means the parent is gone; PDEATHSIG will reap us,
+        // so there is nothing useful to do here.
+        write_frame(STDOUT_FILENO, FrameType::kHeartbeat, {});
+      }
+      lock.lock();
+    }
+  }
+
+  std::chrono::duration<double, std::milli> interval_;
+  std::mutex& write_mutex_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+std::uint64_t parse_seed(const std::string& text) {
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t seed = std::stoull(text, &consumed);
+    ANACIN_CHECK(consumed == text.size(), "trailing garbage");
+    return seed;
+  } catch (const std::exception&) {
+    throw PermanentError("worker: malformed seed '" + text + "' in request");
+  }
+}
+
+store::Digest parse_digest(const json::Value& request,
+                           const std::string& key) {
+  const auto digest = store::Digest::from_hex(request.at(key).as_string());
+  if (!digest) {
+    throw PermanentError("worker: malformed digest '" +
+                         request.at(key).as_string() + "' in request");
+  }
+  return *digest;
+}
+
+/// Execute one `run` unit: make the store contain the run artifact. The
+/// body mirrors run_campaign's in-process unit (including which RunStats
+/// fields the artifact carries) so isolated campaigns are bit-identical.
+json::Value execute_run(store::ArtifactStore& store,
+                        const json::Value& request) {
+  const std::string pattern = request.at("pattern").as_string();
+  const patterns::PatternConfig shape =
+      patterns::PatternConfig::from_json(request.at("shape"));
+  sim::SimConfig sim_config = sim::SimConfig::from_json(request.at("sim"));
+  sim_config.seed = parse_seed(request.at("seed").as_string());
+
+  const store::Digest key =
+      store::ArtifactStore::run_key(pattern, shape, sim_config);
+  json::Value reply = json::Value::object();
+  reply.set("status", "ok");
+  reply.set("key", key.to_hex());
+  if (store.load_run(key)) return reply;  // warm store: nothing to compute
+
+  const auto pattern_impl = patterns::make_pattern(pattern);
+  const sim::RunResult run =
+      sim::run_simulation(sim_config, pattern_impl->program(shape));
+  store::EncodedRun encoded;
+  encoded.graph = graph::EventGraph::from_trace(run.trace);
+  encoded.messages = run.stats.messages;
+  encoded.wildcard_recvs = run.stats.wildcard_recvs;
+  encoded.drops = run.stats.drops;
+  encoded.duplicates = run.stats.duplicates;
+  encoded.straggler_events = run.stats.straggler_events;
+  store.save_run(key, encoded);
+  return reply;
+}
+
+/// Execute one `pair` unit: make the store contain the distance artifact.
+json::Value execute_pair(store::ArtifactStore& store,
+                         const json::Value& request) {
+  const std::string kernel_spec = request.at("kernel").as_string();
+  const kernels::LabelPolicy policy =
+      kernels::label_policy_from_name(request.at("policy").as_string());
+  const store::Digest a = parse_digest(request, "a");
+  const store::Digest b = parse_digest(request, "b");
+
+  const store::Digest key =
+      store::ArtifactStore::distance_key(kernel_spec, policy, a, b);
+  json::Value reply = json::Value::object();
+  reply.set("status", "ok");
+  reply.set("key", key.to_hex());
+  if (store.load_distance(key)) return reply;
+
+  const auto load = [&](const store::Digest& digest) {
+    auto run = store.load_run(digest);
+    if (!run) {
+      throw PermanentError("worker: run artifact " + digest.to_hex() +
+                           " missing from the store — pair units are "
+                           "dispatched only after their runs complete");
+    }
+    return std::move(run->graph);
+  };
+  const graph::EventGraph graph_a = load(a);
+  const graph::EventGraph graph_b = load(b);
+
+  const auto kernel = kernels::make_kernel(kernel_spec);
+  const kernels::FeatureVector features_a =
+      kernel->features(kernels::build_labeled_graph(graph_a, policy));
+  const kernels::FeatureVector features_b =
+      kernel->features(kernels::build_labeled_graph(graph_b, policy));
+  const double distance = kernels::counted_distance(features_a, features_b);
+  store.save_distance(key, distance);
+  return reply;
+}
+
+json::Value execute_unit(store::ArtifactStore& store,
+                         const json::Value& request) {
+  const std::string type = request.at("type").as_string();
+  if (type == "run") return execute_run(store, request);
+  if (type == "pair") return execute_pair(store, request);
+  throw PermanentError("worker: unknown unit type '" + type + "'");
+}
+
+bool send_fail(std::mutex& write_mutex, const char* kind,
+               const std::string& error) {
+  json::Value payload = json::Value::object();
+  payload.set("kind", kind);
+  payload.set("error", error);
+  const std::lock_guard<std::mutex> lock(write_mutex);
+  return write_frame(STDOUT_FILENO, FrameType::kFail, payload.dump());
+}
+
+}  // namespace
+
+json::Value make_run_request(const std::string& unit,
+                             const std::string& pattern,
+                             const patterns::PatternConfig& shape,
+                             const sim::SimConfig& sim_config) {
+  json::Value request = json::Value::object();
+  request.set("unit", unit);
+  request.set("type", "run");
+  request.set("pattern", pattern);
+  request.set("shape", shape.to_json());
+  request.set("sim", sim_config.to_json());
+  request.set("seed", std::to_string(sim_config.seed));
+  return request;
+}
+
+json::Value make_pair_request(const std::string& unit,
+                              const std::string& kernel_spec,
+                              kernels::LabelPolicy policy,
+                              const store::Digest& a,
+                              const store::Digest& b) {
+  json::Value request = json::Value::object();
+  request.set("unit", unit);
+  request.set("type", "pair");
+  request.set("kernel", kernel_spec);
+  request.set("policy", std::string(kernels::label_policy_name(policy)));
+  request.set("a", a.to_hex());
+  request.set("b", b.to_hex());
+  return request;
+}
+
+int worker_main(store::ArtifactStore& store, double heartbeat_interval_ms) {
+  ::signal(SIGPIPE, SIG_IGN);
+  const auto injector = support::FailureInjector::from_env();
+  std::mutex write_mutex;
+
+  while (true) {
+    const auto frame = read_frame(STDIN_FILENO);
+    if (!frame) return 0;  // parent closed our stdin: clean shutdown
+    if (frame->type != FrameType::kRequest) {
+      std::fprintf(stderr, "worker: unexpected frame type %d\n",
+                   static_cast<int>(frame->type));
+      return 1;
+    }
+    std::string unit = "?";
+    try {
+      const json::Value request = json::parse(frame->payload);
+      unit = request.at("unit").as_string();
+      const Heartbeater heartbeater(heartbeat_interval_ms, write_mutex);
+      // Injected crashes/hangs fire in whichever process executes the
+      // unit — here, when isolation is on.
+      injector.apply_execution_hooks(unit);
+      const json::Value reply = execute_unit(store, request);
+      const std::lock_guard<std::mutex> lock(write_mutex);
+      if (!write_frame(STDOUT_FILENO, FrameType::kResult, reply.dump())) {
+        return 1;  // parent gone mid-reply
+      }
+    } catch (const TransientError& error) {
+      if (!send_fail(write_mutex, "transient", error.what())) return 1;
+    } catch (const std::exception& error) {
+      if (!send_fail(write_mutex, "permanent", error.what())) return 1;
+    }
+  }
+}
+
+}  // namespace anacin::proc

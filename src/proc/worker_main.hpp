@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "kernels/labeled_graph.hpp"
+#include "patterns/pattern.hpp"
+#include "sim/config.hpp"
+#include "store/hash.hpp"
+#include "store/store.hpp"
+#include "support/json.hpp"
+
+namespace anacin::proc {
+
+/// Build the request frame for one simulated run (`run:<i>` or
+/// `reference`). Everything the unit is a function of travels fully
+/// resolved — the child never re-derives a config, so parent and child
+/// compute identical store keys. The seed additionally travels as a
+/// decimal string: json::Value holds numbers as doubles, which would
+/// silently round 64-bit seeds above 2^53.
+json::Value make_run_request(const std::string& unit,
+                             const std::string& pattern,
+                             const patterns::PatternConfig& shape,
+                             const sim::SimConfig& sim_config);
+
+/// Build the request frame for one pair distance (`pair:<a>-<b>`). The two
+/// run digests travel in request order — distance_key orders them
+/// internally for the key, but the distance itself is computed in (a, b)
+/// order so isolated results are float-identical to in-process ones.
+json::Value make_pair_request(const std::string& unit,
+                              const std::string& kernel_spec,
+                              kernels::LabelPolicy policy,
+                              const store::Digest& a, const store::Digest& b);
+
+/// Entry point of the `__worker` child process: serve request frames from
+/// stdin until EOF (clean shutdown, exit 0), writing results to the shared
+/// artifact store and replying with result/fail frames on stdout. A
+/// heartbeat thread beats on stdout while a unit executes so the parent's
+/// watchdog can tell "slow" from "wedged".
+int worker_main(store::ArtifactStore& store, double heartbeat_interval_ms);
+
+}  // namespace anacin::proc

@@ -1,0 +1,458 @@
+#include "proc/worker_pool.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "proc/protocol.hpp"
+#include "support/error.hpp"
+#include "support/signals.hpp"
+
+namespace anacin::proc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Units one child serves before being recycled. RLIMIT_CPU is cumulative
+/// over the child's lifetime, so the limit is provisioned for this many
+/// units and the pool retires the worker before it can be misdiagnosed as
+/// a per-unit CPU breach.
+constexpr std::uint64_t kUnitsPerWorker = 32;
+
+/// How long destroy() waits for a child to exit on stdin EOF before
+/// escalating to SIGKILL.
+constexpr int kShutdownGraceMs = 2000;
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Last ~4 KiB of the child's captured stderr (an unlinked temp file the
+/// parent keeps a descriptor to). The file accumulates over a reused
+/// worker's lifetime, so the tail reflects its most recent output.
+std::string read_stderr_tail(int fd) {
+  if (fd < 0) return {};
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size <= 0) return {};
+  constexpr off_t kTailBytes = 4096;
+  const off_t offset = size > kTailBytes ? size - kTailBytes : 0;
+  std::string tail(static_cast<std::size_t>(size - offset), '\0');
+  const ssize_t got = ::pread(fd, tail.data(), tail.size(), offset);
+  if (got <= 0) return {};
+  tail.resize(static_cast<std::size_t>(got));
+  // Strip trailing newline noise; keep the content verbatim otherwise.
+  while (!tail.empty() && (tail.back() == '\n' || tail.back() == '\r')) {
+    tail.pop_back();
+  }
+  return tail;
+}
+
+}  // namespace
+
+IsolationMode isolation_mode_from_name(const std::string& name) {
+  if (name == "none") return IsolationMode::kNone;
+  if (name == "process") return IsolationMode::kProcess;
+  throw ConfigError("unknown --isolate mode '" + name +
+                    "' (expected none or process)");
+}
+
+WorkerPool::WorkerPool(WorkerPoolConfig config) : config_(std::move(config)) {
+  ANACIN_CHECK(!config_.worker_exe.empty(), "worker pool needs an executable");
+  ANACIN_CHECK(!config_.store_dir.empty(),
+               "worker pool needs a shared artifact-store root");
+  ANACIN_CHECK(config_.heartbeat_interval_ms > 0.0,
+               "heartbeat interval must be positive");
+  // A child can die between the liveness check and our write; without
+  // this the resulting EPIPE would kill the whole campaign instead of
+  // being triaged. Process-wide and idempotent.
+  ::signal(SIGPIPE, SIG_IGN);
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+
+  // No execute() may be running at destruction, so in_flight_ should be
+  // empty — but a child leak is the one failure mode this subsystem must
+  // never have, so reap defensively anyway.
+  std::vector<int> strays;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [pid, flight] : in_flight_) strays.push_back(pid);
+    in_flight_.clear();
+  }
+  for (const int pid : strays) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+  }
+  std::vector<std::unique_ptr<Worker>> idle;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    idle.swap(idle_);
+  }
+  for (auto& worker : idle) destroy(std::move(worker));
+}
+
+std::vector<int> WorkerPool::live_pids() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> pids;
+  for (const auto& worker : idle_) pids.push_back(worker->pid);
+  for (const auto& [pid, flight] : in_flight_) pids.push_back(pid);
+  return pids;
+}
+
+std::unique_ptr<WorkerPool::Worker> WorkerPool::spawn_worker() {
+  // Everything the child touches between fork and exec is prepared up
+  // front: with pool threads live, the child may only make
+  // async-signal-safe calls (no allocation — another thread could hold
+  // the malloc lock at fork time).
+  char heartbeat_text[32];
+  std::snprintf(heartbeat_text, sizeof(heartbeat_text), "%.3f",
+                config_.heartbeat_interval_ms);
+  std::string exe = config_.worker_exe;
+  std::string store_flag = "--store";
+  std::string store_dir = config_.store_dir;
+  std::string command = "__worker";
+  std::string heartbeat_flag = "--heartbeat-ms";
+  std::array<char*, 7> argv = {exe.data(),
+                               store_flag.data(),
+                               store_dir.data(),
+                               command.data(),
+                               heartbeat_flag.data(),
+                               heartbeat_text,
+                               nullptr};
+
+  // Cumulative CPU budget for a worker's whole life (see kUnitsPerWorker).
+  rlim_t cpu_seconds = 0;
+  if (config_.run_deadline_ms > 0.0) {
+    const double per_unit_s = std::ceil(2.0 * config_.run_deadline_ms / 1000.0);
+    cpu_seconds = static_cast<rlim_t>(per_unit_s) * kUnitsPerWorker + 5;
+  }
+
+  int request_pipe[2];
+  int response_pipe[2];
+  // O_CLOEXEC on every parent-held end: without it, later-spawned workers
+  // would inherit this worker's pipe fds and keep them open after it
+  // crashes, so the parent's read would never see EOF.
+  ANACIN_CHECK(::pipe2(request_pipe, O_CLOEXEC) == 0,
+               "pipe2 failed: " << std::strerror(errno));
+  ANACIN_CHECK(::pipe2(response_pipe, O_CLOEXEC) == 0,
+               "pipe2 failed: " << std::strerror(errno));
+
+  std::string stderr_template =
+      (std::filesystem::temp_directory_path() / "anacin-worker-stderr-XXXXXX")
+          .string();
+  const int stderr_fd = ::mkstemp(stderr_template.data());
+  ANACIN_CHECK(stderr_fd >= 0,
+               "mkstemp failed: " << std::strerror(errno));
+  ::unlink(stderr_template.c_str());
+  ::fcntl(stderr_fd, F_SETFD, FD_CLOEXEC);
+
+  const pid_t parent_pid = ::getpid();
+  const pid_t pid = ::fork();
+  ANACIN_CHECK(pid >= 0, "fork failed: " << std::strerror(errno));
+  if (pid == 0) {
+    // Child: async-signal-safe calls only until execv.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    // The parent could have died before prctl armed; its children get
+    // reparented, so getppid no longer matching means exactly that.
+    if (::getppid() != parent_pid) ::_exit(125);
+    ::dup2(request_pipe[0], STDIN_FILENO);
+    ::dup2(response_pipe[1], STDOUT_FILENO);
+    ::dup2(stderr_fd, STDERR_FILENO);
+    if (cpu_seconds > 0) {
+      const rlimit limit{cpu_seconds, cpu_seconds + 2};
+      ::setrlimit(RLIMIT_CPU, &limit);
+    }
+    if (config_.mem_limit_bytes > 0) {
+      const rlimit limit{config_.mem_limit_bytes, config_.mem_limit_bytes};
+      ::setrlimit(RLIMIT_AS, &limit);
+    }
+    if (config_.fsize_limit_bytes > 0) {
+      const rlimit limit{config_.fsize_limit_bytes,
+                         config_.fsize_limit_bytes};
+      ::setrlimit(RLIMIT_FSIZE, &limit);
+    }
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failed; triaged as a crash by the parent
+  }
+
+  ::close(request_pipe[0]);
+  ::close(response_pipe[1]);
+  auto worker = std::make_unique<Worker>();
+  worker->pid = pid;
+  worker->to_child = request_pipe[1];
+  worker->from_child = response_pipe[0];
+  worker->stderr_file = stderr_fd;
+  obs::counter("proc.workers_spawned").add(1);
+  return worker;
+}
+
+std::unique_ptr<WorkerPool::Worker> WorkerPool::checkout() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!idle_.empty()) {
+      auto worker = std::move(idle_.back());
+      idle_.pop_back();
+      return worker;
+    }
+  }
+  return spawn_worker();
+}
+
+void WorkerPool::checkin(std::unique_ptr<Worker> worker) {
+  if (worker->units_served >= kUnitsPerWorker) {
+    obs::counter("proc.workers_recycled").add(1);
+    destroy(std::move(worker));
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!stopping_) {
+      idle_.push_back(std::move(worker));
+      return;
+    }
+  }
+  // Destructor already drained idle_; don't repark behind its back.
+  destroy(std::move(worker));
+}
+
+void WorkerPool::destroy(std::unique_ptr<Worker> worker) {
+  if (!worker) return;
+  // EOF on stdin is the clean-shutdown signal.
+  close_fd(worker->to_child);
+  bool reaped = false;
+  for (int waited_ms = 0; waited_ms < kShutdownGraceMs; waited_ms += 10) {
+    if (::waitpid(worker->pid, nullptr, WNOHANG) != 0) {
+      reaped = true;
+      break;
+    }
+    ::usleep(10'000);
+  }
+  if (!reaped) {
+    ::kill(worker->pid, SIGKILL);
+    ::waitpid(worker->pid, nullptr, 0);
+  }
+  close_fd(worker->from_child);
+  close_fd(worker->stderr_file);
+}
+
+void WorkerPool::watchdog_loop() {
+  static obs::Counter& deadline_kills =
+      obs::counter("proc.watchdog_deadline_kills");
+  static obs::Counter& stall_kills = obs::counter("proc.watchdog_stall_kills");
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    watchdog_cv_.wait_for(lock, std::chrono::milliseconds(20));
+    if (stopping_) break;
+    const auto now = Clock::now();
+    for (auto& [pid, flight] : in_flight_) {
+      if (flight.kill_reason != KillReason::kNone) continue;
+      if (flight.has_deadline && now >= flight.deadline_at) {
+        flight.kill_reason = KillReason::kDeadline;
+        flight.killed_after_ms = ms_between(flight.started, now);
+        deadline_kills.add(1);
+        ::kill(pid, SIGKILL);
+      } else if (config_.heartbeat_timeout_ms > 0.0 &&
+                 ms_between(flight.last_heartbeat, now) >
+                     config_.heartbeat_timeout_ms) {
+        flight.kill_reason = KillReason::kHeartbeat;
+        flight.killed_after_ms = ms_between(flight.started, now);
+        stall_kills.add(1);
+        ::kill(pid, SIGKILL);
+      }
+    }
+  }
+}
+
+json::Value WorkerPool::execute(const std::string& unit_id,
+                                const json::Value& request) {
+  obs::counter("proc.units_dispatched").add(1);
+  auto worker = checkout();
+  const int pid = worker->pid;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    InFlight flight;
+    flight.unit = unit_id;
+    flight.started = Clock::now();
+    flight.last_heartbeat = flight.started;
+    if (config_.run_deadline_ms > 0.0) {
+      flight.has_deadline = true;
+      flight.deadline_at =
+          flight.started + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   config_.run_deadline_ms));
+    }
+    in_flight_[pid] = std::move(flight);
+  }
+
+  std::optional<Frame> reply;
+  if (write_frame(worker->to_child, FrameType::kRequest, request.dump())) {
+    static obs::Counter& heartbeats = obs::counter("proc.heartbeats");
+    while ((reply = read_frame(worker->from_child))) {
+      if (reply->type != FrameType::kHeartbeat) break;
+      heartbeats.add(1);
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (const auto it = in_flight_.find(pid); it != in_flight_.end()) {
+        it->second.last_heartbeat = Clock::now();
+      }
+    }
+  }
+
+  if (reply &&
+      (reply->type == FrameType::kResult || reply->type == FrameType::kFail)) {
+    bool killed = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = in_flight_.find(pid);
+      // A complete answer racing the watchdog's SIGKILL: the watchdog
+      // already ruled the unit over budget, so honor the kill — accepting
+      // the result would also repark a dying child.
+      killed = it != in_flight_.end() &&
+               it->second.kill_reason != KillReason::kNone;
+    }
+    if (!killed) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        in_flight_.erase(pid);
+      }
+      json::Value payload;
+      try {
+        payload = json::parse(reply->payload);
+      } catch (const std::exception& error) {
+        worker->units_served = kUnitsPerWorker;  // don't trust it again
+        checkin(std::move(worker));
+        throw PermanentError("worker child for unit '" + unit_id +
+                             "' sent a malformed reply: " + error.what());
+      }
+      if (reply->type == FrameType::kResult) {
+        ++worker->units_served;
+        checkin(std::move(worker));
+        return payload;
+      }
+      // The child caught the failure and reported it cleanly; it is still
+      // healthy, only the unit failed.
+      obs::counter("proc.child_failures").add(1);
+      ++worker->units_served;
+      const json::Value* kind = payload.find("kind");
+      const json::Value* message = payload.find("error");
+      const std::string what =
+          "worker child for unit '" + unit_id + "' reported: " +
+          (message != nullptr ? message->as_string() : reply->payload);
+      checkin(std::move(worker));
+      if (kind != nullptr && kind->as_string() == "transient") {
+        throw TransientError(what);
+      }
+      throw PermanentError(what);
+    }
+  }
+
+  // The pipe broke without an answer (child crashed, was killed by the
+  // watchdog, or never survived exec). Post-mortem time.
+  triage_and_throw(unit_id, std::move(worker));
+}
+
+void WorkerPool::triage_and_throw(const std::string& unit_id,
+                                  std::unique_ptr<Worker> worker) {
+  InFlight flight;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = in_flight_.find(worker->pid);
+        it != in_flight_.end()) {
+      flight = std::move(it->second);
+      in_flight_.erase(it);
+    }
+  }
+  // Guarantee the blocking reap below terminates even for an exotic state
+  // (e.g. the child stopped itself); a SIGKILL to an already-dead child is
+  // a no-op, and the pid cannot be recycled before we wait on it.
+  ::kill(worker->pid, SIGKILL);
+  int status = 0;
+  rusage usage{};
+  ::wait4(worker->pid, &status, 0, &usage);
+  const auto now = Clock::now();
+
+  UnitTriage triage;
+  triage.peak_rss_kib = usage.ru_maxrss;
+  triage.heartbeat_age_ms = ms_between(flight.last_heartbeat, now);
+  triage.stderr_tail = read_stderr_tail(worker->stderr_file);
+  close_fd(worker->to_child);
+  close_fd(worker->from_child);
+  close_fd(worker->stderr_file);
+
+  std::ostringstream what;
+  what << "worker child for unit '" << unit_id << "' ";
+  if (flight.kill_reason == KillReason::kDeadline) {
+    triage.disposition = "deadline";
+    what << "exceeded its " << config_.run_deadline_ms
+         << " ms deadline; the watchdog SIGKILLed it after "
+         << flight.killed_after_ms << " ms (last heartbeat "
+         << triage.heartbeat_age_ms << " ms before reap)";
+    throw WorkerDeadlineError(what.str(), std::move(triage));
+  }
+  if (flight.kill_reason == KillReason::kHeartbeat) {
+    triage.disposition = "heartbeat";
+    what << "stopped heartbeating (" << triage.heartbeat_age_ms
+         << " ms since the last heartbeat, timeout "
+         << config_.heartbeat_timeout_ms
+         << " ms); the watchdog SIGKILLed it";
+    throw WorkerDeadlineError(what.str(), std::move(triage));
+  }
+  if (WIFSIGNALED(status)) {
+    const int signo = WTERMSIG(status);
+    triage.signal = support::signal_name(signo);
+    if (signo == SIGXCPU || signo == SIGXFSZ) {
+      triage.disposition = "rlimit";
+      obs::counter("proc.rlimit_breaches").add(1);
+      what << "breached a resource limit and died with " << triage.signal
+           << " (peak RSS " << triage.peak_rss_kib << " KiB)";
+      throw ResourceLimitError(what.str(), std::move(triage));
+    }
+    triage.disposition = "crash";
+    obs::counter("proc.worker_crashes").add(1);
+    what << "died with " << triage.signal << " (peak RSS "
+         << triage.peak_rss_kib << " KiB)";
+    if (!triage.stderr_tail.empty()) {
+      what << "; stderr tail: " << triage.stderr_tail;
+    }
+    throw WorkerCrashError(what.str(), std::move(triage));
+  }
+  triage.disposition = "crash";
+  triage.exit_status = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  obs::counter("proc.worker_crashes").add(1);
+  what << "exited with status " << triage.exit_status
+       << " without reporting a result";
+  if (triage.exit_status == 127) what << " (exec of the worker failed)";
+  if (!triage.stderr_tail.empty()) {
+    what << "; stderr tail: " << triage.stderr_tail;
+  }
+  throw WorkerCrashError(what.str(), std::move(triage));
+}
+
+}  // namespace anacin::proc

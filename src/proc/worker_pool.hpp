@@ -1,0 +1,127 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace anacin::proc {
+
+/// Which sandbox campaign work units execute in (--isolate).
+enum class IsolationMode { kNone, kProcess };
+/// Parse an --isolate value ("none" | "process"); throws ConfigError.
+IsolationMode isolation_mode_from_name(const std::string& name);
+
+struct WorkerPoolConfig {
+  /// Executable serving the `__worker` command — normally the anacin
+  /// binary itself (the CLI resolves /proc/self/exe; tests and unusual
+  /// launchers override via ANACIN_WORKER_EXE).
+  std::string worker_exe;
+  /// Artifact-store root shared with the children. Results travel through
+  /// the store, not the pipe, which is what makes isolated and in-process
+  /// campaigns bit-identical.
+  std::string store_dir;
+  /// Preemptive wall-clock budget per dispatched unit (0 = none). The
+  /// watchdog SIGKILLs a child past its deadline; note the budget covers
+  /// child spawn too when a fresh worker is forked for the unit.
+  double run_deadline_ms = 0.0;
+  /// How often children emit heartbeat frames while executing a unit.
+  double heartbeat_interval_ms = 50.0;
+  /// Kill a child whose last heartbeat is older than this (0 disables the
+  /// stall detector; deadline enforcement is independent of it).
+  double heartbeat_timeout_ms = 10'000.0;
+  /// RLIMIT_AS per child, bytes (0 = unlimited — the default, because
+  /// sanitizer builds reserve terabytes of shadow address space).
+  std::uint64_t mem_limit_bytes = 0;
+  /// RLIMIT_FSIZE per child, bytes (0 = unlimited). Bounds a runaway
+  /// unit's store writes.
+  std::uint64_t fsize_limit_bytes = 1ull << 30;
+};
+
+/// A pool of fork/exec'd sandboxed worker children executing campaign
+/// work units behind a length-prefixed pipe protocol (proc/protocol.hpp).
+///
+/// Each concurrent execute() caller gets its own child (healthy children
+/// are reused across units). A watchdog thread preemptively enforces the
+/// per-unit deadline and the heartbeat-stall timeout with SIGKILL — this
+/// is the piece the in-process supervisor cannot provide, since it only
+/// detects deadline misses after the unit returns. Children that die are
+/// triaged (kill reason, exit status vs. signal, peak RSS, stderr tail,
+/// heartbeat age) into the typed errors of support/error.hpp, so retries,
+/// --keep-going quarantine, and the resilience report compose unchanged.
+///
+/// Children cannot outlive the pool: the destructor drains and reaps them,
+/// and each child arms prctl(PR_SET_PDEATHSIG, SIGKILL) against a parent
+/// that dies without running destructors.
+class WorkerPool {
+ public:
+  explicit WorkerPool(WorkerPoolConfig config);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  const WorkerPoolConfig& config() const { return config_; }
+
+  /// Execute one work unit in a sandboxed child: dispatch the request,
+  /// block until the child answers or dies, triage on death. Returns the
+  /// child's result payload; throws the triaged typed error on failure
+  /// (WorkerCrashError / ResourceLimitError / WorkerDeadlineError for
+  /// child deaths, TransientError / PermanentError for failures the child
+  /// reported cleanly). Thread safe.
+  json::Value execute(const std::string& unit_id,
+                      const json::Value& request);
+
+  /// Pids of every currently live child (tests assert the set is empty
+  /// after destruction).
+  std::vector<int> live_pids() const;
+
+ private:
+  struct Worker {
+    int pid = -1;
+    int to_child = -1;     // write end: request frames
+    int from_child = -1;   // read end: heartbeat/result/fail frames
+    int stderr_file = -1;  // unlinked temp file capturing the child's stderr
+    std::uint64_t units_served = 0;
+  };
+
+  enum class KillReason { kNone, kDeadline, kHeartbeat };
+
+  struct InFlight {
+    std::string unit;
+    std::chrono::steady_clock::time_point started;
+    std::chrono::steady_clock::time_point deadline_at;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point last_heartbeat;
+    KillReason kill_reason = KillReason::kNone;
+    double killed_after_ms = 0.0;
+  };
+
+  std::unique_ptr<Worker> spawn_worker();
+  std::unique_ptr<Worker> checkout();
+  void checkin(std::unique_ptr<Worker> worker);
+  /// Shut one worker down: close its stdin (clean EOF exit), reap with a
+  /// SIGKILL fallback, close fds.
+  void destroy(std::unique_ptr<Worker> worker);
+  void watchdog_loop();
+  [[noreturn]] void triage_and_throw(const std::string& unit_id,
+                                     std::unique_ptr<Worker> worker);
+
+  WorkerPoolConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Worker>> idle_;
+  /// Dispatched units by child pid; the watchdog scans this table.
+  std::map<int, InFlight> in_flight_;
+  bool stopping_ = false;
+  std::condition_variable watchdog_cv_;
+  std::thread watchdog_;
+};
+
+}  // namespace anacin::proc

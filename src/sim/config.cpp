@@ -78,4 +78,29 @@ json::Value SimConfig::to_json() const {
   return doc;
 }
 
+SimConfig SimConfig::from_json(const json::Value& doc) {
+  SimConfig config;
+  config.num_ranks = static_cast<int>(doc.at("num_ranks").as_int());
+  config.num_nodes = static_cast<int>(doc.at("num_nodes").as_int());
+  // JSON numbers are doubles, so seeds above 2^53 lose low bits here;
+  // consumers that need the exact seed (the worker protocol) transport it
+  // as a decimal string alongside this document. Clamp instead of casting
+  // out of range — double→uint64 overflow is undefined behavior.
+  const double seed_number = doc.at("seed").as_number();
+  ANACIN_CHECK(seed_number >= 0.0, "seed must be non-negative");
+  constexpr double kTwo64 = 18446744073709551616.0;
+  config.seed = seed_number >= kTwo64
+                    ? ~std::uint64_t{0}
+                    : static_cast<std::uint64_t>(seed_number);
+  config.network = NetworkConfig::from_json(doc.at("network"));
+  config.max_calls = static_cast<std::uint64_t>(doc.at("max_calls").as_int());
+  config.faults = FaultConfig::from_json(doc.at("faults"));
+  if (doc.at("replay").as_bool()) {
+    throw ConfigError(
+        "a SimConfig with a replay schedule cannot round-trip through JSON");
+  }
+  config.validate();
+  return config;
+}
+
 }  // namespace anacin::sim

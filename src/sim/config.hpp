@@ -69,6 +69,11 @@ struct SimConfig {
   /// Node of a rank under the block mapping.
   int node_of(int rank) const;
   json::Value to_json() const;
+  /// Inverse of to_json (used by the --isolate=process worker protocol,
+  /// which ships the fully resolved config to the child). Replay
+  /// schedules do not serialize: a document with "replay": true is a
+  /// ConfigError.
+  static SimConfig from_json(const json::Value& doc);
 };
 
 }  // namespace anacin::sim

@@ -146,6 +146,12 @@ void ObjectStore::scan_objects() {
 }
 
 void ObjectStore::save_index_locked() {
+  if (!config_.persist_index) {
+    // The index is only a cache; a reader-owned store rebuilds it by
+    // scanning objects/ at construction.
+    index_dirty_ = false;
+    return;
+  }
   json::Value doc = json::Value::object();
   doc.set("schema", "anacin-store-index-1");
   json::Value objects = json::Value::object();

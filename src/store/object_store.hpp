@@ -40,6 +40,12 @@ class ObjectStore {
     std::filesystem::path root;
     /// Byte bound of the in-memory LRU cache (0 disables caching).
     std::uint64_t memory_max_bytes = 256ull << 20;
+    /// Persist index.json (a self-healing cache, not the source of truth).
+    /// Worker children (--isolate=process) disable this: many processes
+    /// share one store root, object publishes are rename-atomic and safe,
+    /// but the index temp file is a fixed path that concurrent writers
+    /// would race on.
+    bool persist_index = true;
   };
 
   explicit ObjectStore(Config config);

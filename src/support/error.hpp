@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace anacin {
 
@@ -74,12 +75,81 @@ public:
   explicit IoError(const std::string& what) : PermanentError(what) {}
 };
 
-/// Cooperative cancellation: the user interrupted the process (SIGINT)
-/// and in-flight work has been drained. Not a failure — callers translate
-/// it into the distinct "interrupted" exit code.
+/// Cooperative cancellation: the user interrupted the process (SIGINT or
+/// SIGTERM) and in-flight work has been drained. Not a failure — callers
+/// translate it into the distinct "interrupted"/"terminated" exit codes.
 class InterruptedError : public Error {
 public:
   explicit InterruptedError(const std::string& what) : Error(what) {}
+};
+
+// ---------------------------------------------------------------------------
+// Worker-child triage (--isolate=process; see docs/RESILIENCE.md). When a
+// campaign work unit runs in a sandboxed child and the child dies instead
+// of answering, the parent performs a post-mortem and attaches it to the
+// typed error so quarantine reports carry a precise diagnosis.
+// ---------------------------------------------------------------------------
+
+/// Forensics recovered from a dead worker child: how it died plus whatever
+/// context the parent could salvage.
+struct UnitTriage {
+  /// "crash" (died by signal / exited without answering), "deadline"
+  /// (watchdog SIGKILL past --run-deadline-ms), "heartbeat" (watchdog
+  /// SIGKILL after missed heartbeats), or "rlimit" (resource-limit breach).
+  std::string disposition;
+  /// Name of the terminating signal ("SIGSEGV"); empty when the child
+  /// exited normally.
+  std::string signal;
+  /// Exit status when the child exited without reporting a result; -1 when
+  /// it died by signal.
+  int exit_status = -1;
+  /// Peak resident set size of the child (getrusage ru_maxrss), in KiB.
+  long peak_rss_kib = 0;
+  /// Age of the child's last heartbeat when it was reaped, milliseconds.
+  double heartbeat_age_ms = 0.0;
+  /// Tail of the child's captured stderr (at most a few KiB).
+  std::string stderr_tail;
+};
+
+/// Mixin carried by worker-child failures so the supervisor can surface
+/// the triage in UnitReport / quarantine entries without caring which
+/// concrete error class it rode in on.
+class TriagedError {
+public:
+  explicit TriagedError(UnitTriage triage) : triage_(std::move(triage)) {}
+  virtual ~TriagedError() = default;
+  const UnitTriage& triage() const { return triage_; }
+
+private:
+  UnitTriage triage_;
+};
+
+/// A worker child died without reporting a result (fatal signal,
+/// unexpected exit, torn pipe). Transient: crashes are often input- or
+/// load-specific, so the unit is retried — in a fresh child — before
+/// quarantine.
+class WorkerCrashError : public TransientError, public TriagedError {
+public:
+  WorkerCrashError(const std::string& what, UnitTriage triage)
+      : TransientError(what), TriagedError(std::move(triage)) {}
+};
+
+/// A worker child breached a hard resource limit (RLIMIT_CPU → SIGXCPU,
+/// RLIMIT_FSIZE → SIGXFSZ). Permanent: the same unit under the same
+/// limits breaches them again, so retrying is futile.
+class ResourceLimitError : public PermanentError, public TriagedError {
+public:
+  ResourceLimitError(const std::string& what, UnitTriage triage)
+      : PermanentError(what), TriagedError(std::move(triage)) {}
+};
+
+/// The watchdog SIGKILLed a worker child: it outlived --run-deadline-ms
+/// or stopped heartbeating. Is-a DeadlineExceeded, so it retries and is
+/// counted exactly like an in-process deadline miss.
+class WorkerDeadlineError : public DeadlineExceeded, public TriagedError {
+public:
+  WorkerDeadlineError(const std::string& what, UnitTriage triage)
+      : DeadlineExceeded(what), TriagedError(std::move(triage)) {}
 };
 
 namespace detail {

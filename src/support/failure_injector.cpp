@@ -1,0 +1,160 @@
+#include "support/failure_injector.hpp"
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/signals.hpp"
+#include "support/string_util.hpp"
+
+namespace anacin::support {
+
+namespace {
+
+double parse_spec_number(const std::string& token, const std::string& spec,
+                         const char* env_name) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (token.empty() || end != token.c_str() + token.size() || value < 0) {
+    throw ConfigError("malformed " + std::string(env_name) + " entry '" +
+                      spec + "'");
+  }
+  return value;
+}
+
+/// Split "unitA=argA,unitB=argB" into (unit, arg) pairs; shared by all
+/// three spec grammars.
+std::vector<std::pair<std::string, std::string>> parse_entries(
+    const std::string& spec, const char* env_name) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (const std::string& entry : split(spec, ',')) {
+    const std::string trimmed{trim(entry)};
+    if (trimmed.empty()) continue;
+    const auto parts = split(trimmed, '=');
+    if (parts.size() != 2) {
+      throw ConfigError("malformed " + std::string(env_name) + " entry '" +
+                        trimmed + "' (expected unit=arg)");
+    }
+    entries.emplace_back(std::string(trim(parts[0])),
+                         std::string(trim(parts[1])));
+  }
+  return entries;
+}
+
+std::string env_or_empty(const char* name) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? std::string{} : std::string(value);
+}
+
+}  // namespace
+
+FailureInjector::FailureInjector(const std::string& failures_spec,
+                                 const std::string& crash_spec,
+                                 const std::string& hang_spec) {
+  for (const std::string& entry : split(failures_spec, ',')) {
+    const std::string trimmed{trim(entry)};
+    if (trimmed.empty()) continue;
+    const auto parts = split(trimmed, '=');
+    if (parts.size() != 2) {
+      throw ConfigError("malformed ANACIN_INJECT_FAILURES entry '" + trimmed +
+                        "' (expected unit=kind[:arg])");
+    }
+    const std::string unit{trim(parts[0])};
+    const auto kind_arg = split(parts[1], ':');
+    const std::string kind{trim(kind_arg[0])};
+    Plan& plan = plans_[unit];
+    if (kind == "transient") {
+      plan.transient_failures =
+          kind_arg.size() > 1
+              ? static_cast<int>(parse_spec_number(
+                    std::string(trim(kind_arg[1])), trimmed,
+                    "ANACIN_INJECT_FAILURES"))
+              : 1;
+    } else if (kind == "permanent") {
+      plan.permanent = true;
+    } else if (kind == "hang") {
+      plan.hang_ms = kind_arg.size() > 1
+                         ? parse_spec_number(std::string(trim(kind_arg[1])),
+                                             trimmed,
+                                             "ANACIN_INJECT_FAILURES")
+                         : 100.0;
+    } else {
+      throw ConfigError("unknown ANACIN_INJECT_FAILURES kind '" + kind +
+                        "' (expected transient, permanent, or hang)");
+    }
+  }
+
+  for (const auto& [unit, arg] :
+       parse_entries(crash_spec, "ANACIN_INJECT_CRASH")) {
+    crashes_[unit] = signal_from_name(arg);
+  }
+
+  for (const auto& [unit, arg] :
+       parse_entries(hang_spec, "ANACIN_INJECT_HANG")) {
+    Hang& hang = hangs_[unit];
+    if (arg == "stop") {
+      hang.freeze = true;
+    } else {
+      hang.sleep_ms = parse_spec_number(arg, unit + "=" + arg,
+                                        "ANACIN_INJECT_HANG");
+    }
+  }
+}
+
+FailureInjector FailureInjector::from_env() {
+  const std::string failures = env_or_empty("ANACIN_INJECT_FAILURES");
+  const std::string crash = env_or_empty("ANACIN_INJECT_CRASH");
+  const std::string hang = env_or_empty("ANACIN_INJECT_HANG");
+  if (failures.empty() && crash.empty() && hang.empty()) {
+    return FailureInjector{};
+  }
+  return FailureInjector(failures, crash, hang);
+}
+
+void FailureInjector::on_attempt(const std::string& unit_id,
+                                 int attempt) const {
+  const auto it = plans_.find(unit_id);
+  if (it == plans_.end()) return;
+  const Plan& plan = it->second;
+  if (plan.hang_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(plan.hang_ms));
+  }
+  if (plan.permanent) {
+    throw PermanentError("injected permanent failure for unit '" + unit_id +
+                         "'");
+  }
+  if (attempt <= plan.transient_failures) {
+    throw TransientError("injected transient failure " +
+                         std::to_string(attempt) + "/" +
+                         std::to_string(plan.transient_failures) +
+                         " for unit '" + unit_id + "'");
+  }
+}
+
+void FailureInjector::apply_execution_hooks(
+    const std::string& unit_id) const {
+  if (const auto it = hangs_.find(unit_id); it != hangs_.end()) {
+    if (it->second.freeze) {
+      std::raise(SIGSTOP);
+    } else if (it->second.sleep_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(it->second.sleep_ms));
+    }
+  }
+  if (const auto it = crashes_.find(unit_id); it != crashes_.end()) {
+    std::raise(it->second);
+    // Signals whose default disposition is not termination (or that a
+    // sanitizer intercepts) can return here; make the injection count
+    // anyway so tests never silently pass.
+    throw PermanentError("injected crash signal " +
+                         signal_name(it->second) + " for unit '" + unit_id +
+                         "' did not terminate the process");
+  }
+}
+
+}  // namespace anacin::support

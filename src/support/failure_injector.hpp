@@ -1,0 +1,79 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace anacin::support {
+
+/// Deterministic failure injection for tests, configured from environment
+/// variables (snapshotted per consumer, so in-process tests can change
+/// them between campaigns). Lives in support/ because it runs in two
+/// places: the supervisor's retry loop in the campaign process, and — for
+/// the crash/hang execution hooks — whatever process actually executes
+/// the work unit (a sandboxed worker child under --isolate=process).
+///
+/// ANACIN_INJECT_FAILURES (comma-separated; thrown from on_attempt):
+///   unit=transient:N    the unit's first N attempts throw TransientError
+///   unit=permanent      every attempt of the unit throws PermanentError
+///   unit=hang:MS        every attempt sleeps MS milliseconds first
+///                       (drives the deadline path without a slow workload)
+///
+/// ANACIN_INJECT_CRASH (applied by apply_execution_hooks):
+///   unit=SEGV           raise(SIGSEGV) in the executing process — under
+///                       --isolate=process this kills only the worker
+///                       child; in-process it kills the whole campaign,
+///                       which is exactly the contrast isolation exists
+///                       to demonstrate. Any name support::signal_from_name
+///                       accepts works (SEGV, KILL, XCPU, ...).
+///
+/// ANACIN_INJECT_HANG (applied by apply_execution_hooks):
+///   unit=MS             sleep MS milliseconds inside the unit body
+///   unit=stop           raise(SIGSTOP): the process freezes — heartbeats
+///                       included — until the watchdog SIGKILLs it
+///                       (deterministically exercises the heartbeat-stall
+///                       kill path)
+///
+/// Unit ids are the supervisor's ids: "run:<i>", "reference",
+/// "pair:<a>-<b>", "measure".
+class FailureInjector {
+public:
+  FailureInjector() = default;
+  /// Parse spec strings; throws ConfigError on malformed input.
+  explicit FailureInjector(const std::string& failures_spec,
+                           const std::string& crash_spec = "",
+                           const std::string& hang_spec = "");
+  /// Snapshot of the process environment (empty when unset).
+  static FailureInjector from_env();
+
+  bool empty() const {
+    return plans_.empty() && crashes_.empty() && hangs_.empty();
+  }
+
+  /// Called at the top of every supervised attempt (in the campaign
+  /// process); throws the planned failure.
+  void on_attempt(const std::string& unit_id, int attempt) const;
+
+  /// Crash/hang hooks, applied at the top of the unit body by whichever
+  /// process executes it — the worker child under --isolate=process, the
+  /// campaign process otherwise. Never called by the parent on behalf of
+  /// an isolated child (that would crash the wrong process).
+  void apply_execution_hooks(const std::string& unit_id) const;
+
+private:
+  struct Plan {
+    int transient_failures = 0;
+    bool permanent = false;
+    double hang_ms = 0.0;
+  };
+  struct Hang {
+    double sleep_ms = 0.0;
+    /// raise(SIGSTOP) instead of sleeping (freezes heartbeats too).
+    bool freeze = false;
+  };
+
+  std::map<std::string, Plan> plans_;
+  std::map<std::string, int> crashes_;  // unit -> signal number
+  std::map<std::string, Hang> hangs_;
+};
+
+}  // namespace anacin::support

@@ -1,0 +1,66 @@
+#include "support/signals.hpp"
+
+#include <csignal>
+
+#include <array>
+#include <cctype>
+
+#include "support/error.hpp"
+
+namespace anacin::support {
+
+namespace {
+
+struct SignalEntry {
+  int signo;
+  const char* name;  // without the SIG prefix
+};
+
+// The portable subset that matters for worker-child triage and crash
+// injection; anything else renders as "signal <n>".
+constexpr std::array<SignalEntry, 17> kSignals = {{
+    {SIGHUP, "HUP"},
+    {SIGINT, "INT"},
+    {SIGQUIT, "QUIT"},
+    {SIGILL, "ILL"},
+    {SIGABRT, "ABRT"},
+    {SIGBUS, "BUS"},
+    {SIGFPE, "FPE"},
+    {SIGKILL, "KILL"},
+    {SIGSEGV, "SEGV"},
+    {SIGPIPE, "PIPE"},
+    {SIGALRM, "ALRM"},
+    {SIGTERM, "TERM"},
+    {SIGXCPU, "XCPU"},
+    {SIGXFSZ, "XFSZ"},
+    {SIGSTOP, "STOP"},
+    {SIGUSR1, "USR1"},
+    {SIGUSR2, "USR2"},
+}};
+
+}  // namespace
+
+std::string signal_name(int signo) {
+  for (const SignalEntry& entry : kSignals) {
+    if (entry.signo == signo) return std::string("SIG") + entry.name;
+  }
+  return "signal " + std::to_string(signo);
+}
+
+int signal_from_name(std::string_view name) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (const char c : name) {
+    upper.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  std::string_view bare = upper;
+  if (bare.size() > 3 && bare.substr(0, 3) == "SIG") bare = bare.substr(3);
+  for (const SignalEntry& entry : kSignals) {
+    if (bare == entry.name) return entry.signo;
+  }
+  throw ConfigError("unknown signal name '" + std::string(name) +
+                    "' (expected e.g. SEGV, KILL, XCPU)");
+}
+
+}  // namespace anacin::support

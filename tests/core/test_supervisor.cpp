@@ -128,6 +128,30 @@ TEST(FailureInjector, EmptySpecInjectsNothing) {
   EXPECT_FALSE(FailureInjector("u=permanent").empty());
 }
 
+TEST(FailureInjector, CrashSpecParsesSignalNames) {
+  EXPECT_FALSE(FailureInjector("", "run:1=SEGV").empty());
+  EXPECT_FALSE(FailureInjector("", "run:1=KILL,run:2=XCPU").empty());
+  EXPECT_THROW(FailureInjector("", "run:1=NOTASIGNAL"), ConfigError);
+  EXPECT_THROW(FailureInjector("", "run:1"), ConfigError);
+}
+
+TEST(FailureInjector, HangSpecParsesSleepAndStop) {
+  EXPECT_FALSE(FailureInjector("", "", "run:2=500").empty());
+  EXPECT_FALSE(FailureInjector("", "", "run:2=stop").empty());
+  EXPECT_THROW(FailureInjector("", "", "run:2=-5"), ConfigError);
+  EXPECT_THROW(FailureInjector("", "", "run:2=abc"), ConfigError);
+}
+
+TEST(FailureInjector, ExecutionHooksIgnoreOtherUnits) {
+  // Hooks for run:9 must be inert for every other unit — and a sleep hook
+  // applied in-process returns normally (the crash hooks are exercised in
+  // worker children by the proc/ tests; raising here would kill the test).
+  const FailureInjector injector("", "", "run:9=1");
+  injector.apply_execution_hooks("run:0");
+  injector.apply_execution_hooks("reference");
+  injector.apply_execution_hooks("run:9");
+}
+
 TEST(Supervisor, RetryScheduleIsDeterministic) {
   // Same seed + same injected schedule => identical attempt counts and
   // retry totals across repeated executions (the acceptance criterion for

@@ -157,6 +157,34 @@ TEST_F(ResilienceE2e, TruncatedJournalResumesFromLastIntactRecord) {
   EXPECT_EQ(counter_value(metrics("salvaged"), "sim.engine.runs"), 0.0);
 }
 
+TEST_F(ResilienceE2e, SigtermDrainsJournalsAndExits143) {
+  // Baseline for byte-comparison (and to warm the store).
+  ASSERT_EQ(run_command(sweep_command("store-t", "tb.jsonl", "tbase", "")), 0)
+      << slurp(dir_ / "tbase.out");
+
+  // An injected 4 s hang on run:1 keeps the first point busy long enough
+  // for `timeout` to deliver SIGTERM at the 1 s mark. The process must
+  // drain in-flight work, journal, and exit 143 — the same graceful path
+  // as SIGINT, just with the distinct "terminated" exit code.
+  ::setenv("ANACIN_INJECT_FAILURES", "run:1=hang:4000", 1);
+  EXPECT_EQ(run_command("timeout --preserve-status -s TERM 1 " +
+                        sweep_command("store-t", "t.jsonl", "term", "")),
+            143);
+  ::unsetenv("ANACIN_INJECT_FAILURES");
+  EXPECT_NE(slurp(dir_ / "term.out").find("rerun with --resume"),
+            std::string::npos)
+      << slurp(dir_ / "term.out");
+
+  // The journal left behind is immediately resumable, and the resumed
+  // sweep is byte-identical to the uninterrupted baseline.
+  ASSERT_EQ(
+      run_command(sweep_command("store-t", "t.jsonl", "term2", "--resume")),
+      0)
+      << slurp(dir_ / "term2.out");
+  EXPECT_EQ(slurp(dir_ / "term2.csv"), slurp(dir_ / "tbase.csv"));
+  EXPECT_EQ(slurp(dir_ / "term2.json"), slurp(dir_ / "tbase.json"));
+}
+
 TEST_F(ResilienceE2e, ChildExitCodesMatchTaxonomy) {
   const std::string bin = '"' + fs::path(ANACIN_CLI_PATH).string() + '"';
   const std::string store = " --store " + (dir_ / "store-x").string();

@@ -192,5 +192,22 @@ TEST(Patterns, MessageBytesFlowIntoEvents) {
   EXPECT_TRUE(saw_send);
 }
 
+TEST(PatternConfig, JsonRoundTripIsLossless) {
+  // The --isolate=process worker protocol ships the shape as JSON; the
+  // decoded config must hash to the same artifact-store keys.
+  PatternConfig config;
+  config.num_ranks = 9;
+  config.iterations = 5;
+  config.message_bytes = 4096;
+  config.topology_seed = 1234567;
+  config.mesh_extra_degree = 4;
+  config.compute_us = 12.5;
+  const PatternConfig decoded = PatternConfig::from_json(config.to_json());
+  EXPECT_EQ(decoded.to_json().dump(), config.to_json().dump());
+  EXPECT_EQ(decoded.num_ranks, 9);
+  EXPECT_EQ(decoded.message_bytes, 4096u);
+  EXPECT_EQ(decoded.topology_seed, 1234567u);
+}
+
 }  // namespace
 }  // namespace anacin::patterns

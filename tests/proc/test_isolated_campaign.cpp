@@ -1,0 +1,166 @@
+// Campaign-level isolation tests: --isolate=process must change *where*
+// work executes, never *what* it computes — isolated campaigns are
+// byte-identical to in-process ones — and child deaths must surface as
+// quarantined units with full crash triage in the report JSON.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "proc/worker_pool.hpp"
+#include "store/store.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+#ifndef ANACIN_CLI_PATH
+#error "ANACIN_CLI_PATH must point at the anacin executable"
+#endif
+
+namespace anacin::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+};
+
+CampaignConfig small_campaign(std::uint64_t base_seed) {
+  CampaignConfig config;
+  config.pattern = "message_race";
+  config.shape.num_ranks = 4;
+  config.shape.iterations = 2;
+  config.num_runs = 4;
+  config.base_seed = base_seed;
+  return config;
+}
+
+class IsolatedCampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("anacin_isolated_campaign_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  proc::WorkerPoolConfig pool_config(const std::string& store_name) const {
+    proc::WorkerPoolConfig config;
+    config.worker_exe = ANACIN_CLI_PATH;
+    config.store_dir = (dir_ / store_name).string();
+    return config;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(IsolatedCampaignTest, MatchesInProcessCampaignByteIdentically) {
+  ThreadPool pool(2);
+  const CampaignConfig config = small_campaign(2026);
+
+  store::ArtifactStore plain_store({dir_ / "store-a", 64 << 20});
+  const CampaignResult plain = run_campaign(config, pool, &plain_store);
+
+  store::ArtifactStore iso_store({dir_ / "store-b", 64 << 20});
+  proc::WorkerPool workers(pool_config("store-b"));
+  ResilienceOptions resilience;
+  resilience.workers = &workers;
+  const CampaignResult isolated =
+      run_campaign(config, pool, &iso_store, resilience);
+
+  // Same bytes, not merely close numbers: every simulation and kernel
+  // distance computed in a child matches the in-process computation.
+  EXPECT_EQ(isolated.to_json().dump(), plain.to_json().dump());
+
+  // Warm isolated re-run (children answer from the store): still identical.
+  const CampaignResult warm =
+      run_campaign(config, pool, &iso_store, resilience);
+  EXPECT_EQ(warm.to_json().dump(), plain.to_json().dump());
+}
+
+TEST_F(IsolatedCampaignTest, IsolationRequiresAnArtifactStore) {
+  ThreadPool pool(2);
+  proc::WorkerPool workers(pool_config("store-x"));
+  ResilienceOptions resilience;
+  resilience.workers = &workers;
+  EXPECT_THROW(
+      run_campaign(small_campaign(1), pool, nullptr, resilience), Error);
+}
+
+TEST_F(IsolatedCampaignTest, CrashedAndHungUnitsAreQuarantinedWithTriage) {
+  // run:1 dies by SIGKILL inside its child; run:2 hangs past the 1.5 s
+  // watchdog deadline. Both must be quarantined — with a precise diagnosis
+  // each — while the remaining units complete normally.
+  const EnvGuard crash("ANACIN_INJECT_CRASH", "run:1=KILL");
+  const EnvGuard hang("ANACIN_INJECT_HANG", "run:2=8000");
+
+  ThreadPool pool(2);
+  store::ArtifactStore store({dir_ / "store-c", 64 << 20});
+  proc::WorkerPoolConfig pool_cfg = pool_config("store-c");
+  pool_cfg.run_deadline_ms = 1500.0;
+  proc::WorkerPool workers(pool_cfg);
+  ResilienceOptions resilience;
+  resilience.workers = &workers;
+  resilience.keep_going = true;
+
+  const CampaignResult result =
+      run_campaign(small_campaign(7), pool, &store, resilience);
+
+  EXPECT_FALSE(result.complete());
+  ASSERT_EQ(result.quarantined.size(), 2u);
+
+  const QuarantinedUnit* crashed = nullptr;
+  const QuarantinedUnit* hung = nullptr;
+  for (const QuarantinedUnit& unit : result.quarantined) {
+    if (unit.unit == "run:1") crashed = &unit;
+    if (unit.unit == "run:2") hung = &unit;
+  }
+  ASSERT_NE(crashed, nullptr);
+  ASSERT_NE(hung, nullptr);
+
+  ASSERT_TRUE(crashed->has_triage);
+  EXPECT_EQ(crashed->triage.disposition, "crash");
+  EXPECT_EQ(crashed->triage.signal, "SIGKILL");
+  EXPECT_GT(crashed->triage.peak_rss_kib, 0);
+  EXPECT_EQ(crashed->attempts, 1);
+
+  ASSERT_TRUE(hung->has_triage);
+  EXPECT_EQ(hung->triage.disposition, "deadline");
+  EXPECT_NE(hung->error.find("watchdog"), std::string::npos);
+
+  // The quarantine entries in the report JSON carry the triage verbatim:
+  // signal name, peak RSS, and the stderr tail field.
+  const json::Value crashed_doc = crashed->to_json();
+  const json::Value* triage = crashed_doc.find("triage");
+  ASSERT_NE(triage, nullptr);
+  EXPECT_EQ(triage->at("disposition").as_string(), "crash");
+  EXPECT_EQ(triage->at("signal").as_string(), "SIGKILL");
+  EXPECT_GT(triage->at("peak_rss_kib").as_number(), 0.0);
+  EXPECT_NE(triage->find("stderr_tail"), nullptr);
+
+  // The surviving runs were simulated in children and measured normally.
+  EXPECT_GT(result.measurement.distances.size(), 0u);
+  EXPECT_GT(result.total_messages, 0u);
+}
+
+}  // namespace
+}  // namespace anacin::core

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/config.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
 
 namespace anacin::sim {
 namespace {
@@ -54,6 +56,35 @@ TEST(Constants, WildcardsAreNegative) {
   EXPECT_LT(kAnySource, 0);
   EXPECT_LT(kAnyTag, 0);
   EXPECT_GT(kCollectiveTagBase, 0);
+}
+
+TEST(SimConfig, JsonRoundTripIsLossless) {
+  // The --isolate=process worker protocol ships configs as JSON; every
+  // behavioral field must survive the round trip. (Seeds above 2^53 do
+  // not fit a JSON double — the protocol ships the seed separately as a
+  // decimal string, so this test stays within exact range.)
+  SimConfig config;
+  config.num_ranks = 12;
+  config.num_nodes = 3;
+  config.seed = 987654321;
+  config.network.nd_fraction = 0.25;
+  config.network.latency_inter_us = 7.5;
+  config.network.jitter_mean_inter_us = 33.0;
+  config.faults.drop_probability = 0.125;
+  config.faults.duplicate_probability = 0.0625;
+  config.max_calls = 123456;
+  const SimConfig decoded = SimConfig::from_json(config.to_json());
+  EXPECT_EQ(decoded.to_json().dump(), config.to_json().dump());
+  EXPECT_EQ(decoded.num_ranks, 12);
+  EXPECT_EQ(decoded.seed, 987654321u);
+  EXPECT_DOUBLE_EQ(decoded.network.nd_fraction, 0.25);
+}
+
+TEST(SimConfig, ReplayScheduleDoesNotSerialize) {
+  SimConfig config;
+  json::Value doc = config.to_json();
+  doc.set("replay", true);
+  EXPECT_THROW(SimConfig::from_json(doc), ConfigError);
 }
 
 }  // namespace
