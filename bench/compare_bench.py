@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over google-benchmark JSON output.
+
+Two modes:
+
+  emit     distill one or more `--benchmark_out` JSON files into a small,
+           committed baseline (median wall time per benchmark, in ns):
+
+               compare_bench.py emit out1.json [out2.json ...] -o BENCH_x.json
+
+  compare  check fresh `--benchmark_out` JSON files against a committed
+           baseline, print a before/after markdown table, and exit 1 if any
+           benchmark's median regressed more than the threshold:
+
+               compare_bench.py compare BENCH_x.json out1.json [out2.json ...] \
+                   [--threshold 0.20] [--summary "$GITHUB_STEP_SUMMARY"]
+
+Medians come from google-benchmark aggregate rows (run the binaries with
+--benchmark_repetitions); a benchmark run without repetitions falls back to
+its single iteration row. Only benchmarks present in the baseline gate the
+build — new benchmarks are reported as "new" and ignored until the baseline
+is refreshed (see docs/KERNELS.md).
+
+Stdlib only: CI runners and the local tree need nothing beyond python3.
+"""
+
+import argparse
+import json
+import sys
+
+NS_PER = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_medians(path):
+    """Map benchmark name -> median real time in ns from one gbench file."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    singles = {}
+    medians = {}
+    for row in doc.get("benchmarks", []):
+        scale = NS_PER[row.get("time_unit", "ns")]
+        if row.get("run_type") == "aggregate":
+            if row.get("aggregate_name") == "median":
+                medians[row["run_name"]] = row["real_time"] * scale
+        elif row.get("run_type", "iteration") == "iteration":
+            # repetition rows carry the same run_name; keep the first so a
+            # repetitions run without aggregates still yields one number.
+            singles.setdefault(row.get("run_name", row["name"]),
+                               row["real_time"] * scale)
+    return {**singles, **medians}
+
+
+def load_many(paths):
+    merged = {}
+    for path in paths:
+        for name, value in load_medians(path).items():
+            if name in merged:
+                sys.exit(f"error: benchmark '{name}' appears in more than "
+                         f"one input file")
+            merged[name] = value
+    if not merged:
+        sys.exit("error: no benchmarks found in input files")
+    return merged
+
+
+def fmt_time(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def emit(args):
+    baseline = {
+        "comment": "perf-gate baseline: median wall time (ns) per benchmark;"
+                   " refresh with bench/compare_bench.py emit"
+                   " (see docs/KERNELS.md)",
+        "benchmarks": dict(sorted(load_many(args.inputs).items())),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output} with {len(baseline['benchmarks'])} baselines")
+
+
+def compare(args):
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)["benchmarks"]
+    current = load_many(args.inputs)
+
+    lines = ["| benchmark | baseline | current | ratio | status |",
+             "|---|---|---|---|---|"]
+    failures = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            lines.append(f"| {name} | {fmt_time(baseline[name])} | — | — |"
+                         f" missing |")
+            failures.append(f"{name}: in baseline but not in this run")
+            continue
+        if name not in baseline:
+            lines.append(f"| {name} | — | {fmt_time(current[name])} | — |"
+                         f" new (not gated) |")
+            continue
+        ratio = current[name] / baseline[name]
+        if ratio > 1.0 + args.threshold:
+            status = f"REGRESSED >{args.threshold:.0%}"
+            failures.append(f"{name}: {fmt_time(baseline[name])} -> "
+                            f"{fmt_time(current[name])} ({ratio:.2f}x)")
+        elif ratio < 1.0 - args.threshold:
+            status = "improved (consider refreshing baseline)"
+        else:
+            status = "ok"
+        lines.append(f"| {name} | {fmt_time(baseline[name])} |"
+                     f" {fmt_time(current[name])} | {ratio:.2f}x | {status} |")
+
+    table = "\n".join(lines)
+    print(table)
+    if args.summary:
+        with open(args.summary, "a") as handle:
+            handle.write("### Perf gate: " + args.baseline + "\n\n"
+                         + table + "\n\n")
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        sys.exit(1)
+    print("\nperf gate OK")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    emit_parser = sub.add_parser("emit", help="distill a committed baseline")
+    emit_parser.add_argument("inputs", nargs="+")
+    emit_parser.add_argument("-o", "--output", required=True)
+    emit_parser.set_defaults(func=emit)
+
+    compare_parser = sub.add_parser("compare", help="gate against a baseline")
+    compare_parser.add_argument("baseline")
+    compare_parser.add_argument("inputs", nargs="+")
+    compare_parser.add_argument("--threshold", type=float, default=0.20,
+                                help="allowed median regression (default 0.20)")
+    compare_parser.add_argument("--summary", default="",
+                                help="file to append the markdown table to "
+                                     "(e.g. $GITHUB_STEP_SUMMARY)")
+    compare_parser.set_defaults(func=compare)
+
+    args = parser.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -56,7 +56,7 @@ void BM_DistancesToReference(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(BM_PairwiseDistances)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PairwiseDistances)->Arg(10)->Arg(20)->Arg(64)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DistancesToReference)->Arg(20)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {

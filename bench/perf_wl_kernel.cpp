@@ -50,7 +50,7 @@ void BM_KernelDistance(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(kernels::kernel_distance(a, b));
   }
-  state.counters["features"] = static_cast<double>(a.entries.size());
+  state.counters["features"] = static_cast<double>(a.size());
 }
 
 }  // namespace

@@ -276,9 +276,20 @@ analysis::NdMeasurement measure_nd_with_store(
         0, n + 1,
         [&](std::size_t i) {
           if (!need_features[i]) return;
+          // Extraction is itself cached: a resumed or re-kerneled campaign
+          // reloads each run's histogram instead of re-walking its graph.
+          // `kernels.feature_tasks` counts only real extractions, so it
+          // stays a census of work actually done.
+          const store::Digest key = store::ArtifactStore::features_key(
+              config.kernel, config.label_policy, key_of(i));
+          if (auto cached = store.load_features(key)) {
+            features[i] = std::move(*cached);
+            return;
+          }
           const graph::EventGraph& graph = i == n ? reference : *runs[i];
           features[i] = kernel->features(
               kernels::build_labeled_graph(graph, config.label_policy));
+          store.save_features(key, features[i]);
           feature_tasks.add(1);
         },
         1, cancel);

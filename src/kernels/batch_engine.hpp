@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "kernels/distance_matrix.hpp"
+#include "kernels/kernel.hpp"
+#include "support/thread_pool.hpp"
+
+namespace anacin::kernels {
+
+/// Two-phase batched distance engine (design notes in docs/KERNELS.md).
+///
+/// Phase A (batch_features) embeds every graph once; phase B turns the
+/// precomputed histograms into distances with a blocked sparse
+/// inner-product sweep instead of a merge-join per pair. The contract of
+/// every entry point here is *byte-identical* output to the naive
+/// per-pair reference (`kernel_distance(features(a), features(b))`):
+/// the sweep accumulates each pair's matched products in the same
+/// ascending-id order the merge-join uses, and the interleaved zero
+/// products it adds for unmatched ids cannot change any bit because all
+/// products are non-negative (x + 0.0 == x bitwise for x >= +0.0).
+
+/// Extract features for every graph across the pool. Accounts each
+/// extraction in `kernels.feature_tasks`.
+std::vector<FeatureVector> batch_features(
+    const GraphKernel& kernel, const std::vector<LabeledGraph>& graphs,
+    ThreadPool& pool, CancelToken* cancel = nullptr);
+
+/// All-pairs distance matrix from precomputed histograms. Work is tiled
+/// over row blocks of kTileRows histograms; tiles are the unit of
+/// parallelism and of the `kernels.distance_rows` /
+/// `kernels.distances_computed` / `kernels.distance_tiles` counters, so
+/// per-thread counter shards report the actual per-tile work split (the
+/// old row-parallel loop attributed a triangular, front-loaded share to
+/// each row, which made the shards useless for balance analysis).
+DistanceMatrix batch_pairwise_distances(
+    const std::vector<FeatureVector>& features, ThreadPool& pool);
+
+/// Distances from every histogram to one reference histogram.
+std::vector<double> batch_distances_to_reference(
+    const FeatureVector& reference,
+    const std::vector<FeatureVector>& features, ThreadPool& pool);
+
+/// Rows per tile in the phase-B sweep. Eight doubles = one 64-byte cache
+/// line per vocabulary slot, and an 8-wide accumulator the compiler can
+/// keep in vector registers.
+inline constexpr std::size_t kTileRows = 8;
+
+}  // namespace anacin::kernels

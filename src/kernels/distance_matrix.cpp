@@ -1,5 +1,6 @@
 #include "kernels/distance_matrix.hpp"
 
+#include "kernels/batch_engine.hpp"
 #include "obs/obs.hpp"
 
 namespace anacin::kernels {
@@ -17,58 +18,19 @@ DistanceMatrix pairwise_distances(const GraphKernel& kernel,
                                   const std::vector<LabeledGraph>& graphs,
                                   ThreadPool& pool) {
   ANACIN_SPAN("kernels.pairwise_distances");
-  const std::size_t n = graphs.size();
-  // Sharded counters: each pool worker lands on its own shard, so these
-  // double as per-thread work counts.
-  static obs::Counter& feature_tasks = obs::counter("kernels.feature_tasks");
-  static obs::Counter& distance_rows = obs::counter("kernels.distance_rows");
-  static obs::Counter& distances = obs::counter("kernels.distances_computed");
-
-  std::vector<FeatureVector> features(n);
-  {
-    ANACIN_SPAN("kernels.feature_extraction");
-    pool.parallel_for(0, n, [&](std::size_t i) {
-      ANACIN_SPAN("kernels.feature_task");
-      features[i] = kernel.features(graphs[i]);
-      feature_tasks.add(1);
-    });
-  }
-
-  DistanceMatrix matrix;
-  matrix.size = n;
-  matrix.values.assign(n * n, 0.0);
-  {
-    ANACIN_SPAN("kernels.distance_matrix");
-    // Parallelize over rows; each row computes its upper-triangle segment.
-    pool.parallel_for(0, n, [&](std::size_t i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const double d = kernel_distance(features[i], features[j]);
-        matrix.values[i * n + j] = d;
-        matrix.values[j * n + i] = d;
-      }
-      distance_rows.add(1);
-      distances.add(n - i - 1);
-    });
-  }
-  return matrix;
+  const std::vector<FeatureVector> features =
+      batch_features(kernel, graphs, pool);
+  return batch_pairwise_distances(features, pool);
 }
 
 std::vector<double> distances_to_reference(
     const GraphKernel& kernel, const LabeledGraph& reference,
     const std::vector<LabeledGraph>& graphs, ThreadPool& pool) {
   ANACIN_SPAN("kernels.distances_to_reference");
-  static obs::Counter& feature_tasks = obs::counter("kernels.feature_tasks");
-  static obs::Counter& distances = obs::counter("kernels.distances_computed");
   const FeatureVector reference_features = kernel.features(reference);
-  std::vector<double> result(graphs.size());
-  pool.parallel_for(0, graphs.size(), [&](std::size_t i) {
-    ANACIN_SPAN("kernels.feature_task");
-    result[i] =
-        kernel_distance(reference_features, kernel.features(graphs[i]));
-    feature_tasks.add(1);
-    distances.add(1);
-  });
-  return result;
+  const std::vector<FeatureVector> features =
+      batch_features(kernel, graphs, pool);
+  return batch_distances_to_reference(reference_features, features, pool);
 }
 
 double counted_distance(const FeatureVector& a, const FeatureVector& b) {

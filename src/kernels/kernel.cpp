@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
-#include <map>
 
 #include "obs/obs.hpp"
 #include "support/error.hpp"
@@ -14,36 +13,72 @@ namespace anacin::kernels {
 
 namespace {
 
-FeatureVector to_feature_vector(const std::map<std::uint64_t, double>& counts) {
-  FeatureVector features;
-  features.entries.assign(counts.begin(), counts.end());
-  for (const auto& [id, count] : features.entries) {
-    features.self_dot += count * count;
+/// Reusable per-thread scratch for feature extraction. Profiling showed
+/// roughly half the cost of one WL extraction was allocating these
+/// buffers afresh per call; the campaign extracts features for hundreds
+/// of graphs per measurement, so the scratch lives across calls. One
+/// workspace per thread: extractions run inside ThreadPool workers.
+struct ExtractionWorkspace {
+  /// One entry per feature occurrence, consumed by histogram_from_raw.
+  std::vector<std::uint64_t> raw;
+  /// WL label front for the current / next iteration.
+  std::vector<std::uint64_t> current;
+  std::vector<std::uint64_t> next;
+  /// Neighborhood hashes of the node being relabelled.
+  std::vector<std::uint64_t> neighborhood;
+  /// Flattened (CSR) adjacency of the graph being processed: node v's
+  /// incident half-edges are flat_peer/flat_salt[offsets[v]..offsets[v+1]).
+  std::vector<std::size_t> offsets;
+  std::vector<std::uint32_t> flat_peer;
+  std::vector<std::uint64_t> flat_salt;
+};
+
+ExtractionWorkspace& workspace() {
+  static thread_local ExtractionWorkspace scratch;
+  return scratch;
+}
+
+/// Flatten the pointer-chasing vector-of-vectors adjacency into the
+/// workspace's CSR arrays, pre-hashing each half-edge's direction salt.
+void flatten_adjacency(const LabeledGraph& graph, ExtractionWorkspace& ws) {
+  const std::size_t n = graph.num_nodes();
+  ws.offsets.assign(n + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    total += graph.neighbors[v].size();
+    ws.offsets[v + 1] = total;
   }
-  return features;
+  ws.flat_peer.resize(total);
+  ws.flat_salt.resize(total);
+  std::size_t k = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const auto& [w, is_out] : graph.neighbors[v]) {
+      ws.flat_peer[k] = w;
+      ws.flat_salt[k] = is_out ? 0x0Du : 0x1Du;
+      ++k;
+    }
+  }
+}
+
+/// Sort a small neighborhood: insertion sort below the threshold where
+/// introsort's overhead dominates (event-graph nodes have degree ~3).
+void sort_neighborhood(std::vector<std::uint64_t>& values) {
+  if (values.size() <= 24) {
+    for (std::size_t a = 1; a < values.size(); ++a) {
+      const std::uint64_t key = values[a];
+      std::size_t b = a;
+      while (b > 0 && values[b - 1] > key) {
+        values[b] = values[b - 1];
+        --b;
+      }
+      values[b] = key;
+    }
+  } else {
+    std::sort(values.begin(), values.end());
+  }
 }
 
 }  // namespace
-
-double dot(const FeatureVector& a, const FeatureVector& b) {
-  double sum = 0.0;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < a.entries.size() && j < b.entries.size()) {
-    const auto [ida, ca] = a.entries[i];
-    const auto [idb, cb] = b.entries[j];
-    if (ida == idb) {
-      sum += ca * cb;
-      ++i;
-      ++j;
-    } else if (ida < idb) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return sum;
-}
 
 double kernel_distance(const FeatureVector& a, const FeatureVector& b) {
   const double squared = a.self_dot + b.self_dot - 2.0 * dot(a, b);
@@ -58,22 +93,21 @@ double normalized_kernel(const FeatureVector& a, const FeatureVector& b) {
 }
 
 FeatureVector VertexHistogramKernel::features(const LabeledGraph& graph) const {
-  std::map<std::uint64_t, double> counts;
-  for (const std::uint64_t label : graph.labels) counts[label] += 1.0;
-  return to_feature_vector(counts);
+  ExtractionWorkspace& ws = workspace();
+  ws.raw = graph.labels;
+  return histogram_from_raw(ws.raw);
 }
 
 FeatureVector EdgeHistogramKernel::features(const LabeledGraph& graph) const {
-  std::map<std::uint64_t, double> counts;
+  ExtractionWorkspace& ws = workspace();
+  ws.raw.clear();
   for (std::size_t v = 0; v < graph.num_nodes(); ++v) {
     for (const auto& [w, is_out] : graph.neighbors[v]) {
       if (!is_out) continue;  // count each directed edge once, at its source
-      const std::uint64_t id =
-          hash_combine(graph.labels[v], graph.labels[w]);
-      counts[id] += 1.0;
+      ws.raw.push_back(hash_combine(graph.labels[v], graph.labels[w]));
     }
   }
-  return to_feature_vector(counts);
+  return histogram_from_raw(ws.raw);
 }
 
 WLSubtreeKernel::WLSubtreeKernel(unsigned depth) : depth_(depth) {
@@ -86,7 +120,6 @@ std::string WLSubtreeKernel::name() const {
 
 FeatureVector WLSubtreeKernel::features(const LabeledGraph& graph) const {
   ANACIN_SPAN("kernels.wl_features");
-  std::map<std::uint64_t, double> counts;
   const std::size_t n = graph.num_nodes();
   static obs::Counter& extractions =
       obs::counter("kernels.wl.feature_extractions");
@@ -94,36 +127,42 @@ FeatureVector WLSubtreeKernel::features(const LabeledGraph& graph) const {
   extractions.add(1);
   relabels.add(static_cast<std::uint64_t>(n) * depth_);
 
-  std::vector<std::uint64_t> current = graph.labels;
+  ExtractionWorkspace& ws = workspace();
+  ws.raw.clear();
+  ws.raw.reserve(n * (depth_ + 1));
+  ws.current = graph.labels;
   // Depth 0: the initial labels themselves, salted by iteration index so
   // labels from different depths never collide.
-  for (const std::uint64_t label : current) {
-    counts[hash_combine(0, label)] += 1.0;
+  for (const std::uint64_t label : ws.current) {
+    ws.raw.push_back(hash_combine(0, label));
   }
 
-  std::vector<std::uint64_t> next(n);
-  std::vector<std::uint64_t> neighborhood;
-  for (unsigned iteration = 1; iteration <= depth_; ++iteration) {
-    for (std::size_t v = 0; v < n; ++v) {
-      neighborhood.clear();
-      neighborhood.reserve(graph.neighbors[v].size());
-      for (const auto& [w, is_out] : graph.neighbors[v]) {
-        // Direction-aware WL: an in-neighbor and an out-neighbor with the
-        // same label contribute differently.
-        neighborhood.push_back(
-            hash_combine(is_out ? 0x0Du : 0x1Du, current[w]));
+  if (depth_ > 0) {
+    flatten_adjacency(graph, ws);
+    ws.next.resize(n);
+    for (unsigned iteration = 1; iteration <= depth_; ++iteration) {
+      for (std::size_t v = 0; v < n; ++v) {
+        const std::size_t begin = ws.offsets[v];
+        const std::size_t degree = ws.offsets[v + 1] - begin;
+        ws.neighborhood.resize(degree);
+        for (std::size_t k = 0; k < degree; ++k) {
+          // Direction-aware WL: an in-neighbor and an out-neighbor with
+          // the same label contribute differently.
+          ws.neighborhood[k] = hash_combine(
+              ws.flat_salt[begin + k], ws.current[ws.flat_peer[begin + k]]);
+        }
+        sort_neighborhood(ws.neighborhood);
+        std::uint64_t relabel = hash_combine(0x57AB1Eull, ws.current[v]);
+        for (const std::uint64_t h : ws.neighborhood) {
+          relabel = hash_combine(relabel, h);
+        }
+        ws.next[v] = relabel;
+        ws.raw.push_back(hash_combine(iteration, relabel));
       }
-      std::sort(neighborhood.begin(), neighborhood.end());
-      std::uint64_t relabel = hash_combine(0x57AB1Eull, current[v]);
-      for (const std::uint64_t h : neighborhood) {
-        relabel = hash_combine(relabel, h);
-      }
-      next[v] = relabel;
-      counts[hash_combine(iteration, relabel)] += 1.0;
+      std::swap(ws.current, ws.next);
     }
-    std::swap(current, next);
   }
-  return to_feature_vector(counts);
+  return histogram_from_raw(ws.raw);
 }
 
 GraphletSamplingKernel::GraphletSamplingKernel(
@@ -134,7 +173,8 @@ GraphletSamplingKernel::GraphletSamplingKernel(
 
 FeatureVector GraphletSamplingKernel::features(
     const LabeledGraph& graph) const {
-  std::map<std::uint64_t, double> counts;
+  ExtractionWorkspace& ws = workspace();
+  ws.raw.clear();
   const std::size_t n = graph.num_nodes();
   // Deterministic sampling: the RNG depends only on the kernel seed, so
   // identical graphs always produce identical features (a requirement for
@@ -160,13 +200,12 @@ FeatureVector GraphletSamplingKernel::features(
           hash_combine(u_out ? 0x0Du : 0x1Du, graph.labels[u]);
       const std::uint64_t wing_w =
           hash_combine(w_out ? 0x0Du : 0x1Du, graph.labels[w]);
-      const std::uint64_t id = hash_combine(
+      ws.raw.push_back(hash_combine(
           graph.labels[center],
-          hash_combine(std::min(wing_u, wing_w), std::max(wing_u, wing_w)));
-      counts[id] += 1.0;
+          hash_combine(std::min(wing_u, wing_w), std::max(wing_u, wing_w))));
     }
   }
-  return to_feature_vector(counts);
+  return histogram_from_raw(ws.raw);
 }
 
 std::unique_ptr<GraphKernel> make_kernel(const std::string& spec) {

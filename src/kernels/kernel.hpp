@@ -6,22 +6,14 @@
 #include <vector>
 
 #include "kernels/labeled_graph.hpp"
+#include "kernels/sparse_histogram.hpp"
 
 namespace anacin::kernels {
 
-/// Sparse feature embedding of a graph in the kernel's feature space.
-/// The kernel value of two graphs is the dot product of their features —
-/// i.e. an inner product in a Reproducing Kernel Hilbert Space, exactly the
-/// object the paper's "kernel function" refers to.
-struct FeatureVector {
-  /// (feature id, count), sorted by feature id.
-  std::vector<std::pair<std::uint64_t, double>> entries;
-  /// Cached <f, f>.
-  double self_dot = 0.0;
-};
-
-/// Dot product of two sparse feature vectors.
-double dot(const FeatureVector& a, const FeatureVector& b);
+/// A graph's feature embedding is a sparse histogram of feature-id
+/// counts; see sparse_histogram.hpp for the layout and the batched
+/// distance engine built on top of it.
+using FeatureVector = SparseHistogram;
 
 /// Kernel distance: the RKHS metric sqrt(k(a,a) + k(b,b) - 2 k(a,b)).
 /// Because event graphs encode the communication pattern, this is the

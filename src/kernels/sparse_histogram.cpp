@@ -1,0 +1,93 @@
+#include "kernels/sparse_histogram.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace anacin::kernels {
+
+namespace {
+
+/// Sort a raw feature-id list. Ids are hash outputs, so their top bytes
+/// are near-uniform: one counting-scatter pass by the top byte leaves
+/// ~n/256 elements per bucket, each finished with a tiny sort. Any
+/// algorithm yields the same ascending order, so the RLE downstream —
+/// and therefore every distance — is unaffected; this exists purely
+/// because std::sort on random u64 was the single largest cost of WL
+/// feature extraction.
+void sort_ids(std::vector<std::uint64_t>& raw) {
+  if (raw.size() < 128) {
+    std::sort(raw.begin(), raw.end());
+    return;
+  }
+  static thread_local std::vector<std::uint64_t> scratch;
+  scratch.resize(raw.size());
+  std::array<std::uint32_t, 257> offset{};
+  for (const std::uint64_t v : raw) ++offset[(v >> 56) + 1];
+  for (std::size_t b = 0; b < 256; ++b) offset[b + 1] += offset[b];
+  std::array<std::uint32_t, 256> cursor;
+  std::copy(offset.begin(), offset.begin() + 256, cursor.begin());
+  for (const std::uint64_t v : raw) scratch[cursor[v >> 56]++] = v;
+  raw.swap(scratch);
+  for (std::size_t b = 0; b < 256; ++b) {
+    const std::size_t lo = offset[b];
+    const std::size_t hi = offset[b + 1];
+    if (hi - lo <= 1) continue;
+    if (hi - lo <= 32) {
+      // Insertion sort: buckets hold a handful of elements on hashed
+      // input, where introsort's setup costs dominate.
+      for (std::size_t a = lo + 1; a < hi; ++a) {
+        const std::uint64_t key = raw[a];
+        std::size_t b2 = a;
+        while (b2 > lo && raw[b2 - 1] > key) {
+          raw[b2] = raw[b2 - 1];
+          --b2;
+        }
+        raw[b2] = key;
+      }
+    } else {
+      // Pathologically skewed bucket (non-hashed ids): stay O(n log n).
+      std::sort(raw.begin() + static_cast<std::ptrdiff_t>(lo),
+                raw.begin() + static_cast<std::ptrdiff_t>(hi));
+    }
+  }
+}
+
+}  // namespace
+
+SparseHistogram histogram_from_raw(std::vector<std::uint64_t>& raw) {
+  sort_ids(raw);
+  SparseHistogram histogram;
+  histogram.ids.reserve(raw.size());
+  histogram.counts.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size();) {
+    std::size_t j = i;
+    while (j < raw.size() && raw[j] == raw[i]) ++j;
+    histogram.push(raw[i], static_cast<double>(j - i));
+    i = j;
+  }
+  return histogram;
+}
+
+double dot(const SparseHistogram& a, const SparseHistogram& b) {
+  double sum = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const std::size_t na = a.ids.size();
+  const std::size_t nb = b.ids.size();
+  while (i < na && j < nb) {
+    const std::uint64_t ida = a.ids[i];
+    const std::uint64_t idb = b.ids[j];
+    if (ida == idb) {
+      sum += a.counts[i] * b.counts[j];
+      ++i;
+      ++j;
+    } else if (ida < idb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return sum;
+}
+
+}  // namespace anacin::kernels

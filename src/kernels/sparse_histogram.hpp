@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace anacin::kernels {
+
+/// Sparse feature embedding of a graph in a kernel's feature space,
+/// stored as CSR-style parallel arrays: `ids` holds the feature ids in
+/// strictly ascending order and `counts[k]` the (integer-valued)
+/// occurrence count of `ids[k]`. The split layout keeps each array
+/// contiguous and homogeneous, which is what lets the batched distance
+/// engine (batch_engine.hpp) reindex ids to dense vocabulary slots and
+/// stream counts through SIMD-friendly gathers — the interleaved
+/// `vector<pair<id, count>>` it replaced defeated both.
+///
+/// The kernel value of two graphs is the dot product of their histograms —
+/// an inner product in a Reproducing Kernel Hilbert Space, exactly the
+/// object the paper's "kernel function" refers to.
+struct SparseHistogram {
+  /// Feature ids, strictly ascending.
+  std::vector<std::uint64_t> ids;
+  /// counts[k] is the count of ids[k]; same length as `ids`.
+  std::vector<double> counts;
+  /// Cached <f, f>, accumulated in ascending id order.
+  double self_dot = 0.0;
+
+  std::size_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+
+  bool operator==(const SparseHistogram& other) const = default;
+
+  /// Append an entry; `id` must exceed every id already present.
+  void push(std::uint64_t id, double count) {
+    ids.push_back(id);
+    counts.push_back(count);
+    self_dot += count * count;
+  }
+};
+
+/// Build a histogram from one raw feature-id occurrence list (one entry
+/// per occurrence, duplicates allowed, any order). Sorts in place, then
+/// run-length-encodes. Counts are exact integers, so the result is
+/// bit-identical to a `map<id, double>` built with repeated `+= 1.0` —
+/// the aggregation the per-pair engine used before batching.
+SparseHistogram histogram_from_raw(std::vector<std::uint64_t>& raw);
+
+/// Sparse dot product <a, b>: matched products accumulated in ascending
+/// id order (the order every other engine in this module must reproduce
+/// to stay bit-identical).
+double dot(const SparseHistogram& a, const SparseHistogram& b);
+
+}  // namespace anacin::kernels

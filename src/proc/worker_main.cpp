@@ -136,23 +136,30 @@ json::Value execute_pair(store::ArtifactStore& store,
   reply.set("key", key.to_hex());
   if (store.load_distance(key)) return reply;
 
-  const auto load = [&](const store::Digest& digest) {
+  // Feature histograms are themselves store artifacts: across the many
+  // pair units that share a run, only the first child pays for extraction.
+  // Cached histograms round-trip bit-exactly, so this keeps isolated and
+  // in-process campaigns byte-identical.
+  const auto kernel = kernels::make_kernel(kernel_spec);
+  const auto features_of = [&](const store::Digest& digest) {
+    const store::Digest features_key =
+        store::ArtifactStore::features_key(kernel_spec, policy, digest);
+    if (auto cached = store.load_features(features_key)) {
+      return std::move(*cached);
+    }
     auto run = store.load_run(digest);
     if (!run) {
       throw PermanentError("worker: run artifact " + digest.to_hex() +
                            " missing from the store — pair units are "
                            "dispatched only after their runs complete");
     }
-    return std::move(run->graph);
+    kernels::FeatureVector features =
+        kernel->features(kernels::build_labeled_graph(run->graph, policy));
+    store.save_features(features_key, features);
+    return features;
   };
-  const graph::EventGraph graph_a = load(a);
-  const graph::EventGraph graph_b = load(b);
-
-  const auto kernel = kernels::make_kernel(kernel_spec);
-  const kernels::FeatureVector features_a =
-      kernel->features(kernels::build_labeled_graph(graph_a, policy));
-  const kernels::FeatureVector features_b =
-      kernel->features(kernels::build_labeled_graph(graph_b, policy));
+  const kernels::FeatureVector features_a = features_of(a);
+  const kernels::FeatureVector features_b = features_of(b);
   const double distance = kernels::counted_distance(features_a, features_b);
   store.save_distance(key, distance);
   return reply;

@@ -228,6 +228,7 @@ std::string_view kind_name(Kind kind) {
     case Kind::kDistances: return "distances";
     case Kind::kDistanceMatrix: return "distance_matrix";
     case Kind::kRun: return "run";
+    case Kind::kFeatures: return "features";
   }
   return "unknown";
 }
@@ -253,7 +254,7 @@ Envelope validate_envelope(std::span<const std::uint8_t> bytes) {
   }
   const std::uint16_t raw_kind =
       static_cast<std::uint16_t>(bytes[6] | (bytes[7] << 8));
-  if (raw_kind < 1 || raw_kind > 5) {
+  if (raw_kind < 1 || raw_kind > 6) {
     throw ParseError("artifact has unknown kind " + std::to_string(raw_kind));
   }
   envelope.kind = static_cast<Kind>(raw_kind);
@@ -435,6 +436,49 @@ EncodedRun decode_run(std::span<const std::uint8_t> bytes) {
     throw ParseError("run artifact: trailing bytes after payload");
   }
   return run;
+}
+
+std::vector<std::uint8_t> encode_features(
+    const kernels::SparseHistogram& features) {
+  ByteWriter writer;
+  writer.u64(features.ids.size());
+  for (const std::uint64_t id : features.ids) writer.u64(id);
+  for (const double count : features.counts) writer.f64(count);
+  writer.f64(features.self_dot);
+  return seal(Kind::kFeatures, std::move(writer).take());
+}
+
+kernels::SparseHistogram decode_features(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader reader(open(bytes, Kind::kFeatures));
+  const std::uint64_t size = reader.count();
+  kernels::SparseHistogram features;
+  features.ids.reserve(size);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    const std::uint64_t id = reader.u64();
+    if (!features.ids.empty() && id <= features.ids.back()) {
+      throw ParseError("features artifact: ids not strictly ascending");
+    }
+    features.ids.push_back(id);
+  }
+  features.counts.reserve(size);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    features.counts.push_back(reader.f64());
+  }
+  const double stored_self_dot = reader.f64();
+  if (!reader.at_end()) {
+    throw ParseError("features artifact: trailing bytes after payload");
+  }
+  // Recompute the norm in the same accumulation order SparseHistogram::push
+  // uses; a mismatch means the payload is inconsistent, not merely stale.
+  double self_dot = 0.0;
+  for (const double count : features.counts) self_dot += count * count;
+  if (std::bit_cast<std::uint64_t>(self_dot) !=
+      std::bit_cast<std::uint64_t>(stored_self_dot)) {
+    throw ParseError("features artifact: self_dot does not match counts");
+  }
+  features.self_dot = self_dot;
+  return features;
 }
 
 }  // namespace anacin::store

@@ -7,6 +7,7 @@
 
 #include "graph/event_graph.hpp"
 #include "kernels/distance_matrix.hpp"
+#include "kernels/sparse_histogram.hpp"
 #include "trace/trace.hpp"
 
 namespace anacin::store {
@@ -31,6 +32,9 @@ namespace anacin::store {
 ///   1 — initial layout.
 ///   2 — kRun payload carries fault counters (drops/retries/duplicates/
 ///       straggler_events); event nodes may use EventType::kFault.
+///       kFeatures added later under the same version: a new kind does not
+///       change any existing payload, and older builds reject it cleanly
+///       as an unknown kind.
 inline constexpr std::uint16_t kFormatVersion = 2;
 inline constexpr std::size_t kEnvelopeSize = 24;
 
@@ -41,6 +45,8 @@ enum class Kind : std::uint16_t {
   kDistanceMatrix = 4,
   /// One campaign run: aggregate simulator stats + the event graph.
   kRun = 5,
+  /// One run's kernel feature histogram (sorted sparse ids + counts).
+  kFeatures = 6,
 };
 
 std::string_view kind_name(Kind kind);
@@ -87,5 +93,9 @@ kernels::DistanceMatrix decode_distance_matrix(
 
 std::vector<std::uint8_t> encode_run(const EncodedRun& run);
 EncodedRun decode_run(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> encode_features(
+    const kernels::SparseHistogram& features);
+kernels::SparseHistogram decode_features(std::span<const std::uint8_t> bytes);
 
 }  // namespace anacin::store

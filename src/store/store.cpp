@@ -49,6 +49,18 @@ Digest ArtifactStore::distance_key(const std::string& kernel_spec,
   return digest_json(doc);
 }
 
+Digest ArtifactStore::features_key(const std::string& kernel_spec,
+                                   kernels::LabelPolicy policy,
+                                   const Digest& run) {
+  json::Value doc = json::Value::object();
+  doc.set("artifact", "features");
+  doc.set("codec", static_cast<std::int64_t>(kFormatVersion));
+  doc.set("kernel", kernel_spec);
+  doc.set("label_policy", std::string(kernels::label_policy_name(policy)));
+  doc.set("run", run.to_hex());
+  return digest_json(doc);
+}
+
 std::optional<EncodedRun> ArtifactStore::load_run(const Digest& key) {
   const ObjectBytes bytes = objects_.get(key);
   if (!bytes) return std::nullopt;
@@ -86,6 +98,25 @@ std::optional<double> ArtifactStore::load_distance(const Digest& key) {
 void ArtifactStore::save_distance(const Digest& key, double value) {
   const std::vector<std::uint8_t> bytes = encode_distances({value});
   objects_.put(key, Kind::kDistances, bytes);
+}
+
+std::optional<kernels::SparseHistogram> ArtifactStore::load_features(
+    const Digest& key) {
+  const ObjectBytes bytes = objects_.get(key);
+  if (!bytes) return std::nullopt;
+  try {
+    return decode_features(*bytes);
+  } catch (const Error&) {
+    corrupt_counter().add(1);
+    objects_.remove(key);
+    return std::nullopt;
+  }
+}
+
+void ArtifactStore::save_features(const Digest& key,
+                                  const kernels::SparseHistogram& features) {
+  const std::vector<std::uint8_t> bytes = encode_features(features);
+  objects_.put(key, Kind::kFeatures, bytes);
 }
 
 ArtifactStore* active_store() {

@@ -43,11 +43,21 @@ class ArtifactStore {
                              kernels::LabelPolicy policy, const Digest& a,
                              const Digest& b);
 
+  /// Key of one run's kernel feature histogram: extraction is a pure
+  /// function of (kernel spec, label policy, run), so the cached histogram
+  /// substitutes bit-for-bit for re-extraction.
+  static Digest features_key(const std::string& kernel_spec,
+                             kernels::LabelPolicy policy, const Digest& run);
+
   std::optional<EncodedRun> load_run(const Digest& key);
   void save_run(const Digest& key, const EncodedRun& run);
 
   std::optional<double> load_distance(const Digest& key);
   void save_distance(const Digest& key, double value);
+
+  std::optional<kernels::SparseHistogram> load_features(const Digest& key);
+  void save_features(const Digest& key,
+                     const kernels::SparseHistogram& features);
 
  private:
   ObjectStore objects_;

@@ -13,24 +13,6 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
-std::uint64_t splitmix64(std::uint64_t& state) {
-  state += 0x9E3779B97F4A7C15ull;
-  std::uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
-}
-
-std::uint64_t mix64(std::uint64_t value) {
-  std::uint64_t s = value;
-  return splitmix64(s);
-}
-
-std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
-  // boost::hash_combine style, widened to 64 bits.
-  return a ^ (mix64(b) + 0x9E3779B97F4A7C15ull + (a << 12) + (a >> 4));
-}
-
 Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);

@@ -77,12 +77,26 @@ private:
 };
 
 /// SplitMix64 step — also useful as a cheap 64-bit mixer for hashing.
-std::uint64_t splitmix64(std::uint64_t& state);
+/// Inline: WL relabelling calls this once per (node, depth, neighbor) and
+/// the call overhead dominates an out-of-line build of the kernel hot path.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
 
 /// Stateless mix of a 64-bit value (one SplitMix64 round).
-std::uint64_t mix64(std::uint64_t value);
+inline std::uint64_t mix64(std::uint64_t value) {
+  std::uint64_t s = value;
+  return splitmix64(s);
+}
 
 /// Combine two 64-bit hashes (order-dependent).
-std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  // boost::hash_combine style, widened to 64 bits.
+  return a ^ (mix64(b) + 0x9E3779B97F4A7C15ull + (a << 12) + (a >> 4));
+}
 
 }  // namespace anacin

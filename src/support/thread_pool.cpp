@@ -1,7 +1,6 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <exception>
 
@@ -12,8 +11,10 @@ namespace anacin {
 namespace {
 
 /// The pool whose worker_loop is executing on this thread, if any. Lets
-/// parallel_for detect re-entrant calls from its own workers.
+/// parallel_for detect re-entrant calls from its own workers, and lets
+/// enqueue route a worker's submissions to that worker's own deque.
 thread_local ThreadPool* t_worker_pool = nullptr;
+thread_local std::size_t t_worker_index = 0;
 
 }  // namespace
 
@@ -21,43 +22,116 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  queues_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
-  cv_.notify_all();
+  stopping_.store(true, std::memory_order_release);
+  // Empty critical section: a worker between its predicate check and its
+  // wait would otherwise miss the notification forever.
+  { const std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  sleep_cv_.notify_all();
   for (auto& worker : workers_) worker.join();
 }
 
 void ThreadPool::enqueue(std::function<void()> item) {
+  ANACIN_CHECK(!stopping_.load(std::memory_order_acquire),
+               "submit on a stopping ThreadPool");
+  // A worker pushes to its own deque (the LIFO end it pops from); external
+  // threads spread load round-robin.
+  const std::size_t target =
+      t_worker_pool == this
+          ? t_worker_index
+          : next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                queues_.size();
+  // Increment before the push: a concurrent pop decrements after taking
+  // an item, and must never see the count below the queued reality.
+  pending_.fetch_add(1, std::memory_order_release);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ANACIN_CHECK(!stopping_, "submit on a stopping ThreadPool");
-    queue_.push_back(std::move(item));
+    WorkerQueue& queue = *queues_[target];
+    const std::lock_guard<std::mutex> lock(queue.mutex);
+    queue.items.push_back(std::move(item));
   }
-  cv_.notify_one();
+  notify_one_sleeper();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::notify_one_sleeper() {
+  // Lock-and-drop before notifying: pairs with the sleep predicate so a
+  // worker can never check `pending_`, decide to sleep, and then miss
+  // the wakeup for the item just pushed.
+  { const std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  sleep_cv_.notify_one();
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
   t_worker_pool = this;
+  t_worker_index = index;
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    if (run_one_task(index)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;  // stopping and every queue drained
     }
-    task();
   }
+}
+
+bool ThreadPool::run_one_task(std::size_t self) {
+  // Own deque first, newest item first: parallel_for chunks just pushed
+  // are still hot in this worker's cache.
+  {
+    WorkerQueue& queue = *queues_[self];
+    std::unique_lock<std::mutex> lock(queue.mutex);
+    if (!queue.items.empty()) {
+      std::function<void()> task = std::move(queue.items.back());
+      queue.items.pop_back();
+      lock.unlock();
+      pending_.fetch_sub(1, std::memory_order_release);
+      task();
+      return true;
+    }
+  }
+  // Empty: raid the other workers, oldest items first, half the queue per
+  // steal so one raid rebalances a lopsided pool. The loot moves through
+  // a local buffer — never hold two queue mutexes at once (two workers
+  // stealing from each other would deadlock on the lock pair).
+  const std::size_t num_queues = queues_.size();
+  for (std::size_t offset = 1; offset < num_queues; ++offset) {
+    WorkerQueue& victim = *queues_[(self + offset) % num_queues];
+    std::deque<std::function<void()>> loot;
+    {
+      const std::lock_guard<std::mutex> lock(victim.mutex);
+      if (victim.items.empty()) continue;
+      std::size_t take = (victim.items.size() + 1) / 2;
+      while (take-- > 0) {
+        loot.push_back(std::move(victim.items.front()));
+        victim.items.pop_front();
+      }
+    }
+    std::function<void()> task = std::move(loot.front());
+    loot.pop_front();
+    if (!loot.empty()) {
+      const std::lock_guard<std::mutex> lock(queues_[self]->mutex);
+      for (auto& item : loot) {
+        queues_[self]->items.push_back(std::move(item));
+      }
+    }
+    pending_.fetch_sub(1, std::memory_order_release);
+    task();
+    return true;
+  }
+  return false;
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
@@ -97,30 +171,19 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (t_worker_pool == this) {
     // Re-entrant call from one of our own workers. Blocking here could
     // deadlock: with every worker waiting, the chunks just submitted would
-    // never be scheduled. Help drain the queue until our chunks finish —
-    // drained tasks may belong to other callers, which only speeds them up.
+    // never be scheduled. Help drain — own deque first, then steals —
+    // until our chunks finish; drained tasks may belong to other callers,
+    // which only speeds them up.
     for (auto& chunk : chunks) {
       while (chunk.wait_for(std::chrono::seconds(0)) !=
              std::future_status::ready) {
-        if (!run_one_queued_task()) std::this_thread::yield();
+        if (!run_one_task(t_worker_index)) std::this_thread::yield();
       }
     }
   } else {
     for (auto& chunk : chunks) chunk.wait();
   }
   if (first_error) std::rethrow_exception(first_error);
-}
-
-bool ThreadPool::run_one_queued_task() {
-  std::function<void()> task;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop_front();
-  }
-  task();
-  return true;
 }
 
 ThreadPool& global_pool() {

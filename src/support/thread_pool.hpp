@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -30,8 +31,17 @@ private:
   std::atomic<bool> cancelled_{false};
 };
 
-/// Fixed-size worker pool used to parallelize independent simulation runs
-/// and pairwise kernel-distance computations.
+/// Work-stealing worker pool used to parallelize independent simulation
+/// runs and pairwise kernel-distance computations.
+///
+/// Each worker owns a deque: it pushes and pops its own work at the back
+/// (LIFO — hot in cache, and a worker's parallel_for chunks stay local),
+/// and steals from other workers' fronts when idle, taking half the
+/// victim's queue per steal so one raid rebalances instead of trickling
+/// items one by one. External submitters round-robin across the queues.
+/// The single-mutex/single-deque design this replaced serialized every
+/// push and pop through one lock, which became the bottleneck once the
+/// batched kernel engine shrank task bodies to microseconds.
 ///
 /// Work items are type-erased `std::function<void()>`; `submit` wraps a
 /// callable in a packaged_task and returns its future. The pool is
@@ -70,23 +80,40 @@ public:
   /// token (used for SIGINT draining).
   ///
   /// Safe to call from inside a pool task: the calling worker then helps
-  /// drain the queue instead of blocking on its own chunks (blocking would
-  /// deadlock a pool whose every worker waits on queued work).
+  /// drain its own queue (and steals) instead of blocking on its own
+  /// chunks (blocking would deadlock a pool whose every worker waits on
+  /// queued work).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 1, CancelToken* cancel = nullptr);
 
 private:
-  void enqueue(std::function<void()> item);
-  void worker_loop();
-  /// Pop and run one queued task; false if the queue was empty.
-  bool run_one_queued_task();
+  /// One worker's deque. Guarded by a plain mutex: pushes and pops are
+  /// almost always uncontended (only steals touch another worker's
+  /// queue), and a mutex keeps the scheduler trivially TSan-clean.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> items;
+  };
 
+  void enqueue(std::function<void()> item);
+  void worker_loop(std::size_t index);
+  /// Pop one task from `self`'s queue — or steal half of some victim's —
+  /// and run it. False if every queue was empty.
+  bool run_one_task(std::size_t self);
+  void notify_one_sleeper();
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  /// Tasks enqueued but not yet started. The sleep predicate: workers
+  /// doze only when this is zero, so a task stuck in a remote queue
+  /// always has an awake worker able to steal it.
+  std::atomic<std::size_t> pending_{0};
+  /// Round-robin cursor for external (non-worker) submits.
+  std::atomic<std::size_t> next_queue_{0};
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<bool> stopping_{false};
 };
 
 /// Process-wide default pool (lazily constructed).

@@ -47,7 +47,7 @@ TEST(GraphletKernel, FeaturesAreDeterministic) {
       build_labeled_graph(mesh_graph(1.0, 5), LabelPolicy::kTypePeer);
   const FeatureVector f1 = kernel.features(g);
   const FeatureVector f2 = kernel.features(g);
-  EXPECT_EQ(f1.entries, f2.entries);
+  EXPECT_EQ(f1, f2);
   EXPECT_DOUBLE_EQ(kernel_distance(f1, f2), 0.0);
 }
 
@@ -65,8 +65,8 @@ TEST(GraphletKernel, HandlesDegenerateGraphs) {
   LabeledGraph isolated;
   isolated.labels = {1, 2, 3};
   isolated.neighbors.resize(3);  // no edges: no 3-node graphlets
-  EXPECT_TRUE(kernel.features(isolated).entries.empty());
-  EXPECT_TRUE(kernel.features(LabeledGraph{}).entries.empty());
+  EXPECT_TRUE(kernel.features(isolated).empty());
+  EXPECT_TRUE(kernel.features(LabeledGraph{}).empty());
 }
 
 TEST(GraphletKernel, ConstructibleViaSpec) {
@@ -107,13 +107,13 @@ TEST_P(WlPermutationInvariance, FeaturesUnchangedByRelabeling) {
     const WLSubtreeKernel kernel(depth);
     const FeatureVector fa = kernel.features(original);
     const FeatureVector fb = kernel.features(shuffled);
-    EXPECT_EQ(fa.entries, fb.entries) << "depth " << depth;
+    EXPECT_EQ(fa, fb) << "depth " << depth;
   }
   // Histogram kernels share the property.
-  EXPECT_EQ(VertexHistogramKernel().features(original).entries,
-            VertexHistogramKernel().features(shuffled).entries);
-  EXPECT_EQ(EdgeHistogramKernel().features(original).entries,
-            EdgeHistogramKernel().features(shuffled).entries);
+  EXPECT_EQ(VertexHistogramKernel().features(original),
+            VertexHistogramKernel().features(shuffled));
+  EXPECT_EQ(EdgeHistogramKernel().features(original),
+            EdgeHistogramKernel().features(shuffled));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WlPermutationInvariance,

@@ -196,7 +196,7 @@ TEST(EmptyGraphs, KernelsHandleGracefully) {
   const LabeledGraph empty;
   const WLSubtreeKernel kernel(2);
   const FeatureVector f = kernel.features(empty);
-  EXPECT_TRUE(f.entries.empty());
+  EXPECT_TRUE(f.empty());
   EXPECT_DOUBLE_EQ(kernel_distance(f, f), 0.0);
   EXPECT_DOUBLE_EQ(normalized_kernel(f, f), 1.0);
 }

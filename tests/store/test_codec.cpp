@@ -178,6 +178,37 @@ TEST(CodecCorruption, KindMismatchIsRejected) {
   }
 }
 
+TEST(CodecFeatures, RoundTripIsBitExact) {
+  kernels::SparseHistogram features;
+  features.push(3, 1.0);
+  features.push(0x9E3779B97F4A7C15ull, 42.0);
+  features.push(0xFFFFFFFFFFFFFFFEull, 7.0);
+  const kernels::SparseHistogram decoded =
+      decode_features(encode_features(features));
+  EXPECT_EQ(decoded, features);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.self_dot),
+            std::bit_cast<std::uint64_t>(features.self_dot));
+
+  const kernels::SparseHistogram empty_decoded =
+      decode_features(encode_features(kernels::SparseHistogram{}));
+  EXPECT_TRUE(empty_decoded.empty());
+}
+
+TEST(CodecFeatures, RejectsUnsortedOrInconsistentPayloads) {
+  // The encoder writes whatever it is handed; the decoder is the gate.
+  kernels::SparseHistogram unsorted;
+  unsorted.ids = {20, 10};
+  unsorted.counts = {3.0, 2.0};
+  unsorted.self_dot = 13.0;
+  EXPECT_THROW(decode_features(encode_features(unsorted)), ParseError);
+
+  kernels::SparseHistogram bad_norm;
+  bad_norm.ids = {10, 20};
+  bad_norm.counts = {3.0, 2.0};
+  bad_norm.self_dot = 999.0;  // does not match 3^2 + 2^2
+  EXPECT_THROW(decode_features(encode_features(bad_norm)), ParseError);
+}
+
 TEST(CodecDeterminism, EncodingIsStable) {
   const trace::Trace trace = sample_run(7).trace;
   EXPECT_EQ(encode_trace(trace), encode_trace(trace));

@@ -126,6 +126,63 @@ TEST(ThreadPool, NestedParallelForFromSubmittedTask) {
   EXPECT_EQ(count.load(), 16);
 }
 
+TEST(ThreadPool, NestedParallelForUnderSaturation) {
+  // Every worker runs a nested parallel_for at once, so all of them must
+  // help-drain (and steal from each other) simultaneously — the shape
+  // that deadlocked the pre-work-stealing pool under load.
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  pool.parallel_for(0, 32, [&](std::size_t i) {
+    pool.parallel_for(0, 16, [&](std::size_t j) {
+      sum += static_cast<long>(i * 16 + j);
+    });
+  });
+  EXPECT_EQ(sum.load(), 511L * 512L / 2);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelFor) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 3, [&](std::size_t) {
+    pool.parallel_for(0, 3, [&](std::size_t) {
+      pool.parallel_for(0, 3, [&](std::size_t) { ++count; });
+    });
+  });
+  EXPECT_EQ(count.load(), 27);
+}
+
+TEST(ThreadPool, StealingBalancesExternalBurst) {
+  // External submits round-robin across worker deques; idle workers must
+  // steal to finish a burst even when the round-robin lands unevenly.
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, CancelDuringSaturatedNestedWork) {
+  // Cancellation must drain cleanly while every worker is busy stealing
+  // nested chunks; in-flight items finish, unstarted ones are skipped.
+  ThreadPool pool(8);
+  CancelToken token;
+  std::atomic<int> executed{0};
+  pool.parallel_for(
+      0, 64,
+      [&](std::size_t i) {
+        pool.parallel_for(0, 8, [&](std::size_t) { ++executed; });
+        if (i == 0) token.cancel();
+      },
+      1, &token);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_GE(executed.load(), 8);
+  EXPECT_LE(executed.load(), 64 * 8);
+}
+
 TEST(CancelToken, StartsClearAndSticksUntilReset) {
   CancelToken token;
   EXPECT_FALSE(token.cancelled());
