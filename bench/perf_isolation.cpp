@@ -82,7 +82,7 @@ void BM_WarmCampaignIsolated(benchmark::State& state) {
   store::ArtifactStore artifacts({root.string()});
   proc::WorkerPool workers(pool_config(root));
   core::ResilienceOptions resilience;
-  resilience.workers = &workers;
+  resilience.executor = &workers;
   for (auto _ : state) {
     const core::CampaignResult result =
         core::run_campaign(bench_campaign(), pool, &artifacts, resilience);

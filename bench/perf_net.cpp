@@ -1,0 +1,127 @@
+// The wire cost of the distributed fabric: frame encode/decode throughput
+// for the unified codec (what every unit, object, and heartbeat pays) and
+// the loopback TCP round-trip latency of one framed request/response —
+// the per-unit floor `anacin serve` adds over a local worker pool. The CI
+// distributed-smoke job archives this as BENCH_net.json.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "proc/protocol.hpp"
+
+using namespace anacin;
+
+namespace {
+
+std::string payload_of(std::size_t size) {
+  std::string payload(size, '\0');
+  // Deterministic non-trivial bytes so memcmp-style dedup can't cheat.
+  for (std::size_t i = 0; i < size; ++i) {
+    payload[i] = static_cast<char>((i * 131u + 7u) & 0xffu);
+  }
+  return payload;
+}
+
+/// encode_frame: one header + memcpy per frame; the write path of both
+/// transports.
+void BM_FrameEncode(benchmark::State& state) {
+  const std::string payload = payload_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const std::vector<char> buffer =
+        proc::encode_frame(proc::FrameType::kObject, payload);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size() + 5));
+}
+BENCHMARK(BM_FrameEncode)->Arg(64)->Arg(4 << 10)->Arg(256 << 10);
+
+/// Header parse + payload read through a pipe — the read path, including
+/// the syscalls a real frame costs.
+void BM_FrameDecodeThroughPipe(benchmark::State& state) {
+  const std::string payload = payload_of(static_cast<std::size_t>(state.range(0)));
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    state.SkipWithError("pipe() failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!proc::write_frame(fds[1], proc::FrameType::kObject, payload)) {
+      state.SkipWithError("write_frame failed");
+      break;
+    }
+    const proc::ReadResult got = proc::read_frame(fds[0], 10'000);
+    if (!got) {
+      state.SkipWithError("read_frame failed");
+      break;
+    }
+    benchmark::DoNotOptimize(got.frame.payload.data());
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size() + 5));
+}
+// Pipe capacity bounds the in-flight frame; stay under 64 KiB.
+BENCHMARK(BM_FrameDecodeThroughPipe)->Arg(64)->Arg(4 << 10)->Arg(48 << 10);
+
+/// One framed request/response over loopback TCP — the synchronous
+/// per-unit round trip between scheduler and agent. The echo peer mirrors
+/// an agent answering a kRequest with a kResult.
+void BM_LoopbackRoundTrip(benchmark::State& state) {
+  net::TcpListener listener("127.0.0.1", 0);
+  std::unique_ptr<net::TcpConnection> client;
+  std::thread dialer([&] {
+    client = net::TcpConnection::connect("127.0.0.1", listener.port(), 5000);
+  });
+  std::unique_ptr<net::TcpConnection> server = listener.accept(5000);
+  dialer.join();
+  if (server == nullptr || client == nullptr) {
+    state.SkipWithError("loopback connect failed");
+    return;
+  }
+
+  std::thread echo([&] {
+    for (;;) {
+      proc::ReadResult request = server->recv_frame(-1);
+      if (!request) break;  // client closed: bench finished
+      if (!server->send_frame(proc::FrameType::kResult,
+                              request.frame.payload)) {
+        break;
+      }
+    }
+  });
+
+  const std::string payload = payload_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    if (!client->send_frame(proc::FrameType::kRequest, payload)) {
+      state.SkipWithError("send failed");
+      break;
+    }
+    const proc::ReadResult reply = client->recv_frame(10'000);
+    if (!reply) {
+      state.SkipWithError("recv failed");
+      break;
+    }
+    benchmark::DoNotOptimize(reply.frame.payload.data());
+  }
+
+  client->close();
+  echo.join();
+  server->close();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(payload.size() + 5));
+}
+BENCHMARK(BM_LoopbackRoundTrip)->Arg(64)->Arg(4 << 10)->Arg(256 << 10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -19,12 +19,16 @@
 #include "course/module.hpp"
 #include "course/quiz.hpp"
 #include "course/use_cases.hpp"
+#include "net/agent.hpp"
+#include "net/server.hpp"
 #include "obs/obs.hpp"
+#include "proc/executor.hpp"
 #include "proc/worker_main.hpp"
 #include "proc/worker_pool.hpp"
 #include "store/hash.hpp"
 #include "store/store.hpp"
 #include "support/error.hpp"
+#include "support/fs.hpp"
 
 namespace anacin::cli {
 
@@ -357,8 +361,10 @@ struct ResilienceCliOptions {
 
   /// Bundle for run_campaign; wires in the SIGINT/SIGTERM token so a
   /// signal drains in-flight units instead of killing the process
-  /// mid-write. `workers` may be null (in-process execution).
-  core::ResilienceOptions options(proc::WorkerPool* workers = nullptr) const {
+  /// mid-write. `executor` may be null (in-process execution), a worker
+  /// pool (--isolate=process), or an agent fleet (`anacin serve`).
+  core::ResilienceOptions options(proc::UnitExecutor* executor = nullptr)
+      const {
     ANACIN_CHECK(max_retries >= 0, "--max-retries must be >= 0");
     ANACIN_CHECK(run_deadline_ms >= 0.0, "--run-deadline-ms must be >= 0");
     core::ResilienceOptions resilience;
@@ -367,7 +373,7 @@ struct ResilienceCliOptions {
     resilience.retry.run_deadline_ms = run_deadline_ms;
     resilience.keep_going = keep_going;
     resilience.cancel = &interrupt_token();
-    resilience.workers = workers;
+    resilience.executor = executor;
     return resilience;
   }
 };
@@ -634,12 +640,14 @@ int cmd_measure(const std::vector<const char*>& argv, std::ostream& out) {
   return report_quarantine(out, result);
 }
 
-int cmd_sweep(const std::vector<const char*>& argv, std::ostream& out) {
+/// The sweep work description shared by `sweep` (local / --isolate) and
+/// `serve` (distributed): both enumerate the same points and run the same
+/// journaled loop — only the UnitExecutor differs, which is exactly why
+/// distributed reports are byte-identical to local ones.
+struct SweepCliOptions {
   WorkloadOptions workload;
   FaultOptions faults;
   ResilienceCliOptions resilience;
-  workload.pattern = "amg2013";
-  workload.ranks = 16;
   int runs = 10;
   int step = 10;
   std::string kernel = "wl:2";
@@ -647,33 +655,50 @@ int cmd_sweep(const std::vector<const char*>& argv, std::ostream& out) {
   std::string json_out;
   std::string journal_path;
   bool resume = false;
-  ArgParser parser(
-      "anacin sweep — kernel distance vs ND% (paper Fig 7), or vs message "
-      "drop probability when --fault-drop is a lo:hi:step range");
-  workload.add_to(parser);
-  faults.add_to(parser, /*sweepable_drop=*/true);
-  resilience.add_to(parser);
-  parser.add_int("runs", "executions per setting", &runs);
-  parser.add_int("step", "ND percentage increment", &step);
-  parser.add_string("kernel", "graph kernel", &kernel);
-  parser.add_string("csv", "write the sweep as CSV", &csv_out);
-  parser.add_string("json", "write every point's full result as JSON",
-                    &json_out);
-  parser.add_string("journal",
-                    "crash-consistent journal of completed sweep points "
-                    "(written after every point; enables --resume)",
-                    &journal_path);
-  parser.add_flag("resume",
-                  "replay points already in the journal, compute only the "
-                  "rest (a killed sweep continues where it stopped)",
-                  &resume);
-  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  SweepCliOptions() {
+    workload.pattern = "amg2013";
+    workload.ranks = 16;
+  }
+
+  void add_to(ArgParser& parser) {
+    workload.add_to(parser);
+    faults.add_to(parser, /*sweepable_drop=*/true);
+    resilience.add_to(parser);
+    parser.add_int("runs", "executions per setting", &runs);
+    parser.add_int("step", "ND percentage increment", &step);
+    parser.add_string("kernel", "graph kernel", &kernel);
+    parser.add_string("csv", "write the sweep as CSV", &csv_out);
+    parser.add_string("json", "write every point's full result as JSON",
+                      &json_out);
+    parser.add_string("journal",
+                      "crash-consistent journal of completed sweep points "
+                      "(written after every point; enables --resume)",
+                      &journal_path);
+    parser.add_flag("resume",
+                    "replay points already in the journal, compute only the "
+                    "rest (a killed sweep continues where it stopped)",
+                    &resume);
+  }
+};
+
+/// The journaled sweep loop, shared by cmd_sweep and cmd_serve. The caller
+/// owns the InterruptScope and the executor's lifetime.
+int run_sweep(std::ostream& out, SweepCliOptions& options,
+              proc::UnitExecutor* executor) {
+  WorkloadOptions& workload = options.workload;
+  FaultOptions& faults = options.faults;
+  ResilienceCliOptions& resilience = options.resilience;
+  const int runs = options.runs;
+  const int step = options.step;
+  const std::string& kernel = options.kernel;
+  const std::string& csv_out = options.csv_out;
+  const std::string& json_out = options.json_out;
+  std::string& journal_path = options.journal_path;
+  const bool resume = options.resume;
   ANACIN_CHECK(step >= 1 && step <= 100, "step must be in [1,100]");
 
-  InterruptScope interrupt;
   ThreadPool pool;
-  const std::unique_ptr<proc::WorkerPool> workers =
-      resilience.make_worker_pool();
   const std::optional<DropRange> drop_range =
       parse_drop_range(faults.drop_spec);
 
@@ -780,7 +805,7 @@ int cmd_sweep(const std::vector<const char*>& argv, std::ostream& out) {
       try {
         result = core::run_campaign(point.config, pool,
                                     store::active_store(),
-                                    resilience.options(workers.get()));
+                                    resilience.options(executor));
       } catch (const InterruptedError&) {
         interrupted = true;
         break;
@@ -841,6 +866,124 @@ int cmd_sweep(const std::vector<const char*>& argv, std::ostream& out) {
     return kExitPartial;
   }
   return kExitOk;
+}
+
+int cmd_sweep(const std::vector<const char*>& argv, std::ostream& out) {
+  SweepCliOptions options;
+  ArgParser parser(
+      "anacin sweep — kernel distance vs ND% (paper Fig 7), or vs message "
+      "drop probability when --fault-drop is a lo:hi:step range");
+  options.add_to(parser);
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+
+  InterruptScope interrupt;
+  const std::unique_ptr<proc::WorkerPool> workers =
+      options.resilience.make_worker_pool();
+  return run_sweep(out, options, workers.get());
+}
+
+int cmd_serve(const std::vector<const char*>& argv, std::ostream& out) {
+  SweepCliOptions options;
+  // Agent loss is expected in a fleet; default to re-queueing a unit a few
+  // times (on surviving agents) before giving up, unlike local sweeps
+  // where a transient failure usually means a bug.
+  options.resilience.max_retries = 3;
+  std::string bind = "127.0.0.1";
+  int port = 0;
+  int agents = 1;
+  std::string port_file;
+  double heartbeat_timeout_ms = 10'000.0;
+  ArgParser parser(
+      "anacin serve — run a sweep as a scheduler farming work units to "
+      "`anacin agent` fleets over TCP (see docs/DISTRIBUTED.md)");
+  options.add_to(parser);
+  parser.add_string("bind", "listener address (IPv4 literal)", &bind);
+  parser.add_int("port", "listener port (0 = ephemeral; see --port-file)",
+                 &port);
+  parser.add_int("agents", "wait for this many agents before starting",
+                 &agents);
+  parser.add_string("port-file",
+                    "write the bound port to FILE once listening (how "
+                    "tests and scripts discover an ephemeral port)",
+                    &port_file);
+  parser.add_double("agent-heartbeat-timeout-ms",
+                    "declare an agent dead after this long without a frame "
+                    "while a unit is in flight (0 = only on disconnect)",
+                    &heartbeat_timeout_ms);
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+  ANACIN_CHECK(agents >= 1, "--agents must be >= 1");
+  ANACIN_CHECK(port >= 0 && port <= 65535, "--port must be in [0,65535]");
+  ANACIN_CHECK(options.resilience.isolate == "none",
+               "serve farms units to remote agents; --isolate does not "
+               "compose with it");
+  store::ArtifactStore* store = store::active_store();
+  if (store == nullptr) {
+    throw ConfigError(
+        "serve requires an artifact store (--store DIR or "
+        "ANACIN_STORE_DIR): distributed results flow back through it");
+  }
+
+  InterruptScope interrupt;
+  net::AgentServerConfig server_config;
+  server_config.bind_host = bind;
+  server_config.port = static_cast<std::uint16_t>(port);
+  server_config.heartbeat_timeout_ms = heartbeat_timeout_ms;
+  net::AgentServer server(server_config, *store);
+  out << "serve: listening on " << bind << ":" << server.port() << '\n';
+  if (!port_file.empty()) {
+    support::atomic_write_file(port_file, std::to_string(server.port()));
+  }
+  out << "serve: waiting for " << agents << " agent(s)\n";
+  while (!server.wait_for_agents(static_cast<std::size_t>(agents), 100)) {
+    if (interrupt_token().cancelled()) return interrupted_exit_code();
+  }
+  out << "serve: " << server.agent_count() << " agent(s) connected\n";
+  return run_sweep(out, options, &server);
+}
+
+int cmd_agent(const std::vector<const char*>& argv, std::ostream& out) {
+  std::string connect;
+  std::string name;
+  double heartbeat_ms = 50.0;
+  std::uint64_t max_units = 0;
+  ArgParser parser(
+      "anacin agent — join an `anacin serve` scheduler and execute its "
+      "work units against the local artifact store");
+  parser.add_string("connect", "scheduler address as HOST:PORT", &connect);
+  parser.add_string("name", "agent name in scheduler diagnostics", &name);
+  parser.add_double("heartbeat-ms", "heartbeat interval while executing",
+                    &heartbeat_ms);
+  parser.add_uint64("max-units",
+                    "exit after this many units (0 = until the scheduler "
+                    "hangs up; tests use 1 to exercise re-queueing)",
+                    &max_units);
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+  ANACIN_CHECK(heartbeat_ms > 0.0, "--heartbeat-ms must be > 0");
+  const auto colon = connect.rfind(':');
+  if (connect.empty() || colon == std::string::npos || colon == 0 ||
+      colon + 1 == connect.size()) {
+    throw ConfigError("--connect expects HOST:PORT, got '" + connect + "'");
+  }
+  const std::uint64_t port =
+      parse_uint64_strict(connect.substr(colon + 1), "--connect port");
+  ANACIN_CHECK(port >= 1 && port <= 65535,
+               "--connect port must be in [1,65535]");
+  store::ArtifactStore* store = store::active_store();
+  if (store == nullptr) {
+    throw ConfigError(
+        "agent requires a local artifact store (--store DIR or "
+        "ANACIN_STORE_DIR): it executes units against it and ships "
+        "objects from it");
+  }
+
+  net::AgentConfig config;
+  config.host = connect.substr(0, colon);
+  config.port = static_cast<std::uint16_t>(port);
+  config.name = name;
+  config.heartbeat_interval_ms = heartbeat_ms;
+  config.max_units = max_units;
+  out << "agent: joining " << config.host << ":" << config.port << '\n';
+  return net::run_agent(*store, config);
 }
 
 int cmd_rootcause(const std::vector<const char*>& argv, std::ostream& out) {
@@ -1376,6 +1519,10 @@ const char kUsage[] =
     "  graph       inspect a saved trace\n"
     "  measure     quantify non-determinism over repeated executions\n"
     "  sweep       kernel distance vs ND%% (paper Fig 7)\n"
+    "  serve       run a sweep as a scheduler farming work units to agent\n"
+    "              fleets over TCP (see docs/DISTRIBUTED.md)\n"
+    "  agent       join a scheduler and execute its work units against the\n"
+    "              local artifact store\n"
     "  rootcause   callstack attribution in high-ND regions (paper Fig 8)\n"
     "  replay      record-and-replay (ReMPI-style suppression)\n"
     "  course      course-module tables, schedule, and use cases\n"
@@ -1405,6 +1552,8 @@ int dispatch(const std::string& command, const std::vector<const char*>& rest,
   if (command == "graph") return cmd_graph(rest, out);
   if (command == "measure") return cmd_measure(rest, out);
   if (command == "sweep") return cmd_sweep(rest, out);
+  if (command == "serve") return cmd_serve(rest, out);
+  if (command == "agent") return cmd_agent(rest, out);
   if (command == "rootcause") return cmd_rootcause(rest, out);
   if (command == "replay") return cmd_replay(rest, out);
   if (command == "course") return cmd_course(rest, out);

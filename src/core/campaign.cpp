@@ -7,8 +7,8 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "proc/executor.hpp"
 #include "proc/worker_main.hpp"
-#include "proc/worker_pool.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -100,7 +100,12 @@ json::Value CampaignResult::to_json() const {
   doc.set("total_straggler_events", total_straggler_events);
   json::Value resilience = json::Value::object();
   resilience.set("complete", complete());
-  resilience.set("retries", retries);
+  // Deliberately no retry count here: retries are operational telemetry
+  // (they vary with where and how the campaign ran — a re-queued unit on
+  // a replacement agent produces the identical artifact), and the report
+  // must stay byte-identical across local, isolated, and distributed
+  // execution. Retry observability lives in the metrics snapshot
+  // (resilience.retries) and CampaignResult::retries.
   json::Value quarantine = json::Value::array();
   for (const QuarantinedUnit& unit : quarantined) {
     quarantine.push_back(unit.to_json());
@@ -205,7 +210,7 @@ analysis::NdMeasurement measure_nd_with_store(
     store::ArtifactStore& store, const Supervisor& supervisor,
     bool keep_going, CancelToken* cancel,
     std::vector<QuarantinedUnit>* quarantined,
-    proc::WorkerPool* workers) {
+    proc::UnitExecutor* workers) {
   ANACIN_SPAN("analysis.measure_nd");
   obs::counter("analysis.nd_measurements").add(1);
   const auto kernel = kernels::make_kernel(config.kernel);
@@ -384,7 +389,7 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
   const sim::RankProgram program = pattern->program(config.shape);
   const std::size_t num_runs = static_cast<std::size_t>(config.num_runs);
 
-  proc::WorkerPool* const workers = resilience.workers;
+  proc::UnitExecutor* const workers = resilience.executor;
   ANACIN_CHECK(workers == nullptr || store != nullptr,
                "--isolate=process requires an artifact store: isolated "
                "results flow back through it");

@@ -16,7 +16,7 @@
 #include "support/thread_pool.hpp"
 
 namespace anacin::proc {
-class WorkerPool;  // proc/worker_pool.hpp
+class UnitExecutor;  // proc/executor.hpp
 }
 
 namespace anacin::core {
@@ -65,11 +65,12 @@ struct ResilienceOptions {
   /// cancelled, in-flight units finish, unstarted units are skipped, and
   /// run_campaign throws InterruptedError.
   CancelToken* cancel = nullptr;
-  /// When set (--isolate=process), run/reference/pair work units execute
-  /// in sandboxed worker children from this pool, with results flowing
-  /// back through the artifact store — which therefore must be present.
+  /// When set, run/reference/pair work units execute out-of-process
+  /// through this executor — a sandboxed worker pool (--isolate=process)
+  /// or a fleet of remote agents (`anacin serve`) — with results flowing
+  /// back through the artifact store, which therefore must be present.
   /// Not owned. nullptr = historical in-process execution.
-  proc::WorkerPool* workers = nullptr;
+  proc::UnitExecutor* executor = nullptr;
 };
 
 /// A work unit that permanently failed under --keep-going. `unit` names

@@ -1,0 +1,170 @@
+#include "net/agent.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <span>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "obs/obs.hpp"
+#include "proc/protocol.hpp"
+#include "proc/worker_main.hpp"
+#include "store/codec.hpp"
+#include "support/error.hpp"
+#include "support/failure_injector.hpp"
+
+namespace anacin::net {
+
+namespace {
+
+std::string default_agent_name() {
+  char hostname[256] = "agent";
+  ::gethostname(hostname, sizeof(hostname) - 1);
+  return std::string(hostname) + ":" + std::to_string(::getpid());
+}
+
+/// Pull one missing input object from the scheduler into the local store.
+/// The per-unit exchange is strictly request/reply, so the next non-
+/// heartbeat frame after kFetch is the scheduler's kObject or kMissing.
+void fetch_object(TcpConnection& conn, store::ObjectStore& objects,
+                  const store::Digest& key) {
+  if (!conn.send_frame(proc::FrameType::kFetch, key.to_hex())) {
+    throw TransientError("agent: scheduler hung up during fetch of " +
+                         key.to_hex());
+  }
+  const proc::ReadResult reply = conn.recv_frame();
+  if (!reply) {
+    throw TransientError("agent: scheduler hung up before answering fetch of " +
+                         key.to_hex());
+  }
+  if (reply.frame.type == proc::FrameType::kMissing) {
+    // The scheduler dispatched a unit whose inputs it cannot serve — a
+    // scheduler-side bug, so don't retry.
+    throw PermanentError("agent: scheduler has no object " + key.to_hex() +
+                         " (pair units are dispatched only after their "
+                         "runs complete)");
+  }
+  if (reply.frame.type != proc::FrameType::kObject) {
+    throw PermanentError("agent: unexpected frame type " +
+                         std::to_string(static_cast<int>(reply.frame.type)) +
+                         " in reply to fetch");
+  }
+  std::string error;
+  const auto object = decode_object_payload(reply.frame.payload, &error);
+  if (!object) throw PermanentError("agent: bad object frame: " + error);
+  if (!(object->key == key)) {
+    throw PermanentError("agent: fetched " + key.to_hex() +
+                         " but the scheduler sent " + object->key.to_hex());
+  }
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(object->bytes.data()),
+      object->bytes.size());
+  // Full envelope validation before the store accepts the bytes: a
+  // corrupted transfer is rejected here, never written.
+  const store::Envelope envelope = store::validate_envelope(bytes);
+  objects.put(key, envelope.kind, bytes);
+  obs::counter("net.objects_fetched").add(1);
+}
+
+/// Ship the unit's result object back to the scheduler. The scheduler
+/// put()s it before it reads our kResult, which is what preserves the
+/// UnitExecutor contract (artifact present before execute() returns).
+void publish_object(TcpConnection& conn, store::ObjectStore& objects,
+                    const store::Digest& key) {
+  const store::ObjectBytes bytes = objects.get(key);
+  if (!bytes) {
+    throw PermanentError("agent: executed a unit but its result object " +
+                         key.to_hex() + " is not in the local store");
+  }
+  const std::string payload = encode_object_payload(key, *bytes);
+  if (!conn.send_frame(proc::FrameType::kPublish, payload)) {
+    throw TransientError("agent: scheduler hung up during publish of " +
+                         key.to_hex());
+  }
+  obs::counter("net.objects_published").add(1);
+}
+
+}  // namespace
+
+int run_agent(store::ArtifactStore& store, const AgentConfig& config) {
+  const auto injector = support::FailureInjector::from_env();
+  std::unique_ptr<TcpConnection> conn;
+  try {
+    conn = TcpConnection::connect(config.host, config.port,
+                                  config.connect_timeout_ms);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "agent: %s\n", error.what());
+    return 1;
+  }
+
+  const std::string name =
+      config.name.empty() ? default_agent_name() : config.name;
+  if (!conn->send_frame(proc::FrameType::kHello, make_hello(name).dump())) {
+    std::fprintf(stderr, "agent: scheduler hung up during registration\n");
+    return 1;
+  }
+  const proc::ReadResult welcome = conn->recv_frame(config.connect_timeout_ms);
+  if (!welcome || welcome.frame.type != proc::FrameType::kHelloOk) {
+    std::fprintf(stderr, "agent: registration not acknowledged\n");
+    return 1;
+  }
+
+  std::uint64_t units_served = 0;
+  while (true) {
+    const proc::ReadResult incoming = conn->recv_frame();
+    if (incoming.status == proc::ReadStatus::kEof) {
+      return 0;  // scheduler closed the stream: campaign over, clean exit
+    }
+    if (incoming.status != proc::ReadStatus::kFrame) {
+      std::fprintf(stderr, "agent: protocol error: %s\n",
+                   incoming.error.c_str());
+      return 1;
+    }
+    if (incoming.frame.type != proc::FrameType::kRequest) {
+      std::fprintf(stderr, "agent: unexpected frame type %d\n",
+                   static_cast<int>(incoming.frame.type));
+      return 1;
+    }
+
+    std::string unit = "?";
+    try {
+      const json::Value request = json::parse(incoming.frame.payload);
+      unit = request.at("unit").as_string();
+      const proc::Heartbeater heartbeater(
+          conn->fd(), config.heartbeat_interval_ms, conn->write_mutex());
+      for (const store::Digest& input : proc::unit_input_keys(request)) {
+        if (!store.objects().contains(input)) {
+          fetch_object(*conn, store.objects(), input);
+        }
+      }
+      // Injected crashes/hangs fire in whichever process executes the
+      // unit — here, in distributed mode (the scheduler sees the dropped
+      // connection as a WorkerCrashError and re-queues).
+      injector.apply_execution_hooks(unit);
+      const json::Value reply = proc::execute_unit(store, request);
+      const auto result_key =
+          store::Digest::from_hex(reply.at("key").as_string());
+      ANACIN_CHECK(result_key.has_value(), "execute_unit returned a bad key");
+      publish_object(*conn, store.objects(), *result_key);
+      if (!conn->send_frame(proc::FrameType::kResult, reply.dump())) {
+        return 1;  // scheduler gone mid-reply
+      }
+    } catch (const std::exception& error) {
+      json::Value payload = json::Value::object();
+      payload.set("kind", dynamic_cast<const TransientError*>(&error) !=
+                                  nullptr
+                              ? "transient"
+                              : "permanent");
+      payload.set("error", error.what());
+      if (!conn->send_frame(proc::FrameType::kFail, payload.dump())) {
+        return 1;
+      }
+    }
+    if (config.max_units > 0 && ++units_served >= config.max_units) {
+      return 0;  // deliberate retirement (tests exercise requeue with this)
+    }
+  }
+}
+
+}  // namespace anacin::net

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "store/store.hpp"
+
+namespace anacin::net {
+
+struct AgentConfig {
+  /// Scheduler to join.
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// How the agent introduces itself in kHello (diagnostics only; the
+  /// scheduler assigns the numeric id). Default: "<hostname>:<pid>".
+  std::string name;
+  /// How often to heartbeat the scheduler while a unit executes — must be
+  /// well under the scheduler's heartbeat timeout.
+  double heartbeat_interval_ms = 50.0;
+  int connect_timeout_ms = 10'000;
+  /// Exit after serving this many units (0 = serve until the scheduler
+  /// hangs up). Tests use 1 to exercise mid-campaign agent loss.
+  std::uint64_t max_units = 0;
+};
+
+/// Run one agent: connect to the scheduler, register, then serve work-unit
+/// requests until the scheduler closes the connection (clean exit 0 — an
+/// agent never outlives its campaign, so killing the scheduler or letting
+/// it finish leaves no orphaned agents). Results travel content-addressed:
+/// the agent fetches missing input artifacts from the scheduler by hash,
+/// executes the unit against its own store (a warm store means zero
+/// simulation — execute_unit returns on the existing artifact), publishes
+/// the result object by hash, and only then reports the unit done. Returns
+/// a process exit code; failures to even register print to stderr and
+/// return non-zero.
+int run_agent(store::ArtifactStore& store, const AgentConfig& config);
+
+}  // namespace anacin::net

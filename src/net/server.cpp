@@ -1,0 +1,324 @@
+#include "net/server.hpp"
+
+#include <chrono>
+#include <span>
+#include <utility>
+
+#include "net/wire.hpp"
+#include "obs/obs.hpp"
+#include "store/codec.hpp"
+#include "support/error.hpp"
+
+namespace anacin::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Poll granularity of the per-unit serve loop: short enough that stall
+/// detection and shutdown stay responsive, long enough to stay off the
+/// scheduler's profile.
+constexpr int kServePollMs = 100;
+
+struct InflightGuard {
+  InflightGuard() { obs::gauge("net.units_inflight").add(1.0); }
+  ~InflightGuard() { obs::gauge("net.units_inflight").add(-1.0); }
+};
+
+}  // namespace
+
+AgentServer::AgentServer(AgentServerConfig config, store::ArtifactStore& store)
+    : config_(std::move(config)),
+      store_(store),
+      listener_(config_.bind_host, config_.port) {
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+AgentServer::~AgentServer() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  // Closing each connection is the fleet-wide shutdown signal: agents see
+  // a clean EOF and exit 0, so no remote process outlives the campaign.
+  std::deque<std::unique_ptr<Agent>> idle;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    idle.swap(idle_);
+    connected_ -= idle.size();
+  }
+  for (auto& agent : idle) agent->conn->close();
+  idle_cv_.notify_all();
+}
+
+std::uint16_t AgentServer::port() const { return listener_.port(); }
+
+std::size_t AgentServer::agent_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return connected_;
+}
+
+bool AgentServer::wait_for_agents(std::size_t count, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto ready = [&] { return connected_ >= count; };
+  if (timeout_ms < 0) {
+    idle_cv_.wait(lock, ready);
+    return true;
+  }
+  return idle_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           ready);
+}
+
+void AgentServer::accept_loop() {
+  while (true) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+    }
+    auto conn = listener_.accept(kServePollMs);
+    if (!conn) continue;
+    // Registration is synchronous and cheap, so the accept thread handles
+    // it inline: one kHello in, one kHelloOk out.
+    const proc::ReadResult hello = conn->recv_frame(5'000);
+    if (!hello || hello.frame.type != proc::FrameType::kHello) continue;
+    auto agent = std::make_unique<Agent>();
+    agent->conn = std::move(conn);
+    try {
+      const json::Value doc = json::parse(hello.frame.payload);
+      if (const json::Value* name = doc.find("name")) {
+        agent->name = name->as_string();
+      }
+    } catch (const std::exception&) {
+      continue;  // malformed registration: drop silently
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      agent->id = next_agent_id_++;
+      if (agent->name.empty()) {
+        agent->name = "agent-" + std::to_string(agent->id);
+      }
+    }
+    json::Value welcome = json::Value::object();
+    welcome.set("id", static_cast<double>(agent->id));
+    if (!agent->conn->send_frame(proc::FrameType::kHelloOk, welcome.dump())) {
+      continue;
+    }
+    obs::counter("net.agents_connected").add(1);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++connected_;
+      idle_.push_back(std::move(agent));
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+std::unique_ptr<AgentServer::Agent> AgentServer::checkout(
+    const std::string& unit_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool got = idle_cv_.wait_for(
+      lock,
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              config_.checkout_timeout_ms)),
+      [&] { return !idle_.empty() || stopping_; });
+  if (!got || stopping_ || idle_.empty()) {
+    const std::size_t connected = connected_;
+    lock.unlock();
+    // Transient on purpose: the supervisor's retries each wait the full
+    // checkout budget again, giving a drained fleet time to refill.
+    UnitTriage triage;
+    triage.disposition = "crash";
+    throw WorkerCrashError("no agent available for unit '" + unit_id +
+                               "' within " +
+                               std::to_string(config_.checkout_timeout_ms) +
+                               " ms (connected agents: " +
+                               std::to_string(connected) + ")",
+                           std::move(triage));
+  }
+  auto agent = std::move(idle_.front());
+  idle_.pop_front();
+  return agent;
+}
+
+void AgentServer::checkin(std::unique_ptr<Agent> agent) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!stopping_) {
+      idle_.push_back(std::move(agent));
+      idle_cv_.notify_all();
+      return;
+    }
+    --connected_;
+  }
+  agent->conn->close();
+}
+
+void AgentServer::drop_and_throw(std::unique_ptr<Agent> agent,
+                                 const std::string& unit_id,
+                                 const std::string& reason) {
+  agent->conn->close();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --connected_;
+  }
+  obs::counter("net.agent_disconnects").add(1);
+  UnitTriage triage;
+  triage.disposition = "crash";
+  throw WorkerCrashError("agent '" + agent->name + "' executing unit '" +
+                             unit_id + "': " + reason +
+                             "; the unit will be re-queued",
+                         std::move(triage));
+}
+
+void AgentServer::serve_fetch(Agent& agent, const std::string& payload) {
+  const auto key = store::Digest::from_hex(payload);
+  if (!key) {
+    throw PermanentError("agent '" + agent.name +
+                         "' fetched a malformed digest");
+  }
+  const store::ObjectBytes bytes = store_.objects().get(*key);
+  if (!bytes) {
+    agent.conn->send_frame(proc::FrameType::kMissing, payload);
+    return;
+  }
+  agent.conn->send_frame(proc::FrameType::kObject,
+                         encode_object_payload(*key, *bytes));
+  obs::counter("net.objects_shipped").add(1);
+}
+
+void AgentServer::absorb_publish(Agent& agent, const std::string& payload) {
+  std::string error;
+  const auto object = decode_object_payload(payload, &error);
+  if (!object) {
+    throw PermanentError("agent '" + agent.name + "' published a bad " +
+                         "object frame: " + error);
+  }
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(object->bytes.data()),
+      object->bytes.size());
+  // Same validation a local read performs — a corrupt transfer never
+  // reaches the scheduler's store.
+  const store::Envelope envelope = store::validate_envelope(bytes);
+  store_.objects().put(object->key, envelope.kind, bytes);
+  obs::counter("net.objects_absorbed").add(1);
+}
+
+json::Value AgentServer::execute(const std::string& unit_id,
+                                 const json::Value& request) {
+  // Warm-scheduler short-circuit: when the store already holds the unit's
+  // result, there is nothing for a remote agent to add — this is what
+  // keeps resumed / re-run campaigns from re-simulating on cold agents.
+  if (const json::Value* key_text = request.find("result_key")) {
+    if (const auto key = store::Digest::from_hex(key_text->as_string());
+        key && store_.objects().contains(*key)) {
+      obs::counter("net.units_cached").add(1);
+      json::Value reply = json::Value::object();
+      reply.set("status", "ok");
+      reply.set("key", key->to_hex());
+      return reply;
+    }
+  }
+
+  obs::counter("net.units_dispatched").add(1);
+  const InflightGuard inflight;
+  auto agent = checkout(unit_id);
+  const auto started = Clock::now();
+  if (!agent->conn->send_frame(proc::FrameType::kRequest, request.dump())) {
+    drop_and_throw(std::move(agent), unit_id,
+                   "connection closed before dispatch");
+  }
+
+  auto last_activity = Clock::now();
+  while (true) {
+    proc::ReadResult reply = agent->conn->recv_frame(kServePollMs);
+    const auto now = Clock::now();
+    switch (reply.status) {
+      case proc::ReadStatus::kTimeout:
+        if (config_.heartbeat_timeout_ms > 0.0 &&
+            ms_between(last_activity, now) > config_.heartbeat_timeout_ms) {
+          obs::counter("net.stall_drops").add(1);
+          drop_and_throw(
+              std::move(agent), unit_id,
+              "stopped heartbeating (" +
+                  std::to_string(ms_between(last_activity, now)) +
+                  " ms since the last frame, timeout " +
+                  std::to_string(config_.heartbeat_timeout_ms) + " ms)");
+        }
+        continue;
+      case proc::ReadStatus::kEof:
+        drop_and_throw(std::move(agent), unit_id,
+                       "connection closed mid-unit");
+      case proc::ReadStatus::kError:
+        obs::counter("net.protocol_errors").add(1);
+        drop_and_throw(std::move(agent), unit_id,
+                       "protocol error: " + reply.error);
+      case proc::ReadStatus::kFrame:
+        break;
+    }
+    last_activity = now;
+
+    switch (reply.frame.type) {
+      case proc::FrameType::kHeartbeat:
+        obs::counter("net.heartbeats").add(1);
+        continue;
+      case proc::FrameType::kFetch:
+        serve_fetch(*agent, reply.frame.payload);
+        continue;
+      case proc::FrameType::kPublish:
+        try {
+          absorb_publish(*agent, reply.frame.payload);
+        } catch (const std::exception& error) {
+          drop_and_throw(std::move(agent), unit_id, error.what());
+        }
+        continue;
+      case proc::FrameType::kResult:
+      case proc::FrameType::kFail:
+        break;
+      default:
+        drop_and_throw(std::move(agent), unit_id,
+                       "unexpected frame type " +
+                           std::to_string(
+                               static_cast<int>(reply.frame.type)));
+    }
+
+    const double unit_ms = ms_between(started, now);
+    obs::histogram("net.unit_ms").observe(unit_ms);
+    obs::histogram("net.agent." + std::to_string(agent->id) + ".unit_ms")
+        .observe(unit_ms);
+
+    json::Value payload;
+    try {
+      payload = json::parse(reply.frame.payload);
+    } catch (const std::exception& error) {
+      drop_and_throw(std::move(agent), unit_id,
+                     std::string("malformed reply: ") + error.what());
+    }
+    if (reply.frame.type == proc::FrameType::kResult) {
+      checkin(std::move(agent));
+      return payload;
+    }
+    // The agent caught the failure and reported it cleanly: the unit
+    // failed but the agent is healthy, so it goes back in the pool.
+    obs::counter("net.unit_failures").add(1);
+    const json::Value* kind = payload.find("kind");
+    const json::Value* message = payload.find("error");
+    const std::string what =
+        "agent '" + agent->name + "' reported for unit '" + unit_id +
+        "': " + (message != nullptr ? message->as_string()
+                                    : reply.frame.payload);
+    const bool transient =
+        kind != nullptr && kind->as_string() == "transient";
+    checkin(std::move(agent));
+    if (transient) throw TransientError(what);
+    throw PermanentError(what);
+  }
+}
+
+}  // namespace anacin::net

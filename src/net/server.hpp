@@ -1,0 +1,112 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "proc/executor.hpp"
+#include "store/store.hpp"
+
+namespace anacin::net {
+
+struct AgentServerConfig {
+  /// Listener address; port 0 binds an ephemeral port (see port()).
+  std::string bind_host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Declare an agent dead when a unit is in flight and no frame (result
+  /// or heartbeat) has arrived for this long (0 disables the stall
+  /// detector — then only a closed connection kills an agent).
+  double heartbeat_timeout_ms = 10'000.0;
+  /// How long execute() waits for an idle agent before giving up on the
+  /// attempt (transient — the supervisor's retries wait again, so a fleet
+  /// that lost every agent gets this long per retry for a replacement to
+  /// join).
+  double checkout_timeout_ms = 60'000.0;
+};
+
+/// The scheduler's side of the distributed fabric: accepts `anacin agent`
+/// connections and executes campaign work units on them, one unit per
+/// agent at a time (proc::UnitExecutor — the campaign cannot tell this
+/// apart from the local worker pool). The unit exchange is synchronous
+/// per agent: send kRequest, then serve kFetch (ship objects the agent is
+/// missing) and absorb kPublish (the unit's result object) until kResult /
+/// kFail. Object traffic rides the content-addressed store, so a warm
+/// agent publishes from cache without simulating, and the scheduler
+/// short-circuits dispatch entirely when its own store already holds the
+/// request's result ("result_key").
+///
+/// Failure model: a dropped connection, torn frame, or heartbeat stall
+/// maps to WorkerCrashError — transient, so the supervisor re-queues the
+/// unit, and the next execute() checks out a surviving agent. The sweep
+/// journal (core/journal.hpp) stays the authoritative ledger above this
+/// layer: a scheduler crash is replayed with --resume exactly like a local
+/// one.
+///
+/// The destructor closes every connection; agents exit 0 on the EOF, so
+/// tearing down the scheduler leaves no orphaned remote processes.
+class AgentServer : public proc::UnitExecutor {
+ public:
+  AgentServer(AgentServerConfig config, store::ArtifactStore& store);
+  ~AgentServer() override;
+
+  AgentServer(const AgentServer&) = delete;
+  AgentServer& operator=(const AgentServer&) = delete;
+
+  /// The bound listener port (after an ephemeral bind).
+  std::uint16_t port() const;
+
+  /// Block until at least `count` agents are connected (`timeout_ms` < 0
+  /// waits forever). Returns false on timeout.
+  bool wait_for_agents(std::size_t count, int timeout_ms = -1);
+
+  /// Agents currently connected (idle + executing).
+  std::size_t agent_count() const;
+
+  /// Execute one work unit on some idle agent. Thread safe; blocks until
+  /// the unit finishes, the owning agent dies (WorkerCrashError), or no
+  /// agent frees up within checkout_timeout_ms (also WorkerCrashError —
+  /// both are transient, so supervisor retries re-queue the unit).
+  json::Value execute(const std::string& unit_id,
+                      const json::Value& request) override;
+
+ private:
+  struct Agent {
+    std::unique_ptr<TcpConnection> conn;
+    std::string name;
+    int id = 0;
+  };
+
+  void accept_loop();
+  std::unique_ptr<Agent> checkout(const std::string& unit_id);
+  void checkin(std::unique_ptr<Agent> agent);
+  /// Drop a dead agent and throw the WorkerCrashError that re-queues its
+  /// unit.
+  [[noreturn]] void drop_and_throw(std::unique_ptr<Agent> agent,
+                                   const std::string& unit_id,
+                                   const std::string& reason);
+  /// Answer one kFetch: ship the object or admit it is missing.
+  void serve_fetch(Agent& agent, const std::string& payload);
+  /// Absorb one kPublish into the scheduler store.
+  void absorb_publish(Agent& agent, const std::string& payload);
+
+  AgentServerConfig config_;
+  store::ArtifactStore& store_;
+  TcpListener listener_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::deque<std::unique_ptr<Agent>> idle_;
+  std::size_t connected_ = 0;
+  int next_agent_id_ = 0;
+  bool stopping_ = false;
+
+  std::thread acceptor_;
+};
+
+}  // namespace anacin::net

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "proc/protocol.hpp"
+
+namespace anacin::net {
+
+/// One connected TCP stream speaking the unified frame codec of
+/// proc/protocol.hpp — the same length-prefixed frames the worker pipes
+/// carry, so pipes and sockets share one wire format. Frame traffic is
+/// counted into the net.* metrics (frames/bytes, each direction).
+///
+/// Writes are serialized by an internal mutex so a unit's heartbeat thread
+/// (proc::Heartbeater over write_mutex()) can interleave whole frames with
+/// result frames, never bytes. Reads are single-consumer by construction:
+/// exactly one thread drives recv_frame() on a connection at a time (the
+/// agent's serve loop, or the scheduler thread that owns the agent for the
+/// current unit).
+class TcpConnection {
+ public:
+  /// Adopt an already-connected socket (the listener's accept path).
+  explicit TcpConnection(int fd);
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Connect to host:port, failing after `timeout_ms`. Throws IoError on
+  /// resolution/connection failure. Enables TCP_NODELAY — frames are
+  /// small and latency-bound, so Nagle only hurts.
+  static std::unique_ptr<TcpConnection> connect(const std::string& host,
+                                                std::uint16_t port,
+                                                int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Close the stream. The peer's next recv_frame sees a clean kEof; a
+  /// peer mid-write sees EPIPE (SIGPIPE is ignored process-wide). Safe to
+  /// call concurrently with a blocked recv_frame on another thread — the
+  /// socket is shutdown() first so the reader wakes with EOF.
+  void close();
+
+  /// Write one frame under the write mutex. Returns false when the peer
+  /// is gone.
+  bool send_frame(proc::FrameType type, std::string_view payload);
+
+  /// Read one frame; `timeout_ms` < 0 blocks until the peer writes or
+  /// hangs up.
+  proc::ReadResult recv_frame(int timeout_ms = -1);
+
+  /// The mutex send_frame serializes on — shared with proc::Heartbeater so
+  /// heartbeat frames and result frames never tear each other.
+  std::mutex& write_mutex() { return write_mutex_; }
+
+ private:
+  int fd_ = -1;
+  std::mutex write_mutex_;
+};
+
+/// A listening TCP socket. Binding port 0 picks an ephemeral port; port()
+/// reports the bound one (tests and --port-file run entirely on ephemeral
+/// ports so parallel CI jobs never collide).
+class TcpListener {
+ public:
+  /// Bind and listen on host:port; throws IoError on failure.
+  TcpListener(const std::string& host, std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Accept one connection, waiting at most `timeout_ms` (< 0 blocks).
+  /// Returns nullptr on timeout or when the listener was closed.
+  std::unique_ptr<TcpConnection> accept(int timeout_ms);
+
+  /// Stop accepting; a blocked accept() returns nullptr.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace anacin::net

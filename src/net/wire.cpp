@@ -1,0 +1,42 @@
+#include "net/wire.hpp"
+
+namespace anacin::net {
+
+namespace {
+constexpr std::size_t kHexChars = 32;  // 128-bit digest
+}
+
+std::string encode_object_payload(const store::Digest& key,
+                                  std::span<const std::uint8_t> bytes) {
+  std::string payload = key.to_hex();
+  payload.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  return payload;
+}
+
+std::optional<ObjectPayload> decode_object_payload(std::string_view payload,
+                                                   std::string* error) {
+  if (payload.size() < kHexChars) {
+    if (error != nullptr) {
+      *error = "object payload too short for a digest (" +
+               std::to_string(payload.size()) + " bytes)";
+    }
+    return std::nullopt;
+  }
+  const auto key = store::Digest::from_hex(
+      std::string(payload.substr(0, kHexChars)));
+  if (!key) {
+    if (error != nullptr) {
+      *error = "object payload carries a malformed digest";
+    }
+    return std::nullopt;
+  }
+  return ObjectPayload{*key, payload.substr(kHexChars)};
+}
+
+json::Value make_hello(const std::string& name) {
+  json::Value hello = json::Value::object();
+  hello.set("name", name);
+  return hello;
+}
+
+}  // namespace anacin::net

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "store/hash.hpp"
+#include "support/json.hpp"
+
+namespace anacin::net {
+
+/// Payload helpers for the object-shipping frames (kFetch / kObject /
+/// kMissing / kPublish) of the scheduler↔agent protocol. Objects travel
+/// as their full on-disk envelope (store/codec.hpp: magic, version, kind,
+/// checksum, payload), so the receiver validates exactly what it would
+/// validate on a local read and corrupted transfers are rejected, never
+/// stored. See docs/DISTRIBUTED.md.
+
+/// kObject / kPublish payload: 32-char hex digest + raw envelope bytes.
+std::string encode_object_payload(const store::Digest& key,
+                                  std::span<const std::uint8_t> bytes);
+
+struct ObjectPayload {
+  store::Digest key;
+  /// View into the frame payload's envelope bytes — valid only while the
+  /// frame is alive.
+  std::string_view bytes;
+};
+
+/// Decode a kObject / kPublish payload; nullopt (with `error` filled) when
+/// the payload is too short or the digest is malformed.
+std::optional<ObjectPayload> decode_object_payload(std::string_view payload,
+                                                   std::string* error);
+
+/// kHello payload: who the agent is. The scheduler echoes the assigned
+/// agent id back in kHelloOk ({"id": n}) — it names the per-agent latency
+/// histogram (net.agent.<id>.unit_ms).
+json::Value make_hello(const std::string& name);
+
+}  // namespace anacin::net

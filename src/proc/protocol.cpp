@@ -1,14 +1,17 @@
 #include "proc/protocol.hpp"
 
+#include <poll.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
-#include <vector>
 
 namespace anacin::proc {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 bool write_all(int fd, const void* data, std::size_t size) {
   const char* cursor = static_cast<const char*>(data);
@@ -24,30 +27,52 @@ bool write_all(int fd, const void* data, std::size_t size) {
   return true;
 }
 
-/// Read exactly `size` bytes; false on EOF or error.
-bool read_all(int fd, void* data, std::size_t size) {
+/// How a timed exact-size read ended.
+enum class FillStatus { kDone, kEof, kTimeout, kError };
+
+/// Read exactly `size` bytes, honoring an optional deadline. `got` reports
+/// how many bytes arrived before a short outcome — the caller uses it to
+/// tell "clean EOF at a boundary" (got == 0) from "torn mid-field".
+FillStatus read_exact(int fd, void* data, std::size_t size,
+                      const Clock::time_point* deadline, std::size_t* got) {
   char* cursor = static_cast<char*>(data);
-  while (size > 0) {
-    const ssize_t got = ::read(fd, cursor, size);
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      return false;
+  *got = 0;
+  while (*got < size) {
+    if (deadline != nullptr) {
+      const auto now = Clock::now();
+      if (now >= *deadline) return FillStatus::kTimeout;
+      const auto budget = std::chrono::duration_cast<std::chrono::milliseconds>(
+          *deadline - now);
+      pollfd pfd{fd, POLLIN, 0};
+      const int ready =
+          ::poll(&pfd, 1, static_cast<int>(budget.count()) + 1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return FillStatus::kError;
+      }
+      if (ready == 0) return FillStatus::kTimeout;
     }
-    if (got == 0) return false;  // EOF
-    cursor += got;
-    size -= static_cast<std::size_t>(got);
+    const ssize_t n = ::read(fd, cursor + *got, size - *got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return FillStatus::kError;
+    }
+    if (n == 0) return FillStatus::kEof;
+    *got += static_cast<std::size_t>(n);
   }
-  return true;
+  return FillStatus::kDone;
 }
 
 }  // namespace
 
-bool write_frame(int fd, FrameType type, std::string_view payload) {
-  if (payload.size() > kMaxFramePayload) return false;
+bool frame_type_is_known(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(FrameType::kRequest) &&
+         type <= static_cast<std::uint8_t>(FrameType::kPublish);
+}
+
+std::vector<char> encode_frame(FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) return {};
   const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
-  // One buffered write per frame: heartbeat frames (5 bytes) stay well
-  // under PIPE_BUF, so concurrent writers serialized by a mutex can never
-  // interleave a heartbeat into the middle of a result frame.
   std::vector<char> buffer(5 + payload.size());
   buffer[0] = static_cast<char>(length & 0xff);
   buffer[1] = static_cast<char>((length >> 8) & 0xff);
@@ -55,25 +80,123 @@ bool write_frame(int fd, FrameType type, std::string_view payload) {
   buffer[3] = static_cast<char>((length >> 24) & 0xff);
   buffer[4] = static_cast<char>(type);
   std::memcpy(buffer.data() + 5, payload.data(), payload.size());
+  return buffer;
+}
+
+bool write_frame(int fd, FrameType type, std::string_view payload) {
+  // One buffered write per frame: heartbeat frames (5 bytes) stay well
+  // under PIPE_BUF, so concurrent writers serialized by a mutex can never
+  // interleave a heartbeat into the middle of a result frame.
+  const std::vector<char> buffer = encode_frame(type, payload);
+  if (buffer.empty() && !payload.empty()) return false;  // oversized
   return write_all(fd, buffer.data(), buffer.size());
 }
 
-std::optional<Frame> read_frame(int fd) {
+ReadResult read_frame(int fd, int timeout_ms) {
+  ReadResult result;
+  Clock::time_point deadline_storage;
+  const Clock::time_point* deadline = nullptr;
+  if (timeout_ms >= 0) {
+    deadline_storage = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    deadline = &deadline_storage;
+  }
+
   unsigned char header[5];
-  if (!read_all(fd, header, sizeof(header))) return std::nullopt;
+  std::size_t got = 0;
+  switch (read_exact(fd, header, sizeof(header), deadline, &got)) {
+    case FillStatus::kDone:
+      break;
+    case FillStatus::kEof:
+      if (got == 0) {
+        result.status = ReadStatus::kEof;  // clean close at a boundary
+      } else {
+        result.status = ReadStatus::kError;
+        result.error = "truncated frame header (" + std::to_string(got) +
+                       " of 5 bytes before EOF)";
+      }
+      return result;
+    case FillStatus::kTimeout:
+      result.status = ReadStatus::kTimeout;
+      return result;
+    case FillStatus::kError:
+      result.status = ReadStatus::kError;
+      result.error = std::string("read failed: ") + std::strerror(errno);
+      return result;
+  }
+
   const std::uint32_t length =
       static_cast<std::uint32_t>(header[0]) |
       (static_cast<std::uint32_t>(header[1]) << 8) |
       (static_cast<std::uint32_t>(header[2]) << 16) |
       (static_cast<std::uint32_t>(header[3]) << 24);
-  if (length > kMaxFramePayload) return std::nullopt;
-  Frame frame;
-  frame.type = static_cast<FrameType>(header[4]);
-  frame.payload.resize(length);
-  if (length > 0 && !read_all(fd, frame.payload.data(), length)) {
-    return std::nullopt;
+  // Both rejections happen before the payload allocation: corrupt headers
+  // must not translate into multi-GiB resize attempts.
+  if (length > kMaxFramePayload) {
+    result.status = ReadStatus::kError;
+    result.error = "frame payload length " + std::to_string(length) +
+                   " exceeds the " + std::to_string(kMaxFramePayload) +
+                   "-byte limit";
+    return result;
   }
-  return frame;
+  if (!frame_type_is_known(header[4])) {
+    result.status = ReadStatus::kError;
+    result.error =
+        "unknown frame type " + std::to_string(static_cast<int>(header[4]));
+    return result;
+  }
+
+  result.frame.type = static_cast<FrameType>(header[4]);
+  result.frame.payload.resize(length);
+  if (length > 0) {
+    switch (read_exact(fd, result.frame.payload.data(), length, deadline,
+                       &got)) {
+      case FillStatus::kDone:
+        break;
+      case FillStatus::kEof:
+        result.status = ReadStatus::kError;
+        result.error = "truncated frame payload (" + std::to_string(got) +
+                       " of " + std::to_string(length) + " bytes before EOF)";
+        return result;
+      case FillStatus::kTimeout:
+        result.status = ReadStatus::kTimeout;
+        return result;
+      case FillStatus::kError:
+        result.status = ReadStatus::kError;
+        result.error = std::string("read failed: ") + std::strerror(errno);
+        return result;
+    }
+  }
+  result.status = ReadStatus::kFrame;
+  return result;
+}
+
+Heartbeater::Heartbeater(int fd, double interval_ms, std::mutex& write_mutex)
+    : fd_(fd), interval_(interval_ms), write_mutex_(write_mutex) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Heartbeater::~Heartbeater() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Heartbeater::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
+    lock.unlock();
+    {
+      const std::lock_guard<std::mutex> write_lock(write_mutex_);
+      // A failed write means the peer is gone; PDEATHSIG (pipe workers) or
+      // the serve loop's own EOF handling (agents) takes it from here.
+      write_frame(fd_, FrameType::kHeartbeat, {});
+    }
+    lock.lock();
+  }
 }
 
 }  // namespace anacin::proc

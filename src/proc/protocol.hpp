@@ -1,24 +1,41 @@
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
-#include <optional>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 namespace anacin::proc {
 
-/// Frame types of the worker pipe protocol (--isolate=process). Wire
-/// format of one frame: u32 little-endian payload length, one type byte,
-/// then the payload (JSON text for everything but heartbeats, which are
-/// empty). Heartbeat frames are tiny (< PIPE_BUF), so the child's
-/// heartbeat thread can interleave them with result frames under a write
-/// mutex without tearing.
+/// Frame types of the unified work-unit protocol. The same length-prefixed
+/// codec runs over two transports: the worker pipe pair of
+/// --isolate=process (types 1-4) and the scheduler/agent TCP sockets of
+/// `anacin serve` / `anacin agent` (all types; see src/net). Wire format
+/// of one frame: u32 little-endian payload length, one type byte, then the
+/// payload (JSON text for control frames, raw bytes for object frames,
+/// empty for heartbeats). Heartbeat frames are tiny (< PIPE_BUF), so a
+/// child's heartbeat thread can interleave them with result frames under a
+/// write mutex without tearing.
 enum class FrameType : std::uint8_t {
-  kRequest = 1,    // parent -> child: one work unit (JSON)
-  kResult = 2,     // child -> parent: unit succeeded (JSON)
-  kFail = 3,       // child -> parent: unit threw (JSON {kind, error})
-  kHeartbeat = 4,  // child -> parent: still alive (empty payload)
+  kRequest = 1,    // scheduler/parent -> executor: one work unit (JSON)
+  kResult = 2,     // executor -> scheduler/parent: unit succeeded (JSON)
+  kFail = 3,       // executor -> scheduler/parent: unit threw (JSON)
+  kHeartbeat = 4,  // executor -> scheduler/parent: still alive (empty)
+  kHello = 5,      // agent -> scheduler: registration (JSON)
+  kHelloOk = 6,    // scheduler -> agent: registration accepted (JSON)
+  kFetch = 7,      // agent -> scheduler: need object <hex digest> (text)
+  kObject = 8,     // either direction: 32-byte hex digest + envelope bytes
+  kMissing = 9,    // scheduler -> agent: fetched object absent (text)
+  kPublish = 10,   // agent -> scheduler: new object, same layout as kObject
 };
+
+/// True for the type bytes the codec knows; anything else on the wire is
+/// a protocol error, not a frame.
+bool frame_type_is_known(std::uint8_t type);
 
 struct Frame {
   FrameType type = FrameType::kHeartbeat;
@@ -29,14 +46,67 @@ struct Frame {
 /// garbage, not a 4 GiB allocation.
 constexpr std::uint32_t kMaxFramePayload = 64u << 20;
 
+/// Why read_frame returned without a frame — the triage question "did the
+/// peer hang up cleanly, or did the stream break?" has different answers
+/// for the worker pool (clean EOF = child retired vs. torn frame = crash
+/// mid-write) and the socket layer (clean EOF = agent done vs. protocol
+/// error = drop the connection).
+enum class ReadStatus : std::uint8_t {
+  kFrame,    // a complete, well-formed frame was read
+  kEof,      // the peer closed the stream at a frame boundary
+  kTimeout,  // the deadline passed before a full frame arrived
+  kError,    // torn frame, oversized length, unknown type, or I/O error
+};
+
+struct ReadResult {
+  ReadStatus status = ReadStatus::kError;
+  Frame frame;        // valid only when status == kFrame
+  std::string error;  // human-readable detail when status == kError
+
+  explicit operator bool() const { return status == ReadStatus::kFrame; }
+};
+
+/// Serialize one frame (header + payload) into a contiguous buffer — the
+/// single-buffer form both transports write, and what bench/perf_net
+/// measures. Returns an empty buffer when payload exceeds kMaxFramePayload.
+std::vector<char> encode_frame(FrameType type, std::string_view payload);
+
 /// Write one frame, retrying short writes and EINTR. Returns false when
 /// the peer is gone (EPIPE with SIGPIPE ignored) or the fd is broken —
 /// never throws, because a dead peer is an expected condition handled by
-/// triage (parent) or shutdown (child).
+/// triage (parent), disconnect handling (scheduler), or shutdown (child).
 bool write_frame(int fd, FrameType type, std::string_view payload);
 
-/// Blocking read of one complete frame; nullopt on EOF, a torn frame
-/// (peer died mid-write), or a malformed header.
-std::optional<Frame> read_frame(int fd);
+/// Blocking read of one complete frame. A malformed header (length over
+/// kMaxFramePayload or an unknown type byte) is rejected before any
+/// payload allocation. `timeout_ms` < 0 blocks forever; otherwise the
+/// whole frame must arrive within the budget (poll()-based, so it works
+/// for pipes and sockets alike) or the result is kTimeout.
+ReadResult read_frame(int fd, int timeout_ms = -1);
+
+/// Emits heartbeat frames on `fd` every interval while alive, sharing
+/// `write_mutex` with the unit's result writes so frames never interleave
+/// mid-frame. Scoped to one work unit so an idle executor stays silent.
+/// An injected SIGSTOP freezes this thread along with the unit — which is
+/// exactly what lets the peer's stall detector observe a wedged executor.
+class Heartbeater {
+ public:
+  Heartbeater(int fd, double interval_ms, std::mutex& write_mutex);
+  ~Heartbeater();
+
+  Heartbeater(const Heartbeater&) = delete;
+  Heartbeater& operator=(const Heartbeater&) = delete;
+
+ private:
+  void loop();
+
+  int fd_;
+  std::chrono::duration<double, std::milli> interval_;
+  std::mutex& write_mutex_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 }  // namespace anacin::proc

@@ -22,51 +22,6 @@ namespace anacin::proc {
 
 namespace {
 
-/// Emits heartbeat frames on stdout every interval while a unit executes.
-/// Scoped to one unit so an idle worker stays silent (an unread pipe would
-/// otherwise slowly fill with heartbeats). An injected SIGSTOP freezes
-/// this thread along with the unit — which is exactly what lets the
-/// parent's stall detector observe a wedged child.
-class Heartbeater {
- public:
-  Heartbeater(double interval_ms, std::mutex& write_mutex)
-      : interval_(interval_ms), write_mutex_(write_mutex) {
-    thread_ = std::thread([this] { loop(); });
-  }
-
-  ~Heartbeater() {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    thread_.join();
-  }
-
- private:
-  void loop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    while (!stop_) {
-      if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
-      lock.unlock();
-      {
-        const std::lock_guard<std::mutex> write_lock(write_mutex_);
-        // A failed write means the parent is gone; PDEATHSIG will reap us,
-        // so there is nothing useful to do here.
-        write_frame(STDOUT_FILENO, FrameType::kHeartbeat, {});
-      }
-      lock.lock();
-    }
-  }
-
-  std::chrono::duration<double, std::milli> interval_;
-  std::mutex& write_mutex_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::thread thread_;
-};
-
 std::uint64_t parse_seed(const std::string& text) {
   try {
     std::size_t consumed = 0;
@@ -165,14 +120,6 @@ json::Value execute_pair(store::ArtifactStore& store,
   return reply;
 }
 
-json::Value execute_unit(store::ArtifactStore& store,
-                         const json::Value& request) {
-  const std::string type = request.at("type").as_string();
-  if (type == "run") return execute_run(store, request);
-  if (type == "pair") return execute_pair(store, request);
-  throw PermanentError("worker: unknown unit type '" + type + "'");
-}
-
 bool send_fail(std::mutex& write_mutex, const char* kind,
                const std::string& error) {
   json::Value payload = json::Value::object();
@@ -183,6 +130,23 @@ bool send_fail(std::mutex& write_mutex, const char* kind,
 }
 
 }  // namespace
+
+json::Value execute_unit(store::ArtifactStore& store,
+                         const json::Value& request) {
+  const std::string type = request.at("type").as_string();
+  if (type == "run") return execute_run(store, request);
+  if (type == "pair") return execute_pair(store, request);
+  throw PermanentError("worker: unknown unit type '" + type + "'");
+}
+
+std::vector<store::Digest> unit_input_keys(const json::Value& request) {
+  std::vector<store::Digest> keys;
+  if (request.at("type").as_string() == "pair") {
+    keys.push_back(parse_digest(request, "a"));
+    keys.push_back(parse_digest(request, "b"));
+  }
+  return keys;
+}
 
 json::Value make_run_request(const std::string& unit,
                              const std::string& pattern,
@@ -195,6 +159,9 @@ json::Value make_run_request(const std::string& unit,
   request.set("shape", shape.to_json());
   request.set("sim", sim_config.to_json());
   request.set("seed", std::to_string(sim_config.seed));
+  request.set("result_key",
+              store::ArtifactStore::run_key(pattern, shape, sim_config)
+                  .to_hex());
   return request;
 }
 
@@ -210,6 +177,9 @@ json::Value make_pair_request(const std::string& unit,
   request.set("policy", std::string(kernels::label_policy_name(policy)));
   request.set("a", a.to_hex());
   request.set("b", b.to_hex());
+  request.set(
+      "result_key",
+      store::ArtifactStore::distance_key(kernel_spec, policy, a, b).to_hex());
   return request;
 }
 
@@ -219,18 +189,30 @@ int worker_main(store::ArtifactStore& store, double heartbeat_interval_ms) {
   std::mutex write_mutex;
 
   while (true) {
-    const auto frame = read_frame(STDIN_FILENO);
-    if (!frame) return 0;  // parent closed our stdin: clean shutdown
-    if (frame->type != FrameType::kRequest) {
+    const ReadResult incoming = read_frame(STDIN_FILENO);
+    if (incoming.status == ReadStatus::kEof) {
+      return 0;  // parent closed our stdin at a boundary: clean shutdown
+    }
+    if (incoming.status != ReadStatus::kFrame) {
+      // A torn frame on our own stdin means the parent-side stream broke
+      // mid-write; exiting non-zero lets the pool's triage see the
+      // difference from a retirement.
+      std::fprintf(stderr, "worker: protocol error on stdin: %s\n",
+                   incoming.error.c_str());
+      return 1;
+    }
+    const Frame& frame = incoming.frame;
+    if (frame.type != FrameType::kRequest) {
       std::fprintf(stderr, "worker: unexpected frame type %d\n",
-                   static_cast<int>(frame->type));
+                   static_cast<int>(frame.type));
       return 1;
     }
     std::string unit = "?";
     try {
-      const json::Value request = json::parse(frame->payload);
+      const json::Value request = json::parse(frame.payload);
       unit = request.at("unit").as_string();
-      const Heartbeater heartbeater(heartbeat_interval_ms, write_mutex);
+      const Heartbeater heartbeater(STDOUT_FILENO, heartbeat_interval_ms,
+                                    write_mutex);
       // Injected crashes/hangs fire in whichever process executes the
       // unit — here, when isolation is on.
       injector.apply_execution_hooks(unit);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "kernels/labeled_graph.hpp"
 #include "patterns/pattern.hpp"
@@ -16,7 +17,10 @@ namespace anacin::proc {
 /// resolved — the child never re-derives a config, so parent and child
 /// compute identical store keys. The seed additionally travels as a
 /// decimal string: json::Value holds numbers as doubles, which would
-/// silently round 64-bit seeds above 2^53.
+/// silently round 64-bit seeds above 2^53. The request carries the
+/// precomputed key of the unit's result artifact ("result_key"), so a
+/// scheduler can short-circuit dispatch when its store already holds the
+/// result (net::AgentServer) without re-deriving keys from the body.
 json::Value make_run_request(const std::string& unit,
                              const std::string& pattern,
                              const patterns::PatternConfig& shape,
@@ -30,6 +34,20 @@ json::Value make_pair_request(const std::string& unit,
                               const std::string& kernel_spec,
                               kernels::LabelPolicy policy,
                               const store::Digest& a, const store::Digest& b);
+
+/// Execute one work-unit request against `store`: make the store contain
+/// the unit's result artifact (a `run` or `pair` unit; see
+/// make_run_request / make_pair_request) and return the reply document
+/// {status, key}. Shared by the pipe worker (`anacin __worker`) and the
+/// socket agent (`anacin agent`) so every execution environment computes
+/// bit-identical artifacts. Throws the typed error taxonomy on failure.
+json::Value execute_unit(store::ArtifactStore& store,
+                         const json::Value& request);
+
+/// Store keys a `pair` unit reads (the two run artifacts); empty for
+/// `run` units. The agent uses this to prefetch missing inputs from the
+/// scheduler before executing.
+std::vector<store::Digest> unit_input_keys(const json::Value& request);
 
 /// Entry point of the `__worker` child process: serve request frames from
 /// stdin until EOF (clean shutdown, exit 0), writing results to the shared

@@ -312,21 +312,30 @@ json::Value WorkerPool::execute(const std::string& unit_id,
     in_flight_[pid] = std::move(flight);
   }
 
-  std::optional<Frame> reply;
+  ReadResult reply;
   if (write_frame(worker->to_child, FrameType::kRequest, request.dump())) {
     static obs::Counter& heartbeats = obs::counter("proc.heartbeats");
     while ((reply = read_frame(worker->from_child))) {
-      if (reply->type != FrameType::kHeartbeat) break;
+      if (reply.frame.type != FrameType::kHeartbeat) break;
       heartbeats.add(1);
       const std::lock_guard<std::mutex> lock(mutex_);
       if (const auto it = in_flight_.find(pid); it != in_flight_.end()) {
         it->second.last_heartbeat = Clock::now();
       }
     }
+    // Typed read status is the triage pre-signal: a clean EOF means the
+    // child is simply gone (post-mortem below says why), while a torn
+    // frame or oversized length means the stream itself broke — count it
+    // so protocol regressions surface in metrics, then fall through to
+    // the same post-mortem (the child is untrustworthy either way).
+    if (reply.status == ReadStatus::kError) {
+      obs::counter("proc.protocol_errors").add(1);
+    }
   }
 
   if (reply &&
-      (reply->type == FrameType::kResult || reply->type == FrameType::kFail)) {
+      (reply.frame.type == FrameType::kResult ||
+       reply.frame.type == FrameType::kFail)) {
     bool killed = false;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -344,14 +353,14 @@ json::Value WorkerPool::execute(const std::string& unit_id,
       }
       json::Value payload;
       try {
-        payload = json::parse(reply->payload);
+        payload = json::parse(reply.frame.payload);
       } catch (const std::exception& error) {
         worker->units_served = kUnitsPerWorker;  // don't trust it again
         checkin(std::move(worker));
         throw PermanentError("worker child for unit '" + unit_id +
                              "' sent a malformed reply: " + error.what());
       }
-      if (reply->type == FrameType::kResult) {
+      if (reply.frame.type == FrameType::kResult) {
         ++worker->units_served;
         checkin(std::move(worker));
         return payload;
@@ -364,7 +373,7 @@ json::Value WorkerPool::execute(const std::string& unit_id,
       const json::Value* message = payload.find("error");
       const std::string what =
           "worker child for unit '" + unit_id + "' reported: " +
-          (message != nullptr ? message->as_string() : reply->payload);
+          (message != nullptr ? message->as_string() : reply.frame.payload);
       checkin(std::move(worker));
       if (kind != nullptr && kind->as_string() == "transient") {
         throw TransientError(what);

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "proc/executor.hpp"
 #include "support/json.hpp"
 
 namespace anacin::proc {
@@ -60,10 +61,10 @@ struct WorkerPoolConfig {
 /// Children cannot outlive the pool: the destructor drains and reaps them,
 /// and each child arms prctl(PR_SET_PDEATHSIG, SIGKILL) against a parent
 /// that dies without running destructors.
-class WorkerPool {
+class WorkerPool : public UnitExecutor {
  public:
   explicit WorkerPool(WorkerPoolConfig config);
-  ~WorkerPool();
+  ~WorkerPool() override;
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
@@ -77,7 +78,7 @@ class WorkerPool {
   /// child deaths, TransientError / PermanentError for failures the child
   /// reported cleanly). Thread safe.
   json::Value execute(const std::string& unit_id,
-                      const json::Value& request);
+                      const json::Value& request) override;
 
   /// Pids of every currently live child (tests assert the set is empty
   /// after destruction).

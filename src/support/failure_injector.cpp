@@ -115,9 +115,25 @@ FailureInjector FailureInjector::from_env() {
   return FailureInjector(failures, crash, hang);
 }
 
+namespace {
+
+/// Exact unit id first, then the "*" wildcard entry. The wildcard is what
+/// lets a test kill whichever unit a process executes *first* — essential
+/// when a fleet of executors races for units and no specific id is
+/// guaranteed to land on the injected process.
+template <typename Map>
+typename Map::const_iterator find_unit(const Map& map,
+                                       const std::string& unit_id) {
+  auto it = map.find(unit_id);
+  if (it == map.end()) it = map.find("*");
+  return it;
+}
+
+}  // namespace
+
 void FailureInjector::on_attempt(const std::string& unit_id,
                                  int attempt) const {
-  const auto it = plans_.find(unit_id);
+  const auto it = find_unit(plans_, unit_id);
   if (it == plans_.end()) return;
   const Plan& plan = it->second;
   if (plan.hang_ms > 0.0) {
@@ -138,7 +154,7 @@ void FailureInjector::on_attempt(const std::string& unit_id,
 
 void FailureInjector::apply_execution_hooks(
     const std::string& unit_id) const {
-  if (const auto it = hangs_.find(unit_id); it != hangs_.end()) {
+  if (const auto it = find_unit(hangs_, unit_id); it != hangs_.end()) {
     if (it->second.freeze) {
       std::raise(SIGSTOP);
     } else if (it->second.sleep_ms > 0.0) {
@@ -146,7 +162,7 @@ void FailureInjector::apply_execution_hooks(
           std::chrono::duration<double, std::milli>(it->second.sleep_ms));
     }
   }
-  if (const auto it = crashes_.find(unit_id); it != crashes_.end()) {
+  if (const auto it = find_unit(crashes_, unit_id); it != crashes_.end()) {
     std::raise(it->second);
     // Signals whose default disposition is not termination (or that a
     // sanitizer intercepts) can return here; make the injection count

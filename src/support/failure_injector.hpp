@@ -34,7 +34,10 @@ namespace anacin::support {
 ///                       kill path)
 ///
 /// Unit ids are the supervisor's ids: "run:<i>", "reference",
-/// "pair:<a>-<b>", "measure".
+/// "pair:<a>-<b>", "measure". The id "*" matches any unit that has no
+/// exact entry — e.g. ANACIN_INJECT_CRASH='*=KILL' kills the executing
+/// process on whatever unit it picks up first, which is how tests fell a
+/// specific fleet agent deterministically when unit placement is racy.
 class FailureInjector {
 public:
   FailureInjector() = default;

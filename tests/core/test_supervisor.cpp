@@ -115,6 +115,17 @@ TEST(FailureInjector, OnlyNamedUnitIsAffected) {
   EXPECT_FALSE(supervisor.run("run:7", [] {}).ok);
 }
 
+TEST(FailureInjector, WildcardMatchesAnyUnitWithoutExactEntry) {
+  // "*" hits whatever unit comes along — how tests fell a fleet agent on
+  // its first unit when unit placement is racy — while an exact entry
+  // still wins over the wildcard.
+  const Supervisor supervisor(
+      fast_policy(0), 1, FailureInjector("*=permanent,run:3=transient:0"));
+  EXPECT_FALSE(supervisor.run("run:1", [] {}).ok);
+  EXPECT_FALSE(supervisor.run("reference", [] {}).ok);
+  EXPECT_TRUE(supervisor.run("run:3", [] {}).ok);
+}
+
 TEST(FailureInjector, MalformedSpecsThrowConfigError) {
   EXPECT_THROW(FailureInjector("nonsense"), ConfigError);
   EXPECT_THROW(FailureInjector("u=explode"), ConfigError);

@@ -1,0 +1,156 @@
+// In-process tests for the TCP layer (net/socket.hpp): ephemeral-port
+// listeners, frame round-trips over loopback, timeouts, clean EOF, and the
+// AgentServer's no-agent checkout timeout. Everything runs on 127.0.0.1
+// with port 0 so parallel test jobs never collide.
+
+#include "net/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/server.hpp"
+#include "support/error.hpp"
+
+namespace anacin::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(TcpListener, EphemeralBindReportsRealPort) {
+  TcpListener listener("127.0.0.1", 0);
+  EXPECT_GT(listener.port(), 0);
+}
+
+TEST(TcpListener, AcceptTimesOutWithoutClient) {
+  TcpListener listener("127.0.0.1", 0);
+  EXPECT_EQ(listener.accept(50), nullptr);
+}
+
+TEST(TcpListener, ClosedListenerStopsAccepting) {
+  TcpListener listener("127.0.0.1", 0);
+  listener.close();
+  EXPECT_EQ(listener.accept(50), nullptr);
+}
+
+TEST(TcpConnection, ConnectToDeadPortThrowsIoError) {
+  // Bind an ephemeral port, remember it, and release it — connecting to it
+  // afterwards is refused (nothing re-binds it within the test).
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener("127.0.0.1", 0);
+    dead_port = listener.port();
+  }
+  EXPECT_THROW(TcpConnection::connect("127.0.0.1", dead_port, 1000),
+               IoError);
+}
+
+TEST(TcpConnection, FrameRoundTripBothDirections) {
+  TcpListener listener("127.0.0.1", 0);
+  std::unique_ptr<TcpConnection> client;
+  std::thread dialer([&] {
+    client = TcpConnection::connect("127.0.0.1", listener.port(), 5000);
+  });
+  std::unique_ptr<TcpConnection> server = listener.accept(5000);
+  dialer.join();
+  ASSERT_NE(server, nullptr);
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(client->send_frame(proc::FrameType::kHello, "{\"name\":\"t\"}"));
+  proc::ReadResult got = server->recv_frame(5000);
+  ASSERT_TRUE(got) << got.error;
+  EXPECT_EQ(got.frame.type, proc::FrameType::kHello);
+  EXPECT_EQ(got.frame.payload, "{\"name\":\"t\"}");
+
+  // Binary payloads (object frames carry raw envelope bytes, including
+  // NULs) must survive untouched.
+  const std::string binary("\x00\x01\xff\x7f bytes", 12);
+  ASSERT_TRUE(server->send_frame(proc::FrameType::kObject, binary));
+  got = client->recv_frame(5000);
+  ASSERT_TRUE(got) << got.error;
+  EXPECT_EQ(got.frame.type, proc::FrameType::kObject);
+  EXPECT_EQ(got.frame.payload, binary);
+}
+
+TEST(TcpConnection, RecvTimesOutOnSilentPeer) {
+  TcpListener listener("127.0.0.1", 0);
+  std::unique_ptr<TcpConnection> client;
+  std::thread dialer([&] {
+    client = TcpConnection::connect("127.0.0.1", listener.port(), 5000);
+  });
+  std::unique_ptr<TcpConnection> server = listener.accept(5000);
+  dialer.join();
+  ASSERT_NE(server, nullptr);
+  ASSERT_NE(client, nullptr);
+  const proc::ReadResult got = server->recv_frame(50);
+  EXPECT_EQ(got.status, proc::ReadStatus::kTimeout);
+}
+
+TEST(TcpConnection, PeerCloseReadsAsCleanEof) {
+  TcpListener listener("127.0.0.1", 0);
+  std::unique_ptr<TcpConnection> client;
+  std::thread dialer([&] {
+    client = TcpConnection::connect("127.0.0.1", listener.port(), 5000);
+  });
+  std::unique_ptr<TcpConnection> server = listener.accept(5000);
+  dialer.join();
+  ASSERT_NE(server, nullptr);
+  ASSERT_NE(client, nullptr);
+  client->close();
+  const proc::ReadResult got = server->recv_frame(5000);
+  EXPECT_EQ(got.status, proc::ReadStatus::kEof);
+}
+
+/// AgentServer facts that need no live agent: it binds an ephemeral port,
+/// reports zero agents, times out waiting for a fleet that never joins,
+/// and a unit dispatched into an empty fleet surfaces as the transient
+/// WorkerCrashError that lets supervisor retries wait for a replacement.
+class AgentServerNoFleet : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("anacin_net_server_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    store::ObjectStore::Config config;
+    config.root = dir_ / "store";
+    store_ = std::make_unique<store::ArtifactStore>(config);
+  }
+  void TearDown() override {
+    store_.reset();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  fs::path dir_;
+  std::unique_ptr<store::ArtifactStore> store_;
+};
+
+TEST_F(AgentServerNoFleet, BindsEphemeralPortAndCountsZeroAgents) {
+  AgentServerConfig config;
+  AgentServer server(config, *store_);
+  EXPECT_GT(server.port(), 0);
+  EXPECT_EQ(server.agent_count(), 0u);
+  EXPECT_FALSE(server.wait_for_agents(1, 50));
+}
+
+TEST_F(AgentServerNoFleet, ExecuteWithoutAgentsThrowsTransient) {
+  AgentServerConfig config;
+  config.checkout_timeout_ms = 50.0;
+  AgentServer server(config, *store_);
+  json::Value request = json::Value::object();
+  request.set("kind", "run");
+  try {
+    server.execute("run:0", request);
+    FAIL() << "execute() must not succeed with no agents connected";
+  } catch (const WorkerCrashError& error) {
+    EXPECT_NE(std::string(error.what()).find("no agent available"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace anacin::net

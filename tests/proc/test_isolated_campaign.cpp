@@ -83,7 +83,7 @@ TEST_F(IsolatedCampaignTest, MatchesInProcessCampaignByteIdentically) {
   store::ArtifactStore iso_store({dir_ / "store-b", 64 << 20});
   proc::WorkerPool workers(pool_config("store-b"));
   ResilienceOptions resilience;
-  resilience.workers = &workers;
+  resilience.executor = &workers;
   const CampaignResult isolated =
       run_campaign(config, pool, &iso_store, resilience);
 
@@ -101,7 +101,7 @@ TEST_F(IsolatedCampaignTest, IsolationRequiresAnArtifactStore) {
   ThreadPool pool(2);
   proc::WorkerPool workers(pool_config("store-x"));
   ResilienceOptions resilience;
-  resilience.workers = &workers;
+  resilience.executor = &workers;
   EXPECT_THROW(
       run_campaign(small_campaign(1), pool, nullptr, resilience), Error);
 }
@@ -119,7 +119,7 @@ TEST_F(IsolatedCampaignTest, CrashedAndHungUnitsAreQuarantinedWithTriage) {
   pool_cfg.run_deadline_ms = 1500.0;
   proc::WorkerPool workers(pool_cfg);
   ResilienceOptions resilience;
-  resilience.workers = &workers;
+  resilience.executor = &workers;
   resilience.keep_going = true;
 
   const CampaignResult result =

@@ -1,0 +1,277 @@
+// Regression tests for the unified frame codec (proc/protocol.hpp): the
+// typed ReadStatus must keep "peer hung up cleanly" distinct from "stream
+// broke mid-frame", and malformed headers must be rejected before any
+// payload allocation. A seeded fuzz round-trip shoves randomized frames
+// through a pipe in arbitrary chunk sizes to prove reassembly is
+// insensitive to write boundaries.
+
+#include "proc/protocol.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace anacin::proc {
+namespace {
+
+/// A pipe whose ends close on destruction; tests write raw bytes to
+/// write_fd and read frames from read_fd.
+struct Pipe {
+  Pipe() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::pipe(fds), 0);
+    read_fd = fds[0];
+    write_fd = fds[1];
+  }
+  ~Pipe() {
+    close_read();
+    close_write();
+  }
+  void close_read() {
+    if (read_fd >= 0) ::close(read_fd);
+    read_fd = -1;
+  }
+  void close_write() {
+    if (write_fd >= 0) ::close(write_fd);
+    write_fd = -1;
+  }
+  int read_fd = -1;
+  int write_fd = -1;
+};
+
+void write_raw(int fd, const void* data, std::size_t size) {
+  const char* cursor = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, cursor, size);
+    ASSERT_GT(n, 0);
+    cursor += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+TEST(Protocol, RoundTripSingleFrame) {
+  Pipe pipe;
+  ASSERT_TRUE(write_frame(pipe.write_fd, FrameType::kResult, "{\"ok\":1}"));
+  const ReadResult result = read_frame(pipe.read_fd, 1000);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result.status, ReadStatus::kFrame);
+  EXPECT_EQ(result.frame.type, FrameType::kResult);
+  EXPECT_EQ(result.frame.payload, "{\"ok\":1}");
+}
+
+TEST(Protocol, EmptyPayloadHeartbeat) {
+  Pipe pipe;
+  ASSERT_TRUE(write_frame(pipe.write_fd, FrameType::kHeartbeat, {}));
+  const ReadResult result = read_frame(pipe.read_fd, 1000);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result.frame.type, FrameType::kHeartbeat);
+  EXPECT_TRUE(result.frame.payload.empty());
+}
+
+// The satellite regression: a clean close at a frame boundary is kEof —
+// previously this was indistinguishable from a torn frame, so the worker
+// pool could misread a retired child as a crash.
+TEST(Protocol, CleanEofAtBoundaryIsEof) {
+  Pipe pipe;
+  pipe.close_write();
+  const ReadResult result = read_frame(pipe.read_fd, 1000);
+  EXPECT_FALSE(result);
+  EXPECT_EQ(result.status, ReadStatus::kEof);
+  EXPECT_TRUE(result.error.empty());
+}
+
+TEST(Protocol, TruncatedHeaderIsError) {
+  Pipe pipe;
+  const std::array<unsigned char, 2> partial = {0x08, 0x00};
+  write_raw(pipe.write_fd, partial.data(), partial.size());
+  pipe.close_write();
+  const ReadResult result = read_frame(pipe.read_fd, 1000);
+  EXPECT_EQ(result.status, ReadStatus::kError);
+  EXPECT_NE(result.error.find("truncated frame header"), std::string::npos);
+}
+
+TEST(Protocol, TruncatedPayloadIsError) {
+  Pipe pipe;
+  // Header promises 10 payload bytes; deliver 3 and hang up.
+  const std::array<unsigned char, 8> bytes = {
+      10, 0, 0, 0, static_cast<unsigned char>(FrameType::kResult),
+      'a', 'b', 'c'};
+  write_raw(pipe.write_fd, bytes.data(), bytes.size());
+  pipe.close_write();
+  const ReadResult result = read_frame(pipe.read_fd, 1000);
+  EXPECT_EQ(result.status, ReadStatus::kError);
+  EXPECT_NE(result.error.find("truncated frame payload"), std::string::npos);
+}
+
+// Oversized lengths are rejected from the header alone — no allocation,
+// no attempt to drain the (never-arriving) payload. The read must return
+// immediately even though only 5 bytes were ever written.
+TEST(Protocol, OversizedLengthRejectedWithoutReadingPayload) {
+  Pipe pipe;
+  const std::uint32_t length = kMaxFramePayload + 1;
+  std::array<unsigned char, 5> header = {
+      static_cast<unsigned char>(length & 0xff),
+      static_cast<unsigned char>((length >> 8) & 0xff),
+      static_cast<unsigned char>((length >> 16) & 0xff),
+      static_cast<unsigned char>((length >> 24) & 0xff),
+      static_cast<unsigned char>(FrameType::kRequest)};
+  write_raw(pipe.write_fd, header.data(), header.size());
+  // Note: the write end stays open — a reader that tried to consume the
+  // advertised 64 MiB + 1 payload would block and hit the timeout instead.
+  const ReadResult result = read_frame(pipe.read_fd, 1000);
+  EXPECT_EQ(result.status, ReadStatus::kError);
+  EXPECT_NE(result.error.find("exceeds"), std::string::npos);
+}
+
+TEST(Protocol, UnknownTypeRejected) {
+  Pipe pipe;
+  const std::array<unsigned char, 5> header = {0, 0, 0, 0, 0x7f};
+  write_raw(pipe.write_fd, header.data(), header.size());
+  const ReadResult result = read_frame(pipe.read_fd, 1000);
+  EXPECT_EQ(result.status, ReadStatus::kError);
+  EXPECT_NE(result.error.find("unknown frame type"), std::string::npos);
+}
+
+TEST(Protocol, TimeoutWhenNothingArrives) {
+  Pipe pipe;
+  const ReadResult result = read_frame(pipe.read_fd, 50);
+  EXPECT_EQ(result.status, ReadStatus::kTimeout);
+}
+
+TEST(Protocol, TimeoutMidHeader) {
+  Pipe pipe;
+  const std::array<unsigned char, 3> partial = {1, 0, 0};
+  write_raw(pipe.write_fd, partial.data(), partial.size());
+  const ReadResult result = read_frame(pipe.read_fd, 50);
+  EXPECT_EQ(result.status, ReadStatus::kTimeout);
+}
+
+TEST(Protocol, EncodeRejectsOversizedPayload) {
+  const std::string big(kMaxFramePayload + 1, 'x');
+  EXPECT_TRUE(encode_frame(FrameType::kObject, big).empty());
+}
+
+TEST(Protocol, FrameTypeKnownness) {
+  EXPECT_TRUE(frame_type_is_known(1));
+  EXPECT_TRUE(frame_type_is_known(10));
+  EXPECT_FALSE(frame_type_is_known(0));
+  EXPECT_FALSE(frame_type_is_known(11));
+  EXPECT_FALSE(frame_type_is_known(0xff));
+}
+
+TEST(Protocol, BackToBackFramesInOneWrite) {
+  Pipe pipe;
+  std::vector<char> buffer = encode_frame(FrameType::kRequest, "first");
+  const std::vector<char> second = encode_frame(FrameType::kFail, "second");
+  buffer.insert(buffer.end(), second.begin(), second.end());
+  write_raw(pipe.write_fd, buffer.data(), buffer.size());
+
+  const ReadResult one = read_frame(pipe.read_fd, 1000);
+  ASSERT_TRUE(one);
+  EXPECT_EQ(one.frame.type, FrameType::kRequest);
+  EXPECT_EQ(one.frame.payload, "first");
+  const ReadResult two = read_frame(pipe.read_fd, 1000);
+  ASSERT_TRUE(two);
+  EXPECT_EQ(two.frame.type, FrameType::kFail);
+  EXPECT_EQ(two.frame.payload, "second");
+}
+
+// Fuzz-style round trip: randomized frame types, payload sizes (including
+// binary bytes, as object frames carry raw envelopes), delivered through
+// the pipe in randomized chunk sizes by a writer thread. The reader must
+// reassemble every frame regardless of how writes tear across header and
+// payload boundaries. Seeded so failures reproduce.
+TEST(Protocol, FuzzRandomizedChunkedRoundTrip) {
+  std::mt19937 rng(20260808u);
+  std::uniform_int_distribution<int> type_dist(1, 10);
+  std::uniform_int_distribution<std::size_t> size_dist(0, 4096);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::uniform_int_distribution<std::size_t> chunk_dist(1, 37);
+
+  constexpr int kFrames = 200;
+  std::vector<Frame> expected;
+  std::vector<char> wire;
+  for (int i = 0; i < kFrames; ++i) {
+    Frame frame;
+    frame.type = static_cast<FrameType>(type_dist(rng));
+    frame.payload.resize(size_dist(rng));
+    for (char& c : frame.payload) c = static_cast<char>(byte_dist(rng));
+    const std::vector<char> encoded = encode_frame(frame.type, frame.payload);
+    ASSERT_EQ(encoded.size(), frame.payload.size() + 5);
+    wire.insert(wire.end(), encoded.begin(), encoded.end());
+    expected.push_back(std::move(frame));
+  }
+
+  // Pre-draw the chunk schedule so the writer thread doesn't share rng.
+  std::vector<std::size_t> chunks;
+  std::size_t scheduled = 0;
+  while (scheduled < wire.size()) {
+    const std::size_t n = std::min(chunk_dist(rng), wire.size() - scheduled);
+    chunks.push_back(n);
+    scheduled += n;
+  }
+
+  Pipe pipe;
+  std::thread writer([&] {
+    std::size_t offset = 0;
+    for (const std::size_t n : chunks) {
+      write_raw(pipe.write_fd, wire.data() + offset, n);
+      offset += n;
+    }
+    pipe.close_write();
+  });
+
+  for (const Frame& want : expected) {
+    const ReadResult got = read_frame(pipe.read_fd, 10000);
+    ASSERT_TRUE(got) << got.error;
+    EXPECT_EQ(got.frame.type, want.type);
+    ASSERT_EQ(got.frame.payload, want.payload);
+  }
+  const ReadResult tail = read_frame(pipe.read_fd, 10000);
+  EXPECT_EQ(tail.status, ReadStatus::kEof);
+  writer.join();
+}
+
+// The heartbeater shares the caller's write mutex, so heartbeat frames and
+// payload frames interleave whole, never torn.
+TEST(Protocol, HeartbeaterInterleavesWholeFrames) {
+  Pipe pipe;
+  std::mutex write_mutex;
+  int heartbeats = 0;
+  int results = 0;
+  {
+    Heartbeater heartbeater(pipe.write_fd, 5.0, write_mutex);
+    for (int i = 0; i < 20; ++i) {
+      {
+        const std::lock_guard<std::mutex> lock(write_mutex);
+        ASSERT_TRUE(write_frame(pipe.write_fd, FrameType::kResult,
+                                std::string(512, 'r')));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  pipe.close_write();
+  for (;;) {
+    const ReadResult got = read_frame(pipe.read_fd, 5000);
+    if (got.status == ReadStatus::kEof) break;
+    ASSERT_TRUE(got) << got.error;
+    if (got.frame.type == FrameType::kHeartbeat) {
+      ++heartbeats;
+    } else {
+      ASSERT_EQ(got.frame.type, FrameType::kResult);
+      ASSERT_EQ(got.frame.payload.size(), 512u);
+      ++results;
+    }
+  }
+  EXPECT_EQ(results, 20);
+  EXPECT_GT(heartbeats, 0);
+}
+
+}  // namespace
+}  // namespace anacin::proc
