@@ -1,0 +1,102 @@
+// Microbenchmarks of the record/replay layer: what schedule recording,
+// forced (all-pinned) replay, and freed (unconstrained) replay cost on
+// top of a clean simulation, plus one end-to-end bisection of a small
+// message race — the candidate-replay loop `anacin bisect` spends its
+// time in.
+
+#include <benchmark/benchmark.h>
+
+#include "core/anacin.hpp"
+#include "obs_cli.hpp"
+#include "replay/bisect.hpp"
+
+using namespace anacin;
+
+namespace {
+
+sim::SimConfig race_sim(int ranks, std::uint64_t seed) {
+  sim::SimConfig config;
+  config.num_ranks = ranks;
+  config.seed = seed;
+  config.network.nd_fraction = 1.0;
+  return config;
+}
+
+void BM_RecordSchedule(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  patterns::PatternConfig shape;
+  shape.num_ranks = ranks;
+  const sim::RankProgram program =
+      patterns::make_pattern("message_race")->program(shape);
+  const sim::RunResult run = sim::run_simulation(race_sim(ranks, 1), program);
+  std::uint64_t matches = 0;
+  for (auto _ : state) {
+    const sim::ReplaySchedule schedule = replay::record_schedule(run.trace);
+    matches += schedule.total_matches();
+    benchmark::DoNotOptimize(schedule.wildcard_matches.data());
+  }
+  state.counters["matches/s"] = benchmark::Counter(
+      static_cast<double>(matches), benchmark::Counter::kIsRate);
+}
+
+void run_replay_benchmark(benchmark::State& state, bool pinned) {
+  const int ranks = static_cast<int>(state.range(0));
+  patterns::PatternConfig shape;
+  shape.num_ranks = ranks;
+  const sim::RankProgram program =
+      patterns::make_pattern("message_race")->program(shape);
+  const sim::RunResult recorded =
+      sim::run_simulation(race_sim(ranks, 1), program);
+  sim::ReplaySchedule schedule = replay::record_schedule(recorded.trace);
+  if (!pinned) {
+    for (std::size_t i = 0; i < schedule.total_matches(); ++i) {
+      schedule.free_entry(i);
+    }
+  }
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::SimConfig config = race_sim(ranks, 777);
+    config.replay = &schedule;
+    const sim::RunResult run = sim::run_simulation(config, program);
+    events += run.trace.total_events();
+    benchmark::DoNotOptimize(run.stats.makespan_us);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+void BM_ReplayAllPinned(benchmark::State& state) {
+  run_replay_benchmark(state, /*pinned=*/true);
+}
+
+void BM_ReplayAllFreed(benchmark::State& state) {
+  run_replay_benchmark(state, /*pinned=*/false);
+}
+
+void BM_BisectMessageRace(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  replay::BisectConfig config;
+  config.pattern = "message_race";
+  config.shape.num_ranks = ranks;
+  config.record_sim = race_sim(ranks, 11);
+  config.replay_seed = 777;
+  ThreadPool pool;
+  std::uint64_t candidates = 0;
+  for (auto _ : state) {
+    const replay::BisectResult result = replay::bisect(config, pool);
+    candidates += result.candidates;
+    benchmark::DoNotOptimize(result.minimal.data());
+  }
+  state.counters["candidates"] = static_cast<double>(candidates);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RecordSchedule)->Arg(8)->Arg(16);
+BENCHMARK(BM_ReplayAllPinned)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReplayAllFreed)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BisectMessageRace)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  return anacin::bench::run_benchmark_main(argc, argv);
+}

@@ -5,6 +5,7 @@
 
 #include "graph/slicing.hpp"
 #include "obs/obs.hpp"
+#include "sim/types.hpp"
 #include "support/error.hpp"
 
 namespace anacin::analysis {
@@ -93,7 +94,7 @@ RootCauseReport find_root_causes(const kernels::GraphKernel& kernel,
         Tally& tally = tallies[run.callstacks().path(node.callstack_id)];
         ++tally.occurrences;
         if (node.type == trace::EventType::kRecv &&
-            node.posted_source == -1) {
+            node.posted_source == sim::kAnySource) {
           ++tally.wildcard;
         }
         ++total;

@@ -25,6 +25,7 @@
 #include "proc/executor.hpp"
 #include "proc/worker_main.hpp"
 #include "proc/worker_pool.hpp"
+#include "replay/bisect.hpp"
 #include "store/hash.hpp"
 #include "store/store.hpp"
 #include "support/error.hpp"
@@ -1086,6 +1087,119 @@ int cmd_replay(const std::vector<const char*>& argv, std::ostream& out) {
   return distance == 0.0 ? 0 : 1;
 }
 
+int cmd_bisect(const std::vector<const char*>& argv, std::ostream& out) {
+  WorkloadOptions workload;
+  FaultOptions faults;
+  ResilienceCliOptions resilience;
+  std::uint64_t replay_seed = 9999;
+  double target = 0.9;
+  std::string kernel = "wl:2";
+  std::string policy = "type_peer";
+  int slice_window = 16;
+  std::string json_out;
+  std::string bar_out;
+  ArgParser parser(
+      "anacin bisect — delta-debug the recorded wildcard matches down to a "
+      "minimal racy set and rank its root causes (see docs/REPLAY.md)");
+  workload.add_to(parser);
+  faults.add_to(parser);
+  resilience.add_to(parser);
+  parser.add_uint64("replay-seed",
+                    "noise seed of the candidate replays (must differ from "
+                    "--seed, or there is no gap to bisect)",
+                    &replay_seed);
+  parser.add_double("target",
+                    "fraction of the all-freed distance a candidate must "
+                    "reproduce to count as racy [0..1]",
+                    &target);
+  parser.add_string("kernel", "graph kernel (wl[:h], vertex_histogram, ...)",
+                    &kernel);
+  parser.add_string("policy", "node label policy", &policy);
+  parser.add_int("slice-window", "logical-time slice width of the report",
+                 &slice_window);
+  parser.add_string("json", "write the full bisection result as JSON",
+                    &json_out);
+  parser.add_string("bar", "write the ranked report as a bar chart SVG",
+                    &bar_out);
+  if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
+  ANACIN_CHECK(slice_window >= 1, "--slice-window must be >= 1");
+  // Every candidate's distance is load-bearing for convergence, so there is
+  // no partial-results mode to keep going into.
+  ANACIN_CHECK(!resilience.keep_going,
+               "bisect cannot skip failed candidates; --keep-going is not "
+               "supported here");
+
+  replay::BisectConfig config;
+  config.pattern = workload.pattern;
+  config.shape = workload.shape();
+  config.record_sim = workload.sim_config();
+  config.record_sim.faults = faults.config();
+  config.replay_seed = replay_seed;
+  config.kernel_spec = kernel;
+  config.label_policy = kernels::label_policy_from_name(policy);
+  config.target_fraction = target;
+  config.slice_window = static_cast<std::uint64_t>(slice_window);
+  config.retry.max_retries = resilience.max_retries;
+  config.retry.base_backoff_us = resilience.backoff_us;
+  config.retry.run_deadline_ms = resilience.run_deadline_ms;
+
+  InterruptScope interrupt;
+  ThreadPool pool;
+  const std::unique_ptr<proc::WorkerPool> workers =
+      resilience.make_worker_pool();
+  const replay::BisectResult result =
+      replay::bisect(config, pool, workers.get(), &interrupt_token());
+
+  out << "recorded wildcard matches: " << result.schedule.total_matches()
+      << '\n';
+  out << "full gap (all matches freed): " << format_fixed(result.full_gap, 3)
+      << '\n';
+  if (result.minimal.empty()) {
+    out << "no racy matches found — replays reproduce the recording at "
+           "these settings\n";
+  } else {
+    out << "minimal racy set: " << result.minimal.size() << " of "
+        << result.schedule.total_matches() << " matches (" << result.rounds
+        << " round(s), " << result.candidates << " candidate replay(s))\n";
+    out << "achieved " << format_fixed(result.achieved, 3) << " = "
+        << format_fixed(100.0 * result.achieved / result.full_gap, 1)
+        << "% of the gap\n";
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    std::vector<viz::Bar> bars;
+    for (const replay::RacyMatch& match : result.report) {
+      out << "  rank " << match.rank << " recv#" << match.recv_seq
+          << " <- rank " << match.source << " (slice " << match.slice
+          << ")  " << match.callsite
+          << "  contribution=" << format_fixed(match.contribution, 3) << '\n';
+      const std::string label = match.callsite + " [r" +
+                                std::to_string(match.rank) + " s" +
+                                std::to_string(match.slice) + "]";
+      labels.push_back(label);
+      values.push_back(match.contribution);
+      bars.push_back({label, match.contribution});
+    }
+    out << viz::ascii_bar_chart(labels, values);
+    out << "likely root cause: " << result.report.front().callsite << '\n';
+    if (!bar_out.empty()) {
+      viz::bar_plot(bars, {.width = 720,
+                           .height = 90.0 + 34.0 * bars.size(),
+                           .title = "minimal racy matches: " +
+                                    workload.pattern,
+                           .x_label = "standalone kernel-distance "
+                                      "contribution",
+                           .y_label = ""})
+          .save(bar_out);
+      out << "bar chart written to " << bar_out << '\n';
+    }
+  }
+  if (!json_out.empty()) {
+    core::write_json_file(json_out, replay::bisect_to_json(config, result));
+    out << "bisection written to " << json_out << '\n';
+  }
+  return kExitOk;
+}
+
 int cmd_figures(const std::vector<const char*>& argv, std::ostream& out) {
   std::string id;
   ArgParser parser("anacin figures — index of reproduced paper items");
@@ -1525,6 +1639,8 @@ const char kUsage[] =
     "              local artifact store\n"
     "  rootcause   callstack attribution in high-ND regions (paper Fig 8)\n"
     "  replay      record-and-replay (ReMPI-style suppression)\n"
+    "  bisect      delta-debug recorded wildcard matches to the minimal\n"
+    "              racy set and rank root causes (see docs/REPLAY.md)\n"
     "  course      course-module tables, schedule, and use cases\n"
     "  quiz        comprehension questions with automatic grading\n"
     "  report      self-contained HTML analysis report (notebook-style)\n"
@@ -1556,6 +1672,7 @@ int dispatch(const std::string& command, const std::vector<const char*>& rest,
   if (command == "agent") return cmd_agent(rest, out);
   if (command == "rootcause") return cmd_rootcause(rest, out);
   if (command == "replay") return cmd_replay(rest, out);
+  if (command == "bisect") return cmd_bisect(rest, out);
   if (command == "course") return cmd_course(rest, out);
   if (command == "quiz") return cmd_quiz(rest, out);
   if (command == "report") return cmd_report(rest, out);

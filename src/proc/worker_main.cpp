@@ -3,6 +3,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -60,6 +61,67 @@ json::Value execute_run(store::ArtifactStore& store,
   reply.set("status", "ok");
   reply.set("key", key.to_hex());
   if (store.load_run(key)) return reply;  // warm store: nothing to compute
+
+  const auto pattern_impl = patterns::make_pattern(pattern);
+  const sim::RunResult run =
+      sim::run_simulation(sim_config, pattern_impl->program(shape));
+  store::EncodedRun encoded;
+  encoded.graph = graph::EventGraph::from_trace(run.trace);
+  encoded.messages = run.stats.messages;
+  encoded.wildcard_recvs = run.stats.wildcard_recvs;
+  encoded.drops = run.stats.drops;
+  encoded.duplicates = run.stats.duplicates;
+  encoded.straggler_events = run.stats.straggler_events;
+  store.save_run(key, encoded);
+  return reply;
+}
+
+/// Execute one `replay` unit: make the store contain the replayed-run
+/// artifact. The recorded schedule is itself a store artifact (named by
+/// digest, shipped to agents by hash like any other input); the request's
+/// `freed` array lists the flat rank-major schedule entries to free before
+/// replaying. Mirrors execute_run's artifact shape so replayed runs feed
+/// the same pair/feature machinery.
+json::Value execute_replay(store::ArtifactStore& store,
+                           const json::Value& request) {
+  const std::string pattern = request.at("pattern").as_string();
+  const patterns::PatternConfig shape =
+      patterns::PatternConfig::from_json(request.at("shape"));
+  sim::SimConfig sim_config = sim::SimConfig::from_json(request.at("sim"));
+  sim_config.seed = parse_seed(request.at("seed").as_string());
+  const store::Digest schedule_digest = parse_digest(request, "schedule");
+
+  std::vector<std::size_t> freed;
+  for (const json::Value& index : request.at("freed").items()) {
+    const std::int64_t value = index.as_int();
+    if (value < 0) {
+      throw PermanentError("worker: negative freed index in replay request");
+    }
+    freed.push_back(static_cast<std::size_t>(value));
+  }
+
+  const store::Digest key = store::ArtifactStore::replay_run_key(
+      pattern, shape, sim_config, schedule_digest, freed);
+  json::Value reply = json::Value::object();
+  reply.set("status", "ok");
+  reply.set("key", key.to_hex());
+  if (store.load_run(key)) return reply;
+
+  auto schedule = store.load_schedule(schedule_digest);
+  if (!schedule) {
+    throw PermanentError("worker: schedule artifact " +
+                         schedule_digest.to_hex() +
+                         " missing from the store — replay units are "
+                         "dispatched only after the recording completes");
+  }
+  for (const std::size_t index : freed) {
+    if (!schedule->free_entry(index)) {
+      throw PermanentError("worker: freed index " + std::to_string(index) +
+                           " out of range for schedule " +
+                           schedule_digest.to_hex());
+    }
+  }
+  sim_config.replay = &*schedule;
 
   const auto pattern_impl = patterns::make_pattern(pattern);
   const sim::RunResult run =
@@ -136,14 +198,18 @@ json::Value execute_unit(store::ArtifactStore& store,
   const std::string type = request.at("type").as_string();
   if (type == "run") return execute_run(store, request);
   if (type == "pair") return execute_pair(store, request);
+  if (type == "replay") return execute_replay(store, request);
   throw PermanentError("worker: unknown unit type '" + type + "'");
 }
 
 std::vector<store::Digest> unit_input_keys(const json::Value& request) {
   std::vector<store::Digest> keys;
-  if (request.at("type").as_string() == "pair") {
+  const std::string type = request.at("type").as_string();
+  if (type == "pair") {
     keys.push_back(parse_digest(request, "a"));
     keys.push_back(parse_digest(request, "b"));
+  } else if (type == "replay") {
+    keys.push_back(parse_digest(request, "schedule"));
   }
   return keys;
 }
@@ -161,6 +227,35 @@ json::Value make_run_request(const std::string& unit,
   request.set("seed", std::to_string(sim_config.seed));
   request.set("result_key",
               store::ArtifactStore::run_key(pattern, shape, sim_config)
+                  .to_hex());
+  return request;
+}
+
+json::Value make_replay_request(const std::string& unit,
+                                const std::string& pattern,
+                                const patterns::PatternConfig& shape,
+                                const sim::SimConfig& sim_config,
+                                const store::Digest& schedule,
+                                std::vector<std::size_t> freed) {
+  // Canonicalize so equal freed *sets* map to equal requests and keys.
+  std::sort(freed.begin(), freed.end());
+  freed.erase(std::unique(freed.begin(), freed.end()), freed.end());
+  json::Value request = json::Value::object();
+  request.set("unit", unit);
+  request.set("type", "replay");
+  request.set("pattern", pattern);
+  request.set("shape", shape.to_json());
+  request.set("sim", sim_config.to_json());
+  request.set("seed", std::to_string(sim_config.seed));
+  request.set("schedule", schedule.to_hex());
+  json::Value freed_array = json::Value::array();
+  for (const std::size_t index : freed) {
+    freed_array.push_back(static_cast<std::int64_t>(index));
+  }
+  request.set("freed", std::move(freed_array));
+  request.set("result_key",
+              store::ArtifactStore::replay_run_key(pattern, shape, sim_config,
+                                                   schedule, freed)
                   .to_hex());
   return request;
 }

@@ -26,6 +26,19 @@ json::Value make_run_request(const std::string& unit,
                              const patterns::PatternConfig& shape,
                              const sim::SimConfig& sim_config);
 
+/// Build the request frame for one replayed run (`replay:<candidate>`): the
+/// pattern/shape/sim travel like a run request (sim with replay unset — the
+/// worker wires the schedule in after loading it), plus the digest of the
+/// recorded schedule artifact and the flat rank-major indices of schedule
+/// entries to free (sorted + deduplicated here so equal freed sets produce
+/// equal requests and store keys).
+json::Value make_replay_request(const std::string& unit,
+                                const std::string& pattern,
+                                const patterns::PatternConfig& shape,
+                                const sim::SimConfig& sim_config,
+                                const store::Digest& schedule,
+                                std::vector<std::size_t> freed);
+
 /// Build the request frame for one pair distance (`pair:<a>-<b>`). The two
 /// run digests travel in request order — distance_key orders them
 /// internally for the key, but the distance itself is computed in (a, b)
@@ -36,17 +49,19 @@ json::Value make_pair_request(const std::string& unit,
                               const store::Digest& a, const store::Digest& b);
 
 /// Execute one work-unit request against `store`: make the store contain
-/// the unit's result artifact (a `run` or `pair` unit; see
-/// make_run_request / make_pair_request) and return the reply document
+/// the unit's result artifact (a `run`, `pair`, or `replay` unit; see
+/// make_run_request / make_pair_request / make_replay_request) and return
+/// the reply document
 /// {status, key}. Shared by the pipe worker (`anacin __worker`) and the
 /// socket agent (`anacin agent`) so every execution environment computes
 /// bit-identical artifacts. Throws the typed error taxonomy on failure.
 json::Value execute_unit(store::ArtifactStore& store,
                          const json::Value& request);
 
-/// Store keys a `pair` unit reads (the two run artifacts); empty for
-/// `run` units. The agent uses this to prefetch missing inputs from the
-/// scheduler before executing.
+/// Store keys a unit reads before executing: the two run artifacts for
+/// `pair` units, the recorded schedule for `replay` units, empty for `run`
+/// units. The agent uses this to prefetch missing inputs from the
+/// scheduler.
 std::vector<store::Digest> unit_input_keys(const json::Value& request);
 
 /// Entry point of the `__worker` child process: serve request frames from

@@ -1,5 +1,9 @@
 #include "replay/replay.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <utility>
+
 #include "support/error.hpp"
 
 namespace anacin::replay {
@@ -9,12 +13,32 @@ sim::ReplaySchedule record_schedule(const trace::Trace& trace) {
   schedule.wildcard_matches.resize(
       static_cast<std::size_t>(trace.num_ranks()));
   for (int rank = 0; rank < trace.num_ranks(); ++rank) {
+    // Trace events are appended at retirement (wait) time, so trace order
+    // can differ from completion order when irecvs are waited out of the
+    // order they completed — but the ReplaySchedule contract requires
+    // per-rank *completion* order (the order the engine's matcher consults
+    // the cursor in). Sort by the recorded completion counter; traces from
+    // before the counter was recorded (all match_order == -1) keep their
+    // trace order, which was the best information available then.
+    std::vector<std::pair<std::int64_t, sim::ReplaySchedule::Match>> matches;
     for (const trace::Event& event : trace.rank_events(rank)) {
       if (event.type != trace::EventType::kRecv) continue;
       if (event.posted_source != sim::kAnySource) continue;
-      schedule.wildcard_matches[static_cast<std::size_t>(rank)].push_back(
-          {event.matched_rank, event.matched_seq});
+      matches.push_back({event.match_order,
+                         {event.matched_rank, event.matched_seq}});
     }
+    const bool have_order = std::all_of(
+        matches.begin(), matches.end(),
+        [](const auto& entry) { return entry.first >= 0; });
+    if (have_order) {
+      std::stable_sort(matches.begin(), matches.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+    }
+    auto& per_rank = schedule.wildcard_matches[static_cast<std::size_t>(rank)];
+    per_rank.reserve(matches.size());
+    for (const auto& [order, match] : matches) per_rank.push_back(match);
   }
   return schedule;
 }
@@ -29,6 +53,9 @@ json::Value schedule_to_json(const sim::ReplaySchedule& schedule) {
       json::Value entry = json::Value::array();
       entry.push_back(match.source);
       entry.push_back(match.send_seq);
+      // Freed entries carry an explicit third element; the common
+      // all-pinned schedule keeps the compact two-element form.
+      if (!match.pinned) entry.push_back(false);
       matches.push_back(std::move(entry));
     }
     ranks.push_back(std::move(matches));
@@ -42,18 +69,45 @@ sim::ReplaySchedule schedule_from_json(const json::Value& document) {
       document.at("schema").as_string() != "anacin-replay-1") {
     throw ParseError("not an anacin-replay-1 document");
   }
+  if (!document.contains("wildcard_matches")) {
+    throw ParseError("replay document is missing \"wildcard_matches\"");
+  }
+  const json::Value& ranks = document.at("wildcard_matches");
+  if (!ranks.is_array()) {
+    throw ParseError("replay \"wildcard_matches\" must be an array of ranks");
+  }
   sim::ReplaySchedule schedule;
-  for (const json::Value& matches :
-       document.at("wildcard_matches").items()) {
+  std::size_t rank = 0;
+  for (const json::Value& matches : ranks.items()) {
+    if (!matches.is_array()) {
+      throw ParseError("replay rank " + std::to_string(rank) +
+                       " matches must be an array");
+    }
     std::vector<sim::ReplaySchedule::Match> per_rank;
     per_rank.reserve(matches.size());
-    for (const json::Value& entry : matches.items()) {
-      ANACIN_CHECK(entry.size() == 2, "replay match entry must be a pair");
-      per_rank.push_back(
-          {static_cast<std::int32_t>(entry.at(0).as_int()),
-           entry.at(1).as_int()});
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+      const json::Value& entry = matches.at(i);
+      const std::string where = "replay match entry " + std::to_string(i) +
+                                " on rank " + std::to_string(rank);
+      if (!entry.is_array() || entry.size() < 2 || entry.size() > 3) {
+        throw ParseError(where +
+                         " must be [source, send_seq] or"
+                         " [source, send_seq, pinned]");
+      }
+      const std::int64_t source = entry.at(0).as_int();
+      if (source < -1 ||
+          source > std::numeric_limits<std::int32_t>::max()) {
+        throw ParseError(where + " has out-of-range source " +
+                         std::to_string(source));
+      }
+      sim::ReplaySchedule::Match match;
+      match.source = static_cast<std::int32_t>(source);
+      match.send_seq = entry.at(1).as_int();
+      if (entry.size() == 3) match.pinned = entry.at(2).as_bool();
+      per_rank.push_back(match);
     }
     schedule.wildcard_matches.push_back(std::move(per_rank));
+    ++rank;
   }
   return schedule;
 }

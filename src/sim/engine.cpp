@@ -517,6 +517,13 @@ bool Engine::match_allowed(const RankCtx& ctx, int src_filter,
       replay_->wildcard_matches[static_cast<std::size_t>(ctx.rank)];
   if (ctx.replay_cursor >= schedule.size()) return true;
   const ReplaySchedule::Match& forced = schedule[ctx.replay_cursor];
+  if (!forced.pinned) return true;
+  // With earlier entries freed, a racing completion (or an explicit-source
+  // receive) can consume the forced message before this entry's turn;
+  // insisting on it would deadlock. Fall back to free matching.
+  if (ctx.consumed_matches.count({forced.source, forced.send_seq}) != 0) {
+    return true;
+  }
   return forced.source == msg.src && forced.send_seq == msg.src_seq;
 }
 
@@ -539,8 +546,23 @@ void Engine::complete_recv_request(RankCtx& ctx, std::uint64_t request_id,
                                    ArrivedMsg msg, double match_time) {
   RequestState& request = request_state(ctx, request_id);
   if (replay_ != nullptr && request.src_filter == kAnySource) {
-    match_time = std::max(match_time, ctx.replay_time_floor);
-    ctx.replay_time_floor = match_time;
+    // A freed cursor entry races naturally: it neither honours nor advances
+    // the floor, so an all-freed replay is byte-identical to an
+    // unconstrained run with the same seed.
+    bool freed = false;
+    if (ctx.rank < static_cast<int>(replay_->wildcard_matches.size())) {
+      const auto& schedule =
+          replay_->wildcard_matches[static_cast<std::size_t>(ctx.rank)];
+      freed = ctx.replay_cursor < schedule.size() &&
+              !schedule[ctx.replay_cursor].pinned;
+    }
+    if (!freed) {
+      match_time = std::max(match_time, ctx.replay_time_floor);
+      ctx.replay_time_floor = match_time;
+    }
+  }
+  if (replay_ != nullptr) {
+    ctx.consumed_matches.insert({msg.src, msg.src_seq});
   }
   request.complete = true;
   request.complete_time = match_time;
@@ -556,7 +578,6 @@ void Engine::complete_recv_request(RankCtx& ctx, std::uint64_t request_id,
   request.result =
       RecvResult{msg.src, msg.tag, std::move(msg.payload), match_time};
 
-  bool cursor_advanced = false;
   if (request.src_filter == kAnySource) {
     ++stats_.wildcard_recvs;
     if (replay_ != nullptr &&
@@ -565,15 +586,15 @@ void Engine::complete_recv_request(RankCtx& ctx, std::uint64_t request_id,
             replay_->wildcard_matches[static_cast<std::size_t>(ctx.rank)]
                 .size()) {
       ++ctx.replay_cursor;
-      cursor_advanced = true;
     }
   }
   if (sync_request != 0) {
     complete_sync_send(sync_request, sender, match_time);
   }
-  // Advancing the replay cursor can make a queued unexpected message become
-  // the next forced match for an already-posted wildcard receive.
-  if (cursor_advanced) drain_replay_matches(ctx);
+  // Any completion under replay can unblock a queued pairing: a cursor
+  // advance makes the next forced message matchable, and consuming a forced
+  // message flips its pinned entry into free-match fallback.
+  if (replay_ != nullptr) drain_replay_matches(ctx);
 }
 
 void Engine::drain_replay_matches(RankCtx& ctx) {
@@ -849,6 +870,7 @@ void Engine::record_recv_event(RankCtx& ctx, const RequestState& request) {
   event.matched_seq = request.matched_seq;
   event.posted_source = request.src_filter;
   event.posted_tag = request.tag_filter;
+  event.match_order = static_cast<std::int64_t>(request.completion_order);
   event.callstack_id = request.callstack_id;
   event.jittered = request.jittered;
   trace_.append(event);

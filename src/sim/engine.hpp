@@ -6,9 +6,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/config.hpp"
@@ -215,7 +217,16 @@ private:
     /// Under replay, wildcard completions are delivered in schedule order:
     /// a message matched out of its arrival order completes no earlier than
     /// its predecessors in the schedule (the replay tool "holds" it).
+    /// Freed schedule entries (Match::pinned == false) neither honour nor
+    /// advance the floor, so an all-freed replay matches an unconstrained
+    /// run byte for byte.
     double replay_time_floor = 0.0;
+    /// (source, send_seq) pairs already matched by *some* receive on this
+    /// rank during replay. With part of the schedule freed, a racing freed
+    /// completion or an explicit-source receive can consume the message a
+    /// later pinned entry forces; that entry then falls back to free
+    /// matching instead of deadlocking the candidate replay.
+    std::set<std::pair<std::int32_t, std::int64_t>> consumed_matches;
     /// One straggler fault event is recorded per affected rank per run,
     /// on its first stretched compute phase.
     bool straggler_event_recorded = false;

@@ -14,12 +14,24 @@ namespace anacin::sim {
 /// `MPI_ANY_SOURCE` matches are recorded. During replay the engine only
 /// lets a wildcard receive match the message named by the next recorded
 /// entry; all other candidate messages wait in the unexpected queue.
+///
+/// Each entry can individually be *pinned* (the default: the engine forces
+/// the recorded outcome) or *freed* (the engine lets that wildcard
+/// completion race naturally and only advances the cursor past the entry).
+/// Selectively freeing entries is the substrate for delta-debugging
+/// bisection (replay/bisect.hpp): a replay with every entry freed behaves
+/// exactly like an unconstrained run, a replay with every entry pinned is
+/// byte-identical to the recording, and mixtures isolate which recorded
+/// races actually drive the kernel-distance gap.
 struct ReplaySchedule {
   struct Match {
     /// Rank that sent the matched message.
     std::int32_t source = -1;
     /// Program-order event seq of the matching send on `source`.
     std::int64_t send_seq = -1;
+    /// When false the engine skips forcing this entry: the wildcard
+    /// completion at this cursor position matches freely.
+    bool pinned = true;
 
     friend bool operator==(const Match&, const Match&) = default;
   };
@@ -39,6 +51,20 @@ struct ReplaySchedule {
     std::size_t total = 0;
     for (const auto& per_rank : wildcard_matches) total += per_rank.size();
     return total;
+  }
+
+  /// Free (pinned = false) the entry at `index`, counting entries in flat
+  /// rank-major order (all of rank 0's entries first, then rank 1's, ...).
+  /// Returns false when the index is out of range.
+  bool free_entry(std::size_t index) {
+    for (auto& per_rank : wildcard_matches) {
+      if (index < per_rank.size()) {
+        per_rank[index].pinned = false;
+        return true;
+      }
+      index -= per_rank.size();
+    }
+    return false;
   }
 };
 

@@ -229,6 +229,7 @@ std::string_view kind_name(Kind kind) {
     case Kind::kDistanceMatrix: return "distance_matrix";
     case Kind::kRun: return "run";
     case Kind::kFeatures: return "features";
+    case Kind::kSchedule: return "schedule";
   }
   return "unknown";
 }
@@ -254,7 +255,7 @@ Envelope validate_envelope(std::span<const std::uint8_t> bytes) {
   }
   const std::uint16_t raw_kind =
       static_cast<std::uint16_t>(bytes[6] | (bytes[7] << 8));
-  if (raw_kind < 1 || raw_kind > 6) {
+  if (raw_kind < 1 || raw_kind > 7) {
     throw ParseError("artifact has unknown kind " + std::to_string(raw_kind));
   }
   envelope.kind = static_cast<Kind>(raw_kind);
@@ -304,6 +305,7 @@ std::vector<std::uint8_t> encode_trace(const trace::Trace& trace) {
       writer.i32(e.posted_tag);
       writer.u32(e.callstack_id);
       writer.u8(e.jittered ? 1 : 0);
+      writer.i64(e.match_order);
     }
   }
   return seal(Kind::kTrace, std::move(writer).take());
@@ -336,6 +338,7 @@ trace::Trace decode_trace(std::span<const std::uint8_t> bytes) {
       e.posted_tag = reader.i32();
       e.callstack_id = reader.u32();
       e.jittered = reader.u8() != 0;
+      e.match_order = reader.i64();
       if (e.rank != r) {
         throw ParseError("trace artifact: event rank out of place");
       }
@@ -479,6 +482,48 @@ kernels::SparseHistogram decode_features(
   }
   features.self_dot = self_dot;
   return features;
+}
+
+std::vector<std::uint8_t> encode_schedule(const sim::ReplaySchedule& schedule) {
+  ByteWriter writer;
+  writer.u64(schedule.wildcard_matches.size());
+  for (const auto& per_rank : schedule.wildcard_matches) {
+    writer.u64(per_rank.size());
+    for (const sim::ReplaySchedule::Match& match : per_rank) {
+      writer.i32(match.source);
+      writer.i64(match.send_seq);
+      writer.u8(match.pinned ? 1 : 0);
+    }
+  }
+  return seal(Kind::kSchedule, std::move(writer).take());
+}
+
+sim::ReplaySchedule decode_schedule(std::span<const std::uint8_t> bytes) {
+  ByteReader reader(open(bytes, Kind::kSchedule));
+  sim::ReplaySchedule schedule;
+  const std::uint64_t num_ranks = reader.count();
+  schedule.wildcard_matches.reserve(num_ranks);
+  for (std::uint64_t r = 0; r < num_ranks; ++r) {
+    const std::uint64_t num_matches = reader.count();
+    std::vector<sim::ReplaySchedule::Match> per_rank;
+    per_rank.reserve(num_matches);
+    for (std::uint64_t i = 0; i < num_matches; ++i) {
+      sim::ReplaySchedule::Match match;
+      match.source = reader.i32();
+      match.send_seq = reader.i64();
+      const std::uint8_t pinned = reader.u8();
+      if (pinned > 1) {
+        throw ParseError("schedule artifact: pin flag is not a boolean");
+      }
+      match.pinned = pinned != 0;
+      per_rank.push_back(match);
+    }
+    schedule.wildcard_matches.push_back(std::move(per_rank));
+  }
+  if (!reader.at_end()) {
+    throw ParseError("schedule artifact: trailing bytes after payload");
+  }
+  return schedule;
 }
 
 }  // namespace anacin::store

@@ -8,6 +8,7 @@
 #include "graph/event_graph.hpp"
 #include "kernels/distance_matrix.hpp"
 #include "kernels/sparse_histogram.hpp"
+#include "sim/replay_schedule.hpp"
 #include "trace/trace.hpp"
 
 namespace anacin::store {
@@ -35,7 +36,10 @@ namespace anacin::store {
 ///       kFeatures added later under the same version: a new kind does not
 ///       change any existing payload, and older builds reject it cleanly
 ///       as an unknown kind.
-inline constexpr std::uint16_t kFormatVersion = 2;
+///   3 — kTrace events carry the receive completion order (match_order
+///       i64, after the jittered flag); kSchedule added for recorded
+///       replay schedules.
+inline constexpr std::uint16_t kFormatVersion = 3;
 inline constexpr std::size_t kEnvelopeSize = 24;
 
 enum class Kind : std::uint16_t {
@@ -47,6 +51,8 @@ enum class Kind : std::uint16_t {
   kRun = 5,
   /// One run's kernel feature histogram (sorted sparse ids + counts).
   kFeatures = 6,
+  /// A recorded replay schedule (per-rank wildcard matches with pin flags).
+  kSchedule = 7,
 };
 
 std::string_view kind_name(Kind kind);
@@ -97,5 +103,8 @@ EncodedRun decode_run(std::span<const std::uint8_t> bytes);
 std::vector<std::uint8_t> encode_features(
     const kernels::SparseHistogram& features);
 kernels::SparseHistogram decode_features(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> encode_schedule(const sim::ReplaySchedule& schedule);
+sim::ReplaySchedule decode_schedule(std::span<const std::uint8_t> bytes);
 
 }  // namespace anacin::store

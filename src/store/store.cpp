@@ -61,6 +61,38 @@ Digest ArtifactStore::features_key(const std::string& kernel_spec,
   return digest_json(doc);
 }
 
+Digest ArtifactStore::schedule_key(const std::string& pattern,
+                                   const patterns::PatternConfig& shape,
+                                   const sim::SimConfig& sim_config) {
+  json::Value doc = json::Value::object();
+  doc.set("artifact", "schedule");
+  doc.set("codec", static_cast<std::int64_t>(kFormatVersion));
+  doc.set("pattern", pattern);
+  doc.set("shape", shape.to_json());
+  doc.set("sim", sim_config.to_json());
+  return digest_json(doc);
+}
+
+Digest ArtifactStore::replay_run_key(const std::string& pattern,
+                                     const patterns::PatternConfig& shape,
+                                     const sim::SimConfig& sim_config,
+                                     const Digest& schedule,
+                                     const std::vector<std::size_t>& freed) {
+  json::Value doc = json::Value::object();
+  doc.set("artifact", "replay_run");
+  doc.set("codec", static_cast<std::int64_t>(kFormatVersion));
+  doc.set("pattern", pattern);
+  doc.set("shape", shape.to_json());
+  doc.set("sim", sim_config.to_json());
+  doc.set("schedule", schedule.to_hex());
+  json::Value freed_array = json::Value::array();
+  for (const std::size_t index : freed) {
+    freed_array.push_back(static_cast<std::int64_t>(index));
+  }
+  doc.set("freed", std::move(freed_array));
+  return digest_json(doc);
+}
+
 std::optional<EncodedRun> ArtifactStore::load_run(const Digest& key) {
   const ObjectBytes bytes = objects_.get(key);
   if (!bytes) return std::nullopt;
@@ -117,6 +149,25 @@ void ArtifactStore::save_features(const Digest& key,
                                   const kernels::SparseHistogram& features) {
   const std::vector<std::uint8_t> bytes = encode_features(features);
   objects_.put(key, Kind::kFeatures, bytes);
+}
+
+std::optional<sim::ReplaySchedule> ArtifactStore::load_schedule(
+    const Digest& key) {
+  const ObjectBytes bytes = objects_.get(key);
+  if (!bytes) return std::nullopt;
+  try {
+    return decode_schedule(*bytes);
+  } catch (const Error&) {
+    corrupt_counter().add(1);
+    objects_.remove(key);
+    return std::nullopt;
+  }
+}
+
+void ArtifactStore::save_schedule(const Digest& key,
+                                  const sim::ReplaySchedule& schedule) {
+  const std::vector<std::uint8_t> bytes = encode_schedule(schedule);
+  objects_.put(key, Kind::kSchedule, bytes);
 }
 
 ArtifactStore* active_store() {

@@ -3,6 +3,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "kernels/labeled_graph.hpp"
 #include "patterns/pattern.hpp"
@@ -49,6 +50,22 @@ class ArtifactStore {
   static Digest features_key(const std::string& kernel_spec,
                              kernels::LabelPolicy policy, const Digest& run);
 
+  /// Key of the replay schedule recorded from one run. Recording is a pure
+  /// function of the run's trace, so the key covers the same inputs as
+  /// run_key.
+  static Digest schedule_key(const std::string& pattern,
+                             const patterns::PatternConfig& shape,
+                             const sim::SimConfig& sim_config);
+
+  /// Key of a replayed run: the recording's schedule digest plus the set of
+  /// schedule entries freed (flat rank-major indices, ascending) fully
+  /// determine the replay outcome given the replay sim config.
+  static Digest replay_run_key(const std::string& pattern,
+                               const patterns::PatternConfig& shape,
+                               const sim::SimConfig& sim_config,
+                               const Digest& schedule,
+                               const std::vector<std::size_t>& freed);
+
   std::optional<EncodedRun> load_run(const Digest& key);
   void save_run(const Digest& key, const EncodedRun& run);
 
@@ -58,6 +75,9 @@ class ArtifactStore {
   std::optional<kernels::SparseHistogram> load_features(const Digest& key);
   void save_features(const Digest& key,
                      const kernels::SparseHistogram& features);
+
+  std::optional<sim::ReplaySchedule> load_schedule(const Digest& key);
+  void save_schedule(const Digest& key, const sim::ReplaySchedule& schedule);
 
  private:
   ObjectStore objects_;

@@ -54,6 +54,13 @@ struct Event {
   /// root sources of message-race non-determinism.
   std::int32_t posted_source = -2;
   std::int32_t posted_tag = -2;
+  /// For kRecv: global completion order of the receive (the engine's
+  /// monotone completion counter at the instant the match was made), -1
+  /// when not applicable. Trace events are appended at *retirement*
+  /// (wait) time, so per-rank trace order can differ from completion
+  /// order for irecvs waited out of order; replay schedules must follow
+  /// completion order, which this field preserves.
+  std::int64_t match_order = -1;
   /// Interned call path active when the event was recorded.
   std::uint32_t callstack_id = 0;
   /// True if the message that produced this event received non-determinism

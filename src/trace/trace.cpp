@@ -79,6 +79,7 @@ json::Value Trace::to_json() const {
       record.set("mseq", e.matched_seq);
       record.set("psrc", e.posted_source);
       record.set("ptag", e.posted_tag);
+      record.set("mo", e.match_order);
       record.set("cs", static_cast<std::int64_t>(e.callstack_id));
       record.set("jit", e.jittered);
       rank_events.push_back(std::move(record));
@@ -124,6 +125,8 @@ Trace Trace::from_json(const json::Value& doc) {
       e.matched_seq = record.at("mseq").as_int();
       e.posted_source = static_cast<std::int32_t>(record.at("psrc").as_int());
       e.posted_tag = static_cast<std::int32_t>(record.at("ptag").as_int());
+      // Older anacin-trace-1 documents predate the completion-order field.
+      e.match_order = record.contains("mo") ? record.at("mo").as_int() : -1;
       e.callstack_id = static_cast<std::uint32_t>(record.at("cs").as_int());
       e.jittered = record.at("jit").as_bool();
       ANACIN_CHECK(e.rank == static_cast<std::int32_t>(r),

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "sim/types.hpp"
 #include "support/error.hpp"
 #include "support/string_util.hpp"
 
@@ -48,7 +49,7 @@ std::string ascii_event_graph(const graph::EventGraph& graph,
     const graph::EventNode& recv = graph.node(edges[i].second);
     os << "  msg: rank " << send.rank << " @t" << send.lamport
        << "  ->  rank " << recv.rank << " @t" << recv.lamport;
-    if (recv.posted_source == -1) os << "  (wildcard recv)";
+    if (recv.posted_source == sim::kAnySource) os << "  (wildcard recv)";
     os << '\n';
   }
   if (edges.size() > shown) {

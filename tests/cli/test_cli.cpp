@@ -166,6 +166,53 @@ TEST(Cli, ReplayReportsZeroDistance) {
             std::string::npos);
 }
 
+TEST(Cli, BisectReportsMinimalRacySetAndCallsite) {
+  const CliRun run = invoke({"bisect", "--pattern", "message_race", "--ranks",
+                             "6", "--seed", "11", "--replay-seed", "777"});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.out.find("recorded wildcard matches:"), std::string::npos);
+  // Either the seeds happen to coincide (no gap) or a minimal set with the
+  // racy callsite is reported; at full ND on message_race the gap is real.
+  EXPECT_NE(run.out.find("minimal racy set:"), std::string::npos);
+  EXPECT_NE(run.out.find("message_race>race_recv>MPI_Recv"),
+            std::string::npos);
+  EXPECT_NE(run.out.find("likely root cause:"), std::string::npos);
+}
+
+TEST(Cli, BisectWritesJsonAndBarArtifacts) {
+  const std::string json_path = "bisect_test_out.json";
+  const std::string bar_path = "bisect_test_out.svg";
+  const CliRun run =
+      invoke({"bisect", "--pattern", "message_race", "--ranks", "6",
+              "--seed", "11", "--replay-seed", "777", "--json", json_path,
+              "--bar", bar_path});
+  EXPECT_EQ(run.exit_code, 0);
+  std::ifstream json_file(json_path);
+  ASSERT_TRUE(json_file.good());
+  const std::string body((std::istreambuf_iterator<char>(json_file)),
+                         std::istreambuf_iterator<char>());
+  const json::Value doc = json::parse(body);
+  EXPECT_EQ(doc.at("schema").as_string(), "anacin-bisect-1");
+  EXPECT_GT(doc.at("minimal").size(), 0u);
+  std::ifstream bar_file(bar_path);
+  EXPECT_TRUE(bar_file.good());
+  std::filesystem::remove(json_path);
+  std::filesystem::remove(bar_path);
+}
+
+TEST(Cli, BisectRejectsKeepGoingAndEqualSeeds) {
+  const CliRun keep_going =
+      invoke({"bisect", "--pattern", "message_race", "--ranks", "4",
+              "--keep-going"});
+  EXPECT_EQ(keep_going.exit_code, 1);
+  EXPECT_NE(keep_going.err.find("--keep-going"), std::string::npos);
+  const CliRun same_seed =
+      invoke({"bisect", "--pattern", "message_race", "--ranks", "4",
+              "--seed", "7", "--replay-seed", "7"});
+  EXPECT_EQ(same_seed.exit_code, 1);
+  EXPECT_NE(same_seed.err.find("replay seed"), std::string::npos);
+}
+
 TEST(Cli, FiguresIndexAndLookup) {
   const CliRun index = invoke({"figures"});
   EXPECT_EQ(index.exit_code, 0);

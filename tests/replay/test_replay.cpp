@@ -5,6 +5,7 @@
 #include "graph/event_graph.hpp"
 #include "kernels/kernel.hpp"
 #include "patterns/pattern.hpp"
+#include "store/codec.hpp"
 #include "support/error.hpp"
 
 namespace anacin::replay {
@@ -72,6 +73,126 @@ TEST(ScheduleJson, RejectsWrongSchema) {
                ParseError);
 }
 
+TEST(ScheduleJson, RejectsMissingWildcardMatches) {
+  EXPECT_THROW(
+      schedule_from_json(json::parse(R"({"schema":"anacin-replay-1"})")),
+      ParseError);
+}
+
+TEST(ScheduleJson, RejectsNonArrayWildcardMatches) {
+  EXPECT_THROW(schedule_from_json(json::parse(
+                   R"({"schema":"anacin-replay-1","wildcard_matches":7})")),
+               ParseError);
+}
+
+TEST(ScheduleJson, RejectsNonArrayRankEntry) {
+  EXPECT_THROW(
+      schedule_from_json(json::parse(
+          R"({"schema":"anacin-replay-1","wildcard_matches":[[[1,0]],"x"]})")),
+      ParseError);
+}
+
+TEST(ScheduleJson, RejectsMalformedMatchEntries) {
+  // Not an array, too short, and too long are all rejected with context.
+  for (const char* doc :
+       {R"({"schema":"anacin-replay-1","wildcard_matches":[[5]]})",
+        R"({"schema":"anacin-replay-1","wildcard_matches":[[[1]]]})",
+        R"({"schema":"anacin-replay-1","wildcard_matches":[[[1,0,true,0]]]})"}) {
+    EXPECT_THROW(schedule_from_json(json::parse(doc)), ParseError) << doc;
+  }
+}
+
+TEST(ScheduleJson, RejectsOutOfRangeSource) {
+  // Below kAnySource (-1) and above int32 max both reject: sources are
+  // rank ids stored as int32, and silently truncating one would force the
+  // wrong sender on replay.
+  for (const char* doc :
+       {R"({"schema":"anacin-replay-1","wildcard_matches":[[[-2,0]]]})",
+        R"({"schema":"anacin-replay-1","wildcard_matches":[[[2147483648,0]]]})"}) {
+    EXPECT_THROW(schedule_from_json(json::parse(doc)), ParseError) << doc;
+  }
+}
+
+TEST(ScheduleJson, RoundTripsPinFlags) {
+  const sim::RunResult run =
+      sim::run_simulation(noisy(4, 9), race_program(4));
+  sim::ReplaySchedule schedule = record_schedule(run.trace);
+  ASSERT_GE(schedule.total_matches(), 2u);
+  ASSERT_TRUE(schedule.free_entry(1));
+  const sim::ReplaySchedule copy =
+      schedule_from_json(schedule_to_json(schedule));
+  ASSERT_EQ(copy.wildcard_matches.size(), schedule.wildcard_matches.size());
+  for (std::size_t r = 0; r < copy.wildcard_matches.size(); ++r) {
+    EXPECT_EQ(copy.wildcard_matches[r], schedule.wildcard_matches[r]);
+  }
+}
+
+TEST(ScheduleCodec, RoundTripsIncludingFreedEntries) {
+  const sim::RunResult run =
+      sim::run_simulation(noisy(5, 21), race_program(5));
+  sim::ReplaySchedule schedule = record_schedule(run.trace);
+  ASSERT_GE(schedule.total_matches(), 3u);
+  ASSERT_TRUE(schedule.free_entry(0));
+  ASSERT_TRUE(schedule.free_entry(2));
+  const sim::ReplaySchedule copy =
+      store::decode_schedule(store::encode_schedule(schedule));
+  ASSERT_EQ(copy.wildcard_matches.size(), schedule.wildcard_matches.size());
+  for (std::size_t r = 0; r < copy.wildcard_matches.size(); ++r) {
+    EXPECT_EQ(copy.wildcard_matches[r], schedule.wildcard_matches[r]);
+  }
+}
+
+TEST(FreeEntry, FlatIndexWalksRanksAndRejectsOutOfRange) {
+  sim::ReplaySchedule schedule;
+  schedule.wildcard_matches = {{{1, 0}, {2, 0}}, {}, {{3, 1}}};
+  EXPECT_TRUE(schedule.free_entry(2));  // first (only) match of rank 2
+  EXPECT_TRUE(schedule.wildcard_matches[0][0].pinned);
+  EXPECT_TRUE(schedule.wildcard_matches[0][1].pinned);
+  EXPECT_FALSE(schedule.wildcard_matches[2][0].pinned);
+  EXPECT_FALSE(schedule.free_entry(3));
+}
+
+TEST(RecordSchedule, UsesCompletionOrderNotTraceOrder) {
+  // Rank 0 posts two wildcard irecvs and waits them in *post* order. The
+  // tag-2 message arrives first (rank 2 sends immediately; rank 1 computes
+  // 500us before sending), so the tag-2 request completes first in the
+  // engine but retires second-to-last... trace events are appended at
+  // wait() time, so trace order here is tag-1-then-tag-2 while completion
+  // order is tag-2-then-tag-1. The schedule contract is completion order —
+  // the order the matcher consults the cursor in on replay.
+  sim::SimConfig config;
+  config.num_ranks = 3;
+  config.seed = 7;
+  const sim::RunResult run =
+      sim::run_simulation(config, [](sim::Comm& comm) {
+        if (comm.rank() == 0) {
+          sim::Request slow = comm.irecv(sim::kAnySource, 1);
+          sim::Request fast = comm.irecv(sim::kAnySource, 2);
+          (void)comm.wait(slow);
+          (void)comm.wait(fast);
+        } else if (comm.rank() == 1) {
+          comm.compute(500.0);
+          comm.send(0, 1);
+        } else {
+          comm.send(0, 2);
+        }
+      });
+  // Sanity: the trace really does retire the slow (tag-1, rank-1) recv
+  // first, i.e. this test would catch a recorder that keeps trace order.
+  std::vector<std::int32_t> trace_order;
+  for (const trace::Event& event : run.trace.rank_events(0)) {
+    if (event.type == trace::EventType::kRecv) {
+      trace_order.push_back(event.matched_rank);
+    }
+  }
+  ASSERT_EQ(trace_order, (std::vector<std::int32_t>{1, 2}));
+
+  const sim::ReplaySchedule schedule = record_schedule(run.trace);
+  ASSERT_EQ(schedule.wildcard_matches[0].size(), 2u);
+  EXPECT_EQ(schedule.wildcard_matches[0][0].source, 2);
+  EXPECT_EQ(schedule.wildcard_matches[0][1].source, 1);
+}
+
 TEST(RecordAndReplay, KernelDistanceCollapsesToZero) {
   // The headline replay property: a replayed run is indistinguishable from
   // the recorded one under the kernel-distance metric, even with a
@@ -100,6 +221,101 @@ TEST(RecordAndReplay, WithoutReplayTheSameSeedsDiffer) {
       kernels::build_labeled_graph(graph::EventGraph::from_trace(b.trace),
                                    kernels::LabelPolicy::kTypePeer));
   EXPECT_GT(distance, 0.0);
+}
+
+TEST(RecordAndReplay, AllPinnedReplayIsByteIdenticalUnderFaultRetransmits) {
+  // Record a run whose wildcard matches include retransmitted messages
+  // (drops + retries exercise drain_replay_matches on replay, where a
+  // single recv completion can satisfy several queued deliveries), then
+  // replay the same config with every entry pinned. The replayed trace and
+  // event graph must be byte-identical to the recording under the store
+  // codec — the strongest "replay reproduced the recording" statement the
+  // artifact layer can make.
+  sim::SimConfig config = noisy(6, 13);
+  config.faults.drop_probability = 0.3;
+  config.faults.max_retries = 5;
+  config.faults.retry_timeout_us = 20.0;
+  const patterns::PatternConfig shape = [] {
+    patterns::PatternConfig s;
+    s.num_ranks = 6;
+    s.iterations = 2;
+    return s;
+  }();
+  const sim::RankProgram program =
+      patterns::make_pattern("message_race")->program(shape);
+
+  const sim::RunResult recorded = sim::run_simulation(config, program);
+  ASSERT_GT(recorded.stats.drops, 0u) << "fault config produced no drops";
+  const sim::ReplaySchedule schedule = record_schedule(recorded.trace);
+  ASSERT_GT(schedule.total_matches(), 0u);
+
+  sim::SimConfig forced = config;
+  forced.replay = &schedule;
+  const sim::RunResult replayed = sim::run_simulation(forced, program);
+
+  EXPECT_EQ(store::encode_trace(replayed.trace),
+            store::encode_trace(recorded.trace));
+  EXPECT_EQ(store::encode_event_graph(
+                graph::EventGraph::from_trace(replayed.trace)),
+            store::encode_event_graph(
+                graph::EventGraph::from_trace(recorded.trace)));
+}
+
+TEST(PinFree, AllFreedReplayEqualsAPlainRunByteForByte) {
+  // Freed entries neither force a source nor impose the recorded time
+  // floor, so a replay with *every* entry freed must be indistinguishable
+  // from running the replay seed with no schedule at all.
+  const sim::RankProgram program = race_program(8);
+  const sim::RunResult recorded =
+      sim::run_simulation(noisy(8, 11), program);
+  sim::ReplaySchedule schedule = record_schedule(recorded.trace);
+  const std::size_t total = schedule.total_matches();
+  ASSERT_GT(total, 0u);
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_TRUE(schedule.free_entry(i));
+  }
+
+  sim::SimConfig replay_config = noisy(8, 777);
+  replay_config.replay = &schedule;
+  const sim::RunResult freed_run =
+      sim::run_simulation(replay_config, program);
+  const sim::RunResult plain_run =
+      sim::run_simulation(noisy(8, 777), program);
+  EXPECT_EQ(store::encode_trace(freed_run.trace),
+            store::encode_trace(plain_run.trace));
+}
+
+TEST(PinFree, FreeingEntriesReopensTheRaces) {
+  // Control for the pinning machinery: all pinned collapses the distance
+  // to zero, all freed restores (some of) the seed-to-seed gap.
+  const sim::RankProgram program = race_program(8);
+  const sim::RunResult recorded =
+      sim::run_simulation(noisy(8, 11), program);
+  const sim::ReplaySchedule pinned = record_schedule(recorded.trace);
+  sim::ReplaySchedule freed = pinned;
+  for (std::size_t i = 0; i < freed.total_matches(); ++i) {
+    ASSERT_TRUE(freed.free_entry(i));
+  }
+
+  const auto kernel = kernels::make_kernel("wl:2");
+  const auto features = [&](const trace::Trace& trace) {
+    return kernels::build_labeled_graph(graph::EventGraph::from_trace(trace),
+                                        kernels::LabelPolicy::kTypePeer);
+  };
+  sim::SimConfig replay_config = noisy(8, 777);
+  replay_config.replay = &pinned;
+  const sim::RunResult pinned_run =
+      sim::run_simulation(replay_config, program);
+  replay_config.replay = &freed;
+  const sim::RunResult freed_run =
+      sim::run_simulation(replay_config, program);
+
+  EXPECT_DOUBLE_EQ(
+      kernel->distance(features(recorded.trace), features(pinned_run.trace)),
+      0.0);
+  EXPECT_GT(
+      kernel->distance(features(recorded.trace), features(freed_run.trace)),
+      0.0);
 }
 
 TEST(RecordAndReplay, WorksOnPackagedPatterns) {
