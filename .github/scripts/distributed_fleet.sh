@@ -14,6 +14,15 @@
 #   SWEEP_FLAGS  sweep flags, shared verbatim with the local baseline
 #   SERVE_ENV    env assignments applied to the scheduler (optional)
 #   AGENT1_ENV   env assignments applied to agent 1 only (optional)
+#   AGENT2_ENV   env assignments applied to agent 2 only (optional)
+#
+# Chaos campaigns: set ANACIN_NET_CHAOS inside any of the *_ENV knobs to
+# fault that process's sends at the frame boundary (net/chaos.hpp), e.g.
+#   SERVE_ENV="ANACIN_NET_CHAOS=seed=7,corrupt=0.03,reorder=0.05" \
+#   AGENT1_ENV="ANACIN_NET_CHAOS=seed=1007,drop=0.02,corrupt=0.03" \
+#     distributed_fleet.sh chaos s a1 a2 --unit-lease-ms 5000
+# The report must still be byte-identical to the local baseline — that is
+# the invariant the chaos-smoke CI job enforces.
 #
 # The scheduler announces its ephemeral port through an ABSOLUTE
 # --port-file (relative paths once stranded agents in an empty cwd race);
@@ -52,7 +61,7 @@ launch_agent() {
 
 launch_agent 1 "$AGENT1_STORE" "${AGENT1_ENV:-}"
 AGENT1_PID=$!
-launch_agent 2 "$AGENT2_STORE" ""
+launch_agent 2 "$AGENT2_STORE" "${AGENT2_ENV:-}"
 AGENT2_PID=$!
 
 # shellcheck disable=SC2086

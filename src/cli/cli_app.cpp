@@ -883,6 +883,78 @@ int cmd_sweep(const std::vector<const char*>& argv, std::ostream& out) {
   return run_sweep(out, options, workers.get());
 }
 
+/// The --net-chaos-* flag set shared by serve and agent. Flags override
+/// the ANACIN_NET_CHAOS environment spec field-by-field, so a fleet
+/// script can set a baseline in the environment and a single process can
+/// still be dialed up or down from its command line. Negative defaults
+/// mean "not set here".
+struct ChaosCliOptions {
+  std::uint64_t seed = 0;
+  double drop = -1.0;
+  double corrupt = -1.0;
+  double reorder = -1.0;
+  double reset = -1.0;
+  double delay = -1.0;
+  double delay_ms = -1.0;
+  double partition = -1.0;
+  double partition_ms = -1.0;
+
+  void add_to(ArgParser& parser) {
+    parser.add_uint64("net-chaos-seed",
+                      "seed of the deterministic fault stream (0 keeps the "
+                      "ANACIN_NET_CHAOS / default seed)",
+                      &seed);
+    parser.add_double("net-chaos-drop",
+                      "probability a sent frame is silently dropped", &drop);
+    parser.add_double("net-chaos-corrupt",
+                      "probability a sent frame gets one byte flipped "
+                      "(after the CRC32C trailer, so the peer sees it)",
+                      &corrupt);
+    parser.add_double("net-chaos-reorder",
+                      "probability a sent frame swaps with its successor",
+                      &reorder);
+    parser.add_double("net-chaos-reset",
+                      "probability a send tears the connection down instead",
+                      &reset);
+    parser.add_double("net-chaos-delay",
+                      "probability a sent frame is delayed", &delay);
+    parser.add_double("net-chaos-delay-ms",
+                      "upper bound of the injected delay", &delay_ms);
+    parser.add_double("net-chaos-partition",
+                      "probability a send opens a one-way blackhole window",
+                      &partition);
+    parser.add_double("net-chaos-partition-ms",
+                      "length of the one-way blackhole window",
+                      &partition_ms);
+  }
+
+  net::ChaosConfig resolve() const {
+    net::ChaosConfig config =
+        net::ChaosConfig::from_env().value_or(net::ChaosConfig{});
+    if (seed != 0) config.seed = seed;
+    const auto probability = [](const char* flag, double value) {
+      ANACIN_CHECK(value <= 1.0,
+                   std::string(flag) + " is a probability in [0,1]");
+      return value;
+    };
+    if (drop >= 0) config.drop = probability("--net-chaos-drop", drop);
+    if (corrupt >= 0) {
+      config.corrupt = probability("--net-chaos-corrupt", corrupt);
+    }
+    if (reorder >= 0) {
+      config.reorder = probability("--net-chaos-reorder", reorder);
+    }
+    if (reset >= 0) config.reset = probability("--net-chaos-reset", reset);
+    if (delay >= 0) config.delay = probability("--net-chaos-delay", delay);
+    if (delay_ms >= 0) config.delay_ms = delay_ms;
+    if (partition >= 0) {
+      config.partition = probability("--net-chaos-partition", partition);
+    }
+    if (partition_ms >= 0) config.partition_ms = partition_ms;
+    return config;
+  }
+};
+
 int cmd_serve(const std::vector<const char*>& argv, std::ostream& out) {
   SweepCliOptions options;
   // Agent loss is expected in a fleet; default to re-queueing a unit a few
@@ -894,6 +966,9 @@ int cmd_serve(const std::vector<const char*>& argv, std::ostream& out) {
   int agents = 1;
   std::string port_file;
   double heartbeat_timeout_ms = 10'000.0;
+  double unit_lease_ms = 30'000.0;
+  int max_inflight = 0;
+  ChaosCliOptions chaos;
   ArgParser parser(
       "anacin serve — run a sweep as a scheduler farming work units to "
       "`anacin agent` fleets over TCP (see docs/DISTRIBUTED.md)");
@@ -908,12 +983,24 @@ int cmd_serve(const std::vector<const char*>& argv, std::ostream& out) {
                     "tests and scripts discover an ephemeral port)",
                     &port_file);
   parser.add_double("agent-heartbeat-timeout-ms",
-                    "declare an agent dead after this long without a frame "
-                    "while a unit is in flight (0 = only on disconnect)",
+                    "close an agent connection after this long without a "
+                    "frame while a unit is in flight, forcing a reconnect "
+                    "(0 = never)",
                     &heartbeat_timeout_ms);
+  parser.add_double("unit-lease-ms",
+                    "how long a disconnected agent session may take to "
+                    "reconnect and resume before its unit is re-queued",
+                    &unit_lease_ms);
+  parser.add_int("net-max-inflight",
+                 "at most this many units on the fabric at once "
+                 "(0 = unbounded)",
+                 &max_inflight);
+  chaos.add_to(parser);
   if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
   ANACIN_CHECK(agents >= 1, "--agents must be >= 1");
   ANACIN_CHECK(port >= 0 && port <= 65535, "--port must be in [0,65535]");
+  ANACIN_CHECK(unit_lease_ms > 0.0, "--unit-lease-ms must be > 0");
+  ANACIN_CHECK(max_inflight >= 0, "--net-max-inflight must be >= 0");
   ANACIN_CHECK(options.resilience.isolate == "none",
                "serve farms units to remote agents; --isolate does not "
                "compose with it");
@@ -929,8 +1016,14 @@ int cmd_serve(const std::vector<const char*>& argv, std::ostream& out) {
   server_config.bind_host = bind;
   server_config.port = static_cast<std::uint16_t>(port);
   server_config.heartbeat_timeout_ms = heartbeat_timeout_ms;
+  server_config.unit_lease_ms = unit_lease_ms;
+  server_config.max_inflight = static_cast<std::size_t>(max_inflight);
+  server_config.chaos = chaos.resolve();
   net::AgentServer server(server_config, *store);
   out << "serve: listening on " << bind << ":" << server.port() << '\n';
+  if (server_config.chaos.enabled()) {
+    out << "serve: " << server_config.chaos.summary() << '\n';
+  }
   if (!port_file.empty()) {
     support::atomic_write_file(port_file, std::to_string(server.port()));
   }
@@ -947,6 +1040,9 @@ int cmd_agent(const std::vector<const char*>& argv, std::ostream& out) {
   std::string name;
   double heartbeat_ms = 50.0;
   std::uint64_t max_units = 0;
+  int reconnect_max = 5;
+  double reconnect_backoff_ms = 100.0;
+  ChaosCliOptions chaos;
   ArgParser parser(
       "anacin agent — join an `anacin serve` scheduler and execute its "
       "work units against the local artifact store");
@@ -958,8 +1054,19 @@ int cmd_agent(const std::vector<const char*>& argv, std::ostream& out) {
                     "exit after this many units (0 = until the scheduler "
                     "hangs up; tests use 1 to exercise re-queueing)",
                     &max_units);
+  parser.add_int("reconnect-max",
+                 "give up after this many consecutive failed (re)connect "
+                 "attempts",
+                 &reconnect_max);
+  parser.add_double("reconnect-backoff-ms",
+                    "base of the seeded exponential reconnect backoff",
+                    &reconnect_backoff_ms);
+  chaos.add_to(parser);
   if (!parser.parse(static_cast<int>(argv.size()), argv.data())) return 0;
   ANACIN_CHECK(heartbeat_ms > 0.0, "--heartbeat-ms must be > 0");
+  ANACIN_CHECK(reconnect_max >= 1, "--reconnect-max must be >= 1");
+  ANACIN_CHECK(reconnect_backoff_ms >= 0.0,
+               "--reconnect-backoff-ms must be >= 0");
   const auto colon = connect.rfind(':');
   if (connect.empty() || colon == std::string::npos || colon == 0 ||
       colon + 1 == connect.size()) {
@@ -983,7 +1090,13 @@ int cmd_agent(const std::vector<const char*>& argv, std::ostream& out) {
   config.name = name;
   config.heartbeat_interval_ms = heartbeat_ms;
   config.max_units = max_units;
+  config.reconnect_max = reconnect_max;
+  config.reconnect_backoff_ms = reconnect_backoff_ms;
+  config.chaos = chaos.resolve();
   out << "agent: joining " << config.host << ":" << config.port << '\n';
+  if (config.chaos.enabled()) {
+    out << "agent: " << config.chaos.summary() << '\n';
+  }
   return net::run_agent(*store, config);
 }
 

@@ -1,0 +1,77 @@
+#include "net/lease.hpp"
+
+#include "support/error.hpp"
+
+namespace anacin::net {
+
+LeaseTable::LeaseTable(double lease_ms) : lease_ms_(lease_ms) {}
+
+LeaseTable::Clock::duration LeaseTable::window() const {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(lease_ms_));
+}
+
+void LeaseTable::acquire(const std::string& unit_id,
+                         const std::string& token) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = leases_[unit_id];
+  entry.owner = token;
+  entry.acquired = Clock::now();
+  entry.deadline = entry.acquired + window();
+  entry.attempts = 1;
+}
+
+void LeaseTable::renew(const std::string& unit_id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = leases_.find(unit_id);
+  if (found == leases_.end()) return;
+  found->second.deadline = Clock::now() + window();
+}
+
+void LeaseTable::rebind(const std::string& unit_id, const std::string& token) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = leases_.find(unit_id);
+  if (found == leases_.end()) return;
+  found->second.owner = token;
+  found->second.deadline = Clock::now() + window();
+  ++found->second.attempts;
+}
+
+bool LeaseTable::expired(const std::string& unit_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = leases_.find(unit_id);
+  if (found == leases_.end()) return true;
+  return Clock::now() >= found->second.deadline;
+}
+
+LeaseTable::Clock::time_point LeaseTable::deadline(
+    const std::string& unit_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = leases_.find(unit_id);
+  ANACIN_CHECK(found != leases_.end(), "no lease for unit '" + unit_id + "'");
+  return found->second.deadline;
+}
+
+int LeaseTable::attempts(const std::string& unit_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = leases_.find(unit_id);
+  return found == leases_.end() ? 0 : found->second.attempts;
+}
+
+double LeaseTable::release(const std::string& unit_id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = leases_.find(unit_id);
+  if (found == leases_.end()) return 0.0;
+  const double age_ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - found->second.acquired)
+                            .count();
+  leases_.erase(found);
+  return age_ms;
+}
+
+std::size_t LeaseTable::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return leases_.size();
+}
+
+}  // namespace anacin::net

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace anacin::net {
+
+/// The scheduler's unit lease table — the bookkeeping that makes "agent
+/// went quiet" survivable without double-running work. Every dispatched
+/// unit holds exactly one lease naming its owning session and a deadline;
+/// every frame received from the owner renews the deadline. A broken
+/// connection does NOT release the lease: the owning execute() call waits
+/// for the session to reconnect (session tokens, see server.hpp) and
+/// re-dispatches on the fresh connection. Only the lease *expiring* —
+/// no frames and no reconnect for the full lease window — declares the
+/// unit lost and re-queues it on another agent. That asymmetry is the
+/// point: a blip costs one reconnect, not a re-simulation, while a truly
+/// dead agent costs at most one lease window.
+///
+/// Thread model: one execute() thread owns each lease end to end; the
+/// internal mutex only guards cross-thread reads (size, the observability
+/// snapshot).
+class LeaseTable {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `lease_ms` is the expiry window measured from the last renewal.
+  explicit LeaseTable(double lease_ms);
+
+  double lease_ms() const { return lease_ms_; }
+
+  /// Open a lease for `unit_id` owned by session `token` (attempt 1).
+  void acquire(const std::string& unit_id, const std::string& token);
+
+  /// A frame arrived from the owner: push the deadline out.
+  void renew(const std::string& unit_id);
+
+  /// The unit was re-dispatched (same session after a reconnect, or a
+  /// different session after expiry never happens — expiry releases).
+  /// Fresh deadline, attempt count bumped, owner updated.
+  void rebind(const std::string& unit_id, const std::string& token);
+
+  bool expired(const std::string& unit_id) const;
+  Clock::time_point deadline(const std::string& unit_id) const;
+  /// Dispatch attempts so far (1 = first dispatch).
+  int attempts(const std::string& unit_id) const;
+
+  /// Close the lease; returns its total age in milliseconds (feeds the
+  /// net.lease_age_ms histogram).
+  double release(const std::string& unit_id);
+
+  /// Leases currently open (== units in flight on the fabric).
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string owner;
+    Clock::time_point acquired;
+    Clock::time_point deadline;
+    int attempts = 0;
+  };
+
+  Clock::duration window() const;
+
+  double lease_ms_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> leases_;
+};
+
+}  // namespace anacin::net

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "obs/obs.hpp"
@@ -19,6 +20,8 @@
 namespace anacin::net {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 void ignore_sigpipe() {
   // A peer can vanish between our liveness check and our write; without
@@ -32,6 +35,32 @@ void close_fd(int& fd) {
   if (fd >= 0) {
     ::close(fd);
     fd = -1;
+  }
+}
+
+/// poll() one fd for `events`, retrying EINTR against a fixed deadline so
+/// a signal delivered mid-wait (the EINTR regression test does exactly
+/// this) consumes budget instead of resetting or aborting it. Returns
+/// poll()'s result: >0 ready, 0 timeout, <0 non-EINTR error.
+int poll_deadline(int fd, short events, int timeout_ms) {
+  Clock::time_point deadline{};
+  if (timeout_ms >= 0) {
+    deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  }
+  for (;;) {
+    int budget = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      budget = left.count() > 0 ? static_cast<int>(left.count()) : 0;
+    }
+    pollfd pfd{fd, events, 0};
+    const int ready = ::poll(&pfd, 1, budget);
+    if (ready < 0 && errno == EINTR) {
+      if (timeout_ms >= 0 && Clock::now() >= deadline) return 0;
+      continue;
+    }
+    return ready;
   }
 }
 
@@ -71,9 +100,13 @@ std::unique_ptr<TcpConnection> TcpConnection::connect(const std::string& host,
     const int flags = ::fcntl(fd, F_GETFL);
     ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
     int rc = ::connect(fd, info->ai_addr, info->ai_addrlen);
+    if (rc < 0 && errno == EINTR) {
+      // POSIX: an interrupted connect() proceeds asynchronously, exactly
+      // like EINPROGRESS — fall through to the poll below.
+      errno = EINPROGRESS;
+    }
     if (rc < 0 && errno == EINPROGRESS) {
-      pollfd pfd{fd, POLLOUT, 0};
-      rc = ::poll(&pfd, 1, timeout_ms);
+      rc = poll_deadline(fd, POLLOUT, timeout_ms);
       if (rc > 0) {
         int so_error = 0;
         socklen_t len = sizeof(so_error);
@@ -103,87 +136,128 @@ std::unique_ptr<TcpConnection> TcpConnection::connect(const std::string& host,
 }
 
 void TcpConnection::close() {
-  if (fd_ < 0) return;
+  // exchange() so exactly one closer wins when close() races itself (the
+  // destructor vs an explicit close from another thread).
+  const int fd = fd_.exchange(-1);
+  if (fd < 0) return;
   // shutdown() first: another thread blocked in recv_frame wakes with a
   // clean EOF instead of reading from a closed (possibly recycled) fd.
-  ::shutdown(fd_, SHUT_RDWR);
-  close_fd(fd_);
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
 }
 
 bool TcpConnection::send_frame(proc::FrameType type,
                                std::string_view payload) {
-  if (fd_ < 0) return false;
+  const int fd = fd_.load();
+  if (fd < 0) return false;
   static obs::Counter& frames = obs::counter("net.frames_sent");
   static obs::Counter& bytes = obs::counter("net.bytes_sent");
   const std::lock_guard<std::mutex> lock(write_mutex_);
-  if (!proc::write_frame(fd_, type, payload)) return false;
+  if (!proc::write_frame(fd, type, payload, version_)) return false;
   frames.add(1);
-  bytes.add(5 + payload.size());
+  bytes.add(proc::frame_overhead(version_) + payload.size());
+  return true;
+}
+
+bool TcpConnection::send_raw(std::string_view bytes) {
+  const int fd = fd_.load();
+  if (fd < 0) return false;
+  static obs::Counter& frames = obs::counter("net.frames_sent");
+  static obs::Counter& sent = obs::counter("net.bytes_sent");
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  const char* cursor = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t written = ::write(fd, cursor, left);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    cursor += written;
+    left -= static_cast<std::size_t>(written);
+  }
+  frames.add(1);
+  sent.add(bytes.size());
   return true;
 }
 
 proc::ReadResult TcpConnection::recv_frame(int timeout_ms) {
-  if (fd_ < 0) {
+  const int fd = fd_.load();
+  if (fd < 0) {
     proc::ReadResult result;
     result.status = proc::ReadStatus::kEof;
     return result;
   }
-  proc::ReadResult result = proc::read_frame(fd_, timeout_ms);
+  proc::ReadResult result = proc::read_frame(fd, timeout_ms, version_);
   if (result) {
     obs::counter("net.frames_received").add(1);
-    obs::counter("net.bytes_received").add(5 + result.frame.payload.size());
+    obs::counter("net.bytes_received")
+        .add(proc::frame_overhead(version_) + result.frame.payload.size());
+  } else if (result.status == proc::ReadStatus::kCorrupt) {
+    obs::counter("net.frames_corrupt").add(1);
   }
   return result;
 }
 
 TcpListener::TcpListener(const std::string& host, std::uint16_t port) {
   ignore_sigpipe();
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
     throw IoError(std::string("socket failed: ") + std::strerror(errno));
   }
   const int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    close_fd(fd_);
+    close_fd(fd);
     throw IoError("listener bind address must be an IPv4 literal, got '" +
                   host + "'");
   }
-  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     const std::string error = std::strerror(errno);
-    close_fd(fd_);
+    close_fd(fd);
     throw IoError("cannot bind " + host + ":" + std::to_string(port) + ": " +
                   error);
   }
-  if (::listen(fd_, 64) < 0) {
+  if (::listen(fd, 64) < 0) {
     const std::string error = std::strerror(errno);
-    close_fd(fd_);
+    close_fd(fd);
     throw IoError("listen failed: " + error);
   }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
-  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
+  fd_.store(fd);
 }
 
 TcpListener::~TcpListener() { close(); }
 
 std::unique_ptr<TcpConnection> TcpListener::accept(int timeout_ms) {
-  if (fd_ < 0) return nullptr;
-  pollfd pfd{fd_, POLLIN, 0};
-  const int ready = ::poll(&pfd, 1, timeout_ms);
+  const int listen_fd = fd_.load();
+  if (listen_fd < 0) return nullptr;
+  const int ready = poll_deadline(listen_fd, POLLIN, timeout_ms);
   if (ready <= 0) return nullptr;
-  const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
-  if (fd < 0) return nullptr;
+  int fd = -1;
+  for (;;) {
+    fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) break;
+    // ECONNABORTED: the peer gave up between poll and accept — the
+    // listener itself is fine, so report "nothing arrived" not "broken".
+    if (errno == EINTR) continue;
+    return nullptr;
+  }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return std::make_unique<TcpConnection>(fd);
 }
 
-void TcpListener::close() { close_fd(fd_); }
+void TcpListener::close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
 
 }  // namespace anacin::net

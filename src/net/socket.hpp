@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -10,22 +11,57 @@
 
 namespace anacin::net {
 
-/// One connected TCP stream speaking the unified frame codec of
-/// proc/protocol.hpp — the same length-prefixed frames the worker pipes
-/// carry, so pipes and sockets share one wire format. Frame traffic is
-/// counted into the net.* metrics (frames/bytes, each direction).
+/// One bidirectional stream speaking the unified frame codec of
+/// proc/protocol.hpp. Two implementations exist: TcpConnection is the
+/// real POSIX socket, and chaos.hpp's FaultyConnection wraps another
+/// Connection to inject seeded frame-level faults — the scheduler and
+/// agent code paths are written against this interface so chaos composes
+/// transparently.
 ///
-/// Writes are serialized by an internal mutex so a unit's heartbeat thread
-/// (proc::Heartbeater over write_mutex()) can interleave whole frames with
-/// result frames, never bytes. Reads are single-consumer by construction:
-/// exactly one thread drives recv_frame() on a connection at a time (the
-/// agent's serve loop, or the scheduler thread that owns the agent for the
-/// current unit).
-class TcpConnection {
+/// Writes are serialized by the implementation (whole frames, never
+/// bytes) so a unit's heartbeat thread can interleave with result frames.
+/// Reads are single-consumer by construction: exactly one thread drives
+/// recv_frame() on a connection at a time (the agent's serve loop, or the
+/// scheduler thread that owns the agent for the current unit).
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  virtual bool valid() const = 0;
+
+  /// Close the stream. The peer's next recv_frame sees a clean kEof; a
+  /// peer mid-write sees EPIPE (SIGPIPE is ignored process-wide). Safe to
+  /// call concurrently with a blocked recv_frame on another thread.
+  virtual void close() = 0;
+
+  /// Write one frame at the connection's protocol version. Returns false
+  /// when the peer is gone.
+  virtual bool send_frame(proc::FrameType type, std::string_view payload) = 0;
+
+  /// Write pre-encoded frame bytes verbatim (already framed at the
+  /// connection's version). The chaos layer uses this to put deliberately
+  /// corrupted — but stream-aligned — bytes on the wire.
+  virtual bool send_raw(std::string_view bytes) = 0;
+
+  /// Read one frame; `timeout_ms` < 0 blocks until the peer writes or
+  /// hangs up.
+  virtual proc::ReadResult recv_frame(int timeout_ms = -1) = 0;
+
+  /// Frame protocol version in force (proc::kProtocolV1 until the
+  /// kHello/kHelloOk handshake upgrades it; see docs/DISTRIBUTED.md).
+  virtual std::uint16_t version() const = 0;
+  virtual void set_version(std::uint16_t version) = 0;
+};
+
+/// The real thing: one connected TCP stream. Frame traffic is counted
+/// into the net.* metrics (frames/bytes, each direction). New connections
+/// start at kProtocolV1 — the framing every peer version can read — and
+/// are upgraded to the negotiated version after kHello/kHelloOk.
+class TcpConnection : public Connection {
  public:
   /// Adopt an already-connected socket (the listener's accept path).
   explicit TcpConnection(int fd);
-  ~TcpConnection();
+  ~TcpConnection() override;
 
   TcpConnection(const TcpConnection&) = delete;
   TcpConnection& operator=(const TcpConnection&) = delete;
@@ -37,29 +73,27 @@ class TcpConnection {
                                                 std::uint16_t port,
                                                 int timeout_ms);
 
-  bool valid() const { return fd_ >= 0; }
+  bool valid() const override { return fd_ >= 0; }
   int fd() const { return fd_; }
 
-  /// Close the stream. The peer's next recv_frame sees a clean kEof; a
-  /// peer mid-write sees EPIPE (SIGPIPE is ignored process-wide). Safe to
-  /// call concurrently with a blocked recv_frame on another thread — the
-  /// socket is shutdown() first so the reader wakes with EOF.
-  void close();
+  void close() override;
+  bool send_frame(proc::FrameType type, std::string_view payload) override;
+  bool send_raw(std::string_view bytes) override;
+  proc::ReadResult recv_frame(int timeout_ms = -1) override;
 
-  /// Write one frame under the write mutex. Returns false when the peer
-  /// is gone.
-  bool send_frame(proc::FrameType type, std::string_view payload);
+  std::uint16_t version() const override { return version_; }
+  void set_version(std::uint16_t version) override { version_ = version; }
 
-  /// Read one frame; `timeout_ms` < 0 blocks until the peer writes or
-  /// hangs up.
-  proc::ReadResult recv_frame(int timeout_ms = -1);
-
-  /// The mutex send_frame serializes on — shared with proc::Heartbeater so
-  /// heartbeat frames and result frames never tear each other.
+  /// The mutex send_frame serializes on — exposed for tests that need to
+  /// interleave raw writes with framed ones.
   std::mutex& write_mutex() { return write_mutex_; }
 
  private:
-  int fd_ = -1;
+  // Atomic because close() is documented safe against a concurrent
+  // blocked recv_frame on another thread (the session-resume splice and
+  // the server destructor both close from outside the reader).
+  std::atomic<int> fd_{-1};
+  std::uint16_t version_ = proc::kProtocolV1;
   std::mutex write_mutex_;
 };
 
@@ -79,13 +113,18 @@ class TcpListener {
 
   /// Accept one connection, waiting at most `timeout_ms` (< 0 blocks).
   /// Returns nullptr on timeout or when the listener was closed.
+  /// Interrupted syscalls (EINTR) are retried against the same deadline,
+  /// so a signal delivered mid-accept never masquerades as a timeout.
   std::unique_ptr<TcpConnection> accept(int timeout_ms);
 
   /// Stop accepting; a blocked accept() returns nullptr.
   void close();
 
  private:
-  int fd_ = -1;
+  // Atomic: close() races with the accept thread's poll by design (the
+  // scheduler destructor invalidates the fd while accept_loop is waiting
+  // out its poll timeout).
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 

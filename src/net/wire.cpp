@@ -33,9 +33,12 @@ std::optional<ObjectPayload> decode_object_payload(std::string_view payload,
   return ObjectPayload{*key, payload.substr(kHexChars)};
 }
 
-json::Value make_hello(const std::string& name) {
+json::Value make_hello(const std::string& name, std::uint16_t proto,
+                       const std::string& token) {
   json::Value hello = json::Value::object();
   hello.set("name", name);
+  hello.set("proto", static_cast<double>(proto));
+  if (!token.empty()) hello.set("token", token);
   return hello;
 }
 

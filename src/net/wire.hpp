@@ -34,9 +34,13 @@ struct ObjectPayload {
 std::optional<ObjectPayload> decode_object_payload(std::string_view payload,
                                                    std::string* error);
 
-/// kHello payload: who the agent is. The scheduler echoes the assigned
-/// agent id back in kHelloOk ({"id": n}) — it names the per-agent latency
-/// histogram (net.agent.<id>.unit_ms).
-json::Value make_hello(const std::string& name);
+/// kHello payload: who the agent is, which frame protocol it speaks
+/// (proc/protocol.hpp — the handshake itself always travels as v1), and,
+/// on a reconnect, the session token kHelloOk issued last time. The
+/// scheduler answers kHelloOk with {"id": n, "proto": agreed, "token":
+/// "..."} — or {"error": "..."} when the versions are incompatible. The
+/// id names the per-agent latency histogram (net.agent.<id>.unit_ms).
+json::Value make_hello(const std::string& name, std::uint16_t proto,
+                       const std::string& token = {});
 
 }  // namespace anacin::net

@@ -7,6 +7,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "support/crc32c.hpp"
+
 namespace anacin::proc {
 
 namespace {
@@ -63,36 +65,59 @@ FillStatus read_exact(int fd, void* data, std::size_t size,
   return FillStatus::kDone;
 }
 
+void store_u32le(char* out, std::uint32_t value) {
+  out[0] = static_cast<char>(value & 0xff);
+  out[1] = static_cast<char>((value >> 8) & 0xff);
+  out[2] = static_cast<char>((value >> 16) & 0xff);
+  out[3] = static_cast<char>((value >> 24) & 0xff);
+}
+
+std::uint32_t load_u32le(const unsigned char* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
 }  // namespace
 
 bool frame_type_is_known(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(FrameType::kRequest) &&
-         type <= static_cast<std::uint8_t>(FrameType::kPublish);
+         type <= static_cast<std::uint8_t>(FrameType::kShutdown);
 }
 
-std::vector<char> encode_frame(FrameType type, std::string_view payload) {
+std::vector<char> encode_frame(FrameType type, std::string_view payload,
+                               std::uint16_t version) {
   if (payload.size() > kMaxFramePayload) return {};
   const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
-  std::vector<char> buffer(5 + payload.size());
-  buffer[0] = static_cast<char>(length & 0xff);
-  buffer[1] = static_cast<char>((length >> 8) & 0xff);
-  buffer[2] = static_cast<char>((length >> 16) & 0xff);
-  buffer[3] = static_cast<char>((length >> 24) & 0xff);
+  const std::size_t overhead = frame_overhead(version);
+  std::vector<char> buffer(overhead + payload.size());
+  store_u32le(buffer.data(), length);
   buffer[4] = static_cast<char>(type);
-  std::memcpy(buffer.data() + 5, payload.data(), payload.size());
+  if (!payload.empty()) {  // empty view's data() may be null; memcpy UB
+    std::memcpy(buffer.data() + 5, payload.data(), payload.size());
+  }
+  if (version >= kProtocolV2) {
+    // The trailer covers header AND payload: a flipped length or type byte
+    // is caught exactly like a flipped payload byte.
+    const std::uint32_t crc =
+        support::crc32c(buffer.data(), 5 + payload.size());
+    store_u32le(buffer.data() + 5 + payload.size(), crc);
+  }
   return buffer;
 }
 
-bool write_frame(int fd, FrameType type, std::string_view payload) {
-  // One buffered write per frame: heartbeat frames (5 bytes) stay well
-  // under PIPE_BUF, so concurrent writers serialized by a mutex can never
-  // interleave a heartbeat into the middle of a result frame.
-  const std::vector<char> buffer = encode_frame(type, payload);
-  if (buffer.empty() && !payload.empty()) return false;  // oversized
+bool write_frame(int fd, FrameType type, std::string_view payload,
+                 std::uint16_t version) {
+  // One buffered write per frame: heartbeat frames (9 bytes in v2) stay
+  // well under PIPE_BUF, so concurrent writers serialized by a mutex can
+  // never interleave a heartbeat into the middle of a result frame.
+  const std::vector<char> buffer = encode_frame(type, payload, version);
+  if (buffer.empty()) return false;  // oversized payload
   return write_all(fd, buffer.data(), buffer.size());
 }
 
-ReadResult read_frame(int fd, int timeout_ms) {
+ReadResult read_frame(int fd, int timeout_ms, std::uint16_t version) {
   ReadResult result;
   Clock::time_point deadline_storage;
   const Clock::time_point* deadline = nullptr;
@@ -124,11 +149,7 @@ ReadResult read_frame(int fd, int timeout_ms) {
       return result;
   }
 
-  const std::uint32_t length =
-      static_cast<std::uint32_t>(header[0]) |
-      (static_cast<std::uint32_t>(header[1]) << 8) |
-      (static_cast<std::uint32_t>(header[2]) << 16) |
-      (static_cast<std::uint32_t>(header[3]) << 24);
+  const std::uint32_t length = load_u32le(header);
   // Both rejections happen before the payload allocation: corrupt headers
   // must not translate into multi-GiB resize attempts.
   if (length > kMaxFramePayload) {
@@ -146,16 +167,28 @@ ReadResult read_frame(int fd, int timeout_ms) {
   }
 
   result.frame.type = static_cast<FrameType>(header[4]);
-  result.frame.payload.resize(length);
-  if (length > 0) {
-    switch (read_exact(fd, result.frame.payload.data(), length, deadline,
-                       &got)) {
+  // Payload and (at v2) trailer are read in ONE pass: a separate 4-byte
+  // trailer read would cost an extra poll+read syscall pair per frame,
+  // which dominates the CRC itself on small loopback round trips. The
+  // buffer is over-allocated by the trailer and shrunk before return.
+  const std::size_t trailer_size = version >= kProtocolV2 ? 4u : 0u;
+  result.frame.payload.resize(length + trailer_size);
+  if (length + trailer_size > 0) {
+    switch (read_exact(fd, result.frame.payload.data(), length + trailer_size,
+                       deadline, &got)) {
       case FillStatus::kDone:
         break;
       case FillStatus::kEof:
         result.status = ReadStatus::kError;
-        result.error = "truncated frame payload (" + std::to_string(got) +
-                       " of " + std::to_string(length) + " bytes before EOF)";
+        if (got < length) {
+          result.error = "truncated frame payload (" + std::to_string(got) +
+                         " of " + std::to_string(length) +
+                         " bytes before EOF)";
+        } else {
+          result.error = "truncated frame trailer (" +
+                         std::to_string(got - length) +
+                         " of 4 bytes before EOF)";
+        }
         return result;
       case FillStatus::kTimeout:
         result.status = ReadStatus::kTimeout;
@@ -166,12 +199,44 @@ ReadResult read_frame(int fd, int timeout_ms) {
         return result;
     }
   }
+
+  if (version >= kProtocolV2) {
+    const std::uint32_t stored = load_u32le(reinterpret_cast<unsigned char*>(
+        result.frame.payload.data() + length));
+    std::uint32_t crc = support::crc32c(header, sizeof(header));
+    crc = support::crc32c(result.frame.payload.data(), length, crc);
+    result.frame.payload.resize(length);  // drop the trailer bytes
+    if (crc != stored) {
+      // The stream stays aligned (length was consistent), so the caller
+      // may keep reading — but this frame's bytes are untrustworthy.
+      result.frame.payload.clear();
+      result.status = ReadStatus::kCorrupt;
+      result.error = "frame CRC32C mismatch (stored " +
+                     std::to_string(stored) + ", computed " +
+                     std::to_string(crc) + ")";
+      return result;
+    }
+  }
+
   result.status = ReadStatus::kFrame;
   return result;
 }
 
-Heartbeater::Heartbeater(int fd, double interval_ms, std::mutex& write_mutex)
-    : fd_(fd), interval_(interval_ms), write_mutex_(write_mutex) {
+Heartbeater::Heartbeater(int fd, double interval_ms, std::mutex& write_mutex,
+                         std::uint16_t version)
+    : beat_([fd, &write_mutex, version] {
+        const std::lock_guard<std::mutex> lock(write_mutex);
+        // A failed write means the peer is gone; PDEATHSIG (pipe workers)
+        // or the serve loop's own EOF handling (agents) takes it from
+        // here.
+        write_frame(fd, FrameType::kHeartbeat, {}, version);
+      }),
+      interval_(interval_ms) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Heartbeater::Heartbeater(std::function<void()> beat, double interval_ms)
+    : beat_(std::move(beat)), interval_(interval_ms) {
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -189,12 +254,7 @@ void Heartbeater::loop() {
   while (!stop_) {
     if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
     lock.unlock();
-    {
-      const std::lock_guard<std::mutex> write_lock(write_mutex_);
-      // A failed write means the peer is gone; PDEATHSIG (pipe workers) or
-      // the serve loop's own EOF handling (agents) takes it from here.
-      write_frame(fd_, FrameType::kHeartbeat, {});
-    }
+    beat_();
     lock.lock();
   }
 }

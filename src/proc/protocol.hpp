@@ -3,6 +3,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -17,9 +18,10 @@ namespace anacin::proc {
 /// `anacin serve` / `anacin agent` (all types; see src/net). Wire format
 /// of one frame: u32 little-endian payload length, one type byte, then the
 /// payload (JSON text for control frames, raw bytes for object frames,
-/// empty for heartbeats). Heartbeat frames are tiny (< PIPE_BUF), so a
-/// child's heartbeat thread can interleave them with result frames under a
-/// write mutex without tearing.
+/// empty for heartbeats), and — in protocol v2 — a u32 little-endian
+/// CRC32C trailer over header + payload. Heartbeat frames are tiny
+/// (< PIPE_BUF), so a child's heartbeat thread can interleave them with
+/// result frames under a write mutex without tearing.
 enum class FrameType : std::uint8_t {
   kRequest = 1,    // scheduler/parent -> executor: one work unit (JSON)
   kResult = 2,     // executor -> scheduler/parent: unit succeeded (JSON)
@@ -31,11 +33,30 @@ enum class FrameType : std::uint8_t {
   kObject = 8,     // either direction: 32-byte hex digest + envelope bytes
   kMissing = 9,    // scheduler -> agent: fetched object absent (text)
   kPublish = 10,   // agent -> scheduler: new object, same layout as kObject
+  kShutdown = 11,  // scheduler -> agent: campaign over, do not reconnect
 };
 
 /// True for the type bytes the codec knows; anything else on the wire is
 /// a protocol error, not a frame.
 bool frame_type_is_known(std::uint8_t type);
+
+/// Protocol versions of the frame codec. v1 is the legacy framing (no
+/// trailer); v2 appends a CRC32C trailer so a corrupted frame surfaces as
+/// a typed kCorrupt read instead of being decoded as garbage. The socket
+/// transport negotiates the version at registration: kHello / kHelloOk
+/// travel as v1 frames (the framing every version understands), carry a
+/// "proto" field, and everything after the handshake uses the agreed
+/// version. The worker pipes of --isolate=process skip negotiation —
+/// parent and child are the same binary — and always speak kProtocolV2.
+inline constexpr std::uint16_t kProtocolV1 = 1;
+inline constexpr std::uint16_t kProtocolV2 = 2;
+inline constexpr std::uint16_t kProtocolVersion = kProtocolV2;
+
+/// Bytes a frame adds around its payload: 5-byte header, plus the 4-byte
+/// CRC32C trailer in v2.
+constexpr std::size_t frame_overhead(std::uint16_t version) {
+  return version >= kProtocolV2 ? 9 : 5;
+}
 
 struct Frame {
   FrameType type = FrameType::kHeartbeat;
@@ -50,48 +71,65 @@ constexpr std::uint32_t kMaxFramePayload = 64u << 20;
 /// peer hang up cleanly, or did the stream break?" has different answers
 /// for the worker pool (clean EOF = child retired vs. torn frame = crash
 /// mid-write) and the socket layer (clean EOF = agent done vs. protocol
-/// error = drop the connection).
+/// error = drop the connection). kCorrupt is the v2 refinement: the frame
+/// arrived whole but its CRC32C does not match, so the bytes are
+/// untrustworthy while the stream itself stays aligned — callers treat it
+/// as a transient transport fault (drop the connection, re-queue the
+/// unit), never as decodable data.
 enum class ReadStatus : std::uint8_t {
   kFrame,    // a complete, well-formed frame was read
   kEof,      // the peer closed the stream at a frame boundary
   kTimeout,  // the deadline passed before a full frame arrived
+  kCorrupt,  // v2: frame arrived whole but the CRC32C trailer mismatched
   kError,    // torn frame, oversized length, unknown type, or I/O error
 };
 
 struct ReadResult {
   ReadStatus status = ReadStatus::kError;
   Frame frame;        // valid only when status == kFrame
-  std::string error;  // human-readable detail when status == kError
+  std::string error;  // human-readable detail when status == kCorrupt/kError
 
   explicit operator bool() const { return status == ReadStatus::kFrame; }
 };
 
-/// Serialize one frame (header + payload) into a contiguous buffer — the
-/// single-buffer form both transports write, and what bench/perf_net
-/// measures. Returns an empty buffer when payload exceeds kMaxFramePayload.
-std::vector<char> encode_frame(FrameType type, std::string_view payload);
+/// Serialize one frame (header + payload + v2 trailer) into a contiguous
+/// buffer — the single-buffer form both transports write, and what
+/// bench/perf_net measures. Returns an empty buffer when payload exceeds
+/// kMaxFramePayload.
+std::vector<char> encode_frame(FrameType type, std::string_view payload,
+                               std::uint16_t version = kProtocolVersion);
 
 /// Write one frame, retrying short writes and EINTR. Returns false when
 /// the peer is gone (EPIPE with SIGPIPE ignored) or the fd is broken —
 /// never throws, because a dead peer is an expected condition handled by
 /// triage (parent), disconnect handling (scheduler), or shutdown (child).
-bool write_frame(int fd, FrameType type, std::string_view payload);
+bool write_frame(int fd, FrameType type, std::string_view payload,
+                 std::uint16_t version = kProtocolVersion);
 
 /// Blocking read of one complete frame. A malformed header (length over
 /// kMaxFramePayload or an unknown type byte) is rejected before any
 /// payload allocation. `timeout_ms` < 0 blocks forever; otherwise the
 /// whole frame must arrive within the budget (poll()-based, so it works
-/// for pipes and sockets alike) or the result is kTimeout.
-ReadResult read_frame(int fd, int timeout_ms = -1);
+/// for pipes and sockets alike) or the result is kTimeout. When `version`
+/// is v2, the CRC32C trailer is verified and a mismatch reads as
+/// kCorrupt.
+ReadResult read_frame(int fd, int timeout_ms = -1,
+                      std::uint16_t version = kProtocolVersion);
 
-/// Emits heartbeat frames on `fd` every interval while alive, sharing
-/// `write_mutex` with the unit's result writes so frames never interleave
-/// mid-frame. Scoped to one work unit so an idle executor stays silent.
-/// An injected SIGSTOP freezes this thread along with the unit — which is
-/// exactly what lets the peer's stall detector observe a wedged executor.
+/// Emits heartbeat frames every interval while alive. Two forms: the fd
+/// constructor writes kHeartbeat frames directly (sharing `write_mutex`
+/// with the unit's result writes so frames never interleave mid-frame),
+/// and the callback constructor invokes `beat` — which lets the agent
+/// route heartbeats through its connection object so chaos injection
+/// (net/chaos.hpp) applies to them like any other frame. Scoped to one
+/// work unit so an idle executor stays silent. An injected SIGSTOP
+/// freezes this thread along with the unit — which is exactly what lets
+/// the peer's stall detector observe a wedged executor.
 class Heartbeater {
  public:
-  Heartbeater(int fd, double interval_ms, std::mutex& write_mutex);
+  Heartbeater(int fd, double interval_ms, std::mutex& write_mutex,
+              std::uint16_t version = kProtocolVersion);
+  Heartbeater(std::function<void()> beat, double interval_ms);
   ~Heartbeater();
 
   Heartbeater(const Heartbeater&) = delete;
@@ -100,9 +138,8 @@ class Heartbeater {
  private:
   void loop();
 
-  int fd_;
+  std::function<void()> beat_;
   std::chrono::duration<double, std::milli> interval_;
-  std::mutex& write_mutex_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

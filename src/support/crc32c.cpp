@@ -1,0 +1,106 @@
+#include "support/crc32c.hpp"
+
+#include <array>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ANACIN_CRC32C_X86 1
+#include <nmmintrin.h>
+#endif
+
+namespace anacin::support {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+/// Slice-by-8 tables, built once: table[0] is the classic byte table,
+/// table[k][b] extends it so eight input bytes fold in two XOR rounds.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xffu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables instance;
+  return instance;
+}
+
+std::uint32_t crc32c_sw(const unsigned char* p, std::size_t size,
+                        std::uint32_t crc) {
+  const auto& t = tables().t;
+  while (size >= 8) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = t[7][crc & 0xffu] ^ t[6][(crc >> 8) & 0xffu] ^
+          t[5][(crc >> 16) & 0xffu] ^ t[4][crc >> 24] ^ t[3][p[4]] ^
+          t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#ifdef ANACIN_CRC32C_X86
+
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(
+    const unsigned char* p, std::size_t size, std::uint32_t crc) {
+  std::uint64_t crc64 = crc;
+  while (size >= 8) {
+    std::uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    crc64 = _mm_crc32_u64(crc64, chunk);
+    p += 8;
+    size -= 8;
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+  while (size-- > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+  }
+  return crc;
+}
+
+bool hardware_available() {
+  static const bool available = __builtin_cpu_supports("sse4.2");
+  return available;
+}
+
+#else
+
+bool hardware_available() { return false; }
+
+#endif
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const std::uint32_t crc = ~seed;
+#ifdef ANACIN_CRC32C_X86
+  if (hardware_available()) return ~crc32c_hw(p, size, crc);
+#endif
+  return ~crc32c_sw(p, size, crc);
+}
+
+bool crc32c_is_hardware() { return hardware_available(); }
+
+}  // namespace anacin::support

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace anacin::support {
+
+/// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the frame
+/// integrity check of protocol v2 (proc/protocol.hpp). Chosen over plain
+/// CRC32 because x86-64 carries it in hardware (SSE4.2 crc32 instruction),
+/// which keeps the per-frame cost invisible next to the socket syscalls;
+/// the software fallback is slice-by-8. Incremental: pass the previous
+/// return value as `seed` to extend a running checksum across buffers.
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+/// True when the hardware (SSE4.2) path is in use — exposed so the bench
+/// can report which implementation it measured.
+bool crc32c_is_hardware();
+
+}  // namespace anacin::support

@@ -75,6 +75,16 @@ public:
   explicit IoError(const std::string& what) : PermanentError(what) {}
 };
 
+/// The two ends of a scheduler/agent connection speak incompatible frame
+/// protocol versions (see proc/protocol.hpp). Permanent: the same two
+/// binaries will disagree on every retry, so the operator must upgrade
+/// one side rather than let the fleet spin.
+class ProtocolVersionError : public PermanentError {
+public:
+  explicit ProtocolVersionError(const std::string& what)
+      : PermanentError(what) {}
+};
+
 /// Cooperative cancellation: the user interrupted the process (SIGINT or
 /// SIGTERM) and in-flight work has been drained. Not a failure — callers
 /// translate it into the distinct "interrupted"/"terminated" exit codes.

@@ -173,12 +173,14 @@ TEST_F(DistributedE2e, AgentKilledMidCampaignRequeuesToSurvivor) {
 
   // Agent 1 SIGKILLs itself inside the first unit it picks up (the "*"
   // wildcard — unit placement across agents is racy, so a specific unit
-  // id might land on the uninjected agent). The scheduler must map the
-  // dropped connection to a transient crash, re-queue the unit, and
-  // finish on the survivor.
+  // id might land on the uninjected agent). A killed process can never
+  // resume its session, so the scheduler must wait out the unit's lease
+  // (shortened here so the test stays fast), map the expiry to a
+  // transient crash, re-queue the unit, and finish on the survivor.
   ASSERT_EQ(run_command(fleet_command("kill", "sched-store", "agent1-store",
                                       "agent2-store", "",
-                                      "ANACIN_INJECT_CRASH='*=KILL'")),
+                                      "ANACIN_INJECT_CRASH='*=KILL'",
+                                      "--unit-lease-ms 2000")),
             0)
       << debug_dump("kill");
   EXPECT_EQ(agent_exit("kill", 1), 128 + SIGKILL)
@@ -191,7 +193,81 @@ TEST_F(DistributedE2e, AgentKilledMidCampaignRequeuesToSurvivor) {
 
   const json::Value serve_metrics = metrics("kill");
   EXPECT_GE(counter_value(serve_metrics, "net.agent_disconnects"), 1.0);
+  EXPECT_GE(counter_value(serve_metrics, "net.leases_expired"), 1.0);
   EXPECT_GE(counter_value(serve_metrics, "resilience.retries"), 1.0);
+}
+
+TEST_F(DistributedE2e, ChaosFleetMatchesLocalByteForByte) {
+  ASSERT_EQ(run_command(local_command("local")), 0)
+      << slurp(path("local.out"));
+
+  // Seeded chaos on BOTH sides of the wire: the scheduler mangles its
+  // sends (requests, shipped objects) and agent 1 mangles its own
+  // (heartbeats, publishes, results). Corruption is caught by the frame
+  // CRC, drops by the stall detector (shortened so a swallowed result
+  // costs ~1.5 s, not 10), reorders by the bounded window, and every
+  // recovery path funnels through session resume + warm re-execution —
+  // none of which may leave a fingerprint in the report.
+  const std::string serve_chaos =
+      "ANACIN_NET_CHAOS='seed=7,corrupt=0.03,reorder=0.05,delay=0.3,"
+      "delay_ms=5'";
+  const std::string agent_chaos =
+      "ANACIN_NET_CHAOS='seed=1007,drop=0.02,corrupt=0.03,reorder=0.05,"
+      "delay=0.3,delay_ms=5'";
+  ASSERT_EQ(run_command(fleet_command(
+                "chaos", "sched-store", "agent1-store", "agent2-store",
+                serve_chaos, agent_chaos,
+                "--unit-lease-ms 5000 --agent-heartbeat-timeout-ms 1500")),
+            0)
+      << debug_dump("chaos");
+  EXPECT_EQ(agent_exit("chaos", 1), 0) << slurp(path("chaos-a1.out"));
+  EXPECT_EQ(agent_exit("chaos", 2), 0) << slurp(path("chaos-a2.out"));
+
+  // The invariant of the whole fabric: heavy chaos, identical bytes.
+  EXPECT_EQ(slurp(path("chaos.json")), slurp(path("local.json")));
+  EXPECT_EQ(slurp(path("chaos.csv")), slurp(path("local.csv")));
+
+  // Prove the run was not accidentally clean: faults actually fired on at
+  // least one side, and the scheduler store ended up intact.
+  const json::Value serve_metrics = metrics("chaos");
+  const json::Value agent1_metrics = metrics("chaos-a1");
+  const double faults_fired =
+      counter_value(serve_metrics, "net.chaos_corrupted") +
+      counter_value(serve_metrics, "net.chaos_reordered") +
+      counter_value(serve_metrics, "net.chaos_delayed") +
+      counter_value(agent1_metrics, "net.chaos_dropped") +
+      counter_value(agent1_metrics, "net.chaos_corrupted") +
+      counter_value(agent1_metrics, "net.chaos_reordered") +
+      counter_value(agent1_metrics, "net.chaos_delayed");
+  EXPECT_GT(faults_fired, 0.0) << debug_dump("chaos");
+}
+
+TEST_F(DistributedE2e, ConnectionResetsResumeSessionsInvisibly) {
+  ASSERT_EQ(run_command(local_command("local")), 0)
+      << slurp(path("local.out"));
+
+  // Every scheduler-side send has a 25% chance of tearing the connection
+  // down mid-conversation. The agents survive on their session tokens:
+  // each reset costs a reconnect + re-dispatch (answered from the warm
+  // agent store), never a requeue to another agent and never a wrong
+  // byte. The shortened lease bounds how long a torn unit can dangle.
+  ASSERT_EQ(run_command(fleet_command(
+                "reset", "sched-store", "agent1-store", "agent2-store",
+                "ANACIN_NET_CHAOS='seed=11,reset=0.25'", "",
+                "--unit-lease-ms 5000 --agent-heartbeat-timeout-ms 1500")),
+            0)
+      << debug_dump("reset");
+  EXPECT_EQ(agent_exit("reset", 1), 0) << slurp(path("reset-a1.out"));
+  EXPECT_EQ(agent_exit("reset", 2), 0) << slurp(path("reset-a2.out"));
+
+  EXPECT_EQ(slurp(path("reset.json")), slurp(path("local.json")));
+  EXPECT_EQ(slurp(path("reset.csv")), slurp(path("local.csv")));
+
+  const json::Value serve_metrics = metrics("reset");
+  EXPECT_GE(counter_value(serve_metrics, "net.chaos_resets"), 1.0);
+  EXPECT_GE(counter_value(serve_metrics, "net.sessions_resumed"), 1.0);
+  // Resume — not expiry — is the recovery path for a live agent.
+  EXPECT_GE(counter_value(serve_metrics, "net.redispatches"), 1.0);
 }
 
 TEST_F(DistributedE2e, WarmAgentsPublishWithoutSimulating) {

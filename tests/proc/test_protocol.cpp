@@ -10,12 +10,15 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <random>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "support/crc32c.hpp"
 
 namespace anacin::proc {
 namespace {
@@ -160,8 +163,9 @@ TEST(Protocol, EncodeRejectsOversizedPayload) {
 TEST(Protocol, FrameTypeKnownness) {
   EXPECT_TRUE(frame_type_is_known(1));
   EXPECT_TRUE(frame_type_is_known(10));
+  EXPECT_TRUE(frame_type_is_known(11));  // kShutdown
   EXPECT_FALSE(frame_type_is_known(0));
-  EXPECT_FALSE(frame_type_is_known(11));
+  EXPECT_FALSE(frame_type_is_known(12));
   EXPECT_FALSE(frame_type_is_known(0xff));
 }
 
@@ -180,6 +184,99 @@ TEST(Protocol, BackToBackFramesInOneWrite) {
   ASSERT_TRUE(two);
   EXPECT_EQ(two.frame.type, FrameType::kFail);
   EXPECT_EQ(two.frame.payload, "second");
+}
+
+// --- Protocol v2: CRC32C frame integrity ------------------------------
+
+// The Castagnoli check value: CRC32C("123456789") is 0xE3069283 in every
+// published table. This pins both the software slice-by-8 path and, when
+// the host has SSE4.2, the hardware path to the real polynomial.
+TEST(Protocol, Crc32cMatchesKnownVector) {
+  EXPECT_EQ(support::crc32c("123456789", 9), 0xE3069283u);
+  // Incremental use must match one-shot use.
+  std::uint32_t rolling = support::crc32c("12345", 5);
+  rolling = support::crc32c("6789", 4, rolling);
+  EXPECT_EQ(rolling, 0xE3069283u);
+  EXPECT_EQ(support::crc32c("", 0), 0u);
+}
+
+TEST(Protocol, V2FramesCarryTrailerAndV1FramesDoNot) {
+  const std::vector<char> v2 = encode_frame(FrameType::kResult, "abc");
+  const std::vector<char> v1 =
+      encode_frame(FrameType::kResult, "abc", kProtocolV1);
+  EXPECT_EQ(v2.size(), 3u + frame_overhead(kProtocolV2));
+  EXPECT_EQ(v1.size(), 3u + frame_overhead(kProtocolV1));
+  // The v2 frame is the v1 frame plus the trailer over header+payload.
+  ASSERT_TRUE(std::equal(v1.begin(), v1.end(), v2.begin()));
+  const std::uint32_t crc = support::crc32c(v1.data(), v1.size());
+  const auto* trailer = reinterpret_cast<const unsigned char*>(v2.data() + 8);
+  const std::uint32_t stored = static_cast<std::uint32_t>(trailer[0]) |
+                               (static_cast<std::uint32_t>(trailer[1]) << 8) |
+                               (static_cast<std::uint32_t>(trailer[2]) << 16) |
+                               (static_cast<std::uint32_t>(trailer[3]) << 24);
+  EXPECT_EQ(stored, crc);
+}
+
+TEST(Protocol, V1RoundTripStillWorks) {
+  Pipe pipe;
+  ASSERT_TRUE(
+      write_frame(pipe.write_fd, FrameType::kHello, "legacy", kProtocolV1));
+  const ReadResult result = read_frame(pipe.read_fd, 1000, kProtocolV1);
+  ASSERT_TRUE(result) << result.error;
+  EXPECT_EQ(result.frame.payload, "legacy");
+}
+
+// A flipped payload byte must surface as the typed kCorrupt — not as
+// decodable data and not as a stream-killing kError: the length field was
+// intact, so the reader stays frame-aligned and the NEXT frame parses.
+TEST(Protocol, FlippedPayloadByteReadsAsCorruptAndStreamStaysAligned) {
+  Pipe pipe;
+  std::vector<char> bad = encode_frame(FrameType::kResult, "important");
+  bad[7] = static_cast<char>(bad[7] ^ 0xff);  // a payload byte
+  write_raw(pipe.write_fd, bad.data(), bad.size());
+  const std::vector<char> good = encode_frame(FrameType::kResult, "fine");
+  write_raw(pipe.write_fd, good.data(), good.size());
+
+  const ReadResult first = read_frame(pipe.read_fd, 1000);
+  EXPECT_EQ(first.status, ReadStatus::kCorrupt);
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(first.frame.payload.empty());  // untrustworthy bytes withheld
+  EXPECT_NE(first.error.find("CRC32C"), std::string::npos);
+
+  const ReadResult second = read_frame(pipe.read_fd, 1000);
+  ASSERT_TRUE(second) << second.error;
+  EXPECT_EQ(second.frame.payload, "fine");
+}
+
+TEST(Protocol, FlippedTrailerByteReadsAsCorrupt) {
+  Pipe pipe;
+  std::vector<char> bad = encode_frame(FrameType::kHeartbeat, {});
+  bad.back() = static_cast<char>(bad.back() ^ 0x01);
+  write_raw(pipe.write_fd, bad.data(), bad.size());
+  const ReadResult result = read_frame(pipe.read_fd, 1000);
+  EXPECT_EQ(result.status, ReadStatus::kCorrupt);
+}
+
+// The trailer covers the header too: flipping the type byte to another
+// *valid* type is caught by the CRC, not waved through as a different
+// frame.
+TEST(Protocol, FlippedTypeByteReadsAsCorrupt) {
+  Pipe pipe;
+  std::vector<char> bad = encode_frame(FrameType::kResult, "payload");
+  bad[4] = static_cast<char>(FrameType::kFail);
+  write_raw(pipe.write_fd, bad.data(), bad.size());
+  const ReadResult result = read_frame(pipe.read_fd, 1000);
+  EXPECT_EQ(result.status, ReadStatus::kCorrupt);
+}
+
+TEST(Protocol, TruncatedTrailerIsError) {
+  Pipe pipe;
+  const std::vector<char> frame = encode_frame(FrameType::kResult, "abc");
+  write_raw(pipe.write_fd, frame.data(), frame.size() - 2);
+  pipe.close_write();
+  const ReadResult result = read_frame(pipe.read_fd, 1000);
+  EXPECT_EQ(result.status, ReadStatus::kError);
+  EXPECT_NE(result.error.find("truncated frame trailer"), std::string::npos);
 }
 
 // Fuzz-style round trip: randomized frame types, payload sizes (including
@@ -203,7 +300,8 @@ TEST(Protocol, FuzzRandomizedChunkedRoundTrip) {
     frame.payload.resize(size_dist(rng));
     for (char& c : frame.payload) c = static_cast<char>(byte_dist(rng));
     const std::vector<char> encoded = encode_frame(frame.type, frame.payload);
-    ASSERT_EQ(encoded.size(), frame.payload.size() + 5);
+    ASSERT_EQ(encoded.size(),
+              frame.payload.size() + frame_overhead(kProtocolVersion));
     wire.insert(wire.end(), encoded.begin(), encoded.end());
     expected.push_back(std::move(frame));
   }
