@@ -1665,7 +1665,11 @@ int cmd_cache(const std::vector<const char*>& argv, std::ostream& out) {
         store->objects().gc(max_bytes);
     out << "removed " << report.removed_objects << " objects ("
         << report.removed_bytes << " bytes); " << report.remaining_objects
-        << " objects (" << report.remaining_bytes << " bytes) remain\n";
+        << " objects (" << report.remaining_bytes << " bytes) remain";
+    if (report.removed_temp_files > 0) {
+      out << "; swept " << report.removed_temp_files << " stale temp file(s)";
+    }
+    out << '\n';
     return 0;
   }
   throw ConfigError("unknown cache action '" + action +
@@ -1710,6 +1714,16 @@ const char kUsage[] =
     "  --store-max-bytes N  in-memory cache budget of the store (default\n"
     "                       268435456 = 256 MiB; disk usage is unbounded —\n"
     "                       prune with `anacin cache gc`)\n"
+    "  --durability LEVEL   none (default) | commit | paranoid: fsync\n"
+    "                       discipline at durable commit points (journal,\n"
+    "                       reports, store index; paranoid adds store\n"
+    "                       object publishes) — docs/RESILIENCE.md\n"
+    "  --io-chaos SPEC      seeded disk fault injection, e.g.\n"
+    "                       \"seed=7,enospc=0.05,eio=0.01,rename_fail=0.02,\n"
+    "                       fsync_drop=0.1,crash_after=12,scope=store\"\n"
+    "                       (also via ANACIN_IO_CHAOS; --io-chaos-KEY VALUE\n"
+    "                       overrides single fields, e.g.\n"
+    "                       --io-chaos-crash-after 12)\n"
     "\n"
     "fault injection (run / measure / sweep):\n"
     "  --fault-drop P       message drop probability [0..1]; in `sweep`,\n"
@@ -1768,6 +1782,14 @@ struct GlobalOptions {
   std::string store_dir;
   bool no_store = false;
   std::uint64_t store_max_bytes = 256ull << 20;
+  /// --durability level; empty keeps the environment/default (none).
+  std::string durability;
+  /// Full --io-chaos spec (same grammar as ANACIN_IO_CHAOS); overrides
+  /// the environment wholesale when given.
+  std::string io_chaos_spec;
+  /// Field-by-field --io-chaos-KEY overrides, applied on top of the env
+  /// spec (or the flag spec) in command-line order.
+  std::vector<std::pair<std::string, std::string>> io_chaos_fields;
 };
 
 int dispatch(const std::string& command, const std::vector<const char*>& rest,
@@ -1831,6 +1853,42 @@ int parse_global_options(int argc, const char* const* argv,
       store_max_bytes_given = true;
       continue;
     }
+    if (take("--durability", &options->durability,
+             "none, commit, or paranoid")) {
+      continue;
+    }
+    if (take("--io-chaos", &options->io_chaos_spec, "a chaos spec")) continue;
+    {
+      // --io-chaos-KEY VALUE maps onto the spec key KEY (dashes become
+      // underscores), overriding ANACIN_IO_CHAOS field-by-field like the
+      // net-chaos CLI flags do.
+      constexpr std::string_view kIoChaosPrefix = "--io-chaos-";
+      if (arg.size() > kIoChaosPrefix.size() &&
+          arg.substr(0, kIoChaosPrefix.size()) == kIoChaosPrefix) {
+        std::string key;
+        std::string value;
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string_view::npos) {
+          key = std::string(arg.substr(kIoChaosPrefix.size(),
+                                       eq - kIoChaosPrefix.size()));
+          value = std::string(arg.substr(eq + 1));
+          ++index;
+        } else {
+          key = std::string(arg.substr(kIoChaosPrefix.size()));
+          if (index + 1 >= argc) {
+            throw ConfigError(std::string(arg) + " requires a value");
+          }
+          value = argv[index + 1];
+          index += 2;
+        }
+        for (char& c : key) {
+          if (c == '-') c = '_';
+        }
+        options->io_chaos_fields.emplace_back(std::move(key),
+                                              std::move(value));
+        continue;
+      }
+    }
     if (arg == "--no-store") {
       options->no_store = true;
       ++index;
@@ -1875,6 +1933,33 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     if (!global_options.trace_out.empty()) {
       obs::Tracer::global().set_enabled(true);
     }
+    // Durability and disk chaos install process-wide BEFORE the store is
+    // constructed (store construction may already write the index) and
+    // are re-exported into the environment so forked worker children and
+    // spawned agents inherit the exact same configuration.
+    if (!global_options.durability.empty()) {
+      support::set_durability(
+          support::parse_durability(global_options.durability));
+      ::setenv("ANACIN_DURABILITY", global_options.durability.c_str(), 1);
+    }
+    {
+      std::optional<support::IoChaosConfig> io_chaos =
+          global_options.io_chaos_spec.empty()
+              ? support::IoChaosConfig::from_env()
+              : std::optional<support::IoChaosConfig>(
+                    support::IoChaosConfig::parse(
+                        global_options.io_chaos_spec));
+      if (!global_options.io_chaos_fields.empty()) {
+        if (!io_chaos.has_value()) io_chaos.emplace();
+        for (const auto& [key, value] : global_options.io_chaos_fields) {
+          io_chaos->apply(key, value);
+        }
+      }
+      if (io_chaos.has_value()) {
+        support::install_io_chaos(io_chaos);
+        ::setenv("ANACIN_IO_CHAOS", io_chaos->spec().c_str(), 1);
+      }
+    }
     const std::string command = argv[command_index];
     std::unique_ptr<store::ArtifactStore> artifact_store;
     ActiveStoreGuard store_guard;
@@ -1897,6 +1982,17 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     const int code = dispatch(command, rest, out, err);
 
     if (!global_options.metrics_out.empty()) {
+      // Export the durability layer's own counters into the snapshot.
+      // io.durable_ops is what the crash-consistency explorer sweeps:
+      // re-running with --io-chaos-crash-after k for every k in [1, N]
+      // covers every durable commit point of this invocation. (The
+      // metrics write below happens after the snapshot, so N excludes
+      // it — exactly the ops a chaos re-run without --metrics-out sees.)
+      obs::counter("fs.atomic_writes").add(support::atomic_write_count());
+      obs::counter("io.durable_ops")
+          .add(support::io_chaos::durable_op_count());
+      obs::counter("io.chaos_faults_injected")
+          .add(support::io_chaos::injected_fault_count());
       core::write_json_file(global_options.metrics_out,
                             obs::Registry::global().snapshot_json());
       out << "metrics written to " << global_options.metrics_out << '\n';

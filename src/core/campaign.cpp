@@ -111,6 +111,10 @@ json::Value CampaignResult::to_json() const {
     quarantine.push_back(unit.to_json());
   }
   resilience.set("quarantined", std::move(quarantine));
+  // Degradation is deterministic under io chaos (seeded) and false on
+  // every healthy run, so the report stays byte-identical across local,
+  // isolated, and distributed execution.
+  resilience.set("store_degraded", store_degraded);
   doc.set("resilience", std::move(resilience));
   return doc;
 }
@@ -592,6 +596,7 @@ CampaignResult run_campaign(const CampaignConfig& config, ThreadPool& pool,
   }
   check_interrupt("measurement");
   result.retries = supervisor.retries_performed();
+  result.store_degraded = store != nullptr && store->degraded();
   if (!result.quarantined.empty()) {
     obs::counter("resilience.campaigns_partial").add(1);
   }

@@ -108,6 +108,10 @@ struct CampaignResult {
   std::vector<QuarantinedUnit> quarantined;
   /// Transient retries the supervisor performed for this campaign.
   std::uint64_t retries = 0;
+  /// True when the artifact store hit a persistent disk fault (ENOSPC,
+  /// EIO) during this campaign and fell back to --no-store semantics.
+  /// The results are complete — just computed without caching.
+  bool store_degraded = false;
 
   bool complete() const { return quarantined.empty(); }
 

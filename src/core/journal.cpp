@@ -127,7 +127,11 @@ void CampaignJournal::persist() const {
   for (const auto& [key, payload] : records_) {
     out << render_line(key, payload) << '\n';
   }
-  support::atomic_write_file(path_, out.str());
+  // Journal-class write: fsync'd at --durability=commit and above, and
+  // deliberately fail-fast under disk faults — a journal that cannot
+  // commit must stop the campaign (silently dropping completed points
+  // would make --resume lie), unlike the store, which degrades.
+  support::atomic_write_file(path_, out.str(), support::PathClass::kJournal);
 }
 
 }  // namespace anacin::core

@@ -13,7 +13,7 @@ namespace anacin::core {
 void write_text_file(const std::string& path, const std::string& content) {
   // Crash-consistent: a full disk or mid-write crash leaves the previous
   // version (or nothing) in place, never a truncated-but-plausible file.
-  support::atomic_write_file(path, content);
+  support::atomic_write_file(path, content, support::PathClass::kReport);
 }
 
 std::string read_text_file(const std::string& path) {

@@ -35,8 +35,14 @@ void publish_object(Connection& conn, store::ObjectStore& objects,
                     const store::Digest& key) {
   const store::ObjectBytes bytes = objects.get(key);
   if (!bytes) {
-    throw PermanentError("agent: executed a unit but its result object " +
-                         key.to_hex() + " is not in the local store");
+    // The usual cause is a degraded local store (disk fault swallowed by
+    // the ArtifactStore's --no-store fallback): the unit's computation
+    // succeeded but the artifact never landed. Transient — the scheduler
+    // re-queues it onto an agent whose disk still works.
+    throw TransientError("agent: executed a unit but its result object " +
+                         key.to_hex() +
+                         " is not in the local store (disk fault / store "
+                         "degraded?)");
   }
   const std::string payload = encode_object_payload(key, *bytes);
   if (!conn.send_frame(proc::FrameType::kPublish, payload)) {
@@ -147,7 +153,18 @@ void fetch_object(Connection& conn, store::ObjectStore& objects,
     // not see (or predates it) — re-fetch, never write.
     try {
       const store::Envelope envelope = store::validate_envelope(bytes);
-      objects.put(key, envelope.kind, bytes);
+      try {
+        objects.put(key, envelope.kind, bytes);
+      } catch (const IoError& disk) {
+        // Local disk fault during admission (full disk, device error —
+        // possibly injected io chaos riding on top of net chaos). The
+        // bytes were fine; the *disk* failed. Transient from the fleet's
+        // point of view: the scheduler re-queues the unit and a healthy
+        // agent picks it up.
+        obs::counter("net.store_admission_failures").add(1);
+        throw TransientError("agent: cannot admit object " + key.to_hex() +
+                             " into the local store: " + disk.what());
+      }
     } catch (const ParseError& bad) {
       obs::counter("net.fetch_corrupt").add(1);
       if (attempt >= kMaxFetchAttempts) {

@@ -8,6 +8,7 @@
 
 #include "obs/obs.hpp"
 #include "support/error.hpp"
+#include "support/fs.hpp"
 
 namespace anacin::store {
 
@@ -62,6 +63,13 @@ std::optional<std::vector<std::uint8_t>> read_file_bytes(const fs::path& path) {
 ObjectStore::ObjectStore(Config config) : config_(std::move(config)) {
   ANACIN_CHECK(!config_.root.empty(), "object store needs a root directory");
   fs::create_directories(config_.root / "objects");
+  // Sweep litter from crashed writers before scanning. Only temps older
+  // than this process are touched: a fresh temp may be a sibling worker's
+  // in-flight publish (many processes share one store root under
+  // --isolate=process), and deleting it mid-write would torpedo a valid
+  // commit.
+  const std::uint64_t stale = support::remove_stale_temp_files(config_.root);
+  if (stale > 0) obs::counter("store.stale_temps_removed").add(stale);
   load_index();
   scan_objects();
 }
@@ -113,9 +121,9 @@ void ObjectStore::scan_objects() {
       if (!file.is_regular_file()) continue;
       const std::string name = file.path().filename().string();
       if (name.find(".tmp.") != std::string::npos) {
-        // Leftover temp file from a crashed writer; never published.
-        std::error_code ec;
-        fs::remove(file.path(), ec);
+        // Unpublished temp file: either a crashed writer's litter (the
+        // constructor's stale sweep removed the old ones already) or a
+        // concurrent writer's in-flight publish — skip, never delete.
         continue;
       }
       const std::string hex = shard.path().filename().string() + name;
@@ -165,14 +173,12 @@ void ObjectStore::save_index_locked() {
   }
   doc.set("objects", std::move(objects));
 
+  // Routed through atomic_write_file: unique temp name (no fixed-path
+  // race), io-chaos coverage under the store path class, and fsync at
+  // --durability=commit and above.
   const fs::path path = config_.root / "index.json";
-  const fs::path temp = path.string() + ".tmp";
-  {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    ANACIN_CHECK(out.good(), "cannot write store index at " << temp.string());
-    out << doc.dump(2) << '\n';
-  }
-  fs::rename(temp, path);
+  support::atomic_write_file(path.string(), doc.dump(2) + "\n",
+                             support::PathClass::kStore);
   index_dirty_ = false;
 }
 
@@ -256,6 +262,15 @@ bool ObjectStore::put(const Digest& key, Kind kind,
   if (fs::exists(path, ec)) return false;
 
   fs::create_directories(path.parent_path());
+  // One io-chaos decision per publish; injected failures throw the same
+  // typed IoError a real full disk would, which is what lets the campaign
+  // layer degrade to --no-store semantics instead of aborting.
+  using WriteFault = support::io_chaos::WriteFault;
+  const WriteFault fault =
+      support::io_chaos::next_write_fault(support::PathClass::kStore);
+  if (fault.kind == WriteFault::Kind::kOpenFail) {
+    throw IoError("injected open failure (io chaos) for object " + hex);
+  }
   // Unique temp name per writer, renamed into place: readers never see a
   // partially written object, and concurrent writers of the same key are
   // both valid (identical content) so last-rename-wins is safe.
@@ -265,13 +280,45 @@ bool ObjectStore::put(const Digest& key, Kind kind,
       std::to_string(temp_sequence.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    ANACIN_CHECK(out.good(), "cannot write object at " << temp.string());
+    if (!out.good()) {
+      throw IoError("cannot write object at " + temp.string());
+    }
+    if (fault.kind == WriteFault::Kind::kEnospc ||
+        fault.kind == WriteFault::Kind::kEio) {
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size() / 2));
+      out.flush();
+      throw IoError(std::string("injected ") +
+                    (fault.kind == WriteFault::Kind::kEnospc ? "ENOSPC"
+                                                             : "EIO") +
+                    " (io chaos) writing object " + hex);
+    }
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
-    ANACIN_CHECK(out.good(), "short write for object at " << temp.string());
+    out.flush();
+    if (!out.good()) {
+      throw IoError("short write for object at " + temp.string() +
+                    " (disk full?)");
+    }
+  }
+  // Object publishes are the hot path: fsync only at --durability=paranoid
+  // (a lost object is re-derivable from its inputs; a lost journal entry
+  // is re-done work — see docs/RESILIENCE.md).
+  const bool durable =
+      support::durability_level() == support::Durability::kParanoid;
+  if (durable && !fault.drop_fsync) {
+    support::fsync_path(temp, /*is_directory=*/false);
+  }
+  if (fault.kind == WriteFault::Kind::kRenameFail) {
+    throw IoError("injected rename failure (io chaos) publishing object " +
+                  hex);
   }
   fs::rename(temp, path);
+  if (durable && !fault.drop_fsync) {
+    support::fsync_path(path.parent_path(), /*is_directory=*/true);
+  }
   bytes_written_counter().add(bytes.size());
+  support::io_chaos::note_durable_op();
 
   std::lock_guard<std::mutex> lock(mutex_);
   Entry entry;
@@ -330,8 +377,14 @@ ObjectStore::VerifyReport ObjectStore::verify() const {
     if (!shard.is_directory()) continue;
     for (const auto& file : fs::directory_iterator(shard.path())) {
       if (!file.is_regular_file()) continue;
-      const std::string hex =
-          shard.path().filename().string() + file.path().filename().string();
+      const std::string name = file.path().filename().string();
+      if (name.find(".tmp.") != std::string::npos) {
+        // A writer's temp file — in-flight publish or crash litter. The
+        // stale-temp sweeper owns these; quarantining them as "foreign"
+        // would yank a concurrent publish out from under its rename.
+        continue;
+      }
+      const std::string hex = shard.path().filename().string() + name;
       if (!Digest::from_hex(hex).has_value()) {
         report.foreign.push_back(file.path().string());
         continue;
@@ -372,6 +425,13 @@ ObjectStore::RepairReport ObjectStore::repair() {
     for (int attempt = 1; fs::exists(target, ec); ++attempt) {
       target = quarantine_dir / (name + "." + std::to_string(attempt));
     }
+    // Repair is itself a writer, so it is fault-injectable too: a failed
+    // quarantine move leaves the object in place (still listed in
+    // `failed`) and a later repair run picks it up again.
+    if (support::io_chaos::fail_rename(support::PathClass::kStore)) {
+      report.failed.push_back(source.string());
+      return false;
+    }
     fs::rename(source, target, ec);
     if (ec) {
       report.failed.push_back(source.string());
@@ -393,7 +453,14 @@ ObjectStore::RepairReport ObjectStore::repair() {
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (index_dirty_) save_index_locked();
+    try {
+      if (index_dirty_) save_index_locked();
+    } catch (const IoError&) {
+      // The index is a self-healing cache: a failed save leaves the store
+      // scannable and the next repair (or open) rebuilds it. Surface the
+      // failure without abandoning the quarantines already done.
+      report.failed.push_back((config_.root / "index.json").string());
+    }
   }
   obs::counter("store.objects_quarantined").add(report.quarantined);
   return report;
@@ -426,6 +493,7 @@ ObjectStore::GcReport ObjectStore::gc(std::uint64_t max_bytes) {
   }
   report.remaining_objects = index_.size();
   report.remaining_bytes = total;
+  report.removed_temp_files = support::remove_stale_temp_files(config_.root);
   save_index_locked();
   return report;
 }

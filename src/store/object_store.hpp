@@ -116,8 +116,11 @@ class ObjectStore {
     std::uint64_t removed_bytes = 0;
     std::uint64_t remaining_objects = 0;
     std::uint64_t remaining_bytes = 0;
+    /// Orphaned `*.tmp.*` files swept (crashed writers' litter).
+    std::uint64_t removed_temp_files = 0;
   };
   /// Evict least-recently-used objects until total size <= max_bytes.
+  /// Also sweeps stale temp files older than this process.
   GcReport gc(std::uint64_t max_bytes);
 
   /// Persist the index (also done on put/remove/gc and destruction).

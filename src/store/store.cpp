@@ -5,6 +5,7 @@
 
 #include "obs/obs.hpp"
 #include "support/error.hpp"
+#include "support/log.hpp"
 
 namespace anacin::store {
 
@@ -105,9 +106,26 @@ std::optional<EncodedRun> ArtifactStore::load_run(const Digest& key) {
   }
 }
 
+void ArtifactStore::publish(const Digest& key, Kind kind,
+                            const std::vector<std::uint8_t>& bytes,
+                            const char* what) {
+  if (degraded_.load(std::memory_order_acquire)) return;
+  try {
+    objects_.put(key, kind, bytes);
+  } catch (const IoError& fault) {
+    if (!degraded_.exchange(true, std::memory_order_acq_rel)) {
+      obs::counter("store.degraded").add(1);
+      ANACIN_LOG_WARN("artifact store degraded ("
+                      << what << " " << key.to_hex()
+                      << "): " << fault.what()
+                      << " — continuing without artifact caching "
+                         "(--no-store semantics); reads still served");
+    }
+  }
+}
+
 void ArtifactStore::save_run(const Digest& key, const EncodedRun& run) {
-  const std::vector<std::uint8_t> bytes = encode_run(run);
-  objects_.put(key, Kind::kRun, bytes);
+  publish(key, Kind::kRun, encode_run(run), "run");
 }
 
 std::optional<double> ArtifactStore::load_distance(const Digest& key) {
@@ -128,8 +146,7 @@ std::optional<double> ArtifactStore::load_distance(const Digest& key) {
 }
 
 void ArtifactStore::save_distance(const Digest& key, double value) {
-  const std::vector<std::uint8_t> bytes = encode_distances({value});
-  objects_.put(key, Kind::kDistances, bytes);
+  publish(key, Kind::kDistances, encode_distances({value}), "distance");
 }
 
 std::optional<kernels::SparseHistogram> ArtifactStore::load_features(
@@ -147,8 +164,7 @@ std::optional<kernels::SparseHistogram> ArtifactStore::load_features(
 
 void ArtifactStore::save_features(const Digest& key,
                                   const kernels::SparseHistogram& features) {
-  const std::vector<std::uint8_t> bytes = encode_features(features);
-  objects_.put(key, Kind::kFeatures, bytes);
+  publish(key, Kind::kFeatures, encode_features(features), "features");
 }
 
 std::optional<sim::ReplaySchedule> ArtifactStore::load_schedule(
@@ -166,8 +182,7 @@ std::optional<sim::ReplaySchedule> ArtifactStore::load_schedule(
 
 void ArtifactStore::save_schedule(const Digest& key,
                                   const sim::ReplaySchedule& schedule) {
-  const std::vector<std::uint8_t> bytes = encode_schedule(schedule);
-  objects_.put(key, Kind::kSchedule, bytes);
+  publish(key, Kind::kSchedule, encode_schedule(schedule), "schedule");
 }
 
 ArtifactStore* active_store() {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -26,6 +27,15 @@ namespace anacin::store {
 /// Loads that hit a corrupt object (failed envelope or payload decode)
 /// remove the object, bump the `store.corrupt` counter, and report a miss
 /// so callers transparently recompute.
+///
+/// Saves that hit a disk fault (typed IoError: full disk, device error,
+/// failed publish) degrade instead of aborting: the first failure logs a
+/// warning and bumps `store.degraded`, and every later save becomes a
+/// no-op — the campaign continues with --no-store semantics (recompute
+/// everything, cache nothing). Loads keep working: already-published
+/// objects are content-addressed and immutable, so reads can only help.
+/// The journal deliberately does NOT get this treatment (see
+/// core::CampaignJournal::persist).
 class ArtifactStore {
  public:
   explicit ArtifactStore(ObjectStore::Config config);
@@ -79,8 +89,20 @@ class ArtifactStore {
   std::optional<sim::ReplaySchedule> load_schedule(const Digest& key);
   void save_schedule(const Digest& key, const sim::ReplaySchedule& schedule);
 
+  /// True once a save hit a disk fault and the store fell back to
+  /// --no-store semantics for publishes. Reported under `resilience.
+  /// store_degraded` in campaign reports.
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+
  private:
+  /// Publish `bytes` unless degraded; a typed disk fault flips the
+  /// degraded latch (warning + store.degraded counter) instead of
+  /// propagating.
+  void publish(const Digest& key, Kind kind,
+               const std::vector<std::uint8_t>& bytes, const char* what);
+
   ObjectStore objects_;
+  std::atomic<bool> degraded_{false};
 };
 
 /// Process-global store used by default throughout the campaign layer;

@@ -1,11 +1,15 @@
 #include "support/fs.hpp"
 
 #include <atomic>
-#include <cstdlib>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <system_error>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "support/error.hpp"
 
@@ -17,41 +21,36 @@ namespace {
 
 std::atomic<std::uint64_t> g_write_count{0};
 
-/// Remaining writes before the injected failure fires; -1 = no injection.
-/// Re-read from the environment on first use of every process so the CLI
-/// binary honors the variable without any plumbing.
-std::int64_t& injected_budget() {
-  static std::int64_t budget = [] {
-    const char* env = std::getenv("ANACIN_FAIL_WRITE_AFTER");
-    if (env == nullptr || *env == '\0') return std::int64_t{-1};
-    return static_cast<std::int64_t>(std::strtoll(env, nullptr, 10));
-  }();
-  return budget;
-}
-
-std::mutex& injection_mutex() {
-  static std::mutex mutex;
-  return mutex;
-}
-
-/// True when this call should fail; decrements the budget. The injection
-/// fires exactly once (then disables itself) so a test can assert both the
-/// failure and that later writes in the same process still succeed.
-bool consume_injected_failure() {
-  const std::lock_guard<std::mutex> lock(injection_mutex());
-  std::int64_t& budget = injected_budget();
-  if (budget < 0) return false;
-  if (budget == 0) {
-    budget = -1;
-    return true;
-  }
-  --budget;
-  return false;
-}
+/// Captured during static initialization, before main() can write any
+/// temp file, so "older than this" cleanly separates a previous process's
+/// litter from a live writer's in-flight publish.
+const fs::file_time_type g_process_start = fs::file_time_type::clock::now();
 
 }  // namespace
 
-void atomic_write_file(const std::string& path, const std::string& content) {
+void fsync_path(const fs::path& path, bool is_directory) {
+#ifndef _WIN32
+  // Directory fsync is how POSIX makes a rename durable: the new
+  // directory entry itself must reach the disk.
+  const int flags = is_directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    if (is_directory) return;
+    throw IoError("cannot open '" + path.string() + "' for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && !is_directory) {
+    throw IoError("fsync failed for '" + path.string() + "'");
+  }
+#else
+  (void)path;
+  (void)is_directory;
+#endif
+}
+
+void atomic_write_file(const std::string& path, const std::string& content,
+                       PathClass path_class) {
   const fs::path file_path(path);
   std::error_code ec;
   if (file_path.has_parent_path()) {
@@ -62,6 +61,23 @@ void atomic_write_file(const std::string& path, const std::string& content) {
     }
   }
 
+  // One fault decision per durable-write op, drawn before any disk work
+  // so the stream position is independent of filesystem state. The legacy
+  // one-shot hook maps onto the enospc shape; it predates store-internal
+  // writes flowing through here, so store-class writes (index cache,
+  // which degrades gracefully and would silently eat the budget) are
+  // excluded from its count.
+  io_chaos::WriteFault fault = io_chaos::next_write_fault(path_class);
+  if (fault.kind == io_chaos::WriteFault::Kind::kNone &&
+      path_class != PathClass::kStore &&
+      io_chaos::consume_fail_write_after()) {
+    fault.kind = io_chaos::WriteFault::Kind::kEnospc;
+  }
+  using Kind = io_chaos::WriteFault::Kind;
+  if (fault.kind == Kind::kOpenFail) {
+    throw IoError("injected open failure (io chaos) for '" + path + "'");
+  }
+
   // Unique temp name per writer so concurrent writers of the same path
   // never clobber each other's in-progress bytes; the final rename is the
   // single atomic commit point.
@@ -70,19 +86,20 @@ void atomic_write_file(const std::string& path, const std::string& content) {
       file_path.string() + ".tmp." +
       std::to_string(temp_sequence.fetch_add(1, std::memory_order_relaxed));
 
-  const bool fail_injected = consume_injected_failure();
   {
     std::ofstream out(temp, std::ios::binary | std::ios::trunc);
     if (!out.good()) {
       throw IoError("cannot open '" + temp.string() + "' for writing");
     }
-    if (fail_injected) {
-      // Simulate a disk filling mid-write: a partial temp file is left on
-      // disk (as a real crash would) and the destination stays untouched.
+    if (fault.kind == Kind::kEnospc || fault.kind == Kind::kEio) {
+      // Simulate a disk filling (or dying) mid-write: a partial temp file
+      // is left on disk (as a real crash would leave) and the destination
+      // stays untouched.
       out << content.substr(0, content.size() / 2);
       out.flush();
-      throw IoError("injected write failure (ANACIN_FAIL_WRITE_AFTER) for '" +
-                    path + "'");
+      throw IoError(std::string("injected ") +
+                    (fault.kind == Kind::kEnospc ? "ENOSPC" : "EIO") +
+                    " (io chaos) writing '" + path + "'");
     }
     out << content;
     out.flush();
@@ -92,12 +109,26 @@ void atomic_write_file(const std::string& path, const std::string& content) {
       throw IoError("short write for '" + path + "' (disk full?)");
     }
   }
+
+  const bool durable = durability_level() != Durability::kNone;
+  if (durable && !fault.drop_fsync) fsync_path(temp, /*is_directory=*/false);
+
+  if (fault.kind == Kind::kRenameFail) {
+    // The fully written temp stays behind — exactly the litter the
+    // stale-temp sweeper exists for.
+    throw IoError("injected rename failure (io chaos) publishing '" + path +
+                  "'");
+  }
   fs::rename(temp, file_path, ec);
   if (ec) {
     fs::remove(temp, ec);
     throw IoError("cannot publish '" + path + "': rename failed");
   }
+  if (durable && !fault.drop_fsync && file_path.has_parent_path()) {
+    fsync_path(file_path.parent_path(), /*is_directory=*/true);
+  }
   g_write_count.fetch_add(1, std::memory_order_relaxed);
+  io_chaos::note_durable_op();
 }
 
 std::uint64_t atomic_write_count() {
@@ -105,8 +136,34 @@ std::uint64_t atomic_write_count() {
 }
 
 void set_fail_write_after(std::int64_t budget) {
-  const std::lock_guard<std::mutex> lock(injection_mutex());
-  injected_budget() = budget;
+  io_chaos::set_fail_write_after(budget);
+}
+
+fs::file_time_type process_start_file_time() { return g_process_start; }
+
+std::uint64_t remove_stale_temp_files(const fs::path& root) {
+  std::error_code ec;
+  std::uint64_t removed = 0;
+  fs::recursive_directory_iterator it(
+      root, fs::directory_options::skip_permission_denied, ec);
+  if (ec) return 0;
+  for (const fs::recursive_directory_iterator end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec)) continue;
+    const std::string name = it->path().filename().string();
+    if (name.find(".tmp.") == std::string::npos) continue;
+    const fs::file_time_type mtime = fs::last_write_time(it->path(), ec);
+    if (ec) continue;
+    // Grace window below process start: file timestamps come from the
+    // kernel's coarse clock, which can lag the precise clock we sampled
+    // at startup by a tick — and a sibling process that began moments
+    // before us may legitimately still be writing. Only clearly-older
+    // temps are orphans.
+    if (mtime >= g_process_start - std::chrono::seconds(30)) continue;
+    if (fs::remove(it->path(), ec) && !ec) ++removed;
+  }
+  return removed;
 }
 
 }  // namespace anacin::support

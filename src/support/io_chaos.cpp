@@ -1,0 +1,371 @@
+#include "support/io_chaos.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/string_util.hpp"
+
+namespace anacin::support {
+
+namespace {
+
+double parse_probability(const std::string& key, const std::string& text) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    throw ConfigError("io chaos spec: '" + key + "' needs a number, got '" +
+                      text + "'");
+  }
+  if (used != text.size() || value < 0.0 || value > 1.0) {
+    throw ConfigError("io chaos spec: '" + key + "' must be in [0,1], got '" +
+                      text + "'");
+  }
+  return value;
+}
+
+std::int64_t parse_int64_strict(const std::string& key,
+                                const std::string& text) {
+  std::size_t used = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(text, &used);
+  } catch (const std::exception&) {
+    throw ConfigError("io chaos spec: '" + key + "' needs an integer, got '" +
+                      text + "'");
+  }
+  if (used != text.size()) {
+    throw ConfigError("io chaos spec: '" + key + "' needs an integer, got '" +
+                      text + "'");
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+/// One engine per process: the fault stream, the compat one-shot budget,
+/// and the durable-op counter all live here, guarded by one mutex so the
+/// draw sequence is well-defined even when worker threads commit
+/// concurrently.
+struct Engine {
+  std::mutex mutex;
+  bool env_loaded = false;
+  std::optional<IoChaosConfig> config;
+  std::optional<Rng> rng;
+  std::int64_t fail_write_after = -1;
+  std::uint64_t durable_ops = 0;
+  std::uint64_t faults = 0;
+
+  /// Lazily adopt the environment so worker children and library users
+  /// honor ANACIN_IO_CHAOS / ANACIN_FAIL_WRITE_AFTER without plumbing.
+  void ensure_loaded() {
+    if (env_loaded) return;
+    env_loaded = true;
+    config = IoChaosConfig::from_env();
+    if (config.has_value()) rng.emplace(mix64(config->seed));
+    if (const char* env = std::getenv("ANACIN_FAIL_WRITE_AFTER");
+        env != nullptr && *env != '\0') {
+      const std::int64_t budget =
+          parse_int64_strict("ANACIN_FAIL_WRITE_AFTER", env);
+      if (budget < -1) {
+        throw ConfigError(
+            "io chaos spec: 'ANACIN_FAIL_WRITE_AFTER' must be >= -1, got '" +
+            std::string(env) + "'");
+      }
+      fail_write_after = budget;
+    }
+  }
+};
+
+Engine& engine() {
+  static Engine instance;
+  return instance;
+}
+
+std::atomic<int> g_durability{-1};  // -1 = not yet resolved from env
+
+}  // namespace
+
+const char* path_class_name(PathClass path_class) {
+  switch (path_class) {
+    case PathClass::kJournal: return "journal";
+    case PathClass::kStore: return "store";
+    case PathClass::kReport: return "report";
+    case PathClass::kOther: return "other";
+  }
+  return "other";
+}
+
+const char* durability_name(Durability level) {
+  switch (level) {
+    case Durability::kNone: return "none";
+    case Durability::kCommit: return "commit";
+    case Durability::kParanoid: return "paranoid";
+  }
+  return "none";
+}
+
+Durability parse_durability(const std::string& text) {
+  if (text == "none") return Durability::kNone;
+  if (text == "commit") return Durability::kCommit;
+  if (text == "paranoid") return Durability::kParanoid;
+  throw ConfigError("--durability must be none, commit, or paranoid, got '" +
+                    text + "'");
+}
+
+Durability durability_level() {
+  int level = g_durability.load(std::memory_order_acquire);
+  if (level < 0) {
+    const char* env = std::getenv("ANACIN_DURABILITY");
+    const Durability parsed = (env != nullptr && *env != '\0')
+                                  ? parse_durability(env)
+                                  : Durability::kNone;
+    level = static_cast<int>(parsed);
+    g_durability.store(level, std::memory_order_release);
+  }
+  return static_cast<Durability>(level);
+}
+
+void set_durability(Durability level) {
+  g_durability.store(static_cast<int>(level), std::memory_order_release);
+}
+
+bool IoChaosConfig::in_scope(PathClass path_class) const {
+  switch (path_class) {
+    case PathClass::kJournal: return scope_journal;
+    case PathClass::kStore: return scope_store;
+    case PathClass::kReport: return scope_report;
+    case PathClass::kOther: return scope_other;
+  }
+  return true;
+}
+
+void IoChaosConfig::apply(const std::string& key, const std::string& value) {
+  if (key == "seed") {
+    seed = static_cast<std::uint64_t>(parse_int64_strict(key, value));
+  } else if (key == "enospc") {
+    enospc = parse_probability(key, value);
+  } else if (key == "eio") {
+    eio = parse_probability(key, value);
+  } else if (key == "open_fail") {
+    open_fail = parse_probability(key, value);
+  } else if (key == "rename_fail") {
+    rename_fail = parse_probability(key, value);
+  } else if (key == "fsync_drop") {
+    fsync_drop = parse_probability(key, value);
+  } else if (key == "crash_after") {
+    crash_after = parse_int64_strict(key, value);
+    if (crash_after < -1) {
+      throw ConfigError("io chaos spec: 'crash_after' must be >= -1, got '" +
+                        value + "'");
+    }
+  } else if (key == "scope") {
+    scope_journal = scope_store = scope_report = scope_other = false;
+    for (const std::string& part : split(value, '+')) {
+      const std::string name(trim(part));
+      if (name == "journal") {
+        scope_journal = true;
+      } else if (name == "store") {
+        scope_store = true;
+      } else if (name == "report") {
+        scope_report = true;
+      } else if (name == "other") {
+        scope_other = true;
+      } else if (name == "all") {
+        scope_journal = scope_store = scope_report = scope_other = true;
+      } else {
+        throw ConfigError("io chaos spec: unknown scope '" + name +
+                          "' (expected journal|store|report|other|all)");
+      }
+    }
+  } else {
+    throw ConfigError("io chaos spec: unknown key '" + key + "'");
+  }
+}
+
+IoChaosConfig IoChaosConfig::parse(const std::string& spec) {
+  IoChaosConfig config;
+  for (const std::string& field : split(spec, ',')) {
+    const std::string trimmed(trim(field));
+    if (trimmed.empty()) continue;
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("io chaos spec: expected key=value, got '" + trimmed +
+                        "'");
+    }
+    config.apply(std::string(trim(trimmed.substr(0, eq))),
+                 std::string(trim(trimmed.substr(eq + 1))));
+  }
+  return config;
+}
+
+std::optional<IoChaosConfig> IoChaosConfig::from_env() {
+  const char* spec = std::getenv("ANACIN_IO_CHAOS");
+  if (spec == nullptr || *spec == '\0') return std::nullopt;
+  return parse(spec);
+}
+
+std::string IoChaosConfig::spec() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (enospc > 0) os << ",enospc=" << enospc;
+  if (eio > 0) os << ",eio=" << eio;
+  if (open_fail > 0) os << ",open_fail=" << open_fail;
+  if (rename_fail > 0) os << ",rename_fail=" << rename_fail;
+  if (fsync_drop > 0) os << ",fsync_drop=" << fsync_drop;
+  if (crash_after >= 0) os << ",crash_after=" << crash_after;
+  if (!(scope_journal && scope_store && scope_report && scope_other)) {
+    os << ",scope=";
+    const char* sep = "";
+    if (scope_journal) { os << sep << "journal"; sep = "+"; }
+    if (scope_store) { os << sep << "store"; sep = "+"; }
+    if (scope_report) { os << sep << "report"; sep = "+"; }
+    if (scope_other) { os << sep << "other"; sep = "+"; }
+  }
+  return os.str();
+}
+
+std::string IoChaosConfig::summary() const {
+  std::ostringstream os;
+  os << "io chaos seed=" << seed;
+  if (enospc > 0) os << " enospc=" << enospc;
+  if (eio > 0) os << " eio=" << eio;
+  if (open_fail > 0) os << " open_fail=" << open_fail;
+  if (rename_fail > 0) os << " rename_fail=" << rename_fail;
+  if (fsync_drop > 0) os << " fsync_drop=" << fsync_drop;
+  if (crash_after >= 0) os << " crash_after=" << crash_after;
+  if (!(scope_journal && scope_store && scope_report && scope_other)) {
+    os << " scope=";
+    const char* sep = "";
+    if (scope_journal) { os << sep << "journal"; sep = "+"; }
+    if (scope_store) { os << sep << "store"; sep = "+"; }
+    if (scope_report) { os << sep << "report"; sep = "+"; }
+    if (scope_other) { os << sep << "other"; sep = "+"; }
+  }
+  return os.str();
+}
+
+void install_io_chaos(const std::optional<IoChaosConfig>& config) {
+  Engine& e = engine();
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  e.env_loaded = true;  // an explicit install outranks the environment
+  e.config = config;
+  e.rng.reset();
+  if (e.config.has_value()) e.rng.emplace(mix64(e.config->seed));
+  e.durable_ops = 0;
+  e.faults = 0;
+}
+
+std::optional<IoChaosConfig> active_io_chaos() {
+  Engine& e = engine();
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  e.ensure_loaded();
+  return e.config;
+}
+
+namespace io_chaos {
+
+WriteFault next_write_fault(PathClass path_class) {
+  Engine& e = engine();
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  e.ensure_loaded();
+  WriteFault fault;
+  if (!e.config.has_value() || !e.config->enabled() ||
+      !e.config->in_scope(path_class)) {
+    return fault;
+  }
+  const IoChaosConfig& config = *e.config;
+  Rng& rng = *e.rng;
+  // Fixed draw order per op keeps the stream length constant, so the
+  // decision at op k never depends on which stage fired at op k-1.
+  const bool open_fails = rng.bernoulli(config.open_fail);
+  const bool enospc = rng.bernoulli(config.enospc);
+  const bool eio = rng.bernoulli(config.eio);
+  const bool rename_fails = rng.bernoulli(config.rename_fail);
+  fault.drop_fsync = rng.bernoulli(config.fsync_drop);
+  using Kind = WriteFault::Kind;
+  fault.kind = open_fails    ? Kind::kOpenFail
+               : enospc      ? Kind::kEnospc
+               : eio         ? Kind::kEio
+               : rename_fails ? Kind::kRenameFail
+                              : Kind::kNone;
+  if (fault.kind != Kind::kNone) ++e.faults;
+  if (fault.drop_fsync) ++e.faults;
+  return fault;
+}
+
+bool fail_rename(PathClass path_class) {
+  Engine& e = engine();
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  e.ensure_loaded();
+  if (!e.config.has_value() || !e.config->in_scope(path_class)) return false;
+  const bool fails = e.rng->bernoulli(e.config->rename_fail);
+  if (fails) ++e.faults;
+  return fails;
+}
+
+void note_durable_op() {
+  Engine& e = engine();
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  e.ensure_loaded();
+  ++e.durable_ops;
+  if (e.config.has_value() && e.config->crash_after >= 0 &&
+      e.durable_ops == static_cast<std::uint64_t>(e.config->crash_after)) {
+    // The whole point of the crash-consistency explorer: die so hard that
+    // no destructor, flush, or atexit handler can tidy up after us.
+    std::raise(SIGKILL);
+  }
+}
+
+std::uint64_t durable_op_count() {
+  Engine& e = engine();
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  return e.durable_ops;
+}
+
+std::uint64_t injected_fault_count() {
+  Engine& e = engine();
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  return e.faults;
+}
+
+void set_fail_write_after(std::int64_t budget) {
+  Engine& e = engine();
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  e.ensure_loaded();
+  e.fail_write_after = budget;
+}
+
+bool consume_fail_write_after() {
+  Engine& e = engine();
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  e.ensure_loaded();
+  if (e.fail_write_after < 0) return false;
+  if (e.fail_write_after == 0) {
+    e.fail_write_after = -1;  // one-shot: later writes succeed again
+    ++e.faults;
+    return true;
+  }
+  --e.fail_write_after;
+  return false;
+}
+
+void reset_for_tests() {
+  Engine& e = engine();
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  e.env_loaded = false;
+  e.config.reset();
+  e.rng.reset();
+  e.fail_write_after = -1;
+  e.durable_ops = 0;
+  e.faults = 0;
+  g_durability.store(-1, std::memory_order_release);
+}
+
+}  // namespace io_chaos
+
+}  // namespace anacin::support

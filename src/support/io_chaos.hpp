@@ -1,0 +1,169 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace anacin::support {
+
+/// Which durable-write subsystem a path belongs to. Disk chaos specs scope
+/// their faults by class, so a campaign can (say) starve the artifact
+/// store of space while the journal keeps committing — exactly the split
+/// the graceful-degradation contract needs to be testable.
+enum class PathClass { kJournal, kStore, kReport, kOther };
+
+const char* path_class_name(PathClass path_class);
+
+/// How hard a committed write chases the platters. See the "Durability
+/// model" section of docs/RESILIENCE.md for what each tier guarantees
+/// after power loss.
+///   kNone      rename-atomic only (page cache decides when bytes land)
+///   kCommit    fsync the data file before rename and the parent
+///              directory after, at every atomic_write_file commit point
+///              (journal, reports, store index)
+///   kParanoid  kCommit plus fsync of every store object publish
+enum class Durability { kNone, kCommit, kParanoid };
+
+const char* durability_name(Durability level);
+
+/// Strict parse of "none" | "commit" | "paranoid"; anything else throws
+/// ConfigError.
+Durability parse_durability(const std::string& text);
+
+/// Process-global durability level. Defaults to kNone; the first read
+/// consults the ANACIN_DURABILITY environment variable (strictly parsed)
+/// so forked worker children inherit the campaign's setting.
+Durability durability_level();
+void set_durability(Durability level);
+
+/// Deterministic disk fault injection, mirroring net::ChaosConfig: every
+/// knob is a per-operation probability drawn from one seeded stream, so a
+/// chaos campaign replays bit-for-bit — same seed, same write sequence,
+/// same faults. Faults fire at the atomic-write commit pipeline's stages
+/// (open temp, write bytes, rename into place, fsync) and at the object
+/// store's publish path.
+///
+/// The config travels two ways: global `--io-chaos-*` CLI flags, and the
+/// ANACIN_IO_CHAOS environment spec
+/// ("seed=7,enospc=0.05,eio=0.01,open_fail=0.01,rename_fail=0.02,
+///   fsync_drop=0.1,crash_after=12,scope=journal+store"),
+/// which lets tests and fleet scripts chaos-wrap a process without
+/// touching its command line. CLI flags override the environment
+/// field-by-field.
+struct IoChaosConfig {
+  /// Base seed of the fault stream.
+  std::uint64_t seed = 0;
+  /// Probability a write fails as if the disk filled mid-write: a partial
+  /// temp file is left behind (as a real crash would leave) and the
+  /// destination stays untouched.
+  double enospc = 0.0;
+  /// Probability a write fails with a device I/O error. Same observable
+  /// shape as enospc (partial temp, typed IoError) but distinguishable by
+  /// message, so tests can assert either path.
+  double eio = 0.0;
+  /// Probability opening the temp file fails outright (no temp litter).
+  double open_fail = 0.0;
+  /// Probability the publishing rename fails; the fully written temp file
+  /// stays behind for the stale-temp sweeper.
+  double rename_fail = 0.0;
+  /// Probability an fsync is silently skipped — the op "succeeds" but the
+  /// bytes may not be durable, like firmware that lies about flushes.
+  double fsync_drop = 0.0;
+  /// SIGKILL the process immediately after the Nth durable commit
+  /// completes (1-based; -1 = off). The crash-consistency explorer sweeps
+  /// this over every op of a reference run.
+  std::int64_t crash_after = -1;
+  /// Per-path-class scoping; default everything.
+  bool scope_journal = true;
+  bool scope_store = true;
+  bool scope_report = true;
+  bool scope_other = true;
+
+  /// True when any fault can fire (crash_after counts as a fault).
+  bool enabled() const {
+    return enospc > 0 || eio > 0 || open_fail > 0 || rename_fail > 0 ||
+           fsync_drop > 0 || crash_after >= 0;
+  }
+
+  bool in_scope(PathClass path_class) const;
+
+  /// Apply one "key=value" field; unknown keys and malformed values throw
+  /// ConfigError — a typo'd chaos spec silently running a *clean*
+  /// campaign would invalidate the experiment.
+  void apply(const std::string& key, const std::string& value);
+
+  /// Parse a "key=value,key=value" spec (see apply for the grammar).
+  static IoChaosConfig parse(const std::string& spec);
+
+  /// Config from ANACIN_IO_CHAOS, or nullopt when unset or empty.
+  static std::optional<IoChaosConfig> from_env();
+
+  /// Canonical round-trippable spec string (what the CLI re-exports into
+  /// the environment so worker children inherit the chaos).
+  std::string spec() const;
+
+  /// One-line human summary listing only the active knobs.
+  std::string summary() const;
+};
+
+/// Install a process-global chaos config (nullopt clears it). Replaces
+/// whatever ANACIN_IO_CHAOS said and restarts the fault stream from the
+/// config's seed; also resets the durable-op counter so crash_after is
+/// measured from this point.
+void install_io_chaos(const std::optional<IoChaosConfig>& config);
+
+/// The currently installed (or environment-derived) config, if any.
+std::optional<IoChaosConfig> active_io_chaos();
+
+namespace io_chaos {
+
+/// One fault decision per durable-write operation. The stages are drawn
+/// in a fixed order from the seeded stream (open, enospc, eio, rename,
+/// fsync) so the decision sequence is a pure function of (seed, op
+/// index); the first firing stage wins.
+struct WriteFault {
+  enum class Kind { kNone, kOpenFail, kEnospc, kEio, kRenameFail };
+  Kind kind = Kind::kNone;
+  bool drop_fsync = false;
+};
+
+/// Draw the fault decision for the next durable-write op on `path_class`.
+/// Out-of-scope classes and a disabled config draw nothing (the stream
+/// only advances for ops that could fault).
+WriteFault next_write_fault(PathClass path_class);
+
+/// Single-stage decision for rename-only operations (e.g. quarantining a
+/// corrupt object during `cache verify --repair`).
+bool fail_rename(PathClass path_class);
+
+/// A durable commit completed; fires crash_after (SIGKILL) when armed.
+void note_durable_op();
+
+/// Total durable commits noted so far (exported as the io.durable_ops
+/// metric — the crash-consistency explorer's op count).
+std::uint64_t durable_op_count();
+
+/// Total injected faults so far (exported as io.chaos_faults_injected).
+std::uint64_t injected_fault_count();
+
+/// Compatibility alias for the pre-chaos ANACIN_FAIL_WRITE_AFTER hook:
+/// the next `budget` atomic_write_file calls succeed, then one fails as
+/// enospc; -1 disables. The environment value is strictly parsed — "",
+/// "12abc", and "pony" throw ConfigError instead of silently becoming 0.
+void set_fail_write_after(std::int64_t budget);
+
+/// Consume one unit of the compatibility budget; true when this call is
+/// the one that must fail. Only atomic_write_file consults this, and only
+/// for non-store path classes: the budget counts journal/report/other
+/// file writes, never store object publishes or the store's index cache
+/// (which postdate the hook and degrade gracefully — they would silently
+/// eat the budget).
+bool consume_fail_write_after();
+
+/// Test-only: forget the installed config and re-read the environment on
+/// next use. Lets tests exercise the lazy env-parsing path repeatedly.
+void reset_for_tests();
+
+}  // namespace io_chaos
+
+}  // namespace anacin::support

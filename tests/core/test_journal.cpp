@@ -6,6 +6,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -148,6 +149,66 @@ TEST_F(JournalTest, CorruptMiddleRecordEndsTheLogThere) {
   EXPECT_EQ(salvaged.dropped_lines(), 2u);
   EXPECT_NE(salvaged.lookup("point-1"), nullptr);
   EXPECT_EQ(salvaged.lookup("point-2"), nullptr);
+}
+
+TEST_F(JournalTest, TruncationFuzzRecoversExactlyTheCompletePrefix) {
+  {
+    CampaignJournal journal(path_, "campaign-a");
+    journal.record("point-1", payload(0.1));
+    journal.record("point-2", payload(0.2));
+    journal.record("point-3", payload(0.3));
+  }
+  std::string full;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    full = buffer.str();
+  }
+  ASSERT_FALSE(full.empty());
+
+  // End offset (one past the '\n') of every complete line. Line 0 is the
+  // campaign header; lines 1..3 are the records.
+  std::vector<std::size_t> line_ends;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (full[i] == '\n') line_ends.push_back(i + 1);
+  }
+  ASSERT_EQ(line_ends.size(), 4u);
+
+  // A crash can tear the file at ANY byte. Whatever the cut, the loader
+  // must recover exactly the records whose full line survived — never
+  // throw, never resurrect a half-written record, never drop a whole one.
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out << full.substr(0, cut);
+    }
+    // A line is recoverable once its full content is on disk; the
+    // trailing '\n' itself carries no payload, so a cut that drops only
+    // the newline still validates.
+    std::size_t complete_lines = 0;
+    for (const std::size_t end : line_ends) {
+      if (end - 1 <= cut) ++complete_lines;
+    }
+    const std::size_t expected_records =
+        complete_lines == 0 ? 0 : complete_lines - 1;
+
+    std::unique_ptr<CampaignJournal> salvaged;
+    ASSERT_NO_THROW(salvaged =
+                        std::make_unique<CampaignJournal>(path_, "campaign-a"))
+        << "cut at byte " << cut;
+    EXPECT_EQ(salvaged->size(), expected_records) << "cut at byte " << cut;
+    for (std::size_t r = 1; r <= 3; ++r) {
+      const std::string unit = "point-" + std::to_string(r);
+      if (r <= expected_records) {
+        EXPECT_NE(salvaged->lookup(unit), nullptr)
+            << unit << " lost at cut " << cut;
+      } else {
+        EXPECT_EQ(salvaged->lookup(unit), nullptr)
+            << unit << " resurrected at cut " << cut;
+      }
+    }
+  }
 }
 
 TEST_F(JournalTest, NonJournalJsonLoadsAsEmpty) {

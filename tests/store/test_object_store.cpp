@@ -2,11 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
 #include "obs/obs.hpp"
 #include "store/codec.hpp"
+#include "store/store.hpp"
+#include "support/error.hpp"
+#include "support/fs.hpp"
+#include "support/io_chaos.hpp"
 
 namespace anacin::store {
 namespace {
@@ -246,6 +251,143 @@ TEST_F(ObjectStoreTest, GcEvictsDownToBudget) {
   const ObjectStore::GcReport empty = store.gc(0);
   EXPECT_EQ(empty.remaining_objects, 0u);
   EXPECT_EQ(store.stats().objects, 0u);
+}
+
+/// Disk-chaos tests: every one installs a process-global fault config, so
+/// SetUp/TearDown reset the engine to keep the plain tests deterministic.
+class ObjectStoreChaosTest : public ObjectStoreTest {
+ protected:
+  void SetUp() override {
+    ObjectStoreTest::SetUp();
+    support::io_chaos::reset_for_tests();
+  }
+  void TearDown() override {
+    support::io_chaos::reset_for_tests();
+    ObjectStoreTest::TearDown();
+  }
+
+  void corrupt_object(const Digest& key) {
+    const std::string hex = key.to_hex();
+    const fs::path path =
+        root_ / "objects" / hex.substr(0, 2) / hex.substr(2);
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(static_cast<std::streamoff>(kEnvelopeSize + 2));
+    const char garbage = 0x7f;
+    file.write(&garbage, 1);
+  }
+};
+
+TEST_F(ObjectStoreChaosTest, PutUnderEnospcThrowsAndStoreStaysScannable) {
+  ObjectStore store({root_, 1 << 20});
+  const std::vector<std::uint8_t> bytes = artifact(1.0);
+  const Digest key = digest_bytes(bytes.data(), bytes.size());
+
+  support::install_io_chaos(
+      support::IoChaosConfig::parse("enospc=1,scope=store"));
+  EXPECT_THROW(store.put(key, Kind::kDistances, bytes), IoError);
+  EXPECT_FALSE(store.contains(key));
+
+  // The failed publish left (at most) temp litter, never a partial object:
+  // the store still verifies clean.
+  support::io_chaos::reset_for_tests();
+  EXPECT_TRUE(store.verify().ok());
+
+  // Once the disk "recovers", the same put succeeds.
+  EXPECT_TRUE(store.put(key, Kind::kDistances, bytes));
+  const ObjectBytes fetched = store.get(key);
+  ASSERT_NE(fetched, nullptr);
+  EXPECT_EQ(*fetched, bytes);
+}
+
+TEST_F(ObjectStoreChaosTest, RepairUnderRenameChaosIsRerunnable) {
+  ObjectStore store({root_, 1 << 20});
+  const std::vector<std::uint8_t> good = artifact(7.0);
+  const Digest good_key = digest_bytes(good.data(), good.size());
+  store.put(good_key, Kind::kDistances, good);
+  const std::vector<std::uint8_t> bad = artifact(8.0);
+  const Digest bad_key = digest_bytes(bad.data(), bad.size());
+  store.put(bad_key, Kind::kDistances, bad);
+  corrupt_object(bad_key);
+
+  // Every quarantine rename fails mid-repair, as if the disk died between
+  // verify and heal. The repair must report the failures, not abort.
+  support::install_io_chaos(
+      support::IoChaosConfig::parse("rename_fail=1,scope=store"));
+  const ObjectStore::RepairReport wounded = store.repair();
+  EXPECT_FALSE(wounded.ok());
+  EXPECT_FALSE(wounded.failed.empty());
+  EXPECT_EQ(wounded.quarantined, 0u);
+
+  // The store survived: still scannable, healthy object still served, and
+  // a re-run after the disk recovers completes the quarantine.
+  support::io_chaos::reset_for_tests();
+  ASSERT_NE(store.get(good_key), nullptr);
+  const ObjectStore::RepairReport healed = store.repair();
+  EXPECT_TRUE(healed.ok());
+  EXPECT_EQ(healed.quarantined, 1u);
+  EXPECT_TRUE(store.verify().ok());
+  EXPECT_TRUE(fs::exists(root_ / "quarantine" / bad_key.to_hex()));
+}
+
+TEST_F(ObjectStoreChaosTest, ConstructionSweepsPreExistingTempLitter) {
+  // A crashed predecessor left a stale temp next to the objects; a fresh
+  // temp (a sibling worker's in-flight publish) must survive the sweep.
+  fs::create_directories(root_ / "objects" / "ab");
+  const fs::path stale = root_ / "objects" / "ab" / "cdef.tmp.4";
+  std::ofstream(stale) << "orphan";
+  fs::last_write_time(stale, support::process_start_file_time() -
+                                 std::chrono::hours(1));
+  const fs::path fresh = root_ / "objects" / "ab" / "cdef.tmp.5";
+  std::ofstream(fresh) << "in flight";
+
+  ObjectStore store({root_, 1 << 20});
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(fs::exists(fresh));
+  EXPECT_TRUE(store.verify().ok());  // temps are not foreign files
+}
+
+TEST_F(ObjectStoreChaosTest, GcReportsSweptTempFiles) {
+  ObjectStore store({root_, 1 << 20});
+  const std::vector<std::uint8_t> bytes = artifact(2.0);
+  store.put(digest_bytes(bytes.data(), bytes.size()), Kind::kDistances,
+            bytes);
+  const fs::path stale = root_ / "objects" / "zz.tmp.1";
+  fs::create_directories(stale.parent_path());
+  std::ofstream(stale) << "orphan";
+  fs::last_write_time(stale, support::process_start_file_time() -
+                                 std::chrono::hours(1));
+
+  const ObjectStore::GcReport report = store.gc(1 << 20);
+  EXPECT_EQ(report.removed_temp_files, 1u);
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_EQ(report.remaining_objects, 1u);
+}
+
+TEST_F(ObjectStoreChaosTest, ArtifactStoreDegradesInsteadOfFailing) {
+  ArtifactStore store({root_, 1 << 20});
+  const std::vector<std::uint8_t> bytes = artifact(4.5);
+  const Digest key = digest_bytes(bytes.data(), bytes.size());
+  EXPECT_FALSE(store.degraded());
+
+  support::install_io_chaos(
+      support::IoChaosConfig::parse("enospc=1,scope=store"));
+  const std::uint64_t degraded_before =
+      obs::counter("store.degraded").value();
+  // A full disk must not kill the campaign: the save is swallowed, the
+  // store latches degraded, and the caller just loses caching.
+  EXPECT_NO_THROW(store.save_distance(key, 4.5));
+  EXPECT_TRUE(store.degraded());
+  EXPECT_EQ(obs::counter("store.degraded").value(), degraded_before + 1);
+  EXPECT_FALSE(store.load_distance(key).has_value());
+
+  // Degradation latches for the campaign's lifetime — even after the disk
+  // recovers, no further publishes are attempted (and the warning fired
+  // exactly once).
+  support::io_chaos::reset_for_tests();
+  EXPECT_NO_THROW(store.save_distance(key, 4.5));
+  EXPECT_TRUE(store.degraded());
+  EXPECT_FALSE(store.load_distance(key).has_value());
+  EXPECT_EQ(obs::counter("store.degraded").value(), degraded_before + 1);
 }
 
 }  // namespace

@@ -4,11 +4,14 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "support/error.hpp"
+#include "support/io_chaos.hpp"
 
 namespace anacin::support {
 namespace {
@@ -108,6 +111,155 @@ TEST(AtomicWriteFile, FailedInjectionDoesNotCountAsSuccess) {
   set_fail_write_after(0);
   EXPECT_THROW(atomic_write_file(dir.path("f").string(), "x"), IoError);
   EXPECT_EQ(atomic_write_count(), before);
+}
+
+/// Chaos-driven fs tests install a process-global config, so every one of
+/// them must clean up or the plain AtomicWriteFile tests above start
+/// failing at random.
+class FsChaosTest : public ::testing::Test {
+protected:
+  void SetUp() override { io_chaos::reset_for_tests(); }
+  void TearDown() override { io_chaos::reset_for_tests(); }
+
+  static std::vector<fs::path> temp_files(const fs::path& root) {
+    std::vector<fs::path> temps;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_regular_file() &&
+          entry.path().filename().string().find(".tmp.") !=
+              std::string::npos) {
+        temps.push_back(entry.path());
+      }
+    }
+    return temps;
+  }
+};
+
+TEST_F(FsChaosTest, EnospcLeavesPartialTempAndDestinationUntouched) {
+  TempDir dir;
+  const fs::path target = dir.path("report.json");
+  atomic_write_file(target.string(), "intact previous version");
+
+  install_io_chaos(IoChaosConfig::parse("enospc=1"));
+  try {
+    atomic_write_file(target.string(), "0123456789abcdef");
+    FAIL() << "injected ENOSPC did not fire";
+  } catch (const IoError& error) {
+    EXPECT_NE(std::string(error.what()).find("ENOSPC"), std::string::npos);
+  }
+  EXPECT_EQ(slurp(target), "intact previous version");
+
+  // A disk that fills mid-write leaves a partial temp file — exactly what
+  // the stale-temp sweeper exists to clean up.
+  const std::vector<fs::path> temps = temp_files(dir.path(""));
+  ASSERT_EQ(temps.size(), 1u);
+  EXPECT_EQ(slurp(temps.front()), "01234567");  // half the bytes landed
+}
+
+TEST_F(FsChaosTest, EioIsDistinguishableFromEnospc) {
+  TempDir dir;
+  install_io_chaos(IoChaosConfig::parse("eio=1"));
+  try {
+    atomic_write_file(dir.path("x").string(), "payload");
+    FAIL() << "injected EIO did not fire";
+  } catch (const IoError& error) {
+    EXPECT_NE(std::string(error.what()).find("EIO"), std::string::npos);
+  }
+}
+
+TEST_F(FsChaosTest, OpenFailLeavesNoTempLitter) {
+  TempDir dir;
+  install_io_chaos(IoChaosConfig::parse("open_fail=1"));
+  EXPECT_THROW(atomic_write_file(dir.path("x").string(), "payload"), IoError);
+  EXPECT_TRUE(temp_files(dir.path("")).empty());
+}
+
+TEST_F(FsChaosTest, RenameFailLeavesCompleteTempBehind) {
+  TempDir dir;
+  const fs::path target = dir.path("x");
+  install_io_chaos(IoChaosConfig::parse("rename_fail=1"));
+  EXPECT_THROW(atomic_write_file(target.string(), "full payload"), IoError);
+  EXPECT_FALSE(fs::exists(target));
+  // The write itself completed; only the publishing rename failed.
+  const std::vector<fs::path> temps = temp_files(dir.path(""));
+  ASSERT_EQ(temps.size(), 1u);
+  EXPECT_EQ(slurp(temps.front()), "full payload");
+}
+
+TEST_F(FsChaosTest, OutOfScopeWritesSucceed) {
+  TempDir dir;
+  install_io_chaos(IoChaosConfig::parse("enospc=1,scope=journal"));
+  // Report-class writes sail through a journal-scoped fault config.
+  atomic_write_file(dir.path("r.json").string(), "{}", PathClass::kReport);
+  EXPECT_EQ(slurp(dir.path("r.json")), "{}");
+  EXPECT_THROW(
+      atomic_write_file(dir.path("j.jsonl").string(), "{}",
+                        PathClass::kJournal),
+      IoError);
+}
+
+TEST_F(FsChaosTest, FailWriteAfterBudgetSkipsStoreClassWrites) {
+  TempDir dir;
+  set_fail_write_after(0);
+  // Store-internal writes postdate the legacy hook and must neither fail
+  // nor consume the one-shot budget...
+  atomic_write_file(dir.path("index.json").string(), "{}",
+                    PathClass::kStore);
+  EXPECT_EQ(slurp(dir.path("index.json")), "{}");
+  // ...so the budget is still armed for the next journal-class write.
+  EXPECT_THROW(atomic_write_file(dir.path("j.jsonl").string(), "{}",
+                                 PathClass::kJournal),
+               IoError);
+}
+
+TEST_F(FsChaosTest, StaleTempSweepRemovesOnlyPreExistingTemps) {
+  TempDir dir;
+  // A temp older than this process: orphaned by a crashed predecessor.
+  const fs::path stale = dir.path("report.json.tmp.3");
+  std::ofstream(stale) << "orphan";
+  fs::last_write_time(stale,
+                      process_start_file_time() - std::chrono::hours(1));
+  // A fresh temp: could be a concurrent writer's in-flight publish.
+  const fs::path fresh = dir.path("index.json.tmp.9");
+  std::ofstream(fresh) << "in flight";
+  // An old non-temp file: never the sweeper's business.
+  const fs::path bystander = dir.path("data.json");
+  std::ofstream(bystander) << "keep";
+  fs::last_write_time(bystander,
+                      process_start_file_time() - std::chrono::hours(1));
+
+  EXPECT_EQ(remove_stale_temp_files(dir.path("")), 1u);
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(fs::exists(fresh));
+  EXPECT_TRUE(fs::exists(bystander));
+
+  // Idempotent: a second sweep finds nothing.
+  EXPECT_EQ(remove_stale_temp_files(dir.path("")), 0u);
+}
+
+TEST_F(FsChaosTest, StaleTempSweepToleratesMissingRoot) {
+  TempDir dir;
+  EXPECT_EQ(remove_stale_temp_files(dir.path("does-not-exist")), 0u);
+}
+
+TEST_F(FsChaosTest, CommitDurabilityKeepsWritesAtomicAndClean) {
+  TempDir dir;
+  set_durability(Durability::kCommit);
+  const fs::path target = dir.path("a/b.json");
+  atomic_write_file(target.string(), "durable", PathClass::kJournal);
+  EXPECT_EQ(slurp(target), "durable");
+  EXPECT_TRUE(temp_files(dir.path("")).empty());
+
+  set_durability(Durability::kParanoid);
+  atomic_write_file(target.string(), "more durable", PathClass::kJournal);
+  EXPECT_EQ(slurp(target), "more durable");
+}
+
+TEST_F(FsChaosTest, DurableCommitsAdvanceTheDurableOpCount) {
+  TempDir dir;
+  const std::uint64_t before = io_chaos::durable_op_count();
+  atomic_write_file(dir.path("1").string(), "1");
+  atomic_write_file(dir.path("2").string(), "2");
+  EXPECT_EQ(io_chaos::durable_op_count(), before + 2);
 }
 
 }  // namespace

@@ -1,0 +1,258 @@
+#include "support/io_chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace anacin::support {
+namespace {
+
+using io_chaos::WriteFault;
+
+/// Every test starts from a clean engine: no installed config, no
+/// environment spec, no compat budget, durability unresolved. TearDown
+/// repeats the reset so a chaos config installed here can never leak into
+/// the other test_support suites (test_fs in particular writes files).
+class IoChaosTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ::unsetenv("ANACIN_IO_CHAOS");
+    ::unsetenv("ANACIN_FAIL_WRITE_AFTER");
+    ::unsetenv("ANACIN_DURABILITY");
+    io_chaos::reset_for_tests();
+  }
+  void TearDown() override { SetUp(); }
+
+  static std::vector<WriteFault::Kind> draw(PathClass path_class, int n) {
+    std::vector<WriteFault::Kind> kinds;
+    kinds.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      kinds.push_back(io_chaos::next_write_fault(path_class).kind);
+    }
+    return kinds;
+  }
+};
+
+TEST_F(IoChaosTest, DefaultConfigIsDisabled) {
+  const IoChaosConfig config;
+  EXPECT_FALSE(config.enabled());
+  EXPECT_TRUE(config.in_scope(PathClass::kJournal));
+  EXPECT_TRUE(config.in_scope(PathClass::kOther));
+}
+
+TEST_F(IoChaosTest, ParseFullSpecRoundTrips) {
+  const IoChaosConfig config = IoChaosConfig::parse(
+      "seed=7, enospc=0.05, eio=0.01, open_fail=0.02, rename_fail=0.03, "
+      "fsync_drop=0.1, crash_after=12, scope=journal+store");
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_DOUBLE_EQ(config.enospc, 0.05);
+  EXPECT_DOUBLE_EQ(config.eio, 0.01);
+  EXPECT_DOUBLE_EQ(config.open_fail, 0.02);
+  EXPECT_DOUBLE_EQ(config.rename_fail, 0.03);
+  EXPECT_DOUBLE_EQ(config.fsync_drop, 0.1);
+  EXPECT_EQ(config.crash_after, 12);
+  EXPECT_TRUE(config.scope_journal);
+  EXPECT_TRUE(config.scope_store);
+  EXPECT_FALSE(config.scope_report);
+  EXPECT_FALSE(config.scope_other);
+  EXPECT_TRUE(config.enabled());
+
+  // spec() is the canonical form the CLI re-exports into ANACIN_IO_CHAOS
+  // for worker children; parsing it back must change nothing.
+  const IoChaosConfig reparsed = IoChaosConfig::parse(config.spec());
+  EXPECT_EQ(reparsed.spec(), config.spec());
+  EXPECT_EQ(reparsed.crash_after, config.crash_after);
+  EXPECT_EQ(reparsed.scope_report, config.scope_report);
+}
+
+TEST_F(IoChaosTest, ParseRejectsMalformedSpecs) {
+  // A typo'd chaos spec silently running a clean campaign would invalidate
+  // the experiment, so every malformation is a hard error.
+  EXPECT_THROW(IoChaosConfig::parse("enospc"), ConfigError);
+  EXPECT_THROW(IoChaosConfig::parse("turbo=1"), ConfigError);
+  EXPECT_THROW(IoChaosConfig::parse("enospc=pony"), ConfigError);
+  EXPECT_THROW(IoChaosConfig::parse("enospc=0.5x"), ConfigError);
+  EXPECT_THROW(IoChaosConfig::parse("enospc=1.5"), ConfigError);
+  EXPECT_THROW(IoChaosConfig::parse("eio=-0.1"), ConfigError);
+  EXPECT_THROW(IoChaosConfig::parse("crash_after=12abc"), ConfigError);
+  EXPECT_THROW(IoChaosConfig::parse("crash_after=-2"), ConfigError);
+  EXPECT_THROW(IoChaosConfig::parse("scope=journal+disk"), ConfigError);
+  EXPECT_THROW(IoChaosConfig::parse("seed="), ConfigError);
+}
+
+TEST_F(IoChaosTest, ScopeAllKeywordRestoresEveryClass) {
+  const IoChaosConfig config = IoChaosConfig::parse("scope=store,scope=all");
+  EXPECT_TRUE(config.scope_journal && config.scope_store &&
+              config.scope_report && config.scope_other);
+}
+
+TEST_F(IoChaosTest, InScopeFollowsScopeFlags) {
+  const IoChaosConfig config = IoChaosConfig::parse("enospc=1,scope=report");
+  EXPECT_FALSE(config.in_scope(PathClass::kJournal));
+  EXPECT_FALSE(config.in_scope(PathClass::kStore));
+  EXPECT_TRUE(config.in_scope(PathClass::kReport));
+  EXPECT_FALSE(config.in_scope(PathClass::kOther));
+}
+
+TEST_F(IoChaosTest, SummaryListsOnlyActiveKnobs) {
+  const IoChaosConfig config =
+      IoChaosConfig::parse("seed=3,eio=0.25,scope=journal");
+  const std::string summary = config.summary();
+  EXPECT_NE(summary.find("seed=3"), std::string::npos);
+  EXPECT_NE(summary.find("eio=0.25"), std::string::npos);
+  EXPECT_NE(summary.find("scope=journal"), std::string::npos);
+  EXPECT_EQ(summary.find("enospc"), std::string::npos);
+  EXPECT_EQ(summary.find("crash_after"), std::string::npos);
+}
+
+TEST_F(IoChaosTest, NoConfigMeansNoFaults) {
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(io_chaos::next_write_fault(PathClass::kOther).kind,
+              WriteFault::Kind::kNone);
+    EXPECT_FALSE(io_chaos::fail_rename(PathClass::kStore));
+  }
+  EXPECT_EQ(io_chaos::injected_fault_count(), 0u);
+}
+
+TEST_F(IoChaosTest, FaultStreamIsDeterministicPerSeed) {
+  const IoChaosConfig config =
+      IoChaosConfig::parse("seed=42,enospc=0.4,eio=0.4,rename_fail=0.2");
+  install_io_chaos(config);
+  const std::vector<WriteFault::Kind> first = draw(PathClass::kOther, 64);
+
+  // Reinstalling restarts the stream from the seed: same decisions, same
+  // order — a chaos campaign replays bit-for-bit.
+  install_io_chaos(config);
+  EXPECT_EQ(draw(PathClass::kOther, 64), first);
+
+  // A different seed gives a different fault history.
+  IoChaosConfig reseeded = config;
+  reseeded.seed = 43;
+  install_io_chaos(reseeded);
+  EXPECT_NE(draw(PathClass::kOther, 64), first);
+}
+
+TEST_F(IoChaosTest, OutOfScopeOpsDoNotAdvanceTheStream) {
+  const IoChaosConfig config =
+      IoChaosConfig::parse("seed=11,enospc=0.5,scope=journal");
+  install_io_chaos(config);
+  const std::vector<WriteFault::Kind> journal_only =
+      draw(PathClass::kJournal, 32);
+
+  install_io_chaos(config);
+  // Interleave out-of-scope store ops: they draw nothing and must not
+  // perturb the journal's fault sequence.
+  std::vector<WriteFault::Kind> interleaved;
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(io_chaos::next_write_fault(PathClass::kStore).kind,
+              WriteFault::Kind::kNone);
+    interleaved.push_back(io_chaos::next_write_fault(PathClass::kJournal).kind);
+  }
+  EXPECT_EQ(interleaved, journal_only);
+}
+
+TEST_F(IoChaosTest, CountsDurableOpsAndInjectedFaults) {
+  install_io_chaos(IoChaosConfig::parse("enospc=1"));
+  EXPECT_EQ(io_chaos::durable_op_count(), 0u);
+  EXPECT_EQ(io_chaos::injected_fault_count(), 0u);
+  EXPECT_EQ(io_chaos::next_write_fault(PathClass::kOther).kind,
+            WriteFault::Kind::kEnospc);
+  EXPECT_EQ(io_chaos::injected_fault_count(), 1u);
+  io_chaos::note_durable_op();
+  io_chaos::note_durable_op();
+  EXPECT_EQ(io_chaos::durable_op_count(), 2u);
+}
+
+TEST_F(IoChaosTest, CrashAfterKillsTheProcessOnTheExactOp) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(
+      {
+        install_io_chaos(IoChaosConfig::parse("crash_after=2"));
+        io_chaos::note_durable_op();  // op 1: survives
+        io_chaos::note_durable_op();  // op 2: SIGKILL, no cleanup
+        std::exit(0);                 // must never be reached
+      },
+      ::testing::KilledBySignal(SIGKILL), "");
+}
+
+TEST_F(IoChaosTest, EnvironmentSpecIsAdoptedLazily) {
+  ::setenv("ANACIN_IO_CHAOS", "seed=9,eio=1.0", 1);
+  io_chaos::reset_for_tests();
+  const std::optional<IoChaosConfig> active = active_io_chaos();
+  ASSERT_TRUE(active.has_value());
+  EXPECT_DOUBLE_EQ(active->eio, 1.0);
+  EXPECT_EQ(io_chaos::next_write_fault(PathClass::kOther).kind,
+            WriteFault::Kind::kEio);
+}
+
+TEST_F(IoChaosTest, MalformedEnvironmentSpecThrows) {
+  ::setenv("ANACIN_IO_CHAOS", "enospc=lots", 1);
+  io_chaos::reset_for_tests();
+  EXPECT_THROW(active_io_chaos(), ConfigError);
+}
+
+TEST_F(IoChaosTest, ExplicitInstallOutranksTheEnvironment) {
+  ::setenv("ANACIN_IO_CHAOS", "eio=1.0", 1);
+  install_io_chaos(std::nullopt);  // "no chaos", despite the env var
+  EXPECT_FALSE(active_io_chaos().has_value());
+  EXPECT_EQ(io_chaos::next_write_fault(PathClass::kOther).kind,
+            WriteFault::Kind::kNone);
+}
+
+TEST_F(IoChaosTest, FailWriteAfterBudgetIsOneShot) {
+  io_chaos::set_fail_write_after(2);
+  EXPECT_FALSE(io_chaos::consume_fail_write_after());
+  EXPECT_FALSE(io_chaos::consume_fail_write_after());
+  EXPECT_TRUE(io_chaos::consume_fail_write_after());
+  // The injection disarms itself: the process recovers afterwards.
+  EXPECT_FALSE(io_chaos::consume_fail_write_after());
+}
+
+TEST_F(IoChaosTest, FailWriteAfterEnvIsStrictlyParsed) {
+  // The historical hook used std::strtoll, so "12abc" silently became 12
+  // and "pony" became "never fail" — both now refuse to run.
+  ::setenv("ANACIN_FAIL_WRITE_AFTER", "12abc", 1);
+  io_chaos::reset_for_tests();
+  EXPECT_THROW(io_chaos::consume_fail_write_after(), ConfigError);
+
+  ::setenv("ANACIN_FAIL_WRITE_AFTER", "-5", 1);
+  io_chaos::reset_for_tests();
+  EXPECT_THROW(io_chaos::consume_fail_write_after(), ConfigError);
+
+  ::setenv("ANACIN_FAIL_WRITE_AFTER", "1", 1);
+  io_chaos::reset_for_tests();
+  EXPECT_FALSE(io_chaos::consume_fail_write_after());
+  EXPECT_TRUE(io_chaos::consume_fail_write_after());
+}
+
+TEST_F(IoChaosTest, DurabilityParsesStrictly) {
+  EXPECT_EQ(parse_durability("none"), Durability::kNone);
+  EXPECT_EQ(parse_durability("commit"), Durability::kCommit);
+  EXPECT_EQ(parse_durability("paranoid"), Durability::kParanoid);
+  EXPECT_THROW(parse_durability("NONE"), ConfigError);
+  EXPECT_THROW(parse_durability("max"), ConfigError);
+  EXPECT_STREQ(durability_name(Durability::kCommit), "commit");
+}
+
+TEST_F(IoChaosTest, DurabilityResolvesFromEnvironmentOnce) {
+  EXPECT_EQ(durability_level(), Durability::kNone);  // default
+
+  ::setenv("ANACIN_DURABILITY", "commit", 1);
+  io_chaos::reset_for_tests();
+  EXPECT_EQ(durability_level(), Durability::kCommit);
+
+  // An explicit set (the --durability flag) overrides the environment.
+  set_durability(Durability::kParanoid);
+  EXPECT_EQ(durability_level(), Durability::kParanoid);
+
+  ::setenv("ANACIN_DURABILITY", "extreme", 1);
+  io_chaos::reset_for_tests();
+  EXPECT_THROW(durability_level(), ConfigError);
+}
+
+}  // namespace
+}  // namespace anacin::support
